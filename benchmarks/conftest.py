@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on the
+benchmark-scale stand-in datasets (see DESIGN.md Sec. 4) and prints the
+rows/series it produces, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+both times the experiments and shows the regenerated numbers.  The heavy
+figure-level experiments are run exactly once per benchmark
+(``benchmark.pedantic(..., rounds=1)``); the micro-benchmarks of the core
+operations use the default pytest-benchmark calibration.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+#: Directory where every benchmark also writes its regenerated tables, so the
+#: numbers survive pytest's output capturing (one file per figure).
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_dir():
+    """Start every benchmark session with an empty results directory."""
+    if RESULTS_DIR.exists():
+        for stale in RESULTS_DIR.glob("*.txt"):
+            stale.unlink()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    yield
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def emit(title: str, text: str) -> None:
+    """Print a titled block and append it to ``benchmarks/results/``.
+
+    The print is visible with ``pytest -s`` (or in the captured output of a
+    failing benchmark); the file copy means a plain ``pytest benchmarks/
+    --benchmark-only`` run still leaves the regenerated tables on disk.
+    """
+    block = f"=== {title} ===\n{text}\n"
+    print()
+    print(block, end="")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = title.split("—")[0].strip().lower().replace(" ", "_").replace(".", "").replace("/", "_")
+    with (RESULTS_DIR / f"{slug}.txt").open("a") as handle:
+        handle.write(block + "\n")

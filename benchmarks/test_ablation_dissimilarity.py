@@ -1,0 +1,29 @@
+"""Ablation — dissimilarity functions (the paper's future-work comparison, Sec. 8).
+
+Compares the paper's L2 pattern dissimilarity with the L1 variant on the
+SBR-1d workload.  (DTW is available in the library but is orders of magnitude
+slower in pure Python, so the bench sticks to the two vectorised metrics; the
+unit tests cover DTW's correctness.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import experiments
+from repro.evaluation.report import format_table
+
+from .conftest import emit
+
+
+def test_ablation_dissimilarity(run_once):
+    outcome = run_once(experiments.ablation_dissimilarity, "sbr-1d", metrics=("l2", "l1"))
+
+    rows = [{"metric": metric, "rmse": rmse} for metric, rmse in outcome.items()]
+    emit("Ablation — dissimilarity function (sbr-1d)", format_table(rows))
+
+    assert np.isfinite(outcome["l2"])
+    assert np.isfinite(outcome["l1"])
+    # Both metrics should land in the same accuracy ballpark; the paper's L2
+    # default must not be dramatically worse than L1.
+    assert outcome["l2"] <= outcome["l1"] * 1.5

@@ -1,0 +1,35 @@
+"""Ablation — DP vs greedy anchor selection (DESIGN.md Sec. 5).
+
+The paper motivates the dynamic program by noting that a greedy pick of the
+individually most similar non-overlapping patterns does not minimise the sum
+of dissimilarities (Sec. 6.1).  This bench quantifies the difference on the
+SBR-1d workload: the DP's selected dissimilarity sum is never larger, and its
+RMSE is at least as good.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import experiments
+from repro.evaluation.report import format_table
+
+from .conftest import emit
+
+
+def test_ablation_selection_strategy(run_once):
+    outcome = run_once(experiments.ablation_selection_strategy, "sbr-1d")
+
+    rows = [
+        {"strategy": strategy, **measurements} for strategy, measurements in outcome.items()
+    ]
+    emit("Ablation — DP vs greedy anchor selection (sbr-1d)", format_table(rows))
+
+    assert np.isfinite(outcome["dp"]["rmse"])
+    assert np.isfinite(outcome["greedy"]["rmse"])
+    # The DP minimises the dissimilarity sum by construction.
+    assert outcome["dp"]["mean_dissimilarity_sum"] <= (
+        outcome["greedy"]["mean_dissimilarity_sum"] + 1e-9
+    )
+    # And it should not be less accurate by more than a whisker.
+    assert outcome["dp"]["rmse"] <= outcome["greedy"]["rmse"] * 1.1

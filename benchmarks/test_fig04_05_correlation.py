@@ -1,0 +1,37 @@
+"""Fig. 4 / Fig. 5 — linear vs phase-shifted correlation of the sine pairs.
+
+Paper's claim: the pair ``s = sind(t)``, ``r1 = 1.5 sind(t) + 1`` is perfectly
+linearly correlated (scatterplot is a line), while ``r2 = sind(t - 90)`` has a
+Pearson correlation of about -0.0085 and the same reference value maps to two
+very different target values.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import experiments
+from repro.evaluation.report import format_table
+
+from .conftest import emit
+
+
+def test_fig04_05_correlation(run_once):
+    reports = run_once(experiments.fig04_05_correlation)
+
+    rows = []
+    for label, report in reports.items():
+        rows.append({
+            "pair": label,
+            "pearson": report.pearson,
+            "best_lag": report.best_lag,
+            "corr_at_best_lag": report.correlation_at_best_lag,
+            "value_ambiguity": report.ambiguity,
+        })
+    emit("Fig. 4/5 — correlation of the sine pairs", format_table(rows))
+
+    linear = reports["fig04_linear"]
+    shifted = reports["fig05_shifted"]
+    # Shape of the paper's finding.
+    assert linear.pearson > 0.99
+    assert abs(shifted.pearson) < 0.05
+    assert abs(shifted.correlation_at_best_lag) > 0.95
+    assert shifted.ambiguity > 10 * linear.ambiguity

@@ -1,0 +1,49 @@
+"""Fig. 10 — calibration of the number of references d and anchors k.
+
+Paper's claim: accuracy improves markedly up to d = 3 reference series and is
+flat beyond; a small k (around 5) is sufficient, with very large k adding
+less-similar patterns on short datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import experiments
+from repro.evaluation.report import format_table
+
+from .conftest import emit
+
+DATASETS = ("sbr-1d", "flights", "chlorine")
+
+
+def test_fig10_calibration(run_once):
+    results = run_once(
+        experiments.fig10_calibration,
+        dataset_names=DATASETS,
+        d_values=(1, 2, 3, 4),
+        k_values=(1, 3, 5, 7),
+    )
+
+    for name, sweeps in results.items():
+        emit(f"Fig. 10 — {name}: RMSE vs d", format_table(sweeps["d"].as_rows()))
+        emit(f"Fig. 10 — {name}: RMSE vs k", format_table(sweeps["k"].as_rows()))
+
+    for name in DATASETS:
+        d_sweep = results[name]["d"]
+        k_sweep = results[name]["k"]
+        d_rmse = d_sweep.series("rmse")
+        k_rmse = k_sweep.series("rmse")
+        assert np.all(np.isfinite(d_rmse)) and np.all(np.isfinite(k_rmse))
+        # Shape of the paper's d-calibration: adding reference series helps
+        # (or at least never hurts) — d = 3 and the largest d are both at
+        # least as accurate as a single reference.
+        rmse_at_3 = float(d_rmse[list(d_sweep.values).index(3)])
+        rmse_at_1 = float(d_rmse[list(d_sweep.values).index(1)])
+        rmse_at_max_d = float(d_rmse[-1])
+        assert rmse_at_3 <= rmse_at_1 * 1.05
+        assert rmse_at_max_d <= rmse_at_1 * 1.05
+        # Shape of the k-calibration: a small k (5) is close to the best k.
+        best_k = float(np.min(k_rmse))
+        rmse_at_5 = float(k_rmse[list(k_sweep.values).index(5)])
+        assert rmse_at_5 <= best_k * 1.5

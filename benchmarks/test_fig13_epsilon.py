@@ -1,0 +1,44 @@
+"""Fig. 13 — scatterplot and average epsilon vs pattern length (Chlorine).
+
+Paper's claim: the target junction is not strongly linearly correlated with
+its reference (the scatterplot is not a line), and the average anchor-value
+spread epsilon decreases as the pattern length grows towards a few hours —
+i.e. longer patterns make the references pattern-determine the target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import experiments
+from repro.evaluation.report import format_table
+
+from .conftest import emit
+
+LENGTHS = (1, 12, 36, 72)
+
+
+def test_fig13_epsilon(run_once):
+    outcome = run_once(experiments.fig13_epsilon, "chlorine", l_values=LENGTHS)
+
+    rows = [
+        {"l": l, "average_epsilon": outcome["average_epsilon"][l], "rmse": outcome["rmse"][l]}
+        for l in LENGTHS
+    ]
+    emit("Fig. 13b — average epsilon vs pattern length (chlorine)", format_table(rows))
+    scatter = outcome["scatter"]
+    emit(
+        "Fig. 13a — target vs reference relationship",
+        format_table([{
+            "pearson": scatter.pearson,
+            "best_lag": scatter.best_lag,
+            "corr_at_best_lag": scatter.correlation_at_best_lag,
+            "value_ambiguity": scatter.ambiguity,
+        }]),
+    )
+
+    epsilons = np.array([outcome["average_epsilon"][l] for l in LENGTHS])
+    assert np.all(np.isfinite(epsilons))
+    # Longer patterns reduce the spread of the anchor values (the Fig. 13b trend).
+    assert epsilons[LENGTHS.index(36)] < epsilons[LENGTHS.index(1)]
+    assert min(epsilons[1:]) < epsilons[0]

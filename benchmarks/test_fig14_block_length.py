@@ -1,0 +1,41 @@
+"""Fig. 14 — impact of the missing-block length.
+
+Paper's claim: TKCM's accuracy degrades only slowly as the missing block
+grows (from one to several weeks on SBR-1d, from 10 % to 80 % of the dataset
+on Chlorine), because imputations never depend on previously imputed values
+of the incomplete series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import experiments
+from repro.evaluation.report import format_table
+
+from .conftest import emit
+
+SBR_DAYS = (1, 2, 4)
+CHLORINE_FRACTIONS = (0.1, 0.2, 0.4)
+
+
+def test_fig14_block_length(run_once):
+    outcome = run_once(
+        experiments.fig14_block_length,
+        sbr_block_days=SBR_DAYS,
+        chlorine_block_fractions=CHLORINE_FRACTIONS,
+    )
+
+    emit("Fig. 14a — SBR-1d: RMSE vs block length (days)",
+         format_table(outcome["sbr-1d"].as_rows()))
+    emit("Fig. 14b — Chlorine: RMSE vs block length (fraction of dataset)",
+         format_table(outcome["chlorine"].as_rows()))
+
+    for key in ("sbr-1d", "chlorine"):
+        rmse = outcome[key].series("rmse")
+        assert np.all(np.isfinite(rmse))
+        # Growing the block several-fold must not blow the error up: the paper
+        # reports a ~0.2 °C increase from 1 to 4+ weeks.  Allow a generous 2x.
+        assert rmse[-1] <= 2.0 * rmse[0] + 1e-6, (
+            f"{key}: error grows too fast with the block length: {rmse}"
+        )

@@ -1,0 +1,71 @@
+"""Fig. 15 / Fig. 16 — comparison of TKCM, SPIRIT, MUSCLES and CD.
+
+Paper's claim (Fig. 16): on the non-shifted SBR dataset all four methods are
+comparable; on the three shifted datasets (SBR-1d, Flights, Chlorine) TKCM
+has the lowest RMSE, with the competitors ranging from noticeably worse to
+unusable.  Fig. 15 is the per-series view of the same runs, which the
+benchmark prints as sparklines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import experiments
+from repro.evaluation.report import format_series_comparison, format_table
+
+from .conftest import emit
+
+METHODS = ("TKCM", "SPIRIT", "MUSCLES", "CD")
+SHIFTED_DATASETS = ("sbr-1d", "flights", "chlorine")
+
+
+@pytest.mark.parametrize("dataset_name", ("sbr", "sbr-1d", "flights", "chlorine"))
+def test_fig15_recovery_per_dataset(run_once, dataset_name):
+    outcome = run_once(experiments.fig15_recovery_comparison, dataset_name, methods=METHODS)
+
+    emit(
+        f"Fig. 15 — {dataset_name}: true vs recovered block",
+        format_series_comparison(outcome["truth"], outcome["recoveries"]),
+    )
+    emit(
+        f"Fig. 15 — {dataset_name}: RMSE per method",
+        format_table([{"method": m, "rmse": outcome["rmse"][m]} for m in METHODS]),
+    )
+
+    for method in METHODS:
+        assert np.isfinite(outcome["rmse"][method]), f"{method} produced no usable recovery"
+    if dataset_name in SHIFTED_DATASETS:
+        best_competitor = min(outcome["rmse"][m] for m in METHODS if m != "TKCM")
+        assert outcome["rmse"]["TKCM"] <= best_competitor * 1.05, (
+            f"TKCM should be the most accurate method on {dataset_name}"
+        )
+
+
+def test_fig16_rmse_comparison(run_once):
+    results = run_once(
+        experiments.fig16_rmse_comparison,
+        dataset_names=("sbr", "sbr-1d", "flights", "chlorine"),
+        methods=METHODS,
+        num_targets=2,
+    )
+
+    rows = []
+    for dataset_name, per_method in results.items():
+        row = {"dataset": dataset_name}
+        row.update(per_method)
+        rows.append(row)
+    emit("Fig. 16 — average RMSE per method per dataset", format_table(rows))
+
+    # TKCM wins on every shifted dataset.
+    for name in SHIFTED_DATASETS:
+        per_method = results[name]
+        best_competitor = min(v for k, v in per_method.items() if k != "TKCM")
+        assert per_method["TKCM"] <= best_competitor * 1.05, (
+            f"TKCM should win on {name}: {per_method}"
+        )
+    # On the non-shifted SBR dataset TKCM is comparable to the best method
+    # (the paper reports 1.07 vs 0.88 °C, i.e. within a small factor).
+    sbr = results["sbr"]
+    assert sbr["TKCM"] <= 2.5 * min(sbr.values())

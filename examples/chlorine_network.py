@@ -1,0 +1,82 @@
+"""Chlorine scenario: phase-shifted series and why the pattern length matters.
+
+The chlorine concentration measured at different junctions of a water network
+is *phase shifted*: the same daily dosing pattern arrives at each junction
+with a different delay.  That breaks the linear correlation that SVD/PCA
+methods rely on, and it is exactly the situation where TKCM's pattern length
+``l`` matters: with ``l = 1`` an anchor only has to match the reference's
+instantaneous value, with ``l`` spanning a few hours it also has to match the
+trend, which disambiguates up-slopes from down-slopes.
+
+The script first prints a correlation diagnosis of the target junction
+against its best reference (low plain Pearson, high correlation after the
+best lag), then imputes the same missing block with ``l = 1`` and ``l = 36``
+and reports both recoveries.
+
+Run it with ``python examples/chlorine_network.py``.
+"""
+
+from __future__ import annotations
+
+from repro import TKCMConfig, TKCMImputer
+from repro.analysis import analyse_pair
+from repro.datasets import generate_chlorine
+from repro.evaluation import ExperimentRunner, ImputerSpec, MissingBlockScenario
+from repro.evaluation.report import format_series_comparison, format_table
+
+
+def main() -> None:
+    dataset = generate_chlorine(num_series=10, num_points=4310, seed=11)
+    target = dataset.names[0]
+    reference = dataset.names[1]
+
+    # --- 1. Diagnose the relationship between the target and a reference --- #
+    report = analyse_pair(dataset.values(target), dataset.values(reference), max_lag=288)
+    print("correlation diagnosis (target vs reference junction)")
+    print(f"  plain Pearson correlation : {report.pearson:+.3f}")
+    print(f"  best lag                  : {report.best_lag} samples "
+          f"({report.best_lag * 5} minutes)")
+    print(f"  correlation at best lag   : {report.correlation_at_best_lag:+.3f}")
+    print(f"  value ambiguity           : {report.ambiguity:.4f} mg/L")
+    print(f"  looks phase shifted       : {report.is_shifted}")
+    print()
+
+    # --- 2. Impute the same block with a short and a long pattern ---------- #
+    scenario = MissingBlockScenario(
+        dataset=dataset,
+        target=target,
+        block_start=2880,
+        block_length=576,          # two days at the 5-minute rate
+        label="chlorine outage",
+    )
+
+    runner = ExperimentRunner()
+    rows = []
+    recoveries = {}
+    for pattern_length in (1, 36):
+        config = TKCMConfig(
+            window_length=2304,
+            pattern_length=pattern_length,
+            num_anchors=5,
+            num_references=3,
+        )
+
+        def factory(sc: MissingBlockScenario, cfg=config) -> TKCMImputer:
+            others = [n for n in sc.dataset.names if n != sc.target]
+            return TKCMImputer(cfg, series_names=sc.dataset.names,
+                               reference_rankings={sc.target: others})
+
+        result = runner.run_scenario(scenario, ImputerSpec(f"l={pattern_length}", factory))
+        rows.append({"pattern_length": pattern_length,
+                     "rmse_mg_per_L": result.rmse,
+                     "mae_mg_per_L": result.mae})
+        recoveries[f"l={pattern_length}"] = result.imputed_block
+
+    print(format_table(rows, title="pattern length vs accuracy (two-day block)"))
+    print()
+    print(format_series_comparison(scenario.truth(), recoveries,
+                                   title="recovered block: short vs long pattern"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Minimal setup.py shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that editable installs work in offline environments whose setuptools lacks the
+``wheel`` package (``pip install -e . --no-build-isolation`` falls back to the
+legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro — reproduction of "Continuous Imputation of Missing Values in Streams
+of Pattern-Determining Time Series" (TKCM, EDBT 2017).
+
+The library is organised in layers:
+
+* :mod:`repro.core` — the paper's contribution: the TKCM imputer and its
+  building blocks (patterns, dissimilarities, DP anchor selection).
+* :mod:`repro.streams` — the streaming substrate: time series, sliding
+  windows, missing-value injection, and the engine that drives any online
+  imputer over a stream.
+* :mod:`repro.datasets` — generators standing in for the paper's four
+  datasets (SBR, SBR-1d, Flights, Chlorine) plus the sine families of Sec. 5.
+* :mod:`repro.baselines` — the competitors: SPIRIT, MUSCLES, CD/SVD, kNNI and
+  simple interpolation baselines.
+* :mod:`repro.metrics` — RMSE and friends, correlation, epsilon statistics.
+* :mod:`repro.analysis` — dissimilarity profiles and correlation diagnostics
+  (the paper's Sec. 5 figures).
+* :mod:`repro.evaluation` — scenarios, the experiment runner and one function
+  per paper figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import TKCMConfig, TKCMImputer
+    from repro.datasets import generate_sbr_shifted
+
+    dataset = generate_sbr_shifted(num_series=4, num_days=30, seed=7)
+    config = TKCMConfig(window_length=2880, pattern_length=36, num_anchors=5,
+                        num_references=3)
+    imputer = TKCMImputer(config, series_names=dataset.names)
+    imputer.prime(dataset.head(2880))
+
+    tick = dataset.row(2880)
+    tick[dataset.names[0]] = np.nan            # simulate a sensor failure
+    results = imputer.observe(tick)
+    print(results[dataset.names[0]].value)
+"""
+
+from .config import ExperimentConfig, StreamConfig, TKCMConfig
+from .core import ImputationResult, TKCMImputer
+from .exceptions import (
+    ConfigurationError,
+    DatasetError,
+    ImputationError,
+    InsufficientDataError,
+    MissingReferenceError,
+    NotFittedError,
+    ReproError,
+    StreamError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TKCMConfig",
+    "StreamConfig",
+    "ExperimentConfig",
+    "TKCMImputer",
+    "ImputationResult",
+    "ReproError",
+    "ConfigurationError",
+    "InsufficientDataError",
+    "MissingReferenceError",
+    "DatasetError",
+    "StreamError",
+    "ImputationError",
+    "NotFittedError",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Analysis utilities reproducing the paper's Sec. 5 diagnostics.
+
+* :mod:`~repro.analysis.dissimilarity_profile` — the dissimilarity of the
+  pattern anchored at every past time point to the query pattern (Fig. 6, 7).
+* :mod:`~repro.analysis.correlation_analysis` — linear vs non-linear
+  correlation diagnosis and scatterplot data (Fig. 4, 5, 13a).
+* :mod:`~repro.analysis.pattern_length` — the monotonicity-in-``l`` statement
+  of Lemma 5.1 and pattern-length recommendation helpers.
+"""
+
+from .dissimilarity_profile import dissimilarity_profile, near_matches
+from .correlation_analysis import CorrelationReport, analyse_pair
+from .pattern_length import count_patterns_within, monotonicity_holds, recommend_pattern_length
+
+__all__ = [
+    "dissimilarity_profile",
+    "near_matches",
+    "CorrelationReport",
+    "analyse_pair",
+    "count_patterns_within",
+    "monotonicity_holds",
+    "recommend_pattern_length",
+]

@@ -1,0 +1,117 @@
+"""Linear vs non-linear correlation diagnosis (paper Sec. 5.1, Fig. 4/5/13a).
+
+The paper motivates TKCM by contrasting a linearly correlated reference
+(where a single reference value determines the missing value) with a
+phase-shifted reference (where the same reference value can correspond to
+several very different target values).  :func:`analyse_pair` packages the
+diagnostics used in that discussion: the Pearson correlation, the best lag
+and correlation after shifting, the scatterplot point cloud, and a simple
+ambiguity measure — how much the target value varies among time points where
+the reference value is (nearly) the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..metrics.correlation import estimate_shift, pearson_correlation, scatter_points
+
+__all__ = ["CorrelationReport", "analyse_pair", "value_ambiguity"]
+
+
+@dataclass(frozen=True)
+class CorrelationReport:
+    """Diagnostics of the relationship between a target and a reference series.
+
+    Attributes
+    ----------
+    pearson:
+        Plain Pearson correlation (near zero for strongly shifted series).
+    best_lag:
+        Lag (in samples) maximising the absolute cross-correlation.
+    correlation_at_best_lag:
+        The correlation recovered at that lag (high when the series are
+        shifted copies of each other).
+    ambiguity:
+        Average spread of the target values among time points whose
+        reference values fall in the same small bin — the "same reference
+        value, different target values" problem of Example 6.
+    scatter:
+        ``(reference, target)`` point cloud for plotting.
+    """
+
+    pearson: float
+    best_lag: int
+    correlation_at_best_lag: float
+    ambiguity: float
+    scatter: np.ndarray
+
+    @property
+    def is_linearly_correlated(self) -> bool:
+        """Rule of thumb used in the examples: |Pearson| >= 0.8."""
+        return abs(self.pearson) >= 0.8
+
+    @property
+    def is_shifted(self) -> bool:
+        """Low plain correlation but high correlation after the best lag."""
+        return (
+            abs(self.pearson) < 0.8
+            and abs(self.correlation_at_best_lag) >= 0.8
+            and self.best_lag != 0
+        )
+
+
+def value_ambiguity(
+    target: np.ndarray, reference: np.ndarray, num_bins: int = 25
+) -> float:
+    """How ambiguous the target value is given only the reference value.
+
+    The reference values are partitioned into ``num_bins`` equal-width bins;
+    within each bin the spread (max - min) of the corresponding target values
+    is computed, and the spreads are averaged weighted by bin population.  A
+    linearly correlated pair has low ambiguity; a 90-degree-shifted sine pair
+    has an ambiguity close to the target's full amplitude.
+    """
+    t = np.asarray(target, dtype=float).ravel()
+    r = np.asarray(reference, dtype=float).ravel()
+    mask = ~(np.isnan(t) | np.isnan(r))
+    t, r = t[mask], r[mask]
+    if len(t) == 0:
+        return float("nan")
+    if np.max(r) == np.min(r):
+        return float(np.max(t) - np.min(t))
+    bins = np.linspace(np.min(r), np.max(r), num_bins + 1)
+    assignment = np.clip(np.digitize(r, bins) - 1, 0, num_bins - 1)
+    total_weighted_spread = 0.0
+    total_count = 0
+    for bin_index in range(num_bins):
+        in_bin = t[assignment == bin_index]
+        if len(in_bin) < 2:
+            continue
+        total_weighted_spread += (np.max(in_bin) - np.min(in_bin)) * len(in_bin)
+        total_count += len(in_bin)
+    if total_count == 0:
+        return 0.0
+    return float(total_weighted_spread / total_count)
+
+
+def analyse_pair(
+    target: np.ndarray,
+    reference: np.ndarray,
+    max_lag: int = 288,
+    max_scatter_points: Optional[int] = 2000,
+    seed: Optional[int] = 0,
+) -> CorrelationReport:
+    """Build a :class:`CorrelationReport` for a (target, reference) pair."""
+    pearson = pearson_correlation(target, reference)
+    best_lag, best_correlation = estimate_shift(target, reference, max_lag)
+    return CorrelationReport(
+        pearson=float(pearson),
+        best_lag=int(best_lag),
+        correlation_at_best_lag=float(best_correlation),
+        ambiguity=value_ambiguity(target, reference),
+        scatter=scatter_points(target, reference, max_points=max_scatter_points, seed=seed),
+    )

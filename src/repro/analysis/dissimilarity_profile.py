@@ -1,0 +1,81 @@
+"""Dissimilarity profiles: delta(P(t), P(t_n)) for every past time point.
+
+The paper's Fig. 6 and 7 plot, for a fixed query time, the dissimilarity of
+the pattern anchored at every earlier time point to the query pattern —
+first for a linearly correlated reference (Fig. 6) and then for a phase
+shifted one (Fig. 7), each with pattern lengths ``l = 1`` and ``l = 60``.
+The message: with ``l = 1`` many anchors look identical to the query even
+when the incomplete series has very different values there; with a longer
+pattern only the anchors that match in value *and trend* remain.
+
+:func:`dissimilarity_profile` computes exactly that curve;
+:func:`near_matches` returns the anchor positions whose dissimilarity falls
+below a threshold, which is what Lemma 5.1's monotonicity statement counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.dissimilarity import candidate_dissimilarities
+from ..exceptions import InsufficientDataError
+
+__all__ = ["dissimilarity_profile", "near_matches"]
+
+
+def dissimilarity_profile(
+    reference_values: np.ndarray,
+    query_index: int,
+    pattern_length: int,
+    metric: str = "l2",
+) -> np.ndarray:
+    """Dissimilarity of the pattern anchored at every valid index to the query pattern.
+
+    Parameters
+    ----------
+    reference_values:
+        Array of shape ``(d, T)`` (or 1-D for a single reference series) with
+        the reference series' full history.
+    query_index:
+        Index of the query anchor ``t_n`` (the pattern uses
+        ``query_index - l + 1 .. query_index``).
+    pattern_length:
+        Pattern length ``l``.
+    metric:
+        Dissimilarity metric name.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of length ``query_index - 2l + 2``: entry ``j`` is the
+        dissimilarity of the pattern anchored at index ``l - 1 + j`` (so the
+        anchors range over ``l-1 .. query_index - l``, i.e. every anchor that
+        fits and does not overlap the query pattern).
+    """
+    values = np.atleast_2d(np.asarray(reference_values, dtype=float))
+    if not 0 <= query_index < values.shape[1]:
+        raise InsufficientDataError(
+            f"query_index {query_index} out of range for history of length {values.shape[1]}"
+        )
+    window = values[:, : query_index + 1]
+    return candidate_dissimilarities(window, pattern_length, metric=metric)
+
+
+def near_matches(
+    profile: np.ndarray,
+    threshold: float,
+    pattern_length: int = 1,
+) -> np.ndarray:
+    """Anchor indices whose dissimilarity is at most ``threshold``.
+
+    Returns the *window indices* (``l - 1 + j``) so the result can be compared
+    directly against the incomplete series' values at those times, as in the
+    discussion of Fig. 6/7.
+    """
+    profile = np.asarray(profile, dtype=float).ravel()
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    candidate_positions = np.flatnonzero(profile <= threshold)
+    return candidate_positions + pattern_length - 1

@@ -1,0 +1,52 @@
+"""Competitor and baseline imputation algorithms.
+
+The paper compares TKCM against three state-of-the-art stream/matrix
+imputation methods, all reimplemented here from their original papers:
+
+* :class:`~repro.baselines.spirit.SpiritImputer` — SPIRIT
+  (Papadimitriou, Sun, Faloutsos; VLDB 2005): online PCA via the PAST
+  subspace-tracking rule, one auto-regressive forecaster per hidden variable.
+* :class:`~repro.baselines.muscles.MusclesImputer` — MUSCLES
+  (Yi et al.; ICDE 2000): multivariate auto-regression fitted online with
+  Recursive Least Squares.
+* :class:`~repro.baselines.centroid.CentroidDecompositionImputer` — CD-based
+  block recovery (Khayati et al.; ICDE 2014, SSTD 2015), an offline
+  matrix-decomposition method, plus an SVD variant
+  (:class:`~repro.baselines.svd.IterativeSVDImputer`, REBOM-style).
+
+Simpler baselines from the related-work section are also provided
+(:mod:`~repro.baselines.simple` and :mod:`~repro.baselines.knn`) so that the
+examples and ablation benches can show where naive methods break down (e.g.
+linear interpolation across a long gap).
+"""
+
+from .base import OfflineImputer, OnlineImputer, OnlineImputerAdapter
+from .simple import (
+    LinearInterpolationImputer,
+    LocfImputer,
+    MeanImputer,
+    MovingAverageImputer,
+    SplineInterpolationImputer,
+)
+from .knn import KnnImputer
+from .muscles import MusclesImputer
+from .spirit import SpiritImputer
+from .centroid import CentroidDecompositionImputer, centroid_decomposition
+from .svd import IterativeSVDImputer
+
+__all__ = [
+    "OnlineImputer",
+    "OfflineImputer",
+    "OnlineImputerAdapter",
+    "MeanImputer",
+    "LocfImputer",
+    "LinearInterpolationImputer",
+    "SplineInterpolationImputer",
+    "MovingAverageImputer",
+    "KnnImputer",
+    "MusclesImputer",
+    "SpiritImputer",
+    "CentroidDecompositionImputer",
+    "centroid_decomposition",
+    "IterativeSVDImputer",
+]

@@ -1,0 +1,174 @@
+"""Imputer interfaces shared by TKCM, the competitors, and the harness.
+
+Two families of algorithms appear in the paper's evaluation:
+
+* *Online* (streaming) imputers — TKCM, SPIRIT, MUSCLES — that consume one
+  tick of data at a time and must impute missing values immediately.
+* *Offline* (matrix) imputers — CD and the SVD variant — that see the whole
+  window as a matrix and recover all missing entries at once.
+
+:class:`OnlineImputer` and :class:`OfflineImputer` define the two protocols.
+:class:`OnlineImputerAdapter` wraps an offline imputer so the streaming
+evaluation harness can drive it: it buffers the stream and re-runs the matrix
+recovery whenever an imputation is requested (which is also how the paper ran
+CD, with a bounded window of ``L`` measurements per series).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["OnlineImputer", "OfflineImputer", "OnlineImputerAdapter"]
+
+
+class OnlineImputer(abc.ABC):
+    """Protocol for streaming imputers.
+
+    An online imputer is driven tick by tick.  At every tick it receives the
+    current value of every stream (``NaN`` for missing ones) and must return
+    an estimate for each missing value.  Implementations are expected to keep
+    whatever internal state they need (windows, regression weights, subspace
+    estimates) and to treat their own imputed values as observations for
+    subsequent ticks — exactly the protocol the paper uses for TKCM, SPIRIT
+    and MUSCLES.
+    """
+
+    #: Names of the streams, fixed at construction time.
+    series_names: List[str]
+
+    @abc.abstractmethod
+    def observe(self, values: Mapping[str, float]) -> Dict[str, float]:
+        """Consume one tick and return ``{series: imputed value}`` for missing series."""
+
+    def prime(self, history: Mapping[str, Sequence[float]]) -> None:
+        """Feed complete historical data tick by tick (default implementation).
+
+        Subclasses with cheaper bulk initialisation (e.g. TKCM's ring buffers)
+        override this.
+        """
+        names = list(history)
+        if not names:
+            return
+        length = len(history[names[0]])
+        for name in names:
+            if len(history[name]) != length:
+                raise ConfigurationError(
+                    "all primed histories must have the same length"
+                )
+        for i in range(length):
+            self.observe({name: float(history[name][i]) for name in names})
+
+    def reset(self) -> None:
+        """Forget all state (optional; default is a no-op)."""
+
+
+class OfflineImputer(abc.ABC):
+    """Protocol for matrix-recovery imputers (CD, SVD).
+
+    The input is a ``(T, n)`` matrix with ``NaN`` for missing entries; the
+    output is the same matrix with every missing entry replaced by an
+    estimate.  Observed entries are passed through unchanged.
+    """
+
+    @abc.abstractmethod
+    def recover(self, matrix: np.ndarray) -> np.ndarray:
+        """Return a copy of ``matrix`` with missing (NaN) entries imputed."""
+
+    def recover_series(
+        self, matrix: np.ndarray, column: int
+    ) -> np.ndarray:
+        """Convenience: recover the matrix and return only ``column``."""
+        return self.recover(matrix)[:, column]
+
+
+class OnlineImputerAdapter(OnlineImputer):
+    """Drive an :class:`OfflineImputer` with the streaming protocol.
+
+    The adapter maintains a bounded history matrix of the last
+    ``window_length`` ticks.  When a tick contains missing values it runs the
+    offline recovery on the buffered matrix and reports the recovered entries
+    of the last row.  To keep long missing blocks affordable the recovery can
+    be re-run every ``refresh_interval`` ticks instead of every tick; between
+    refreshes the most recent recovery of the affected series is extrapolated
+    by carrying the column's recovered values forward.
+
+    Parameters
+    ----------
+    imputer:
+        The wrapped offline matrix imputer.
+    series_names:
+        Stream names; defines the column order of the buffered matrix.
+    window_length:
+        Maximum number of buffered ticks (the ``L`` of the paper's
+        comparison, which gives every method the same amount of data).
+    refresh_interval:
+        Run the matrix recovery at most once every this many ticks while a
+        block of values is missing (1 = every tick, the most faithful but
+        slowest option).
+    """
+
+    def __init__(
+        self,
+        imputer: OfflineImputer,
+        series_names: Sequence[str],
+        window_length: int,
+        refresh_interval: int = 1,
+    ) -> None:
+        if window_length < 2:
+            raise ConfigurationError(f"window_length must be >= 2, got {window_length}")
+        if refresh_interval < 1:
+            raise ConfigurationError(
+                f"refresh_interval must be >= 1, got {refresh_interval}"
+            )
+        self.imputer = imputer
+        self.series_names = list(series_names)
+        self.window_length = int(window_length)
+        self.refresh_interval = int(refresh_interval)
+        self._rows: List[np.ndarray] = []
+        self._ticks_since_refresh = 0
+        self._last_recovery: Optional[np.ndarray] = None
+
+    def observe(self, values: Mapping[str, float]) -> Dict[str, float]:
+        row = np.array(
+            [float(values.get(name, np.nan)) for name in self.series_names], dtype=float
+        )
+        self._rows.append(row)
+        if len(self._rows) > self.window_length:
+            self._rows.pop(0)
+
+        missing = np.isnan(row)
+        if not missing.any():
+            self._ticks_since_refresh = 0
+            self._last_recovery = None
+            return {}
+
+        matrix = np.vstack(self._rows)
+        need_refresh = (
+            self._last_recovery is None
+            or self._ticks_since_refresh >= self.refresh_interval
+            or self._last_recovery.shape[1] != matrix.shape[1]
+        )
+        if need_refresh:
+            self._last_recovery = self.imputer.recover(matrix)
+            self._ticks_since_refresh = 0
+        self._ticks_since_refresh += 1
+
+        recovered_row = self._last_recovery[min(len(self._rows), len(self._last_recovery)) - 1]
+        results: Dict[str, float] = {}
+        for idx, name in enumerate(self.series_names):
+            if missing[idx]:
+                value = float(recovered_row[idx])
+                results[name] = value
+                # Write the estimate back so later recoveries see it as observed.
+                self._rows[-1][idx] = value
+        return results
+
+    def reset(self) -> None:
+        self._rows = []
+        self._ticks_since_refresh = 0
+        self._last_recovery = None

@@ -1,0 +1,200 @@
+"""Centroid Decomposition (CD) based block recovery.
+
+Reimplementation of the recovery approach of Khayati & Böhlen (REBOM, COMAD
+2012) and Khayati, Böhlen, Gamper (memory-efficient CD, ICDE 2014; SVD vs CD
+comparison, SSTD 2015), which the TKCM paper uses as its offline competitor:
+
+* The *centroid decomposition* factorises a matrix ``X`` (time points x
+  series) as ``X = L . R^T`` where each column of ``R`` is a unit "centroid"
+  direction obtained from a maximising sign vector ``z`` (``z`` in
+  ``{-1, +1}^T`` maximising ``||X^T z||``), and ``L = X R``.  The sign vector
+  is found with the iterative *scalable sign vector* (SSV) heuristic: flip
+  the sign whose flip increases the objective the most, until no improving
+  flip exists.
+* Missing values are initialised by linear interpolation, the matrix is
+  decomposed, the reconstruction is truncated to the leading directions, the
+  missing entries are replaced by the truncated reconstruction, and the
+  process repeats until the imputed entries converge.
+
+Like SVD, CD captures linear correlation between the incomplete series and
+its references; shifted (non-linearly correlated) series end up in the
+truncated directions, which is the weakness the TKCM paper exploits in its
+comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import OfflineImputer
+from .simple import interpolate_gaps
+
+__all__ = ["centroid_decomposition", "CentroidDecompositionImputer"]
+
+
+def _observed_column_stats(matrix_with_nan: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-column mean and std over the observed (non-NaN) entries.
+
+    Columns with no observed entry get mean 0, and constant or empty columns
+    get std 1 so the normalisation is always invertible.
+    """
+    with np.errstate(invalid="ignore"):
+        means = np.nanmean(matrix_with_nan, axis=0)
+        stds = np.nanstd(matrix_with_nan, axis=0)
+    means = np.where(np.isnan(means), 0.0, means)
+    stds = np.where(np.isnan(stds) | (stds < 1e-12), 1.0, stds)
+    return means, stds
+
+
+def _maximising_sign_vector(matrix: np.ndarray, max_iterations: int = 100) -> np.ndarray:
+    """Scalable-sign-vector heuristic: find z in {-1, 1}^T maximising ||X^T z||."""
+    num_rows = matrix.shape[0]
+    z = np.ones(num_rows)
+    if num_rows == 0:
+        return z
+    # v = X X^T z can be maintained incrementally, but the straightforward
+    # recomputation keeps the code close to the published pseudo-code and is
+    # fast enough for the window sizes used in the evaluation.
+    gram_times_z = matrix @ (matrix.T @ z)
+    for _ in range(max_iterations):
+        # Changing z_i from sign s to -s changes the objective by
+        # -4 * s * (v_i - z_i * ||x_i||^2); pick the most improving flip.
+        row_norms = np.sum(matrix ** 2, axis=1)
+        gains = -z * (gram_times_z - z * row_norms)
+        best = int(np.argmax(gains))
+        if gains[best] <= 1e-12:
+            break
+        z[best] = -z[best]
+        gram_times_z = matrix @ (matrix.T @ z)
+    return z
+
+
+def centroid_decomposition(
+    matrix: np.ndarray, rank: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decompose ``X ~= L R^T`` with the centroid method.
+
+    Parameters
+    ----------
+    matrix:
+        Input matrix of shape ``(T, n)`` without missing values.
+    rank:
+        Number of centroid directions to extract (default: ``n``).
+
+    Returns
+    -------
+    (L, R):
+        ``L`` of shape ``(T, rank)`` (loadings) and ``R`` of shape
+        ``(n, rank)`` (unit relevance/centroid vectors), such that
+        ``L @ R.T`` approximates ``matrix`` (exactly, when ``rank = n``).
+    """
+    x = np.asarray(matrix, dtype=float)
+    if x.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D matrix, got shape {x.shape}")
+    num_rows, num_cols = x.shape
+    if rank is None:
+        rank = num_cols
+    if not 1 <= rank <= num_cols:
+        raise ConfigurationError(f"rank must be in [1, {num_cols}], got {rank}")
+
+    residual = x.copy()
+    loadings = np.zeros((num_rows, rank))
+    relevance = np.zeros((num_cols, rank))
+    for component in range(rank):
+        z = _maximising_sign_vector(residual)
+        direction = residual.T @ z
+        norm = np.linalg.norm(direction)
+        if norm < 1e-12:
+            break
+        direction = direction / norm
+        load = residual @ direction
+        loadings[:, component] = load
+        relevance[:, component] = direction
+        residual = residual - np.outer(load, direction)
+    return loadings, relevance
+
+
+class CentroidDecompositionImputer(OfflineImputer):
+    """Iterative CD-based recovery of missing blocks.
+
+    Parameters
+    ----------
+    truncation:
+        Number of leading centroid directions kept when reconstructing the
+        missing entries.  ``None`` uses a third of the columns (at least one):
+        enough to capture the shared trends the references contribute while
+        leaving the corrupted column's idiosyncrasies in the truncated tail.
+    max_iterations:
+        Maximum number of decompose/reconstruct iterations.
+    tolerance:
+        Convergence threshold on the largest change of any imputed entry
+        between iterations.  The iteration also stops (and keeps the previous
+        estimate) as soon as the change grows from one iteration to the next,
+        which guards against the self-reinforcement that long missing blocks
+        can trigger when the incomplete column starts dominating the leading
+        centroid direction.
+    """
+
+    def __init__(
+        self,
+        truncation: Optional[int] = None,
+        max_iterations: int = 50,
+        tolerance: float = 1e-4,
+    ) -> None:
+        if max_iterations < 1:
+            raise ConfigurationError(f"max_iterations must be >= 1, got {max_iterations}")
+        if tolerance <= 0:
+            raise ConfigurationError(f"tolerance must be > 0, got {tolerance}")
+        self.truncation = truncation
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+
+    def recover(self, matrix: np.ndarray) -> np.ndarray:
+        x = np.asarray(matrix, dtype=float).copy()
+        if x.ndim != 2:
+            raise ConfigurationError(f"expected a 2-D matrix, got shape {x.shape}")
+        missing = np.isnan(x)
+        if not missing.any():
+            return x
+        num_cols = x.shape[1]
+        if self.truncation is not None:
+            rank = self.truncation
+        else:
+            rank = max(1, num_cols // 3)
+        rank = min(rank, num_cols)
+
+        # Initialise missing entries by per-column linear interpolation.
+        for col in range(num_cols):
+            if np.isnan(x[:, col]).any():
+                x[:, col] = interpolate_gaps(x[:, col])
+
+        # Work on per-column z-scores (statistics from the observed entries
+        # only), as the published CD recovery does: the decomposition then
+        # captures the co-movement of the series rather than their offsets.
+        means, stds = _observed_column_stats(np.asarray(matrix, dtype=float))
+        x = (x - means) / stds
+
+        previous_change = np.inf
+        for _ in range(self.max_iterations):
+            loadings, relevance = centroid_decomposition(x, rank=rank)
+            reconstruction = loadings @ relevance.T
+            previous = x[missing].copy()
+            x[missing] = reconstruction[missing]
+            change = float(np.max(np.abs(x[missing] - previous)))
+            if change < self.tolerance:
+                break
+            if change > previous_change:
+                # Diverging: keep the last improving estimate and stop.
+                x[missing] = previous
+                break
+            previous_change = change
+
+        recovered = x * stds + means
+        # Observed entries pass through bit-exactly (the normalisation round
+        # trip would otherwise introduce float noise on them).
+        original = np.asarray(matrix, dtype=float)
+        recovered[~missing] = original[~missing]
+        return recovered

@@ -1,0 +1,195 @@
+"""MUSCLES: online multivariate auto-regression with Recursive Least Squares.
+
+Reimplementation of the imputation method of Yi, Sidiropoulos, Johnson,
+Jagadish, Faloutsos, Biliris — "Online data mining for co-evolving time
+sequences" (ICDE 2000), as the paper's evaluation uses it (Sec. 2 and 7):
+
+* For an incomplete series ``s``, MUSCLES regresses ``s(t)`` on the *current*
+  values of the co-evolving series and on the last ``p`` values of all series
+  (including ``s`` itself).  The paper and the MUSCLES authors use a tracking
+  window of ``p = 6``.
+* The regression weights are estimated online with Recursive Least Squares
+  (RLS) with an exponential forgetting factor ``lambda``.  Following the
+  TKCM paper's experimental setup, ``lambda`` defaults to 1 (no forgetting),
+  which the authors found more accurate than the 0.96-0.98 recommended by
+  the MUSCLES authors.
+* While a value is missing the estimate is produced from the regression and
+  written back, so after ``p`` consecutive missing ticks the model relies
+  entirely on its own imputed values — the error-accumulation behaviour the
+  TKCM paper points out.
+
+One independent RLS model is maintained per target series.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import OnlineImputer
+
+__all__ = ["MusclesImputer", "RecursiveLeastSquares"]
+
+
+class RecursiveLeastSquares:
+    """Standard exponentially-weighted Recursive Least Squares estimator.
+
+    Maintains weights ``w`` and inverse covariance ``P`` such that
+    ``y_hat = w . x``.  ``update(x, y)`` folds in one observation with
+    forgetting factor ``lambda``.
+    """
+
+    def __init__(self, num_features: int, forgetting: float = 1.0, delta: float = 100.0) -> None:
+        if num_features < 1:
+            raise ConfigurationError(f"num_features must be >= 1, got {num_features}")
+        if not 0.0 < forgetting <= 1.0:
+            raise ConfigurationError(
+                f"forgetting factor must be in (0, 1], got {forgetting}"
+            )
+        self.num_features = int(num_features)
+        self.forgetting = float(forgetting)
+        self.weights = np.zeros(self.num_features)
+        self.covariance = np.eye(self.num_features) * float(delta)
+        self.num_updates = 0
+
+    def predict(self, features: np.ndarray) -> float:
+        """Return the current estimate ``w . x``."""
+        x = np.asarray(features, dtype=float)
+        return float(self.weights @ x)
+
+    def update(self, features: np.ndarray, target: float) -> float:
+        """Fold in one (features, target) observation; returns the a-priori error."""
+        x = np.asarray(features, dtype=float)
+        error = float(target - self.weights @ x)
+        px = self.covariance @ x
+        gain = px / (self.forgetting + x @ px)
+        self.weights = self.weights + gain * error
+        self.covariance = (self.covariance - np.outer(gain, px)) / self.forgetting
+        self.num_updates += 1
+        return error
+
+
+class MusclesImputer(OnlineImputer):
+    """Streaming MUSCLES imputer.
+
+    Parameters
+    ----------
+    series_names:
+        Names of the co-evolving streams.
+    targets:
+        Series for which a regression model is maintained (i.e. the series
+        that may need imputation).  Defaults to all series.
+    tracking_window:
+        ``p`` — number of lagged values of every series used as features
+        (paper and MUSCLES default: 6).
+    forgetting:
+        Exponential forgetting factor ``lambda`` of the RLS update (TKCM
+        paper setting: 1.0).
+    """
+
+    def __init__(
+        self,
+        series_names: Sequence[str],
+        targets: Optional[Sequence[str]] = None,
+        tracking_window: int = 6,
+        forgetting: float = 1.0,
+    ) -> None:
+        if tracking_window < 1:
+            raise ConfigurationError(
+                f"tracking_window must be >= 1, got {tracking_window}"
+            )
+        self.series_names = list(series_names)
+        if len(self.series_names) < 2:
+            raise ConfigurationError("MUSCLES needs at least two co-evolving series")
+        self.targets = list(targets) if targets is not None else list(self.series_names)
+        unknown = set(self.targets) - set(self.series_names)
+        if unknown:
+            raise ConfigurationError(f"unknown target series: {sorted(unknown)}")
+        self.tracking_window = int(tracking_window)
+        self.forgetting = float(forgetting)
+
+        self._num_series = len(self.series_names)
+        self._index = {name: i for i, name in enumerate(self.series_names)}
+        # Features per target: bias + current values of the other series
+        # + p lags of every series.
+        self._num_features = 1 + (self._num_series - 1) + self._num_series * self.tracking_window
+        self._models: Dict[str, RecursiveLeastSquares] = {
+            name: RecursiveLeastSquares(self._num_features, forgetting=forgetting)
+            for name in self.targets
+        }
+        self._lags: Deque[np.ndarray] = deque(maxlen=self.tracking_window)
+
+    def observe(self, values: Mapping[str, float]) -> Dict[str, float]:
+        row = np.array(
+            [float(values.get(name, np.nan)) for name in self.series_names], dtype=float
+        )
+        results: Dict[str, float] = {}
+
+        if len(self._lags) == self.tracking_window:
+            filled_row = self._impute_row(row, results)
+        else:
+            filled_row = self._bootstrap_row(row, results)
+
+        self._lags.append(filled_row)
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _bootstrap_row(self, row: np.ndarray, results: Dict[str, float]) -> np.ndarray:
+        """Before p lags exist, impute missing entries with the last seen value."""
+        filled = row.copy()
+        for idx, name in enumerate(self.series_names):
+            if np.isnan(row[idx]):
+                estimate = self._last_observed(idx)
+                results[name] = estimate
+                filled[idx] = estimate if not np.isnan(estimate) else 0.0
+        return filled
+
+    def _last_observed(self, column: int) -> float:
+        for past in reversed(self._lags):
+            if not np.isnan(past[column]):
+                return float(past[column])
+        return float("nan")
+
+    def _impute_row(self, row: np.ndarray, results: Dict[str, float]) -> np.ndarray:
+        filled = row.copy()
+        missing = np.isnan(row)
+
+        # First pass: estimate every missing entry from the model (using the
+        # last observation for other simultaneously-missing entries).
+        for idx in np.flatnonzero(missing):
+            name = self.series_names[idx]
+            if name in self._models:
+                features = self._features_for(idx, filled)
+                estimate = self._models[name].predict(features)
+            else:
+                estimate = self._last_observed(idx)
+            if np.isnan(estimate):
+                estimate = self._last_observed(idx)
+            results[name] = estimate
+            filled[idx] = estimate if not np.isnan(estimate) else 0.0
+
+        # Second pass: update every target's model with the (possibly imputed)
+        # value — this is exactly how errors accumulate over long gaps.
+        for name in self.targets:
+            idx = self._index[name]
+            features = self._features_for(idx, filled)
+            self._models[name].update(features, filled[idx])
+        return filled
+
+    def _features_for(self, target_index: int, current_row: np.ndarray) -> np.ndarray:
+        """Feature vector: bias, other series' current values, p lags of all series."""
+        others = np.delete(current_row, target_index)
+        lags = np.concatenate(list(self._lags)[::-1]) if self._lags else np.empty(0)
+        features = np.concatenate(([1.0], others, lags))
+        # Any NaN left in the features (e.g. never-observed series) is neutralised.
+        return np.where(np.isnan(features), 0.0, features)
+
+    def reset(self) -> None:
+        self._models = {
+            name: RecursiveLeastSquares(self._num_features, forgetting=self.forgetting)
+            for name in self.targets
+        }
+        self._lags = deque(maxlen=self.tracking_window)

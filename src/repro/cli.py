@@ -1,0 +1,242 @@
+"""Command-line interface for the TKCM reproduction.
+
+The CLI exposes the workflows a downstream user needs without writing Python:
+
+* ``tkcm-repro list-datasets`` — show the named evaluation datasets.
+* ``tkcm-repro generate <dataset> -o data.csv`` — write a generated dataset
+  to CSV (for inspection or for feeding other tools).
+* ``tkcm-repro impute -i data.csv -o recovered.csv --target <series>`` —
+  stream a CSV with missing values (empty cells / ``nan``) through TKCM and
+  write the recovered series.
+* ``tkcm-repro experiment <figure>`` — regenerate one of the paper's figures
+  (fig04 ... fig17 or an ablation) and print its tables.
+
+Every subcommand maps onto the public library API; the CLI adds only argument
+parsing and text output, so scripted users lose nothing by calling the
+library directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from . import __version__
+from .config import TKCMConfig
+from .core.tkcm import TKCMImputer
+from .datasets import dataset_from_csv, dataset_to_csv, get_dataset, list_datasets
+from .evaluation import experiments
+from .evaluation.report import format_series_comparison, format_table
+from .exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="tkcm-repro",
+        description="TKCM (EDBT 2017) reproduction: streaming imputation of "
+                    "missing values in time series.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list-datasets", help="list the named evaluation datasets"
+    )
+    list_parser.set_defaults(handler=_cmd_list_datasets)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a named dataset and write it to CSV"
+    )
+    generate.add_argument("dataset", help="dataset name (see list-datasets)")
+    generate.add_argument("-o", "--output", required=True, help="output CSV path")
+    generate.add_argument("--seed", type=int, default=2017, help="generator seed")
+    generate.set_defaults(handler=_cmd_generate)
+
+    impute = subparsers.add_parser(
+        "impute", help="impute missing values of one series in a CSV file with TKCM"
+    )
+    impute.add_argument("-i", "--input", required=True, help="input CSV (wide format)")
+    impute.add_argument("-o", "--output", required=True, help="output CSV with imputed values")
+    impute.add_argument("--target", required=True,
+                        help="name of the column whose missing values are imputed")
+    impute.add_argument("--references", nargs="*", default=None,
+                        help="candidate reference columns, best first "
+                             "(default: all other columns, ranked automatically)")
+    impute.add_argument("--window", type=int, default=2016,
+                        help="streaming window length L in samples (default 2016)")
+    impute.add_argument("--pattern-length", type=int, default=36,
+                        help="pattern length l in samples (default 36)")
+    impute.add_argument("--anchors", type=int, default=5, help="number of anchors k (default 5)")
+    impute.add_argument("--num-references", type=int, default=3,
+                        help="number of reference series d used per imputation (default 3)")
+    impute.add_argument("--sample-period", type=float, default=5.0,
+                        help="sample period in minutes, used only for reporting")
+    impute.set_defaults(handler=_cmd_impute)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's figures"
+    )
+    experiment.add_argument("figure", choices=sorted(_EXPERIMENTS),
+                            help="which figure / ablation to run")
+    experiment.add_argument("--seed", type=int, default=2017, help="experiment seed")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand handlers
+# --------------------------------------------------------------------------- #
+def _cmd_list_datasets(args: argparse.Namespace) -> int:
+    rows = [{"name": name} for name in list_datasets()]
+    print(format_table(rows, title="available datasets"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = get_dataset(args.dataset, seed=args.seed)
+    path = dataset_to_csv(dataset, args.output)
+    print(f"wrote {dataset.num_series} series x {dataset.length} samples to {path}")
+    return 0
+
+
+def _cmd_impute(args: argparse.Namespace) -> int:
+    dataset = dataset_from_csv(args.input, sample_period_minutes=args.sample_period)
+    if args.target not in dataset.names:
+        raise ReproError(
+            f"target column {args.target!r} not found; available: {', '.join(dataset.names)}"
+        )
+    references = args.references if args.references else None
+
+    config = TKCMConfig(
+        window_length=args.window,
+        pattern_length=args.pattern_length,
+        num_anchors=args.anchors,
+        num_references=args.num_references,
+    )
+    rankings = {args.target: references} if references else None
+    imputer = TKCMImputer(config, series_names=dataset.names, reference_rankings=rankings)
+
+    stream = dataset.to_stream()
+    recovered = dataset.values(args.target)
+    imputed_count = 0
+    fallback_count = 0
+    for record in stream:
+        results = imputer.observe(record.values)
+        if args.target in results:
+            result = results[args.target]
+            recovered[record.index] = result.value
+            imputed_count += 1
+            if result.method == "fallback":
+                fallback_count += 1
+
+    output = dataset.with_series_values(args.target, recovered)
+    dataset_to_csv(output, args.output)
+    print(f"imputed {imputed_count} missing values of {args.target!r} "
+          f"({fallback_count} via fallback), wrote {args.output}")
+    return 0
+
+
+def _run_fig15(seed: int) -> None:
+    for name in ("sbr", "sbr-1d", "flights", "chlorine"):
+        outcome = experiments.fig15_recovery_comparison(name, seed=seed)
+        print(format_series_comparison(outcome["truth"], outcome["recoveries"],
+                                       title=f"{name}: true vs recovered block"))
+        print(format_table([{"method": m, "rmse": v} for m, v in outcome["rmse"].items()]))
+        print()
+
+
+def _run_fig16(seed: int) -> None:
+    results = experiments.fig16_rmse_comparison(seed=seed)
+    rows = []
+    for dataset_name, per_method in results.items():
+        row: Dict[str, object] = {"dataset": dataset_name}
+        row.update(per_method)
+        rows.append(row)
+    print(format_table(rows, title="Fig. 16 — RMSE per method per dataset"))
+
+
+def _run_sweep_family(result_map: Dict[str, object], title: str) -> None:
+    for key, sweep in result_map.items():
+        if hasattr(sweep, "as_rows"):
+            print(format_table(sweep.as_rows(), title=f"{title} — {key}"))
+        elif isinstance(sweep, dict):
+            for inner_key, inner in sweep.items():
+                print(format_table(inner.as_rows(), title=f"{title} — {key} ({inner_key})"))
+        print()
+
+
+_EXPERIMENTS: Dict[str, Callable[[int], None]] = {
+    "fig04": lambda seed: print(format_table([
+        {"pair": label, "pearson": report.pearson, "best_lag": report.best_lag,
+         "ambiguity": report.ambiguity}
+        for label, report in experiments.fig04_05_correlation().items()
+    ], title="Fig. 4/5 — correlation of the sine pairs")),
+    "fig06": lambda seed: print(format_table([
+        {"figure": label, "pattern": length, "zero_matches": info["num_zero_dissimilarity"]}
+        for label, per_length in experiments.fig06_07_profiles().items()
+        for length, info in per_length.items()
+    ], title="Fig. 6/7 — zero-dissimilarity anchors")),
+    "fig10": lambda seed: _run_sweep_family(
+        experiments.fig10_calibration(seed=seed), "Fig. 10 — calibration"),
+    "fig11": lambda seed: _run_sweep_family(
+        experiments.fig11_pattern_length(seed=seed), "Fig. 11 — pattern length"),
+    "fig12": lambda seed: print(format_series_comparison(
+        experiments.fig12_recovery_curves(seed=seed)["truth"],
+        experiments.fig12_recovery_curves(seed=seed)["recoveries"],
+        title="Fig. 12 — recovery with short vs long patterns")),
+    "fig13": lambda seed: print(format_table([
+        {"l": l, "average_epsilon": eps}
+        for l, eps in experiments.fig13_epsilon(seed=seed)["average_epsilon"].items()
+    ], title="Fig. 13b — average epsilon vs pattern length")),
+    "fig14": lambda seed: _run_sweep_family(
+        experiments.fig14_block_length(seed=seed), "Fig. 14 — block length"),
+    "fig15": _run_fig15,
+    "fig16": _run_fig16,
+    "fig17": lambda seed: _run_sweep_family(
+        experiments.fig17_runtime(seed=seed), "Fig. 17 — runtime"),
+    "ablation-selection": lambda seed: print(format_table([
+        {"strategy": k, **v}
+        for k, v in experiments.ablation_selection_strategy(seed=seed).items()
+    ], title="Ablation — DP vs greedy")),
+    "ablation-overlap": lambda seed: print(format_table([
+        {"selection": k, **v}
+        for k, v in experiments.ablation_overlap(seed=seed).items()
+    ], title="Ablation — overlap")),
+    "ablation-dissimilarity": lambda seed: print(format_table([
+        {"metric": k, "rmse": v}
+        for k, v in experiments.ablation_dissimilarity(seed=seed).items()
+    ], title="Ablation — dissimilarity")),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    _EXPERIMENTS[args.figure](args.seed)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

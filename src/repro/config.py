@@ -1,0 +1,178 @@
+"""Configuration objects for TKCM and the evaluation harness.
+
+The paper (Sec. 7.2) calibrates TKCM to the defaults ``d = 3`` reference time
+series, ``k = 5`` anchor points, pattern length ``l = 72`` and a streaming
+window of one year of 5-minute samples (``L = 105120``).  :class:`TKCMConfig`
+captures those parameters, validates their mutual constraints (Def. 3 requires
+the window to be long enough to hold the query pattern plus ``k``
+non-overlapping candidate patterns), and is consumed by
+:class:`repro.core.tkcm.TKCMImputer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .exceptions import ConfigurationError
+
+#: Number of 5-minute samples in one day (the SBR sample rate).
+SAMPLES_PER_DAY_5MIN = 288
+
+#: Number of 5-minute samples in one year, the paper's default window length L.
+SAMPLES_PER_YEAR_5MIN = 365 * SAMPLES_PER_DAY_5MIN
+
+#: Paper defaults (Sec. 7.2).
+DEFAULT_D = 3
+DEFAULT_K = 5
+DEFAULT_L = 72
+
+
+@dataclass(frozen=True)
+class TKCMConfig:
+    """Parameters of the Top-k Case Matching imputer.
+
+    Attributes
+    ----------
+    window_length:
+        ``L`` — number of time points kept in the streaming window.
+    pattern_length:
+        ``l`` — number of consecutive measurements per reference series in a
+        pattern (Def. 1).  ``l > 1`` is what lets TKCM handle phase-shifted
+        series (Sec. 5.2).
+    num_anchors:
+        ``k`` — number of most similar non-overlapping patterns whose anchor
+        values are averaged into the imputed value (Def. 3, 4).
+    num_references:
+        ``d`` — number of reference time series used to build patterns.
+    dissimilarity:
+        Name of the pattern dissimilarity function, one of ``"l2"`` (paper's
+        Def. 2), ``"l1"`` or ``"dtw"`` (future-work variants, Sec. 8).
+    allow_overlap:
+        If ``True`` the non-overlap constraint of Def. 3 is dropped.  Only
+        intended for the ablation study; the paper argues overlaps produce
+        near-duplicate anchors.
+    selection:
+        Anchor selection strategy: ``"dp"`` (the paper's dynamic program,
+        Eq. 5) or ``"greedy"`` (the strawman the paper rejects).
+    """
+
+    window_length: int = SAMPLES_PER_YEAR_5MIN
+    pattern_length: int = DEFAULT_L
+    num_anchors: int = DEFAULT_K
+    num_references: int = DEFAULT_D
+    dissimilarity: str = "l2"
+    allow_overlap: bool = False
+    selection: str = "dp"
+
+    _VALID_DISSIMILARITIES = ("l2", "l1", "dtw")
+    _VALID_SELECTIONS = ("dp", "greedy")
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` if the parameters are inconsistent."""
+        if self.pattern_length < 1:
+            raise ConfigurationError(
+                f"pattern_length must be >= 1, got {self.pattern_length}"
+            )
+        if self.num_anchors < 1:
+            raise ConfigurationError(
+                f"num_anchors must be >= 1, got {self.num_anchors}"
+            )
+        if self.num_references < 1:
+            raise ConfigurationError(
+                f"num_references must be >= 1, got {self.num_references}"
+            )
+        if self.window_length < self.min_window_length(
+            self.pattern_length, self.num_anchors
+        ):
+            raise ConfigurationError(
+                "window_length is too small: L must be at least "
+                f"{self.min_window_length(self.pattern_length, self.num_anchors)} "
+                f"to hold the query pattern and {self.num_anchors} non-overlapping "
+                f"candidate patterns of length {self.pattern_length}, got "
+                f"{self.window_length}"
+            )
+        if self.dissimilarity not in self._VALID_DISSIMILARITIES:
+            raise ConfigurationError(
+                f"unknown dissimilarity {self.dissimilarity!r}; expected one of "
+                f"{self._VALID_DISSIMILARITIES}"
+            )
+        if self.selection not in self._VALID_SELECTIONS:
+            raise ConfigurationError(
+                f"unknown selection strategy {self.selection!r}; expected one of "
+                f"{self._VALID_SELECTIONS}"
+            )
+
+    @staticmethod
+    def min_window_length(pattern_length: int, num_anchors: int) -> int:
+        """Smallest window that can hold the query pattern plus ``k`` candidates.
+
+        Def. 3 requires every selected anchor ``t`` to satisfy
+        ``t_{n-L+l} <= t <= t_{n-l}`` and the ``k`` selected patterns to be
+        pairwise at least ``l`` apart.  The tightest packing therefore needs
+        ``l`` points for the query pattern plus ``k * l`` points for the
+        candidates, i.e. ``L >= (k + 1) * l``.
+        """
+        return (num_anchors + 1) * pattern_length
+
+    @property
+    def num_candidate_anchors(self) -> int:
+        """Number of candidate anchor positions in a full window (``L - 2l + 1``)."""
+        return self.window_length - 2 * self.pattern_length + 1
+
+    def with_updates(self, **kwargs) -> "TKCMConfig":
+        """Return a copy of the configuration with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Configuration of a streaming run.
+
+    Attributes
+    ----------
+    sample_period_minutes:
+        Spacing between consecutive time points, used only for reporting and
+        for converting "1 week of missing values" style scenario descriptions
+        into numbers of samples.
+    warmup_length:
+        Number of initial ticks during which imputers observe data but are not
+        evaluated.  Online models (SPIRIT, MUSCLES) need a warm-up to converge.
+    """
+
+    sample_period_minutes: float = 5.0
+    warmup_length: int = 0
+
+    def samples_per_day(self) -> int:
+        """Number of samples in 24 hours at this sample period."""
+        return int(round(24 * 60 / self.sample_period_minutes))
+
+    def samples_per_week(self) -> int:
+        """Number of samples in 7 days at this sample period."""
+        return 7 * self.samples_per_day()
+
+
+@dataclass
+class ExperimentConfig:
+    """Bundle of knobs shared by the evaluation harness.
+
+    The harness (``repro.evaluation``) uses one :class:`ExperimentConfig` per
+    experiment to keep random seeds, dataset sizes, and the TKCM/stream
+    configuration together so that experiments are reproducible.
+    """
+
+    tkcm: TKCMConfig = field(default_factory=TKCMConfig)
+    stream: StreamConfig = field(default_factory=StreamConfig)
+    seed: int = 2017
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in harness output headers."""
+        name = self.label or "experiment"
+        return (
+            f"{name}: L={self.tkcm.window_length} l={self.tkcm.pattern_length} "
+            f"k={self.tkcm.num_anchors} d={self.tkcm.num_references} seed={self.seed}"
+        )

@@ -1,0 +1,57 @@
+"""Core of the reproduction: the Top-k Case Matching (TKCM) imputer.
+
+This subpackage implements the paper's primary contribution:
+
+* :class:`~repro.core.ring_buffer.RingBuffer` — O(1) per-tick window updates
+  (Sec. 6.2, Lemma 6.1).
+* :class:`~repro.core.pattern.Pattern` and
+  :func:`~repro.core.pattern.extract_query_pattern` — two-dimensional patterns
+  over reference series (Def. 1).
+* :mod:`~repro.core.dissimilarity` — pattern dissimilarity functions
+  (Def. 2 plus the L1 / DTW variants listed as future work).
+* :mod:`~repro.core.anchor_selection` — the dynamic program that picks the
+  ``k`` most similar non-overlapping patterns (Def. 3, Eq. 5, Alg. 1), plus a
+  greedy strawman for ablations.
+* :class:`~repro.core.tkcm.TKCMImputer` — the streaming imputer tying it all
+  together (Sec. 4 and 6).
+* :mod:`~repro.core.consistency` — pattern-determining checks and the epsilon
+  statistic (Def. 5, 6).
+"""
+
+from .ring_buffer import RingBuffer
+from .pattern import Pattern, extract_pattern, extract_query_pattern
+from .dissimilarity import (
+    pattern_dissimilarity,
+    candidate_dissimilarities,
+    get_dissimilarity,
+)
+from .anchor_selection import (
+    AnchorSelection,
+    select_anchors_dp,
+    select_anchors_greedy,
+    select_anchors,
+)
+from .reference import ReferenceRanking, select_reference_series
+from .consistency import epsilon_of_anchors, is_pattern_determining, is_consistent
+from .tkcm import TKCMImputer, ImputationResult
+
+__all__ = [
+    "RingBuffer",
+    "Pattern",
+    "extract_pattern",
+    "extract_query_pattern",
+    "pattern_dissimilarity",
+    "candidate_dissimilarities",
+    "get_dissimilarity",
+    "AnchorSelection",
+    "select_anchors_dp",
+    "select_anchors_greedy",
+    "select_anchors",
+    "ReferenceRanking",
+    "select_reference_series",
+    "epsilon_of_anchors",
+    "is_pattern_determining",
+    "is_consistent",
+    "TKCMImputer",
+    "ImputationResult",
+]

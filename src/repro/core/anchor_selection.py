@@ -1,0 +1,216 @@
+"""Selection of the k most similar non-overlapping anchor points.
+
+Given the dissimilarity ``D[j]`` of every candidate pattern to the query
+pattern, TKCM must pick ``k`` candidates that (a) are pairwise non-overlapping
+(at least ``l`` time points apart) and (b) minimise the *sum* of
+dissimilarities (Def. 3).  A greedy pick of the ``k`` individually most
+similar non-overlapping patterns does not minimise the sum, which is why the
+paper proposes a dynamic program (Eq. 5, Algorithm 1):
+
+``M[i, j]`` is the minimal dissimilarity sum achievable by choosing ``i``
+non-overlapping patterns from among the first ``j`` candidates; it is either
+``M[i, j-1]`` (skip candidate ``j``) or ``D[j] + M[i-1, j-l]`` (take it and
+leave room for ``i-1`` patterns that end at least ``l`` positions earlier).
+
+Both the DP and the greedy strawman are implemented so the ablation benchmark
+can quantify the difference.  Candidate indexing follows
+:func:`repro.core.pattern.candidate_anchor_indices`: candidate ``j`` (0-based)
+is anchored at window index ``l - 1 + j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, InsufficientDataError
+
+__all__ = [
+    "AnchorSelection",
+    "select_anchors_dp",
+    "select_anchors_greedy",
+    "select_anchors",
+]
+
+
+@dataclass(frozen=True)
+class AnchorSelection:
+    """Result of an anchor-selection run.
+
+    Attributes
+    ----------
+    candidate_indices:
+        0-based indices (into the ``D`` vector) of the selected candidates,
+        in increasing order.
+    anchor_indices:
+        Corresponding window indices of the anchors
+        (``l - 1 + candidate_index``), in increasing order.
+    dissimilarities:
+        ``D`` values of the selected candidates, aligned with
+        ``candidate_indices``.
+    total_dissimilarity:
+        Sum of the selected dissimilarities (the objective of Def. 3).
+    """
+
+    candidate_indices: tuple
+    anchor_indices: tuple
+    dissimilarities: tuple
+    total_dissimilarity: float
+
+    @property
+    def k(self) -> int:
+        """Number of selected anchors."""
+        return len(self.candidate_indices)
+
+
+def _validate_inputs(dissimilarities: np.ndarray, k: int, pattern_length: int) -> np.ndarray:
+    d = np.asarray(dissimilarities, dtype=float).ravel()
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if pattern_length < 1:
+        raise ConfigurationError(f"pattern_length must be >= 1, got {pattern_length}")
+    # The densest packing of i non-overlapping candidates among the first j
+    # spans (i - 1) * l + 1 candidate slots, hence feasibility requires
+    # len(d) >= (k - 1) * l + 1.
+    if len(d) < (k - 1) * pattern_length + 1:
+        raise InsufficientDataError(
+            f"cannot select {k} non-overlapping patterns of length {pattern_length} "
+            f"from {len(d)} candidates"
+        )
+    return d
+
+
+def select_anchors_dp(
+    dissimilarities: Sequence[float], k: int, pattern_length: int
+) -> AnchorSelection:
+    """Paper's dynamic program (Eq. 5 / Algorithm 1).
+
+    Parameters
+    ----------
+    dissimilarities:
+        Vector ``D`` of candidate dissimilarities, ``D[j]`` for the candidate
+        anchored at window index ``l - 1 + j``.
+    k:
+        Number of anchors to select.
+    pattern_length:
+        Pattern length ``l``; two selected candidates must differ by at least
+        ``l`` in candidate index to be non-overlapping.
+
+    Returns
+    -------
+    AnchorSelection
+        The ``k`` candidates minimising the dissimilarity sum.
+    """
+    d = _validate_inputs(dissimilarities, k, pattern_length)
+    l = int(pattern_length)
+    num_candidates = len(d)
+
+    # M[i][j]: minimal sum choosing i candidates among the first j (1-based j).
+    # Column j = 0 means "no candidates available".  The row-wise recurrence
+    # M[i, j] = min(M[i, j-1], D[j] + M[i-1, max(j-l, 0)]) is a running
+    # minimum over j, so each row is one vectorised cumulative-minimum pass.
+    m = np.full((k + 1, num_candidates + 1), np.inf)
+    m[0, :] = 0.0
+    for i in range(1, k + 1):
+        # Cost of taking candidate j (1-based): D[j] plus the best solution
+        # for i-1 candidates among the first max(j-l, 0).
+        predecessors = np.maximum(np.arange(1, num_candidates + 1) - l, 0)
+        take_cost = d + m[i - 1, predecessors]
+        m[i, 1:] = np.minimum.accumulate(take_cost)
+
+    total = m[k, num_candidates]
+    if not np.isfinite(total):
+        raise InsufficientDataError(
+            f"no feasible selection of {k} non-overlapping patterns exists"
+        )
+
+    # Backtrack from M[k, num_candidates], as in Algorithm 1: if the value
+    # equals the cell to the left the candidate was skipped, otherwise taken.
+    selected: List[int] = []
+    i, j = k, num_candidates
+    while i > 0:
+        if j > 1 and m[i, j] == m[i, j - 1]:
+            j -= 1
+        else:
+            selected.append(j - 1)
+            i -= 1
+            j = max(j - l, 0)
+    selected.reverse()
+
+    return _build_selection(selected, d, l)
+
+
+def select_anchors_greedy(
+    dissimilarities: Sequence[float], k: int, pattern_length: int
+) -> AnchorSelection:
+    """Greedy strawman: repeatedly take the most similar non-conflicting candidate.
+
+    The paper points out that this does not minimise the dissimilarity sum; it
+    is provided for the ablation benchmark and as a cheap fallback.
+    """
+    d = _validate_inputs(dissimilarities, k, pattern_length)
+    l = int(pattern_length)
+    order = np.argsort(d, kind="stable")
+    selected: List[int] = []
+    for j in order:
+        if all(abs(int(j) - chosen) >= l for chosen in selected):
+            selected.append(int(j))
+            if len(selected) == k:
+                break
+    if len(selected) < k:
+        raise InsufficientDataError(
+            f"greedy selection found only {len(selected)} of {k} requested "
+            "non-overlapping patterns"
+        )
+    selected.sort()
+    return _build_selection(selected, d, l)
+
+
+def select_anchors_overlapping(
+    dissimilarities: Sequence[float], k: int, pattern_length: int
+) -> AnchorSelection:
+    """Pick the k most similar candidates ignoring the non-overlap constraint.
+
+    Only used by the ablation benchmark that reproduces the paper's argument
+    for *why* non-overlapping patterns are required (Sec. 4.1): with overlaps
+    allowed the selection collapses onto near-duplicate neighbouring anchors.
+    ``pattern_length`` is still needed to map candidate indices to window
+    anchor indices.
+    """
+    d = np.asarray(dissimilarities, dtype=float).ravel()
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if len(d) < k:
+        raise InsufficientDataError(f"cannot select {k} patterns from {len(d)} candidates")
+    selected = sorted(int(j) for j in np.argsort(d, kind="stable")[:k])
+    return _build_selection(selected, d, pattern_length)
+
+
+def select_anchors(
+    dissimilarities: Sequence[float],
+    k: int,
+    pattern_length: int,
+    strategy: str = "dp",
+    allow_overlap: bool = False,
+) -> AnchorSelection:
+    """Dispatch to the configured anchor-selection strategy."""
+    if allow_overlap:
+        return select_anchors_overlapping(dissimilarities, k, pattern_length)
+    if strategy == "dp":
+        return select_anchors_dp(dissimilarities, k, pattern_length)
+    if strategy == "greedy":
+        return select_anchors_greedy(dissimilarities, k, pattern_length)
+    raise ConfigurationError(f"unknown anchor selection strategy {strategy!r}")
+
+
+def _build_selection(selected: List[int], d: np.ndarray, pattern_length: int) -> AnchorSelection:
+    anchors = tuple(pattern_length - 1 + j for j in selected)
+    dissim = tuple(float(d[j]) for j in selected)
+    return AnchorSelection(
+        candidate_indices=tuple(selected),
+        anchor_indices=anchors,
+        dissimilarities=dissim,
+        total_dissimilarity=float(sum(dissim)),
+    )

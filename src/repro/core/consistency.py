@@ -1,0 +1,67 @@
+"""Pattern-determining time series and consistent imputation (paper Sec. 5.3).
+
+The paper's correctness notion: at time ``t_n`` the reference series
+*pattern-determine* the incomplete series ``s`` if the values of ``s`` at the
+``k`` most similar anchor points all lie within a small ``epsilon`` of each
+other (Def. 5).  If that holds and the missing value is imputed as the anchor
+mean (Def. 4), the imputed series is *consistent*: its new value is within
+``epsilon`` of every anchor value (Def. 6, Lemma 5.2).
+
+These helpers compute the epsilon statistic of an anchor set, test the
+pattern-determining property for a tolerance, and verify consistency of an
+imputed value.  ``epsilon`` is also the quantity plotted in the paper's
+Fig. 13b (average epsilon vs pattern length).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InsufficientDataError
+
+__all__ = [
+    "epsilon_of_anchors",
+    "is_pattern_determining",
+    "is_consistent",
+]
+
+
+def epsilon_of_anchors(anchor_values: Sequence[float]) -> float:
+    """Spread ``epsilon = max_{t, t'} |s(t) - s(t')|`` of the anchor values.
+
+    This is the smallest tolerance for which the reference series
+    pattern-determine ``s`` given this particular anchor set (Def. 5); the
+    paper reports its average over many imputations in Fig. 13b.
+    """
+    values = np.asarray(list(anchor_values), dtype=float)
+    values = values[~np.isnan(values)]
+    if len(values) == 0:
+        raise InsufficientDataError("cannot compute epsilon of an empty anchor set")
+    return float(np.max(values) - np.min(values))
+
+
+def is_pattern_determining(anchor_values: Sequence[float], tolerance: float) -> bool:
+    """``True`` if all anchor values of ``s`` are within ``tolerance`` of each other (Def. 5)."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    return epsilon_of_anchors(anchor_values) <= tolerance
+
+
+def is_consistent(
+    imputed_value: float, anchor_values: Sequence[float], tolerance: float
+) -> bool:
+    """``True`` if the imputed value is within ``tolerance`` of every anchor value (Def. 6).
+
+    Lemma 5.2: when the anchors pattern-determine ``s`` with tolerance
+    ``epsilon`` and the imputed value is their mean, consistency holds with the
+    same ``epsilon``.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    values = np.asarray(list(anchor_values), dtype=float)
+    values = values[~np.isnan(values)]
+    if len(values) == 0:
+        raise InsufficientDataError("cannot check consistency against an empty anchor set")
+    return bool(np.all(np.abs(values - imputed_value) <= tolerance + 1e-12))

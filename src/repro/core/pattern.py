@@ -1,0 +1,141 @@
+"""Patterns over reference time series (paper Def. 1).
+
+A *pattern* ``P(t_i)`` of length ``l`` over ``d`` reference time series is the
+``d x l`` matrix of the reference series' values at times
+``t_{i-l+1}, ..., t_i``; ``t_i`` is the pattern's *anchor* time point.  The
+pattern anchored at the current time ``t_n`` is the *query pattern*.
+
+This module provides a small value class :class:`Pattern` plus extraction
+helpers operating on window matrices (shape ``(d, L)``, chronological order).
+Window-index coordinates are used throughout the core: index ``L - 1`` is the
+current time ``t_n``, index ``0`` the oldest retained time point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InsufficientDataError
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A pattern ``P(t_i)`` anchored at window index ``anchor_index``.
+
+    Attributes
+    ----------
+    values:
+        The ``d x l`` matrix of reference-series values; row ``i`` is the
+        ``i``-th reference series, column ``j`` the value at time
+        ``t_{anchor - l + 1 + j}``.
+    anchor_index:
+        Window index of the anchor time point (the last column).
+    """
+
+    values: np.ndarray
+    anchor_index: int
+
+    def __post_init__(self) -> None:
+        matrix = np.atleast_2d(np.asarray(self.values, dtype=float))
+        object.__setattr__(self, "values", matrix)
+
+    @property
+    def num_references(self) -> int:
+        """Number of reference time series ``d`` (rows)."""
+        return self.values.shape[0]
+
+    @property
+    def length(self) -> int:
+        """Pattern length ``l`` (columns)."""
+        return self.values.shape[1]
+
+    @property
+    def start_index(self) -> int:
+        """Window index of the first column (``anchor_index - l + 1``)."""
+        return self.anchor_index - self.length + 1
+
+    def overlaps(self, other: "Pattern") -> bool:
+        """``True`` if the two patterns share at least one time point."""
+        return not (
+            self.anchor_index < other.start_index
+            or other.anchor_index < self.start_index
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self.anchor_index == other.anchor_index and np.array_equal(
+            self.values, other.values, equal_nan=True
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.anchor_index, self.values.shape))
+
+
+def extract_pattern(
+    reference_windows: np.ndarray, anchor_index: int, pattern_length: int
+) -> Pattern:
+    """Extract the pattern anchored at ``anchor_index`` from the window matrix.
+
+    Parameters
+    ----------
+    reference_windows:
+        Array of shape ``(d, L)`` in chronological order.
+    anchor_index:
+        Window index of the anchor (last column of the pattern).
+    pattern_length:
+        Pattern length ``l``; the pattern spans indices
+        ``anchor_index - l + 1 .. anchor_index``.
+    """
+    windows = np.atleast_2d(np.asarray(reference_windows, dtype=float))
+    window_length = windows.shape[1]
+    l = int(pattern_length)
+    if l < 1:
+        raise ValueError(f"pattern_length must be >= 1, got {l}")
+    start = anchor_index - l + 1
+    if start < 0 or anchor_index >= window_length:
+        raise InsufficientDataError(
+            f"pattern anchored at index {anchor_index} with length {l} does not fit "
+            f"in a window of length {window_length}"
+        )
+    return Pattern(values=windows[:, start: anchor_index + 1].copy(), anchor_index=anchor_index)
+
+
+def extract_query_pattern(reference_windows: np.ndarray, pattern_length: int) -> Pattern:
+    """Extract the query pattern ``P(t_n)`` (anchored at the newest window index)."""
+    windows = np.atleast_2d(np.asarray(reference_windows, dtype=float))
+    return extract_pattern(windows, windows.shape[1] - 1, pattern_length)
+
+
+def candidate_anchor_indices(window_length: int, pattern_length: int) -> np.ndarray:
+    """Window indices that may anchor a candidate pattern (Def. 3, condition 1).
+
+    A candidate pattern must fit inside the window (anchor ``>= l - 1``) and
+    must not overlap the query pattern anchored at ``L - 1`` (anchor
+    ``<= L - 1 - l``).  The result has length ``L - 2l + 1``.
+    """
+    l = int(pattern_length)
+    first = l - 1
+    last = window_length - 1 - l
+    if last < first:
+        raise InsufficientDataError(
+            f"window of length {window_length} cannot hold any candidate pattern of "
+            f"length {l} in addition to the query pattern"
+        )
+    return np.arange(first, last + 1)
+
+
+def patterns_overlap(anchor_a: int, anchor_b: int, pattern_length: int) -> bool:
+    """``True`` if patterns anchored at the two indices overlap (Def. 3, condition 2)."""
+    return abs(anchor_a - anchor_b) < pattern_length
+
+
+def anchors_are_non_overlapping(anchors: Sequence[int], pattern_length: int) -> bool:
+    """Check that all anchors in ``anchors`` are pairwise at least ``l`` apart."""
+    ordered = sorted(int(a) for a in anchors)
+    return all(
+        ordered[i + 1] - ordered[i] >= pattern_length for i in range(len(ordered) - 1)
+    )

@@ -1,0 +1,194 @@
+"""Selection and ranking of candidate reference time series (paper Sec. 3).
+
+Every incomplete time series ``s`` has an *ordered sequence* of candidate
+reference time series.  In the paper this ranking comes from domain experts;
+for the library we also provide automatic rankings so that the system is
+usable without expert input (this is listed as future work in Sec. 8):
+
+* ``"expert"`` — use a caller-provided ordering verbatim.
+* ``"pearson"`` — rank by absolute Pearson correlation on the jointly
+  observed history (highest first).
+* ``"cross_correlation"`` — rank by the maximum absolute cross-correlation
+  over a limited lag range, which tolerates phase shifts.
+* ``"euclidean"`` — rank by (negated) z-normalised Euclidean distance.
+
+At imputation time the reference set ``R_s`` consists of the first ``d``
+candidates that have a value (possibly previously imputed) at the current
+time ``t_n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, MissingReferenceError
+
+__all__ = ["ReferenceRanking", "rank_candidates", "select_reference_series"]
+
+
+@dataclass(frozen=True)
+class ReferenceRanking:
+    """An ordered sequence of candidate reference series for one target series.
+
+    Attributes
+    ----------
+    target:
+        Name of the incomplete time series ``s``.
+    candidates:
+        Candidate reference series names, best first.
+    scores:
+        Optional per-candidate suitability scores aligned with
+        ``candidates`` (higher is better); ``None`` for expert rankings.
+    """
+
+    target: str
+    candidates: tuple
+    scores: Optional[tuple] = None
+
+    def top(self, count: int) -> List[str]:
+        """Return the ``count`` best candidate names."""
+        return list(self.candidates[:count])
+
+
+def _pairwise_valid(a: np.ndarray, b: np.ndarray) -> tuple:
+    mask = ~(np.isnan(a) | np.isnan(b))
+    return a[mask], b[mask]
+
+
+def _pearson_score(target: np.ndarray, candidate: np.ndarray) -> float:
+    x, y = _pairwise_valid(target, candidate)
+    if len(x) < 2:
+        return 0.0
+    sx, sy = np.std(x), np.std(y)
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(abs(np.corrcoef(x, y)[0, 1]))
+
+
+def _cross_correlation_score(
+    target: np.ndarray, candidate: np.ndarray, max_lag: int
+) -> float:
+    """Maximum absolute Pearson correlation over lags in [-max_lag, max_lag]."""
+    best = 0.0
+    n = len(target)
+    for lag in range(-max_lag, max_lag + 1):
+        if lag >= 0:
+            x, y = target[lag:], candidate[: n - lag]
+        else:
+            x, y = target[: n + lag], candidate[-lag:]
+        if len(x) < 2:
+            continue
+        score = _pearson_score(x, y)
+        best = max(best, score)
+    return best
+
+
+def _euclidean_score(target: np.ndarray, candidate: np.ndarray) -> float:
+    x, y = _pairwise_valid(target, candidate)
+    if len(x) == 0:
+        return 0.0
+    x = _znormalise(x)
+    y = _znormalise(y)
+    distance = float(np.sqrt(np.mean((x - y) ** 2)))
+    return -distance
+
+
+def _znormalise(values: np.ndarray) -> np.ndarray:
+    std = np.std(values)
+    if std == 0:
+        return values - np.mean(values)
+    return (values - np.mean(values)) / std
+
+
+def rank_candidates(
+    target_name: str,
+    history: Dict[str, np.ndarray],
+    method: str = "pearson",
+    max_lag: int = 288,
+) -> ReferenceRanking:
+    """Automatically rank all other series as reference candidates for ``target_name``.
+
+    Parameters
+    ----------
+    target_name:
+        Name of the incomplete series ``s``.
+    history:
+        Mapping from series name to its historical values (aligned arrays,
+        ``NaN`` for missing).  Must contain ``target_name``.
+    method:
+        ``"pearson"``, ``"cross_correlation"`` or ``"euclidean"``.
+    max_lag:
+        Lag range (in samples) explored by the cross-correlation method;
+        defaults to one day at a 5-minute sample rate.
+    """
+    if target_name not in history:
+        raise ConfigurationError(f"target series {target_name!r} not present in history")
+    target = np.asarray(history[target_name], dtype=float)
+
+    scorers = {
+        "pearson": lambda cand: _pearson_score(target, cand),
+        "cross_correlation": lambda cand: _cross_correlation_score(target, cand, max_lag),
+        "euclidean": lambda cand: _euclidean_score(target, cand),
+    }
+    if method not in scorers:
+        raise ConfigurationError(
+            f"unknown ranking method {method!r}; expected one of {sorted(scorers)}"
+        )
+    scorer = scorers[method]
+
+    names = [name for name in history if name != target_name]
+    scored = []
+    for name in names:
+        candidate = np.asarray(history[name], dtype=float)
+        if len(candidate) != len(target):
+            raise ConfigurationError(
+                f"candidate {name!r} has length {len(candidate)} but target has "
+                f"length {len(target)}"
+            )
+        scored.append((name, scorer(candidate)))
+    scored.sort(key=lambda item: item[1], reverse=True)
+
+    return ReferenceRanking(
+        target=target_name,
+        candidates=tuple(name for name, _ in scored),
+        scores=tuple(score for _, score in scored),
+    )
+
+
+def select_reference_series(
+    ranking: Sequence[str],
+    available_at_current_time: Dict[str, bool],
+    num_references: int,
+) -> List[str]:
+    """Pick the first ``d`` ranked candidates that have a value at ``t_n`` (Sec. 3).
+
+    Parameters
+    ----------
+    ranking:
+        Candidate reference series names, best first.
+    available_at_current_time:
+        Mapping from series name to whether its value at the current time is
+        present (not ``NIL``).  Candidates missing from the mapping are
+        treated as unavailable.
+    num_references:
+        ``d`` — how many reference series to select.
+
+    Raises
+    ------
+    MissingReferenceError
+        If fewer than ``d`` candidates are available at the current time.
+    """
+    selected = [
+        name
+        for name in ranking
+        if available_at_current_time.get(name, False)
+    ][:num_references]
+    if len(selected) < num_references:
+        raise MissingReferenceError(
+            f"only {len(selected)} of the required {num_references} reference series "
+            "have a value at the current time"
+        )
+    return selected

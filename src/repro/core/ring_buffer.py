@@ -1,0 +1,147 @@
+"""Fixed-capacity ring buffer backing the streaming window.
+
+The paper's implementation (Sec. 6.2) keeps one ring buffer of length ``L``
+per time series so that advancing the current time ``t_n`` costs O(1)
+(Lemma 6.1).  This module provides a NumPy-backed ring buffer with the same
+contract plus convenience accessors used by the pattern-extraction code:
+``view()`` materialises the window in chronological order (oldest first,
+newest last), and ``latest(m)`` returns the last ``m`` values.
+
+``NaN`` is used to represent missing (``NIL``) values, matching the rest of
+the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..exceptions import InsufficientDataError
+
+
+class RingBuffer:
+    """A fixed-capacity circular buffer of floats.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of values retained (the window length ``L``).
+    fill_value:
+        Value used for not-yet-written slots; defaults to ``NaN`` so an
+        unfilled buffer reads as "missing".
+    """
+
+    def __init__(self, capacity: int, fill_value: float = np.nan) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._data = np.full(self._capacity, fill_value, dtype=float)
+        self._offset = 0  # index of the most recently written element
+        self._size = 0  # number of values written so far, capped at capacity
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained values (window length ``L``)."""
+        return self._capacity
+
+    @property
+    def size(self) -> int:
+        """Number of values currently stored (``<= capacity``)."""
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        """``True`` once ``capacity`` values have been appended."""
+        return self._size == self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def append(self, value: float) -> None:
+        """Append ``value`` as the new most-recent element (O(1)).
+
+        Once the buffer is full the oldest element is overwritten.
+        """
+        if self._size == 0:
+            self._offset = 0
+        else:
+            self._offset = (self._offset + 1) % self._capacity
+        self._data[self._offset] = value
+        if self._size < self._capacity:
+            self._size += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Append each value of ``values`` in order."""
+        for value in values:
+            self.append(value)
+
+    def replace_latest(self, value: float) -> None:
+        """Overwrite the most recent element (used to store an imputed value)."""
+        if self._size == 0:
+            raise InsufficientDataError("cannot replace the latest value of an empty buffer")
+        self._data[self._offset] = value
+
+    def clear(self) -> None:
+        """Remove all values and reset the buffer to its initial state."""
+        self._data.fill(np.nan)
+        self._offset = 0
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def latest_value(self) -> float:
+        """Return the most recently appended value."""
+        if self._size == 0:
+            raise InsufficientDataError("ring buffer is empty")
+        return float(self._data[self._offset])
+
+    def value_at_age(self, age: int) -> float:
+        """Return the value ``age`` steps before the most recent one.
+
+        ``age = 0`` is the latest value, ``age = size - 1`` the oldest.
+        """
+        if age < 0 or age >= self._size:
+            raise IndexError(f"age {age} out of range for buffer of size {self._size}")
+        return float(self._data[(self._offset - age) % self._capacity])
+
+    def view(self) -> np.ndarray:
+        """Return the stored values in chronological order (oldest → newest).
+
+        The returned array is a copy of length :attr:`size`; mutating it does
+        not affect the buffer.
+        """
+        if self._size == 0:
+            return np.empty(0, dtype=float)
+        if self._size < self._capacity:
+            # Buffer not yet wrapped: slots 0 .. offset hold the data in order.
+            return self._data[: self._size].copy()
+        start = (self._offset + 1) % self._capacity
+        return np.concatenate((self._data[start:], self._data[: start]))
+
+    def latest(self, count: int) -> np.ndarray:
+        """Return the ``count`` most recent values in chronological order."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count > self._size:
+            raise InsufficientDataError(
+                f"requested {count} values but only {self._size} are stored"
+            )
+        window = self.view()
+        return window[len(window) - count:]
+
+    def __iter__(self):
+        return iter(self.view())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RingBuffer(capacity={self._capacity}, size={self._size}, "
+            f"latest={self._data[self._offset] if self._size else None})"
+        )

@@ -1,0 +1,42 @@
+"""Dataset substrate: generators standing in for the paper's four datasets.
+
+The paper evaluates on SBR (South Tyrol weather stations), SBR-1d (the same
+series, each shifted by up to one day), Flights (departures in the air per
+airport) and Chlorine (an EPANET drinking-water simulation).  None of those is
+redistributable or downloadable offline, so this subpackage provides
+generators that reproduce the statistical structure the algorithms exploit —
+seasonality, repeated patterns, cross-series correlation, and phase shifts —
+as documented in DESIGN.md.
+
+All generators return a :class:`~repro.datasets.base.Dataset`, which bundles
+aligned :class:`~repro.streams.series.TimeSeries` objects and convenience
+accessors for the streaming and evaluation layers.
+"""
+
+from .base import Dataset
+from .synthetic import (
+    generate_sine_family,
+    linearly_correlated_pair,
+    phase_shifted_pair,
+    sind,
+)
+from .meteo import generate_sbr, generate_sbr_shifted
+from .flights import generate_flights
+from .chlorine import generate_chlorine
+from .loaders import dataset_from_csv, dataset_to_csv, get_dataset, list_datasets
+
+__all__ = [
+    "Dataset",
+    "sind",
+    "generate_sine_family",
+    "linearly_correlated_pair",
+    "phase_shifted_pair",
+    "generate_sbr",
+    "generate_sbr_shifted",
+    "generate_flights",
+    "generate_chlorine",
+    "dataset_from_csv",
+    "dataset_to_csv",
+    "get_dataset",
+    "list_datasets",
+]

@@ -1,0 +1,141 @@
+"""Dataset container shared by all generators and loaders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..streams.series import TimeSeries
+from ..streams.stream import MultiSeriesStream
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A named collection of aligned time series.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``"sbr"``, ``"sbr-1d"``, ``"flights"``,
+        ``"chlorine"``, or a custom name).
+    series:
+        The member time series; all must have the same length and sample
+        period.
+    metadata:
+        Generator parameters and provenance notes.
+    """
+
+    name: str
+    series: List[TimeSeries]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise DatasetError(f"dataset {self.name!r} has no series")
+        lengths = {len(ts) for ts in self.series}
+        if len(lengths) != 1:
+            raise DatasetError(
+                f"dataset {self.name!r} has series of differing lengths: {sorted(lengths)}"
+            )
+        periods = {ts.sample_period_minutes for ts in self.series}
+        if len(periods) != 1:
+            raise DatasetError(
+                f"dataset {self.name!r} has series with differing sample periods: "
+                f"{sorted(periods)}"
+            )
+        names = [ts.name for ts in self.series]
+        if len(set(names)) != len(names):
+            raise DatasetError(f"dataset {self.name!r} has duplicate series names")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def names(self) -> List[str]:
+        """Names of the member series, in order."""
+        return [ts.name for ts in self.series]
+
+    @property
+    def length(self) -> int:
+        """Number of time points per series."""
+        return len(self.series[0])
+
+    @property
+    def num_series(self) -> int:
+        """Number of member series."""
+        return len(self.series)
+
+    @property
+    def sample_period_minutes(self) -> float:
+        """Sample period shared by all member series."""
+        return self.series[0].sample_period_minutes
+
+    def __len__(self) -> int:
+        return self.length
+
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> TimeSeries:
+        """Return the member series called ``name``."""
+        for ts in self.series:
+            if ts.name == name:
+                return ts
+        raise DatasetError(f"dataset {self.name!r} has no series {name!r}")
+
+    def values(self, name: str) -> np.ndarray:
+        """Values of the member series ``name`` (a copy)."""
+        return self.get(name).values.copy()
+
+    def matrix(self, names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Stack the selected series as a ``(length, num_selected)`` matrix."""
+        selected = list(names) if names is not None else self.names
+        return np.column_stack([self.get(name).values for name in selected])
+
+    def as_dict(self) -> Dict[str, np.ndarray]:
+        """``{name: values}`` mapping (copies)."""
+        return {ts.name: ts.values.copy() for ts in self.series}
+
+    def head(self, count: int) -> Dict[str, np.ndarray]:
+        """The first ``count`` values of every series (for priming imputers)."""
+        if not 0 <= count <= self.length:
+            raise DatasetError(f"count {count} out of range [0, {self.length}]")
+        return {ts.name: ts.values[:count].copy() for ts in self.series}
+
+    def row(self, index: int) -> Dict[str, float]:
+        """The values of all series at tick ``index``."""
+        if not 0 <= index < self.length:
+            raise DatasetError(f"index {index} out of range [0, {self.length})")
+        return {ts.name: float(ts.values[index]) for ts in self.series}
+
+    # ------------------------------------------------------------------ #
+    def to_stream(self) -> MultiSeriesStream:
+        """Replay the dataset as a :class:`MultiSeriesStream`."""
+        return MultiSeriesStream(self.series)
+
+    def with_series_values(self, name: str, values: np.ndarray) -> "Dataset":
+        """Return a copy of the dataset with one series' values replaced."""
+        replaced = [
+            ts.with_values(values) if ts.name == name else ts for ts in self.series
+        ]
+        if name not in self.names:
+            raise DatasetError(f"dataset {self.name!r} has no series {name!r}")
+        return Dataset(name=self.name, series=replaced, metadata=dict(self.metadata))
+
+    def subset(self, names: Iterable[str]) -> "Dataset":
+        """Return a copy containing only the selected series, in the given order."""
+        selected = [self.get(name) for name in names]
+        return Dataset(name=self.name, series=selected, metadata=dict(self.metadata))
+
+    def slice(self, start: int, stop: int) -> "Dataset":
+        """Return a copy restricted to ticks ``[start, stop)``."""
+        return Dataset(
+            name=self.name,
+            series=[ts.slice(start, stop) for ts in self.series],
+            metadata=dict(self.metadata),
+        )
+
+    def describe(self) -> List[dict]:
+        """Per-series summary statistics (used by the report module)."""
+        return [ts.describe() for ts in self.series]

@@ -1,0 +1,145 @@
+"""Flights-like dataset generator.
+
+The paper's Flights dataset (Behrend & Schüller, SSDBM 2014) consists of
+eight time series, each 8801 points long at a one-minute sample rate (about
+six days); a series counts, for one origin airport, how many of its departed
+airplanes are currently in the air.  The series are strongly diurnal — a
+morning and an evening departure wave — and mutually shifted because hubs in
+different time zones and with different schedules peak at different times.
+
+The generator reproduces those properties with a non-negative double-peak
+daily profile per airport, airport-specific peak times (the phase shifts),
+day-to-day amplitude variation, and Poisson-like counting noise.  A shared
+per-day disruption (all airports' waves shift and scale together, as under a
+weather or air-traffic-control event) makes each day genuinely different:
+methods that extrapolate a series from its own past drift during long gaps,
+whereas the co-evolving airports still carry the information TKCM needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..streams.series import TimeSeries
+from .base import Dataset
+
+__all__ = ["generate_flights"]
+
+#: Sample period of the Flights series (minutes).
+FLIGHTS_SAMPLE_PERIOD_MINUTES = 1.0
+
+#: Length of the original dataset (points); kept as the default.
+FLIGHTS_DEFAULT_LENGTH = 8801
+
+
+def _daily_profile(minutes_of_day: np.ndarray, bank_minutes: np.ndarray,
+                   bank_weights: np.ndarray, width_minutes: float) -> np.ndarray:
+    """Departure banks: one Gaussian wave per scheduled bank time (minutes of day).
+
+    Hub airports run several departure banks per day; the number, timing and
+    relative size of the banks differ per airport, so the series are not just
+    phase-shifted copies of one profile (which a linear combination of other
+    airports could reconstruct) but genuinely different daily schedules.
+    """
+    profile = np.zeros_like(minutes_of_day, dtype=float)
+    for peak, weight in zip(bank_minutes, bank_weights):
+        # Wrap-around distance so late-evening banks spill into the next morning.
+        delta = np.minimum(
+            np.abs(minutes_of_day - peak), 1440.0 - np.abs(minutes_of_day - peak)
+        )
+        profile += weight * np.exp(-0.5 * (delta / width_minutes) ** 2)
+    return profile
+
+
+def generate_flights(
+    num_series: int = 8,
+    num_points: int = FLIGHTS_DEFAULT_LENGTH,
+    seed: Optional[int] = 2017,
+    base_traffic: float = 40.0,
+    noise_std: float = 1.5,
+) -> Dataset:
+    """Generate a Flights-like dataset of airborne-departure counts.
+
+    Parameters
+    ----------
+    num_series:
+        Number of airports (the original dataset has 8).
+    num_points:
+        Number of one-minute samples (the original has 8801 ≈ 6 days).
+    seed:
+        Random seed for airport parameters and noise.
+    base_traffic:
+        Peak number of airborne planes for an average airport.
+    noise_std:
+        Standard deviation of the additive counting noise before rounding.
+
+    Returns
+    -------
+    Dataset
+        Series named ``"airport0"`` ... with non-negative values.
+    """
+    if num_series < 2:
+        raise DatasetError(f"num_series must be >= 2, got {num_series}")
+    if num_points < 2:
+        raise DatasetError(f"num_points must be >= 2, got {num_points}")
+
+    rng = np.random.default_rng(seed)
+    minutes = np.arange(num_points) * FLIGHTS_SAMPLE_PERIOD_MINUTES
+    minutes_of_day = minutes % 1440.0
+    day_index = (minutes // 1440.0).astype(int)
+    num_days = int(day_index.max()) + 1
+
+    # Shared per-day disruptions: every airport's departure waves shift and
+    # scale together (weather fronts, flow-control programmes).
+    shared_shift_minutes = rng.uniform(-30.0, 30.0, size=num_days)
+    shared_day_factors = rng.uniform(0.9, 1.1, size=num_days)
+    # Shared slowly-varying traffic modulation within the day (delay waves,
+    # ground stops): a persistent AR(1) factor all airports experience.  This
+    # is what a forecaster extrapolating one airport from its own past cannot
+    # know, but the co-evolving airports reveal it in real time.
+    modulation_noise = rng.normal(0.0, 0.012, size=num_points)
+    shared_modulation = np.empty(num_points)
+    shared_modulation[0] = modulation_noise[0]
+    for t in range(1, num_points):
+        shared_modulation[t] = 0.995 * shared_modulation[t - 1] + modulation_noise[t]
+    shared_modulation = np.clip(1.0 + shared_modulation, 0.5, 1.5)
+
+    series: List[TimeSeries] = []
+    for i in range(num_series):
+        num_banks = int(rng.integers(3, 6))
+        bank_minutes = np.sort(rng.uniform(5 * 60.0, 22 * 60.0, size=num_banks))
+        bank_weights = rng.uniform(0.5, 1.0, size=num_banks)
+        width = rng.uniform(45.0, 90.0)
+        scale = base_traffic * rng.uniform(0.5, 1.5)
+        day_factors = rng.uniform(0.85, 1.15, size=num_days) * shared_day_factors
+
+        shifted_minutes_of_day = (minutes_of_day - shared_shift_minutes[day_index]) % 1440.0
+        profile = _daily_profile(shifted_minutes_of_day, bank_minutes, bank_weights, width)
+        values = scale * profile * day_factors[day_index] * shared_modulation
+        values = values + rng.normal(0.0, noise_std, size=num_points)
+        values = np.clip(np.round(values), 0.0, None)
+        series.append(
+            TimeSeries(
+                name=f"airport{i}",
+                values=values,
+                sample_period_minutes=FLIGHTS_SAMPLE_PERIOD_MINUTES,
+                metadata={
+                    "bank_minutes": [float(b) for b in bank_minutes],
+                    "morning_peak_minute": float(bank_minutes[0]),
+                    "evening_peak_minute": float(bank_minutes[-1]),
+                    "scale": scale,
+                },
+            )
+        )
+    return Dataset(
+        name="flights",
+        series=series,
+        metadata={
+            "description": "synthetic Flights-like airborne-departure counts",
+            "num_points": num_points,
+            "seed": seed,
+        },
+    )

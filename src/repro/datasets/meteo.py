@@ -1,0 +1,171 @@
+"""Meteorological dataset generators standing in for SBR and SBR-1d.
+
+The paper's SBR dataset consists of temperature measurements from weather
+stations in South Tyrol, sampled every five minutes, with values roughly
+between -20 °C and +40 °C.  Nearby stations are strongly correlated (that is
+what the simple averaging baselines and the linear methods exploit) and the
+temperature has both a yearly seasonal cycle and a pronounced diurnal cycle —
+the repeating patterns that TKCM relies on.
+
+The generator builds the stations as variations of a shared regional signal:
+
+``station(t) = regional(t) * gain + offset + front(t) + noise(t)``
+
+where ``regional`` is the sum of a seasonal and a diurnal sinusoid (the
+diurnal amplitude itself modulated by the season), ``front`` is a slowly
+varying AR(1) "weather front" component partially shared between stations,
+and ``noise`` is white measurement noise.  SBR-1d is produced by circularly
+shifting each generated station by a random amount of up to one day, exactly
+as the paper constructs it from SBR.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SAMPLES_PER_DAY_5MIN
+from ..exceptions import DatasetError
+from ..streams.series import TimeSeries
+from .base import Dataset
+
+__all__ = ["generate_sbr", "generate_sbr_shifted"]
+
+#: Sample period of the SBR stations (minutes).
+SBR_SAMPLE_PERIOD_MINUTES = 5.0
+
+
+def _ar1(num_points: int, phi: float, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    """A zero-mean AR(1) process with persistence ``phi`` and innovation ``sigma``."""
+    noise = rng.normal(0.0, sigma, size=num_points)
+    values = np.empty(num_points)
+    values[0] = noise[0]
+    for i in range(1, num_points):
+        values[i] = phi * values[i - 1] + noise[i]
+    return values
+
+
+def generate_sbr(
+    num_series: int = 6,
+    num_days: int = 60,
+    seed: Optional[int] = 2017,
+    mean_temperature: float = 12.0,
+    seasonal_amplitude: float = 10.0,
+    diurnal_amplitude: float = 6.0,
+    front_scale: float = 2.5,
+    noise_std: float = 0.35,
+    start_day_of_year: int = 120,
+) -> Dataset:
+    """Generate an SBR-like dataset of correlated station temperatures.
+
+    Parameters
+    ----------
+    num_series:
+        Number of stations (the paper uses a handful of nearby stations as
+        reference candidates).
+    num_days:
+        Length of the dataset in days at the 5-minute sample rate.
+    seed:
+        Random seed controlling station parameters, fronts and noise.
+    mean_temperature, seasonal_amplitude, diurnal_amplitude:
+        Climatology of the shared regional signal (°C).
+    front_scale:
+        Standard deviation scale of the slowly varying weather-front
+        component (°C).
+    noise_std:
+        Standard deviation of the per-sample measurement noise (°C).
+    start_day_of_year:
+        Day of year of the first sample (sets the phase of the seasonal
+        cycle).
+
+    Returns
+    -------
+    Dataset
+        Stations named ``"station00"``, ``"station01"``, ...
+    """
+    if num_series < 2:
+        raise DatasetError(f"num_series must be >= 2, got {num_series}")
+    if num_days < 1:
+        raise DatasetError(f"num_days must be >= 1, got {num_days}")
+
+    rng = np.random.default_rng(seed)
+    num_points = num_days * SAMPLES_PER_DAY_5MIN
+    minutes = np.arange(num_points) * SBR_SAMPLE_PERIOD_MINUTES
+    days = minutes / (24 * 60.0) + start_day_of_year
+
+    seasonal = seasonal_amplitude * np.sin(2 * np.pi * (days - 110.0) / 365.0)
+    # The diurnal cycle peaks mid-afternoon and is stronger in summer.
+    diurnal_strength = 1.0 + 0.4 * np.sin(2 * np.pi * (days - 110.0) / 365.0)
+    diurnal = diurnal_amplitude * diurnal_strength * np.sin(
+        2 * np.pi * (minutes / (24 * 60.0)) - np.pi / 2.0
+    )
+    regional = mean_temperature + seasonal + diurnal
+    shared_front = _ar1(num_points, phi=0.999, sigma=front_scale * 0.02, rng=rng)
+
+    series: List[TimeSeries] = []
+    for i in range(num_series):
+        gain = rng.uniform(0.85, 1.15)
+        offset = rng.uniform(-3.0, 3.0)
+        local_front = _ar1(num_points, phi=0.998, sigma=front_scale * 0.01, rng=rng)
+        noise = rng.normal(0.0, noise_std, size=num_points)
+        values = regional * gain + offset + shared_front + local_front + noise
+        series.append(
+            TimeSeries(
+                name=f"station{i:02d}",
+                values=values,
+                sample_period_minutes=SBR_SAMPLE_PERIOD_MINUTES,
+                metadata={"gain": gain, "offset": offset},
+            )
+        )
+    return Dataset(
+        name="sbr",
+        series=series,
+        metadata={
+            "description": "synthetic SBR-like station temperatures",
+            "num_days": num_days,
+            "seed": seed,
+            "samples_per_day": SAMPLES_PER_DAY_5MIN,
+        },
+    )
+
+
+def generate_sbr_shifted(
+    num_series: int = 6,
+    num_days: int = 60,
+    seed: Optional[int] = 2017,
+    max_shift_days: float = 1.0,
+    **kwargs,
+) -> Dataset:
+    """Generate the SBR-1d variant: every station circularly shifted by up to one day.
+
+    The target station (index 0) is left unshifted so that the ground truth of
+    an injected missing block is unaffected; all other stations receive an
+    individual random shift of up to ``max_shift_days`` days, which destroys
+    the linear correlation with the target exactly as in the paper's SBR-1d.
+    Additional keyword arguments are forwarded to :func:`generate_sbr`.
+    """
+    base = generate_sbr(num_series=num_series, num_days=num_days, seed=seed, **kwargs)
+    rng = np.random.default_rng(None if seed is None else seed + 1)
+    max_shift_samples = int(round(max_shift_days * SAMPLES_PER_DAY_5MIN))
+    shifted_series: List[TimeSeries] = []
+    shifts = {}
+    for index, ts in enumerate(base.series):
+        if index == 0 or max_shift_samples == 0:
+            shift = 0
+        else:
+            shift = int(rng.integers(1, max_shift_samples + 1))
+        shifts[ts.name] = shift
+        shifted = ts.shifted(shift)
+        shifted.metadata["shift_samples"] = shift
+        shifted_series.append(shifted)
+    return Dataset(
+        name="sbr-1d",
+        series=shifted_series,
+        metadata={
+            **base.metadata,
+            "description": "SBR-like stations with per-series shifts up to one day",
+            "max_shift_days": max_shift_days,
+            "shifts": shifts,
+        },
+    )

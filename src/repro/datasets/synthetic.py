@@ -1,0 +1,168 @@
+"""Synthetic sine-wave families used in the paper's analysis section (Sec. 5).
+
+The paper's analysis of linear vs non-linear correlation (Fig. 4 and 5), of
+the pattern length (Fig. 6 and 7), and Lemma 5.3 are all stated in terms of
+sine waves of the form ``A * sind(t * 360 / P + phi) + o`` with amplitude
+``A``, period ``P`` (minutes), phase shift ``phi`` (degrees) and offset ``o``,
+where ``sind`` is the sine of an angle given in degrees.  This module
+generates exactly those families so the analysis figures and the consistency
+lemma can be reproduced and property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..streams.series import TimeSeries
+from .base import Dataset
+
+__all__ = [
+    "sind",
+    "sine_wave",
+    "generate_sine_family",
+    "linearly_correlated_pair",
+    "phase_shifted_pair",
+]
+
+
+def sind(degrees: np.ndarray) -> np.ndarray:
+    """Sine of an angle given in degrees (the paper's ``sind``)."""
+    return np.sin(np.deg2rad(degrees))
+
+
+def sine_wave(
+    num_points: int,
+    sample_period_minutes: float = 1.0,
+    amplitude: float = 1.0,
+    period_minutes: float = 360.0,
+    phase_degrees: float = 0.0,
+    offset: float = 0.0,
+    noise_std: float = 0.0,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """One sine series ``A * sind(t * 360 / P + phi) + o`` with optional noise.
+
+    ``t`` is measured in minutes, matching the paper's examples where one
+    period is 360 minutes and the query time is ``t = 840``.
+    """
+    if num_points < 1:
+        raise DatasetError(f"num_points must be >= 1, got {num_points}")
+    if period_minutes <= 0:
+        raise DatasetError(f"period_minutes must be > 0, got {period_minutes}")
+    t = np.arange(num_points) * sample_period_minutes
+    values = amplitude * sind(t * 360.0 / period_minutes + phase_degrees) + offset
+    if noise_std > 0:
+        rng = np.random.default_rng(seed)
+        values = values + rng.normal(0.0, noise_std, size=num_points)
+    return values
+
+
+def linearly_correlated_pair(
+    num_points: int = 841, sample_period_minutes: float = 1.0
+) -> Dataset:
+    """The pair of Example 5 / Fig. 4: ``s = sind(t)`` and ``r1 = 1.5 sind(t) + 1``.
+
+    The two series differ in amplitude and offset but are perfectly linearly
+    correlated (Pearson correlation 1).
+    """
+    s = sine_wave(num_points, sample_period_minutes, amplitude=1.0)
+    r1 = sine_wave(num_points, sample_period_minutes, amplitude=1.5, offset=1.0)
+    series = [
+        TimeSeries("s", s, sample_period_minutes),
+        TimeSeries("r1", r1, sample_period_minutes),
+    ]
+    return Dataset(
+        name="sine-linear",
+        series=series,
+        metadata={"description": "linearly correlated sine pair (paper Fig. 4)"},
+    )
+
+
+def phase_shifted_pair(
+    num_points: int = 841,
+    sample_period_minutes: float = 1.0,
+    shift_degrees: float = 90.0,
+) -> Dataset:
+    """The pair of Example 6 / Fig. 5: ``s = sind(t)`` and ``r2 = sind(t - shift)``.
+
+    Same amplitude and offset but phase shifted, hence a Pearson correlation
+    near zero for a 90-degree shift.
+    """
+    s = sine_wave(num_points, sample_period_minutes, amplitude=1.0)
+    r2 = sine_wave(
+        num_points, sample_period_minutes, amplitude=1.0, phase_degrees=-shift_degrees
+    )
+    series = [
+        TimeSeries("s", s, sample_period_minutes),
+        TimeSeries("r2", r2, sample_period_minutes),
+    ]
+    return Dataset(
+        name="sine-shifted",
+        series=series,
+        metadata={
+            "description": "phase-shifted sine pair (paper Fig. 5)",
+            "shift_degrees": shift_degrees,
+        },
+    )
+
+
+def generate_sine_family(
+    num_series: int = 4,
+    num_points: int = 4320,
+    sample_period_minutes: float = 1.0,
+    period_minutes: float = 360.0,
+    amplitudes: Optional[Sequence[float]] = None,
+    offsets: Optional[Sequence[float]] = None,
+    phase_shifts_degrees: Optional[Sequence[float]] = None,
+    noise_std: float = 0.0,
+    seed: Optional[int] = None,
+) -> Dataset:
+    """A family of sine waves sharing one period (the setting of Lemma 5.3).
+
+    The first series is named ``"s"`` and the rest ``"r1", "r2", ...`` so it
+    can be dropped directly into the examples.  With ``noise_std = 0`` the
+    family is exactly pattern-determining: TKCM with ``l > 1``,
+    ``L >= k * P + l`` achieves a consistent (zero-epsilon) imputation.
+    """
+    if num_series < 1:
+        raise DatasetError(f"num_series must be >= 1, got {num_series}")
+    amplitudes = list(amplitudes) if amplitudes is not None else [1.0] * num_series
+    offsets = list(offsets) if offsets is not None else [0.0] * num_series
+    phases = (
+        list(phase_shifts_degrees)
+        if phase_shifts_degrees is not None
+        else [0.0] * num_series
+    )
+    for parameter, label in ((amplitudes, "amplitudes"), (offsets, "offsets"), (phases, "phase_shifts_degrees")):
+        if len(parameter) != num_series:
+            raise DatasetError(
+                f"{label} must have {num_series} entries, got {len(parameter)}"
+            )
+
+    rng = np.random.default_rng(seed)
+    series: List[TimeSeries] = []
+    for i in range(num_series):
+        name = "s" if i == 0 else f"r{i}"
+        values = sine_wave(
+            num_points,
+            sample_period_minutes,
+            amplitude=amplitudes[i],
+            period_minutes=period_minutes,
+            phase_degrees=phases[i],
+            offset=offsets[i],
+            noise_std=noise_std,
+            seed=int(rng.integers(0, 2 ** 31 - 1)),
+        )
+        series.append(TimeSeries(name, values, sample_period_minutes))
+    return Dataset(
+        name="sine-family",
+        series=series,
+        metadata={
+            "period_minutes": period_minutes,
+            "noise_std": noise_std,
+            "seed": seed,
+        },
+    )

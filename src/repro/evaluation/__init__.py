@@ -1,0 +1,35 @@
+"""Evaluation harness: scenarios, runners, sweeps, and per-figure experiments.
+
+The modules in this subpackage mechanise the paper's Sec. 7 methodology:
+
+1. Take a complete dataset, remove a block of values from one series
+   (:class:`~repro.evaluation.scenario.MissingBlockScenario`).
+2. Stream the masked dataset through an imputer and collect its estimates
+   (:class:`~repro.evaluation.runner.ExperimentRunner`).
+3. Score the recovery with RMSE over the removed block and report it
+   (:mod:`~repro.evaluation.report`).
+
+:mod:`~repro.evaluation.experiments` exposes one function per paper figure;
+the benchmark suite under ``benchmarks/`` is a thin wrapper around those
+functions.
+"""
+
+from .scenario import MissingBlockScenario, build_scenarios
+from .runner import ExperimentRunner, ImputerSpec, ScenarioResult, default_imputer_specs
+from .sweep import ParameterSweep, SweepResult
+from .report import format_series_comparison, format_table
+from . import experiments
+
+__all__ = [
+    "MissingBlockScenario",
+    "build_scenarios",
+    "ExperimentRunner",
+    "ImputerSpec",
+    "ScenarioResult",
+    "default_imputer_specs",
+    "ParameterSweep",
+    "SweepResult",
+    "format_table",
+    "format_series_comparison",
+    "experiments",
+]

@@ -1,0 +1,629 @@
+"""One function per figure of the paper's analysis and evaluation sections.
+
+Every public function regenerates the data behind one figure (or figure
+group) of the paper.  The functions return plain dictionaries / dataclasses
+of numbers so that the benchmark harness can both time them and print the
+rows the paper reports; nothing here depends on plotting.
+
+The experiments run on the synthetic stand-in datasets documented in
+DESIGN.md, at a *benchmark scale* that finishes on a laptop: smaller windows
+and shorter missing blocks than the paper's one-year SBR windows, but with
+the ratios preserved (window ≫ seasonal period ≫ pattern length ≫ 1).
+Each function documents its scale and the shape of the expected outcome.
+
+Overview (see DESIGN.md Sec. 4 for the full index):
+
+========  ====================================================================
+fig04/05  linear vs phase-shifted correlation of sine pairs (Sec. 5.1)
+fig06/07  dissimilarity profiles for pattern lengths 1 and 60 (Sec. 5.2)
+fig10     calibration of d and k on SBR-1d, Flights, Chlorine
+fig11     pattern length sweep on all four datasets
+fig12     recovered series for l = 1 vs l = 72 (oscillation of short patterns)
+fig13     scatterplot + average epsilon vs pattern length (Chlorine)
+fig14     missing-block length sweep (SBR-1d, Chlorine)
+fig15/16  comparison of TKCM, SPIRIT, MUSCLES, CD on all datasets
+fig17     runtime vs l, d, k, L (linear complexity)
+========  ====================================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.correlation_analysis import CorrelationReport, analyse_pair
+from ..analysis.dissimilarity_profile import dissimilarity_profile
+from ..config import SAMPLES_PER_DAY_5MIN, TKCMConfig
+from ..core.tkcm import TKCMImputer
+from ..datasets import (
+    Dataset,
+    generate_chlorine,
+    generate_flights,
+    generate_sbr,
+    generate_sbr_shifted,
+    linearly_correlated_pair,
+    phase_shifted_pair,
+)
+from ..exceptions import ConfigurationError
+from ..metrics.consistency import average_epsilon
+from ..metrics.correlation import pearson_correlation
+from ..metrics.errors import rmse
+from .runner import ExperimentRunner, ImputerSpec, ScenarioResult, default_imputer_specs
+from .scenario import MissingBlockScenario, build_scenarios
+from .sweep import ParameterSweep, SweepResult
+
+__all__ = [
+    "benchmark_dataset",
+    "benchmark_tkcm_config",
+    "fig04_05_correlation",
+    "fig06_07_profiles",
+    "fig10_calibration",
+    "fig11_pattern_length",
+    "fig12_recovery_curves",
+    "fig13_epsilon",
+    "fig14_block_length",
+    "fig15_recovery_comparison",
+    "fig16_rmse_comparison",
+    "fig17_runtime",
+    "ablation_selection_strategy",
+    "ablation_dissimilarity",
+    "ablation_overlap",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark-scale datasets and configurations
+# --------------------------------------------------------------------------- #
+#: Benchmark-scale generation parameters per dataset name.  The paper's SBR
+#: window is one year; at benchmark scale we keep two weeks of history, which
+#: still contains every diurnal pattern many times over.
+_BENCH_SCALE = {
+    "sbr": {"num_series": 5, "num_days": 21},
+    "sbr-1d": {"num_series": 5, "num_days": 21},
+    "flights": {"num_series": 6, "num_points": 7200},
+    "chlorine": {"num_series": 8, "num_points": 4310},
+}
+
+
+def benchmark_dataset(name: str, seed: int = 2017) -> Dataset:
+    """Generate the benchmark-scale variant of a named dataset."""
+    key = name.lower()
+    if key == "sbr":
+        return generate_sbr(seed=seed, **_BENCH_SCALE["sbr"])
+    if key == "sbr-1d":
+        return generate_sbr_shifted(seed=seed, **_BENCH_SCALE["sbr-1d"])
+    if key == "flights":
+        return generate_flights(seed=seed, **_BENCH_SCALE["flights"])
+    if key == "chlorine":
+        return generate_chlorine(seed=seed, **_BENCH_SCALE["chlorine"])
+    raise ConfigurationError(f"unknown benchmark dataset {name!r}")
+
+
+def benchmark_tkcm_config(dataset_name: str, **overrides) -> TKCMConfig:
+    """Benchmark-scale TKCM configuration for a named dataset.
+
+    The defaults keep the paper's parameter *ratios*: d = 3 references,
+    k = 5 anchors, a pattern that spans a few hours, and a window that covers
+    many repetitions of the daily pattern.
+    """
+    key = dataset_name.lower()
+    if key in ("sbr", "sbr-1d"):
+        defaults = dict(
+            window_length=10 * SAMPLES_PER_DAY_5MIN,  # 10 days of 5-min samples
+            pattern_length=36,                        # 3 hours
+            num_anchors=5,
+            num_references=3,
+        )
+    elif key == "flights":
+        defaults = dict(
+            window_length=4320,                       # 3 days of 1-min samples
+            pattern_length=60,                        # 1 hour
+            num_anchors=5,
+            num_references=3,
+        )
+    elif key == "chlorine":
+        defaults = dict(
+            window_length=2304,                       # 8 days of 5-min samples
+            pattern_length=36,                        # 3 hours
+            num_anchors=5,
+            num_references=3,
+        )
+    else:
+        raise ConfigurationError(f"unknown benchmark dataset {dataset_name!r}")
+    defaults.update(overrides)
+    return TKCMConfig(**defaults)
+
+
+def _default_block_length(dataset_name: str) -> int:
+    """Benchmark-scale missing-block length per dataset (paper: 1 week / 20 %)."""
+    key = dataset_name.lower()
+    if key in ("sbr", "sbr-1d"):
+        return 2 * SAMPLES_PER_DAY_5MIN        # 2 days
+    if key == "flights":
+        return 720                              # 12 hours of 1-min samples
+    return 576                                  # 2 days of 5-min samples (chlorine)
+
+
+def _tkcm_spec(config: TKCMConfig) -> ImputerSpec:
+    """An ImputerSpec for TKCM alone (used by the single-method sweeps)."""
+
+    def factory(scenario: MissingBlockScenario) -> TKCMImputer:
+        candidates = [n for n in scenario.dataset.names if n != scenario.target]
+        return TKCMImputer(
+            config,
+            series_names=scenario.dataset.names,
+            reference_rankings={scenario.target: candidates},
+        )
+
+    return ImputerSpec("TKCM", factory, streams_full_history=False)
+
+
+def _single_scenario(
+    dataset: Dataset,
+    config: TKCMConfig,
+    block_length: int,
+    target: Optional[str] = None,
+    seed: int = 7,
+) -> MissingBlockScenario:
+    """Place one block after the warm-up window of ``config``."""
+    target = target or dataset.names[0]
+    earliest = min(config.window_length, dataset.length - block_length)
+    rng = np.random.default_rng(seed)
+    latest = dataset.length - block_length
+    start = int(rng.integers(earliest, latest + 1)) if latest > earliest else earliest
+    return MissingBlockScenario(
+        dataset=dataset,
+        target=target,
+        block_start=start,
+        block_length=block_length,
+        label=f"{dataset.name}/{target}",
+    )
+
+
+def _tkcm_rmse(
+    dataset: Dataset,
+    config: TKCMConfig,
+    block_length: int,
+    target: Optional[str] = None,
+    seed: int = 7,
+) -> ScenarioResult:
+    """Run TKCM on a single scenario and return the scored result."""
+    scenario = _single_scenario(dataset, config, block_length, target=target, seed=seed)
+    runner = ExperimentRunner()
+    return runner.run_scenario(scenario, _tkcm_spec(config))
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 4 / Fig. 5 — linear vs non-linear correlation (Sec. 5.1)
+# --------------------------------------------------------------------------- #
+def fig04_05_correlation(num_points: int = 841) -> Dict[str, CorrelationReport]:
+    """Correlation diagnostics of the paper's two sine pairs.
+
+    Expected shape: the linear pair (Fig. 4) has Pearson correlation ≈ 1 and
+    low value ambiguity; the 90°-shifted pair (Fig. 5) has Pearson ≈ 0 but a
+    high correlation at the best lag and a large value ambiguity (for the
+    same reference value the target takes two very different values).
+    """
+    linear = linearly_correlated_pair(num_points)
+    shifted = phase_shifted_pair(num_points)
+    return {
+        "fig04_linear": analyse_pair(linear.values("s"), linear.values("r1"), max_lag=180),
+        "fig05_shifted": analyse_pair(shifted.values("s"), shifted.values("r2"), max_lag=180),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 6 / Fig. 7 — dissimilarity profiles (Sec. 5.2)
+# --------------------------------------------------------------------------- #
+def fig06_07_profiles(
+    query_index: int = 840,
+    pattern_lengths: Sequence[int] = (1, 60),
+    zero_tolerance: float = 1e-6,
+) -> Dict[str, Dict[str, object]]:
+    """Dissimilarity profiles of the linear (Fig. 6) and shifted (Fig. 7) references.
+
+    Expected shape: for both references the number of anchors with a
+    (near-)zero dissimilarity shrinks as the pattern length grows (Lemma
+    5.1); with ``l = 60`` the remaining zero-dissimilarity anchors on the
+    *shifted* reference all carry the value the missing point actually has
+    (0.86 in the paper's example), whereas with ``l = 1`` half of them carry
+    the wrong value (-0.86).
+    """
+    linear = linearly_correlated_pair(query_index + 1)
+    shifted = phase_shifted_pair(query_index + 1)
+    results: Dict[str, Dict[str, object]] = {}
+    for label, dataset, reference in (
+        ("fig06_linear", linear, "r1"),
+        ("fig07_shifted", shifted, "r2"),
+    ):
+        target = dataset.values("s")
+        per_length: Dict[str, object] = {}
+        for l in pattern_lengths:
+            profile = dissimilarity_profile(dataset.values(reference), query_index, l)
+            anchors = np.flatnonzero(profile <= zero_tolerance) + l - 1
+            per_length[f"l={l}"] = {
+                "profile": profile,
+                "num_zero_dissimilarity": int(len(anchors)),
+                "target_values_at_zero": target[anchors],
+                "target_value_at_query": float(target[query_index]),
+            }
+        results[label] = per_length
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 10 — calibration of d and k
+# --------------------------------------------------------------------------- #
+def fig10_calibration(
+    dataset_names: Sequence[str] = ("sbr-1d", "flights", "chlorine"),
+    d_values: Sequence[int] = (1, 2, 3, 4),
+    k_values: Sequence[int] = (1, 3, 5, 7),
+    seed: int = 2017,
+) -> Dict[str, Dict[str, SweepResult]]:
+    """RMSE as a function of the number of references d and anchors k.
+
+    Expected shape: accuracy improves up to d ≈ 3 and is flat beyond; small
+    k (≈ 5) is sufficient, and very large k on short datasets starts adding
+    dissimilar patterns.
+    """
+    results: Dict[str, Dict[str, SweepResult]] = {}
+    for name in dataset_names:
+        dataset = benchmark_dataset(name, seed=seed)
+        block = _default_block_length(name)
+        max_d = min(max(d_values), dataset.num_series - 1)
+
+        def evaluate_d(d: float) -> Dict[str, float]:
+            config = benchmark_tkcm_config(name, num_references=int(d))
+            outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+            return {"rmse": outcome.rmse, "runtime_seconds": outcome.runtime_seconds}
+
+        def evaluate_k(k: float) -> Dict[str, float]:
+            config = benchmark_tkcm_config(name, num_anchors=int(k))
+            outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+            return {"rmse": outcome.rmse, "runtime_seconds": outcome.runtime_seconds}
+
+        results[name] = {
+            "d": ParameterSweep("d", evaluate_d).run(
+                [d for d in d_values if d <= max_d]
+            ),
+            "k": ParameterSweep("k", evaluate_k).run(list(k_values)),
+        }
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 11 — pattern length sweep
+# --------------------------------------------------------------------------- #
+def fig11_pattern_length(
+    dataset_names: Sequence[str] = ("sbr", "sbr-1d", "flights", "chlorine"),
+    l_values: Sequence[int] = (1, 12, 36, 72),
+    seed: int = 2017,
+) -> Dict[str, SweepResult]:
+    """RMSE as a function of the pattern length l, per dataset.
+
+    Expected shape: on the non-shifted SBR dataset l has little effect; on
+    the three shifted datasets (SBR-1d, Flights, Chlorine) the RMSE drops
+    substantially as l grows towards a few hours of measurements.
+    """
+    results: Dict[str, SweepResult] = {}
+    for name in dataset_names:
+        dataset = benchmark_dataset(name, seed=seed)
+        block = _default_block_length(name)
+
+        def evaluate(l: float) -> Dict[str, float]:
+            config = benchmark_tkcm_config(name, pattern_length=int(l))
+            outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+            return {"rmse": outcome.rmse, "runtime_seconds": outcome.runtime_seconds}
+
+        results[name] = ParameterSweep("l", evaluate).run(list(l_values))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 12 — recovered series for l = 1 vs l = 72
+# --------------------------------------------------------------------------- #
+def fig12_recovery_curves(
+    dataset_name: str = "sbr-1d",
+    l_values: Sequence[int] = (1, 36),
+    seed: int = 2017,
+) -> Dict[str, object]:
+    """True vs recovered block for a short and a long pattern length.
+
+    Expected shape: the ``l = 1`` recovery oscillates strongly (the reference
+    series do not pattern-determine the target), the long-pattern recovery
+    follows the true curve; quantified by the RMSE of each curve.
+    """
+    dataset = benchmark_dataset(dataset_name, seed=seed)
+    block = _default_block_length(dataset_name)
+    recoveries: Dict[str, np.ndarray] = {}
+    errors: Dict[str, float] = {}
+    truth: Optional[np.ndarray] = None
+    for l in l_values:
+        config = benchmark_tkcm_config(dataset_name, pattern_length=int(l))
+        outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+        truth = outcome.truth_block
+        recoveries[f"l={l}"] = outcome.imputed_block
+        errors[f"l={l}"] = outcome.rmse
+    return {"truth": truth, "recoveries": recoveries, "rmse": errors}
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 13 — scatterplot and average epsilon vs pattern length (Chlorine)
+# --------------------------------------------------------------------------- #
+def fig13_epsilon(
+    dataset_name: str = "chlorine",
+    l_values: Sequence[int] = (1, 12, 36, 72),
+    seed: int = 2017,
+) -> Dict[str, object]:
+    """Average anchor-value spread (epsilon) as a function of the pattern length.
+
+    Expected shape: the scatterplot of the target against its reference is
+    not a line (weak linear correlation); the average epsilon decreases as l
+    grows, i.e. longer patterns make the references pattern-determine the
+    target more strongly.
+    """
+    dataset = benchmark_dataset(dataset_name, seed=seed)
+    block = _default_block_length(dataset_name)
+    target = dataset.names[0]
+    reference = dataset.names[1]
+    scatter_report = analyse_pair(
+        dataset.values(target), dataset.values(reference), max_lag=288
+    )
+
+    epsilons: Dict[int, float] = {}
+    errors: Dict[int, float] = {}
+    for l in l_values:
+        config = benchmark_tkcm_config(dataset_name, pattern_length=int(l))
+        outcome = _tkcm_rmse(dataset, config, block, target=target, seed=seed)
+        details = outcome.run.details.get(target, {})
+        epsilons[int(l)] = average_epsilon(details.values()) if details else float("nan")
+        errors[int(l)] = outcome.rmse
+    return {
+        "scatter": scatter_report,
+        "average_epsilon": epsilons,
+        "rmse": errors,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 14 — missing-block length
+# --------------------------------------------------------------------------- #
+def fig14_block_length(
+    sbr_block_days: Sequence[float] = (1, 2, 4),
+    chlorine_block_fractions: Sequence[float] = (0.1, 0.2, 0.4),
+    seed: int = 2017,
+) -> Dict[str, SweepResult]:
+    """RMSE as a function of the missing-block length.
+
+    Expected shape: the accuracy degrades only slowly as the block grows from
+    a day to several days (SBR-1d) or from 10 % to 40 % of the dataset
+    (Chlorine) — TKCM does not feed on its own imputed values, so errors do
+    not accumulate along the block.
+    """
+    results: Dict[str, SweepResult] = {}
+
+    sbr = benchmark_dataset("sbr-1d", seed=seed)
+    sbr_config = benchmark_tkcm_config("sbr-1d")
+
+    def evaluate_sbr(days: float) -> Dict[str, float]:
+        block = int(days * SAMPLES_PER_DAY_5MIN)
+        block = min(block, sbr.length - sbr_config.window_length - 1)
+        outcome = _tkcm_rmse(sbr, sbr_config, block, seed=seed)
+        return {"rmse": outcome.rmse, "block_samples": float(block)}
+
+    results["sbr-1d"] = ParameterSweep("block_days", evaluate_sbr).run(list(sbr_block_days))
+
+    chlorine = benchmark_dataset("chlorine", seed=seed)
+    chlorine_config = benchmark_tkcm_config("chlorine")
+
+    def evaluate_chlorine(fraction: float) -> Dict[str, float]:
+        block = int(fraction * chlorine.length)
+        block = min(block, chlorine.length - chlorine_config.window_length - 1)
+        scenario = MissingBlockScenario(
+            dataset=chlorine,
+            target=chlorine.names[0],
+            block_start=chlorine.length - block,
+            block_length=block,
+            label=f"chlorine/{fraction:.0%}",
+        )
+        runner = ExperimentRunner()
+        outcome = runner.run_scenario(scenario, _tkcm_spec(chlorine_config))
+        return {"rmse": outcome.rmse, "block_samples": float(block)}
+
+    results["chlorine"] = ParameterSweep("block_fraction", evaluate_chlorine).run(
+        list(chlorine_block_fractions)
+    )
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 15 / Fig. 16 — comparison with SPIRIT, MUSCLES, CD
+# --------------------------------------------------------------------------- #
+def fig15_recovery_comparison(
+    dataset_name: str = "sbr-1d",
+    methods: Sequence[str] = ("TKCM", "SPIRIT", "MUSCLES", "CD"),
+    seed: int = 2017,
+) -> Dict[str, object]:
+    """True vs recovered block for every method on one dataset (one panel of Fig. 15)."""
+    dataset = benchmark_dataset(dataset_name, seed=seed)
+    config = benchmark_tkcm_config(dataset_name)
+    block = _default_block_length(dataset_name)
+    scenario = _single_scenario(dataset, config, block, seed=seed)
+    specs = default_imputer_specs(config, include=methods)
+    runner = ExperimentRunner()
+    recoveries: Dict[str, np.ndarray] = {}
+    errors: Dict[str, float] = {}
+    truth = scenario.truth()
+    for spec in specs:
+        outcome = runner.run_scenario(scenario, spec)
+        recoveries[spec.name] = outcome.imputed_block
+        errors[spec.name] = outcome.rmse
+    return {"truth": truth, "recoveries": recoveries, "rmse": errors, "scenario": scenario}
+
+
+def fig16_rmse_comparison(
+    dataset_names: Sequence[str] = ("sbr", "sbr-1d", "flights", "chlorine"),
+    methods: Sequence[str] = ("TKCM", "SPIRIT", "MUSCLES", "CD"),
+    num_targets: int = 2,
+    seed: int = 2017,
+) -> Dict[str, Dict[str, float]]:
+    """Average RMSE per method per dataset (the bar chart of Fig. 16).
+
+    Expected shape: all methods are comparable on the non-shifted SBR
+    dataset; TKCM has the lowest RMSE on the three shifted datasets.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    runner = ExperimentRunner()
+    for name in dataset_names:
+        dataset = benchmark_dataset(name, seed=seed)
+        config = benchmark_tkcm_config(name)
+        block = _default_block_length(name)
+        scenarios = build_scenarios(
+            dataset,
+            block_length=block,
+            num_targets=num_targets,
+            earliest_start=config.window_length,
+            seed=seed,
+        )
+        specs = default_imputer_specs(config, include=methods)
+        scenario_results = runner.run_matrix(scenarios, specs)
+        results[name] = ExperimentRunner.aggregate_rmse(scenario_results)
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 17 — runtime
+# --------------------------------------------------------------------------- #
+def fig17_runtime(
+    l_values: Sequence[int] = (12, 36, 72, 144),
+    d_values: Sequence[int] = (1, 2, 3, 4),
+    k_values: Sequence[int] = (5, 20, 40, 60),
+    window_days: Sequence[int] = (5, 10, 20, 40),
+    imputations_per_point: int = 20,
+    seed: int = 2017,
+) -> Dict[str, SweepResult]:
+    """Mean time to impute one missing value as a function of l, d, k and L.
+
+    Expected shape: the runtime grows linearly in every parameter
+    (Lemma 6.2); the window length L has the largest absolute impact.
+    The absolute numbers are not comparable to the paper's C implementation,
+    and the k sweep stops at 60 (the paper goes to 300 with a one-year
+    window; a ten-day benchmark window cannot hold 300 non-overlapping
+    patterns of length 36).
+    """
+    base_window_days = 10
+    num_days = max(max(window_days), base_window_days) + 4
+    dataset = generate_sbr_shifted(num_series=max(d_values) + 1, num_days=num_days, seed=seed)
+
+    def measure(config: TKCMConfig) -> float:
+        target = dataset.names[0]
+        candidates = dataset.names[1:]
+        imputer = TKCMImputer(
+            config,
+            series_names=dataset.names,
+            reference_rankings={target: candidates},
+        )
+        imputer.prime(dataset.head(config.window_length))
+        # Warm-up imputations: the first calls pay for lazy allocations and
+        # cache warming, which would otherwise distort the smallest parameter
+        # values of the sweep.
+        warmup = 3
+        for i in range(warmup):
+            row = dataset.row(config.window_length + i)
+            row[target] = float("nan")
+            imputer.observe(row)
+        elapsed = 0.0
+        for i in range(warmup, warmup + imputations_per_point):
+            row = dataset.row(config.window_length + i)
+            row[target] = float("nan")
+            started = time.perf_counter()
+            imputer.observe(row)
+            elapsed += time.perf_counter() - started
+        return elapsed / imputations_per_point
+
+    base = dict(window_length=base_window_days * SAMPLES_PER_DAY_5MIN, pattern_length=36,
+                num_anchors=5, num_references=3)
+
+    def sweep(parameter: str, values: Sequence[float], build) -> SweepResult:
+        runner = ParameterSweep(parameter, lambda value: {"seconds_per_imputation": measure(build(value))})
+        return runner.run(list(values))
+
+    return {
+        "l": sweep("l", l_values, lambda v: TKCMConfig(**{**base, "pattern_length": int(v)})),
+        "d": sweep("d", d_values, lambda v: TKCMConfig(**{**base, "num_references": int(v)})),
+        "k": sweep("k", k_values, lambda v: TKCMConfig(**{**base, "num_anchors": int(v)})),
+        "L": sweep(
+            "L_days",
+            window_days,
+            lambda v: TKCMConfig(**{**base, "window_length": int(v) * SAMPLES_PER_DAY_5MIN}),
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Ablations (design choices called out in DESIGN.md)
+# --------------------------------------------------------------------------- #
+def ablation_selection_strategy(
+    dataset_name: str = "sbr-1d", seed: int = 2017
+) -> Dict[str, Dict[str, float]]:
+    """DP vs greedy anchor selection: dissimilarity sums and RMSE.
+
+    Expected shape: the DP never has a larger dissimilarity sum than the
+    greedy pick (it minimises it by construction) and is at least as accurate.
+    """
+    dataset = benchmark_dataset(dataset_name, seed=seed)
+    block = _default_block_length(dataset_name)
+    results: Dict[str, Dict[str, float]] = {}
+    for strategy in ("dp", "greedy"):
+        config = benchmark_tkcm_config(dataset_name, selection=strategy)
+        outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+        details = outcome.run.details.get(outcome.scenario.target, {})
+        sums = [r.total_dissimilarity for r in details.values() if r.method == "tkcm"]
+        results[strategy] = {
+            "rmse": outcome.rmse,
+            "mean_dissimilarity_sum": float(np.mean(sums)) if sums else float("nan"),
+        }
+    return results
+
+
+def ablation_dissimilarity(
+    dataset_name: str = "sbr-1d",
+    metrics: Sequence[str] = ("l2", "l1"),
+    seed: int = 2017,
+) -> Dict[str, float]:
+    """RMSE per dissimilarity function (the future-work comparison of Sec. 8)."""
+    dataset = benchmark_dataset(dataset_name, seed=seed)
+    block = _default_block_length(dataset_name)
+    results: Dict[str, float] = {}
+    for metric in metrics:
+        config = benchmark_tkcm_config(dataset_name, dissimilarity=metric)
+        outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+        results[metric] = outcome.rmse
+    return results
+
+
+def ablation_overlap(dataset_name: str = "sbr-1d", seed: int = 2017) -> Dict[str, Dict[str, float]]:
+    """Non-overlapping vs overlapping anchor selection (Sec. 4.1's argument).
+
+    Expected shape: with overlaps allowed the selected anchors cluster into
+    near-duplicates (small median pairwise gap), and the accuracy does not
+    improve over the non-overlapping selection.
+    """
+    dataset = benchmark_dataset(dataset_name, seed=seed)
+    block = _default_block_length(dataset_name)
+    results: Dict[str, Dict[str, float]] = {}
+    for allow_overlap in (False, True):
+        config = benchmark_tkcm_config(dataset_name, allow_overlap=allow_overlap)
+        outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+        details = outcome.run.details.get(outcome.scenario.target, {})
+        gaps: List[float] = []
+        for result in details.values():
+            anchors = sorted(result.anchor_indices)
+            gaps.extend(float(b - a) for a, b in zip(anchors, anchors[1:]))
+        results["overlap" if allow_overlap else "non-overlap"] = {
+            "rmse": outcome.rmse,
+            "median_anchor_gap": float(np.median(gaps)) if gaps else float("nan"),
+        }
+    return results

@@ -1,0 +1,92 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The harness regenerates the paper's tables and figures as text: RMSE tables
+(Fig. 10, 11, 14, 16), parameter sweeps, and side-by-side comparisons of the
+true and recovered series (Fig. 12, 15) rendered as a coarse ASCII sparkline
+so the "shape" of the recovery can be eyeballed in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series_comparison", "sparkline"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4g}",
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            if np.isnan(value):
+                return "nan"
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """Render a series as a one-line ASCII sparkline of at most ``width`` characters."""
+    data = np.asarray(list(values), dtype=float)
+    data = data[~np.isnan(data)]
+    if len(data) == 0:
+        return "(empty)"
+    if len(data) > width:
+        # Downsample by averaging equal-size chunks.
+        edges = np.linspace(0, len(data), width + 1).astype(int)
+        data = np.array([
+            np.mean(data[edges[i]: max(edges[i + 1], edges[i] + 1)]) for i in range(width)
+        ])
+    low, high = float(np.min(data)), float(np.max(data))
+    if high == low:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * len(data)
+    scaled = (data - low) / (high - low) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(level))] for level in scaled)
+
+
+def format_series_comparison(
+    truth: Sequence[float],
+    recoveries: Mapping[str, Sequence[float]],
+    width: int = 72,
+    title: Optional[str] = None,
+) -> str:
+    """Side-by-side sparklines of the true block and each method's recovery (Fig. 15)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len("truth"), *(len(name) for name in recoveries)) if recoveries else 5
+    lines.append(f"{'truth'.ljust(label_width)} | {sparkline(truth, width)}")
+    for name, recovery in recoveries.items():
+        lines.append(f"{name.ljust(label_width)} | {sparkline(recovery, width)}")
+    return "\n".join(lines)

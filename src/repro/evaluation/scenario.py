@@ -1,0 +1,147 @@
+"""Missing-block scenarios (the workload of the paper's evaluation).
+
+A scenario fixes *what* is removed: the dataset, the target series, and the
+position and length of the removed block.  The paper removes long blocks
+(one week on SBR/SBR-1d, up to 80 % of the small datasets) from a few series
+per dataset and imputes them value by value as the stream advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.base import Dataset
+from ..exceptions import ConfigurationError
+from ..streams.missing import inject_missing_block
+
+__all__ = ["MissingBlockScenario", "build_scenarios"]
+
+
+@dataclass(frozen=True)
+class MissingBlockScenario:
+    """One imputation task: recover a removed block of one series.
+
+    Attributes
+    ----------
+    dataset:
+        The complete (ground truth) dataset.
+    target:
+        Name of the series from which the block is removed.
+    block_start:
+        Index of the first removed time point.
+    block_length:
+        Number of consecutive removed time points.
+    label:
+        Optional human-readable label for reports.
+    """
+
+    dataset: Dataset
+    target: str
+    block_start: int
+    block_length: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.target not in self.dataset.names:
+            raise ConfigurationError(
+                f"dataset {self.dataset.name!r} has no series {self.target!r}"
+            )
+        if self.block_length < 1:
+            raise ConfigurationError(
+                f"block_length must be >= 1, got {self.block_length}"
+            )
+        if self.block_start < 0 or self.block_stop > self.dataset.length:
+            raise ConfigurationError(
+                f"block [{self.block_start}, {self.block_stop}) does not fit in a "
+                f"dataset of length {self.dataset.length}"
+            )
+
+    @property
+    def block_stop(self) -> int:
+        """One past the last removed index."""
+        return self.block_start + self.block_length
+
+    @property
+    def block_indices(self) -> np.ndarray:
+        """Indices of the removed block."""
+        return np.arange(self.block_start, self.block_stop)
+
+    def truth(self) -> np.ndarray:
+        """Ground-truth values of the removed block."""
+        return self.dataset.values(self.target)[self.block_start: self.block_stop]
+
+    def masked_dataset(self) -> Dataset:
+        """The dataset with the block removed from the target series."""
+        masked, _ = inject_missing_block(
+            self.dataset.values(self.target), self.block_start, self.block_length
+        )
+        return self.dataset.with_series_values(self.target, masked)
+
+    def describe(self) -> str:
+        """One-line description used in harness output."""
+        label = self.label or f"{self.dataset.name}/{self.target}"
+        return (
+            f"{label}: block [{self.block_start}, {self.block_stop}) "
+            f"({self.block_length} samples)"
+        )
+
+
+def build_scenarios(
+    dataset: Dataset,
+    block_length: int,
+    targets: Optional[Sequence[str]] = None,
+    num_targets: int = 4,
+    earliest_start: Optional[int] = None,
+    seed: int = 2017,
+) -> List[MissingBlockScenario]:
+    """Construct the per-dataset scenario set of the paper's comparison (Fig. 16).
+
+    The paper imputes 4 series per dataset with one block each.  Blocks are
+    placed at a random position in the second half of the usable range so
+    that a long history precedes them (TKCM needs the window filled).
+
+    Parameters
+    ----------
+    dataset:
+        The complete dataset.
+    block_length:
+        Length of the removed block in samples.
+    targets:
+        Series to impute; defaults to the first ``num_targets`` series.
+    num_targets:
+        Number of series imputed when ``targets`` is not given.
+    earliest_start:
+        Earliest allowed block start; defaults to half the dataset length
+        (leaving the first half as history).
+    seed:
+        Seed for the block placement.
+    """
+    if block_length >= dataset.length:
+        raise ConfigurationError(
+            f"block_length {block_length} must be smaller than the dataset length "
+            f"{dataset.length}"
+        )
+    chosen_targets = list(targets) if targets is not None else dataset.names[:num_targets]
+    rng = np.random.default_rng(seed)
+    min_start = (
+        earliest_start if earliest_start is not None else dataset.length // 2
+    )
+    latest_start = dataset.length - block_length
+    if min_start > latest_start:
+        min_start = max(0, latest_start)
+    scenarios = []
+    for target in chosen_targets:
+        start = int(rng.integers(min_start, latest_start + 1))
+        scenarios.append(
+            MissingBlockScenario(
+                dataset=dataset,
+                target=target,
+                block_start=start,
+                block_length=block_length,
+                label=f"{dataset.name}/{target}",
+            )
+        )
+    return scenarios

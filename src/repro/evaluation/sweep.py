@@ -1,0 +1,88 @@
+"""Parameter sweeps (the calibration and sensitivity experiments).
+
+The paper's Fig. 10/11/14/17 all have the same shape: vary one TKCM parameter
+(d, k, l, L, or the missing-block length), keep the rest at their defaults,
+and record the RMSE or runtime per value.  :class:`ParameterSweep` packages
+that loop so the experiment functions stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["SweepResult", "ParameterSweep"]
+
+
+@dataclass
+class SweepResult:
+    """Result of sweeping one parameter.
+
+    Attributes
+    ----------
+    parameter:
+        Name of the swept parameter (``"d"``, ``"k"``, ``"l"``, ...).
+    values:
+        The parameter values, in the order they were evaluated.
+    metrics:
+        Mapping from metric name (``"rmse"``, ``"runtime_seconds"``, ...) to
+        the list of measurements aligned with ``values``.
+    """
+
+    parameter: str
+    values: List[float] = field(default_factory=list)
+    metrics: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, value: float, **measurements: float) -> None:
+        """Record the measurements obtained for one parameter value."""
+        self.values.append(value)
+        for name, measurement in measurements.items():
+            self.metrics.setdefault(name, []).append(float(measurement))
+
+    def series(self, metric: str) -> np.ndarray:
+        """The measurements of ``metric`` aligned with :attr:`values`."""
+        return np.asarray(self.metrics.get(metric, []), dtype=float)
+
+    def best_value(self, metric: str = "rmse", minimise: bool = True) -> float:
+        """Parameter value with the best (lowest by default) metric."""
+        measurements = self.series(metric)
+        if len(measurements) == 0:
+            raise ValueError(f"no measurements recorded for metric {metric!r}")
+        index = int(np.nanargmin(measurements) if minimise else np.nanargmax(measurements))
+        return self.values[index]
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows suitable for :func:`repro.evaluation.report.format_table`."""
+        rows = []
+        for i, value in enumerate(self.values):
+            row: Dict[str, float] = {self.parameter: value}
+            for name, measurements in self.metrics.items():
+                row[name] = measurements[i]
+            rows.append(row)
+        return rows
+
+
+class ParameterSweep:
+    """Evaluate a callable for every value of one parameter.
+
+    Parameters
+    ----------
+    parameter:
+        Name of the swept parameter.
+    evaluate:
+        Callable mapping one parameter value to a ``{metric: value}`` dict.
+    """
+
+    def __init__(self, parameter: str, evaluate: Callable[[float], Dict[str, float]]) -> None:
+        self.parameter = parameter
+        self.evaluate = evaluate
+
+    def run(self, values: Sequence[float]) -> SweepResult:
+        """Run the sweep over ``values`` in order."""
+        result = SweepResult(parameter=self.parameter)
+        for value in values:
+            measurements = self.evaluate(value)
+            result.add(value, **measurements)
+        return result

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller embedding the library can catch a single base class.  Subclasses are
+kept narrow and descriptive so that error handling at call sites can be
+specific (e.g. distinguish a configuration error from a data problem).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter combination is invalid (e.g. window too small for k patterns)."""
+
+
+class InsufficientDataError(ReproError):
+    """The streaming window does not contain enough data for the requested operation."""
+
+
+class MissingReferenceError(ReproError):
+    """No usable reference time series is available at the current time point."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed, unknown, or cannot be generated with the given parameters."""
+
+
+class StreamError(ReproError):
+    """A streaming operation was used incorrectly (e.g. out-of-order timestamps)."""
+
+
+class ImputationError(ReproError):
+    """An imputer failed to produce an estimate for a missing value."""
+
+
+class NotFittedError(ReproError):
+    """An offline imputer was asked to transform data before being fitted."""

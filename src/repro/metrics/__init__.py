@@ -1,0 +1,32 @@
+"""Accuracy, correlation and consistency metrics used by the evaluation.
+
+* :mod:`~repro.metrics.errors` — RMSE (the paper's accuracy measure, Sec. 7),
+  plus MAE, MAPE and NRMSE.
+* :mod:`~repro.metrics.correlation` — Pearson correlation (Sec. 5.1),
+  cross-correlation over lags and phase-shift estimation.
+* :mod:`~repro.metrics.consistency` — epsilon statistics over anchor sets
+  (Def. 5, Fig. 13b).
+"""
+
+from .errors import mae, mape, nrmse, rmse, rmse_over_indices
+from .correlation import (
+    cross_correlation,
+    estimate_shift,
+    pearson_correlation,
+    scatter_points,
+)
+from .consistency import average_epsilon, epsilon_series
+
+__all__ = [
+    "rmse",
+    "rmse_over_indices",
+    "mae",
+    "mape",
+    "nrmse",
+    "pearson_correlation",
+    "cross_correlation",
+    "estimate_shift",
+    "scatter_points",
+    "average_epsilon",
+    "epsilon_series",
+]

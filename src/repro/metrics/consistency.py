@@ -1,0 +1,40 @@
+"""Epsilon statistics over anchor sets (paper Def. 5, Fig. 13b).
+
+For every imputation, TKCM reports the spread ``epsilon`` of the incomplete
+series' values at the selected anchor points
+(:func:`repro.core.consistency.epsilon_of_anchors`).  The paper's Fig. 13b
+plots the *average* epsilon over many imputations as a function of the
+pattern length ``l``: a decreasing curve means the reference series
+pattern-determine the incomplete series more strongly, i.e. TKCM's anchor
+choices become more reliable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping
+
+import numpy as np
+
+from ..core.tkcm import ImputationResult
+from ..exceptions import InsufficientDataError
+
+__all__ = ["epsilon_series", "average_epsilon"]
+
+
+def epsilon_series(results: Iterable[ImputationResult]) -> np.ndarray:
+    """Extract the epsilon of every TKCM imputation result (fallbacks skipped)."""
+    epsilons: List[float] = []
+    for result in results:
+        if result.method != "tkcm":
+            continue
+        if not np.isnan(result.epsilon):
+            epsilons.append(float(result.epsilon))
+    return np.asarray(epsilons, dtype=float)
+
+
+def average_epsilon(results: Iterable[ImputationResult]) -> float:
+    """Average epsilon over a set of imputation results (the y-axis of Fig. 13b)."""
+    epsilons = epsilon_series(results)
+    if len(epsilons) == 0:
+        raise InsufficientDataError("no TKCM imputation results with a valid epsilon")
+    return float(np.mean(epsilons))

@@ -1,0 +1,124 @@
+"""Correlation diagnostics (paper Sec. 5.1).
+
+TKCM's selling point is that it handles series that are *not* linearly
+correlated, e.g. phase-shifted copies.  These helpers quantify that
+distinction: the Pearson correlation of the paper's Eq. in Sec. 5.1,
+cross-correlation over a range of lags (which recovers the correlation lost
+to a shift), a phase-shift estimator built on it, and the scatterplot data of
+Fig. 4b / 5b / 13a.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import InsufficientDataError
+
+__all__ = [
+    "pearson_correlation",
+    "cross_correlation",
+    "estimate_shift",
+    "scatter_points",
+]
+
+
+def _paired(series_a: np.ndarray, series_b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(series_a, dtype=float).ravel()
+    b = np.asarray(series_b, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise ValueError(
+            f"series must have the same length, got {a.shape} and {b.shape}"
+        )
+    mask = ~(np.isnan(a) | np.isnan(b))
+    return a[mask], b[mask]
+
+
+def pearson_correlation(series_a: np.ndarray, series_b: np.ndarray) -> float:
+    """Pearson correlation over the jointly observed positions.
+
+    Returns 0.0 when either series is constant (no linear relationship can be
+    measured), matching the convention used for reference ranking.
+    """
+    a, b = _paired(series_a, series_b)
+    if len(a) < 2:
+        raise InsufficientDataError("need at least two paired observations")
+    if np.std(a) == 0 or np.std(b) == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def cross_correlation(
+    series_a: np.ndarray, series_b: np.ndarray, max_lag: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pearson correlation of ``a(t)`` against ``b(t - lag)`` for each lag.
+
+    Returns ``(lags, correlations)`` for lags in ``[-max_lag, max_lag]``.
+    Lags for which fewer than two paired points remain get correlation 0.
+    """
+    a = np.asarray(series_a, dtype=float).ravel()
+    b = np.asarray(series_b, dtype=float).ravel()
+    if max_lag < 0:
+        raise ValueError(f"max_lag must be >= 0, got {max_lag}")
+    lags = np.arange(-max_lag, max_lag + 1)
+    correlations = np.zeros(len(lags))
+    n = min(len(a), len(b))
+    for i, lag in enumerate(lags):
+        if lag >= 0:
+            x, y = a[lag:n], b[: n - lag]
+        else:
+            x, y = a[: n + lag], b[-lag:n]
+        if len(x) < 2:
+            continue
+        try:
+            correlations[i] = pearson_correlation(x, y)
+        except InsufficientDataError:
+            correlations[i] = 0.0
+    return lags, correlations
+
+
+def estimate_shift(
+    series_a: np.ndarray, series_b: np.ndarray, max_lag: int
+) -> Tuple[int, float]:
+    """Estimate the phase shift between two series.
+
+    Returns ``(best_lag, correlation_at_best_lag)`` where ``best_lag`` is the
+    lag maximising the absolute cross-correlation; a positive lag means
+    ``series_a`` lags (is a delayed copy of) ``series_b`` by that many
+    samples.  Ties in absolute correlation (periodic signals are perfectly
+    anti-correlated half a period away) are broken in favour of the positively
+    correlated lag, then of the smaller absolute lag.
+    """
+    lags, correlations = cross_correlation(series_a, series_b, max_lag)
+    best_abs = float(np.max(np.abs(correlations)))
+    candidates = np.flatnonzero(np.abs(correlations) >= best_abs - 1e-12)
+    # Prefer positive correlation, then the smallest |lag|.
+    order = sorted(
+        candidates,
+        key=lambda i: (-correlations[i], abs(int(lags[i]))),
+    )
+    best = int(order[0])
+    return int(lags[best]), float(correlations[best])
+
+
+def scatter_points(
+    series_a: np.ndarray,
+    series_b: np.ndarray,
+    max_points: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Return the ``(b(t), a(t))`` point cloud of the paper's scatterplots.
+
+    Fig. 4b / 5b / 13a plot, for every time point, the reference value on the
+    x-axis against the incomplete series' value on the y-axis; a cloud that
+    hugs a sloped line means linear correlation.  ``max_points`` subsamples
+    the cloud for readability.
+    """
+    a, b = _paired(series_a, series_b)
+    points = np.column_stack((b, a))
+    if max_points is not None and len(points) > max_points:
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(points), size=max_points, replace=False)
+        points = points[np.sort(chosen)]
+    return points

@@ -1,0 +1,78 @@
+"""Error metrics.
+
+The paper scores every experiment with the root mean square error over the
+set of missing time points (Sec. 7):
+
+``RMSE = sqrt( 1/|T| * sum_{t in T} (s(t) - s_hat(t))^2 )``
+
+All metrics below ignore positions where either the truth or the estimate is
+``NaN`` so partially recovered blocks can still be scored; they raise
+:class:`~repro.exceptions.InsufficientDataError` when no scoreable position
+remains.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InsufficientDataError
+
+__all__ = ["rmse", "mae", "mape", "nrmse", "rmse_over_indices"]
+
+
+def _paired(truth: np.ndarray, estimate: np.ndarray) -> tuple:
+    t = np.asarray(truth, dtype=float).ravel()
+    e = np.asarray(estimate, dtype=float).ravel()
+    if t.shape != e.shape:
+        raise ValueError(
+            f"truth and estimate must have the same length, got {t.shape} and {e.shape}"
+        )
+    mask = ~(np.isnan(t) | np.isnan(e))
+    if not mask.any():
+        raise InsufficientDataError("no overlapping non-missing positions to score")
+    return t[mask], e[mask]
+
+
+def rmse(truth: Sequence[float], estimate: Sequence[float]) -> float:
+    """Root mean square error over the non-missing positions."""
+    t, e = _paired(np.asarray(truth), np.asarray(estimate))
+    return float(np.sqrt(np.mean((t - e) ** 2)))
+
+
+def mae(truth: Sequence[float], estimate: Sequence[float]) -> float:
+    """Mean absolute error over the non-missing positions."""
+    t, e = _paired(np.asarray(truth), np.asarray(estimate))
+    return float(np.mean(np.abs(t - e)))
+
+
+def mape(truth: Sequence[float], estimate: Sequence[float]) -> float:
+    """Mean absolute percentage error; positions with zero truth are skipped."""
+    t, e = _paired(np.asarray(truth), np.asarray(estimate))
+    nonzero = t != 0
+    if not nonzero.any():
+        raise InsufficientDataError("all truth values are zero; MAPE is undefined")
+    return float(np.mean(np.abs((t[nonzero] - e[nonzero]) / t[nonzero])) * 100.0)
+
+
+def nrmse(truth: Sequence[float], estimate: Sequence[float]) -> float:
+    """RMSE normalised by the truth's value range (useful across datasets)."""
+    t, e = _paired(np.asarray(truth), np.asarray(estimate))
+    value_range = float(np.max(t) - np.min(t))
+    error = float(np.sqrt(np.mean((t - e) ** 2)))
+    if value_range == 0:
+        return 0.0 if error == 0 else float("inf")
+    return error / value_range
+
+
+def rmse_over_indices(
+    truth: Sequence[float], estimate: Sequence[float], indices: Sequence[int]
+) -> float:
+    """RMSE restricted to the given positions (the missing set ``T`` of the paper)."""
+    t = np.asarray(truth, dtype=float)
+    e = np.asarray(estimate, dtype=float)
+    idx = np.asarray(list(indices), dtype=int)
+    if len(idx) == 0:
+        raise InsufficientDataError("the index set is empty")
+    return rmse(t[idx], e[idx])

@@ -1,0 +1,41 @@
+"""Streaming substrate: time series, sliding windows, replay, missing-value injection.
+
+This subpackage implements everything the paper assumes about the streaming
+environment (Sec. 3):
+
+* :class:`~repro.streams.series.TimeSeries` — a regularly sampled series with
+  ``NaN`` marking missing (``NIL``) values.
+* :class:`~repro.streams.window.SlidingWindow` — the window ``W`` of the last
+  ``L`` time points over a set of streams, backed by ring buffers.
+* :class:`~repro.streams.stream.MultiSeriesStream` — replay of a dataset as a
+  stream of per-tick records.
+* :mod:`~repro.streams.missing` — injection of missing values: single points,
+  random points, and the long consecutive blocks ("sensor failures") used by
+  the paper's evaluation.
+* :class:`~repro.streams.engine.StreamingImputationEngine` — drives any
+  online imputer over a stream and collects the imputed values for scoring.
+"""
+
+from .series import TimeSeries
+from .window import SlidingWindow
+from .stream import MultiSeriesStream, StreamRecord
+from .missing import (
+    MissingBlock,
+    inject_missing_block,
+    inject_random_missing,
+    sensor_failure_blocks,
+)
+from .engine import StreamingImputationEngine, StreamRunResult
+
+__all__ = [
+    "TimeSeries",
+    "SlidingWindow",
+    "MultiSeriesStream",
+    "StreamRecord",
+    "MissingBlock",
+    "inject_missing_block",
+    "inject_random_missing",
+    "sensor_failure_blocks",
+    "StreamingImputationEngine",
+    "StreamRunResult",
+]

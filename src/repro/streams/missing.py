@@ -1,0 +1,154 @@
+"""Missing-value injection.
+
+The paper's evaluation simulates a common failure mode: a sensor breaks and a
+*block* of consecutive values is missing until a technician replaces it
+(Sec. 7).  This module provides the injection utilities used by the
+experiment harness:
+
+* :func:`inject_missing_block` — remove one contiguous block from one series.
+* :func:`inject_random_missing` — remove isolated random points (used by
+  tests and the quickstart example).
+* :func:`sensor_failure_blocks` — draw a realistic schedule of failures
+  (block start/length pairs) for a long-running stream.
+
+Injection never mutates its input; the original values are returned alongside
+the masked copy so the harness can score the recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "MissingBlock",
+    "inject_missing_block",
+    "inject_random_missing",
+    "sensor_failure_blocks",
+]
+
+
+@dataclass(frozen=True)
+class MissingBlock:
+    """A contiguous range of missing values in one series.
+
+    Attributes
+    ----------
+    series:
+        Name of the affected series.
+    start:
+        Index of the first missing time point.
+    length:
+        Number of consecutive missing time points.
+    """
+
+    series: str
+    start: int
+    length: int
+
+    @property
+    def stop(self) -> int:
+        """One past the last missing index."""
+        return self.start + self.length
+
+    def indices(self) -> np.ndarray:
+        """The affected indices as an array."""
+        return np.arange(self.start, self.stop)
+
+    def mask(self, total_length: int) -> np.ndarray:
+        """Boolean mask of length ``total_length`` flagging the block."""
+        if self.stop > total_length:
+            raise ConfigurationError(
+                f"block [{self.start}, {self.stop}) exceeds series length {total_length}"
+            )
+        mask = np.zeros(total_length, dtype=bool)
+        mask[self.start: self.stop] = True
+        return mask
+
+
+def inject_missing_block(
+    values: np.ndarray, start: int, length: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(masked copy, ground truth of the block)``.
+
+    Parameters
+    ----------
+    values:
+        Original series values.
+    start, length:
+        Block position; must lie inside the series.
+    """
+    series = np.asarray(values, dtype=float).copy()
+    if length < 1:
+        raise ConfigurationError(f"block length must be >= 1, got {length}")
+    if start < 0 or start + length > len(series):
+        raise ConfigurationError(
+            f"block [{start}, {start + length}) does not fit in a series of "
+            f"length {len(series)}"
+        )
+    truth = series[start: start + length].copy()
+    series[start: start + length] = np.nan
+    return series, truth
+
+
+def inject_random_missing(
+    values: np.ndarray, fraction: float, seed: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Remove a random ``fraction`` of points; returns ``(masked copy, mask)``."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+    series = np.asarray(values, dtype=float).copy()
+    rng = np.random.default_rng(seed)
+    mask = rng.random(len(series)) < fraction
+    series[mask] = np.nan
+    return series, mask
+
+
+def sensor_failure_blocks(
+    series_length: int,
+    num_failures: int,
+    block_length: int,
+    min_start: int = 0,
+    seed: Optional[int] = None,
+    series: str = "",
+) -> List[MissingBlock]:
+    """Draw ``num_failures`` non-overlapping failure blocks of equal length.
+
+    Parameters
+    ----------
+    series_length:
+        Total number of time points of the affected series.
+    num_failures:
+        Number of failure events (blocks).
+    block_length:
+        Length of every block in samples.
+    min_start:
+        Earliest allowed block start (e.g. after the warm-up window).
+    seed:
+        Seed for the block placement.
+    series:
+        Name recorded on the produced :class:`MissingBlock` objects.
+    """
+    if num_failures < 1:
+        raise ConfigurationError(f"num_failures must be >= 1, got {num_failures}")
+    if block_length < 1:
+        raise ConfigurationError(f"block_length must be >= 1, got {block_length}")
+    usable = series_length - min_start
+    if usable < num_failures * block_length:
+        raise ConfigurationError(
+            f"cannot place {num_failures} blocks of {block_length} samples in "
+            f"{usable} available samples"
+        )
+    rng = np.random.default_rng(seed)
+    # Place blocks by partitioning the slack uniformly between them.
+    slack = usable - num_failures * block_length
+    cuts = np.sort(rng.integers(0, slack + 1, size=num_failures))
+    blocks = []
+    for i, cut in enumerate(cuts):
+        start = min_start + int(cut) + i * block_length
+        blocks.append(MissingBlock(series=series, start=start, length=block_length))
+    return blocks

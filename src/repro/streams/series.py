@@ -1,0 +1,162 @@
+"""Regularly sampled time series with explicit missing values.
+
+:class:`TimeSeries` is the library's basic data container: a name, a 1-D
+float array of values (``NaN`` = missing / ``NIL``), and a regular time axis
+described by a start time and a sample period.  It intentionally stays small:
+datasets bundle several of these, the streaming layer replays them, and the
+core algorithms work on plain NumPy windows extracted from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..exceptions import StreamError
+
+__all__ = ["TimeSeries"]
+
+
+@dataclass
+class TimeSeries:
+    """A named, regularly sampled time series.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the series (e.g. the weather-station name).
+    values:
+        1-D array of measurements; ``NaN`` marks a missing value.
+    sample_period_minutes:
+        Spacing between consecutive measurements.
+    start_minute:
+        Time (in minutes, arbitrary epoch) of the first measurement.
+    metadata:
+        Free-form provenance information (e.g. generator parameters).
+    """
+
+    name: str
+    values: np.ndarray
+    sample_period_minutes: float = 5.0
+    start_minute: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float).ravel()
+        self.values = values
+        if self.sample_period_minutes <= 0:
+            raise StreamError(
+                f"sample_period_minutes must be > 0, got {self.sample_period_minutes}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Time axis in minutes since the epoch of ``start_minute``."""
+        return self.start_minute + np.arange(len(self.values)) * self.sample_period_minutes
+
+    @property
+    def missing_mask(self) -> np.ndarray:
+        """Boolean mask that is ``True`` where the value is missing."""
+        return np.isnan(self.values)
+
+    @property
+    def missing_count(self) -> int:
+        """Number of missing values."""
+        return int(np.count_nonzero(self.missing_mask))
+
+    @property
+    def missing_fraction(self) -> float:
+        """Fraction of missing values (0 for an empty series)."""
+        if len(self.values) == 0:
+            return 0.0
+        return self.missing_count / len(self.values)
+
+    def is_complete(self) -> bool:
+        """``True`` if the series has no missing values."""
+        return self.missing_count == 0
+
+    # ------------------------------------------------------------------ #
+    def value_at(self, index: int) -> float:
+        """Value at position ``index`` (may be ``NaN``)."""
+        return float(self.values[index])
+
+    def slice(self, start: int, stop: int) -> "TimeSeries":
+        """Return a copy of the series restricted to ``[start, stop)``."""
+        if not 0 <= start <= stop <= len(self.values):
+            raise StreamError(
+                f"invalid slice [{start}, {stop}) for series of length {len(self.values)}"
+            )
+        return TimeSeries(
+            name=self.name,
+            values=self.values[start:stop].copy(),
+            sample_period_minutes=self.sample_period_minutes,
+            start_minute=self.start_minute + start * self.sample_period_minutes,
+            metadata=dict(self.metadata),
+        )
+
+    def with_values(self, values: Iterable[float]) -> "TimeSeries":
+        """Return a copy with the same axis but different values."""
+        new_values = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                                dtype=float)
+        if len(new_values) != len(self.values):
+            raise StreamError(
+                f"replacement values have length {len(new_values)}, expected {len(self.values)}"
+            )
+        return TimeSeries(
+            name=self.name,
+            values=new_values.copy(),
+            sample_period_minutes=self.sample_period_minutes,
+            start_minute=self.start_minute,
+            metadata=dict(self.metadata),
+        )
+
+    def with_missing(self, mask: np.ndarray) -> "TimeSeries":
+        """Return a copy where positions flagged in ``mask`` are set to ``NaN``."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != len(self.values):
+            raise StreamError(
+                f"mask has length {len(mask)}, expected {len(self.values)}"
+            )
+        values = self.values.copy()
+        values[mask] = np.nan
+        return self.with_values(values)
+
+    def shifted(self, shift: int) -> "TimeSeries":
+        """Return a copy circularly shifted by ``shift`` samples (positive = delay)."""
+        return self.with_values(np.roll(self.values, shift))
+
+    # ------------------------------------------------------------------ #
+    def observed_values(self) -> np.ndarray:
+        """All non-missing values."""
+        return self.values[~self.missing_mask]
+
+    def mean(self) -> float:
+        """Mean of the observed values (``NaN`` if none)."""
+        observed = self.observed_values()
+        return float(np.mean(observed)) if len(observed) else float("nan")
+
+    def std(self) -> float:
+        """Standard deviation of the observed values (``NaN`` if none)."""
+        observed = self.observed_values()
+        return float(np.std(observed)) if len(observed) else float("nan")
+
+    def describe(self) -> dict:
+        """Summary statistics used by the harness reports."""
+        observed = self.observed_values()
+        if len(observed) == 0:
+            return {"name": self.name, "length": len(self), "missing": self.missing_count}
+        return {
+            "name": self.name,
+            "length": len(self),
+            "missing": self.missing_count,
+            "min": float(np.min(observed)),
+            "max": float(np.max(observed)),
+            "mean": float(np.mean(observed)),
+            "std": float(np.std(observed)),
+        }

@@ -1,0 +1,122 @@
+"""Sliding window over a set of co-evolving streams.
+
+:class:`SlidingWindow` materialises the paper's window ``W`` — the last ``L``
+time points of every stream kept in main memory (Sec. 3) — as one ring buffer
+per stream plus a shared tick counter.  It is used by the evaluation harness
+and the analysis utilities; the TKCM imputer keeps its own buffers so that it
+stays self-contained, but both share the :class:`repro.core.RingBuffer`
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from ..core.ring_buffer import RingBuffer
+from ..exceptions import ConfigurationError, StreamError
+
+__all__ = ["SlidingWindow"]
+
+
+class SlidingWindow:
+    """The last ``L`` measurements of every registered stream.
+
+    Parameters
+    ----------
+    length:
+        Window length ``L`` (number of retained time points).
+    series_names:
+        Streams to register immediately; more can be added with
+        :meth:`register`.
+    """
+
+    def __init__(self, length: int, series_names: Optional[Iterable[str]] = None) -> None:
+        if length < 1:
+            raise ConfigurationError(f"window length must be >= 1, got {length}")
+        self.length = int(length)
+        self._buffers: Dict[str, RingBuffer] = {}
+        self._ticks = 0
+        for name in series_names or []:
+            self.register(name)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def series_names(self) -> List[str]:
+        """Registered stream names, in registration order."""
+        return list(self._buffers)
+
+    @property
+    def ticks(self) -> int:
+        """Number of ticks pushed so far."""
+        return self._ticks
+
+    @property
+    def is_full(self) -> bool:
+        """``True`` once at least ``L`` ticks have been pushed."""
+        return self._ticks >= self.length
+
+    @property
+    def current_size(self) -> int:
+        """Number of time points currently held (``min(ticks, L)``)."""
+        return min(self._ticks, self.length)
+
+    def register(self, name: str) -> None:
+        """Add a stream.  If data has already been pushed, its history is NaN."""
+        if name in self._buffers:
+            return
+        buffer = RingBuffer(self.length)
+        # Backfill with NaN so all buffers stay aligned on the same tick axis.
+        for _ in range(self.current_size):
+            buffer.append(np.nan)
+        self._buffers[name] = buffer
+
+    # ------------------------------------------------------------------ #
+    def push(self, values: Mapping[str, float]) -> None:
+        """Advance the window by one tick with the given per-stream values."""
+        for name in values:
+            self.register(name)
+        for name, buffer in self._buffers.items():
+            buffer.append(float(values.get(name, np.nan)))
+        self._ticks += 1
+
+    def update_latest(self, name: str, value: float) -> None:
+        """Overwrite the newest value of ``name`` (e.g. with an imputed value)."""
+        if name not in self._buffers:
+            raise StreamError(f"unknown stream {name!r}")
+        self._buffers[name].replace_latest(float(value))
+
+    # ------------------------------------------------------------------ #
+    def series(self, name: str) -> np.ndarray:
+        """Window contents of ``name`` in chronological order."""
+        if name not in self._buffers:
+            raise StreamError(f"unknown stream {name!r}")
+        return self._buffers[name].view()
+
+    def latest(self, name: str) -> float:
+        """Most recent value of ``name``."""
+        if name not in self._buffers:
+            raise StreamError(f"unknown stream {name!r}")
+        return self._buffers[name].latest_value()
+
+    def matrix(self, names: Optional[Iterable[str]] = None) -> np.ndarray:
+        """Stack the windows of ``names`` (default: all) into a ``(d, size)`` matrix."""
+        selected = list(names) if names is not None else self.series_names
+        if not selected:
+            raise StreamError("no streams selected")
+        return np.vstack([self.series(name) for name in selected])
+
+    def availability(self) -> Dict[str, bool]:
+        """Which streams have a non-missing value at the current tick."""
+        return {
+            name: self._buffers[name].size > 0
+            and not np.isnan(self._buffers[name].latest_value())
+            for name in self._buffers
+        }
+
+    def clear(self) -> None:
+        """Drop all data but keep the registered streams."""
+        for buffer in self._buffers.values():
+            buffer.clear()
+        self._ticks = 0

@@ -1,0 +1,55 @@
+"""Unit tests for the correlation-analysis report (Fig. 4, 5, 13a)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyse_pair
+from repro.analysis.correlation_analysis import value_ambiguity
+from repro.datasets import linearly_correlated_pair, phase_shifted_pair
+
+
+class TestValueAmbiguity:
+    def test_linear_relationship_has_low_ambiguity(self):
+        x = np.linspace(0, 1, 500)
+        assert value_ambiguity(2 * x + 1, x) < 0.2
+
+    def test_shifted_sines_have_high_ambiguity(self):
+        dataset = phase_shifted_pair(2000)
+        ambiguity = value_ambiguity(dataset.values("s"), dataset.values("r2"))
+        assert ambiguity > 1.0, "the same reference value maps to target values ±0.86 apart"
+
+    def test_constant_reference(self):
+        target = np.array([1.0, 5.0, 3.0])
+        assert value_ambiguity(target, np.ones(3)) == pytest.approx(4.0)
+
+    def test_empty_after_nan_filtering(self):
+        assert np.isnan(value_ambiguity(np.array([np.nan]), np.array([1.0])))
+
+
+class TestAnalysePair:
+    def test_fig4_linear_pair_report(self):
+        dataset = linearly_correlated_pair(841)
+        report = analyse_pair(dataset.values("s"), dataset.values("r1"), max_lag=120)
+        assert report.pearson == pytest.approx(1.0, abs=1e-9)
+        assert report.is_linearly_correlated
+        assert not report.is_shifted
+        assert report.ambiguity < 0.1
+        assert report.scatter.shape[1] == 2
+
+    def test_fig5_shifted_pair_report(self):
+        dataset = phase_shifted_pair(841)
+        report = analyse_pair(dataset.values("s"), dataset.values("r2"), max_lag=120)
+        assert abs(report.pearson) < 0.05
+        assert abs(report.correlation_at_best_lag) > 0.95
+        assert report.best_lag != 0
+        assert report.is_shifted
+        assert not report.is_linearly_correlated
+        assert report.ambiguity > 1.0
+
+    def test_scatter_subsampling_limit(self):
+        dataset = linearly_correlated_pair(841)
+        report = analyse_pair(dataset.values("s"), dataset.values("r1"),
+                              max_lag=10, max_scatter_points=100)
+        assert len(report.scatter) == 100

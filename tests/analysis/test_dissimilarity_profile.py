@@ -1,0 +1,94 @@
+"""Unit tests for the dissimilarity profiles (paper Fig. 6 and 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import dissimilarity_profile, near_matches
+from repro.datasets import linearly_correlated_pair, phase_shifted_pair
+from repro.exceptions import InsufficientDataError
+
+
+class TestProfileBasics:
+    def test_profile_length(self):
+        values = np.arange(50, dtype=float)
+        profile = dissimilarity_profile(values, query_index=49, pattern_length=5)
+        assert len(profile) == 50 - 2 * 5 + 1
+
+    def test_profile_of_periodic_reference_has_periodic_zeros(self):
+        t = np.arange(500, dtype=float)
+        reference = np.sin(2 * np.pi * t / 100)
+        profile = dissimilarity_profile(reference, query_index=499, pattern_length=10)
+        zero_anchors = near_matches(profile, threshold=1e-9, pattern_length=10)
+        assert len(zero_anchors) >= 3
+        gaps = np.diff(zero_anchors)
+        np.testing.assert_array_equal(gaps, np.full(len(gaps), 100))
+
+    def test_query_index_out_of_range_raises(self):
+        with pytest.raises(InsufficientDataError):
+            dissimilarity_profile(np.arange(10, dtype=float), query_index=10, pattern_length=2)
+
+    def test_multiple_reference_series(self):
+        values = np.vstack([np.arange(30, dtype=float), np.ones(30)])
+        profile = dissimilarity_profile(values, query_index=29, pattern_length=3)
+        assert len(profile) == 30 - 6 + 1
+        assert np.all(profile >= 0)
+
+
+class TestNearMatches:
+    def test_threshold_filters_anchors(self):
+        profile = np.array([0.5, 0.0, 2.0, 0.1])
+        anchors = near_matches(profile, threshold=0.1, pattern_length=3)
+        np.testing.assert_array_equal(anchors, [1 + 2, 3 + 2])
+
+    def test_negative_threshold_raises(self):
+        with pytest.raises(ValueError):
+            near_matches(np.array([0.1]), threshold=-1.0)
+
+
+class TestPaperFigures6And7:
+    """The qualitative claims behind Fig. 6 and 7."""
+
+    def test_fig6_linear_reference_zero_matches_share_target_value(self):
+        dataset = linearly_correlated_pair(841)
+        target = dataset.values("s")
+        reference = dataset.values("r1")
+        profile = dissimilarity_profile(reference, query_index=840, pattern_length=1)
+        anchors = near_matches(profile, threshold=1e-6, pattern_length=1)
+        assert len(anchors) >= 4
+        # For a linearly correlated reference, every zero-dissimilarity anchor
+        # carries (almost) the value the query point has.
+        np.testing.assert_allclose(target[anchors], target[840], atol=1e-3)
+
+    def test_fig7_shifted_reference_is_ambiguous_with_short_patterns(self):
+        dataset = phase_shifted_pair(841)
+        target = dataset.values("s")
+        reference = dataset.values("r2")
+        profile = dissimilarity_profile(reference, query_index=840, pattern_length=1)
+        anchors = near_matches(profile, threshold=1e-6, pattern_length=1)
+        values = target[anchors]
+        # Both +0.86 and -0.86 appear: the reference value alone cannot
+        # determine the target (Example 6).
+        assert values.max() > 0.5
+        assert values.min() < -0.5
+
+    def test_fig7_long_patterns_remove_the_ambiguity(self):
+        dataset = phase_shifted_pair(841)
+        target = dataset.values("s")
+        reference = dataset.values("r2")
+        profile = dissimilarity_profile(reference, query_index=840, pattern_length=60)
+        anchors = near_matches(profile, threshold=1e-6, pattern_length=60)
+        assert len(anchors) >= 1
+        np.testing.assert_allclose(target[anchors], target[840], atol=1e-3)
+
+    def test_longer_pattern_produces_fewer_zero_matches(self):
+        dataset = linearly_correlated_pair(841)
+        reference = dataset.values("r1")
+        short = near_matches(
+            dissimilarity_profile(reference, 840, 1), 1e-6, pattern_length=1
+        )
+        long = near_matches(
+            dissimilarity_profile(reference, 840, 60), 1e-6, pattern_length=60
+        )
+        assert len(long) < len(short)

@@ -1,0 +1,66 @@
+"""Unit tests for the pattern-length analysis (Lemma 5.1 and helpers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    count_patterns_within,
+    monotonicity_holds,
+    recommend_pattern_length,
+)
+from repro.datasets import phase_shifted_pair
+
+
+@pytest.fixture
+def periodic_reference():
+    t = np.arange(900, dtype=float)
+    return np.sin(2 * np.pi * t / 90)
+
+
+class TestCounting:
+    def test_count_matches_profile_thresholding(self, periodic_reference):
+        count = count_patterns_within(periodic_reference, query_index=899,
+                                      pattern_length=5, threshold=1e-9)
+        # One zero-dissimilarity anchor per period, minus those excluded near
+        # the query; about 900/90 - 1 = 9.
+        assert 7 <= count <= 10
+
+    def test_large_threshold_counts_everything(self, periodic_reference):
+        count = count_patterns_within(periodic_reference, 899, 3, threshold=1e9)
+        assert count == 900 - 2 * 3 + 1
+
+
+class TestMonotonicity:
+    def test_holds_on_periodic_data(self, periodic_reference):
+        assert monotonicity_holds(periodic_reference, query_index=899,
+                                  lengths=[1, 5, 20, 60], threshold=0.5)
+
+    def test_holds_on_random_data(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(2, 400))
+        for threshold in (0.1, 1.0, 5.0):
+            assert monotonicity_holds(values, query_index=399,
+                                      lengths=[1, 2, 4, 8, 16], threshold=threshold)
+
+    def test_single_length_is_trivially_monotone(self, periodic_reference):
+        assert monotonicity_holds(periodic_reference, 899, [7], threshold=0.1)
+
+
+class TestRecommendation:
+    def test_recommends_a_candidate_length(self, periodic_reference):
+        lengths = [1, 5, 10, 20, 40]
+        recommended = recommend_pattern_length(periodic_reference, 899, lengths)
+        assert recommended in lengths
+
+    def test_shifted_pair_prefers_longer_patterns(self):
+        """On phase-shifted data, l = 1 is not selective enough (Sec. 5.2)."""
+        dataset = phase_shifted_pair(841)
+        reference = dataset.values("r2")
+        recommended = recommend_pattern_length(reference, 840, [1, 10, 30, 60])
+        assert recommended > 1
+
+    def test_empty_candidate_list_raises(self, periodic_reference):
+        with pytest.raises(ValueError):
+            recommend_pattern_length(periodic_reference, 899, [])

@@ -1,0 +1,124 @@
+"""Unit tests for the offline-to-online imputer adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CentroidDecompositionImputer,
+    IterativeSVDImputer,
+    OnlineImputerAdapter,
+)
+from repro.baselines.base import OfflineImputer
+from repro.exceptions import ConfigurationError
+
+NAN = float("nan")
+
+
+class CountingImputer(OfflineImputer):
+    """Offline imputer stub that counts recoveries and fills NaNs with a constant."""
+
+    def __init__(self, fill_value: float = 42.0) -> None:
+        self.fill_value = fill_value
+        self.calls = 0
+
+    def recover(self, matrix: np.ndarray) -> np.ndarray:
+        self.calls += 1
+        filled = matrix.copy()
+        filled[np.isnan(filled)] = self.fill_value
+        return filled
+
+
+class TestAdapterBasics:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            OnlineImputerAdapter(CountingImputer(), ["a"], window_length=1)
+        with pytest.raises(ConfigurationError):
+            OnlineImputerAdapter(CountingImputer(), ["a"], window_length=10, refresh_interval=0)
+
+    def test_complete_ticks_do_not_trigger_recovery(self):
+        stub = CountingImputer()
+        adapter = OnlineImputerAdapter(stub, ["a", "b"], window_length=10)
+        for i in range(5):
+            assert adapter.observe({"a": float(i), "b": float(i)}) == {}
+        assert stub.calls == 0
+
+    def test_missing_value_is_recovered_from_offline_method(self):
+        stub = CountingImputer(fill_value=7.0)
+        adapter = OnlineImputerAdapter(stub, ["a", "b"], window_length=10)
+        adapter.observe({"a": 1.0, "b": 2.0})
+        results = adapter.observe({"a": NAN, "b": 3.0})
+        assert results == {"a": 7.0}
+        assert stub.calls == 1
+
+    def test_refresh_interval_limits_recoveries(self):
+        stub = CountingImputer()
+        adapter = OnlineImputerAdapter(stub, ["a", "b"], window_length=50, refresh_interval=5)
+        adapter.observe({"a": 1.0, "b": 1.0})
+        for _ in range(10):
+            adapter.observe({"a": NAN, "b": 1.0})
+        assert stub.calls == 2    # ticks 1 and 6 of the gap
+
+    def test_window_bounds_history(self):
+        stub = CountingImputer()
+        adapter = OnlineImputerAdapter(stub, ["a"], window_length=3)
+        for i in range(10):
+            adapter.observe({"a": float(i)})
+        assert len(adapter._rows) == 3
+
+    def test_reset(self):
+        adapter = OnlineImputerAdapter(CountingImputer(), ["a"], window_length=5)
+        adapter.observe({"a": 1.0})
+        adapter.reset()
+        assert adapter._rows == []
+
+    def test_imputed_values_become_observations_for_later_recoveries(self):
+        stub = CountingImputer(fill_value=9.0)
+        adapter = OnlineImputerAdapter(stub, ["a", "b"], window_length=10, refresh_interval=1)
+        adapter.observe({"a": 1.0, "b": 1.0})
+        adapter.observe({"a": NAN, "b": 2.0})
+        # The stored row should now hold the imputed 9.0, not NaN.
+        assert adapter._rows[-1][0] == 9.0
+
+
+class TestAdapterWithRealImputers:
+    def test_cd_adapter_tracks_a_correlated_gap(self):
+        t = np.arange(400, dtype=float)
+        base = np.sin(2 * np.pi * t / 40)
+        a = base
+        b = 2.0 * base + 1.0
+        c = -base + 0.5
+        adapter = OnlineImputerAdapter(
+            CentroidDecompositionImputer(max_iterations=5),
+            ["a", "b", "c"],
+            window_length=300,
+            refresh_interval=10,
+        )
+        errors = []
+        for i in range(400):
+            values = {"a": float(a[i]), "b": float(b[i]), "c": float(c[i])}
+            if 350 <= i < 390:
+                values["a"] = NAN
+                estimate = adapter.observe(values)["a"]
+                errors.append(abs(estimate - a[i]))
+            else:
+                adapter.observe(values)
+        assert float(np.mean(errors)) < 0.5
+
+    def test_svd_adapter_produces_finite_estimates(self):
+        rng = np.random.default_rng(0)
+        adapter = OnlineImputerAdapter(
+            IterativeSVDImputer(max_iterations=5),
+            ["a", "b"],
+            window_length=100,
+            refresh_interval=5,
+        )
+        for i in range(150):
+            values = {"a": float(np.sin(i / 7)), "b": float(np.cos(i / 7))}
+            if i % 17 == 0 and i > 20:
+                values["a"] = NAN
+                result = adapter.observe(values)
+                assert np.isfinite(result["a"])
+            else:
+                adapter.observe(values)

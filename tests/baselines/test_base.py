@@ -1,0 +1,60 @@
+"""Unit tests for the imputer base interfaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import OfflineImputer, OnlineImputer
+from repro.exceptions import ConfigurationError
+
+
+class RecordingOnlineImputer(OnlineImputer):
+    """Minimal online imputer that records every observed tick."""
+
+    def __init__(self, series_names):
+        self.series_names = list(series_names)
+        self.observed = []
+
+    def observe(self, values):
+        self.observed.append(dict(values))
+        return {name: 0.0 for name, value in values.items() if np.isnan(value)}
+
+
+class ConstantOfflineImputer(OfflineImputer):
+    """Fills every missing entry with a constant."""
+
+    def recover(self, matrix):
+        filled = np.asarray(matrix, dtype=float).copy()
+        filled[np.isnan(filled)] = 7.0
+        return filled
+
+
+class TestOnlineImputerPrime:
+    def test_default_prime_replays_history_tick_by_tick(self):
+        imputer = RecordingOnlineImputer(["a", "b"])
+        imputer.prime({"a": [1.0, 2.0, 3.0], "b": [4.0, 5.0, 6.0]})
+        assert len(imputer.observed) == 3
+        assert imputer.observed[0] == {"a": 1.0, "b": 4.0}
+        assert imputer.observed[-1] == {"a": 3.0, "b": 6.0}
+
+    def test_prime_with_mismatched_lengths_raises(self):
+        imputer = RecordingOnlineImputer(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            imputer.prime({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_prime_with_empty_history_is_a_noop(self):
+        imputer = RecordingOnlineImputer(["a"])
+        imputer.prime({})
+        assert imputer.observed == []
+
+    def test_reset_default_is_noop(self):
+        imputer = RecordingOnlineImputer(["a"])
+        imputer.reset()   # must not raise
+
+
+class TestOfflineImputerHelpers:
+    def test_recover_series_returns_one_column(self):
+        matrix = np.array([[1.0, np.nan], [2.0, 3.0]])
+        column = ConstantOfflineImputer().recover_series(matrix, column=1)
+        np.testing.assert_array_equal(column, [7.0, 3.0])

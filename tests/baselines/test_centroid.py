@@ -1,0 +1,132 @@
+"""Unit tests for the centroid decomposition and CD-based recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CentroidDecompositionImputer, centroid_decomposition
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def correlated_matrix():
+    """Five strongly correlated columns built from one shared signal."""
+    rng = np.random.default_rng(0)
+    t = np.arange(600)
+    base = np.sin(2 * np.pi * t / 60)
+    columns = [
+        gain * base + offset + rng.normal(0, 0.02, len(t))
+        for gain, offset in ((1.0, 0.0), (1.5, 1.0), (0.8, -0.5), (1.2, 2.0), (0.9, 0.3))
+    ]
+    return np.column_stack(columns)
+
+
+class TestDecomposition:
+    def test_full_rank_reconstruction_is_exact(self, correlated_matrix):
+        loadings, relevance = centroid_decomposition(correlated_matrix)
+        np.testing.assert_allclose(loadings @ relevance.T, correlated_matrix, atol=1e-8)
+
+    def test_relevance_vectors_are_unit_length(self, correlated_matrix):
+        _, relevance = centroid_decomposition(correlated_matrix, rank=3)
+        norms = np.linalg.norm(relevance, axis=0)
+        np.testing.assert_allclose(norms[norms > 0], 1.0, atol=1e-9)
+
+    def test_rank_one_captures_most_variance_of_correlated_data(self, correlated_matrix):
+        centred = correlated_matrix - correlated_matrix.mean(axis=0)
+        loadings, relevance = centroid_decomposition(centred, rank=1)
+        reconstruction = loadings @ relevance.T
+        residual = np.linalg.norm(centred - reconstruction)
+        assert residual / np.linalg.norm(centred) < 0.1
+
+    def test_first_component_matches_svd_for_correlated_data(self, correlated_matrix):
+        centred = correlated_matrix - correlated_matrix.mean(axis=0)
+        centred = centred / centred.std(axis=0)
+        loadings, relevance = centroid_decomposition(centred, rank=1)
+        u, s, vt = np.linalg.svd(centred, full_matrices=False)
+        cd_rank1 = np.outer(loadings[:, 0], relevance[:, 0])
+        svd_rank1 = np.outer(u[:, 0] * s[0], vt[0])
+        correlation = np.corrcoef(cd_rank1.ravel(), svd_rank1.ravel())[0, 1]
+        assert correlation > 0.999
+
+    def test_invalid_inputs_raise(self, correlated_matrix):
+        with pytest.raises(ConfigurationError):
+            centroid_decomposition(np.ones(5))
+        with pytest.raises(ConfigurationError):
+            centroid_decomposition(correlated_matrix, rank=0)
+        with pytest.raises(ConfigurationError):
+            centroid_decomposition(correlated_matrix, rank=99)
+
+    def test_decomposition_of_rank_deficient_matrix_stops_early(self):
+        base = np.outer(np.arange(10, dtype=float), np.ones(4))
+        loadings, relevance = centroid_decomposition(base, rank=4)
+        np.testing.assert_allclose(loadings @ relevance.T, base, atol=1e-8)
+
+
+class TestRecovery:
+    def test_complete_matrix_is_returned_unchanged(self, correlated_matrix):
+        recovered = CentroidDecompositionImputer().recover(correlated_matrix)
+        np.testing.assert_array_equal(recovered, correlated_matrix)
+
+    def test_observed_entries_are_preserved(self, correlated_matrix):
+        matrix = correlated_matrix.copy()
+        matrix[100:150, 0] = np.nan
+        recovered = CentroidDecompositionImputer().recover(matrix)
+        observed = ~np.isnan(matrix)
+        np.testing.assert_array_equal(recovered[observed], matrix[observed])
+
+    def test_block_recovery_on_linearly_correlated_data(self, correlated_matrix):
+        """A 50-sample block in one of five correlated columns is recovered well."""
+        matrix = correlated_matrix.copy()
+        truth = matrix[200:250, 1].copy()
+        matrix[200:250, 1] = np.nan
+        recovered = CentroidDecompositionImputer().recover(matrix)
+        rmse = np.sqrt(np.mean((recovered[200:250, 1] - truth) ** 2))
+        amplitude = truth.max() - truth.min()
+        assert rmse < 0.25 * amplitude
+
+    def test_interior_gap_recovery_beats_naive_zero_fill(self, correlated_matrix):
+        matrix = correlated_matrix.copy()
+        truth = matrix[300:330, 2].copy()
+        matrix[300:330, 2] = np.nan
+        recovered = CentroidDecompositionImputer().recover(matrix)
+        rmse = np.sqrt(np.mean((recovered[300:330, 2] - truth) ** 2))
+        zero_rmse = np.sqrt(np.mean(truth ** 2))
+        assert rmse < zero_rmse
+
+    def test_shifted_column_is_recovered_poorly(self):
+        """The paper's argument: CD struggles when the references are phase shifted."""
+        t = np.arange(600)
+        base = np.sin(2 * np.pi * t / 120)
+        shifted = np.roll(base, 30)            # 90 degrees out of phase
+        rng = np.random.default_rng(1)
+        matrix = np.column_stack([
+            base + rng.normal(0, 0.01, 600),
+            shifted + rng.normal(0, 0.01, 600),
+            np.roll(base, 40) + rng.normal(0, 0.01, 600),
+        ])
+        truth = matrix[400:520, 0].copy()
+        corrupted = matrix.copy()
+        corrupted[400:520, 0] = np.nan
+        recovered = CentroidDecompositionImputer().recover(corrupted)
+        rmse = np.sqrt(np.mean((recovered[400:520, 0] - truth) ** 2))
+        assert rmse > 0.2, "phase-shifted references should not allow near-perfect recovery"
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            CentroidDecompositionImputer(max_iterations=0)
+        with pytest.raises(ConfigurationError):
+            CentroidDecompositionImputer(tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            CentroidDecompositionImputer().recover(np.ones(3))
+
+    def test_all_columns_partially_missing(self, correlated_matrix):
+        matrix = correlated_matrix.copy()
+        rng = np.random.default_rng(2)
+        mask = rng.random(matrix.shape) < 0.05
+        truth = matrix.copy()
+        matrix[mask] = np.nan
+        recovered = CentroidDecompositionImputer().recover(matrix)
+        assert np.isfinite(recovered).all()
+        rmse = np.sqrt(np.mean((recovered[mask] - truth[mask]) ** 2))
+        assert rmse < 0.5

@@ -1,0 +1,88 @@
+"""Unit tests for the kNNI baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import KnnImputer
+from repro.exceptions import ConfigurationError
+
+NAN = float("nan")
+
+
+class TestConstruction:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            KnnImputer(["a", "b"], num_neighbors=0)
+        with pytest.raises(ConfigurationError):
+            KnnImputer(["a", "b"], num_neighbors=5, window_length=3)
+
+
+class TestImputation:
+    def test_exact_neighbour_is_used(self):
+        """If the co-evolving values match a historical tick exactly, reuse its target value."""
+        imputer = KnnImputer(["s", "r"], num_neighbors=1)
+        imputer.observe({"s": 10.0, "r": 1.0})
+        imputer.observe({"s": 20.0, "r": 2.0})
+        imputer.observe({"s": 30.0, "r": 3.0})
+        assert imputer.observe({"s": NAN, "r": 2.0})["s"] == pytest.approx(20.0)
+
+    def test_average_of_k_neighbours(self):
+        imputer = KnnImputer(["s", "r"], num_neighbors=2, weighted=False)
+        imputer.observe({"s": 10.0, "r": 1.0})
+        imputer.observe({"s": 20.0, "r": 1.1})
+        imputer.observe({"s": 90.0, "r": 9.0})
+        assert imputer.observe({"s": NAN, "r": 1.05})["s"] == pytest.approx(15.0)
+
+    def test_weighted_average_prefers_closer_neighbour(self):
+        imputer = KnnImputer(["s", "r"], num_neighbors=2, weighted=True)
+        imputer.observe({"s": 10.0, "r": 1.0})
+        imputer.observe({"s": 20.0, "r": 2.0})
+        estimate = imputer.observe({"s": NAN, "r": 1.1})["s"]
+        assert 10.0 < estimate < 15.0
+
+    def test_no_history_returns_nan(self):
+        assert np.isnan(KnnImputer(["s", "r"]).observe({"s": NAN, "r": 1.0})["s"])
+
+    def test_all_features_missing_falls_back_to_column_mean(self):
+        imputer = KnnImputer(["s", "r"], num_neighbors=1)
+        imputer.observe({"s": 10.0, "r": 1.0})
+        imputer.observe({"s": 30.0, "r": 2.0})
+        assert imputer.observe({"s": NAN, "r": NAN})["s"] == pytest.approx(20.0)
+
+    def test_window_length_bounds_the_searched_history(self):
+        imputer = KnnImputer(["s", "r"], num_neighbors=1, window_length=2)
+        imputer.observe({"s": 10.0, "r": 1.0})     # will be evicted
+        imputer.observe({"s": 50.0, "r": 5.0})
+        imputer.observe({"s": 60.0, "r": 6.0})
+        assert imputer.observe({"s": NAN, "r": 1.0})["s"] == pytest.approx(50.0)
+
+    def test_sine_tracking_accuracy(self):
+        """On linearly correlated streams kNNI tracks the signal reasonably well."""
+        t = np.arange(400, dtype=float)
+        s = np.sin(2 * np.pi * t / 50)
+        r = 2.0 * np.sin(2 * np.pi * t / 50) + 1.0
+        imputer = KnnImputer(["s", "r"], num_neighbors=3, window_length=300)
+        for i in range(300):
+            imputer.observe({"s": float(s[i]), "r": float(r[i])})
+        errors = []
+        for i in range(300, 400):
+            estimate = imputer.observe({"s": NAN, "r": float(r[i])})["s"]
+            errors.append(abs(estimate - s[i]))
+        assert float(np.mean(errors)) < 0.1
+
+    def test_reset(self):
+        imputer = KnnImputer(["s", "r"], num_neighbors=1)
+        imputer.observe({"s": 10.0, "r": 1.0})
+        imputer.reset()
+        assert np.isnan(imputer.observe({"s": NAN, "r": 1.0})["s"])
+
+    def test_imputed_value_feeds_subsequent_columns_in_same_tick(self):
+        """Two simultaneously missing series: the first estimate helps the second."""
+        imputer = KnnImputer(["a", "b", "c"], num_neighbors=1)
+        imputer.observe({"a": 1.0, "b": 10.0, "c": 100.0})
+        imputer.observe({"a": 2.0, "b": 20.0, "c": 200.0})
+        results = imputer.observe({"a": 1.0, "b": NAN, "c": NAN})
+        assert results["b"] == pytest.approx(10.0)
+        assert results["c"] == pytest.approx(100.0)

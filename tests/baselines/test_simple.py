@@ -1,0 +1,175 @@
+"""Unit tests for the simple imputation baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LinearInterpolationImputer,
+    LocfImputer,
+    MeanImputer,
+    MovingAverageImputer,
+    SplineInterpolationImputer,
+)
+from repro.baselines.simple import interpolate_gaps
+from repro.exceptions import ConfigurationError
+
+NAN = float("nan")
+
+
+class TestMeanImputer:
+    def test_running_mean(self):
+        imputer = MeanImputer(["s"])
+        imputer.observe({"s": 2.0})
+        imputer.observe({"s": 4.0})
+        assert imputer.observe({"s": NAN})["s"] == pytest.approx(3.0)
+
+    def test_no_history_returns_nan(self):
+        assert np.isnan(MeanImputer(["s"]).observe({"s": NAN})["s"])
+
+    def test_imputed_values_do_not_bias_the_mean(self):
+        imputer = MeanImputer(["s"])
+        imputer.observe({"s": 10.0})
+        imputer.observe({"s": NAN})
+        imputer.observe({"s": NAN})
+        assert imputer.observe({"s": NAN})["s"] == pytest.approx(10.0)
+
+    def test_reset(self):
+        imputer = MeanImputer(["s"])
+        imputer.observe({"s": 5.0})
+        imputer.reset()
+        assert np.isnan(imputer.observe({"s": NAN})["s"])
+
+    def test_multiple_series_are_independent(self):
+        imputer = MeanImputer(["a", "b"])
+        imputer.observe({"a": 1.0, "b": 100.0})
+        results = imputer.observe({"a": NAN, "b": NAN})
+        assert results["a"] == pytest.approx(1.0)
+        assert results["b"] == pytest.approx(100.0)
+
+
+class TestLocfImputer:
+    def test_carries_last_observation(self):
+        imputer = LocfImputer(["s"])
+        imputer.observe({"s": 7.0})
+        assert imputer.observe({"s": NAN})["s"] == 7.0
+        imputer.observe({"s": 9.0})
+        assert imputer.observe({"s": NAN})["s"] == 9.0
+
+    def test_long_gap_keeps_carrying_the_same_value(self):
+        imputer = LocfImputer(["s"])
+        imputer.observe({"s": 3.0})
+        for _ in range(20):
+            assert imputer.observe({"s": NAN})["s"] == 3.0
+
+    def test_no_history_returns_nan(self):
+        assert np.isnan(LocfImputer(["s"]).observe({"s": NAN})["s"])
+
+    def test_reset(self):
+        imputer = LocfImputer(["s"])
+        imputer.observe({"s": 5.0})
+        imputer.reset()
+        assert np.isnan(imputer.observe({"s": NAN})["s"])
+
+
+class TestMovingAverageImputer:
+    def test_mean_of_window(self):
+        imputer = MovingAverageImputer(["s"], window=3)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            imputer.observe({"s": value})
+        # Window holds [2, 3, 4].
+        assert imputer.observe({"s": NAN})["s"] == pytest.approx(3.0)
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ConfigurationError):
+            MovingAverageImputer(["s"], window=0)
+
+    def test_empty_window_returns_nan(self):
+        assert np.isnan(MovingAverageImputer(["s"], window=3).observe({"s": NAN})["s"])
+
+
+class TestLinearInterpolationImputer:
+    def test_extrapolates_the_last_slope(self):
+        imputer = LinearInterpolationImputer(["s"])
+        imputer.observe({"s": 1.0})
+        imputer.observe({"s": 2.0})
+        assert imputer.observe({"s": NAN})["s"] == pytest.approx(3.0)
+        assert imputer.observe({"s": NAN})["s"] == pytest.approx(4.0)
+
+    def test_straight_line_over_long_gap(self):
+        """The failure mode the paper describes: a long gap becomes a straight line."""
+        imputer = LinearInterpolationImputer(["s"])
+        t = np.arange(100)
+        wave = np.sin(2 * np.pi * t / 20)
+        for value in wave[:50]:
+            imputer.observe({"s": float(value)})
+        estimates = [imputer.observe({"s": NAN})["s"] for _ in range(40)]
+        differences = np.diff(estimates)
+        np.testing.assert_allclose(differences, differences[0], atol=1e-9)
+
+    def test_single_observation_is_held(self):
+        imputer = LinearInterpolationImputer(["s"])
+        imputer.observe({"s": 5.0})
+        assert imputer.observe({"s": NAN})["s"] == 5.0
+
+    def test_no_history_returns_nan(self):
+        assert np.isnan(LinearInterpolationImputer(["s"]).observe({"s": NAN})["s"])
+
+    def test_gap_counter_resets_after_observation(self):
+        imputer = LinearInterpolationImputer(["s"])
+        imputer.observe({"s": 0.0})
+        imputer.observe({"s": 1.0})
+        imputer.observe({"s": NAN})
+        imputer.observe({"s": 10.0})   # sensor back online
+        imputer.observe({"s": 11.0})
+        assert imputer.observe({"s": NAN})["s"] == pytest.approx(12.0)
+
+
+class TestSplineInterpolationImputer:
+    def test_follows_smooth_trend_for_short_gaps(self):
+        imputer = SplineInterpolationImputer(["s"], history_length=12)
+        t = np.arange(40, dtype=float)
+        values = 0.5 * t
+        for value in values[:30]:
+            imputer.observe({"s": float(value)})
+        estimate = imputer.observe({"s": NAN})["s"]
+        assert estimate == pytest.approx(15.0, abs=0.2)
+
+    def test_requires_enough_history_for_cubic(self):
+        with pytest.raises(ConfigurationError):
+            SplineInterpolationImputer(["s"], history_length=3)
+
+    def test_not_enough_points_falls_back_to_last_value(self):
+        imputer = SplineInterpolationImputer(["s"])
+        imputer.observe({"s": 2.5})
+        assert imputer.observe({"s": NAN})["s"] == 2.5
+
+    def test_no_history_returns_nan(self):
+        assert np.isnan(SplineInterpolationImputer(["s"]).observe({"s": NAN})["s"])
+
+
+class TestInterpolateGaps:
+    def test_interior_gap_linear(self):
+        values = np.array([1.0, np.nan, np.nan, 4.0])
+        np.testing.assert_allclose(interpolate_gaps(values), [1.0, 2.0, 3.0, 4.0])
+
+    def test_leading_and_trailing_gaps_use_nearest(self):
+        values = np.array([np.nan, 2.0, 3.0, np.nan])
+        np.testing.assert_allclose(interpolate_gaps(values), [2.0, 2.0, 3.0, 3.0])
+
+    def test_all_missing_becomes_zeros(self):
+        np.testing.assert_array_equal(interpolate_gaps(np.array([np.nan, np.nan])), [0.0, 0.0])
+
+    def test_complete_series_is_returned_unchanged(self):
+        values = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(interpolate_gaps(values), values)
+
+    def test_single_observation(self):
+        values = np.array([np.nan, 5.0, np.nan])
+        np.testing.assert_array_equal(interpolate_gaps(values), [5.0, 5.0, 5.0])
+
+    def test_input_not_mutated(self):
+        values = np.array([1.0, np.nan, 3.0])
+        interpolate_gaps(values)
+        assert np.isnan(values[1])

@@ -1,0 +1,72 @@
+"""Unit tests for the iterative truncated-SVD recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import IterativeSVDImputer
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def correlated_matrix():
+    rng = np.random.default_rng(3)
+    t = np.arange(500)
+    base = np.cos(2 * np.pi * t / 50)
+    return np.column_stack([
+        base + rng.normal(0, 0.02, 500),
+        0.5 * base - 1.0 + rng.normal(0, 0.02, 500),
+        2.0 * base + 3.0 + rng.normal(0, 0.02, 500),
+        1.5 * base + rng.normal(0, 0.02, 500),
+    ])
+
+
+class TestRecovery:
+    def test_complete_matrix_is_unchanged(self, correlated_matrix):
+        recovered = IterativeSVDImputer().recover(correlated_matrix)
+        np.testing.assert_array_equal(recovered, correlated_matrix)
+
+    def test_observed_entries_preserved(self, correlated_matrix):
+        matrix = correlated_matrix.copy()
+        matrix[50:90, 2] = np.nan
+        recovered = IterativeSVDImputer().recover(matrix)
+        observed = ~np.isnan(matrix)
+        np.testing.assert_array_equal(recovered[observed], matrix[observed])
+
+    def test_block_recovery_accuracy(self, correlated_matrix):
+        matrix = correlated_matrix.copy()
+        truth = matrix[100:160, 0].copy()
+        matrix[100:160, 0] = np.nan
+        recovered = IterativeSVDImputer(rank=1).recover(matrix)
+        rmse = np.sqrt(np.mean((recovered[100:160, 0] - truth) ** 2))
+        amplitude = truth.max() - truth.min()
+        assert rmse < 0.2 * amplitude
+
+    def test_random_missing_recovery(self, correlated_matrix):
+        rng = np.random.default_rng(4)
+        matrix = correlated_matrix.copy()
+        mask = rng.random(matrix.shape) < 0.1
+        truth = correlated_matrix[mask]
+        matrix[mask] = np.nan
+        recovered = IterativeSVDImputer(rank=1).recover(matrix)
+        rmse = np.sqrt(np.mean((recovered[mask] - truth) ** 2))
+        assert rmse < 0.3
+
+    def test_invalid_parameters_raise(self, correlated_matrix):
+        with pytest.raises(ConfigurationError):
+            IterativeSVDImputer(max_iterations=0)
+        with pytest.raises(ConfigurationError):
+            IterativeSVDImputer(tolerance=-1.0)
+        with pytest.raises(ConfigurationError):
+            IterativeSVDImputer(rank=99).recover(
+                np.where(np.eye(4) > 0, np.nan, 1.0)
+            )
+        with pytest.raises(ConfigurationError):
+            IterativeSVDImputer().recover(np.ones(4))
+
+    def test_result_is_always_finite(self, correlated_matrix):
+        matrix = correlated_matrix.copy()
+        matrix[:30, :] = np.nan     # an aggressive corruption
+        recovered = IterativeSVDImputer().recover(matrix)
+        assert np.isfinite(recovered).all()

@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite.
+
+Fixtures provide the paper's running example (Table 2), small synthetic
+datasets, and benchmark-sized-down TKCM configurations so individual test
+modules stay focused on behaviour instead of setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TKCMConfig
+from repro.datasets import (
+    generate_chlorine,
+    generate_flights,
+    generate_sbr,
+    generate_sbr_shifted,
+    generate_sine_family,
+)
+
+
+# --------------------------------------------------------------------------- #
+# The paper's running example (Table 2): 12 five-minute ticks, 13:25 .. 14:20
+# --------------------------------------------------------------------------- #
+RUNNING_EXAMPLE_TIMES = [
+    "13:25", "13:30", "13:35", "13:40", "13:45", "13:50",
+    "13:55", "14:00", "14:05", "14:10", "14:15", "14:20",
+]
+
+RUNNING_EXAMPLE = {
+    "s": [22.8, 21.4, 21.8, 23.1, 23.5, 22.8, 21.2, 21.9, 23.5, 22.8, 21.2, np.nan],
+    "r1": [16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5],
+    "r2": [20.3, 19.8, 18.6, 18.8, 20.0, 20.5, 19.8, 18.2, 20.1, 20.2, 19.9, 18.2],
+    "r3": [14.0, 14.8, 13.6, 13.0, 14.5, 14.3, 14.0, 15.0, 13.0, 14.5, 14.3, 14.6],
+}
+
+
+@pytest.fixture
+def running_example():
+    """The paper's Table 2 values as ``{name: list of floats}`` (NaN = missing)."""
+    return {name: list(values) for name, values in RUNNING_EXAMPLE.items()}
+
+
+@pytest.fixture
+def running_example_config():
+    """TKCM parameters of the running example: L=12, l=3, k=2, d=2."""
+    return TKCMConfig(window_length=12, pattern_length=3, num_anchors=2, num_references=2)
+
+
+# --------------------------------------------------------------------------- #
+# Small datasets (kept tiny so the whole suite runs in a couple of minutes)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def small_sbr():
+    """Seven days of five correlated SBR-like stations."""
+    return generate_sbr(num_series=5, num_days=7, seed=123)
+
+
+@pytest.fixture(scope="session")
+def small_sbr_shifted():
+    """Seven days of five SBR-1d-like stations (shifted by up to one day)."""
+    return generate_sbr_shifted(num_series=5, num_days=7, seed=123)
+
+
+@pytest.fixture(scope="session")
+def small_flights():
+    """Three days of six Flights-like series at a one-minute rate."""
+    return generate_flights(num_series=6, num_points=3 * 1440, seed=123)
+
+
+@pytest.fixture(scope="session")
+def small_chlorine():
+    """Five days of eight Chlorine-like junction series."""
+    return generate_chlorine(num_series=8, num_points=5 * 288, seed=123)
+
+
+@pytest.fixture(scope="session")
+def sine_family():
+    """A noise-free pattern-determining sine family (Lemma 5.3 setting)."""
+    return generate_sine_family(
+        num_series=3,
+        num_points=2000,
+        period_minutes=200.0,
+        phase_shifts_degrees=[0.0, 90.0, 45.0],
+        seed=0,
+    )
+
+
+@pytest.fixture
+def small_config():
+    """A TKCM configuration sized for the small datasets."""
+    return TKCMConfig(window_length=864, pattern_length=12, num_anchors=3, num_references=3)

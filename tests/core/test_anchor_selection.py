@@ -1,0 +1,181 @@
+"""Unit tests for the k most similar non-overlapping anchor selection (Def. 3, Alg. 1)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.anchor_selection import (
+    select_anchors,
+    select_anchors_dp,
+    select_anchors_greedy,
+    select_anchors_overlapping,
+)
+from repro.exceptions import ConfigurationError, InsufficientDataError
+
+
+def brute_force_minimum(dissimilarities, k, pattern_length):
+    """Exhaustive minimum of the Def. 3 objective, for cross-checking the DP."""
+    best = None
+    indices = range(len(dissimilarities))
+    for combo in itertools.combinations(indices, k):
+        if all(b - a >= pattern_length for a, b in zip(combo, combo[1:])):
+            total = sum(dissimilarities[j] for j in combo)
+            if best is None or total < best:
+                best = total
+    return best
+
+
+class TestDpSelection:
+    def test_paper_fig8_example(self):
+        """The worked DP example of Fig. 8: D = [0.5, 0.3, 2.1, 0.7, 4.0], l=3, k=2."""
+        d = [0.5, 0.3, 2.1, 0.7, 4.0]
+        selection = select_anchors_dp(d, k=2, pattern_length=3)
+        assert selection.total_dissimilarity == pytest.approx(1.2)
+        assert selection.candidate_indices == (0, 3)
+        # Candidate 0 anchors at window index l-1 = 2 (= t6 in the figure's
+        # numbering), candidate 3 at index 5 (= t9).
+        assert selection.anchor_indices == (2, 5)
+
+    def test_sum_is_minimal_vs_brute_force(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            n = int(rng.integers(6, 16))
+            l = int(rng.integers(1, 4))
+            k = int(rng.integers(1, 4))
+            if len(range(n)) < (k - 1) * l + 1:
+                continue
+            d = rng.uniform(0, 10, size=n)
+            expected = brute_force_minimum(d, k, l)
+            if expected is None:
+                continue
+            selection = select_anchors_dp(d, k, l)
+            assert selection.total_dissimilarity == pytest.approx(expected)
+
+    def test_selected_anchors_are_non_overlapping(self):
+        rng = np.random.default_rng(1)
+        d = rng.uniform(0, 5, size=40)
+        selection = select_anchors_dp(d, k=5, pattern_length=4)
+        gaps = np.diff(selection.candidate_indices)
+        assert np.all(gaps >= 4)
+
+    def test_k_one_picks_global_minimum(self):
+        d = [3.0, 1.0, 0.5, 2.0]
+        selection = select_anchors_dp(d, k=1, pattern_length=3)
+        assert selection.candidate_indices == (2,)
+        assert selection.total_dissimilarity == pytest.approx(0.5)
+
+    def test_pattern_length_one_picks_k_smallest(self):
+        d = [5.0, 1.0, 4.0, 0.5, 3.0]
+        selection = select_anchors_dp(d, k=3, pattern_length=1)
+        assert selection.total_dissimilarity == pytest.approx(0.5 + 1.0 + 3.0)
+
+    def test_dissimilarities_align_with_candidates(self):
+        d = [0.5, 0.3, 2.1, 0.7, 4.0]
+        selection = select_anchors_dp(d, k=2, pattern_length=3)
+        assert selection.dissimilarities == (0.5, 0.7)
+        assert selection.k == 2
+
+    def test_infeasible_k_raises(self):
+        with pytest.raises(InsufficientDataError):
+            select_anchors_dp([1.0, 2.0, 3.0], k=3, pattern_length=2)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ConfigurationError):
+            select_anchors_dp([1.0, 2.0], k=0, pattern_length=1)
+
+    def test_invalid_pattern_length_raises(self):
+        with pytest.raises(ConfigurationError):
+            select_anchors_dp([1.0, 2.0], k=1, pattern_length=0)
+
+    def test_exactly_feasible_packing(self):
+        """k patterns just barely fit: every l-th candidate must be chosen."""
+        d = np.ones(7)
+        selection = select_anchors_dp(d, k=3, pattern_length=3)
+        assert selection.candidate_indices == (0, 3, 6)
+
+    def test_ties_still_produce_valid_selection(self):
+        d = np.zeros(10)
+        selection = select_anchors_dp(d, k=3, pattern_length=3)
+        assert selection.total_dissimilarity == 0.0
+        gaps = np.diff(selection.candidate_indices)
+        assert np.all(gaps >= 3)
+
+
+class TestGreedySelection:
+    def test_greedy_is_never_better_than_dp(self):
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            d = rng.uniform(0, 10, size=25)
+            dp = select_anchors_dp(d, k=4, pattern_length=3)
+            greedy = select_anchors_greedy(d, k=4, pattern_length=3)
+            assert greedy.total_dissimilarity >= dp.total_dissimilarity - 1e-9
+
+    def test_greedy_can_be_suboptimal(self):
+        """The example motivating the DP: the greedy pick blocks two cheap anchors."""
+        #      0    1    2    3
+        d = [9.0, 1.0, 1.1, 9.0]
+        # With l = 2: greedy takes candidate 1 (0.9... lowest), which blocks
+        # candidate 2; it must then take 3 (or 0) for a total of 10.0.  The DP
+        # pairs 0+2 or 1+3 for 10.1 vs ... let's use values where DP wins:
+        d = [2.0, 1.0, 1.5, 2.5]
+        greedy = select_anchors_greedy(d, k=2, pattern_length=2)
+        dp = select_anchors_dp(d, k=2, pattern_length=2)
+        # greedy: picks 1 (1.0), blocks 0 and 2, then must pick 3 -> 3.5
+        # dp: picks 0 and 2 -> 3.5  (equal here), so use an asymmetric case:
+        d = [2.0, 1.0, 1.2, 9.0]
+        greedy = select_anchors_greedy(d, k=2, pattern_length=2)
+        dp = select_anchors_dp(d, k=2, pattern_length=2)
+        assert greedy.total_dissimilarity == pytest.approx(1.0 + 9.0)
+        assert dp.total_dissimilarity == pytest.approx(2.0 + 1.2)
+        assert dp.total_dissimilarity < greedy.total_dissimilarity
+
+    def test_greedy_respects_non_overlap(self):
+        rng = np.random.default_rng(3)
+        d = rng.uniform(0, 1, size=30)
+        selection = select_anchors_greedy(d, k=5, pattern_length=3)
+        assert np.all(np.diff(selection.candidate_indices) >= 3)
+
+    def test_greedy_infeasible_raises(self):
+        with pytest.raises(InsufficientDataError):
+            select_anchors_greedy([1.0, 2.0], k=2, pattern_length=5)
+
+
+class TestOverlappingSelection:
+    def test_picks_k_smallest_even_if_adjacent(self):
+        d = [0.3, 0.1, 0.2, 5.0, 6.0]
+        selection = select_anchors_overlapping(d, k=3, pattern_length=4)
+        assert selection.candidate_indices == (0, 1, 2)
+        assert selection.anchor_indices == (3, 4, 5)
+
+    def test_too_few_candidates_raises(self):
+        with pytest.raises(InsufficientDataError):
+            select_anchors_overlapping([1.0], k=2, pattern_length=1)
+
+
+class TestDispatcher:
+    def test_dispatch_dp(self):
+        d = [0.5, 0.3, 2.1, 0.7, 4.0]
+        assert select_anchors(d, 2, 3, strategy="dp").total_dissimilarity == pytest.approx(1.2)
+
+    def test_dispatch_greedy(self):
+        d = [0.5, 0.3, 2.1, 0.7, 4.0]
+        result = select_anchors(d, 1, 3, strategy="greedy")
+        assert result.candidate_indices == (1,)
+
+    def test_dispatch_overlap(self):
+        d = [0.5, 0.3, 0.2, 0.7, 4.0]
+        result = select_anchors(d, 2, 3, allow_overlap=True)
+        assert result.candidate_indices == (1, 2)
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ConfigurationError):
+            select_anchors([1.0, 2.0], 1, 1, strategy="magic")
+
+    def test_infinite_candidates_are_avoided_when_possible(self):
+        d = [np.inf, 0.3, np.inf, 0.7, np.inf, 1.0, np.inf]
+        selection = select_anchors_dp(d, k=2, pattern_length=2)
+        assert np.isfinite(selection.total_dissimilarity)
+        assert set(selection.candidate_indices).issubset({1, 3, 5})

@@ -1,0 +1,93 @@
+"""Unit tests for the configuration objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    SAMPLES_PER_DAY_5MIN,
+    SAMPLES_PER_YEAR_5MIN,
+    ExperimentConfig,
+    StreamConfig,
+    TKCMConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestTKCMConfig:
+    def test_paper_defaults(self):
+        config = TKCMConfig()
+        assert config.num_references == 3
+        assert config.num_anchors == 5
+        assert config.pattern_length == 72
+        assert config.window_length == SAMPLES_PER_YEAR_5MIN
+        assert config.dissimilarity == "l2"
+        assert config.selection == "dp"
+        assert not config.allow_overlap
+
+    def test_min_window_length_formula(self):
+        assert TKCMConfig.min_window_length(pattern_length=3, num_anchors=2) == 9
+        assert TKCMConfig.min_window_length(pattern_length=72, num_anchors=5) == 432
+
+    def test_window_too_small_raises(self):
+        with pytest.raises(ConfigurationError):
+            TKCMConfig(window_length=8, pattern_length=3, num_anchors=2)
+        # Exactly the minimum is accepted.
+        TKCMConfig(window_length=9, pattern_length=3, num_anchors=2)
+
+    @pytest.mark.parametrize("field,value", [
+        ("pattern_length", 0),
+        ("num_anchors", 0),
+        ("num_references", 0),
+    ])
+    def test_non_positive_parameters_raise(self, field, value):
+        with pytest.raises(ConfigurationError):
+            TKCMConfig(**{field: value})
+
+    def test_unknown_dissimilarity_raises(self):
+        with pytest.raises(ConfigurationError):
+            TKCMConfig(dissimilarity="cosine")
+
+    def test_unknown_selection_raises(self):
+        with pytest.raises(ConfigurationError):
+            TKCMConfig(selection="random")
+
+    def test_num_candidate_anchors(self):
+        config = TKCMConfig(window_length=12, pattern_length=3, num_anchors=2)
+        assert config.num_candidate_anchors == 12 - 6 + 1
+
+    def test_with_updates_returns_validated_copy(self):
+        config = TKCMConfig(window_length=500, pattern_length=10, num_anchors=4)
+        updated = config.with_updates(pattern_length=20)
+        assert updated.pattern_length == 20
+        assert config.pattern_length == 10
+        with pytest.raises(ConfigurationError):
+            config.with_updates(pattern_length=0)
+
+    def test_frozen(self):
+        config = TKCMConfig()
+        with pytest.raises(Exception):
+            config.pattern_length = 10
+
+
+class TestStreamConfig:
+    def test_samples_per_day_and_week(self):
+        stream = StreamConfig(sample_period_minutes=5.0)
+        assert stream.samples_per_day() == SAMPLES_PER_DAY_5MIN
+        assert stream.samples_per_week() == 7 * SAMPLES_PER_DAY_5MIN
+
+    def test_one_minute_rate(self):
+        assert StreamConfig(sample_period_minutes=1.0).samples_per_day() == 1440
+
+
+class TestExperimentConfig:
+    def test_describe_mentions_parameters(self):
+        config = ExperimentConfig(label="fig11")
+        text = config.describe()
+        assert "fig11" in text
+        assert "l=72" in text
+        assert "k=5" in text
+        assert "d=3" in text
+
+    def test_default_label(self):
+        assert "experiment" in ExperimentConfig().describe()

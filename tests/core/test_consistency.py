@@ -1,0 +1,70 @@
+"""Unit tests for pattern-determining / consistency checks (paper Def. 5, 6, Lemma 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.consistency import epsilon_of_anchors, is_consistent, is_pattern_determining
+from repro.exceptions import InsufficientDataError
+
+
+class TestEpsilon:
+    def test_epsilon_is_value_range(self):
+        assert epsilon_of_anchors([21.9, 21.8]) == pytest.approx(0.1)
+        assert epsilon_of_anchors([5.0, 5.0, 5.0]) == 0.0
+
+    def test_single_anchor_has_zero_epsilon(self):
+        assert epsilon_of_anchors([3.2]) == 0.0
+
+    def test_nan_anchor_values_are_ignored(self):
+        assert epsilon_of_anchors([1.0, np.nan, 2.0]) == pytest.approx(1.0)
+
+    def test_empty_anchor_set_raises(self):
+        with pytest.raises(InsufficientDataError):
+            epsilon_of_anchors([])
+        with pytest.raises(InsufficientDataError):
+            epsilon_of_anchors([np.nan, np.nan])
+
+    def test_order_does_not_matter(self):
+        values = [3.0, 1.0, 2.5, 1.7]
+        assert epsilon_of_anchors(values) == epsilon_of_anchors(sorted(values))
+
+
+class TestPatternDetermining:
+    def test_paper_example_9(self):
+        """Anchors 21.9 and 21.8 pattern-determine s with epsilon = 0.1."""
+        assert is_pattern_determining([21.9, 21.8], tolerance=0.1)
+        assert not is_pattern_determining([21.9, 21.8], tolerance=0.05)
+
+    def test_negative_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            is_pattern_determining([1.0, 2.0], tolerance=-0.1)
+
+    def test_zero_tolerance_requires_identical_values(self):
+        assert is_pattern_determining([2.0, 2.0], tolerance=0.0)
+        assert not is_pattern_determining([2.0, 2.0001], tolerance=0.0)
+
+
+class TestConsistency:
+    def test_mean_of_anchors_is_consistent_with_epsilon(self):
+        """Lemma 5.2: the anchor mean is within epsilon of every anchor value."""
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            anchors = rng.normal(size=rng.integers(2, 8))
+            epsilon = epsilon_of_anchors(anchors)
+            assert is_consistent(float(np.mean(anchors)), anchors, epsilon)
+
+    def test_far_value_is_not_consistent(self):
+        assert not is_consistent(10.0, [1.0, 1.2, 0.9], tolerance=0.5)
+
+    def test_negative_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            is_consistent(1.0, [1.0], tolerance=-1.0)
+
+    def test_empty_anchor_set_raises(self):
+        with pytest.raises(InsufficientDataError):
+            is_consistent(1.0, [], tolerance=0.5)
+
+    def test_nan_anchors_are_ignored(self):
+        assert is_consistent(1.0, [np.nan, 1.1], tolerance=0.2)

@@ -1,0 +1,155 @@
+"""Unit tests for the pattern dissimilarity functions (paper Def. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dissimilarity import (
+    candidate_dissimilarities,
+    dtw_dissimilarity,
+    get_dissimilarity,
+    l1_dissimilarity,
+    l2_dissimilarity,
+    pattern_dissimilarity,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestPairwiseL2:
+    def test_identical_patterns_have_zero_dissimilarity(self):
+        pattern = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        assert l2_dissimilarity(pattern, pattern) == 0.0
+
+    def test_matches_manual_euclidean_distance(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[2.0, 4.0], [6.0, 8.0]])
+        expected = np.sqrt(1 + 4 + 9 + 16)
+        assert l2_dissimilarity(a, b) == pytest.approx(expected)
+
+    def test_paper_example_3(self):
+        """delta(P(14:00), P(14:20)) over the running example's r1, r2.
+
+        The paper reports 0.43 after eliding terms; the full six-term sum is
+        0.24 whose square root is ~0.4899, which is what the implementation
+        must produce.
+        """
+        p_1400 = np.array([[16.2, 17.4, 17.7], [20.5, 19.8, 18.2]])
+        p_1420 = np.array([[16.3, 17.1, 17.5], [20.2, 19.9, 18.2]])
+        expected = np.sqrt(
+            (17.7 - 17.5) ** 2 + (17.4 - 17.1) ** 2 + (16.2 - 16.3) ** 2
+            + (18.2 - 18.2) ** 2 + (19.8 - 19.9) ** 2 + (20.5 - 20.2) ** 2
+        )
+        assert l2_dissimilarity(p_1400, p_1420) == pytest.approx(expected)
+
+    def test_one_dimensional_patterns_are_accepted(self):
+        assert l2_dissimilarity(np.array([1.0, 2.0]), np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            l2_dissimilarity(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(2, 5)), rng.normal(size=(2, 5))
+        assert l2_dissimilarity(a, b) == pytest.approx(l2_dissimilarity(b, a))
+
+
+class TestPairwiseL1AndDtw:
+    def test_l1_matches_manual_sum(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[2.0, 0.0], [3.0, 7.0]])
+        assert l1_dissimilarity(a, b) == pytest.approx(1 + 2 + 0 + 3)
+
+    def test_dtw_zero_for_identical(self):
+        pattern = np.array([[1.0, 2.0, 3.0, 2.0]])
+        assert dtw_dissimilarity(pattern, pattern) == 0.0
+
+    def test_dtw_never_exceeds_l2(self):
+        """DTW may align points, so its cost is at most the rigid L2 cost."""
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a, b = rng.normal(size=(3, 6)), rng.normal(size=(3, 6))
+            assert dtw_dissimilarity(a, b) <= l2_dissimilarity(a, b) + 1e-9
+
+    def test_dtw_tolerates_small_shifts_better_than_l2(self):
+        base = np.sin(np.linspace(0, 2 * np.pi, 40))
+        shifted = np.roll(base, 2)
+        assert dtw_dissimilarity(base, shifted) < l2_dissimilarity(base, shifted)
+
+
+class TestRegistry:
+    def test_get_known_metrics(self):
+        assert get_dissimilarity("l2") is l2_dissimilarity
+        assert get_dissimilarity("l1") is l1_dissimilarity
+        assert get_dissimilarity("dtw") is dtw_dissimilarity
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_dissimilarity("cosine")
+
+    def test_pattern_dissimilarity_dispatches(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 2.0]])
+        assert pattern_dissimilarity(a, b, metric="l1") == pytest.approx(2.0)
+        assert pattern_dissimilarity(a, b, metric="l2") == pytest.approx(2.0)
+
+
+class TestCandidateDissimilarities:
+    def test_number_of_candidates_is_window_minus_2l_plus_1(self):
+        windows = np.arange(20, dtype=float).reshape(2, 10)
+        for l in (1, 2, 3):
+            d = candidate_dissimilarities(windows, l)
+            assert len(d) == 10 - 2 * l + 1
+
+    def test_matches_naive_per_candidate_computation(self):
+        rng = np.random.default_rng(3)
+        windows = rng.normal(size=(3, 30))
+        l = 4
+        d = candidate_dissimilarities(windows, l)
+        query = windows[:, -l:]
+        for j in range(len(d)):
+            candidate = windows[:, j: j + l]
+            assert d[j] == pytest.approx(l2_dissimilarity(candidate, query))
+
+    def test_l1_bulk_matches_pairwise(self):
+        rng = np.random.default_rng(4)
+        windows = rng.normal(size=(2, 20))
+        l = 3
+        d = candidate_dissimilarities(windows, l, metric="l1")
+        query = windows[:, -l:]
+        for j in range(len(d)):
+            assert d[j] == pytest.approx(l1_dissimilarity(windows[:, j: j + l], query))
+
+    def test_dtw_bulk_matches_pairwise(self):
+        rng = np.random.default_rng(5)
+        windows = rng.normal(size=(2, 14))
+        l = 3
+        d = candidate_dissimilarities(windows, l, metric="dtw")
+        query = windows[:, -l:]
+        for j in range(len(d)):
+            assert d[j] == pytest.approx(dtw_dissimilarity(windows[:, j: j + l], query))
+
+    def test_single_reference_series_1d_input(self):
+        window = np.array([1.0, 2.0, 3.0, 2.0, 1.0, 2.0, 3.0])
+        d = candidate_dissimilarities(window, 2)
+        assert len(d) == 7 - 4 + 1
+        # The candidate identical to the query ([2, 3] at indices 1..2) is at distance 0.
+        assert d[1] == pytest.approx(0.0)
+
+    def test_window_too_short_raises(self):
+        with pytest.raises(ValueError):
+            candidate_dissimilarities(np.ones((1, 5)), 3)
+
+    def test_pattern_length_must_be_positive(self):
+        with pytest.raises(ValueError):
+            candidate_dissimilarities(np.ones((1, 5)), 0)
+
+    def test_running_example_dissimilarities(self):
+        """The pattern anchored at 14:00 is the most similar one (Fig. 3)."""
+        r1 = [16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5]
+        r2 = [20.3, 19.8, 18.6, 18.8, 20.0, 20.5, 19.8, 18.2, 20.1, 20.2, 19.9, 18.2]
+        d = candidate_dissimilarities(np.vstack([r1, r2]), 3)
+        assert len(d) == 12 - 6 + 1
+        # Candidate index 5 anchors at window index 7 = 14:00.
+        assert int(np.argmin(d)) == 5

@@ -1,0 +1,120 @@
+"""Unit tests for pattern extraction (paper Def. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pattern import (
+    Pattern,
+    anchors_are_non_overlapping,
+    candidate_anchor_indices,
+    extract_pattern,
+    extract_query_pattern,
+    patterns_overlap,
+)
+from repro.exceptions import InsufficientDataError
+
+
+@pytest.fixture
+def windows():
+    """Two reference series of length 10 with recognisable values."""
+    return np.array([
+        np.arange(10, dtype=float),          # 0..9
+        np.arange(10, dtype=float) + 100.0,  # 100..109
+    ])
+
+
+class TestPatternValueClass:
+    def test_dimensions(self, windows):
+        pattern = extract_pattern(windows, anchor_index=5, pattern_length=3)
+        assert pattern.num_references == 2
+        assert pattern.length == 3
+        assert pattern.anchor_index == 5
+        assert pattern.start_index == 3
+
+    def test_values_are_the_l_most_recent_up_to_anchor(self, windows):
+        pattern = extract_pattern(windows, anchor_index=5, pattern_length=3)
+        np.testing.assert_array_equal(pattern.values, [[3, 4, 5], [103, 104, 105]])
+
+    def test_single_row_pattern_from_1d_values(self):
+        pattern = Pattern(values=np.array([1.0, 2.0, 3.0]), anchor_index=7)
+        assert pattern.num_references == 1
+        assert pattern.length == 3
+
+    def test_equality_and_hash(self, windows):
+        a = extract_pattern(windows, 5, 3)
+        b = extract_pattern(windows, 5, 3)
+        c = extract_pattern(windows, 6, 3)
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_overlap_detection(self, windows):
+        a = extract_pattern(windows, 4, 3)   # spans 2..4
+        b = extract_pattern(windows, 6, 3)   # spans 4..6 -> overlaps
+        c = extract_pattern(windows, 7, 3)   # spans 5..7 -> no overlap with a
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c) and not c.overlaps(a)
+
+
+class TestExtraction:
+    def test_query_pattern_is_anchored_at_last_index(self, windows):
+        query = extract_query_pattern(windows, pattern_length=4)
+        assert query.anchor_index == 9
+        np.testing.assert_array_equal(query.values[0], [6, 7, 8, 9])
+
+    def test_pattern_not_fitting_raises(self, windows):
+        with pytest.raises(InsufficientDataError):
+            extract_pattern(windows, anchor_index=1, pattern_length=3)
+        with pytest.raises(InsufficientDataError):
+            extract_pattern(windows, anchor_index=10, pattern_length=3)
+
+    def test_pattern_length_one(self, windows):
+        pattern = extract_pattern(windows, anchor_index=0, pattern_length=1)
+        np.testing.assert_array_equal(pattern.values, [[0.0], [100.0]])
+
+    def test_invalid_pattern_length_raises(self, windows):
+        with pytest.raises(ValueError):
+            extract_pattern(windows, anchor_index=5, pattern_length=0)
+
+    def test_extracted_values_are_copies(self, windows):
+        pattern = extract_pattern(windows, 5, 2)
+        pattern.values[0, 0] = -1.0
+        assert windows[0, 4] == 4.0
+
+
+class TestCandidateAnchors:
+    def test_range_matches_definition_3(self):
+        # L = 10, l = 3: anchors from index l-1 = 2 to L-1-l = 6.
+        indices = candidate_anchor_indices(window_length=10, pattern_length=3)
+        np.testing.assert_array_equal(indices, [2, 3, 4, 5, 6])
+        assert len(indices) == 10 - 2 * 3 + 1
+
+    def test_pattern_length_one_excludes_only_the_query_point(self):
+        indices = candidate_anchor_indices(window_length=5, pattern_length=1)
+        np.testing.assert_array_equal(indices, [0, 1, 2, 3])
+
+    def test_window_too_short_raises(self):
+        with pytest.raises(InsufficientDataError):
+            candidate_anchor_indices(window_length=5, pattern_length=3)
+
+    def test_candidates_never_overlap_query(self):
+        for window_length in (8, 12, 20):
+            for pattern_length in (1, 2, 3):
+                for anchor in candidate_anchor_indices(window_length, pattern_length):
+                    assert not patterns_overlap(anchor, window_length - 1, pattern_length)
+
+
+class TestOverlapHelpers:
+    def test_patterns_overlap_is_symmetric(self):
+        assert patterns_overlap(5, 7, 3)
+        assert patterns_overlap(7, 5, 3)
+        assert not patterns_overlap(5, 8, 3)
+
+    def test_anchors_are_non_overlapping(self):
+        assert anchors_are_non_overlapping([2, 5, 8], 3)
+        assert not anchors_are_non_overlapping([2, 4, 8], 3)
+        assert anchors_are_non_overlapping([4], 3)
+        assert anchors_are_non_overlapping([], 3)
+        assert anchors_are_non_overlapping([8, 2, 5], 3), "order must not matter"

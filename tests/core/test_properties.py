@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.anchor_selection import select_anchors_dp, select_anchors_greedy
+from repro.core.consistency import epsilon_of_anchors, is_consistent
+from repro.exceptions import InsufficientDataError
+from repro.core.dissimilarity import (
+    candidate_dissimilarities,
+    l1_dissimilarity,
+    l2_dissimilarity,
+)
+from repro.core.ring_buffer import RingBuffer
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+# --------------------------------------------------------------------------- #
+# Ring buffer behaves like "the last L elements of a list"
+# --------------------------------------------------------------------------- #
+class TestRingBufferProperties:
+    @given(
+        capacity=st.integers(min_value=1, max_value=20),
+        values=st.lists(finite_floats, min_size=0, max_size=60),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_list_tail_model(self, capacity, values):
+        buffer = RingBuffer(capacity)
+        for value in values:
+            buffer.append(value)
+        expected = values[-capacity:]
+        np.testing.assert_array_equal(buffer.view(), expected)
+        assert buffer.size == len(expected)
+        if expected:
+            assert buffer.latest_value() == expected[-1]
+            for age in range(len(expected)):
+                assert buffer.value_at_age(age) == expected[-1 - age]
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=10),
+        values=st.lists(finite_floats, min_size=1, max_size=30),
+        replacement=finite_floats,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_replace_latest_only_changes_newest(self, capacity, values, replacement):
+        buffer = RingBuffer(capacity)
+        for value in values:
+            buffer.append(value)
+        before = buffer.view()
+        buffer.replace_latest(replacement)
+        after = buffer.view()
+        np.testing.assert_array_equal(before[:-1], after[:-1])
+        assert after[-1] == replacement
+
+
+# --------------------------------------------------------------------------- #
+# Dissimilarity functions are metrics-like
+# --------------------------------------------------------------------------- #
+pattern_shape = st.tuples(st.integers(1, 3), st.integers(1, 6))
+
+
+def _patterns(shape):
+    d, l = shape
+    return st.lists(
+        st.lists(finite_floats, min_size=l, max_size=l), min_size=d, max_size=d
+    ).map(np.array)
+
+
+class TestDissimilarityProperties:
+    @given(shape=pattern_shape, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative_symmetric_identity(self, shape, data):
+        a = data.draw(_patterns(shape))
+        b = data.draw(_patterns(shape))
+        for metric in (l2_dissimilarity, l1_dissimilarity):
+            dab, dba = metric(a, b), metric(b, a)
+            assert dab >= 0.0
+            assert dab == pytest.approx(dba, rel=1e-9, abs=1e-9)
+            assert metric(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    @given(shape=pattern_shape, data=st.data())
+    @settings(max_examples=75, deadline=None)
+    def test_l2_triangle_inequality(self, shape, data):
+        a = data.draw(_patterns(shape))
+        b = data.draw(_patterns(shape))
+        c = data.draw(_patterns(shape))
+        assert l2_dissimilarity(a, c) <= (
+            l2_dissimilarity(a, b) + l2_dissimilarity(b, c) + 1e-7
+        )
+
+    @given(
+        num_refs=st.integers(1, 3),
+        window=st.integers(8, 30),
+        length=st.integers(1, 3),
+        data=st.data(),
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_bulk_matches_pairwise_everywhere(self, num_refs, window, length, data):
+        if window - 2 * length + 1 < 1:
+            return
+        values = data.draw(
+            st.lists(finite_floats, min_size=num_refs * window, max_size=num_refs * window)
+        )
+        windows = np.array(values, dtype=float).reshape(num_refs, window)
+        bulk = candidate_dissimilarities(windows, length)
+        query = windows[:, -length:]
+        for j, value in enumerate(bulk):
+            assert value == pytest.approx(
+                l2_dissimilarity(windows[:, j: j + length], query), rel=1e-9, abs=1e-6
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 5.1: monotonicity of near-match counts in the pattern length
+# --------------------------------------------------------------------------- #
+class TestMonotonicityProperty:
+    @given(
+        seed=st.integers(0, 10_000),
+        threshold=st.floats(min_value=0.0, max_value=5.0),
+        length=st.integers(1, 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_longer_patterns_have_fewer_near_matches(self, seed, threshold, length):
+        """|{t : delta_l+1(t) <= tau}| <= |{t : delta_l(t) <= tau}| on a common anchor set."""
+        rng = np.random.default_rng(seed)
+        windows = rng.normal(size=(2, 60))
+        short = candidate_dissimilarities(windows, length)
+        longer = candidate_dissimilarities(windows, length + 1)
+        # Compare on the anchors valid for BOTH lengths: anchor index
+        # a = l - 1 + j must satisfy a >= (l+1) - 1 and a <= L - 1 - (l+1).
+        anchors_short = np.arange(len(short)) + length - 1
+        anchors_long = np.arange(len(longer)) + length
+        common = np.intersect1d(anchors_short, anchors_long)
+        short_common = short[np.isin(anchors_short, common)]
+        longer_common = longer[np.isin(anchors_long, common)]
+        assert np.count_nonzero(longer_common <= threshold) <= np.count_nonzero(
+            short_common <= threshold
+        )
+
+    @given(seed=st.integers(0, 10_000), length=st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_dissimilarity_grows_pointwise_with_length(self, seed, length):
+        """The proof of Lemma 5.1: delta_{l+1} >= delta_l for the same anchor."""
+        rng = np.random.default_rng(seed)
+        windows = rng.normal(size=(2, 50))
+        short = candidate_dissimilarities(windows, length)
+        longer = candidate_dissimilarities(windows, length + 1)
+        anchors_short = np.arange(len(short)) + length - 1
+        anchors_long = np.arange(len(longer)) + length
+        common, idx_short, idx_long = np.intersect1d(
+            anchors_short, anchors_long, return_indices=True
+        )
+        assert np.all(longer[idx_long] >= short[idx_short] - 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# DP anchor selection: optimality and feasibility
+# --------------------------------------------------------------------------- #
+class TestSelectionProperties:
+    @given(
+        num=st.integers(3, 14),
+        k=st.integers(1, 3),
+        length=st.integers(1, 3),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_dp_matches_brute_force(self, num, k, length, data):
+        if num < (k - 1) * length + 1:
+            return
+        d = np.array(
+            data.draw(st.lists(st.floats(0, 100, allow_nan=False), min_size=num, max_size=num))
+        )
+        best = None
+        for combo in itertools.combinations(range(num), k):
+            if all(b - a >= length for a, b in zip(combo, combo[1:])):
+                total = float(sum(d[j] for j in combo))
+                if best is None or total < best:
+                    best = total
+        selection = select_anchors_dp(d, k, length)
+        assert selection.total_dissimilarity == pytest.approx(best, rel=1e-9, abs=1e-9)
+        assert len(selection.candidate_indices) == k
+        assert all(
+            b - a >= length
+            for a, b in zip(selection.candidate_indices, selection.candidate_indices[1:])
+        )
+
+    @given(
+        num=st.integers(5, 30),
+        k=st.integers(1, 4),
+        length=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_greedy_never_beats_dp(self, num, k, length, seed):
+        if num < (k - 1) * length + 1:
+            return
+        rng = np.random.default_rng(seed)
+        d = rng.uniform(0, 10, size=num)
+        dp = select_anchors_dp(d, k, length)
+        try:
+            greedy = select_anchors_greedy(d, k, length)
+        except InsufficientDataError:
+            # Greedy can paint itself into a corner (its first picks block all
+            # remaining candidates) even when a feasible selection exists —
+            # one more reason the paper uses the DP.  The DP must still succeed.
+            assert len(dp.candidate_indices) == k
+            return
+        assert dp.total_dissimilarity <= greedy.total_dissimilarity + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 5.2: averaging pattern-determining anchors yields a consistent value
+# --------------------------------------------------------------------------- #
+class TestConsistencyProperty:
+    @given(values=st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=10))
+    @settings(max_examples=200, deadline=None)
+    def test_anchor_mean_is_always_consistent(self, values):
+        epsilon = epsilon_of_anchors(values)
+        assert is_consistent(float(np.mean(values)), values, epsilon)

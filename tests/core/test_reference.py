@@ -1,0 +1,106 @@
+"""Unit tests for reference-series ranking and per-tick selection (paper Sec. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reference import (
+    ReferenceRanking,
+    rank_candidates,
+    select_reference_series,
+)
+from repro.exceptions import ConfigurationError, MissingReferenceError
+
+
+@pytest.fixture
+def history():
+    """A target plus three candidates of decreasing usefulness."""
+    rng = np.random.default_rng(0)
+    t = np.linspace(0, 8 * np.pi, 600)
+    target = np.sin(t)
+    return {
+        "s": target,
+        "copy": 2.0 * target + 1.0,                         # perfectly linearly correlated
+        "shifted": np.sin(t - np.pi / 2),                   # 90 degrees out of phase
+        "noise": rng.normal(size=len(t)),                   # unrelated
+    }
+
+
+class TestRanking:
+    def test_pearson_ranks_linear_copy_first(self, history):
+        ranking = rank_candidates("s", history, method="pearson")
+        assert ranking.candidates[0] == "copy"
+        assert ranking.candidates[-1] in ("noise", "shifted")
+        assert ranking.target == "s"
+
+    def test_cross_correlation_recovers_shifted_series(self, history):
+        ranking = rank_candidates("s", history, method="cross_correlation", max_lag=120)
+        # Both the copy and the shifted series should beat the noise.
+        assert set(ranking.candidates[:2]) == {"copy", "shifted"}
+        assert ranking.candidates[-1] == "noise"
+
+    def test_euclidean_ranking_puts_linear_copy_first(self, history):
+        """After z-normalisation the linear copy is identical, hence distance 0."""
+        ranking = rank_candidates("s", history, method="euclidean")
+        assert ranking.candidates[0] == "copy"
+        assert ranking.scores[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_scores_align_with_candidates(self, history):
+        ranking = rank_candidates("s", history, method="pearson")
+        assert len(ranking.scores) == len(ranking.candidates)
+        assert ranking.scores == tuple(sorted(ranking.scores, reverse=True))
+
+    def test_top_returns_prefix(self, history):
+        ranking = rank_candidates("s", history, method="pearson")
+        assert ranking.top(2) == list(ranking.candidates[:2])
+
+    def test_missing_target_raises(self, history):
+        with pytest.raises(ConfigurationError):
+            rank_candidates("unknown", history)
+
+    def test_unknown_method_raises(self, history):
+        with pytest.raises(ConfigurationError):
+            rank_candidates("s", history, method="cosine")
+
+    def test_length_mismatch_raises(self, history):
+        history = dict(history)
+        history["bad"] = np.ones(10)
+        with pytest.raises(ConfigurationError):
+            rank_candidates("s", history)
+
+    def test_nan_values_are_ignored_pairwise(self, history):
+        history = {name: values.copy() for name, values in history.items()}
+        history["copy"][:50] = np.nan
+        ranking = rank_candidates("s", history, method="pearson")
+        assert ranking.candidates[0] == "copy"
+
+    def test_constant_candidate_gets_zero_score(self):
+        history = {"s": np.sin(np.linspace(0, 10, 100)), "flat": np.ones(100)}
+        ranking = rank_candidates("s", history, method="pearson")
+        assert ranking.scores[0] == 0.0
+
+
+class TestSelection:
+    def test_first_d_available_candidates_are_selected(self):
+        ranking = ["r1", "r2", "r3", "r4"]
+        availability = {"r1": True, "r2": True, "r3": True, "r4": True}
+        assert select_reference_series(ranking, availability, 2) == ["r1", "r2"]
+
+    def test_unavailable_candidates_are_skipped(self):
+        """The paper's Example 1: at 13:40 r2 is missing, so Rs = {r1, r3}."""
+        ranking = ["r1", "r2", "r3"]
+        availability = {"r1": True, "r2": False, "r3": True}
+        assert select_reference_series(ranking, availability, 2) == ["r1", "r3"]
+
+    def test_candidates_missing_from_availability_are_unavailable(self):
+        assert select_reference_series(["a", "b", "c"], {"b": True, "c": True}, 2) == ["b", "c"]
+
+    def test_not_enough_available_raises(self):
+        with pytest.raises(MissingReferenceError):
+            select_reference_series(["r1", "r2"], {"r1": True, "r2": False}, 2)
+
+    def test_ranking_object_round_trip(self):
+        ranking = ReferenceRanking(target="s", candidates=("a", "b"), scores=(0.9, 0.5))
+        assert ranking.top(1) == ["a"]
+        assert ranking.top(5) == ["a", "b"]

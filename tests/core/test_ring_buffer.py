@@ -1,0 +1,159 @@
+"""Unit tests for the ring buffer backing the streaming window."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RingBuffer
+from repro.exceptions import InsufficientDataError
+
+
+class TestConstruction:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_starts_empty(self):
+        buffer = RingBuffer(5)
+        assert buffer.size == 0
+        assert len(buffer) == 0
+        assert not buffer.is_full
+        assert buffer.capacity == 5
+
+    def test_view_of_empty_buffer_is_empty(self):
+        assert len(RingBuffer(3).view()) == 0
+
+
+class TestAppend:
+    def test_append_until_full(self):
+        buffer = RingBuffer(3)
+        buffer.append(1.0)
+        buffer.append(2.0)
+        assert buffer.size == 2
+        assert not buffer.is_full
+        buffer.append(3.0)
+        assert buffer.is_full
+        np.testing.assert_array_equal(buffer.view(), [1.0, 2.0, 3.0])
+
+    def test_append_beyond_capacity_drops_oldest(self):
+        buffer = RingBuffer(3)
+        buffer.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+        np.testing.assert_array_equal(buffer.view(), [3.0, 4.0, 5.0])
+        assert buffer.size == 3
+
+    def test_latest_value_is_most_recent(self):
+        buffer = RingBuffer(4)
+        buffer.extend([10.0, 20.0, 30.0])
+        assert buffer.latest_value() == 30.0
+        buffer.append(40.0)
+        buffer.append(50.0)
+        assert buffer.latest_value() == 50.0
+
+    def test_latest_value_of_empty_buffer_raises(self):
+        with pytest.raises(InsufficientDataError):
+            RingBuffer(2).latest_value()
+
+    def test_nan_values_are_stored(self):
+        buffer = RingBuffer(3)
+        buffer.extend([1.0, np.nan, 3.0])
+        view = buffer.view()
+        assert np.isnan(view[1])
+        assert view[0] == 1.0 and view[2] == 3.0
+
+
+class TestReplaceLatest:
+    def test_replace_latest_overwrites_newest(self):
+        buffer = RingBuffer(3)
+        buffer.extend([1.0, 2.0, np.nan])
+        buffer.replace_latest(9.5)
+        np.testing.assert_array_equal(buffer.view(), [1.0, 2.0, 9.5])
+
+    def test_replace_latest_on_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            RingBuffer(3).replace_latest(1.0)
+
+    def test_replace_latest_after_wraparound(self):
+        buffer = RingBuffer(2)
+        buffer.extend([1.0, 2.0, 3.0])
+        buffer.replace_latest(7.0)
+        np.testing.assert_array_equal(buffer.view(), [2.0, 7.0])
+
+
+class TestAccess:
+    def test_value_at_age_zero_is_latest(self):
+        buffer = RingBuffer(4)
+        buffer.extend([1.0, 2.0, 3.0])
+        assert buffer.value_at_age(0) == 3.0
+        assert buffer.value_at_age(2) == 1.0
+
+    def test_value_at_age_out_of_range(self):
+        buffer = RingBuffer(4)
+        buffer.extend([1.0, 2.0])
+        with pytest.raises(IndexError):
+            buffer.value_at_age(2)
+        with pytest.raises(IndexError):
+            buffer.value_at_age(-1)
+
+    def test_value_at_age_after_wraparound(self):
+        buffer = RingBuffer(3)
+        buffer.extend([1.0, 2.0, 3.0, 4.0])
+        assert buffer.value_at_age(0) == 4.0
+        assert buffer.value_at_age(2) == 2.0
+
+    def test_latest_returns_chronological_tail(self):
+        buffer = RingBuffer(5)
+        buffer.extend([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(buffer.latest(2), [3.0, 4.0])
+        np.testing.assert_array_equal(buffer.latest(0), [])
+
+    def test_latest_more_than_stored_raises(self):
+        buffer = RingBuffer(5)
+        buffer.extend([1.0, 2.0])
+        with pytest.raises(InsufficientDataError):
+            buffer.latest(3)
+
+    def test_latest_negative_count_raises(self):
+        buffer = RingBuffer(5)
+        buffer.append(1.0)
+        with pytest.raises(ValueError):
+            buffer.latest(-1)
+
+    def test_view_returns_copy(self):
+        buffer = RingBuffer(3)
+        buffer.extend([1.0, 2.0, 3.0])
+        view = buffer.view()
+        view[0] = 99.0
+        assert buffer.view()[0] == 1.0
+
+    def test_iteration_is_chronological(self):
+        buffer = RingBuffer(3)
+        buffer.extend([5.0, 6.0, 7.0, 8.0])
+        assert list(buffer) == [6.0, 7.0, 8.0]
+
+
+class TestClear:
+    def test_clear_resets_buffer(self):
+        buffer = RingBuffer(3)
+        buffer.extend([1.0, 2.0, 3.0])
+        buffer.clear()
+        assert buffer.size == 0
+        assert len(buffer.view()) == 0
+        buffer.append(4.0)
+        np.testing.assert_array_equal(buffer.view(), [4.0])
+
+
+class TestWindowSemantics:
+    """The buffer must behave exactly like 'the last L values' (Lemma 6.1)."""
+
+    def test_matches_reference_list_model(self):
+        capacity = 7
+        buffer = RingBuffer(capacity)
+        reference: list = []
+        values = np.arange(25, dtype=float)
+        for value in values:
+            buffer.append(value)
+            reference.append(value)
+            expected = reference[-capacity:]
+            np.testing.assert_array_equal(buffer.view(), expected)
+            assert buffer.latest_value() == expected[-1]

@@ -1,0 +1,91 @@
+"""End-to-end checks against the paper's running example (Table 2, Examples 1-4, 10).
+
+The running example fixes every intermediate quantity of one TKCM imputation
+on twelve five-minute ticks: the query pattern, the dissimilarities, the two
+selected anchors (14:00 and 13:35), and the imputed value 21.85 °C.  These
+tests pin the implementation to those published numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TKCMConfig, TKCMImputer
+from repro.core.anchor_selection import select_anchors_dp
+from repro.core.dissimilarity import candidate_dissimilarities
+from repro.core.pattern import extract_query_pattern
+
+from ..conftest import RUNNING_EXAMPLE_TIMES
+
+
+def _window_index(time_label: str) -> int:
+    return RUNNING_EXAMPLE_TIMES.index(time_label)
+
+
+class TestQueryPattern:
+    def test_example_2_query_pattern_values(self, running_example):
+        """P(14:20) over r1, r2 with l = 3 (Fig. 2b)."""
+        windows = np.vstack([running_example["r1"], running_example["r2"]])
+        query = extract_query_pattern(windows, pattern_length=3)
+        np.testing.assert_allclose(query.values, [[16.3, 17.1, 17.5], [20.2, 19.9, 18.2]])
+
+    def test_example_2_pattern_at_1400(self, running_example):
+        """P(14:00) contains the (imputed) value r2(13:50) = 20.5 (Fig. 2a)."""
+        windows = np.vstack([running_example["r1"], running_example["r2"]])
+        anchor = _window_index("14:00")
+        pattern_values = windows[:, anchor - 2: anchor + 1]
+        np.testing.assert_allclose(pattern_values, [[16.2, 17.4, 17.7], [20.5, 19.8, 18.2]])
+
+
+class TestAnchorSelection:
+    def test_most_similar_anchors_are_1400_and_1335(self, running_example):
+        """Fig. 3 / Example 4: A = {14:00, 13:35}."""
+        windows = np.vstack([running_example["r1"], running_example["r2"]])
+        dissimilarities = candidate_dissimilarities(windows, pattern_length=3)
+        selection = select_anchors_dp(dissimilarities, k=2, pattern_length=3)
+        anchor_times = {RUNNING_EXAMPLE_TIMES[i] for i in selection.anchor_indices}
+        assert anchor_times == {"14:00", "13:35"}
+
+
+class TestFullImputation:
+    def test_example_4_imputed_value(self, running_example, running_example_config):
+        """The imputed value is the average of s(14:00)=21.9 and s(13:35)=21.8."""
+        imputer = TKCMImputer(
+            running_example_config,
+            reference_rankings={"s": ["r1", "r2", "r3"]},
+        )
+        history = {name: values[:11] for name, values in running_example.items()}
+        imputer.prime(history)
+        tick = {name: values[11] for name, values in running_example.items()}
+        result = imputer.observe(tick)["s"]
+
+        assert result.method == "tkcm"
+        assert result.value == pytest.approx(21.85)
+        assert result.reference_names == ("r1", "r2")
+        anchor_times = {RUNNING_EXAMPLE_TIMES[i] for i in result.anchor_indices}
+        assert anchor_times == {"14:00", "13:35"}
+        assert sorted(result.anchor_values) == pytest.approx([21.8, 21.9])
+        assert result.epsilon == pytest.approx(0.1)
+
+    def test_example_1_reference_selection_when_r2_is_missing(self, running_example,
+                                                              running_example_config):
+        """At 13:40 r2 was missing, so the references would have been r1 and r3."""
+        imputer = TKCMImputer(
+            running_example_config,
+            reference_rankings={"s": ["r1", "r2", "r3"]},
+        )
+        history = {name: values[:11] for name, values in running_example.items()}
+        imputer.prime(history)
+        tick = {name: values[11] for name, values in running_example.items()}
+        tick["r2"] = float("nan")   # pretend r2 is down at the current time
+        result = imputer.observe(tick)["s"]
+        assert result.reference_names == ("r1", "r3")
+
+    def test_window_is_the_papers_sliding_hour(self, running_example, running_example_config):
+        imputer = TKCMImputer(running_example_config, reference_rankings={"s": ["r1", "r2"]})
+        imputer.prime({name: values[:11] for name, values in running_example.items()
+                       if name != "r3"})
+        tick = {name: running_example[name][11] for name in ("s", "r1", "r2")}
+        imputer.observe(tick)
+        assert len(imputer.window("s")) == 12

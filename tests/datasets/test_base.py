@@ -1,0 +1,114 @@
+"""Unit tests for the Dataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset
+from repro.exceptions import DatasetError
+from repro.streams import MultiSeriesStream, TimeSeries
+
+
+@pytest.fixture
+def dataset():
+    return Dataset(
+        name="toy",
+        series=[
+            TimeSeries("a", [1.0, 2.0, 3.0, 4.0], sample_period_minutes=5.0),
+            TimeSeries("b", [10.0, 20.0, np.nan, 40.0], sample_period_minutes=5.0),
+        ],
+        metadata={"seed": 1},
+    )
+
+
+class TestValidation:
+    def test_empty_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            Dataset(name="empty", series=[])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DatasetError):
+            Dataset("bad", [TimeSeries("a", [1.0]), TimeSeries("b", [1.0, 2.0])])
+
+    def test_sample_period_mismatch_raises(self):
+        with pytest.raises(DatasetError):
+            Dataset("bad", [
+                TimeSeries("a", [1.0], sample_period_minutes=5.0),
+                TimeSeries("b", [1.0], sample_period_minutes=1.0),
+            ])
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(DatasetError):
+            Dataset("bad", [TimeSeries("a", [1.0]), TimeSeries("a", [2.0])])
+
+
+class TestAccess:
+    def test_basic_properties(self, dataset):
+        assert dataset.names == ["a", "b"]
+        assert dataset.length == 4
+        assert len(dataset) == 4
+        assert dataset.num_series == 2
+        assert dataset.sample_period_minutes == 5.0
+
+    def test_get_and_values(self, dataset):
+        assert dataset.get("a").name == "a"
+        np.testing.assert_array_equal(dataset.values("a"), [1.0, 2.0, 3.0, 4.0])
+        with pytest.raises(DatasetError):
+            dataset.get("zzz")
+
+    def test_values_returns_copy(self, dataset):
+        values = dataset.values("a")
+        values[0] = 99.0
+        assert dataset.values("a")[0] == 1.0
+
+    def test_matrix_and_subset(self, dataset):
+        matrix = dataset.matrix()
+        assert matrix.shape == (4, 2)
+        sub = dataset.matrix(["b"])
+        assert sub.shape == (4, 1)
+
+    def test_row_and_head(self, dataset):
+        row = dataset.row(1)
+        assert row == {"a": 2.0, "b": 20.0}
+        head = dataset.head(2)
+        np.testing.assert_array_equal(head["a"], [1.0, 2.0])
+        with pytest.raises(DatasetError):
+            dataset.row(99)
+        with pytest.raises(DatasetError):
+            dataset.head(99)
+
+    def test_as_dict(self, dataset):
+        mapping = dataset.as_dict()
+        assert set(mapping) == {"a", "b"}
+        np.testing.assert_array_equal(mapping["a"], [1.0, 2.0, 3.0, 4.0])
+
+
+class TestTransforms:
+    def test_with_series_values(self, dataset):
+        replaced = dataset.with_series_values("a", np.array([9.0, 8.0, 7.0, 6.0]))
+        np.testing.assert_array_equal(replaced.values("a"), [9.0, 8.0, 7.0, 6.0])
+        np.testing.assert_array_equal(dataset.values("a"), [1.0, 2.0, 3.0, 4.0])
+        with pytest.raises(DatasetError):
+            dataset.with_series_values("zzz", np.zeros(4))
+
+    def test_subset_preserves_order(self, dataset):
+        sub = dataset.subset(["b"])
+        assert sub.names == ["b"]
+        assert sub.length == 4
+
+    def test_slice(self, dataset):
+        part = dataset.slice(1, 3)
+        assert part.length == 2
+        np.testing.assert_array_equal(part.values("a"), [2.0, 3.0])
+
+    def test_to_stream_round_trip(self, dataset):
+        stream = dataset.to_stream()
+        assert isinstance(stream, MultiSeriesStream)
+        assert stream.names == dataset.names
+        assert len(stream) == dataset.length
+
+    def test_describe_has_one_entry_per_series(self, dataset):
+        info = dataset.describe()
+        assert len(info) == 2
+        assert info[0]["name"] == "a"

@@ -1,0 +1,81 @@
+"""Unit tests for the Chlorine-like water-network simulator."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets import generate_chlorine
+from repro.datasets.chlorine import build_water_network
+from repro.exceptions import DatasetError
+from repro.metrics import estimate_shift, pearson_correlation
+
+
+class TestNetwork:
+    def test_tree_structure(self):
+        graph = build_water_network(30, seed=1)
+        assert graph.number_of_nodes() == 30
+        assert graph.number_of_edges() == 29
+        assert nx.is_directed_acyclic_graph(graph)
+        # Every non-source node has exactly one upstream pipe.
+        for node in graph.nodes:
+            if node != 0:
+                assert graph.in_degree(node) == 1
+
+    def test_edges_carry_delay_and_decay(self):
+        graph = build_water_network(10, seed=2)
+        for _, _, attributes in graph.edges(data=True):
+            assert attributes["delay"] >= 1
+            assert 0.0 < attributes["decay"] <= 1.0
+
+    def test_too_small_network_raises(self):
+        with pytest.raises(DatasetError):
+            build_water_network(1)
+
+
+class TestChlorineDataset:
+    def test_shape_and_rate(self, small_chlorine):
+        assert small_chlorine.num_series == 8
+        assert small_chlorine.length == 5 * 288
+        assert small_chlorine.sample_period_minutes == 5.0
+        assert small_chlorine.name == "chlorine"
+
+    def test_values_non_negative_and_small(self, small_chlorine):
+        matrix = small_chlorine.matrix()
+        assert np.min(matrix) >= 0.0
+        assert np.max(matrix) < 1.0, "chlorine concentrations stay in the sub-mg/L range"
+
+    def test_daily_pattern(self, small_chlorine):
+        values = small_chlorine.values(small_chlorine.names[0])
+        rho = pearson_correlation(values[:-288], values[288:])
+        assert rho > 0.5
+
+    def test_propagation_produces_phase_shifts(self, small_chlorine):
+        """Deeper junctions lag the shallow ones: the defining property of the dataset."""
+        shallow = small_chlorine.series[0]
+        deep = max(small_chlorine.series, key=lambda ts: ts.metadata["depth"])
+        assert deep.metadata["depth"] > shallow.metadata["depth"]
+        lag, correlation = estimate_shift(deep.values, shallow.values, max_lag=150)
+        assert abs(correlation) > 0.6, "the shifted copies stay strongly related"
+        assert lag != 0, "the deep junction must lag the shallow one"
+
+    def test_junction_metadata(self, small_chlorine):
+        for ts in small_chlorine.series:
+            assert ts.metadata["depth"] >= 0
+            assert "network_node" in ts.metadata
+
+    def test_deterministic_with_seed(self):
+        a = generate_chlorine(num_series=4, num_points=500, seed=3)
+        b = generate_chlorine(num_series=4, num_points=500, seed=3)
+        np.testing.assert_array_equal(a.matrix(), b.matrix())
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(DatasetError):
+            generate_chlorine(num_series=1)
+        with pytest.raises(DatasetError):
+            generate_chlorine(num_points=1)
+
+    def test_requested_number_of_series_is_returned(self):
+        dataset = generate_chlorine(num_series=5, num_points=600, seed=8)
+        assert dataset.num_series == 5

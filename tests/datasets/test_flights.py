@@ -1,0 +1,65 @@
+"""Unit tests for the Flights-like generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_flights
+from repro.exceptions import DatasetError
+from repro.metrics import estimate_shift, pearson_correlation
+
+
+class TestFlights:
+    def test_default_shape_matches_original_dataset(self):
+        dataset = generate_flights(seed=1, num_points=1500)
+        assert dataset.num_series == 8
+        assert dataset.length == 1500
+        assert dataset.sample_period_minutes == 1.0
+        assert dataset.name == "flights"
+
+    def test_counts_are_non_negative_integers(self, small_flights):
+        matrix = small_flights.matrix()
+        assert np.min(matrix) >= 0.0
+        np.testing.assert_array_equal(matrix, np.round(matrix))
+
+    def test_daily_periodicity(self, small_flights):
+        values = small_flights.values(small_flights.names[0])
+        day = 1440
+        rho = pearson_correlation(values[:-day], values[day:])
+        assert rho > 0.6
+
+    def test_airports_follow_different_schedules(self, small_flights):
+        """Airports are related but not linearly: distinct banks and shifted peaks.
+
+        This is what makes the dataset hard for the linear methods — no other
+        airport (or instantaneous linear combination) reproduces the target.
+        """
+        target = small_flights.values(small_flights.names[0])
+        plain_correlations = []
+        lagged_correlations = []
+        for name in small_flights.names[1:]:
+            plain_correlations.append(abs(pearson_correlation(target,
+                                                              small_flights.values(name))))
+            _, correlation = estimate_shift(target, small_flights.values(name), max_lag=240)
+            lagged_correlations.append(abs(correlation))
+        # The series share the daily rhythm (some relationship exists)...
+        assert max(lagged_correlations) > 0.3
+        # ...but none of them is a (near-)linear copy of the target.
+        assert max(plain_correlations) < 0.95
+
+    def test_deterministic_with_seed(self):
+        a = generate_flights(num_series=3, num_points=500, seed=2)
+        b = generate_flights(num_series=3, num_points=500, seed=2)
+        np.testing.assert_array_equal(a.matrix(), b.matrix())
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(DatasetError):
+            generate_flights(num_series=1)
+        with pytest.raises(DatasetError):
+            generate_flights(num_points=1)
+
+    def test_metadata_records_peaks(self, small_flights):
+        for ts in small_flights.series:
+            assert "morning_peak_minute" in ts.metadata
+            assert 0 <= ts.metadata["morning_peak_minute"] < 1440

@@ -1,0 +1,72 @@
+"""Unit tests for CSV round-tripping and the dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    dataset_from_csv,
+    dataset_to_csv,
+    get_dataset,
+    list_datasets,
+)
+from repro.exceptions import DatasetError
+from repro.streams import TimeSeries
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_values_and_nans(self, tmp_path):
+        original = Dataset(
+            name="roundtrip",
+            series=[
+                TimeSeries("a", [1.5, np.nan, 3.25]),
+                TimeSeries("b", [-1.0, 2.0, np.nan]),
+            ],
+        )
+        path = dataset_to_csv(original, tmp_path / "data.csv")
+        loaded = dataset_from_csv(path)
+        assert loaded.names == ["a", "b"]
+        np.testing.assert_array_equal(loaded.values("a"), [1.5, np.nan, 3.25])
+        np.testing.assert_array_equal(loaded.values("b"), [-1.0, 2.0, np.nan])
+        assert loaded.name == "data"
+
+    def test_explicit_name_and_sample_period(self, tmp_path):
+        original = Dataset("x", [TimeSeries("a", [1.0, 2.0])])
+        path = dataset_to_csv(original, tmp_path / "named.csv")
+        loaded = dataset_from_csv(path, name="renamed", sample_period_minutes=1.0)
+        assert loaded.name == "renamed"
+        assert loaded.sample_period_minutes == 1.0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            dataset_from_csv(tmp_path / "nope.csv")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            dataset_from_csv(path)
+
+
+class TestRegistry:
+    def test_list_datasets(self):
+        assert list_datasets() == ["chlorine", "flights", "sbr", "sbr-1d"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            get_dataset("unknown")
+
+    def test_flights_registry_entry_matches_original_size(self):
+        dataset = get_dataset("flights", seed=1)
+        assert dataset.num_series == 8
+        assert dataset.length == 8801
+
+    def test_chlorine_registry_entry_matches_original_length(self):
+        dataset = get_dataset("chlorine", seed=1)
+        assert dataset.length == 4310
+
+    def test_name_is_case_insensitive(self):
+        dataset = get_dataset("SBR", seed=1)
+        assert dataset.name == "sbr"

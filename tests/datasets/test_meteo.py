@@ -1,0 +1,104 @@
+"""Unit tests for the SBR / SBR-1d meteorological generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SAMPLES_PER_DAY_5MIN
+from repro.datasets import generate_sbr, generate_sbr_shifted
+from repro.exceptions import DatasetError
+from repro.metrics import cross_correlation, pearson_correlation
+
+
+class TestSbr:
+    def test_shape_and_sample_rate(self, small_sbr):
+        assert small_sbr.num_series == 5
+        assert small_sbr.length == 7 * SAMPLES_PER_DAY_5MIN
+        assert small_sbr.sample_period_minutes == 5.0
+        assert small_sbr.name == "sbr"
+
+    def test_temperature_range_is_plausible(self, small_sbr):
+        matrix = small_sbr.matrix()
+        assert np.min(matrix) > -30.0
+        assert np.max(matrix) < 45.0
+
+    def test_stations_are_strongly_linearly_correlated(self, small_sbr):
+        target = small_sbr.values(small_sbr.names[0])
+        for other in small_sbr.names[1:]:
+            rho = pearson_correlation(target, small_sbr.values(other))
+            assert rho > 0.85, f"station {other} should co-evolve with the target"
+
+    def test_diurnal_cycle_present(self, small_sbr):
+        """Autocorrelation at a one-day lag is high (repeating daily pattern)."""
+        values = small_sbr.values(small_sbr.names[0])
+        day = SAMPLES_PER_DAY_5MIN
+        rho = pearson_correlation(values[:-day], values[day:])
+        assert rho > 0.6
+
+    def test_deterministic_with_seed(self):
+        a = generate_sbr(num_series=3, num_days=2, seed=5)
+        b = generate_sbr(num_series=3, num_days=2, seed=5)
+        np.testing.assert_array_equal(a.matrix(), b.matrix())
+
+    def test_different_seeds_differ(self):
+        a = generate_sbr(num_series=3, num_days=2, seed=5)
+        b = generate_sbr(num_series=3, num_days=2, seed=6)
+        assert not np.allclose(a.matrix(), b.matrix())
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(DatasetError):
+            generate_sbr(num_series=1)
+        with pytest.raises(DatasetError):
+            generate_sbr(num_days=0)
+
+    def test_no_missing_values_generated(self, small_sbr):
+        assert all(ts.is_complete() for ts in small_sbr.series)
+
+
+class TestSbrShifted:
+    def test_target_station_is_unshifted(self):
+        base = generate_sbr(num_series=4, num_days=3, seed=9)
+        shifted = generate_sbr_shifted(num_series=4, num_days=3, seed=9)
+        np.testing.assert_array_equal(
+            base.values(base.names[0]), shifted.values(shifted.names[0])
+        )
+
+    def test_other_stations_are_shifted_copies(self):
+        base = generate_sbr(num_series=4, num_days=3, seed=9)
+        shifted = generate_sbr_shifted(num_series=4, num_days=3, seed=9)
+        shifts = shifted.metadata["shifts"]
+        for name in shifted.names[1:]:
+            shift = shifts[name]
+            assert 1 <= shift <= SAMPLES_PER_DAY_5MIN
+            np.testing.assert_array_equal(
+                shifted.values(name), np.roll(base.values(name), shift)
+            )
+
+    def test_shift_reduces_linear_correlation(self, small_sbr, small_sbr_shifted):
+        """The headline property: SBR-1d is less linearly correlated than SBR."""
+        def mean_correlation(dataset):
+            target = dataset.values(dataset.names[0])
+            return np.mean([
+                abs(pearson_correlation(target, dataset.values(name)))
+                for name in dataset.names[1:]
+            ])
+
+        assert mean_correlation(small_sbr_shifted) < mean_correlation(small_sbr)
+
+    def test_cross_correlation_recovers_the_shift(self, small_sbr_shifted):
+        """The information is still there, just at a lag (what TKCM exploits)."""
+        target = small_sbr_shifted.values(small_sbr_shifted.names[0])
+        name = small_sbr_shifted.names[1]
+        lags, correlations = cross_correlation(
+            target, small_sbr_shifted.values(name), max_lag=SAMPLES_PER_DAY_5MIN
+        )
+        assert np.max(np.abs(correlations)) > 0.85
+
+    def test_zero_max_shift_reproduces_sbr(self):
+        base = generate_sbr(num_series=3, num_days=2, seed=4)
+        unshifted = generate_sbr_shifted(num_series=3, num_days=2, seed=4, max_shift_days=0.0)
+        np.testing.assert_array_equal(base.matrix(), unshifted.matrix())
+
+    def test_dataset_name(self, small_sbr_shifted):
+        assert small_sbr_shifted.name == "sbr-1d"

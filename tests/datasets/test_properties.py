@@ -1,0 +1,93 @@
+"""Property-based tests on the data substrate (datasets, injection, CSV round trip)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.simple import interpolate_gaps
+from repro.datasets import Dataset, dataset_from_csv, dataset_to_csv
+from repro.streams import TimeSeries, inject_missing_block, inject_random_missing
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestInjectionProperties:
+    @given(
+        length=st.integers(5, 60),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_block_injection_removes_exactly_the_block(self, length, data):
+        values = np.array(
+            data.draw(st.lists(finite_floats, min_size=length, max_size=length))
+        )
+        start = data.draw(st.integers(0, length - 1))
+        block = data.draw(st.integers(1, length - start))
+        masked, truth = inject_missing_block(values, start, block)
+        assert np.isnan(masked[start: start + block]).all()
+        assert not np.isnan(np.delete(masked, np.arange(start, start + block))).any()
+        np.testing.assert_array_equal(truth, values[start: start + block])
+        np.testing.assert_array_equal(values, np.array(values))  # input untouched
+
+    @given(
+        length=st.integers(1, 200),
+        fraction=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_injection_mask_matches_output(self, length, fraction, seed):
+        values = np.arange(length, dtype=float)
+        masked, mask = inject_random_missing(values, fraction, seed=seed)
+        assert np.isnan(masked[mask]).all()
+        np.testing.assert_array_equal(masked[~mask], values[~mask])
+
+
+class TestInterpolationProperties:
+    @given(
+        length=st.integers(2, 50),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_interpolation_fills_everything_and_preserves_observed(self, length, data):
+        values = np.array(
+            data.draw(st.lists(finite_floats, min_size=length, max_size=length))
+        )
+        mask = np.array(
+            data.draw(st.lists(st.booleans(), min_size=length, max_size=length))
+        )
+        with_gaps = values.copy()
+        with_gaps[mask] = np.nan
+        filled = interpolate_gaps(with_gaps)
+        assert not np.isnan(filled).any()
+        np.testing.assert_array_equal(filled[~mask], values[~mask])
+        if (~mask).any():
+            # Interpolated values never leave the observed value range.
+            low, high = values[~mask].min(), values[~mask].max()
+            assert np.all(filled >= low - 1e-9) and np.all(filled <= high + 1e-9)
+
+
+class TestCsvRoundTripProperties:
+    @given(
+        num_series=st.integers(1, 4),
+        length=st.integers(1, 30),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_is_lossless(self, tmp_path_factory, num_series, length, data):
+        series = []
+        for i in range(num_series):
+            values = np.array(
+                data.draw(st.lists(
+                    st.one_of(finite_floats, st.just(float("nan"))),
+                    min_size=length, max_size=length,
+                ))
+            )
+            series.append(TimeSeries(f"s{i}", values))
+        dataset = Dataset(name="prop", series=series)
+        path = tmp_path_factory.mktemp("csv") / "prop.csv"
+        dataset_to_csv(dataset, path)
+        loaded = dataset_from_csv(path)
+        assert loaded.names == dataset.names
+        np.testing.assert_array_equal(loaded.matrix(), dataset.matrix())

@@ -1,0 +1,98 @@
+"""Unit tests for the sine-wave families of the paper's analysis section."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    generate_sine_family,
+    linearly_correlated_pair,
+    phase_shifted_pair,
+    sind,
+)
+from repro.datasets.synthetic import sine_wave
+from repro.exceptions import DatasetError
+from repro.metrics import pearson_correlation
+
+
+class TestSind:
+    def test_degree_sine_values(self):
+        assert sind(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert sind(np.array([90.0]))[0] == pytest.approx(1.0)
+        assert sind(np.array([180.0]))[0] == pytest.approx(0.0, abs=1e-12)
+        assert sind(np.array([270.0]))[0] == pytest.approx(-1.0)
+
+
+class TestSineWave:
+    def test_amplitude_offset_and_period(self):
+        wave = sine_wave(721, amplitude=2.0, period_minutes=360.0, offset=1.0)
+        assert np.max(wave) == pytest.approx(3.0, abs=1e-6)
+        assert np.min(wave) == pytest.approx(-1.0, abs=1e-6)
+        # One full period later the value repeats.
+        assert wave[0] == pytest.approx(wave[360])
+
+    def test_phase_shift_moves_the_curve(self):
+        base = sine_wave(400, period_minutes=360.0)
+        shifted = sine_wave(400, period_minutes=360.0, phase_degrees=-90.0)
+        np.testing.assert_allclose(shifted[90:], base[:-90], atol=1e-9)
+
+    def test_noise_is_reproducible(self):
+        a = sine_wave(100, noise_std=0.1, seed=5)
+        b = sine_wave(100, noise_std=0.1, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(DatasetError):
+            sine_wave(0)
+        with pytest.raises(DatasetError):
+            sine_wave(10, period_minutes=0.0)
+
+
+class TestPaperPairs:
+    def test_linear_pair_is_perfectly_correlated(self):
+        dataset = linearly_correlated_pair(841)
+        rho = pearson_correlation(dataset.values("s"), dataset.values("r1"))
+        assert rho == pytest.approx(1.0, abs=1e-9)
+
+    def test_linear_pair_matches_paper_values_at_840(self):
+        """Example 5: r1(840) = 2.3 (approx.) and s(840) = 0.86 (approx.)."""
+        dataset = linearly_correlated_pair(841)
+        assert dataset.values("s")[840] == pytest.approx(0.866, abs=1e-3)
+        assert dataset.values("r1")[840] == pytest.approx(2.299, abs=1e-3)
+
+    def test_shifted_pair_has_near_zero_pearson(self):
+        """Example 6: the 90-degree shifted pair has Pearson correlation ~ 0."""
+        dataset = phase_shifted_pair(841)
+        rho = pearson_correlation(dataset.values("s"), dataset.values("r2"))
+        assert abs(rho) < 0.05
+
+    def test_shifted_pair_has_same_amplitude(self):
+        dataset = phase_shifted_pair(2000)
+        assert np.max(dataset.values("r2")) == pytest.approx(1.0, abs=1e-6)
+        assert np.min(dataset.values("r2")) == pytest.approx(-1.0, abs=1e-6)
+
+
+class TestSineFamily:
+    def test_naming_convention(self):
+        family = generate_sine_family(num_series=4, num_points=500)
+        assert family.names == ["s", "r1", "r2", "r3"]
+
+    def test_shared_period(self):
+        family = generate_sine_family(num_series=2, num_points=800, period_minutes=200.0)
+        for name in family.names:
+            values = family.values(name)
+            np.testing.assert_allclose(values[:600], values[200:800], atol=1e-9)
+
+    def test_parameter_length_mismatch_raises(self):
+        with pytest.raises(DatasetError):
+            generate_sine_family(num_series=3, amplitudes=[1.0, 2.0])
+
+    def test_zero_series_raises(self):
+        with pytest.raises(DatasetError):
+            generate_sine_family(num_series=0)
+
+    def test_noise_controlled_by_seed(self):
+        a = generate_sine_family(num_series=2, num_points=100, noise_std=0.2, seed=9)
+        b = generate_sine_family(num_series=2, num_points=100, noise_std=0.2, seed=9)
+        np.testing.assert_array_equal(a.values("s"), b.values("s"))

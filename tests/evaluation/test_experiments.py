@@ -1,0 +1,134 @@
+"""Smoke tests of the per-figure experiment functions (tiny workloads).
+
+The full-size experiments live in ``benchmarks/``; here every function is run
+on the smallest workload that still exercises its code path, and the
+structural properties of the returned data are checked (keys, lengths,
+finiteness).  The qualitative claims (who wins, monotone trends) are covered
+by the integration tests and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import experiments
+from repro.evaluation.sweep import SweepResult
+from repro.exceptions import ConfigurationError
+
+
+class TestBenchmarkHelpers:
+    def test_benchmark_dataset_names(self):
+        for name in ("sbr", "sbr-1d", "flights", "chlorine"):
+            dataset = experiments.benchmark_dataset(name, seed=1)
+            assert dataset.length > 1000
+        with pytest.raises(ConfigurationError):
+            experiments.benchmark_dataset("unknown")
+
+    def test_benchmark_config_overrides(self):
+        config = experiments.benchmark_tkcm_config("sbr-1d", pattern_length=12)
+        assert config.pattern_length == 12
+        assert config.num_references == 3
+        with pytest.raises(ConfigurationError):
+            experiments.benchmark_tkcm_config("unknown")
+
+
+class TestAnalysisFigures:
+    def test_fig04_05(self):
+        reports = experiments.fig04_05_correlation(num_points=841)
+        assert set(reports) == {"fig04_linear", "fig05_shifted"}
+        assert reports["fig04_linear"].pearson == pytest.approx(1.0, abs=1e-9)
+        assert abs(reports["fig05_shifted"].pearson) < 0.05
+
+    def test_fig06_07(self):
+        profiles = experiments.fig06_07_profiles(query_index=840, pattern_lengths=(1, 60))
+        assert set(profiles) == {"fig06_linear", "fig07_shifted"}
+        for per_length in profiles.values():
+            assert set(per_length) == {"l=1", "l=60"}
+            assert per_length["l=60"]["num_zero_dissimilarity"] <= (
+                per_length["l=1"]["num_zero_dissimilarity"]
+            )
+
+
+class TestEvaluationFigures:
+    def test_fig10_single_dataset_tiny_sweep(self):
+        results = experiments.fig10_calibration(
+            dataset_names=("sbr-1d",), d_values=(2, 3), k_values=(3,), seed=3
+        )
+        assert set(results) == {"sbr-1d"}
+        assert isinstance(results["sbr-1d"]["d"], SweepResult)
+        assert len(results["sbr-1d"]["d"].values) == 2
+        assert np.all(np.isfinite(results["sbr-1d"]["d"].series("rmse")))
+
+    def test_fig11_single_dataset(self):
+        results = experiments.fig11_pattern_length(
+            dataset_names=("chlorine",), l_values=(1, 12), seed=3
+        )
+        sweep = results["chlorine"]
+        assert sweep.values == [1, 12]
+        assert np.all(np.isfinite(sweep.series("rmse")))
+
+    def test_fig12_recovery_curves(self):
+        outcome = experiments.fig12_recovery_curves("sbr-1d", l_values=(1, 36), seed=3)
+        assert set(outcome["recoveries"]) == {"l=1", "l=36"}
+        assert len(outcome["truth"]) == len(outcome["recoveries"]["l=1"])
+        assert np.isfinite(outcome["rmse"]["l=36"])
+
+    def test_fig13_epsilon(self):
+        outcome = experiments.fig13_epsilon("chlorine", l_values=(1, 36), seed=3)
+        assert set(outcome["average_epsilon"]) == {1, 36}
+        assert np.isfinite(outcome["average_epsilon"][36])
+        assert outcome["scatter"].scatter.shape[1] == 2
+
+    def test_fig14_block_length(self):
+        outcome = experiments.fig14_block_length(
+            sbr_block_days=(1,), chlorine_block_fractions=(0.1,), seed=3
+        )
+        assert set(outcome) == {"sbr-1d", "chlorine"}
+        assert np.isfinite(outcome["sbr-1d"].series("rmse")[0])
+
+    def test_fig15_two_methods(self):
+        outcome = experiments.fig15_recovery_comparison(
+            "chlorine", methods=("TKCM", "MUSCLES"), seed=3
+        )
+        assert set(outcome["rmse"]) == {"TKCM", "MUSCLES"}
+        assert len(outcome["truth"]) == len(outcome["recoveries"]["TKCM"])
+
+    def test_fig16_small_grid(self):
+        outcome = experiments.fig16_rmse_comparison(
+            dataset_names=("chlorine",), methods=("TKCM", "MUSCLES"),
+            num_targets=1, seed=3,
+        )
+        assert set(outcome) == {"chlorine"}
+        assert set(outcome["chlorine"]) == {"TKCM", "MUSCLES"}
+
+    def test_fig17_runtime_is_positive(self):
+        outcome = experiments.fig17_runtime(
+            l_values=(12,), d_values=(2,), k_values=(5,), window_days=(5,),
+            imputations_per_point=3, seed=3,
+        )
+        assert set(outcome) == {"l", "d", "k", "L"}
+        for sweep in outcome.values():
+            assert np.all(sweep.series("seconds_per_imputation") > 0)
+
+
+class TestAblations:
+    def test_selection_strategy_ablation(self):
+        outcome = experiments.ablation_selection_strategy("chlorine", seed=3)
+        assert set(outcome) == {"dp", "greedy"}
+        assert outcome["dp"]["mean_dissimilarity_sum"] <= (
+            outcome["greedy"]["mean_dissimilarity_sum"] + 1e-9
+        )
+
+    def test_dissimilarity_ablation(self):
+        outcome = experiments.ablation_dissimilarity("chlorine", metrics=("l2", "l1"), seed=3)
+        assert set(outcome) == {"l2", "l1"}
+        assert all(np.isfinite(v) for v in outcome.values())
+
+    def test_overlap_ablation(self):
+        outcome = experiments.ablation_overlap("chlorine", seed=3)
+        assert set(outcome) == {"overlap", "non-overlap"}
+        # Overlapping selection clusters anchors much more tightly.
+        assert outcome["overlap"]["median_anchor_gap"] <= (
+            outcome["non-overlap"]["median_anchor_gap"]
+        )

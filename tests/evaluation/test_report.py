@@ -1,0 +1,74 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import format_series_comparison, format_table
+from repro.evaluation.report import sparkline
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        rows = [
+            {"method": "TKCM", "rmse": 1.234567},
+            {"method": "SPIRIT", "rmse": 2.5},
+        ]
+        table = format_table(rows, title="comparison")
+        lines = table.splitlines()
+        assert lines[0] == "comparison"
+        assert "method" in lines[1] and "rmse" in lines[1]
+        assert "TKCM" in table and "SPIRIT" in table
+        assert "1.235" in table
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_columns_are_union_of_keys(self):
+        rows = [{"a": 1}, {"b": 2}]
+        table = format_table(rows)
+        assert "a" in table and "b" in table
+
+    def test_explicit_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b", "a"])
+        header = table.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_nan_rendering(self):
+        table = format_table([{"x": float("nan")}])
+        assert "nan" in table
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        line = sparkline(np.sin(np.linspace(0, 10, 500)), width=40)
+        assert len(line) == 40
+
+    def test_short_series_keeps_length(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_constant_series(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert len(set(line)) == 1
+
+    def test_empty_series(self):
+        assert sparkline([]) == "(empty)"
+        assert sparkline([float("nan")]) == "(empty)"
+
+    def test_extremes_use_extreme_glyphs(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == " " and line[-1] == "@"
+
+
+class TestSeriesComparison:
+    def test_one_line_per_method_plus_truth(self):
+        truth = np.sin(np.linspace(0, 5, 100))
+        text = format_series_comparison(
+            truth, {"TKCM": truth + 0.1, "LOCF": np.zeros(100)}, title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("truth")
+        assert any(line.startswith("TKCM") for line in lines)
+        assert any(line.startswith("LOCF") for line in lines)

@@ -1,0 +1,88 @@
+"""Unit tests for missing-block scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset
+from repro.evaluation import MissingBlockScenario, build_scenarios
+from repro.exceptions import ConfigurationError
+from repro.streams import TimeSeries
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(0)
+    return Dataset(
+        name="toy",
+        series=[
+            TimeSeries("a", rng.normal(size=200)),
+            TimeSeries("b", rng.normal(size=200)),
+            TimeSeries("c", rng.normal(size=200)),
+        ],
+    )
+
+
+class TestScenario:
+    def test_truth_and_masked_dataset(self, dataset):
+        scenario = MissingBlockScenario(dataset, target="a", block_start=50, block_length=20)
+        truth = scenario.truth()
+        assert len(truth) == 20
+        np.testing.assert_array_equal(truth, dataset.values("a")[50:70])
+
+        masked = scenario.masked_dataset()
+        assert np.isnan(masked.values("a")[50:70]).all()
+        assert not np.isnan(masked.values("a")[:50]).any()
+        np.testing.assert_array_equal(masked.values("b"), dataset.values("b"))
+        # The original dataset is untouched.
+        assert not np.isnan(dataset.values("a")).any()
+
+    def test_block_indices_and_stop(self, dataset):
+        scenario = MissingBlockScenario(dataset, "b", 10, 5)
+        assert scenario.block_stop == 15
+        np.testing.assert_array_equal(scenario.block_indices, [10, 11, 12, 13, 14])
+
+    def test_describe_mentions_block(self, dataset):
+        scenario = MissingBlockScenario(dataset, "a", 10, 5, label="demo")
+        text = scenario.describe()
+        assert "demo" in text and "[10, 15)" in text
+
+    def test_invalid_target_raises(self, dataset):
+        with pytest.raises(ConfigurationError):
+            MissingBlockScenario(dataset, "zzz", 0, 5)
+
+    def test_block_outside_dataset_raises(self, dataset):
+        with pytest.raises(ConfigurationError):
+            MissingBlockScenario(dataset, "a", 190, 20)
+        with pytest.raises(ConfigurationError):
+            MissingBlockScenario(dataset, "a", -1, 5)
+        with pytest.raises(ConfigurationError):
+            MissingBlockScenario(dataset, "a", 10, 0)
+
+
+class TestBuildScenarios:
+    def test_one_scenario_per_target(self, dataset):
+        scenarios = build_scenarios(dataset, block_length=20, num_targets=3, seed=1)
+        assert len(scenarios) == 3
+        assert [s.target for s in scenarios] == ["a", "b", "c"]
+        for scenario in scenarios:
+            assert scenario.block_length == 20
+            assert scenario.block_stop <= dataset.length
+
+    def test_blocks_start_after_earliest_start(self, dataset):
+        scenarios = build_scenarios(dataset, block_length=10, earliest_start=150, seed=2)
+        assert all(s.block_start >= 150 for s in scenarios)
+
+    def test_explicit_targets(self, dataset):
+        scenarios = build_scenarios(dataset, block_length=10, targets=["c"], seed=3)
+        assert [s.target for s in scenarios] == ["c"]
+
+    def test_deterministic_with_seed(self, dataset):
+        a = build_scenarios(dataset, block_length=10, seed=5)
+        b = build_scenarios(dataset, block_length=10, seed=5)
+        assert [s.block_start for s in a] == [s.block_start for s in b]
+
+    def test_block_longer_than_dataset_raises(self, dataset):
+        with pytest.raises(ConfigurationError):
+            build_scenarios(dataset, block_length=500)

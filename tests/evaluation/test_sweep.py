@@ -1,0 +1,59 @@
+"""Unit tests for the parameter-sweep utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import ParameterSweep, SweepResult
+
+
+class TestSweepResult:
+    def test_add_and_series(self):
+        result = SweepResult(parameter="l")
+        result.add(1, rmse=2.0, runtime=0.1)
+        result.add(2, rmse=1.0, runtime=0.2)
+        np.testing.assert_array_equal(result.series("rmse"), [2.0, 1.0])
+        np.testing.assert_array_equal(result.series("runtime"), [0.1, 0.2])
+        assert result.values == [1, 2]
+
+    def test_best_value(self):
+        result = SweepResult(parameter="k")
+        result.add(1, rmse=3.0)
+        result.add(5, rmse=1.0)
+        result.add(10, rmse=2.0)
+        assert result.best_value("rmse") == 5
+        assert result.best_value("rmse", minimise=False) == 1
+
+    def test_best_value_without_measurements_raises(self):
+        with pytest.raises(ValueError):
+            SweepResult(parameter="x").best_value("rmse")
+
+    def test_unknown_metric_series_is_empty(self):
+        result = SweepResult(parameter="x")
+        result.add(1, rmse=1.0)
+        assert len(result.series("runtime")) == 0
+
+    def test_as_rows(self):
+        result = SweepResult(parameter="d")
+        result.add(1, rmse=0.5)
+        result.add(2, rmse=0.4)
+        rows = result.as_rows()
+        assert rows[0] == {"d": 1, "rmse": 0.5}
+        assert rows[1]["d"] == 2
+
+
+class TestParameterSweep:
+    def test_runs_in_order_and_collects_metrics(self):
+        evaluated = []
+
+        def evaluate(value):
+            evaluated.append(value)
+            return {"rmse": value ** 2, "runtime_seconds": 0.01}
+
+        sweep = ParameterSweep("l", evaluate)
+        result = sweep.run([3, 1, 2])
+        assert evaluated == [3, 1, 2]
+        assert result.values == [3, 1, 2]
+        np.testing.assert_array_equal(result.series("rmse"), [9, 1, 4])
+        assert result.best_value("rmse") == 1

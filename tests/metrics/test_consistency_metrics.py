@@ -1,0 +1,42 @@
+"""Unit tests for the epsilon statistics over imputation results (Fig. 13b)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ImputationResult
+from repro.exceptions import InsufficientDataError
+from repro.metrics import average_epsilon, epsilon_series
+
+
+def _result(epsilon: float, method: str = "tkcm") -> ImputationResult:
+    return ImputationResult(series="s", value=1.0, method=method, epsilon=epsilon)
+
+
+class TestEpsilonSeries:
+    def test_extracts_epsilons_of_tkcm_results(self):
+        results = [_result(0.1), _result(0.3), _result(0.2)]
+        np.testing.assert_allclose(epsilon_series(results), [0.1, 0.3, 0.2])
+
+    def test_fallback_results_are_skipped(self):
+        results = [_result(0.1), _result(0.5, method="fallback")]
+        np.testing.assert_allclose(epsilon_series(results), [0.1])
+
+    def test_nan_epsilons_are_skipped(self):
+        results = [_result(float("nan")), _result(0.2)]
+        np.testing.assert_allclose(epsilon_series(results), [0.2])
+
+    def test_empty_input(self):
+        assert len(epsilon_series([])) == 0
+
+
+class TestAverageEpsilon:
+    def test_average(self):
+        assert average_epsilon([_result(0.1), _result(0.3)]) == pytest.approx(0.2)
+
+    def test_no_valid_results_raises(self):
+        with pytest.raises(InsufficientDataError):
+            average_epsilon([_result(float("nan"))])
+        with pytest.raises(InsufficientDataError):
+            average_epsilon([])

@@ -1,0 +1,105 @@
+"""Unit tests for the correlation diagnostics (paper Sec. 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import linearly_correlated_pair, phase_shifted_pair
+from repro.exceptions import InsufficientDataError
+from repro.metrics import (
+    cross_correlation,
+    estimate_shift,
+    pearson_correlation,
+    scatter_points,
+)
+
+
+class TestPearson:
+    def test_perfect_positive_and_negative(self):
+        x = np.arange(50, dtype=float)
+        assert pearson_correlation(x, 3 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -2 * x) == pytest.approx(-1.0)
+
+    def test_paper_fig4_linear_pair(self):
+        dataset = linearly_correlated_pair(841)
+        assert pearson_correlation(dataset.values("s"), dataset.values("r1")) == pytest.approx(1.0)
+
+    def test_paper_fig5_shifted_pair_is_near_zero(self):
+        dataset = phase_shifted_pair(841)
+        rho = pearson_correlation(dataset.values("s"), dataset.values("r2"))
+        assert abs(rho) < 0.05
+
+    def test_constant_series_returns_zero(self):
+        assert pearson_correlation(np.ones(10), np.arange(10)) == 0.0
+
+    def test_nan_positions_are_skipped(self):
+        x = np.array([1.0, 2.0, np.nan, 4.0, 5.0])
+        y = np.array([2.0, 4.0, 6.0, 8.0, np.nan])
+        assert pearson_correlation(x, y) == pytest.approx(1.0)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(InsufficientDataError):
+            pearson_correlation([1.0], [1.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0, 2.0], [1.0])
+
+
+class TestCrossCorrelation:
+    def test_zero_lag_matches_pearson(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=100), rng.normal(size=100)
+        lags, correlations = cross_correlation(x, y, max_lag=5)
+        zero_index = np.flatnonzero(lags == 0)[0]
+        assert correlations[zero_index] == pytest.approx(pearson_correlation(x, y))
+
+    def test_recovers_known_shift(self):
+        """A delayed copy has a positive lag relative to the original."""
+        t = np.arange(600, dtype=float)
+        base = np.sin(2 * np.pi * t / 60)
+        delayed = np.roll(base, 15)
+        lag, correlation = estimate_shift(delayed, base, max_lag=30)
+        assert lag == 15
+        assert correlation == pytest.approx(1.0, abs=1e-6)
+
+    def test_shift_sign_flips_with_argument_order(self):
+        t = np.arange(600, dtype=float)
+        base = np.sin(2 * np.pi * t / 60)
+        delayed = np.roll(base, 12)
+        lag_forward, _ = estimate_shift(delayed, base, max_lag=30)
+        lag_backward, _ = estimate_shift(base, delayed, max_lag=30)
+        assert lag_forward == 12
+        assert lag_backward == -12
+
+    def test_invalid_max_lag_raises(self):
+        with pytest.raises(ValueError):
+            cross_correlation([1.0, 2.0], [1.0, 2.0], max_lag=-1)
+
+    def test_output_lengths(self):
+        lags, correlations = cross_correlation(np.arange(50), np.arange(50), max_lag=7)
+        assert len(lags) == len(correlations) == 15
+
+
+class TestScatterPoints:
+    def test_points_are_reference_target_pairs(self):
+        target = np.array([1.0, 2.0, 3.0])
+        reference = np.array([10.0, 20.0, 30.0])
+        points = scatter_points(target, reference)
+        np.testing.assert_array_equal(points, [[10.0, 1.0], [20.0, 2.0], [30.0, 3.0]])
+
+    def test_nan_pairs_dropped(self):
+        points = scatter_points(np.array([1.0, np.nan]), np.array([5.0, 6.0]))
+        assert points.shape == (1, 2)
+
+    def test_subsampling(self):
+        target = np.arange(1000, dtype=float)
+        points = scatter_points(target, target, max_points=50, seed=1)
+        assert points.shape == (50, 2)
+
+    def test_subsampling_deterministic_with_seed(self):
+        target = np.arange(1000, dtype=float)
+        a = scatter_points(target, target, max_points=20, seed=3)
+        b = scatter_points(target, target, max_points=20, seed=3)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,88 @@
+"""Unit tests for the error metrics (RMSE and friends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InsufficientDataError
+from repro.metrics import mae, mape, nrmse, rmse, rmse_over_indices
+
+
+class TestRmse:
+    def test_zero_for_identical_series(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert rmse(values, values) == 0.0
+
+    def test_matches_definition(self):
+        truth = np.array([0.0, 0.0, 0.0, 0.0])
+        estimate = np.array([1.0, -1.0, 2.0, -2.0])
+        assert rmse(truth, estimate) == pytest.approx(np.sqrt(10.0 / 4.0))
+
+    def test_nan_positions_are_skipped(self):
+        truth = np.array([1.0, np.nan, 3.0])
+        estimate = np.array([2.0, 5.0, np.nan])
+        assert rmse(truth, estimate) == pytest.approx(1.0)
+
+    def test_all_nan_raises(self):
+        with pytest.raises(InsufficientDataError):
+            rmse([np.nan], [1.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rmse([1.0, 2.0], [1.0])
+
+    def test_accepts_lists(self):
+        assert rmse([1.0, 2.0], [1.0, 4.0]) == pytest.approx(np.sqrt(2.0))
+
+    def test_symmetric_in_arguments(self):
+        a, b = np.array([1.0, 5.0, 2.0]), np.array([0.0, 3.0, 4.0])
+        assert rmse(a, b) == pytest.approx(rmse(b, a))
+
+
+class TestMae:
+    def test_matches_definition(self):
+        assert mae([1.0, 2.0, 3.0], [2.0, 0.0, 3.0]) == pytest.approx(1.0)
+
+    def test_never_exceeds_rmse(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            truth = rng.normal(size=30)
+            estimate = rng.normal(size=30)
+            assert mae(truth, estimate) <= rmse(truth, estimate) + 1e-12
+
+
+class TestMape:
+    def test_matches_definition(self):
+        assert mape([10.0, 20.0], [11.0, 18.0]) == pytest.approx((10.0 + 10.0) / 2)
+
+    def test_zero_truth_positions_are_skipped(self):
+        assert mape([0.0, 10.0], [5.0, 12.0]) == pytest.approx(20.0)
+
+    def test_all_zero_truth_raises(self):
+        with pytest.raises(InsufficientDataError):
+            mape([0.0, 0.0], [1.0, 1.0])
+
+
+class TestNrmse:
+    def test_normalised_by_value_range(self):
+        truth = np.array([0.0, 10.0])
+        estimate = np.array([1.0, 9.0])
+        assert nrmse(truth, estimate) == pytest.approx(rmse(truth, estimate) / 10.0)
+
+    def test_constant_truth(self):
+        assert nrmse([5.0, 5.0], [5.0, 5.0]) == 0.0
+        assert nrmse([5.0, 5.0], [6.0, 6.0]) == np.inf
+
+
+class TestRmseOverIndices:
+    def test_restricts_to_the_missing_set(self):
+        truth = np.array([1.0, 2.0, 3.0, 4.0])
+        estimate = np.array([9.0, 2.5, 3.0, 9.0])
+        assert rmse_over_indices(truth, estimate, [1, 2]) == pytest.approx(
+            np.sqrt(0.25 / 2)
+        )
+
+    def test_empty_index_set_raises(self):
+        with pytest.raises(InsufficientDataError):
+            rmse_over_indices([1.0], [1.0], [])

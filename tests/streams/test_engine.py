@@ -1,0 +1,90 @@
+"""Unit tests for the streaming imputation engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TKCMConfig, TKCMImputer
+from repro.baselines import LocfImputer
+from repro.exceptions import StreamError
+from repro.streams import MultiSeriesStream, StreamingImputationEngine
+
+
+@pytest.fixture
+def stream_with_gap():
+    """Two sines; the target has a gap at ticks 30-39."""
+    t = np.arange(200, dtype=float)
+    target = np.sin(2 * np.pi * t / 40)
+    reference = 2.0 * np.sin(2 * np.pi * t / 40)
+    masked = target.copy()
+    masked[30:40] = np.nan
+    return MultiSeriesStream({"s": masked, "r": reference}, sample_period_minutes=1.0)
+
+
+class TestRun:
+    def test_collects_imputations_for_missing_ticks(self, stream_with_gap):
+        engine = StreamingImputationEngine(LocfImputer(["s", "r"]))
+        result = engine.run(stream_with_gap)
+        assert result.ticks_processed == 200
+        assert set(result.imputed) == {"s"}
+        assert sorted(result.imputed["s"]) == list(range(30, 40))
+        assert result.imputed_count() == 10
+        assert result.runtime_seconds >= 0.0
+
+    def test_warmup_ticks_are_not_recorded(self, stream_with_gap):
+        engine = StreamingImputationEngine(LocfImputer(["s", "r"]), warmup_ticks=35)
+        result = engine.run(stream_with_gap)
+        assert sorted(result.imputed["s"]) == list(range(35, 40))
+
+    def test_negative_warmup_raises(self):
+        with pytest.raises(StreamError):
+            StreamingImputationEngine(LocfImputer(["s"]), warmup_ticks=-1)
+
+    def test_partial_replay_range(self, stream_with_gap):
+        engine = StreamingImputationEngine(LocfImputer(["s", "r"]))
+        result = engine.run(stream_with_gap, start=0, stop=35)
+        assert result.ticks_processed == 35
+        assert sorted(result.imputed["s"]) == list(range(30, 35))
+
+    def test_imputed_series_helper(self, stream_with_gap):
+        engine = StreamingImputationEngine(LocfImputer(["s", "r"]))
+        result = engine.run(stream_with_gap)
+        reconstructed = result.imputed_series("s", 200)
+        assert np.isnan(reconstructed[:30]).all()
+        assert np.isfinite(reconstructed[30:40]).all()
+        assert np.isnan(reconstructed[40:]).all()
+
+
+class TestTkcmIntegration:
+    def test_tkcm_details_are_captured(self, stream_with_gap):
+        config = TKCMConfig(window_length=120, pattern_length=5, num_anchors=3,
+                            num_references=1)
+        imputer = TKCMImputer(config, series_names=["s", "r"],
+                              reference_rankings={"s": ["r"]})
+        engine = StreamingImputationEngine(imputer)
+        result = engine.run(stream_with_gap)
+        assert set(result.details) == {"s"}
+        assert sorted(result.details["s"]) == list(range(30, 40))
+        # Every detail is a rich ImputationResult whose value matches the flat map.
+        for index, detail in result.details["s"].items():
+            assert result.imputed["s"][index] == pytest.approx(detail.value)
+
+    def test_prime_until_uses_bulk_priming(self, stream_with_gap):
+        config = TKCMConfig(window_length=25, pattern_length=5, num_anchors=3,
+                            num_references=1)
+        imputer = TKCMImputer(config, series_names=["s", "r"],
+                              reference_rankings={"s": ["r"]})
+        engine = StreamingImputationEngine(imputer)
+        result = engine.run(stream_with_gap, prime_until=30)
+        # Only the post-priming ticks are replayed.
+        assert result.ticks_processed == 170
+        assert sorted(result.imputed["s"]) == list(range(30, 40))
+
+    def test_prime_until_beyond_stream_raises(self, stream_with_gap):
+        config = TKCMConfig(window_length=25, pattern_length=5, num_anchors=3,
+                            num_references=1)
+        imputer = TKCMImputer(config, series_names=["s", "r"])
+        engine = StreamingImputationEngine(imputer)
+        with pytest.raises(StreamError):
+            engine.run(stream_with_gap, prime_until=1000)

@@ -1,0 +1,111 @@
+"""Unit tests for missing-value injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streams import (
+    MissingBlock,
+    inject_missing_block,
+    inject_random_missing,
+    sensor_failure_blocks,
+)
+
+
+class TestMissingBlock:
+    def test_block_bounds(self):
+        block = MissingBlock(series="s", start=10, length=5)
+        assert block.stop == 15
+        np.testing.assert_array_equal(block.indices(), [10, 11, 12, 13, 14])
+
+    def test_mask(self):
+        block = MissingBlock(series="s", start=2, length=3)
+        mask = block.mask(6)
+        np.testing.assert_array_equal(mask, [False, False, True, True, True, False])
+
+    def test_mask_too_short_raises(self):
+        with pytest.raises(ConfigurationError):
+            MissingBlock(series="s", start=2, length=3).mask(4)
+
+
+class TestInjectBlock:
+    def test_returns_masked_copy_and_truth(self):
+        values = np.arange(10, dtype=float)
+        masked, truth = inject_missing_block(values, start=3, length=4)
+        assert np.isnan(masked[3:7]).all()
+        np.testing.assert_array_equal(truth, [3, 4, 5, 6])
+        np.testing.assert_array_equal(values, np.arange(10))   # input untouched
+        np.testing.assert_array_equal(masked[:3], [0, 1, 2])
+
+    def test_block_must_fit(self):
+        values = np.arange(5, dtype=float)
+        with pytest.raises(ConfigurationError):
+            inject_missing_block(values, start=3, length=4)
+        with pytest.raises(ConfigurationError):
+            inject_missing_block(values, start=-1, length=2)
+        with pytest.raises(ConfigurationError):
+            inject_missing_block(values, start=0, length=0)
+
+    def test_full_series_block(self):
+        values = np.arange(4, dtype=float)
+        masked, truth = inject_missing_block(values, 0, 4)
+        assert np.isnan(masked).all()
+        np.testing.assert_array_equal(truth, values)
+
+
+class TestInjectRandom:
+    def test_fraction_zero_and_one(self):
+        values = np.arange(100, dtype=float)
+        masked, mask = inject_random_missing(values, 0.0, seed=1)
+        assert mask.sum() == 0
+        masked, mask = inject_random_missing(values, 1.0, seed=1)
+        assert mask.sum() == 100
+        assert np.isnan(masked).all()
+
+    def test_fraction_roughly_respected(self):
+        values = np.zeros(5000)
+        _, mask = inject_random_missing(values, 0.3, seed=7)
+        assert 0.25 < mask.mean() < 0.35
+
+    def test_deterministic_with_seed(self):
+        values = np.zeros(50)
+        _, mask_a = inject_random_missing(values, 0.4, seed=3)
+        _, mask_b = inject_random_missing(values, 0.4, seed=3)
+        np.testing.assert_array_equal(mask_a, mask_b)
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ConfigurationError):
+            inject_random_missing(np.zeros(5), 1.5)
+
+
+class TestSensorFailureBlocks:
+    def test_blocks_do_not_overlap_and_respect_min_start(self):
+        blocks = sensor_failure_blocks(
+            series_length=1000, num_failures=4, block_length=50, min_start=200, seed=5,
+            series="s",
+        )
+        assert len(blocks) == 4
+        starts = [b.start for b in blocks]
+        assert all(s >= 200 for s in starts)
+        ordered = sorted(blocks, key=lambda b: b.start)
+        for first, second in zip(ordered, ordered[1:]):
+            assert second.start >= first.stop
+        assert all(b.stop <= 1000 for b in blocks)
+        assert all(b.series == "s" for b in blocks)
+
+    def test_deterministic_with_seed(self):
+        a = sensor_failure_blocks(500, 3, 20, seed=11)
+        b = sensor_failure_blocks(500, 3, 20, seed=11)
+        assert [x.start for x in a] == [x.start for x in b]
+
+    def test_infeasible_schedule_raises(self):
+        with pytest.raises(ConfigurationError):
+            sensor_failure_blocks(series_length=100, num_failures=3, block_length=40)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            sensor_failure_blocks(100, 0, 10)
+        with pytest.raises(ConfigurationError):
+            sensor_failure_blocks(100, 1, 0)

@@ -1,0 +1,113 @@
+"""Unit tests for the TimeSeries container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StreamError
+from repro.streams import TimeSeries
+
+
+@pytest.fixture
+def series():
+    values = np.array([1.0, 2.0, np.nan, 4.0, 5.0])
+    return TimeSeries("t1m", values, sample_period_minutes=5.0, start_minute=100.0)
+
+
+class TestBasics:
+    def test_length_and_values(self, series):
+        assert len(series) == 5
+        assert series.value_at(0) == 1.0
+        assert np.isnan(series.value_at(2))
+
+    def test_times_axis(self, series):
+        np.testing.assert_array_equal(series.times, [100, 105, 110, 115, 120])
+
+    def test_invalid_sample_period_raises(self):
+        with pytest.raises(StreamError):
+            TimeSeries("x", [1.0], sample_period_minutes=0.0)
+
+    def test_values_are_flattened_to_1d(self):
+        ts = TimeSeries("x", np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert ts.values.ndim == 1
+        assert len(ts) == 4
+
+
+class TestMissing:
+    def test_missing_mask_and_counts(self, series):
+        np.testing.assert_array_equal(series.missing_mask, [False, False, True, False, False])
+        assert series.missing_count == 1
+        assert series.missing_fraction == pytest.approx(0.2)
+        assert not series.is_complete()
+
+    def test_complete_series(self):
+        ts = TimeSeries("x", [1.0, 2.0])
+        assert ts.is_complete()
+        assert ts.missing_fraction == 0.0
+
+    def test_with_missing_adds_nans_without_mutating(self, series):
+        masked = series.with_missing(np.array([True, False, False, False, True]))
+        assert masked.missing_count == 3   # original NaN plus two new ones
+        assert series.missing_count == 1
+        assert np.isnan(masked.values[0]) and np.isnan(masked.values[4])
+
+    def test_with_missing_length_mismatch_raises(self, series):
+        with pytest.raises(StreamError):
+            series.with_missing(np.array([True, False]))
+
+    def test_observed_values_exclude_nan(self, series):
+        np.testing.assert_array_equal(series.observed_values(), [1.0, 2.0, 4.0, 5.0])
+
+
+class TestTransforms:
+    def test_slice_shifts_start_minute(self, series):
+        part = series.slice(1, 4)
+        assert len(part) == 3
+        assert part.start_minute == 105.0
+        np.testing.assert_array_equal(part.values[:2], [2.0, np.nan][:1] + [np.nan])
+
+    def test_slice_out_of_range_raises(self, series):
+        with pytest.raises(StreamError):
+            series.slice(3, 10)
+        with pytest.raises(StreamError):
+            series.slice(-1, 2)
+
+    def test_with_values_replaces_payload(self, series):
+        replaced = series.with_values([9, 8, 7, 6, 5])
+        np.testing.assert_array_equal(replaced.values, [9, 8, 7, 6, 5])
+        assert replaced.name == series.name
+        assert series.value_at(0) == 1.0
+
+    def test_with_values_length_mismatch_raises(self, series):
+        with pytest.raises(StreamError):
+            series.with_values([1.0, 2.0])
+
+    def test_shifted_rolls_values(self):
+        ts = TimeSeries("x", [1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(ts.shifted(1).values, [4.0, 1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(ts.shifted(-1).values, [2.0, 3.0, 4.0, 1.0])
+        np.testing.assert_array_equal(ts.shifted(0).values, ts.values)
+
+
+class TestStatistics:
+    def test_mean_and_std_ignore_missing(self, series):
+        assert series.mean() == pytest.approx(3.0)
+        assert series.std() == pytest.approx(np.std([1.0, 2.0, 4.0, 5.0]))
+
+    def test_mean_of_all_missing_is_nan(self):
+        ts = TimeSeries("x", [np.nan, np.nan])
+        assert np.isnan(ts.mean())
+        assert np.isnan(ts.std())
+
+    def test_describe_contains_summary(self, series):
+        info = series.describe()
+        assert info["name"] == "t1m"
+        assert info["length"] == 5
+        assert info["missing"] == 1
+        assert info["min"] == 1.0 and info["max"] == 5.0
+
+    def test_describe_of_empty_observed(self):
+        info = TimeSeries("x", [np.nan]).describe()
+        assert info["missing"] == 1
+        assert "min" not in info

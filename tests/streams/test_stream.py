@@ -1,0 +1,96 @@
+"""Unit tests for the stream replay layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StreamError
+from repro.streams import MultiSeriesStream, StreamRecord, TimeSeries
+
+
+@pytest.fixture
+def stream():
+    return MultiSeriesStream(
+        {"a": [1.0, 2.0, np.nan, 4.0], "b": [10.0, np.nan, 30.0, 40.0]},
+        sample_period_minutes=5.0,
+    )
+
+
+class TestConstruction:
+    def test_from_mapping(self, stream):
+        assert stream.names == ["a", "b"]
+        assert len(stream) == 4
+        assert stream.sample_period_minutes == 5.0
+
+    def test_from_time_series_objects(self):
+        series = [
+            TimeSeries("x", [1.0, 2.0], sample_period_minutes=1.0),
+            TimeSeries("y", [3.0, 4.0], sample_period_minutes=1.0),
+        ]
+        stream = MultiSeriesStream(series)
+        assert stream.names == ["x", "y"]
+        assert stream.sample_period_minutes == 1.0
+
+    def test_empty_collection_raises(self):
+        with pytest.raises(StreamError):
+            MultiSeriesStream({})
+        with pytest.raises(StreamError):
+            MultiSeriesStream([])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(StreamError):
+            MultiSeriesStream({"a": [1.0], "b": [1.0, 2.0]})
+
+
+class TestRecords:
+    def test_record_contents(self, stream):
+        record = stream.record(1)
+        assert isinstance(record, StreamRecord)
+        assert record.index == 1
+        assert record.time_minutes == 5.0
+        assert record.values["a"] == 2.0
+        assert np.isnan(record.values["b"])
+
+    def test_missing_series_listed(self, stream):
+        assert stream.record(1).missing_series() == ["b"]
+        assert stream.record(2).missing_series() == ["a"]
+        assert stream.record(0).missing_series() == []
+
+    def test_record_out_of_range_raises(self, stream):
+        with pytest.raises(StreamError):
+            stream.record(4)
+        with pytest.raises(StreamError):
+            stream.record(-1)
+
+
+class TestIteration:
+    def test_full_iteration(self, stream):
+        records = list(stream)
+        assert [r.index for r in records] == [0, 1, 2, 3]
+
+    def test_partial_replay(self, stream):
+        records = list(stream.iterate(1, 3))
+        assert [r.index for r in records] == [1, 2]
+
+    def test_invalid_replay_range_raises(self, stream):
+        with pytest.raises(StreamError):
+            list(stream.iterate(3, 1))
+        with pytest.raises(StreamError):
+            list(stream.iterate(0, 10))
+
+
+class TestBulkAccess:
+    def test_values_matrix_shape_and_content(self, stream):
+        matrix = stream.values_matrix()
+        assert matrix.shape == (4, 2)
+        np.testing.assert_array_equal(matrix[0], [1.0, 10.0])
+
+    def test_head_for_priming(self, stream):
+        head = stream.head(2)
+        np.testing.assert_array_equal(head["a"], [1.0, 2.0])
+        assert len(head["b"]) == 2
+
+    def test_head_out_of_range_raises(self, stream):
+        with pytest.raises(StreamError):
+            stream.head(9)

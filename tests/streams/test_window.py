@@ -1,0 +1,110 @@
+"""Unit tests for the multi-stream sliding window."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, StreamError
+from repro.streams import SlidingWindow
+
+
+class TestConstruction:
+    def test_invalid_length_raises(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(0)
+
+    def test_initial_state(self):
+        window = SlidingWindow(4, series_names=["a", "b"])
+        assert window.series_names == ["a", "b"]
+        assert window.ticks == 0
+        assert not window.is_full
+        assert window.current_size == 0
+
+
+class TestPush:
+    def test_push_advances_all_streams(self):
+        window = SlidingWindow(3, series_names=["a", "b"])
+        window.push({"a": 1.0, "b": 10.0})
+        window.push({"a": 2.0, "b": 20.0})
+        np.testing.assert_array_equal(window.series("a"), [1.0, 2.0])
+        np.testing.assert_array_equal(window.series("b"), [10.0, 20.0])
+        assert window.ticks == 2
+
+    def test_missing_stream_value_becomes_nan(self):
+        window = SlidingWindow(3, series_names=["a", "b"])
+        window.push({"a": 1.0})
+        assert np.isnan(window.latest("b"))
+        assert window.latest("a") == 1.0
+
+    def test_push_evicts_oldest_when_full(self):
+        window = SlidingWindow(2, series_names=["a"])
+        for value in (1.0, 2.0, 3.0):
+            window.push({"a": value})
+        np.testing.assert_array_equal(window.series("a"), [2.0, 3.0])
+        assert window.is_full
+        assert window.current_size == 2
+
+    def test_new_stream_registered_on_push_is_backfilled_with_nan(self):
+        window = SlidingWindow(4, series_names=["a"])
+        window.push({"a": 1.0})
+        window.push({"a": 2.0, "b": 20.0})
+        b = window.series("b")
+        assert len(b) == 2
+        assert np.isnan(b[0]) and b[1] == 20.0
+
+    def test_update_latest_overwrites_newest_value(self):
+        window = SlidingWindow(3, series_names=["a"])
+        window.push({"a": float("nan")})
+        window.update_latest("a", 7.5)
+        assert window.latest("a") == 7.5
+
+    def test_update_latest_unknown_stream_raises(self):
+        window = SlidingWindow(3, series_names=["a"])
+        window.push({"a": 1.0})
+        with pytest.raises(StreamError):
+            window.update_latest("b", 1.0)
+
+
+class TestAccess:
+    def test_matrix_stacks_streams_in_order(self):
+        window = SlidingWindow(3, series_names=["a", "b"])
+        window.push({"a": 1.0, "b": 10.0})
+        window.push({"a": 2.0, "b": 20.0})
+        matrix = window.matrix()
+        assert matrix.shape == (2, 2)
+        np.testing.assert_array_equal(matrix[0], [1.0, 2.0])
+        np.testing.assert_array_equal(matrix[1], [10.0, 20.0])
+
+    def test_matrix_with_subset_of_streams(self):
+        window = SlidingWindow(3, series_names=["a", "b", "c"])
+        window.push({"a": 1.0, "b": 2.0, "c": 3.0})
+        matrix = window.matrix(["c", "a"])
+        np.testing.assert_array_equal(matrix[:, 0], [3.0, 1.0])
+
+    def test_matrix_with_no_streams_raises(self):
+        window = SlidingWindow(3)
+        with pytest.raises(StreamError):
+            window.matrix()
+
+    def test_series_unknown_stream_raises(self):
+        window = SlidingWindow(3, series_names=["a"])
+        with pytest.raises(StreamError):
+            window.series("zzz")
+
+    def test_availability_reflects_latest_tick(self):
+        window = SlidingWindow(3, series_names=["a", "b"])
+        window.push({"a": 1.0, "b": float("nan")})
+        availability = window.availability()
+        assert availability["a"] is True
+        assert availability["b"] is False
+
+
+class TestClear:
+    def test_clear_keeps_registration(self):
+        window = SlidingWindow(3, series_names=["a"])
+        window.push({"a": 1.0})
+        window.clear()
+        assert window.ticks == 0
+        assert window.series_names == ["a"]
+        assert len(window.series("a")) == 0

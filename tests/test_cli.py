@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import Dataset, dataset_from_csv, dataset_to_csv
+from repro.streams import TimeSeries
+
+
+@pytest.fixture
+def small_csv(tmp_path):
+    """A tiny CSV with three correlated periodic columns and a gap in the target."""
+    t = np.arange(400, dtype=float)
+    s = np.sin(2 * np.pi * t / 40)
+    s_masked = s.copy()
+    s_masked[300:330] = np.nan
+    dataset = Dataset(
+        name="cli-demo",
+        series=[
+            TimeSeries("s", s_masked),
+            TimeSeries("r1", 2.0 * np.sin(2 * np.pi * t / 40) + 1.0),
+            TimeSeries("r2", np.sin(2 * np.pi * (t - 10) / 40)),
+        ],
+    )
+    path = tmp_path / "input.csv"
+    dataset_to_csv(dataset, path)
+    return path, s
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_experiment_choices_include_all_figures(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "fig16"])
+        assert args.figure == "fig16"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "fig99"])
+
+
+class TestListDatasets:
+    def test_lists_the_four_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("sbr", "sbr-1d", "flights", "chlorine"):
+            assert name in output
+
+
+class TestGenerate:
+    def test_generates_csv(self, tmp_path, capsys):
+        output = tmp_path / "chlorine.csv"
+        assert main(["generate", "chlorine", "-o", str(output), "--seed", "1"]) == 0
+        assert output.exists()
+        dataset = dataset_from_csv(output)
+        assert dataset.num_series >= 2
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_dataset_returns_error_code(self, tmp_path, capsys):
+        code = main(["generate", "nope", "-o", str(tmp_path / "x.csv")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestImpute:
+    def test_imputes_the_gap(self, small_csv, tmp_path, capsys):
+        input_path, truth = small_csv
+        output_path = tmp_path / "recovered.csv"
+        code = main([
+            "impute", "-i", str(input_path), "-o", str(output_path),
+            "--target", "s", "--references", "r1", "r2",
+            "--window", "200", "--pattern-length", "8", "--anchors", "3",
+            "--num-references", "2",
+        ])
+        assert code == 0
+        assert "imputed 30 missing values" in capsys.readouterr().out
+        recovered = dataset_from_csv(output_path)
+        block = recovered.values("s")[300:330]
+        assert not np.isnan(block).any()
+        rmse = float(np.sqrt(np.mean((block - truth[300:330]) ** 2)))
+        assert rmse < 0.2
+
+    def test_unknown_target_is_an_error(self, small_csv, tmp_path, capsys):
+        input_path, _ = small_csv
+        code = main([
+            "impute", "-i", str(input_path), "-o", str(tmp_path / "out.csv"),
+            "--target", "ghost",
+        ])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_automatic_reference_ranking(self, small_csv, tmp_path):
+        input_path, truth = small_csv
+        output_path = tmp_path / "auto.csv"
+        code = main([
+            "impute", "-i", str(input_path), "-o", str(output_path),
+            "--target", "s", "--window", "200", "--pattern-length", "8",
+            "--anchors", "3", "--num-references", "2",
+        ])
+        assert code == 0
+        recovered = dataset_from_csv(output_path)
+        assert not np.isnan(recovered.values("s")[300:330]).any()
+
+
+class TestExperimentCommand:
+    def test_fig04_prints_a_table(self, capsys):
+        assert main(["experiment", "fig04"]) == 0
+        output = capsys.readouterr().out
+        assert "pearson" in output
+        assert "fig04_linear" in output
+
+    def test_fig06_prints_zero_match_counts(self, capsys):
+        assert main(["experiment", "fig06"]) == 0
+        output = capsys.readouterr().out
+        assert "zero_matches" in output
