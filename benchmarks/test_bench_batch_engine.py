@@ -1,0 +1,155 @@
+"""Micro-benchmark: batch execution path vs the per-tick replay loop.
+
+Workload: the Fig. 17 runtime setting (SBR-1d-like data, the benchmark-scale
+TKCM configuration L = 10 days, l = 36, d = 3, k = 5) with a multi-day missing
+block in the target series — the continuous-imputation scenario the paper's
+runtime analysis (Sec. 7.4) times.  The same stream is replayed once through
+``StreamingImputationEngine.run`` (one Python dict per tick) and once through
+``run_batch`` (whole NumPy blocks + TKCM's incremental window/dissimilarity
+maintenance); both runs must produce bit-identical imputations.
+
+The measured times and the speedup are written to
+``BENCH_batch_engine.json`` at the repository root (and mirrored into
+``benchmarks/results/``) so the record survives pytest output capturing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro import TKCMConfig, TKCMImputer
+from repro.config import SAMPLES_PER_DAY_5MIN
+from repro.datasets import generate_sbr_shifted
+from repro.evaluation.report import format_table
+from repro.streams import MultiSeriesStream, StreamingImputationEngine
+
+from .conftest import RESULTS_DIR, emit
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Fig. 17 runtime workload at benchmark scale.
+WINDOW_DAYS = 10
+BLOCK_DAYS = 3
+NUM_SERIES = 4
+BATCH_SIZE = SAMPLES_PER_DAY_5MIN  # one day of 5-minute samples per block
+
+#: The tentpole target: the batch path must be at least this much faster on
+#: this machine class; the test itself asserts a softer floor so CI noise on
+#: shared runners cannot produce flaky failures.
+TARGET_SPEEDUP = 5.0
+ASSERTED_SPEEDUP = 2.5
+
+
+def _workload():
+    config = TKCMConfig(
+        window_length=WINDOW_DAYS * SAMPLES_PER_DAY_5MIN,
+        pattern_length=36,
+        num_anchors=5,
+        num_references=3,
+    )
+    dataset = generate_sbr_shifted(
+        num_series=NUM_SERIES, num_days=WINDOW_DAYS + BLOCK_DAYS + 3, seed=2017
+    )
+    target = dataset.names[0]
+    values = {name: dataset.values(name) for name in dataset.names}
+    block_start = config.window_length
+    block_length = BLOCK_DAYS * SAMPLES_PER_DAY_5MIN
+    values[target][block_start: block_start + block_length] = np.nan
+    stream = MultiSeriesStream(values, sample_period_minutes=5.0)
+
+    def imputer():
+        return TKCMImputer(
+            config,
+            series_names=dataset.names,
+            reference_rankings={target: dataset.names[1:]},
+        )
+
+    return stream, imputer, block_start, block_length
+
+
+def _time_run(runner) -> float:
+    started = time.perf_counter()
+    runner()
+    return time.perf_counter() - started
+
+
+def test_bench_batch_engine(run_once):
+    stream, imputer, block_start, block_length = _workload()
+
+    # Warm-up pass (allocator, caches, BLAS thread pool) outside the timings.
+    StreamingImputationEngine(imputer()).run_batch(
+        stream, batch_size=BATCH_SIZE, prime_until=block_start
+    )
+
+    tick_engine = StreamingImputationEngine(imputer())
+    tick_result = None
+
+    def tick_run():
+        nonlocal tick_result
+        tick_result = tick_engine.run(stream, prime_until=block_start)
+
+    tick_seconds = run_once(_time_run, tick_run)
+
+    batch_engine = StreamingImputationEngine(imputer())
+    started = time.perf_counter()
+    batch_result = batch_engine.run_batch(
+        stream, batch_size=BATCH_SIZE, prime_until=block_start
+    )
+    batch_seconds = time.perf_counter() - started
+
+    assert tick_result is not None
+    assert batch_result.imputed == tick_result.imputed, (
+        "batch path must reproduce the tick loop's imputations exactly"
+    )
+    assert batch_result.imputed_count() == block_length
+
+    speedup = tick_seconds / batch_seconds
+    record = {
+        "workload": "fig17_runtime",
+        "dataset": "sbr-1d",
+        "num_series": NUM_SERIES,
+        "window_length": WINDOW_DAYS * SAMPLES_PER_DAY_5MIN,
+        "pattern_length": 36,
+        "num_anchors": 5,
+        "num_references": 3,
+        "missing_block_ticks": block_length,
+        "batch_size": BATCH_SIZE,
+        "tick_seconds": tick_seconds,
+        "batch_seconds": batch_seconds,
+        "tick_seconds_per_imputation": tick_seconds / block_length,
+        "batch_seconds_per_imputation": batch_seconds / block_length,
+        "speedup": speedup,
+        "target_speedup": TARGET_SPEEDUP,
+    }
+    payload = json.dumps(record, indent=2) + "\n"
+    (REPO_ROOT / "BENCH_batch_engine.json").write_text(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_batch_engine.json").write_text(payload)
+
+    emit(
+        "BENCH batch engine — tick loop vs run_batch",
+        format_table(
+            [
+                {
+                    "path": "tick",
+                    "seconds": tick_seconds,
+                    "us_per_imputation": 1e6 * tick_seconds / block_length,
+                },
+                {
+                    "path": "batch",
+                    "seconds": batch_seconds,
+                    "us_per_imputation": 1e6 * batch_seconds / block_length,
+                },
+                {"path": "speedup", "seconds": speedup, "us_per_imputation": float("nan")},
+            ]
+        ),
+    )
+
+    assert speedup >= ASSERTED_SPEEDUP, (
+        f"batch path is only {speedup:.2f}x faster than the tick loop "
+        f"(target {TARGET_SPEEDUP}x, asserted floor {ASSERTED_SPEEDUP}x)"
+    )

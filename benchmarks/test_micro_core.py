@@ -9,7 +9,6 @@ benchmark-scale window.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import TKCMConfig, TKCMImputer

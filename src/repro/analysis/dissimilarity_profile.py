@@ -15,8 +15,6 @@ below a threshold, which is what Lemma 5.1's monotonicity statement counts.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..core.dissimilarity import candidate_dissimilarities

@@ -45,6 +45,46 @@ class OnlineImputer(abc.ABC):
     def observe(self, values: Mapping[str, float]) -> Dict[str, float]:
         """Consume one tick and return ``{series: imputed value}`` for missing series."""
 
+    def observe_batch(
+        self, block: np.ndarray, names: Sequence[str]
+    ) -> Dict[int, Dict[str, float]]:
+        """Consume a whole block of ticks at once.
+
+        Parameters
+        ----------
+        block:
+            ``(ticks, num_series)`` matrix; row ``b`` holds the values of
+            every stream at the ``b``-th tick of the block (``NaN`` =
+            missing).
+        names:
+            Stream names aligned with the block's columns.
+
+        Returns
+        -------
+        dict
+            ``{row offset: {series: imputed value}}`` for every row that had
+            at least one missing value.
+
+        The default implementation replays the block tick by tick through
+        :meth:`observe`, so every online imputer works under the batch engine
+        unchanged; imputers with a vectorised block algorithm (TKCM) override
+        it.
+        """
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2 or block.shape[1] != len(names):
+            raise ConfigurationError(
+                f"block must be 2-D with {len(names)} columns, got shape {block.shape}"
+            )
+        results: Dict[int, Dict[str, float]] = {}
+        for offset in range(block.shape[0]):
+            row = block[offset]
+            outputs = self.observe(
+                {name: float(row[i]) for i, name in enumerate(names)}
+            )
+            if outputs:
+                results[offset] = dict(outputs)
+        return results
+
     def prime(self, history: Mapping[str, Sequence[float]]) -> None:
         """Feed complete historical data tick by tick (default implementation).
 

@@ -24,7 +24,7 @@ One independent RLS model is maintained per target series.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Mapping, Optional, Sequence
+from typing import Deque, Dict, Mapping, Optional, Sequence
 
 import numpy as np
 

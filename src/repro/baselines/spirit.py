@@ -24,7 +24,7 @@ used in its evaluation (Sec. 7.1):
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Mapping, Sequence
+from typing import Deque, Dict, Mapping, Sequence
 
 import numpy as np
 

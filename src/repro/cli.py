@@ -20,9 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Callable, Dict, Optional, Sequence
 
 from . import __version__
 from .config import TKCMConfig
@@ -31,6 +29,7 @@ from .datasets import dataset_from_csv, dataset_to_csv, get_dataset, list_datase
 from .evaluation import experiments
 from .evaluation.report import format_series_comparison, format_table
 from .exceptions import ReproError
+from .streams import StreamingImputationEngine
 
 __all__ = ["main", "build_parser"]
 
@@ -80,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of reference series d used per imputation (default 3)")
     impute.add_argument("--sample-period", type=float, default=5.0,
                         help="sample period in minutes, used only for reporting")
+    impute.add_argument("--batch-size", type=int, default=288,
+                        help="ticks per engine block on the batch execution path "
+                             "(default 288 = one day at 5-minute samples; "
+                             "<= 0 replays tick by tick)")
     impute.set_defaults(handler=_cmd_impute)
 
     experiment = subparsers.add_parser(
@@ -88,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("figure", choices=sorted(_EXPERIMENTS),
                             help="which figure / ablation to run")
     experiment.add_argument("--seed", type=int, default=2017, help="experiment seed")
+    experiment.add_argument("--batch-size", type=int, default=0,
+                            help="ticks per engine block for experiments that replay "
+                                 "streams (<= 0 = tick-by-tick replay, the default)")
     experiment.set_defaults(handler=_cmd_experiment)
 
     return parser
@@ -127,17 +133,20 @@ def _cmd_impute(args: argparse.Namespace) -> int:
     imputer = TKCMImputer(config, series_names=dataset.names, reference_rankings=rankings)
 
     stream = dataset.to_stream()
+    engine = StreamingImputationEngine(imputer)
+    if args.batch_size > 0:
+        run = engine.run_batch(stream, batch_size=args.batch_size)
+    else:
+        run = engine.run(stream)
+
     recovered = dataset.values(args.target)
     imputed_count = 0
     fallback_count = 0
-    for record in stream:
-        results = imputer.observe(record.values)
-        if args.target in results:
-            result = results[args.target]
-            recovered[record.index] = result.value
-            imputed_count += 1
-            if result.method == "fallback":
-                fallback_count += 1
+    for index, result in run.details.get(args.target, {}).items():
+        recovered[index] = result.value
+        imputed_count += 1
+        if result.method == "fallback":
+            fallback_count += 1
 
     output = dataset.with_series_values(args.target, recovered)
     dataset_to_csv(output, args.output)
@@ -146,17 +155,17 @@ def _cmd_impute(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_fig15(seed: int) -> None:
+def _run_fig15(seed: int, batch_size: Optional[int]) -> None:
     for name in ("sbr", "sbr-1d", "flights", "chlorine"):
-        outcome = experiments.fig15_recovery_comparison(name, seed=seed)
+        outcome = experiments.fig15_recovery_comparison(name, seed=seed, batch_size=batch_size)
         print(format_series_comparison(outcome["truth"], outcome["recoveries"],
                                        title=f"{name}: true vs recovered block"))
         print(format_table([{"method": m, "rmse": v} for m, v in outcome["rmse"].items()]))
         print()
 
 
-def _run_fig16(seed: int) -> None:
-    results = experiments.fig16_rmse_comparison(seed=seed)
+def _run_fig16(seed: int, batch_size: Optional[int]) -> None:
+    results = experiments.fig16_rmse_comparison(seed=seed, batch_size=batch_size)
     rows = []
     for dataset_name, per_method in results.items():
         row: Dict[str, object] = {"dataset": dataset_name}
@@ -175,52 +184,60 @@ def _run_sweep_family(result_map: Dict[str, object], title: str) -> None:
         print()
 
 
-_EXPERIMENTS: Dict[str, Callable[[int], None]] = {
-    "fig04": lambda seed: print(format_table([
+#: Handlers take ``(seed, batch_size)``; figures that never replay a stream
+#: through the engine (fig04/fig06) or that time the imputer directly (fig17)
+#: ignore the batch size.
+_EXPERIMENTS: Dict[str, Callable[[int, Optional[int]], None]] = {
+    "fig04": lambda seed, batch: print(format_table([
         {"pair": label, "pearson": report.pearson, "best_lag": report.best_lag,
          "ambiguity": report.ambiguity}
         for label, report in experiments.fig04_05_correlation().items()
     ], title="Fig. 4/5 — correlation of the sine pairs")),
-    "fig06": lambda seed: print(format_table([
+    "fig06": lambda seed, batch: print(format_table([
         {"figure": label, "pattern": length, "zero_matches": info["num_zero_dissimilarity"]}
         for label, per_length in experiments.fig06_07_profiles().items()
         for length, info in per_length.items()
     ], title="Fig. 6/7 — zero-dissimilarity anchors")),
-    "fig10": lambda seed: _run_sweep_family(
-        experiments.fig10_calibration(seed=seed), "Fig. 10 — calibration"),
-    "fig11": lambda seed: _run_sweep_family(
-        experiments.fig11_pattern_length(seed=seed), "Fig. 11 — pattern length"),
-    "fig12": lambda seed: print(format_series_comparison(
-        experiments.fig12_recovery_curves(seed=seed)["truth"],
-        experiments.fig12_recovery_curves(seed=seed)["recoveries"],
-        title="Fig. 12 — recovery with short vs long patterns")),
-    "fig13": lambda seed: print(format_table([
+    "fig10": lambda seed, batch: _run_sweep_family(
+        experiments.fig10_calibration(seed=seed, batch_size=batch), "Fig. 10 — calibration"),
+    "fig11": lambda seed, batch: _run_sweep_family(
+        experiments.fig11_pattern_length(seed=seed, batch_size=batch),
+        "Fig. 11 — pattern length"),
+    "fig12": lambda seed, batch: print((lambda out: format_series_comparison(
+        out["truth"], out["recoveries"],
+        title="Fig. 12 — recovery with short vs long patterns"))(
+            experiments.fig12_recovery_curves(seed=seed, batch_size=batch))),
+    "fig13": lambda seed, batch: print(format_table([
         {"l": l, "average_epsilon": eps}
-        for l, eps in experiments.fig13_epsilon(seed=seed)["average_epsilon"].items()
+        for l, eps in experiments.fig13_epsilon(
+            seed=seed, batch_size=batch)["average_epsilon"].items()
     ], title="Fig. 13b — average epsilon vs pattern length")),
-    "fig14": lambda seed: _run_sweep_family(
-        experiments.fig14_block_length(seed=seed), "Fig. 14 — block length"),
+    "fig14": lambda seed, batch: _run_sweep_family(
+        experiments.fig14_block_length(seed=seed, batch_size=batch), "Fig. 14 — block length"),
     "fig15": _run_fig15,
     "fig16": _run_fig16,
-    "fig17": lambda seed: _run_sweep_family(
+    "fig17": lambda seed, batch: _run_sweep_family(
         experiments.fig17_runtime(seed=seed), "Fig. 17 — runtime"),
-    "ablation-selection": lambda seed: print(format_table([
+    "ablation-selection": lambda seed, batch: print(format_table([
         {"strategy": k, **v}
-        for k, v in experiments.ablation_selection_strategy(seed=seed).items()
+        for k, v in experiments.ablation_selection_strategy(
+            seed=seed, batch_size=batch).items()
     ], title="Ablation — DP vs greedy")),
-    "ablation-overlap": lambda seed: print(format_table([
+    "ablation-overlap": lambda seed, batch: print(format_table([
         {"selection": k, **v}
-        for k, v in experiments.ablation_overlap(seed=seed).items()
+        for k, v in experiments.ablation_overlap(seed=seed, batch_size=batch).items()
     ], title="Ablation — overlap")),
-    "ablation-dissimilarity": lambda seed: print(format_table([
+    "ablation-dissimilarity": lambda seed, batch: print(format_table([
         {"metric": k, "rmse": v}
-        for k, v in experiments.ablation_dissimilarity(seed=seed).items()
+        for k, v in experiments.ablation_dissimilarity(
+            seed=seed, batch_size=batch).items()
     ], title="Ablation — dissimilarity")),
 }
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    _EXPERIMENTS[args.figure](args.seed)
+    batch_size = args.batch_size if args.batch_size > 0 else None
+    _EXPERIMENTS[args.figure](args.seed, batch_size)
     return 0
 
 

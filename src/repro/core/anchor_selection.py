@@ -21,7 +21,7 @@ is anchored at window index ``l - 1 + j``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -107,18 +107,40 @@ def select_anchors_dp(
     l = int(pattern_length)
     num_candidates = len(d)
 
+    # Exact candidate pruning for long windows: every member of an optimal
+    # selection has D[j] <= optimal total <= the total of *any* feasible
+    # selection (dissimilarities are non-negative), so candidates above a
+    # cheap greedy solution's total can never be picked and may be dropped
+    # without changing the result (see _select_anchors_dp_pruned for why the
+    # tie-breaking is also unaffected).
+    if num_candidates >= _PRUNE_THRESHOLD:
+        bound = _feasible_total_bound(d, k, l)
+        if bound is not None and np.isfinite(bound):
+            keep = d <= bound
+            if np.count_nonzero(keep) < num_candidates:
+                return _select_anchors_dp_pruned(d, np.flatnonzero(keep), k, l)
+
     # M[i][j]: minimal sum choosing i candidates among the first j (1-based j).
     # Column j = 0 means "no candidates available".  The row-wise recurrence
     # M[i, j] = min(M[i, j-1], D[j] + M[i-1, max(j-l, 0)]) is a running
     # minimum over j, so each row is one vectorised cumulative-minimum pass.
-    m = np.full((k + 1, num_candidates + 1), np.inf)
+    # The per-row take costs are kept for the backtracking step.  The
+    # predecessor lookup max(j - l, 0) clamps the first l candidates to
+    # column 0 and shifts the rest, so it is two slice adds instead of a
+    # fancy-index gather.
+    m = np.empty((k + 1, num_candidates + 1))
     m[0, :] = 0.0
+    m[1:, 0] = np.inf
+    take = np.empty((k + 1, num_candidates))
+    head = min(l, num_candidates)
     for i in range(1, k + 1):
         # Cost of taking candidate j (1-based): D[j] plus the best solution
         # for i-1 candidates among the first max(j-l, 0).
-        predecessors = np.maximum(np.arange(1, num_candidates + 1) - l, 0)
-        take_cost = d + m[i - 1, predecessors]
-        m[i, 1:] = np.minimum.accumulate(take_cost)
+        row = take[i]
+        np.add(d[:head], m[i - 1, 0], out=row[:head])
+        if num_candidates > l:
+            np.add(d[l:], m[i - 1, 1: num_candidates + 1 - l], out=row[l:])
+        np.minimum.accumulate(row, out=m[i, 1:])
 
     total = m[k, num_candidates]
     if not np.isfinite(total):
@@ -126,17 +148,92 @@ def select_anchors_dp(
             f"no feasible selection of {k} non-overlapping patterns exists"
         )
 
-    # Backtrack from M[k, num_candidates], as in Algorithm 1: if the value
-    # equals the cell to the left the candidate was skipped, otherwise taken.
+    # Backtrack from M[k, num_candidates], as in Algorithm 1: walk left while
+    # the value equals the cell to the left (candidate skipped), then take.
+    # Because each row of M is the running minimum of its take costs, the stop
+    # position is exactly the first attainment of the prefix minimum, so the
+    # scan collapses to one argmin per selected anchor.
     selected: List[int] = []
-    i, j = k, num_candidates
-    while i > 0:
-        if j > 1 and m[i, j] == m[i, j - 1]:
-            j -= 1
-        else:
-            selected.append(j - 1)
-            i -= 1
-            j = max(j - l, 0)
+    j = num_candidates
+    for i in range(k, 0, -1):
+        j = int(np.argmin(take[i, :j])) + 1
+        selected.append(j - 1)
+        j = max(j - l, 0)
+    selected.reverse()
+
+    return _build_selection(selected, d, l)
+
+
+#: Candidate count below which pruning is not worth the bound computation.
+_PRUNE_THRESHOLD = 512
+
+
+def _feasible_total_bound(d: np.ndarray, k: int, l: int) -> Optional[float]:
+    """Total dissimilarity of a cheap feasible selection (an upper bound).
+
+    Splits the candidates into ``k`` equal chunks and takes the minimum of
+    each chunk's first ``chunk - l + 1`` entries: chunk ``i``'s pick is at
+    most ``i * chunk + chunk - l`` while chunk ``i + 1``'s is at least
+    ``(i + 1) * chunk``, so the picks are pairwise at least ``l`` apart —
+    a feasible selection, in two vectorised reductions.  Falls back to the
+    greedy scan when the chunks are shorter than ``l``, and to ``None`` if no
+    feasible greedy solution exists either.
+    """
+    chunk = len(d) // k
+    usable = chunk - l + 1
+    if usable >= 1:
+        minima = d[: k * chunk].reshape(k, chunk)[:, :usable].min(axis=1)
+        total = float(minima.sum())
+        if np.isfinite(total):
+            return total
+    try:
+        return select_anchors_greedy(d, k, l).total_dissimilarity
+    except InsufficientDataError:
+        return None
+
+
+def _select_anchors_dp_pruned(
+    d: np.ndarray, positions: np.ndarray, k: int, l: int
+) -> AnchorSelection:
+    """The DP of :func:`select_anchors_dp` restricted to surviving candidates.
+
+    ``positions`` holds the original candidate indices (sorted) whose
+    dissimilarity is within the feasible-total bound.  The recurrence is the
+    same, with the "first j candidates" axis replaced by "first t survivors"
+    and the overlap predecessor ``max(j - l, 0)`` replaced by the number of
+    survivors at least ``l`` positions earlier (one ``searchsorted``).
+
+    Identical results to the dense DP, including ties: every pruned
+    candidate's take cost exceeds the optimal total, while every cell the
+    dense backtrack visits holds a partial optimal sum (``<=`` the optimal
+    total, as dissimilarities are non-negative) — so pruned candidates never
+    attain the prefix minima the backtrack compares against, and the argmin's
+    first-occurrence tie-breaking sees the same candidates in the same order.
+    """
+    values = d[positions]
+    count = len(values)
+    # predecessors[t]: number of survivors with original index <= positions[t] - l.
+    predecessors = np.searchsorted(positions, positions - l, side="right")
+    m = np.empty((k + 1, count + 1))
+    m[0, :] = 0.0
+    m[1:, 0] = np.inf
+    take = np.empty((k + 1, count))
+    for i in range(1, k + 1):
+        np.add(values, m[i - 1, predecessors], out=take[i])
+        np.minimum.accumulate(take[i], out=m[i, 1:])
+
+    total = m[k, count]
+    if not np.isfinite(total):
+        raise InsufficientDataError(
+            f"no feasible selection of {k} non-overlapping patterns exists"
+        )
+
+    selected: List[int] = []
+    t = count
+    for i in range(k, 0, -1):
+        t = int(np.argmin(take[i, :t])) + 1
+        selected.append(int(positions[t - 1]))
+        t = int(predecessors[t - 1])
     selected.reverse()
 
     return _build_selection(selected, d, l)
@@ -207,7 +304,7 @@ def select_anchors(
 
 def _build_selection(selected: List[int], d: np.ndarray, pattern_length: int) -> AnchorSelection:
     anchors = tuple(pattern_length - 1 + j for j in selected)
-    dissim = tuple(float(d[j]) for j in selected)
+    dissim = tuple(d[selected].tolist())
     return AnchorSelection(
         candidate_indices=tuple(selected),
         anchor_indices=anchors,

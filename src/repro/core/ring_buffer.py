@@ -13,7 +13,7 @@ the library.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 
@@ -78,9 +78,46 @@ class RingBuffer:
             self._size += 1
 
     def extend(self, values: Iterable[float]) -> None:
-        """Append each value of ``values`` in order."""
-        for value in values:
-            self.append(value)
+        """Append each value of ``values`` in order.
+
+        Arrays (and anything :func:`numpy.asarray` accepts without iteration)
+        take the vectorised :meth:`extend_array` path; other iterables fall
+        back to per-value appends.
+        """
+        if isinstance(values, np.ndarray):
+            self.extend_array(values)
+        else:
+            for value in values:
+                self.append(value)
+
+    def extend_array(self, values: np.ndarray) -> None:
+        """Append a whole array of values with O(len) NumPy writes.
+
+        Equivalent to ``for value in values: self.append(value)`` but without
+        the per-element Python overhead — this is what keeps the batch
+        execution path cheap when a block of ticks is flushed into the window.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        count = len(values)
+        if count == 0:
+            return
+        if count >= self._capacity:
+            # Only the last `capacity` values survive; store them in
+            # chronological order with the newest at the last slot.
+            self._data[:] = values[count - self._capacity:]
+            self._offset = self._capacity - 1
+            self._size = self._capacity
+            return
+        start = 0 if self._size == 0 else (self._offset + 1) % self._capacity
+        end = start + count
+        if end <= self._capacity:
+            self._data[start:end] = values
+        else:
+            split = self._capacity - start
+            self._data[start:] = values[:split]
+            self._data[: end - self._capacity] = values[split:]
+        self._offset = (start + count - 1) % self._capacity
+        self._size = min(self._size + count, self._capacity)
 
     def replace_latest(self, value: float) -> None:
         """Overwrite the most recent element (used to store an imputed value)."""

@@ -22,10 +22,11 @@ paper (e.g. the imputed ``r2(13:40)`` of Table 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from ..config import TKCMConfig
 from ..exceptions import (
@@ -37,7 +38,6 @@ from ..exceptions import (
 from .anchor_selection import AnchorSelection, select_anchors
 from .consistency import epsilon_of_anchors
 from .dissimilarity import candidate_dissimilarities
-from .pattern import extract_query_pattern
 from .reference import ReferenceRanking, rank_candidates, select_reference_series
 from .ring_buffer import RingBuffer
 
@@ -229,6 +229,85 @@ class TKCMImputer:
             results[name] = result
         return results
 
+    def observe_batch(
+        self, block: np.ndarray, names: Sequence[str]
+    ) -> Dict[int, Dict[str, ImputationResult]]:
+        """Advance the stream by a whole block of ticks at once.
+
+        This is the vectorised counterpart of calling :meth:`observe` once per
+        row of ``block``: the final window contents, tick counter, and the
+        imputed values are the same, but the per-tick work is restructured so
+        a block costs far less than ``len(block)`` individual ticks:
+
+        * Window maintenance is *incremental*: every series' window is
+          mirrored into one contiguous array covering the history plus the
+          whole block, so advancing a tick writes a single cell instead of
+          re-materialising ring-buffer copies, and the ring buffers themselves
+          are updated once per block with a vectorised bulk append.
+        * For the L2 metric, the candidate pattern matrix
+          (:func:`numpy.lib.stride_tricks.sliding_window_view` over the
+          contiguous mirror) is built once per block and reused across ticks —
+          only the newly arrived columns change.  The per-tick dissimilarity
+          vector is then assembled from rolling squared norms and a
+          cross-correlation term computed for all ticks of the block in a
+          single matrix product, instead of re-extracting and re-ranking every
+          candidate from scratch at every tick
+          (see :class:`_BatchWindows`).
+
+        Parameters
+        ----------
+        block:
+            ``(ticks, num_series)`` matrix, one row per tick in stream order;
+            ``NaN`` marks a missing value.  Registered series absent from
+            ``names`` are treated as missing at every tick, exactly as in
+            :meth:`observe`.
+        names:
+            Stream names aligned with the block's columns.
+
+        Returns
+        -------
+        dict
+            ``{row offset: {series: ImputationResult}}`` for every tick that
+            had at least one missing value.
+        """
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2 or block.shape[1] != len(names):
+            raise ConfigurationError(
+                f"block must be 2-D with {len(names)} columns, got shape {block.shape}"
+            )
+        for name in names:
+            self.register_series(name)
+        num_ticks = block.shape[0]
+        if num_ticks == 0:
+            return {}
+
+        # Expand the block to cover every registered series, in registration
+        # order (the order observe() walks the buffers in).
+        all_names = self.series_names
+        column = {str(name): i for i, name in enumerate(names)}
+        filled = np.full((num_ticks, len(all_names)), np.nan)
+        for j, name in enumerate(all_names):
+            if name in column:
+                filled[:, j] = block[:, column[name]]
+        missing = np.isnan(filled)
+        missing_offsets = np.flatnonzero(missing.any(axis=1))
+
+        cache = _BatchWindows(self, filled, all_names, missing_offsets)
+        results: Dict[int, Dict[str, ImputationResult]] = {}
+        for offset in missing_offsets:
+            offset = int(offset)
+            per_tick: Dict[str, ImputationResult] = {}
+            for j in np.flatnonzero(missing[offset]):
+                name = all_names[int(j)]
+                result = self._impute_in_batch(name, offset, cache)
+                if not np.isnan(result.value):
+                    cache.write_back(name, offset, result.value)
+                per_tick[name] = result
+            results[offset] = per_tick
+        cache.flush()
+        self._tick += num_ticks
+        return results
+
     def impute(self, target: str) -> ImputationResult:
         """Impute the value of ``target`` at the current time from the window.
 
@@ -250,7 +329,85 @@ class TKCMImputer:
         try:
             return self._impute_with_tkcm(target)
         except (InsufficientDataError, MissingReferenceError, ImputationError):
-            return self._impute_with_fallback(target)
+            return self._fallback_result(target, self._buffers[target].view())
+
+    def _impute_in_batch(
+        self, target: str, offset: int, cache: "_BatchWindows"
+    ) -> ImputationResult:
+        """Batch-path twin of :meth:`_impute_latest`, reading windows from ``cache``."""
+        try:
+            return self._impute_with_tkcm_batch(target, offset, cache)
+        except (InsufficientDataError, MissingReferenceError, ImputationError):
+            return self._fallback_result(target, cache.window(target, offset))
+
+    def _impute_with_tkcm_batch(
+        self, target: str, offset: int, cache: "_BatchWindows"
+    ) -> ImputationResult:
+        """Batch-path twin of :meth:`_impute_with_tkcm`.
+
+        Same three phases as the tick path — reference selection, candidate
+        dissimilarities, anchor selection — but windows come from the
+        contiguous block mirror and, where valid, the dissimilarity vector is
+        assembled from the cache's precomputed rolling norms and cross terms.
+        """
+        cfg = self.config
+        target_window = cache.window(target, offset)
+        window_size = len(target_window)
+        if window_size < cfg.min_window_length(cfg.pattern_length, cfg.num_anchors):
+            raise InsufficientDataError(
+                f"window holds {window_size} values but at least "
+                f"{cfg.min_window_length(cfg.pattern_length, cfg.num_anchors)} are required"
+            )
+
+        references = self._references_in_batch(target, window_size, offset, cache)
+        dissimilarities = cache.dissimilarities(references, offset, window_size)
+        if not np.any(np.isfinite(dissimilarities)):
+            raise ImputationError(
+                "no candidate pattern without missing values exists in the window"
+            )
+
+        selection = select_anchors(
+            dissimilarities,
+            cfg.num_anchors,
+            cfg.pattern_length,
+            strategy=cfg.selection,
+            allow_overlap=cfg.allow_overlap,
+        )
+        return self._result_from_selection(target, target_window, references, selection)
+
+    def _references_in_batch(
+        self, target: str, window_size: int, offset: int, cache: "_BatchWindows"
+    ) -> List[str]:
+        """Batch-path twin of :meth:`_current_references`."""
+        ranking = self._rankings.get(target)
+        if ranking is None:
+            ranking = self._auto_rank_in_batch(target, window_size, offset, cache)
+        availability = {
+            name: cache.size_at(name, offset) >= window_size
+            and not np.isnan(cache.latest(name, offset))
+            for name in ranking
+            if name in self._buffers
+        }
+        return select_reference_series(ranking, availability, self.config.num_references)
+
+    def _auto_rank_in_batch(
+        self, target: str, window_size: int, offset: int, cache: "_BatchWindows"
+    ) -> List[str]:
+        """Batch-path twin of :meth:`_auto_rank`."""
+        history = {}
+        for name in self._buffers:
+            if cache.size_at(name, offset) >= window_size:
+                window = cache.window(name, offset)
+                history[name] = window[len(window) - window_size:]
+        if target not in history:
+            raise MissingReferenceError(
+                f"series {target!r} has no ranking and not enough history for automatic ranking"
+            )
+        ranking: ReferenceRanking = rank_candidates(
+            target, history, method=self._ranking_method
+        )
+        self._rankings[target] = list(ranking.candidates)
+        return self._rankings[target]
 
     def _impute_with_tkcm(self, target: str) -> ImputationResult:
         cfg = self.config
@@ -347,9 +504,7 @@ class TKCMImputer:
         references: Sequence[str],
         selection: AnchorSelection,
     ) -> ImputationResult:
-        anchor_values = np.array(
-            [target_window[idx] for idx in selection.anchor_indices], dtype=float
-        )
+        anchor_values = target_window[list(selection.anchor_indices)]
         usable = ~np.isnan(anchor_values)
         if not np.any(usable):
             raise ImputationError(
@@ -362,13 +517,12 @@ class TKCMImputer:
             method="tkcm",
             reference_names=tuple(references),
             anchor_indices=tuple(int(i) for i in selection.anchor_indices),
-            anchor_values=tuple(float(v) for v in anchor_values),
+            anchor_values=tuple(anchor_values.tolist()),
             dissimilarities=tuple(selection.dissimilarities),
             epsilon=epsilon_of_anchors(anchor_values[usable]),
         )
 
-    def _impute_with_fallback(self, target: str) -> ImputationResult:
-        window = self._buffers[target].view()
+    def _fallback_result(self, target: str, window: np.ndarray) -> ImputationResult:
         history = window[:-1] if len(window) else window
         observed = history[~np.isnan(history)]
         if self._fallback == "nan" or len(observed) == 0:
@@ -378,3 +532,180 @@ class TKCMImputer:
         else:  # mean
             value = float(np.mean(observed))
         return ImputationResult(series=target, value=value, method="fallback")
+
+
+class _BatchWindows:
+    """Incremental window state shared by all ticks of one ``observe_batch`` block.
+
+    For every series the ring-buffer window is mirrored into one contiguous
+    array ``ext`` holding the pre-block history followed by the block's
+    values; the window "after tick ``b``" is then just the slice of the last
+    ``min(history + b + 1, L)`` cells ending at position ``history + b`` —
+    advancing a tick changes a single column instead of rebuilding anything.
+    Write-backs of imputed values go into the same array (and into the block
+    matrix, which is bulk-flushed into the ring buffers once at the end).
+
+    On top of the mirror, the cache maintains the reusable pieces of the
+    L2 dissimilarity computation.  With ``S`` the sliding-window matrix of all
+    length-``l`` subsequences of ``ext`` (built once per block as a stride
+    view), the squared dissimilarity of candidate ``j`` to the query at tick
+    ``b`` decomposes as::
+
+        D2[j] = norm2[j] - 2 * (S @ S[query(b)].T)[j, b] + norm2[query(b)]
+
+    where ``norm2`` are rolling squared norms (one cumulative sum per block)
+    and the cross term is one matrix product covering *every* tick of the
+    block.  Per tick, assembling ``D`` therefore costs a handful of O(number
+    of candidates) slice operations instead of the O(d * L * l) re-extraction
+    the tick path performs.  The decomposition is only used for series whose
+    mirror contains no NaN (their values cannot change mid-block, so the
+    precomputed terms stay valid) and for the L2 metric; everything else falls
+    back to the exact per-tick formula on the mirrored windows, as do ticks
+    where a candidate's distance is so close to zero that the decomposition's
+    cancellation error could flip the anchor DP's tie-breaking (see
+    ``_CANCELLATION_GUARD``).
+    """
+
+    def __init__(
+        self,
+        imputer: TKCMImputer,
+        filled: np.ndarray,
+        names: List[str],
+        query_offsets: np.ndarray,
+    ) -> None:
+        config = imputer.config
+        self._imputer = imputer
+        self._window_length = config.window_length
+        self._pattern_length = config.pattern_length
+        self._decomposable = config.dissimilarity == "l2"
+        self._filled = filled
+        self._names = names
+        # Cross terms are only precomputed for ticks that can be queried
+        # (those with at least one missing value); this maps a block offset
+        # to its row in the cross matrices.
+        self._query_offsets = np.asarray(query_offsets, dtype=int)
+        self._query_row = np.full(filled.shape[0], -1, dtype=int)
+        self._query_row[self._query_offsets] = np.arange(len(self._query_offsets))
+        self._column = {name: j for j, name in enumerate(names)}
+        self._ext: Dict[str, np.ndarray] = {}
+        self._history: Dict[str, int] = {}
+        for j, name in enumerate(names):
+            history = imputer._buffers[name].view()
+            self._history[name] = len(history)
+            self._ext[name] = np.concatenate((history, filled[:, j]))
+        self._clean = {
+            name: not bool(np.isnan(ext).any()) for name, ext in self._ext.items()
+        }
+        self._rolling: Dict[str, np.ndarray] = {}
+        self._cross: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Window access (mirrors RingBuffer semantics at a given block offset)
+    # ------------------------------------------------------------------ #
+    def size_at(self, name: str, offset: int) -> int:
+        """Window size of ``name`` after the tick at ``offset`` was appended."""
+        return min(self._history[name] + offset + 1, self._window_length)
+
+    def latest(self, name: str, offset: int) -> float:
+        """Latest value of ``name`` at ``offset`` (write-backs included)."""
+        return float(self._ext[name][self._history[name] + offset])
+
+    def window(self, name: str, offset: int) -> np.ndarray:
+        """Window contents of ``name`` at ``offset``, chronological order."""
+        end = self._history[name] + offset + 1
+        return self._ext[name][max(0, end - self._window_length): end]
+
+    def write_back(self, name: str, offset: int, value: float) -> None:
+        """Store an imputed value so subsequent ticks observe it."""
+        self._ext[name][self._history[name] + offset] = value
+        self._filled[offset, self._column[name]] = value
+
+    def flush(self) -> None:
+        """Bulk-append the block (imputed values included) into the ring buffers."""
+        for j, name in enumerate(self._names):
+            self._imputer._buffers[name].extend_array(self._filled[:, j])
+
+    # ------------------------------------------------------------------ #
+    # Dissimilarities
+    # ------------------------------------------------------------------ #
+    def dissimilarities(
+        self, references: Sequence[str], offset: int, window_size: int
+    ) -> np.ndarray:
+        """Candidate dissimilarity vector ``D`` for the query at ``offset``."""
+        if self._decomposable and all(self._clean[name] for name in references):
+            return self._decomposed_dissimilarities(references, offset, window_size)
+        windows = np.vstack(
+            [self.window(name, offset)[-window_size:] for name in references]
+        )
+        return self._imputer._candidate_dissimilarities(windows)
+
+    #: A squared dissimilarity below this fraction of the query's squared norm
+    #: is dominated by the decomposition's cancellation error; the tick is
+    #: recomputed with the exact formula so near-zero ties break the same way
+    #: as on the tick path.
+    _CANCELLATION_GUARD = 1e-9
+
+    def _decomposed_dissimilarities(
+        self, references: Sequence[str], offset: int, window_size: int
+    ) -> np.ndarray:
+        length = self._pattern_length
+        num_candidates = window_size - 2 * length + 1
+        total = np.zeros(num_candidates)
+        query_scale = 0.0
+        for name in references:
+            end = self._history[name] + offset + 1
+            window_start = end - window_size
+            rolling = self._rolling_norms(name)
+            cross_row = self._cross_terms(name)[self._query_row[offset]]
+            total += rolling[window_start: window_start + num_candidates]
+            # ... - 2 * cross, as two in-place subtractions (no scaled temp).
+            total -= cross_row[window_start: window_start + num_candidates]
+            total -= cross_row[window_start: window_start + num_candidates]
+            total += rolling[end - length]
+            query_scale += rolling[end - length]
+        if float(np.min(total)) < self._CANCELLATION_GUARD * query_scale:
+            # Some candidate is (nearly) identical to the query: the
+            # decomposition's error would be larger than the distance itself
+            # and could flip the anchor DP's tie-breaking away from the tick
+            # path's.  Recompute this tick exactly.
+            windows = np.vstack(
+                [self.window(name, offset)[-window_size:] for name in references]
+            )
+            return self._imputer._candidate_dissimilarities(windows)
+        # FP cancellation can leave tiny negative squared distances.
+        np.maximum(total, 0.0, out=total)
+        return np.sqrt(total, out=total)
+
+    def _rolling_norms(self, name: str) -> np.ndarray:
+        """``norm2[p]`` = squared norm of the length-``l`` subsequence at ``p``."""
+        rolling = self._rolling.get(name)
+        if rolling is None:
+            prefix = np.concatenate(([0.0], np.cumsum(self._ext[name] ** 2)))
+            length = self._pattern_length
+            rolling = prefix[length:] - prefix[:-length]
+            self._rolling[name] = rolling
+        return rolling
+
+    def _cross_terms(self, name: str) -> np.ndarray:
+        """``cross[r, p]`` = dot product of query row ``r`` with subsequence ``p``.
+
+        One row per *queryable* tick (``_query_row`` maps block offsets to
+        rows), stored with queries as rows so the per-tick candidate range is
+        one contiguous slice.  Restricting the matrix product to queryable
+        ticks keeps its cost proportional to the ticks actually imputed.
+        """
+        cross = self._cross.get(name)
+        if cross is None:
+            ext = self._ext[name]
+            length = self._pattern_length
+            subsequences = sliding_window_view(ext, length)
+            history = self._history[name]
+            # Query of tick b = the last l values up to position history + b.
+            # Offsets too early to hold a full query are clamped; they are
+            # never read (the window-size check rejects them first).
+            query_starts = np.clip(
+                self._query_offsets + history + 1 - length, 0, len(ext) - length
+            )
+            cross = subsequences[query_starts] @ subsequences.T
+            self._cross[name] = cross
+        return cross

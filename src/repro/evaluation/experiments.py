@@ -48,7 +48,6 @@ from ..datasets import (
 )
 from ..exceptions import ConfigurationError
 from ..metrics.consistency import average_epsilon
-from ..metrics.correlation import pearson_correlation
 from ..metrics.errors import rmse
 from .runner import ExperimentRunner, ImputerSpec, ScenarioResult, default_imputer_specs
 from .scenario import MissingBlockScenario, build_scenarios
@@ -188,10 +187,11 @@ def _tkcm_rmse(
     block_length: int,
     target: Optional[str] = None,
     seed: int = 7,
+    batch_size: Optional[int] = None,
 ) -> ScenarioResult:
     """Run TKCM on a single scenario and return the scored result."""
     scenario = _single_scenario(dataset, config, block_length, target=target, seed=seed)
-    runner = ExperimentRunner()
+    runner = ExperimentRunner(batch_size=batch_size)
     return runner.run_scenario(scenario, _tkcm_spec(config))
 
 
@@ -261,6 +261,7 @@ def fig10_calibration(
     d_values: Sequence[int] = (1, 2, 3, 4),
     k_values: Sequence[int] = (1, 3, 5, 7),
     seed: int = 2017,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, Dict[str, SweepResult]]:
     """RMSE as a function of the number of references d and anchors k.
 
@@ -276,12 +277,12 @@ def fig10_calibration(
 
         def evaluate_d(d: float) -> Dict[str, float]:
             config = benchmark_tkcm_config(name, num_references=int(d))
-            outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+            outcome = _tkcm_rmse(dataset, config, block, seed=seed, batch_size=batch_size)
             return {"rmse": outcome.rmse, "runtime_seconds": outcome.runtime_seconds}
 
         def evaluate_k(k: float) -> Dict[str, float]:
             config = benchmark_tkcm_config(name, num_anchors=int(k))
-            outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+            outcome = _tkcm_rmse(dataset, config, block, seed=seed, batch_size=batch_size)
             return {"rmse": outcome.rmse, "runtime_seconds": outcome.runtime_seconds}
 
         results[name] = {
@@ -300,6 +301,7 @@ def fig11_pattern_length(
     dataset_names: Sequence[str] = ("sbr", "sbr-1d", "flights", "chlorine"),
     l_values: Sequence[int] = (1, 12, 36, 72),
     seed: int = 2017,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, SweepResult]:
     """RMSE as a function of the pattern length l, per dataset.
 
@@ -314,7 +316,7 @@ def fig11_pattern_length(
 
         def evaluate(l: float) -> Dict[str, float]:
             config = benchmark_tkcm_config(name, pattern_length=int(l))
-            outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+            outcome = _tkcm_rmse(dataset, config, block, seed=seed, batch_size=batch_size)
             return {"rmse": outcome.rmse, "runtime_seconds": outcome.runtime_seconds}
 
         results[name] = ParameterSweep("l", evaluate).run(list(l_values))
@@ -328,6 +330,7 @@ def fig12_recovery_curves(
     dataset_name: str = "sbr-1d",
     l_values: Sequence[int] = (1, 36),
     seed: int = 2017,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, object]:
     """True vs recovered block for a short and a long pattern length.
 
@@ -342,7 +345,7 @@ def fig12_recovery_curves(
     truth: Optional[np.ndarray] = None
     for l in l_values:
         config = benchmark_tkcm_config(dataset_name, pattern_length=int(l))
-        outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+        outcome = _tkcm_rmse(dataset, config, block, seed=seed, batch_size=batch_size)
         truth = outcome.truth_block
         recoveries[f"l={l}"] = outcome.imputed_block
         errors[f"l={l}"] = outcome.rmse
@@ -356,6 +359,7 @@ def fig13_epsilon(
     dataset_name: str = "chlorine",
     l_values: Sequence[int] = (1, 12, 36, 72),
     seed: int = 2017,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, object]:
     """Average anchor-value spread (epsilon) as a function of the pattern length.
 
@@ -376,7 +380,8 @@ def fig13_epsilon(
     errors: Dict[int, float] = {}
     for l in l_values:
         config = benchmark_tkcm_config(dataset_name, pattern_length=int(l))
-        outcome = _tkcm_rmse(dataset, config, block, target=target, seed=seed)
+        outcome = _tkcm_rmse(dataset, config, block, target=target, seed=seed,
+                             batch_size=batch_size)
         details = outcome.run.details.get(target, {})
         epsilons[int(l)] = average_epsilon(details.values()) if details else float("nan")
         errors[int(l)] = outcome.rmse
@@ -394,6 +399,7 @@ def fig14_block_length(
     sbr_block_days: Sequence[float] = (1, 2, 4),
     chlorine_block_fractions: Sequence[float] = (0.1, 0.2, 0.4),
     seed: int = 2017,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, SweepResult]:
     """RMSE as a function of the missing-block length.
 
@@ -410,7 +416,7 @@ def fig14_block_length(
     def evaluate_sbr(days: float) -> Dict[str, float]:
         block = int(days * SAMPLES_PER_DAY_5MIN)
         block = min(block, sbr.length - sbr_config.window_length - 1)
-        outcome = _tkcm_rmse(sbr, sbr_config, block, seed=seed)
+        outcome = _tkcm_rmse(sbr, sbr_config, block, seed=seed, batch_size=batch_size)
         return {"rmse": outcome.rmse, "block_samples": float(block)}
 
     results["sbr-1d"] = ParameterSweep("block_days", evaluate_sbr).run(list(sbr_block_days))
@@ -428,7 +434,7 @@ def fig14_block_length(
             block_length=block,
             label=f"chlorine/{fraction:.0%}",
         )
-        runner = ExperimentRunner()
+        runner = ExperimentRunner(batch_size=batch_size)
         outcome = runner.run_scenario(scenario, _tkcm_spec(chlorine_config))
         return {"rmse": outcome.rmse, "block_samples": float(block)}
 
@@ -445,6 +451,7 @@ def fig15_recovery_comparison(
     dataset_name: str = "sbr-1d",
     methods: Sequence[str] = ("TKCM", "SPIRIT", "MUSCLES", "CD"),
     seed: int = 2017,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, object]:
     """True vs recovered block for every method on one dataset (one panel of Fig. 15)."""
     dataset = benchmark_dataset(dataset_name, seed=seed)
@@ -452,7 +459,7 @@ def fig15_recovery_comparison(
     block = _default_block_length(dataset_name)
     scenario = _single_scenario(dataset, config, block, seed=seed)
     specs = default_imputer_specs(config, include=methods)
-    runner = ExperimentRunner()
+    runner = ExperimentRunner(batch_size=batch_size)
     recoveries: Dict[str, np.ndarray] = {}
     errors: Dict[str, float] = {}
     truth = scenario.truth()
@@ -468,6 +475,7 @@ def fig16_rmse_comparison(
     methods: Sequence[str] = ("TKCM", "SPIRIT", "MUSCLES", "CD"),
     num_targets: int = 2,
     seed: int = 2017,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Average RMSE per method per dataset (the bar chart of Fig. 16).
 
@@ -475,7 +483,7 @@ def fig16_rmse_comparison(
     dataset; TKCM has the lowest RMSE on the three shifted datasets.
     """
     results: Dict[str, Dict[str, float]] = {}
-    runner = ExperimentRunner()
+    runner = ExperimentRunner(batch_size=batch_size)
     for name in dataset_names:
         dataset = benchmark_dataset(name, seed=seed)
         config = benchmark_tkcm_config(name)
@@ -566,7 +574,7 @@ def fig17_runtime(
 # Ablations (design choices called out in DESIGN.md)
 # --------------------------------------------------------------------------- #
 def ablation_selection_strategy(
-    dataset_name: str = "sbr-1d", seed: int = 2017
+    dataset_name: str = "sbr-1d", seed: int = 2017, batch_size: Optional[int] = None
 ) -> Dict[str, Dict[str, float]]:
     """DP vs greedy anchor selection: dissimilarity sums and RMSE.
 
@@ -578,7 +586,7 @@ def ablation_selection_strategy(
     results: Dict[str, Dict[str, float]] = {}
     for strategy in ("dp", "greedy"):
         config = benchmark_tkcm_config(dataset_name, selection=strategy)
-        outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+        outcome = _tkcm_rmse(dataset, config, block, seed=seed, batch_size=batch_size)
         details = outcome.run.details.get(outcome.scenario.target, {})
         sums = [r.total_dissimilarity for r in details.values() if r.method == "tkcm"]
         results[strategy] = {
@@ -592,6 +600,7 @@ def ablation_dissimilarity(
     dataset_name: str = "sbr-1d",
     metrics: Sequence[str] = ("l2", "l1"),
     seed: int = 2017,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, float]:
     """RMSE per dissimilarity function (the future-work comparison of Sec. 8)."""
     dataset = benchmark_dataset(dataset_name, seed=seed)
@@ -599,12 +608,14 @@ def ablation_dissimilarity(
     results: Dict[str, float] = {}
     for metric in metrics:
         config = benchmark_tkcm_config(dataset_name, dissimilarity=metric)
-        outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+        outcome = _tkcm_rmse(dataset, config, block, seed=seed, batch_size=batch_size)
         results[metric] = outcome.rmse
     return results
 
 
-def ablation_overlap(dataset_name: str = "sbr-1d", seed: int = 2017) -> Dict[str, Dict[str, float]]:
+def ablation_overlap(
+    dataset_name: str = "sbr-1d", seed: int = 2017, batch_size: Optional[int] = None
+) -> Dict[str, Dict[str, float]]:
     """Non-overlapping vs overlapping anchor selection (Sec. 4.1's argument).
 
     Expected shape: with overlaps allowed the selected anchors cluster into
@@ -616,7 +627,7 @@ def ablation_overlap(dataset_name: str = "sbr-1d", seed: int = 2017) -> Dict[str
     results: Dict[str, Dict[str, float]] = {}
     for allow_overlap in (False, True):
         config = benchmark_tkcm_config(dataset_name, allow_overlap=allow_overlap)
-        outcome = _tkcm_rmse(dataset, config, block, seed=seed)
+        outcome = _tkcm_rmse(dataset, config, block, seed=seed, batch_size=batch_size)
         details = outcome.run.details.get(outcome.scenario.target, {})
         gaps: List[float] = []
         for result in details.values():

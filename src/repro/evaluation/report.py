@@ -8,7 +8,7 @@ so the "shape" of the recovery can be eyeballed in a terminal or a CI log.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 

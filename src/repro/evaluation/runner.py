@@ -105,10 +105,23 @@ class ScenarioResult:
 
 
 class ExperimentRunner:
-    """Run scenarios against imputer specs and collect :class:`ScenarioResult` objects."""
+    """Run scenarios against imputer specs and collect :class:`ScenarioResult` objects.
 
-    def __init__(self, warmup_ticks: int = 0) -> None:
+    Parameters
+    ----------
+    warmup_ticks:
+        Passed to :class:`StreamingImputationEngine`.
+    batch_size:
+        If set, streams are replayed through the engine's batch path
+        (:meth:`StreamingImputationEngine.run_batch`) in blocks of this many
+        ticks; ``None`` keeps the tick-by-tick replay.  The two paths produce
+        the same imputations (see the batch/tick parity tests), so this knob
+        only trades Python overhead for block latency.
+    """
+
+    def __init__(self, warmup_ticks: int = 0, batch_size: Optional[int] = None) -> None:
         self.warmup_ticks = int(warmup_ticks)
+        self.batch_size = int(batch_size) if batch_size else None
 
     def run_scenario(
         self, scenario: MissingBlockScenario, spec: ImputerSpec
@@ -121,12 +134,15 @@ class ExperimentRunner:
 
         supports_prime = hasattr(imputer, "prime") and not spec.streams_full_history
         prime_until = scenario.block_start if supports_prime else 0
-        run = engine.run(
-            stream,
+        replay = dict(
             start=0 if not supports_prime else scenario.block_start,
             stop=scenario.block_stop,
             prime_until=prime_until if supports_prime else None,
         )
+        if self.batch_size:
+            run = engine.run_batch(stream, batch_size=self.batch_size, **replay)
+        else:
+            run = engine.run(stream, **replay)
 
         truth = scenario.truth()
         imputed = np.full(scenario.block_length, np.nan)

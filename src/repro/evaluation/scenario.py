@@ -8,7 +8,7 @@ per dataset and imputes them value by value as the stream advances.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

@@ -11,7 +11,7 @@ choices become more reliable.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping
+from typing import Iterable, List
 
 import numpy as np
 

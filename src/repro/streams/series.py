@@ -10,7 +10,7 @@ core algorithms work on plain NumPy windows extracted from them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

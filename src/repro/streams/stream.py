@@ -94,7 +94,48 @@ class MultiSeriesStream:
 
     def values_matrix(self) -> np.ndarray:
         """Return the full data as a ``(length, num_series)`` matrix."""
-        return np.column_stack([self._data[name] for name in self.names])
+        return self.to_matrix()
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the raw values of one series (a read-only view, not a copy)."""
+        if name not in self._data:
+            raise StreamError(f"unknown series {name!r}")
+        values = self._data[name].view()
+        values.flags.writeable = False
+        return values
+
+    def to_matrix(self, start: int = 0, stop: Optional[int] = None) -> np.ndarray:
+        """Ticks ``[start, stop)`` as a ``(ticks, num_series)`` matrix.
+
+        Columns follow :attr:`names` order; missing values appear as ``NaN``.
+        This is the columnar access used by the batch execution path: one
+        contiguous NumPy block instead of ``stop - start`` per-tick dicts.
+        """
+        stop = self.length if stop is None else stop
+        if not 0 <= start <= stop <= self.length:
+            raise StreamError(
+                f"invalid range [{start}, {stop}) for stream of length {self.length}"
+            )
+        names = self.names
+        matrix = np.empty((stop - start, len(names)), dtype=float)
+        for i, name in enumerate(names):
+            matrix[:, i] = self._data[name][start:stop]
+        return matrix
+
+    def iter_blocks(
+        self, batch_size: int, start: int = 0, stop: Optional[int] = None
+    ) -> Iterator[tuple]:
+        """Yield ``(first tick index, block matrix)`` pairs covering ``[start, stop)``.
+
+        Each block is a ``(ticks, num_series)`` matrix of at most
+        ``batch_size`` rows, in :attr:`names` column order.
+        """
+        if batch_size < 1:
+            raise StreamError(f"batch_size must be >= 1, got {batch_size}")
+        stop = self.length if stop is None else stop
+        matrix = self.to_matrix(start, stop)
+        for base in range(0, len(matrix), batch_size):
+            yield start + base, matrix[base: base + batch_size]
 
     def record(self, index: int) -> StreamRecord:
         """The record at tick ``index``."""

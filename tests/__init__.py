@@ -1,0 +1,1 @@
+"""Test suite for the TKCM reproduction (importable so relative imports work)."""

@@ -179,3 +179,58 @@ class TestDispatcher:
         selection = select_anchors_dp(d, k=2, pattern_length=2)
         assert np.isfinite(selection.total_dissimilarity)
         assert set(selection.candidate_indices).issubset({1, 3, 5})
+
+
+class TestPrunedDp:
+    """The long-window pruned DP must be indistinguishable from the dense DP."""
+
+    def _dense(self, d, k, l, monkeypatch):
+        import repro.core.anchor_selection as module
+
+        monkeypatch.setattr(module, "_PRUNE_THRESHOLD", 10**9)
+        return select_anchors_dp(d, k, l)
+
+    def _pruned(self, d, k, l, monkeypatch):
+        import repro.core.anchor_selection as module
+
+        monkeypatch.setattr(module, "_PRUNE_THRESHOLD", 1)
+        return select_anchors_dp(d, k, l)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_dense_dp_on_random_inputs(self, seed, monkeypatch):
+        rng = np.random.default_rng(seed)
+        d = rng.random(700) * 10
+        k, l = 4, 20
+        dense = self._dense(d, k, l, monkeypatch)
+        pruned = self._pruned(d, k, l, monkeypatch)
+        assert pruned.candidate_indices == dense.candidate_indices
+        assert pruned.dissimilarities == dense.dissimilarities
+        assert pruned.total_dissimilarity == dense.total_dissimilarity
+
+    def test_matches_dense_dp_with_ties(self, monkeypatch):
+        rng = np.random.default_rng(99)
+        # Quantised values produce many exact ties.
+        d = np.round(rng.random(600) * 4) / 4.0
+        dense = self._dense(d, 5, 15, monkeypatch)
+        pruned = self._pruned(d, 5, 15, monkeypatch)
+        assert pruned.candidate_indices == dense.candidate_indices
+
+    def test_matches_dense_dp_with_infinite_candidates(self, monkeypatch):
+        rng = np.random.default_rng(5)
+        d = rng.random(600)
+        d[rng.random(600) < 0.4] = np.inf
+        dense = self._dense(d, 3, 12, monkeypatch)
+        pruned = self._pruned(d, 3, 12, monkeypatch)
+        assert pruned.candidate_indices == dense.candidate_indices
+
+    def test_infeasible_still_raises(self, monkeypatch):
+        d = np.full(600, np.inf)
+        with pytest.raises(InsufficientDataError):
+            self._pruned(d, 3, 12, monkeypatch)
+
+    def test_default_threshold_activates_on_long_windows(self):
+        rng = np.random.default_rng(1)
+        d = rng.random(4000)
+        result = select_anchors_dp(d, 5, 36)
+        anchors = sorted(result.candidate_indices)
+        assert all(b - a >= 36 for a, b in zip(anchors, anchors[1:]))

@@ -157,3 +157,41 @@ class TestWindowSemantics:
             expected = reference[-capacity:]
             np.testing.assert_array_equal(buffer.view(), expected)
             assert buffer.latest_value() == expected[-1]
+
+
+class TestExtendArray:
+    """Bulk appends must be indistinguishable from a loop of single appends."""
+
+    @pytest.mark.parametrize("capacity", [1, 3, 8])
+    @pytest.mark.parametrize("chunks", [[2], [3, 5], [1, 1, 1, 9], [20], [8, 8]])
+    def test_matches_append_loop(self, capacity, chunks):
+        fast = RingBuffer(capacity)
+        slow = RingBuffer(capacity)
+        value = 0.0
+        for chunk in chunks:
+            block = np.arange(value, value + chunk, dtype=float)
+            value += chunk
+            fast.extend_array(block)
+            for item in block:
+                slow.append(item)
+            np.testing.assert_array_equal(fast.view(), slow.view())
+            assert fast.size == slow.size
+            assert fast.latest_value() == slow.latest_value()
+
+    def test_empty_array_is_a_noop(self):
+        buffer = RingBuffer(4)
+        buffer.append(1.0)
+        buffer.extend_array(np.empty(0))
+        np.testing.assert_array_equal(buffer.view(), [1.0])
+
+    def test_extend_routes_arrays_to_bulk_path(self):
+        buffer = RingBuffer(3)
+        buffer.extend(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert list(buffer) == [2.0, 3.0, 4.0]
+
+    def test_accessors_after_wrapping_bulk_append(self):
+        buffer = RingBuffer(5)
+        buffer.extend_array(np.arange(12, dtype=float))
+        assert buffer.latest_value() == 11.0
+        assert buffer.value_at_age(4) == 7.0
+        np.testing.assert_array_equal(buffer.latest(3), [9.0, 10.0, 11.0])

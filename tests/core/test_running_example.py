@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import TKCMConfig, TKCMImputer
+from repro import TKCMImputer
 from repro.core.anchor_selection import select_anchors_dp
 from repro.core.dissimilarity import candidate_dissimilarities
 from repro.core.pattern import extract_query_pattern

@@ -7,7 +7,7 @@ import pytest
 
 from repro import TKCMConfig
 from repro.baselines import LocfImputer
-from repro.datasets import Dataset, generate_sine_family
+from repro.datasets import generate_sine_family
 from repro.evaluation import (
     ExperimentRunner,
     ImputerSpec,
@@ -15,7 +15,6 @@ from repro.evaluation import (
     default_imputer_specs,
 )
 from repro.exceptions import ConfigurationError
-from repro.streams import TimeSeries
 
 
 @pytest.fixture(scope="module")

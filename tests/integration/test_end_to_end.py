@@ -14,7 +14,6 @@ small workloads:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import TKCMConfig, TKCMImputer

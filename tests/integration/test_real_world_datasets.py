@@ -10,7 +10,6 @@ benchmarks works end to end.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import TKCMConfig, TKCMImputer
 from repro.evaluation import ExperimentRunner, ImputerSpec, MissingBlockScenario
