@@ -18,7 +18,7 @@ Run it with ``python examples/chlorine_network.py``.
 
 from __future__ import annotations
 
-from repro import TKCMConfig, TKCMImputer
+from repro import make_imputer
 from repro.analysis import analyse_pair
 from repro.datasets import generate_chlorine
 from repro.evaluation import ExperimentRunner, ImputerSpec, MissingBlockScenario
@@ -54,17 +54,18 @@ def main() -> None:
     rows = []
     recoveries = {}
     for pattern_length in (1, 36):
-        config = TKCMConfig(
-            window_length=2304,
-            pattern_length=pattern_length,
-            num_anchors=5,
-            num_references=3,
-        )
 
-        def factory(sc: MissingBlockScenario, cfg=config) -> TKCMImputer:
+        def factory(sc: MissingBlockScenario, length=pattern_length):
             others = [n for n in sc.dataset.names if n != sc.target]
-            return TKCMImputer(cfg, series_names=sc.dataset.names,
-                               reference_rankings={sc.target: others})
+            return make_imputer(
+                "tkcm",
+                series_names=sc.dataset.names,
+                window_length=2304,
+                pattern_length=length,
+                num_anchors=5,
+                num_references=3,
+                reference_rankings={sc.target: others},
+            )
 
         result = runner.run_scenario(scenario, ImputerSpec(f"l={pattern_length}", factory))
         rows.append({"pattern_length": pattern_length,

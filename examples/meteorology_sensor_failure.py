@@ -11,8 +11,7 @@ Run it with ``python examples/meteorology_sensor_failure.py``.
 
 from __future__ import annotations
 
-from repro import TKCMConfig, TKCMImputer
-from repro.baselines import LinearInterpolationImputer, LocfImputer, MeanImputer
+from repro import TKCMConfig, make_imputer
 from repro.datasets import generate_sbr_shifted
 from repro.evaluation import ExperimentRunner, ImputerSpec, MissingBlockScenario
 from repro.evaluation.report import format_series_comparison, format_table
@@ -38,19 +37,24 @@ def main() -> None:
         label="week-long station failure",
     )
 
-    def tkcm_factory(sc: MissingBlockScenario) -> TKCMImputer:
-        return TKCMImputer(
-            config,
+    # Every method comes out of the imputer registry — the same construction
+    # path the CLI's `--method` flag and the service layer use.
+    def tkcm_factory(sc: MissingBlockScenario):
+        return make_imputer(
+            "tkcm",
             series_names=sc.dataset.names,
+            config=config,
             reference_rankings={sc.target: [n for n in sc.dataset.names if n != sc.target]},
         )
 
+    def baseline(method: str):
+        return lambda sc: make_imputer(method, series_names=sc.dataset.names)
+
     specs = [
         ImputerSpec("TKCM", tkcm_factory),
-        ImputerSpec("LOCF", lambda sc: LocfImputer(sc.dataset.names), streams_full_history=True),
-        ImputerSpec("Linear", lambda sc: LinearInterpolationImputer(sc.dataset.names),
-                    streams_full_history=True),
-        ImputerSpec("Mean", lambda sc: MeanImputer(sc.dataset.names), streams_full_history=True),
+        ImputerSpec("LOCF", baseline("locf"), streams_full_history=True),
+        ImputerSpec("Linear", baseline("linear"), streams_full_history=True),
+        ImputerSpec("Mean", baseline("mean"), streams_full_history=True),
     ]
 
     runner = ExperimentRunner()

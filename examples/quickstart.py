@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import TKCMConfig, TKCMImputer
+from repro import make_imputer
 from repro.datasets import generate_sbr_shifted
 from repro.evaluation.report import format_series_comparison
 from repro.metrics import rmse
@@ -27,21 +27,22 @@ def main() -> None:
     target = dataset.names[0]
     references = dataset.names[1:]
 
-    # 2. TKCM configuration: a ten-day window, three-hour patterns, five
-    #    anchors, three reference stations (the paper's d=3, k=5 defaults).
-    config = TKCMConfig(
-        window_length=10 * 288,
+    # 2. Build TKCM through the imputer registry: a ten-day window,
+    #    three-hour patterns, five anchors, three reference stations (the
+    #    paper's d=3, k=5 defaults).  Any other registered method (see
+    #    `tkcm-repro list-methods`) is constructed the same way.
+    window_length = 10 * 288
+    imputer = make_imputer(
+        "tkcm",
+        series_names=dataset.names,
+        window_length=window_length,
         pattern_length=36,
         num_anchors=5,
         num_references=3,
-    )
-    imputer = TKCMImputer(
-        config,
-        series_names=dataset.names,
         reference_rankings={target: references},
     )
 
-    history_length = config.window_length
+    history_length = window_length
     imputer.prime(dataset.head(history_length))
 
     # 3. Simulate a six-hour outage (72 samples at the 5-minute rate) of the

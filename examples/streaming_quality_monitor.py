@@ -1,12 +1,15 @@
-"""Operational example: a streaming quality monitor with consistency checks.
+"""Operational example: a streaming quality monitor on the session API.
 
 Shows how a downstream system (e.g. the frost-warning pipeline the paper's
-introduction describes) would consume TKCM's rich imputation results: every
-imputed value comes with the anchors it was derived from, their pattern
-dissimilarities and the anchor-value spread ``epsilon``.  The monitor flags
-imputations whose epsilon exceeds a tolerance — i.e. time points where the
-reference stations do *not* pattern-determine the broken station and the
-estimate should be treated with care (paper Def. 5 / 6).
+introduction describes) would consume imputations in production: records are
+*pushed* into an :class:`repro.ImputationSession` as they arrive, and every
+returned :class:`repro.TickResult` carries a structured
+:class:`repro.SeriesEstimate` whose detail exposes the anchors the value was
+derived from, their pattern dissimilarities and the anchor-value spread
+``epsilon``.  The monitor flags imputations whose epsilon exceeds a tolerance
+— i.e. time points where the reference stations do *not* pattern-determine
+the broken station and the estimate should be treated with care (paper
+Def. 5 / 6).
 
 Run it with ``python examples/streaming_quality_monitor.py``.
 """
@@ -15,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import TKCMConfig, TKCMImputer
+from repro import ImputationSession
 from repro.core import is_consistent
 from repro.datasets import generate_sbr_shifted
 from repro.evaluation.report import format_table
@@ -25,19 +28,24 @@ def main() -> None:
     dataset = generate_sbr_shifted(num_series=6, num_days=28, seed=23)
     target = dataset.names[0]
 
-    config = TKCMConfig(window_length=10 * 288, pattern_length=36,
-                        num_anchors=5, num_references=3)
-    imputer = TKCMImputer(
-        config,
+    # One push-based session around a registry-built TKCM imputer; priming,
+    # warm-up, and tick accounting live inside the session.
+    window_length = 10 * 288
+    session = ImputationSession(
+        "tkcm",
         series_names=dataset.names,
+        window_length=window_length,
+        pattern_length=36,
+        num_anchors=5,
+        num_references=3,
         reference_rankings={target: dataset.names[1:]},
     )
-    imputer.prime(dataset.head(config.window_length))
+    session.prime(dataset.head(window_length))
 
     # The broken sensor reports nothing for one day; every fifth imputation is
     # audited in detail.
     tolerance_deg_c = 1.5
-    outage = range(config.window_length, config.window_length + 288)
+    outage = range(window_length, window_length + 288)
     audit_rows = []
     flagged = 0
     errors = []
@@ -45,19 +53,21 @@ def main() -> None:
         tick = dataset.row(index)
         truth = tick[target]
         tick[target] = float("nan")
-        result = imputer.observe(tick)[target]
-        errors.append(abs(result.value - truth))
+        (result,) = session.push(tick)
+        estimate = result[target]
+        errors.append(abs(estimate.value - truth))
 
-        consistent = is_consistent(result.value, result.anchor_values, tolerance_deg_c)
+        detail = estimate.detail
+        consistent = is_consistent(estimate.value, detail.anchor_values, tolerance_deg_c)
         if not consistent:
             flagged += 1
-        if (index - config.window_length) % 60 == 0:
+        if (index - window_length) % 60 == 0:
             audit_rows.append({
-                "tick": index,
-                "imputed_degC": result.value,
+                "tick": result.index,
+                "imputed_degC": estimate.value,
                 "true_degC": truth,
-                "epsilon_degC": result.epsilon,
-                "anchors": len(result.anchor_indices),
+                "epsilon_degC": detail.epsilon,
+                "anchors": len(detail.anchor_indices),
                 "consistent": consistent,
             })
 

@@ -17,6 +17,12 @@ The library is organised in layers:
   (the paper's Sec. 5 figures).
 * :mod:`repro.evaluation` — scenarios, the experiment runner and one function
   per paper figure.
+* :mod:`repro.registry` — string-keyed imputer factories: every method above
+  is constructed uniformly via :func:`make_imputer`.
+* :mod:`repro.service` — the push-based serving layer:
+  :class:`ImputationSession` (stateful push API with exact
+  ``snapshot()`` / ``restore()`` checkpointing) and
+  :class:`ImputationService` (many named sessions, records routed by id).
 
 Quickstart::
 
@@ -34,9 +40,19 @@ Quickstart::
     tick[dataset.names[0]] = np.nan            # simulate a sensor failure
     results = imputer.observe(tick)
     print(results[dataset.names[0]].value)
+
+Or, push-based, through the service layer (any registered method)::
+
+    from repro import ImputationSession
+
+    session = ImputationSession("tkcm", series_names=dataset.names,
+                                window_length=2880, pattern_length=36)
+    session.prime(dataset.head(2880))
+    for result in session.push(tick):
+        print(result.values_by_series())
 """
 
-from .config import ExperimentConfig, StreamConfig, TKCMConfig
+from .config import DEFAULT_BATCH_SIZE, ExperimentConfig, StreamConfig, TKCMConfig
 from .core import ImputationResult, TKCMImputer
 from .exceptions import (
     ConfigurationError,
@@ -46,17 +62,30 @@ from .exceptions import (
     MissingReferenceError,
     NotFittedError,
     ReproError,
+    ServiceError,
     StreamError,
 )
+from .registry import ImputerRegistry, list_methods, make_imputer, register
+from .results import SeriesEstimate, TickResult
+from .service import ImputationService, ImputationSession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TKCMConfig",
     "StreamConfig",
     "ExperimentConfig",
+    "DEFAULT_BATCH_SIZE",
     "TKCMImputer",
     "ImputationResult",
+    "ImputerRegistry",
+    "make_imputer",
+    "register",
+    "list_methods",
+    "ImputationSession",
+    "ImputationService",
+    "TickResult",
+    "SeriesEstimate",
     "ReproError",
     "ConfigurationError",
     "InsufficientDataError",
@@ -65,5 +94,6 @@ __all__ = [
     "StreamError",
     "ImputationError",
     "NotFittedError",
+    "ServiceError",
     "__version__",
 ]

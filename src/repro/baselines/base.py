@@ -187,18 +187,26 @@ class OnlineImputerAdapter(OnlineImputer):
             self._last_recovery = None
             return {}
 
-        matrix = np.vstack(self._rows)
         need_refresh = (
             self._last_recovery is None
             or self._ticks_since_refresh >= self.refresh_interval
-            or self._last_recovery.shape[1] != matrix.shape[1]
+            or self._last_recovery.shape[1] != row.shape[0]
         )
         if need_refresh:
-            self._last_recovery = self.imputer.recover(matrix)
+            self._last_recovery = self.imputer.recover(np.vstack(self._rows))
             self._ticks_since_refresh = 0
         self._ticks_since_refresh += 1
 
-        recovered_row = self._last_recovery[min(len(self._rows), len(self._last_recovery)) - 1]
+        # The recovery's last row is the most recent tick it covers: the
+        # current tick at a refresh, or — between refreshes — the refresh
+        # tick, whose recovered values are carried forward.  The current tick
+        # always lies at or beyond that row (the recovery never extends into
+        # the future and the bounded buffer only slides forward), so indexing
+        # by buffer position would at best recompute the same row and at
+        # worst misalign once the buffer has slid; the last row is the
+        # correct carry-forward regardless of how far the buffer moved since
+        # the recovery was computed (see TestStaleRecoveryAlignment).
+        recovered_row = self._last_recovery[-1]
         results: Dict[str, float] = {}
         for idx, name in enumerate(self.series_names):
             if missing[idx]:

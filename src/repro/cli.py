@@ -3,13 +3,20 @@
 The CLI exposes the workflows a downstream user needs without writing Python:
 
 * ``tkcm-repro list-datasets`` — show the named evaluation datasets.
+* ``tkcm-repro list-methods`` — show every registered imputation method.
 * ``tkcm-repro generate <dataset> -o data.csv`` — write a generated dataset
   to CSV (for inspection or for feeding other tools).
 * ``tkcm-repro impute -i data.csv -o recovered.csv --target <series>`` —
-  stream a CSV with missing values (empty cells / ``nan``) through TKCM and
-  write the recovered series.
+  stream a CSV with missing values (empty cells / ``nan``) through any
+  registered method (``--method``, default TKCM) and write the recovered
+  series.
 * ``tkcm-repro experiment <figure>`` — regenerate one of the paper's figures
   (fig04 ... fig17 or an ablation) and print its tables.
+
+Streams are replayed through the batch execution path by default
+(:data:`~repro.config.DEFAULT_BATCH_SIZE` ticks per block); ``--no-batch``
+switches to the tick-by-tick replay, which produces identical results (the
+engine's parity guarantee) but exercises the faithful streaming protocol.
 
 Every subcommand maps onto the public library API; the CLI adds only argument
 parsing and text output, so scripted users lose nothing by calling the
@@ -23,15 +30,34 @@ import sys
 from typing import Callable, Dict, Optional, Sequence
 
 from . import __version__
-from .config import TKCMConfig
-from .core.tkcm import TKCMImputer
+from .config import DEFAULT_BATCH_SIZE
 from .datasets import dataset_from_csv, dataset_to_csv, get_dataset, list_datasets
 from .evaluation import experiments
 from .evaluation.report import format_series_comparison, format_table
 from .exceptions import ReproError
+from .registry import list_methods, make_imputer
 from .streams import StreamingImputationEngine
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_batch_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared batch-execution flags to a subcommand."""
+    subparser.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="ticks per engine block on the batch execution path "
+             f"(default {DEFAULT_BATCH_SIZE} = one day at 5-minute samples); "
+             "batch and tick-by-tick replay produce identical imputations")
+    subparser.add_argument(
+        "--no-batch", action="store_true",
+        help="replay tick by tick instead of in batches (slower, same results)")
+
+
+def _batch_size_from(args: argparse.Namespace) -> Optional[int]:
+    """The effective batch size of a subcommand run (None = tick-by-tick)."""
+    if args.no_batch or args.batch_size <= 0:
+        return None
+    return args.batch_size
 
 
 # --------------------------------------------------------------------------- #
@@ -52,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.set_defaults(handler=_cmd_list_datasets)
 
+    methods_parser = subparsers.add_parser(
+        "list-methods", help="list every registered imputation method"
+    )
+    methods_parser.set_defaults(handler=_cmd_list_methods)
+
     generate = subparsers.add_parser(
         "generate", help="generate a named dataset and write it to CSV"
     )
@@ -61,28 +92,34 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(handler=_cmd_generate)
 
     impute = subparsers.add_parser(
-        "impute", help="impute missing values of one series in a CSV file with TKCM"
+        "impute",
+        help="impute missing values of one series in a CSV file "
+             "with any registered method",
     )
     impute.add_argument("-i", "--input", required=True, help="input CSV (wide format)")
     impute.add_argument("-o", "--output", required=True, help="output CSV with imputed values")
     impute.add_argument("--target", required=True,
                         help="name of the column whose missing values are imputed")
+    impute.add_argument("--method", default="tkcm", choices=list_methods(),
+                        help="registered imputation method (default: tkcm; "
+                             "see list-methods)")
     impute.add_argument("--references", nargs="*", default=None,
                         help="candidate reference columns, best first "
-                             "(default: all other columns, ranked automatically)")
+                             "(TKCM only; default: all other columns, "
+                             "ranked automatically)")
     impute.add_argument("--window", type=int, default=2016,
-                        help="streaming window length L in samples (default 2016)")
+                        help="streaming window length L in samples (default 2016; "
+                             "used by tkcm, cd, svd and knn)")
     impute.add_argument("--pattern-length", type=int, default=36,
-                        help="pattern length l in samples (default 36)")
-    impute.add_argument("--anchors", type=int, default=5, help="number of anchors k (default 5)")
+                        help="TKCM pattern length l in samples (default 36)")
+    impute.add_argument("--anchors", type=int, default=5,
+                        help="TKCM number of anchors k (default 5)")
     impute.add_argument("--num-references", type=int, default=3,
-                        help="number of reference series d used per imputation (default 3)")
+                        help="TKCM number of reference series d used per "
+                             "imputation (default 3)")
     impute.add_argument("--sample-period", type=float, default=5.0,
                         help="sample period in minutes, used only for reporting")
-    impute.add_argument("--batch-size", type=int, default=288,
-                        help="ticks per engine block on the batch execution path "
-                             "(default 288 = one day at 5-minute samples; "
-                             "<= 0 replays tick by tick)")
+    _add_batch_arguments(impute)
     impute.set_defaults(handler=_cmd_impute)
 
     experiment = subparsers.add_parser(
@@ -91,9 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("figure", choices=sorted(_EXPERIMENTS),
                             help="which figure / ablation to run")
     experiment.add_argument("--seed", type=int, default=2017, help="experiment seed")
-    experiment.add_argument("--batch-size", type=int, default=0,
-                            help="ticks per engine block for experiments that replay "
-                                 "streams (<= 0 = tick-by-tick replay, the default)")
+    _add_batch_arguments(experiment)
     experiment.set_defaults(handler=_cmd_experiment)
 
     return parser
@@ -106,6 +141,36 @@ def _cmd_list_datasets(args: argparse.Namespace) -> int:
     rows = [{"name": name} for name in list_datasets()]
     print(format_table(rows, title="available datasets"))
     return 0
+
+
+def _cmd_list_methods(args: argparse.Namespace) -> int:
+    rows = [{"method": name} for name in list_methods()]
+    print(format_table(rows, title="registered imputation methods"))
+    return 0
+
+
+def _build_cli_imputer(method: str, args: argparse.Namespace, dataset) -> object:
+    """Construct the imputer for the ``impute`` subcommand via the registry.
+
+    Maps the CLI's generic flags onto each method family's parameters; flags
+    a method does not use are ignored (they are documented as TKCM-specific).
+    """
+    params: Dict[str, object] = {}
+    if method == "tkcm":
+        references = args.references if args.references else None
+        params.update(
+            window_length=args.window,
+            pattern_length=args.pattern_length,
+            num_anchors=args.anchors,
+            num_references=args.num_references,
+        )
+        if references:
+            params["reference_rankings"] = {args.target: references}
+    elif method in ("cd", "svd", "knn"):
+        params["window_length"] = args.window
+    elif method == "muscles":
+        params["targets"] = [args.target]
+    return make_imputer(method, series_names=dataset.names, **params)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -121,37 +186,29 @@ def _cmd_impute(args: argparse.Namespace) -> int:
         raise ReproError(
             f"target column {args.target!r} not found; available: {', '.join(dataset.names)}"
         )
-    references = args.references if args.references else None
-
-    config = TKCMConfig(
-        window_length=args.window,
-        pattern_length=args.pattern_length,
-        num_anchors=args.anchors,
-        num_references=args.num_references,
-    )
-    rankings = {args.target: references} if references else None
-    imputer = TKCMImputer(config, series_names=dataset.names, reference_rankings=rankings)
+    imputer = _build_cli_imputer(args.method, args, dataset)
 
     stream = dataset.to_stream()
     engine = StreamingImputationEngine(imputer)
-    if args.batch_size > 0:
-        run = engine.run_batch(stream, batch_size=args.batch_size)
+    batch_size = _batch_size_from(args)
+    if batch_size:
+        run = engine.run_batch(stream, batch_size=batch_size)
     else:
         run = engine.run(stream)
 
     recovered = dataset.values(args.target)
     imputed_count = 0
     fallback_count = 0
-    for index, result in run.details.get(args.target, {}).items():
-        recovered[index] = result.value
+    for index, estimate in run.estimates.get(args.target, {}).items():
+        recovered[index] = estimate.value
         imputed_count += 1
-        if result.method == "fallback":
+        if estimate.method == "fallback":
             fallback_count += 1
 
     output = dataset.with_series_values(args.target, recovered)
     dataset_to_csv(output, args.output)
     print(f"imputed {imputed_count} missing values of {args.target!r} "
-          f"({fallback_count} via fallback), wrote {args.output}")
+          f"with {args.method} ({fallback_count} via fallback), wrote {args.output}")
     return 0
 
 
@@ -236,8 +293,7 @@ _EXPERIMENTS: Dict[str, Callable[[int, Optional[int]], None]] = {
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    batch_size = args.batch_size if args.batch_size > 0 else None
-    _EXPERIMENTS[args.figure](args.seed, batch_size)
+    _EXPERIMENTS[args.figure](args.seed, _batch_size_from(args))
     return 0
 
 

@@ -27,6 +27,11 @@ DEFAULT_D = 3
 DEFAULT_K = 5
 DEFAULT_L = 72
 
+#: Default number of ticks per block on the batch execution path — one day of
+#: 5-minute samples.  Shared by the engine, the CLI (both subcommands) and the
+#: service layer so "batched by default" means the same thing everywhere.
+DEFAULT_BATCH_SIZE = SAMPLES_PER_DAY_5MIN
+
 
 @dataclass(frozen=True)
 class TKCMConfig:

@@ -173,6 +173,18 @@ class TKCMImputer:
             raise ConfigurationError(f"unknown series {name!r}")
         return self._buffers[name].view()
 
+    def reset(self) -> None:
+        """Forget all observed data, keeping the registered series and rankings.
+
+        Empties every ring buffer and rewinds the tick counter so the imputer
+        can be reused for a fresh stream (the :class:`repro.service` session
+        API relies on this).  Reference rankings — expert-provided or already
+        auto-computed — are treated as configuration and survive the reset.
+        """
+        for name in self._buffers:
+            self._buffers[name] = RingBuffer(self.config.window_length)
+        self._tick = 0
+
     def prime(self, history: Mapping[str, Sequence[float]]) -> None:
         """Pre-fill the windows with historical values (no imputation performed).
 

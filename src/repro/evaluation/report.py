@@ -12,7 +12,14 @@ from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_series_comparison", "sparkline"]
+from ..results import TickResult
+
+__all__ = [
+    "format_table",
+    "format_series_comparison",
+    "format_tick_results",
+    "sparkline",
+]
 
 _SPARK_LEVELS = " .:-=+*#%@"
 
@@ -54,6 +61,43 @@ def format_table(
     for row in rendered:
         lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_tick_results(
+    results: Sequence[TickResult],
+    limit: Optional[int] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render unified :class:`~repro.results.TickResult` objects as a table.
+
+    One row per imputed value, in tick order: tick index, series, estimate,
+    producing method, and — when the imputer attaches a rich detail (TKCM) —
+    the anchor count and the anchor-value spread ``epsilon``.  ``limit`` caps
+    the number of rows (the remainder is summarised), which keeps service
+    logs readable for long outages.
+    """
+    rows: List[Mapping[str, object]] = []
+    total = 0
+    for tick in results:
+        for name in sorted(tick.estimates):
+            estimate = tick.estimates[name]
+            total += 1
+            if limit is not None and len(rows) >= limit:
+                continue
+            row = {
+                "tick": tick.index,
+                "series": name,
+                "value": estimate.value,
+                "method": estimate.method,
+            }
+            if estimate.detail is not None:
+                row["anchors"] = len(estimate.detail.anchor_indices)
+                row["epsilon"] = estimate.detail.epsilon
+            rows.append(row)
+    table = format_table(rows, title=title)
+    if limit is not None and total > len(rows):
+        table += f"\n... {total - len(rows)} more imputations not shown"
+    return table
 
 
 def sparkline(values: Sequence[float], width: int = 72) -> str:

@@ -14,7 +14,8 @@ it:
 Imputers are described by :class:`ImputerSpec` — a name plus a factory that
 receives the scenario, so each run gets a fresh, correctly-sized instance.
 :func:`default_imputer_specs` builds the paper's comparison set (TKCM,
-SPIRIT, MUSCLES, CD).
+SPIRIT, MUSCLES, CD); every instance is constructed through the
+:mod:`repro.registry`, the same path the CLI and the service layer use.
 """
 
 from __future__ import annotations
@@ -24,14 +25,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..baselines.base import OnlineImputerAdapter
-from ..baselines.centroid import CentroidDecompositionImputer
-from ..baselines.muscles import MusclesImputer
-from ..baselines.spirit import SpiritImputer
 from ..config import TKCMConfig
-from ..core.tkcm import TKCMImputer
 from ..exceptions import ConfigurationError
 from ..metrics.errors import mae, rmse
+from ..registry import make_imputer
 from ..streams.engine import StreamingImputationEngine, StreamRunResult
 from .scenario import MissingBlockScenario
 
@@ -146,10 +143,11 @@ class ExperimentRunner:
 
         truth = scenario.truth()
         imputed = np.full(scenario.block_length, np.nan)
-        per_target = run.imputed.get(scenario.target, {})
+        per_target = run.estimates.get(scenario.target, {})
         for offset, index in enumerate(scenario.block_indices):
-            if int(index) in per_target:
-                imputed[offset] = per_target[int(index)]
+            estimate = per_target.get(int(index))
+            if estimate is not None:
+                imputed[offset] = estimate.value
 
         try:
             block_rmse = rmse(truth, imputed)
@@ -222,30 +220,37 @@ def default_imputer_specs(
     """
     wanted = {name.upper() for name in include} if include is not None else None
 
-    def tkcm_factory(scenario: MissingBlockScenario) -> TKCMImputer:
+    def tkcm_factory(scenario: MissingBlockScenario):
         names = scenario.dataset.names
         candidates = [name for name in names if name != scenario.target]
-        return TKCMImputer(
-            tkcm_config,
+        return make_imputer(
+            "tkcm",
             series_names=names,
+            config=tkcm_config,
             reference_rankings={scenario.target: candidates},
         )
 
-    def spirit_factory(scenario: MissingBlockScenario) -> SpiritImputer:
-        return SpiritImputer(scenario.dataset.names, num_hidden=2, ar_order=6)
-
-    def muscles_factory(scenario: MissingBlockScenario) -> MusclesImputer:
-        return MusclesImputer(
-            scenario.dataset.names, targets=[scenario.target], tracking_window=6
+    def spirit_factory(scenario: MissingBlockScenario):
+        return make_imputer(
+            "spirit", series_names=scenario.dataset.names, num_hidden=2, ar_order=6
         )
 
-    def cd_factory(scenario: MissingBlockScenario) -> OnlineImputerAdapter:
+    def muscles_factory(scenario: MissingBlockScenario):
+        return make_imputer(
+            "muscles",
+            series_names=scenario.dataset.names,
+            targets=[scenario.target],
+            tracking_window=6,
+        )
+
+    def cd_factory(scenario: MissingBlockScenario):
         window = cd_window_length or min(tkcm_config.window_length, scenario.dataset.length)
-        return OnlineImputerAdapter(
-            CentroidDecompositionImputer(max_iterations=cd_max_iterations),
+        return make_imputer(
+            "cd",
             series_names=scenario.dataset.names,
             window_length=window,
             refresh_interval=cd_refresh_interval,
+            max_iterations=cd_max_iterations,
         )
 
     specs = [

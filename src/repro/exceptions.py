@@ -39,3 +39,7 @@ class ImputationError(ReproError):
 
 class NotFittedError(ReproError):
     """An offline imputer was asked to transform data before being fitted."""
+
+
+class ServiceError(ReproError):
+    """A service-level operation failed (e.g. unknown or duplicate session id)."""

@@ -1,0 +1,317 @@
+"""String-keyed imputer registry: one uniform way to construct any method.
+
+Before the registry, every consumer of the library — the CLI, the experiment
+runner's comparison set, each example script — wired imputer constructors by
+hand.  The registry replaces that with a single factory surface:
+
+>>> from repro.registry import make_imputer, list_methods
+>>> list_methods()                    # doctest: +ELLIPSIS
+['cd', 'knn', ...]
+>>> imputer = make_imputer("spirit", series_names=["a", "b"], num_hidden=2)
+
+Factories are registered with the :func:`register` decorator::
+
+    @register("tkcm")
+    def _make_tkcm(series_names, *, config=None, **params):
+        ...
+
+Every factory takes the stream names as its first argument plus
+method-specific keyword parameters; it returns an object speaking the
+:class:`~repro.baselines.base.OnlineImputer` streaming protocol, so anything
+constructed here can be driven by the
+:class:`~repro.streams.engine.StreamingImputationEngine`, the
+:class:`~repro.service.ImputationSession` push API, or the experiment runner
+interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from .baselines.base import OnlineImputerAdapter
+from .baselines.centroid import CentroidDecompositionImputer
+from .baselines.knn import KnnImputer
+from .baselines.muscles import MusclesImputer
+from .baselines.simple import (
+    LinearInterpolationImputer,
+    LocfImputer,
+    MeanImputer,
+    MovingAverageImputer,
+    SplineInterpolationImputer,
+)
+from .baselines.spirit import SpiritImputer
+from .baselines.svd import IterativeSVDImputer
+from .config import TKCMConfig
+from .core.tkcm import TKCMImputer
+from .exceptions import ConfigurationError
+
+__all__ = [
+    "ImputerRegistry",
+    "DEFAULT_REGISTRY",
+    "register",
+    "make_imputer",
+    "list_methods",
+]
+
+#: Signature every registered factory implements.
+ImputerFactory = Callable[..., object]
+
+
+class ImputerRegistry:
+    """A case-insensitive mapping from method names to imputer factories.
+
+    Factories are callables ``factory(series_names, **params) -> imputer``.
+    The registry validates names at registration and construction time and
+    produces helpful errors listing the available methods, so a typo at the
+    CLI or in a service request fails fast and legibly.
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, ImputerFactory] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self, name: str, *aliases: str
+    ) -> Callable[[ImputerFactory], ImputerFactory]:
+        """Decorator registering a factory under ``name`` (plus ``aliases``).
+
+        >>> registry = ImputerRegistry()
+        >>> @registry.register("noop")
+        ... def _make_noop(series_names, **params):
+        ...     return object()
+        """
+        keys = [self._normalise(key) for key in (name, *aliases)]
+
+        def decorator(factory: ImputerFactory) -> ImputerFactory:
+            for key in keys:
+                if key in self._factories:
+                    raise ConfigurationError(
+                        f"imputer method {key!r} is already registered"
+                    )
+                self._factories[key] = factory
+            return factory
+
+        return decorator
+
+    # ------------------------------------------------------------------ #
+    # Construction and introspection
+    # ------------------------------------------------------------------ #
+    def make(
+        self, name: str, series_names: Optional[Sequence[str]] = None, **params
+    ) -> object:
+        """Construct a fresh imputer for method ``name``.
+
+        Parameters
+        ----------
+        name:
+            Registered method name (case-insensitive).
+        series_names:
+            Names of the streams the imputer will serve.
+        params:
+            Method-specific constructor parameters, passed through to the
+            factory.  Unknown parameters raise :class:`ConfigurationError`.
+        """
+        factory = self._factories.get(self._normalise(name))
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown imputer method {name!r}; "
+                f"available: {', '.join(self.names())}"
+            )
+        try:
+            return factory(list(series_names or []), **params)
+        except TypeError as error:
+            # A factory called with a parameter it does not accept is a user
+            # configuration mistake, not a programming error.
+            raise ConfigurationError(
+                f"invalid parameters for imputer method {name!r}: {error}"
+            ) from error
+
+    def names(self) -> List[str]:
+        """All registered method names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            return self._normalise(name) in self._factories
+        except ConfigurationError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    @staticmethod
+    def _normalise(name: str) -> str:
+        key = str(name).strip().lower().replace("_", "-")
+        if not key:
+            raise ConfigurationError("imputer method name must be non-empty")
+        return key
+
+
+#: The process-wide default registry used by :func:`make_imputer`.
+DEFAULT_REGISTRY = ImputerRegistry()
+
+#: Register a factory in the default registry (``@register("name")``).
+register = DEFAULT_REGISTRY.register
+
+
+def make_imputer(
+    name: str, series_names: Optional[Sequence[str]] = None, **params
+) -> object:
+    """Construct a registered imputer from the default registry.
+
+    This is the construction path shared by the CLI (``--method``), the
+    experiment runner's comparison set, and the service layer's sessions.
+    """
+    return DEFAULT_REGISTRY.make(name, series_names=series_names, **params)
+
+
+def list_methods() -> List[str]:
+    """Names of all methods registered in the default registry."""
+    return DEFAULT_REGISTRY.names()
+
+
+# --------------------------------------------------------------------------- #
+# Built-in registrations
+# --------------------------------------------------------------------------- #
+@register("tkcm")
+def _make_tkcm(
+    series_names: Sequence[str],
+    *,
+    config: Optional[TKCMConfig] = None,
+    reference_rankings: Optional[Mapping[str, Sequence[str]]] = None,
+    ranking_method: str = "pearson",
+    fallback: str = "locf",
+    **config_params,
+) -> TKCMImputer:
+    """The paper's method.  ``config_params`` override :class:`TKCMConfig`
+    fields (``window_length``, ``pattern_length``, ``num_anchors``, ...)."""
+    if config_params:
+        config = replace(config or TKCMConfig(), **config_params)
+    return TKCMImputer(
+        config or TKCMConfig(),
+        series_names=series_names,
+        reference_rankings=reference_rankings,
+        ranking_method=ranking_method,
+        fallback=fallback,
+    )
+
+
+@register("spirit")
+def _make_spirit(
+    series_names: Sequence[str],
+    *,
+    num_hidden: int = 2,
+    ar_order: int = 6,
+    forgetting: float = 1.0,
+) -> SpiritImputer:
+    return SpiritImputer(
+        series_names, num_hidden=num_hidden, ar_order=ar_order, forgetting=forgetting
+    )
+
+
+@register("muscles")
+def _make_muscles(
+    series_names: Sequence[str],
+    *,
+    targets: Optional[Sequence[str]] = None,
+    tracking_window: int = 6,
+    forgetting: float = 1.0,
+) -> MusclesImputer:
+    return MusclesImputer(
+        series_names,
+        targets=targets,
+        tracking_window=tracking_window,
+        forgetting=forgetting,
+    )
+
+
+@register("cd")
+def _make_cd(
+    series_names: Sequence[str],
+    *,
+    window_length: int = 2016,
+    refresh_interval: int = 48,
+    truncation: Optional[int] = None,
+    max_iterations: int = 10,
+    tolerance: float = 1e-4,
+) -> OnlineImputerAdapter:
+    """Centroid decomposition behind the offline-to-online adapter."""
+    return OnlineImputerAdapter(
+        CentroidDecompositionImputer(
+            truncation=truncation, max_iterations=max_iterations, tolerance=tolerance
+        ),
+        series_names=series_names,
+        window_length=window_length,
+        refresh_interval=refresh_interval,
+    )
+
+
+@register("svd")
+def _make_svd(
+    series_names: Sequence[str],
+    *,
+    window_length: int = 2016,
+    refresh_interval: int = 48,
+    rank: Optional[int] = None,
+    max_iterations: int = 50,
+    tolerance: float = 1e-4,
+) -> OnlineImputerAdapter:
+    """Iterative truncated SVD behind the offline-to-online adapter."""
+    return OnlineImputerAdapter(
+        IterativeSVDImputer(
+            rank=rank, max_iterations=max_iterations, tolerance=tolerance
+        ),
+        series_names=series_names,
+        window_length=window_length,
+        refresh_interval=refresh_interval,
+    )
+
+
+@register("knn")
+def _make_knn(
+    series_names: Sequence[str],
+    *,
+    num_neighbors: int = 5,
+    window_length: int = 2016,
+    weighted: bool = True,
+) -> KnnImputer:
+    return KnnImputer(
+        series_names,
+        num_neighbors=num_neighbors,
+        window_length=window_length,
+        weighted=weighted,
+    )
+
+
+@register("mean")
+def _make_mean(series_names: Sequence[str]) -> MeanImputer:
+    return MeanImputer(series_names)
+
+
+@register("locf")
+def _make_locf(
+    series_names: Sequence[str], *, carry_imputed: bool = True
+) -> LocfImputer:
+    return LocfImputer(series_names, carry_imputed=carry_imputed)
+
+
+@register("moving-average")
+def _make_moving_average(
+    series_names: Sequence[str], *, window: int = 12
+) -> MovingAverageImputer:
+    return MovingAverageImputer(series_names, window=window)
+
+
+@register("linear")
+def _make_linear(series_names: Sequence[str]) -> LinearInterpolationImputer:
+    return LinearInterpolationImputer(series_names)
+
+
+@register("spline")
+def _make_spline(
+    series_names: Sequence[str], *, history_length: int = 24
+) -> SplineInterpolationImputer:
+    return SplineInterpolationImputer(series_names, history_length=history_length)

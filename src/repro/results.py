@@ -1,0 +1,114 @@
+"""Unified imputation result model shared by the engine, runner and service.
+
+Historically the streaming engine accepted two shapes of imputer output —
+plain floats from the baselines and rich :class:`~repro.core.tkcm.ImputationResult`
+objects from TKCM — and sniffed the difference with ``isinstance`` at
+collection time.  This module replaces that duck-typing with one structured
+model:
+
+* :class:`SeriesEstimate` — one imputed value for one series at one tick,
+  with the producing method's name and (when the imputer provides one) the
+  full per-imputation detail attached.
+* :class:`TickResult` — all estimates produced at one tick, keyed by series.
+
+Every consumer (``StreamingImputationEngine``, ``ExperimentRunner``, the
+reports, and the push-based :mod:`repro.service` API) traffics in these
+types; :meth:`SeriesEstimate.from_output` is the single conversion point for
+legacy imputer outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+from .core.tkcm import ImputationResult
+
+__all__ = ["SeriesEstimate", "TickResult"]
+
+
+@dataclass(frozen=True)
+class SeriesEstimate:
+    """One imputed value for one series.
+
+    Attributes
+    ----------
+    series:
+        Name of the imputed time series.
+    value:
+        The estimate (``NaN`` when the imputer refused to impute).
+    method:
+        Name of the producing method: ``"tkcm"`` / ``"fallback"`` for TKCM
+        results, ``"online"`` for plain float outputs of the baselines.
+    detail:
+        The full :class:`~repro.core.tkcm.ImputationResult` when the imputer
+        produced one (anchors, dissimilarities, epsilon); ``None`` otherwise.
+    """
+
+    series: str
+    value: float
+    method: str = "online"
+    detail: Optional[ImputationResult] = None
+
+    @classmethod
+    def from_output(cls, series: str, output) -> "SeriesEstimate":
+        """Convert any legacy imputer output into a :class:`SeriesEstimate`.
+
+        Accepts a :class:`SeriesEstimate` (returned as-is), an
+        :class:`~repro.core.tkcm.ImputationResult`, or anything castable to
+        ``float`` — the three output shapes found among the registered
+        imputers.
+        """
+        if isinstance(output, SeriesEstimate):
+            return output
+        if isinstance(output, ImputationResult):
+            return cls(
+                series=series,
+                value=float(output.value),
+                method=output.method,
+                detail=output,
+            )
+        return cls(series=series, value=float(output))
+
+
+@dataclass(frozen=True)
+class TickResult:
+    """All estimates produced at one stream tick.
+
+    Behaves like a read-only mapping from series name to
+    :class:`SeriesEstimate`; :meth:`values_by_series` flattens it back to the
+    ``{series: float}`` shape downstream systems typically persist.
+    """
+
+    index: int
+    estimates: Dict[str, SeriesEstimate] = field(default_factory=dict)
+
+    @classmethod
+    def from_outputs(cls, index: int, outputs: Mapping[str, object]) -> "TickResult":
+        """Build a tick result from a raw ``{series: output}`` imputer mapping."""
+        return cls(
+            index=int(index),
+            estimates={
+                name: SeriesEstimate.from_output(name, output)
+                for name, output in (outputs or {}).items()
+            },
+        )
+
+    def values_by_series(self) -> Dict[str, float]:
+        """The estimates as a plain ``{series: value}`` dict."""
+        return {name: estimate.value for name, estimate in self.estimates.items()}
+
+    def __getitem__(self, series: str) -> SeriesEstimate:
+        return self.estimates[series]
+
+    def __contains__(self, series: str) -> bool:
+        return series in self.estimates
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.estimates)
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def __bool__(self) -> bool:
+        return bool(self.estimates)

@@ -1,0 +1,31 @@
+"""Service layer: push-based imputation sessions behind one uniform API.
+
+This package is the serving counterpart of the replay-shaped streaming
+engine.  Where :class:`~repro.streams.engine.StreamingImputationEngine`
+*pulls* a finite stream through an imputer, the service layer lets a
+producer *push* records as they arrive:
+
+* :class:`~repro.service.session.ImputationSession` — one stateful session
+  around one imputer (constructed by registered method name via
+  :mod:`repro.registry`), with ``push`` / ``push_block`` ingestion,
+  internal priming / warm-up / tick accounting, and exact
+  ``snapshot()`` / ``restore()`` checkpointing.
+* :class:`~repro.service.service.ImputationService` — the multi-tenant entry
+  point: many named sessions (one per sensor group), records routed by
+  session id, fleet-wide checkpointing.
+
+Results are the unified :class:`~repro.results.TickResult` /
+:class:`~repro.results.SeriesEstimate` model shared with the engine and the
+experiment runner.
+"""
+
+from ..results import SeriesEstimate, TickResult
+from .session import ImputationSession
+from .service import ImputationService
+
+__all__ = [
+    "ImputationSession",
+    "ImputationService",
+    "TickResult",
+    "SeriesEstimate",
+]

@@ -1,0 +1,153 @@
+"""Multi-tenant imputation service: many named sessions, one entry point.
+
+:class:`ImputationService` is the serving-tier facade over
+:class:`~repro.service.session.ImputationSession`: it owns one session per
+sensor group (a fleet of weather stations, the junctions of one water
+network, ...) and routes every incoming record to its session by id.  All
+sessions are constructed through the :mod:`repro.registry`, so a deployment
+config is just ``(session id, method name, series names, params)`` tuples.
+
+Checkpointing is first-class: :meth:`ImputationService.snapshot_all` captures
+every session as an opaque blob keyed by session id, and
+:meth:`ImputationService.restore_all` rebuilds them — on the same process or
+on a different worker, which is the primitive later scaling work (sharding
+sessions across processes, draining a worker before rollout) builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..exceptions import ServiceError
+from ..results import TickResult
+from .session import ImputationSession, Tick
+
+__all__ = ["ImputationService"]
+
+
+class ImputationService:
+    """Manage many named :class:`ImputationSession` objects.
+
+    Examples
+    --------
+    >>> service = ImputationService()
+    >>> _ = service.create_session("north", method="locf",
+    ...                            series_names=["n1", "n2"])
+    >>> service.push("north", {"n1": 1.0, "n2": 2.0})
+    []
+    >>> service.push("north", {"n1": float("nan"), "n2": 3.0})[0]["n1"].value
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, ImputationSession] = {}
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+    def create_session(
+        self,
+        session_id: str,
+        method: str = "tkcm",
+        series_names: Optional[Sequence[str]] = None,
+        *,
+        warmup_ticks: int = 0,
+        **params,
+    ) -> ImputationSession:
+        """Create and register a new session under ``session_id``.
+
+        ``method``, ``series_names``, ``warmup_ticks`` and ``params`` are
+        forwarded to :class:`ImputationSession`; creating an id that already
+        exists raises :class:`~repro.exceptions.ServiceError` (close it
+        first).
+        """
+        if session_id in self._sessions:
+            raise ServiceError(f"session {session_id!r} already exists")
+        session = ImputationSession(
+            method, series_names=series_names, warmup_ticks=warmup_ticks, **params
+        )
+        self._sessions[session_id] = session
+        return session
+
+    def add_session(self, session_id: str, session: ImputationSession) -> None:
+        """Register an externally constructed (or restored) session."""
+        if session_id in self._sessions:
+            raise ServiceError(f"session {session_id!r} already exists")
+        self._sessions[session_id] = session
+
+    def session(self, session_id: str) -> ImputationSession:
+        """Look up a session by id."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ServiceError(
+                f"unknown session {session_id!r}; "
+                f"active: {', '.join(sorted(self._sessions)) or '(none)'}"
+            ) from None
+
+    def close_session(self, session_id: str) -> ImputationSession:
+        """Remove and return a session (e.g. after snapshotting it away)."""
+        session = self.session(session_id)
+        del self._sessions[session_id]
+        return session
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def push(self, session_id: str, tick: Tick) -> List[TickResult]:
+        """Route one record to its session; see :meth:`ImputationSession.push`."""
+        return self.session(session_id).push(tick)
+
+    def push_block(self, session_id: str, block) -> List[TickResult]:
+        """Route a block of records; see :meth:`ImputationSession.push_block`."""
+        return self.session(session_id).push_block(block)
+
+    def prime(self, session_id: str, history: Mapping[str, Sequence[float]]) -> None:
+        """Bulk-feed history into one session before streaming starts."""
+        self.session(session_id).prime(history)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self, session_id: str) -> bytes:
+        """Checkpoint one session into an opaque blob."""
+        return self.session(session_id).snapshot()
+
+    def restore(self, session_id: str, blob: bytes) -> ImputationSession:
+        """Rebuild ``session_id`` from a snapshot blob, replacing any
+        existing session with that id (the migration path)."""
+        session = ImputationSession.restore(blob)
+        self._sessions[session_id] = session
+        return session
+
+    def snapshot_all(self) -> Dict[str, bytes]:
+        """Checkpoint every session, keyed by session id."""
+        return {
+            session_id: session.snapshot()
+            for session_id, session in self._sessions.items()
+        }
+
+    def restore_all(self, blobs: Mapping[str, bytes]) -> None:
+        """Rebuild every session from :meth:`snapshot_all` output."""
+        for session_id, blob in blobs.items():
+            self.restore(session_id, blob)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def session_ids(self) -> List[str]:
+        """Ids of all active sessions, sorted."""
+        return sorted(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._sessions))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ImputationService(sessions={self.session_ids})"

@@ -1,0 +1,316 @@
+"""Push-based imputation sessions.
+
+:class:`ImputationSession` is the stateful serving counterpart of the
+replay-shaped :class:`~repro.streams.engine.StreamingImputationEngine`: a
+producer *pushes* records into the session as they arrive, and the session
+returns structured :class:`~repro.results.TickResult` objects for every tick
+on which something was imputed.  The session owns the imputer (constructed
+from the :mod:`repro.registry` by method name, or injected), and handles
+priming, warm-up suppression, and tick accounting internally, so a serving
+process never touches imputer internals.
+
+Sessions checkpoint: :meth:`ImputationSession.snapshot` serialises the entire
+session state into an opaque blob and :meth:`ImputationSession.restore`
+rebuilds an equivalent session from it — on the same process or on another
+worker, which is how a serving tier migrates sessions between machines.  The
+round-trip is exact: a restored session produces bit-identical imputations to
+one that was never interrupted (enforced by the parity tests under
+``tests/service/``).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ServiceError
+from ..registry import make_imputer
+from ..results import TickResult
+
+__all__ = ["ImputationSession"]
+
+#: One pushed record: a ``{series: value}`` mapping or a sequence aligned
+#: with the session's series order.  ``NaN`` marks a missing value.
+Tick = Union[Mapping[str, float], Sequence[float], np.ndarray]
+
+#: Snapshot format version; bumped when the payload layout changes.
+_SNAPSHOT_VERSION = 1
+
+
+class ImputationSession:
+    """A stateful, push-based imputation session around one imputer.
+
+    Parameters
+    ----------
+    method:
+        Either a registered method name (``"tkcm"``, ``"spirit"``, ...) —
+        in which case the imputer is built via
+        :func:`repro.registry.make_imputer` with ``params`` — or an already
+        constructed imputer speaking the
+        :class:`~repro.baselines.base.OnlineImputer` protocol.
+    series_names:
+        Names of the streams this session serves, in column order for
+        positional pushes.  Required when ``method`` is a name; defaults to
+        the imputer's own ``series_names`` when an instance is injected.
+    warmup_ticks:
+        Number of initial ticks whose imputations are suppressed (models such
+        as SPIRIT/MUSCLES need to converge first).  Primed history counts
+        toward the warm-up, matching the engine's accounting.
+    params:
+        Method-specific constructor parameters forwarded to the registry.
+
+    Examples
+    --------
+    >>> session = ImputationSession("locf", series_names=["a", "b"])
+    >>> session.push({"a": 1.0, "b": 2.0})
+    []
+    >>> session.push({"a": float("nan"), "b": 3.0})[0]["a"].value
+    1.0
+    """
+
+    def __init__(
+        self,
+        method: Union[str, object],
+        series_names: Optional[Sequence[str]] = None,
+        *,
+        warmup_ticks: int = 0,
+        **params,
+    ) -> None:
+        if warmup_ticks < 0:
+            raise ConfigurationError(
+                f"warmup_ticks must be >= 0, got {warmup_ticks}"
+            )
+        if isinstance(method, str):
+            if not series_names:
+                raise ConfigurationError(
+                    "series_names is required when constructing a session "
+                    "from a registered method name"
+                )
+            self.method = method
+            self.imputer = make_imputer(method, series_names=series_names, **params)
+        else:
+            if params:
+                raise ConfigurationError(
+                    "constructor params are only valid with a registered "
+                    "method name, not an imputer instance"
+                )
+            self.method = type(method).__name__
+            self.imputer = method
+        names = series_names or getattr(self.imputer, "series_names", None)
+        if not names:
+            raise ConfigurationError(
+                "the session needs series names (pass series_names= or use an "
+                "imputer that exposes them)"
+            )
+        self.series_names: List[str] = [str(name) for name in names]
+        self.warmup_ticks = int(warmup_ticks)
+        self._tick = 0
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def ticks_seen(self) -> int:
+        """Total ticks consumed so far (primed history included)."""
+        return self._tick
+
+    @property
+    def in_warmup(self) -> bool:
+        """Whether the next pushed tick still falls inside the warm-up."""
+        return self._tick < self.warmup_ticks
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def prime(self, history: Mapping[str, Sequence[float]]) -> None:
+        """Bulk-feed complete history before streaming starts.
+
+        Delegates to the imputer's ``prime`` fast path when it has one
+        (TKCM's ring buffers), otherwise replays the history tick by tick
+        through :meth:`push` with results discarded.
+        """
+        names = list(history)
+        if not names:
+            return
+        lengths = {len(history[name]) for name in names}
+        if len(lengths) > 1:
+            raise ConfigurationError(
+                f"all primed histories must have the same length, "
+                f"got lengths {sorted(lengths)}"
+            )
+        length = lengths.pop()
+        if hasattr(self.imputer, "prime"):
+            self.imputer.prime(history)
+            self._tick += length
+            return
+        for i in range(length):
+            self.push({name: float(history[name][i]) for name in names})
+
+    def push(self, tick: Tick) -> List[TickResult]:
+        """Consume one record and return the imputations it produced.
+
+        Parameters
+        ----------
+        tick:
+            ``{series: value}`` mapping (missing = ``NaN`` or absent) or a
+            value sequence aligned with :attr:`series_names`.
+
+        Returns
+        -------
+        list of TickResult
+            Empty when nothing was missing or the session is still warming
+            up; otherwise a single :class:`~repro.results.TickResult` for
+            this tick.  A list is returned so ``push`` and
+            :meth:`push_block` compose uniformly.
+        """
+        values = self._as_mapping(tick)
+        index = self._tick
+        outputs = self.imputer.observe(values)
+        self._tick = index + 1
+        if not outputs or index < self.warmup_ticks:
+            return []
+        return [TickResult.from_outputs(index, outputs)]
+
+    def push_block(self, block) -> List[TickResult]:
+        """Consume a whole block of records at once.
+
+        Parameters
+        ----------
+        block:
+            A ``(ticks, num_series)`` matrix aligned with
+            :attr:`series_names`, or an iterable of rows (each a mapping or
+            an aligned sequence).
+
+        Returns
+        -------
+        list of TickResult
+            One entry per tick on which something was imputed, in tick
+            order.  Uses the imputer's vectorised ``observe_batch`` when
+            available and falls back to the tick loop otherwise, with
+            identical results (the engine's batch/tick parity guarantee).
+        """
+        matrix = self._as_matrix(block)
+        if matrix.shape[0] == 0:
+            return []
+        base = self._tick
+        if hasattr(self.imputer, "observe_batch"):
+            outputs = self.imputer.observe_batch(matrix, self.series_names)
+            self._tick = base + matrix.shape[0]
+            results = [
+                TickResult.from_outputs(base + int(offset), per_tick)
+                for offset, per_tick in sorted((outputs or {}).items())
+                if per_tick and base + int(offset) >= self.warmup_ticks
+            ]
+            return results
+        results = []
+        for row in matrix:
+            results.extend(self.push(row))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> bytes:
+        """Serialise the full session state into an opaque blob.
+
+        The blob captures the imputer (windows, model weights, tick
+        counters) together with the session's own accounting, so
+        :meth:`restore` on any process rebuilds a session whose remaining
+        imputations are bit-identical to an uninterrupted run.
+
+        .. warning::
+            The blob is a pickle: restoring one executes whatever it
+            contains, so :meth:`restore` must only be fed blobs from a
+            trusted transport.  When snapshots cross a machine boundary,
+            authenticate them (e.g. wrap in an HMAC envelope keyed per
+            deployment) before restoring.
+        """
+        payload = {
+            "version": _SNAPSHOT_VERSION,
+            "method": self.method,
+            "series_names": self.series_names,
+            "warmup_ticks": self.warmup_ticks,
+            "tick": self._tick,
+            "imputer": self.imputer,
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "ImputationSession":
+        """Rebuild a session from a :meth:`snapshot` blob.
+
+        Only restore blobs from a trusted source — see the pickle warning on
+        :meth:`snapshot`.
+        """
+        try:
+            payload = pickle.loads(blob)
+        except Exception as error:
+            raise ServiceError(f"cannot restore session: {error}") from error
+        if not isinstance(payload, dict) or "imputer" not in payload:
+            raise ServiceError("cannot restore session: malformed snapshot blob")
+        version = payload.get("version")
+        if version != _SNAPSHOT_VERSION:
+            raise ServiceError(
+                f"cannot restore session: snapshot version {version!r} is not "
+                f"supported (expected {_SNAPSHOT_VERSION})"
+            )
+        session = cls(
+            payload["imputer"],
+            series_names=payload["series_names"],
+            warmup_ticks=payload["warmup_ticks"],
+        )
+        session.method = payload["method"]
+        session._tick = payload["tick"]
+        return session
+
+    def reset(self) -> None:
+        """Forget all streamed data; the imputer keeps its configuration."""
+        if hasattr(self.imputer, "reset"):
+            self.imputer.reset()
+        self._tick = 0
+
+    # ------------------------------------------------------------------ #
+    # Input normalisation
+    # ------------------------------------------------------------------ #
+    def _as_mapping(self, tick: Tick) -> Dict[str, float]:
+        if isinstance(tick, Mapping):
+            unknown = set(tick) - set(self.series_names)
+            if unknown:
+                # A typo'd key would otherwise register a phantom series with
+                # the imputer and silently drop the real measurement.
+                raise ConfigurationError(
+                    f"unknown series in pushed record: {sorted(unknown)}; "
+                    f"this session serves {self.series_names}"
+                )
+            return {name: float(value) for name, value in tick.items()}
+        row = np.asarray(tick, dtype=float).reshape(-1)
+        if len(row) != len(self.series_names):
+            raise ConfigurationError(
+                f"positional tick has {len(row)} values but the session "
+                f"serves {len(self.series_names)} series"
+            )
+        return {name: float(row[i]) for i, name in enumerate(self.series_names)}
+
+    def _as_matrix(self, block) -> np.ndarray:
+        if isinstance(block, np.ndarray) and block.ndim == 2:
+            matrix = np.asarray(block, dtype=float)
+        else:
+            rows = [
+                [self._as_mapping(row).get(name, float("nan")) for name in self.series_names]
+                for row in block
+            ]
+            matrix = np.asarray(rows, dtype=float).reshape(-1, len(self.series_names))
+        if matrix.shape[1] != len(self.series_names):
+            raise ConfigurationError(
+                f"block has {matrix.shape[1]} columns but the session serves "
+                f"{len(self.series_names)} series"
+            )
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ImputationSession(method={self.method!r}, "
+            f"series={len(self.series_names)}, ticks={self._tick})"
+        )

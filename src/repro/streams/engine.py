@@ -6,18 +6,25 @@ collects the imputed values, and matches them against the ground truth that
 was removed by the missing-value injection.  This is the mechanism behind
 every accuracy experiment in the paper's Sec. 7: impute each missing value as
 it streams by, then compute the RMSE over the missing positions.
+
+All collected outputs are normalised into the unified
+:class:`~repro.results.SeriesEstimate` model at the moment they are recorded
+(:meth:`StreamRunResult.record`); the float-map and detail-map views that
+predate the unified model remain available as read-only properties.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..config import DEFAULT_BATCH_SIZE
 from ..core.tkcm import ImputationResult
 from ..exceptions import StreamError
+from ..results import SeriesEstimate, TickResult
 from .stream import MultiSeriesStream
 
 __all__ = ["StreamingImputationEngine", "StreamRunResult"]
@@ -29,12 +36,9 @@ class StreamRunResult:
 
     Attributes
     ----------
-    imputed:
-        ``{series: {tick index: imputed value}}`` for every missing value
-        encountered after the warm-up.
-    details:
-        ``{series: {tick index: ImputationResult}}`` for imputers that return
-        rich results (TKCM); empty for plain online imputers.
+    estimates:
+        ``{series: {tick index: SeriesEstimate}}`` for every missing value
+        encountered after the warm-up — the unified result model.
     ticks_processed:
         Number of stream records consumed.
     runtime_seconds:
@@ -42,22 +46,68 @@ class StreamRunResult:
         generation).
     """
 
-    imputed: Dict[str, Dict[int, float]] = field(default_factory=dict)
-    details: Dict[str, Dict[int, ImputationResult]] = field(default_factory=dict)
+    estimates: Dict[str, Dict[int, SeriesEstimate]] = field(default_factory=dict)
     ticks_processed: int = 0
     runtime_seconds: float = 0.0
+
+    def record(self, index: int, outputs) -> None:
+        """Store one tick's imputer outputs, normalising them into estimates."""
+        for name, output in (outputs or {}).items():
+            self.estimates.setdefault(name, {})[index] = SeriesEstimate.from_output(
+                name, output
+            )
+
+    @property
+    def imputed(self) -> Dict[str, Dict[int, float]]:
+        """``{series: {tick index: imputed value}}`` — compatibility view.
+
+        Rebuilt from :attr:`estimates` on every access: treat it as
+        read-only (mutations are lost) and hoist it out of tight loops.
+        """
+        return {
+            name: {index: estimate.value for index, estimate in per_series.items()}
+            for name, per_series in self.estimates.items()
+        }
+
+    @property
+    def details(self) -> Dict[str, Dict[int, ImputationResult]]:
+        """``{series: {tick index: ImputationResult}}`` for imputers that
+        return rich results (TKCM) — compatibility view; series whose
+        estimates carry no detail are omitted.  Like :attr:`imputed`, the
+        view is rebuilt on every access: read-only, hoist out of loops."""
+        details: Dict[str, Dict[int, ImputationResult]] = {}
+        for name, per_series in self.estimates.items():
+            with_detail = {
+                index: estimate.detail
+                for index, estimate in per_series.items()
+                if estimate.detail is not None
+            }
+            if with_detail:
+                details[name] = with_detail
+        return details
+
+    def tick_results(self) -> List[TickResult]:
+        """The collected estimates regrouped per tick, in tick order."""
+        by_tick: Dict[int, Dict[str, SeriesEstimate]] = {}
+        for name, per_series in self.estimates.items():
+            for index, estimate in per_series.items():
+                by_tick.setdefault(index, {})[name] = estimate
+        return [
+            TickResult(index=index, estimates=by_tick[index])
+            for index in sorted(by_tick)
+        ]
 
     def imputed_series(self, name: str, length: int) -> np.ndarray:
         """Imputed values of ``name`` as an array of ``length`` with NaN elsewhere."""
         values = np.full(length, np.nan)
-        for index, value in self.imputed.get(name, {}).items():
+        for index, estimate in self.estimates.get(name, {}).items():
             if 0 <= index < length:
-                values[index] = value
+                values[index] = estimate.value
         return values
 
     def imputed_count(self) -> int:
         """Total number of imputed values across all series."""
-        return sum(len(per_series) for per_series in self.imputed.values())
+        return sum(len(per_series) for per_series in self.estimates.values())
 
 
 class StreamingImputationEngine:
@@ -66,9 +116,10 @@ class StreamingImputationEngine:
     Parameters
     ----------
     imputer:
-        Any object with an ``observe(values) -> mapping`` method.  TKCM's
-        richer :class:`~repro.core.tkcm.ImputationResult` return values are
-        recognised and stored in :attr:`StreamRunResult.details`.
+        Any object with an ``observe(values) -> mapping`` method.  Outputs are
+        normalised through :meth:`SeriesEstimate.from_output`, so plain floats
+        and TKCM's richer :class:`~repro.core.tkcm.ImputationResult` values
+        are collected uniformly.
     warmup_ticks:
         Number of initial ticks whose imputations are not recorded (models
         such as SPIRIT/MUSCLES need to converge first).
@@ -109,14 +160,14 @@ class StreamingImputationEngine:
             result.ticks_processed += 1
             if record.index < self.warmup_ticks:
                 continue
-            self._record_outputs(result, record.index, outputs)
+            result.record(record.index, outputs)
         result.runtime_seconds = time.perf_counter() - started
         return result
 
     def run_batch(
         self,
         stream: MultiSeriesStream,
-        batch_size: int = 256,
+        batch_size: int = DEFAULT_BATCH_SIZE,
         start: int = 0,
         stop: Optional[int] = None,
         prime_until: Optional[int] = None,
@@ -135,7 +186,8 @@ class StreamingImputationEngine:
         stream, start, stop, prime_until:
             As in :meth:`run`.
         batch_size:
-            Number of ticks handed to the imputer per ``observe_batch`` call.
+            Number of ticks handed to the imputer per ``observe_batch`` call
+            (default :data:`~repro.config.DEFAULT_BATCH_SIZE`).
         """
         if batch_size < 1:
             raise StreamError(f"batch_size must be >= 1, got {batch_size}")
@@ -154,7 +206,7 @@ class StreamingImputationEngine:
                 index = base + int(offset)
                 if index < self.warmup_ticks:
                     continue
-                self._record_outputs(result, index, per_tick)
+                result.record(index, per_tick)
         result.runtime_seconds = time.perf_counter() - started
         return result
 
@@ -172,14 +224,3 @@ class StreamingImputationEngine:
             return start
         self.imputer.prime(stream.head(prime_until))
         return max(start, prime_until)
-
-    @staticmethod
-    def _record_outputs(result: StreamRunResult, index: int, outputs) -> None:
-        """Store one tick's imputer outputs into ``result``."""
-        for name, output in (outputs or {}).items():
-            if isinstance(output, ImputationResult):
-                value = output.value
-                result.details.setdefault(name, {})[index] = output
-            else:
-                value = float(output)
-            result.imputed.setdefault(name, {})[index] = value

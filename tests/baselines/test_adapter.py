@@ -82,6 +82,91 @@ class TestAdapterBasics:
         assert adapter._rows[-1][0] == 9.0
 
 
+class RowStampingImputer(OfflineImputer):
+    """Stub whose fill values encode the matrix row they were recovered at.
+
+    A missing cell at row ``r``, column ``c`` becomes ``1000 * r + c``, so a
+    test can tell exactly which recovery row the adapter read its estimate
+    from.
+    """
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.last_matrix_len = 0
+
+    def recover(self, matrix: np.ndarray) -> np.ndarray:
+        self.calls += 1
+        self.last_matrix_len = len(matrix)
+        filled = matrix.copy()
+        for r, c in zip(*np.nonzero(np.isnan(filled))):
+            filled[r, c] = 1000.0 * r + c
+        return filled
+
+
+class TestStaleRecoveryAlignment:
+    """Between refreshes the adapter must carry the *most recent* recovered
+    row forward, aligned by stream tick — not by buffer position, which keeps
+    sliding once the bounded buffer is full."""
+
+    def test_carry_forward_across_buffer_wrap(self):
+        stub = RowStampingImputer()
+        window = 6
+        adapter = OnlineImputerAdapter(
+            stub, ["a", "b"], window_length=window, refresh_interval=4
+        )
+        # Fill the buffer completely with observed ticks.
+        for i in range(window):
+            adapter.observe({"a": float(i), "b": float(-i)})
+
+        # Tick 6: first missing value -> refresh.  The buffer is full, so the
+        # recovery's last row (index window - 1 = 5) holds the current tick.
+        first = adapter.observe({"a": NAN, "b": 100.0})
+        assert stub.calls == 1
+        assert first == {"a": 1000.0 * (window - 1) + 0}
+
+        # Ticks 7-9: no refresh; the buffer wraps (slides) on every append.
+        # The carried-forward estimate must stay the recovery's last row —
+        # the most recent recovered value of the affected column — and must
+        # not drift to another row as the buffer slides under the stale
+        # recovery.
+        for _ in range(3):
+            stale = adapter.observe({"a": NAN, "b": 100.0})
+            assert stub.calls == 1
+            assert stale == {"a": 1000.0 * (window - 1) + 0}
+
+        # Tick 10: refresh_interval exhausted -> fresh recovery of the
+        # current (wrapped) buffer; the estimate again comes from its last
+        # row.
+        refreshed = adapter.observe({"a": NAN, "b": 100.0})
+        assert stub.calls == 2
+        assert stub.last_matrix_len == window
+        assert refreshed == {"a": 1000.0 * (window - 1) + 0}
+
+    def test_carry_forward_while_buffer_still_growing(self):
+        """Same invariant before the window is full: the recovery computed on
+        a short buffer keeps being read at its own last row while new ticks
+        are appended past it."""
+        stub = RowStampingImputer()
+        adapter = OnlineImputerAdapter(
+            stub, ["a", "b"], window_length=10, refresh_interval=3
+        )
+        adapter.observe({"a": 0.0, "b": 0.0})
+        adapter.observe({"a": 1.0, "b": 1.0})
+
+        # Refresh with 3 buffered rows: recovery rows 0..2, current = row 2.
+        first = adapter.observe({"a": NAN, "b": 2.0})
+        assert stub.calls == 1 and stub.last_matrix_len == 3
+        assert first == {"a": 1000.0 * 2 + 0}
+
+        # Buffer grows to 4 and 5 rows, recovery is stale (3 rows): the
+        # estimate must still come from the stale recovery's last row (2),
+        # not from an index computed off the grown buffer length.
+        for _ in range(2):
+            stale = adapter.observe({"a": NAN, "b": 2.0})
+            assert stub.calls == 1
+            assert stale == {"a": 1000.0 * 2 + 0}
+
+
 class TestAdapterWithRealImputers:
     def test_cd_adapter_tracks_a_correlated_gap(self):
         t = np.arange(400, dtype=float)

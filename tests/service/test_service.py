@@ -1,0 +1,132 @@
+"""Tests for the multi-session :class:`ImputationService`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ImputationService, ImputationSession
+from repro.exceptions import ServiceError
+
+NAN = float("nan")
+
+
+def _make_service() -> ImputationService:
+    service = ImputationService()
+    service.create_session("north", method="locf", series_names=["n1", "n2"])
+    service.create_session("south", method="mean", series_names=["s1", "s2"])
+    return service
+
+
+class TestSessionLifecycle:
+    def test_create_and_lookup(self):
+        service = _make_service()
+        assert service.session_ids == ["north", "south"]
+        assert "north" in service and len(service) == 2
+        assert list(service) == ["north", "south"]
+        assert service.session("north").method == "locf"
+
+    def test_duplicate_session_id_is_rejected(self):
+        service = _make_service()
+        with pytest.raises(ServiceError, match="already exists"):
+            service.create_session("north", method="locf", series_names=["x"])
+
+    def test_unknown_session_id_lists_active_sessions(self):
+        service = _make_service()
+        with pytest.raises(ServiceError, match="north"):
+            service.push("west", {"x": 1.0})
+
+    def test_close_session_removes_and_returns_it(self):
+        service = _make_service()
+        session = service.close_session("north")
+        assert isinstance(session, ImputationSession)
+        assert "north" not in service
+        with pytest.raises(ServiceError):
+            service.session("north")
+
+    def test_add_session_registers_external_instance(self):
+        service = ImputationService()
+        session = ImputationSession("locf", series_names=["a"])
+        service.add_session("ext", session)
+        assert service.session("ext") is session
+        with pytest.raises(ServiceError):
+            service.add_session("ext", session)
+
+
+class TestRouting:
+    def test_records_are_routed_to_their_session(self):
+        service = _make_service()
+        service.push("north", {"n1": 1.0, "n2": 2.0})
+        service.push("south", {"s1": 10.0, "s2": 20.0})
+
+        north = service.push("north", {"n1": NAN, "n2": 3.0})
+        south = service.push("south", {"s1": NAN, "s2": 30.0})
+        assert north[0]["n1"].value == 1.0       # LOCF carries 1.0 forward
+        assert south[0]["s1"].value == 10.0      # running mean of {10.0}
+
+    def test_sessions_are_isolated(self):
+        service = _make_service()
+        service.push("north", {"n1": 4.0, "n2": 0.0})
+        # Pushing to "south" must not disturb "north"'s state.
+        for value in (1.0, 2.0, 3.0):
+            service.push("south", {"s1": value, "s2": value})
+        result = service.push("north", {"n1": NAN, "n2": 0.0})
+        assert result[0]["n1"].value == 4.0
+
+    def test_push_block_routes_to_the_session(self):
+        service = _make_service()
+        block = np.array([[1.0, 2.0], [NAN, 3.0]])
+        results = service.push_block("north", block)
+        assert len(results) == 1
+        assert results[0]["n1"].value == 1.0
+
+    def test_prime_routes_to_the_session(self):
+        service = ImputationService()
+        service.create_session(
+            "g", method="tkcm", series_names=["a", "b", "c"],
+            window_length=120, pattern_length=6, num_anchors=3,
+            num_references=1, reference_rankings={"a": ["b", "c"]},
+        )
+        t = np.arange(240, dtype=float)
+        history = {
+            "a": np.sin(2 * np.pi * t[:120] / 24),
+            "b": np.sin(2 * np.pi * (t[:120] + 3) / 24),
+            "c": np.sin(2 * np.pi * (t[:120] + 5) / 24),
+        }
+        service.prime("g", history)
+        assert service.session("g").ticks_seen == 120
+
+
+class TestServiceCheckpointing:
+    def test_snapshot_restore_single_session(self):
+        service = _make_service()
+        service.push("north", {"n1": 9.0, "n2": 1.0})
+        blob = service.snapshot("north")
+
+        other = ImputationService()
+        other.restore("north", blob)
+        result = other.push("north", {"n1": NAN, "n2": 1.0})
+        assert result[0]["n1"].value == 9.0
+
+    def test_snapshot_all_and_restore_all_migrate_every_session(self):
+        service = _make_service()
+        service.push("north", {"n1": 5.0, "n2": 1.0})
+        service.push("south", {"s1": 7.0, "s2": 1.0})
+        blobs = service.snapshot_all()
+        assert set(blobs) == {"north", "south"}
+
+        migrated = ImputationService()
+        migrated.restore_all(blobs)
+        assert migrated.session_ids == ["north", "south"]
+        assert migrated.push("north", {"n1": NAN, "n2": 1.0})[0]["n1"].value == 5.0
+        assert migrated.push("south", {"s1": NAN, "s2": 1.0})[0]["s1"].value == 7.0
+
+    def test_restore_replaces_an_existing_session(self):
+        service = _make_service()
+        service.push("north", {"n1": 3.0, "n2": 1.0})
+        blob = service.snapshot("north")
+        service.push("north", {"n1": 99.0, "n2": 1.0})
+
+        service.restore("north", blob)   # roll back to the checkpoint
+        result = service.push("north", {"n1": NAN, "n2": 1.0})
+        assert result[0]["n1"].value == 3.0

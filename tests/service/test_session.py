@@ -1,0 +1,294 @@
+"""Tests for the push-based :class:`ImputationSession`.
+
+The centrepiece is checkpoint parity (in the style of the batch/tick parity
+suite in ``tests/streams/test_batch_engine.py``): a session that is
+snapshotted mid-stream, discarded, and restored from the blob must produce
+**bit-identical** remaining imputations to a session that was never
+interrupted — for TKCM and for baselines driven through the default
+tick-loop ``observe_batch`` fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ImputationSession, TickResult
+from repro.exceptions import ConfigurationError, ServiceError
+
+NAMES = ["s0", "s1", "s2", "s3"]
+
+TKCM_PARAMS = dict(
+    window_length=600, pattern_length=24, num_anchors=4, num_references=2,
+    reference_rankings={"s0": ["s1", "s2", "s3"]},
+)
+
+
+def _matrix(num_ticks: int = 1200, gap=(700, 900)) -> np.ndarray:
+    """Four correlated noisy sines; the target ``s0`` has one long gap."""
+    rng = np.random.default_rng(42)
+    t = np.arange(num_ticks, dtype=float)
+    columns = []
+    for i, shift in enumerate([0, 11, 23, 41]):
+        columns.append(
+            (1.0 + 0.1 * i) * np.sin(2 * np.pi * (t + shift) / 96)
+            + 0.05 * rng.standard_normal(num_ticks)
+        )
+    matrix = np.stack(columns, axis=1)
+    matrix[gap[0]: gap[1], 0] = np.nan
+    return matrix
+
+
+def _flatten(results) -> dict:
+    """``{(tick, series): value}`` over a list of TickResults."""
+    return {
+        (tick.index, name): tick[name].value
+        for tick in results
+        for name in tick
+    }
+
+
+class MinimalObserveOnlyImputer:
+    """Duck-typed imputer with *only* ``observe`` — no ``observe_batch``,
+    ``prime`` or ``reset``.  Blocks pushed at it exercise the session's own
+    tick-loop fallback (the registered imputers all inherit the base-class
+    ``observe_batch``, so they never reach it)."""
+
+    def __init__(self) -> None:
+        self.last: dict = {}
+
+    def observe(self, values):
+        results = {
+            name: self.last[name]
+            for name, value in values.items()
+            if np.isnan(value) and name in self.last
+        }
+        self.last.update(
+            {name: value for name, value in values.items() if not np.isnan(value)}
+        )
+        return results
+
+
+SESSION_FACTORIES = {
+    "tkcm": lambda: ImputationSession("tkcm", series_names=NAMES, **TKCM_PARAMS),
+    # LOCF has no *native* observe_batch: blocks run through the base-class
+    # tick-loop default rather than a vectorised path.
+    "locf": lambda: ImputationSession("locf", series_names=NAMES),
+    "spirit": lambda: ImputationSession(
+        "spirit", series_names=NAMES, num_hidden=2, ar_order=6
+    ),
+    # Observe-only duck type: push_block and prime use the session's own
+    # tick-loop fallbacks.
+    "observe-only": lambda: ImputationSession(
+        MinimalObserveOnlyImputer(), series_names=NAMES
+    ),
+}
+
+
+class TestPush:
+    def test_push_returns_empty_list_for_complete_ticks(self):
+        session = ImputationSession("locf", series_names=["a", "b"])
+        assert session.push({"a": 1.0, "b": 2.0}) == []
+        assert session.ticks_seen == 1
+
+    def test_push_returns_one_tick_result_per_imputing_tick(self):
+        session = ImputationSession("locf", series_names=["a", "b"])
+        session.push({"a": 5.0, "b": 2.0})
+        results = session.push({"a": float("nan"), "b": 3.0})
+        assert len(results) == 1
+        (result,) = results
+        assert isinstance(result, TickResult)
+        assert result.index == 1
+        assert result["a"].value == 5.0
+        assert result["a"].method == "online"
+        assert result.values_by_series() == {"a": 5.0}
+
+    def test_positional_push_aligns_with_series_names(self):
+        session = ImputationSession("locf", series_names=["a", "b"])
+        session.push([7.0, 1.0])
+        results = session.push([float("nan"), 2.0])
+        assert results[0]["a"].value == 7.0
+
+    def test_positional_push_with_wrong_width_raises(self):
+        session = ImputationSession("locf", series_names=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            session.push([1.0, 2.0, 3.0])
+
+    def test_unknown_series_key_is_rejected(self):
+        """A typo'd key must error instead of silently registering a phantom
+        series and dropping the real measurement."""
+        session = ImputationSession("locf", series_names=["a", "temp"])
+        with pytest.raises(ConfigurationError, match="temp "):
+            session.push({"a": 1.0, "temp ": 21.5})
+        assert session.ticks_seen == 0
+
+    def test_warmup_suppresses_early_results(self):
+        session = ImputationSession("locf", series_names=["a"], warmup_ticks=3)
+        session.push({"a": 1.0})
+        assert session.in_warmup
+        assert session.push({"a": float("nan")}) == []   # tick 1 < warmup
+        assert session.push({"a": float("nan")}) == []   # tick 2 < warmup
+        results = session.push({"a": float("nan")})      # tick 3 >= warmup
+        assert not session.in_warmup
+        assert len(results) == 1 and results[0].index == 3
+
+    def test_tkcm_results_carry_rich_detail(self):
+        matrix = _matrix()
+        session = SESSION_FACTORIES["tkcm"]()
+        results = session.push_block(matrix)
+        estimate = results[0]["s0"]
+        assert estimate.method in ("tkcm", "fallback")
+        tkcm_estimates = [
+            tick["s0"] for tick in results if tick["s0"].method == "tkcm"
+        ]
+        assert tkcm_estimates, "expected at least one genuine TKCM imputation"
+        detail = tkcm_estimates[0].detail
+        assert detail is not None
+        assert len(detail.anchor_indices) > 0
+
+    def test_constructing_from_method_name_requires_series_names(self):
+        with pytest.raises(ConfigurationError):
+            ImputationSession("locf")
+
+    def test_params_with_imputer_instance_are_rejected(self):
+        from repro import make_imputer
+
+        imputer = make_imputer("locf", series_names=["a"])
+        with pytest.raises(ConfigurationError):
+            ImputationSession(imputer, window=3)
+
+
+class TestPushBlock:
+    @pytest.mark.parametrize("kind", ["tkcm", "observe-only"])
+    def test_block_and_tick_pushes_are_bit_identical(self, kind):
+        """Parity holds both for a vectorised observe_batch (TKCM) and for
+        the session's own tick-loop fallback (observe-only duck type)."""
+        matrix = _matrix()
+        tick_session = SESSION_FACTORIES[kind]()
+        tick_results = []
+        for row in matrix:
+            tick_results.extend(tick_session.push(row))
+        block_session = SESSION_FACTORIES[kind]()
+        block_results = block_session.push_block(matrix)
+        assert _flatten(block_results) == _flatten(tick_results)
+        assert tick_session.ticks_seen == block_session.ticks_seen == len(matrix)
+        assert _flatten(block_results), "expected imputations over the gap"
+
+    def test_observe_only_fallback_respects_warmup(self):
+        session = ImputationSession(
+            MinimalObserveOnlyImputer(), series_names=["a", "b"], warmup_ticks=2
+        )
+        block = np.array([[1.0, 1.0], [np.nan, 1.0], [np.nan, 1.0]])
+        results = session.push_block(block)
+        assert [r.index for r in results] == [2]
+        assert session.ticks_seen == 3
+
+    def test_block_of_row_mappings_is_accepted(self):
+        session = ImputationSession("locf", series_names=["a", "b"])
+        results = session.push_block([
+            {"a": 1.0, "b": 2.0},
+            {"a": float("nan"), "b": 3.0},
+        ])
+        assert len(results) == 1
+        assert results[0].index == 1
+        assert results[0]["a"].value == 1.0
+
+    def test_empty_block_is_a_noop(self):
+        session = ImputationSession("locf", series_names=["a", "b"])
+        assert session.push_block(np.empty((0, 2))) == []
+        assert session.ticks_seen == 0
+
+    def test_block_with_wrong_width_raises(self):
+        session = ImputationSession("locf", series_names=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            session.push_block(np.zeros((4, 3)))
+
+
+class TestPriming:
+    def test_prime_advances_tick_accounting(self):
+        matrix = _matrix()
+        session = SESSION_FACTORIES["tkcm"]()
+        session.prime({name: matrix[:600, i] for i, name in enumerate(NAMES)})
+        assert session.ticks_seen == 600
+        results = session.push_block(matrix[600:])
+        assert results[0].index == 700  # absolute stream tick of the gap start
+
+    def test_ragged_prime_histories_are_rejected(self):
+        session = ImputationSession("locf", series_names=["a", "b"])
+        with pytest.raises(ConfigurationError, match="same length"):
+            session.prime({"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_primed_and_streamed_histories_impute_identically(self):
+        matrix = _matrix()
+        primed = SESSION_FACTORIES["tkcm"]()
+        primed.prime({name: matrix[:600, i] for i, name in enumerate(NAMES)})
+        primed_results = primed.push_block(matrix[600:])
+
+        streamed = SESSION_FACTORIES["tkcm"]()
+        streamed_results = streamed.push_block(matrix)
+        assert _flatten(primed_results) == _flatten(streamed_results)
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("kind", sorted(SESSION_FACTORIES))
+    @pytest.mark.parametrize("cut", [650, 750, 811])
+    def test_mid_stream_round_trip_is_bit_identical(self, kind, cut):
+        """Snapshot mid-stream (before or inside the gap), restore, continue:
+        the remaining imputations must match an uninterrupted run exactly."""
+        matrix = _matrix()
+        uninterrupted = SESSION_FACTORIES[kind]()
+        expected = uninterrupted.push_block(matrix)
+
+        session = SESSION_FACTORIES[kind]()
+        head = session.push_block(matrix[:cut])
+        blob = session.snapshot()
+        del session
+        restored = ImputationSession.restore(blob)
+        tail = restored.push_block(matrix[cut:])
+
+        assert restored.ticks_seen == len(matrix)
+        assert _flatten(head) | _flatten(tail) == _flatten(expected)
+
+    def test_round_trip_through_tick_pushes(self):
+        """Parity also holds when the restored session is driven tick by
+        tick instead of in blocks."""
+        matrix = _matrix()
+        expected = _flatten(SESSION_FACTORIES["tkcm"]().push_block(matrix))
+
+        session = SESSION_FACTORIES["tkcm"]()
+        collected = _flatten(session.push_block(matrix[:760]))
+        restored = ImputationSession.restore(session.snapshot())
+        for row in matrix[760:]:
+            collected |= _flatten(restored.push(row))
+        assert collected == expected
+
+    def test_snapshot_preserves_method_and_configuration(self):
+        session = ImputationSession(
+            "locf", series_names=["a", "b"], warmup_ticks=5
+        )
+        restored = ImputationSession.restore(session.snapshot())
+        assert restored.method == "locf"
+        assert restored.series_names == ["a", "b"]
+        assert restored.warmup_ticks == 5
+
+    def test_restoring_garbage_raises_service_error(self):
+        with pytest.raises(ServiceError):
+            ImputationSession.restore(b"not a snapshot")
+
+    def test_restoring_wrong_version_raises_service_error(self):
+        import pickle
+
+        blob = pickle.dumps({"version": 999, "imputer": object()})
+        with pytest.raises(ServiceError, match="version"):
+            ImputationSession.restore(blob)
+
+
+class TestReset:
+    def test_reset_forgets_streamed_data(self):
+        matrix = _matrix()
+        session = SESSION_FACTORIES["tkcm"]()
+        first = session.push_block(matrix)
+        session.reset()
+        assert session.ticks_seen == 0
+        second = session.push_block(matrix)
+        assert _flatten(first) == _flatten(second)

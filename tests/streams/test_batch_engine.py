@@ -95,11 +95,12 @@ class TestBatchTickParity:
         batch = StreamingImputationEngine(_tkcm_factory()).run_batch(
             stream, batch_size=256
         )
-        assert set(batch.details) == set(tick.details)
-        for name in tick.details:
-            assert sorted(batch.details[name]) == sorted(tick.details[name])
-            for index, expected in tick.details[name].items():
-                got = batch.details[name][index]
+        tick_details, batch_details = tick.details, batch.details
+        assert set(batch_details) == set(tick_details)
+        for name in tick_details:
+            assert sorted(batch_details[name]) == sorted(tick_details[name])
+            for index, expected in tick_details[name].items():
+                got = batch_details[name][index]
                 assert got.method == expected.method
                 assert got.value == expected.value
                 assert got.anchor_indices == expected.anchor_indices
@@ -139,9 +140,10 @@ class TestBatchTickParity:
         tick = StreamingImputationEngine(_tkcm_factory()).run(stream)
         batch = StreamingImputationEngine(_tkcm_factory()).run_batch(stream, batch_size=97)
         assert batch.imputed == tick.imputed
-        for name in tick.details:
-            for index, expected in tick.details[name].items():
-                got = batch.details[name][index]
+        tick_details, batch_details = tick.details, batch.details
+        for name in tick_details:
+            for index, expected in tick_details[name].items():
+                got = batch_details[name][index]
                 assert got.anchor_indices == expected.anchor_indices
                 assert got.dissimilarities == expected.dissimilarities
 

@@ -56,6 +56,16 @@ class TestListDatasets:
             assert name in output
 
 
+class TestListMethods:
+    def test_lists_every_registered_method(self, capsys):
+        from repro.registry import list_methods
+
+        assert main(["list-methods"]) == 0
+        output = capsys.readouterr().out
+        for name in list_methods():
+            assert name in output
+
+
 class TestGenerate:
     def test_generates_csv(self, tmp_path, capsys):
         output = tmp_path / "chlorine.csv"
@@ -109,6 +119,44 @@ class TestImpute:
         assert code == 0
         recovered = dataset_from_csv(output_path)
         assert not np.isnan(recovered.values("s")[300:330]).any()
+
+    @pytest.mark.parametrize("method", ["spirit", "locf", "knn", "muscles"])
+    def test_any_registered_method_imputes_end_to_end(self, small_csv, tmp_path,
+                                                      capsys, method):
+        input_path, truth = small_csv
+        output_path = tmp_path / f"{method}.csv"
+        code = main([
+            "impute", "-i", str(input_path), "-o", str(output_path),
+            "--target", "s", "--method", method, "--window", "200",
+        ])
+        assert code == 0
+        assert f"with {method}" in capsys.readouterr().out
+        recovered = dataset_from_csv(output_path)
+        block = recovered.values("s")[300:330]
+        assert not np.isnan(block).any()
+
+    def test_unknown_method_is_rejected_by_the_parser(self, small_csv, tmp_path):
+        input_path, _ = small_csv
+        with pytest.raises(SystemExit):
+            main([
+                "impute", "-i", str(input_path), "-o", str(tmp_path / "x.csv"),
+                "--target", "s", "--method", "nope",
+            ])
+
+    def test_no_batch_matches_batched_output(self, small_csv, tmp_path):
+        input_path, _ = small_csv
+        batched_path = tmp_path / "batched.csv"
+        tick_path = tmp_path / "tick.csv"
+        common = [
+            "impute", "-i", str(input_path), "--target", "s",
+            "--references", "r1", "r2", "--window", "200",
+            "--pattern-length", "8", "--anchors", "3", "--num-references", "2",
+        ]
+        assert main(common + ["-o", str(batched_path)]) == 0
+        assert main(common + ["-o", str(tick_path), "--no-batch"]) == 0
+        batched = dataset_from_csv(batched_path).values("s")
+        tick = dataset_from_csv(tick_path).values("s")
+        assert np.array_equal(batched, tick, equal_nan=True)
 
 
 class TestExperimentCommand:

@@ -16,10 +16,16 @@ import repro.core as core
 import repro.datasets as datasets
 import repro.evaluation as evaluation
 import repro.metrics as metrics
+import repro.registry as registry
+import repro.results as results
+import repro.service as service
 import repro.streams as streams
 
 
-PACKAGES = [repro, core, streams, datasets, baselines, metrics, analysis, evaluation]
+PACKAGES = [
+    repro, core, streams, datasets, baselines, metrics, analysis, evaluation,
+    registry, results, service,
+]
 
 
 class TestExports:
@@ -47,6 +53,13 @@ class TestExports:
         assert repro.TKCMImputer is core.TKCMImputer
         assert repro.TKCMConfig is not None
         assert issubclass(repro.ConfigurationError, repro.ReproError)
+
+    def test_service_layer_convenience_imports(self):
+        assert repro.ImputationSession is service.ImputationSession
+        assert repro.ImputationService is service.ImputationService
+        assert repro.make_imputer is registry.make_imputer
+        assert repro.TickResult is results.TickResult
+        assert issubclass(repro.ServiceError, repro.ReproError)
 
     def test_experiment_functions_cover_every_figure(self):
         expected = {

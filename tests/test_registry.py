@@ -1,0 +1,159 @@
+"""Tests for the string-keyed imputer registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    KnnImputer,
+    LinearInterpolationImputer,
+    LocfImputer,
+    MeanImputer,
+    MovingAverageImputer,
+    MusclesImputer,
+    OnlineImputerAdapter,
+    SpiritImputer,
+    SplineInterpolationImputer,
+)
+from repro.baselines.centroid import CentroidDecompositionImputer
+from repro.baselines.svd import IterativeSVDImputer
+from repro.core import TKCMImputer
+from repro.exceptions import ConfigurationError
+from repro.registry import (
+    DEFAULT_REGISTRY,
+    ImputerRegistry,
+    list_methods,
+    make_imputer,
+)
+
+NAMES = ["a", "b", "c"]
+
+EXPECTED_TYPES = {
+    "tkcm": TKCMImputer,
+    "spirit": SpiritImputer,
+    "muscles": MusclesImputer,
+    "cd": OnlineImputerAdapter,
+    "svd": OnlineImputerAdapter,
+    "knn": KnnImputer,
+    "mean": MeanImputer,
+    "locf": LocfImputer,
+    "moving-average": MovingAverageImputer,
+    "linear": LinearInterpolationImputer,
+    "spline": SplineInterpolationImputer,
+}
+
+
+class TestDefaultRegistrations:
+    def test_all_paper_methods_are_registered(self):
+        assert set(EXPECTED_TYPES) <= set(list_methods())
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_TYPES))
+    def test_make_imputer_constructs_every_registered_method(self, name):
+        imputer = make_imputer(name, series_names=NAMES)
+        assert isinstance(imputer, EXPECTED_TYPES[name])
+        assert list(imputer.series_names) == NAMES
+
+    def test_every_constructed_imputer_speaks_the_streaming_protocol(self):
+        for name in list_methods():
+            imputer = make_imputer(name, series_names=NAMES)
+            assert callable(imputer.observe)
+            assert callable(imputer.observe_batch)
+
+    def test_offline_methods_are_wrapped_in_the_adapter(self):
+        cd = make_imputer("cd", series_names=NAMES, window_length=50)
+        svd = make_imputer("svd", series_names=NAMES, window_length=50)
+        assert isinstance(cd.imputer, CentroidDecompositionImputer)
+        assert isinstance(svd.imputer, IterativeSVDImputer)
+        assert cd.window_length == svd.window_length == 50
+
+    def test_tkcm_config_params_are_forwarded(self):
+        imputer = make_imputer(
+            "tkcm",
+            series_names=NAMES,
+            window_length=300,
+            pattern_length=8,
+            num_anchors=3,
+            num_references=2,
+            reference_rankings={"a": ["b", "c"]},
+        )
+        assert imputer.config.window_length == 300
+        assert imputer.config.pattern_length == 8
+        assert imputer.config.num_anchors == 3
+
+    def test_name_lookup_is_case_and_separator_insensitive(self):
+        assert isinstance(make_imputer("TKCM", series_names=NAMES), TKCMImputer)
+        assert isinstance(
+            make_imputer("Moving_Average", series_names=NAMES), MovingAverageImputer
+        )
+
+    def test_unknown_method_lists_available_names(self):
+        with pytest.raises(ConfigurationError, match="available:.*tkcm"):
+            make_imputer("nope", series_names=NAMES)
+
+    def test_unknown_parameter_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="spirit"):
+            make_imputer("spirit", series_names=NAMES, bogus=1)
+
+    def test_constructed_imputer_actually_imputes(self):
+        imputer = make_imputer("locf", series_names=["a", "b"])
+        imputer.observe({"a": 1.0, "b": 2.0})
+        results = imputer.observe({"a": float("nan"), "b": 3.0})
+        assert results["a"] == 1.0
+
+
+class TestRegistryMechanics:
+    def test_register_decorator_and_aliases(self):
+        registry = ImputerRegistry()
+
+        @registry.register("stub", "stub-alias")
+        def make_stub(series_names, *, marker=0):
+            return ("stub", list(series_names), marker)
+
+        assert registry.names() == ["stub", "stub-alias"]
+        assert "STUB" in registry
+        assert registry.make("stub-alias", NAMES, marker=7) == ("stub", NAMES, 7)
+
+    def test_duplicate_registration_is_rejected(self):
+        registry = ImputerRegistry()
+
+        @registry.register("stub")
+        def make_stub(series_names):
+            return None
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+
+            @registry.register("stub")
+            def make_stub_again(series_names):
+                return None
+
+    def test_empty_name_is_rejected(self):
+        registry = ImputerRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.make("", NAMES)
+
+    def test_contains_returns_false_for_blank_names(self):
+        assert "" not in DEFAULT_REGISTRY
+        assert "   " not in DEFAULT_REGISTRY
+
+    def test_default_registry_is_the_module_level_surface(self):
+        assert set(list_methods()) == set(DEFAULT_REGISTRY.names())
+        assert len(DEFAULT_REGISTRY) == len(list_methods())
+
+
+class TestRegistryEndToEnd:
+    def test_registry_built_imputers_run_under_the_engine(self):
+        from repro.streams import MultiSeriesStream, StreamingImputationEngine
+
+        t = np.arange(500, dtype=float)
+        data = {
+            "a": np.sin(2 * np.pi * t / 50),
+            "b": np.sin(2 * np.pi * (t + 7) / 50),
+            "c": np.sin(2 * np.pi * (t + 13) / 50),
+        }
+        data["a"][300:330] = np.nan
+        stream = MultiSeriesStream(data, sample_period_minutes=5.0)
+        for method in ("locf", "knn", "spirit"):
+            imputer = make_imputer(method, series_names=list(data))
+            run = StreamingImputationEngine(imputer).run(stream)
+            assert set(run.estimates.get("a", {})) == set(range(300, 330))

@@ -1,0 +1,84 @@
+"""Tests for the unified SeriesEstimate/TickResult model and its engine views."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ImputationResult, SeriesEstimate, TickResult
+from repro.streams.engine import StreamRunResult
+
+
+class TestSeriesEstimate:
+    def test_from_float_output(self):
+        estimate = SeriesEstimate.from_output("a", 3.5)
+        assert estimate.series == "a"
+        assert estimate.value == 3.5
+        assert estimate.method == "online"
+        assert estimate.detail is None
+
+    def test_from_imputation_result(self):
+        detail = ImputationResult(
+            series="a", value=2.0, method="tkcm",
+            anchor_indices=(1, 5), anchor_values=(1.9, 2.1),
+            dissimilarities=(0.1, 0.2), epsilon=0.2,
+        )
+        estimate = SeriesEstimate.from_output("a", detail)
+        assert estimate.value == 2.0
+        assert estimate.method == "tkcm"
+        assert estimate.detail is detail
+
+    def test_from_existing_estimate_is_passthrough(self):
+        original = SeriesEstimate("a", 1.0)
+        assert SeriesEstimate.from_output("a", original) is original
+
+
+class TestTickResult:
+    def test_mapping_behaviour(self):
+        tick = TickResult.from_outputs(7, {"a": 1.0, "b": 2.0})
+        assert tick.index == 7
+        assert len(tick) == 2 and bool(tick)
+        assert "a" in tick and set(tick) == {"a", "b"}
+        assert tick["b"].value == 2.0
+        assert tick.values_by_series() == {"a": 1.0, "b": 2.0}
+
+    def test_empty_tick_is_falsy(self):
+        assert not TickResult.from_outputs(0, {})
+
+
+class TestStreamRunResultViews:
+    def _result(self) -> StreamRunResult:
+        result = StreamRunResult()
+        detail = ImputationResult(series="a", value=1.5, method="tkcm")
+        result.record(10, {"a": detail})
+        result.record(11, {"a": 2.5, "b": 7.0})
+        return result
+
+    def test_imputed_view_matches_estimates(self):
+        result = self._result()
+        assert result.imputed == {"a": {10: 1.5, 11: 2.5}, "b": {11: 7.0}}
+        assert result.imputed_count() == 3
+
+    def test_details_view_only_contains_rich_results(self):
+        result = self._result()
+        assert set(result.details) == {"a"}
+        assert list(result.details["a"]) == [10]
+        assert result.details["a"][10].method == "tkcm"
+
+    def test_tick_results_regroup_by_tick(self):
+        ticks = self._result().tick_results()
+        assert [tick.index for tick in ticks] == [10, 11]
+        assert set(ticks[1]) == {"a", "b"}
+        assert ticks[0]["a"].detail is not None
+
+    def test_imputed_series_view(self):
+        values = self._result().imputed_series("a", 12)
+        assert values[10] == 1.5 and values[11] == 2.5
+        assert np.isnan(values[:10]).all()
+
+    def test_record_ignores_empty_outputs(self):
+        result = StreamRunResult()
+        result.record(0, {})
+        result.record(1, None)
+        assert result.estimates == {}
+        assert result.imputed == {}
+        assert result.details == {}
