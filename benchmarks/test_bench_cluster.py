@@ -1,0 +1,120 @@
+"""Benchmark: single-process serving vs the sharded multi-process cluster.
+
+Workload: the fig17-style multi-station serving scenario from
+:mod:`repro.cluster.bench` — eight independent TKCM stations (benchmark-scale
+configuration: one-week window, l = 36, k = 5, d = 3), each primed with a
+week of history and then streamed one day of records interleaved round-robin,
+with every station's target series dark for most of that day (the paper's
+continuous-imputation setting, fleet-wide).
+
+Three serving modes are timed on the identical record stream:
+
+* ``single-push`` — one in-process ``ImputationService``, one ``push()``
+  round trip per record (the pre-cluster baseline);
+* ``single-blocked`` — the same service fed per-session micro-batches,
+  isolating the batching contribution;
+* ``cluster-Nw`` — a ``ClusterCoordinator`` with N worker processes fed
+  through the pipelined ``push_many`` path.
+
+All modes must produce **bit-identical** estimates.  The cluster's speedup
+comes from coalescing pipelined pushes onto the vectorised block path once
+per worker loop tick, plus true multi-process parallelism where the machine
+has the cores for it (``cpu_count`` is recorded alongside the timings so a
+single-core CI number and a 16-core workstation number can be read side by
+side).
+
+The record is written to ``BENCH_cluster.json`` at the repository root (and
+mirrored into ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.cluster.bench import build_multistation_workload, serve_bench_record
+from repro.evaluation.report import format_table
+
+from .conftest import RESULTS_DIR, emit
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Serving workload at benchmark scale.
+NUM_STATIONS = 8
+NUM_SERIES = 4
+WINDOW_DAYS = 7
+STREAM_DAYS = 1.0
+MISSING_DAYS = 0.75
+WORKER_COUNTS = (2, 4)
+
+#: The tentpole target at 4 workers, and the floor the test enforces (the
+#: acceptance bar): the cluster must be ≥ 1.8x the single-process service on
+#: this workload even on a single-core runner, where all of the win comes
+#: from per-tick batch coalescing rather than parallelism.
+TARGET_SPEEDUP = 3.0
+ASSERTED_SPEEDUP = 1.8
+
+
+def test_bench_cluster(run_once):
+    workload = build_multistation_workload(
+        num_stations=NUM_STATIONS,
+        num_series=NUM_SERIES,
+        window_days=WINDOW_DAYS,
+        stream_days=STREAM_DAYS,
+        missing_days=MISSING_DAYS,
+        seed=2017,
+    )
+
+    record = run_once(serve_bench_record, workload, worker_counts=WORKER_COUNTS)
+    record["target_speedup"] = TARGET_SPEEDUP
+    record["asserted_speedup"] = ASSERTED_SPEEDUP
+
+    assert record["single_blocked_identical"], (
+        "micro-batched single-process serving must reproduce the per-record "
+        "push results exactly"
+    )
+    for entry in record["clusters"].values():
+        assert entry["identical"], (
+            f"{entry['workers']}-worker cluster outputs diverged from the "
+            f"single-process service"
+        )
+        assert entry["ticks_imputed"] > 0
+
+    payload = json.dumps(record, indent=2) + "\n"
+    (REPO_ROOT / "BENCH_cluster.json").write_text(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_cluster.json").write_text(payload)
+
+    rows = [
+        {
+            "mode": "single-push",
+            "seconds": record["single_push_seconds"],
+            "records_per_s": record["single_push_records_per_s"],
+            "speedup": 1.0,
+        },
+        {
+            "mode": "single-blocked",
+            "seconds": record["single_blocked_seconds"],
+            "records_per_s": record["single_blocked_records_per_s"],
+            "speedup": record["single_push_seconds"] / record["single_blocked_seconds"],
+        },
+    ] + [
+        {
+            "mode": f"cluster-{entry['workers']}w",
+            "seconds": entry["seconds"],
+            "records_per_s": entry["records_per_s"],
+            "speedup": entry["speedup_vs_single_push"],
+        }
+        for entry in record["clusters"].values()
+    ]
+    emit(
+        "BENCH cluster — single-process service vs sharded cluster",
+        format_table(rows),
+    )
+
+    four = record["clusters"]["4"]
+    assert four["speedup_vs_single_push"] >= ASSERTED_SPEEDUP, (
+        f"4-worker cluster is only {four['speedup_vs_single_push']:.2f}x the "
+        f"single-process service (target {TARGET_SPEEDUP}x, floor "
+        f"{ASSERTED_SPEEDUP}x)"
+    )

@@ -23,6 +23,11 @@ The library is organised in layers:
   :class:`ImputationSession` (stateful push API with exact
   ``snapshot()`` / ``restore()`` checkpointing) and
   :class:`ImputationService` (many named sessions, records routed by id).
+* :mod:`repro.cluster` — the horizontally scaled serving tier:
+  :class:`ClusterCoordinator` shards sessions across worker processes
+  (:class:`ShardRouter` rendezvous placement, per-tick push batching in the
+  workers, live drain/rebalance via snapshots, per-worker telemetry) behind
+  the same push/snapshot surface as the single-process service.
 
 Quickstart::
 
@@ -52,9 +57,11 @@ Or, push-based, through the service layer (any registered method)::
         print(result.values_by_series())
 """
 
+from .cluster import ClusterCoordinator, ShardRouter
 from .config import DEFAULT_BATCH_SIZE, ExperimentConfig, StreamConfig, TKCMConfig
 from .core import ImputationResult, TKCMImputer
 from .exceptions import (
+    ClusterError,
     ConfigurationError,
     DatasetError,
     ImputationError,
@@ -69,7 +76,7 @@ from .registry import ImputerRegistry, list_methods, make_imputer, register
 from .results import SeriesEstimate, TickResult
 from .service import ImputationService, ImputationSession
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "TKCMConfig",
@@ -84,6 +91,8 @@ __all__ = [
     "list_methods",
     "ImputationSession",
     "ImputationService",
+    "ClusterCoordinator",
+    "ShardRouter",
     "TickResult",
     "SeriesEstimate",
     "ReproError",
@@ -95,5 +104,6 @@ __all__ = [
     "ImputationError",
     "NotFittedError",
     "ServiceError",
+    "ClusterError",
     "__version__",
 ]

@@ -12,6 +12,9 @@ The CLI exposes the workflows a downstream user needs without writing Python:
   series.
 * ``tkcm-repro experiment <figure>`` — regenerate one of the paper's figures
   (fig04 ... fig17 or an ablation) and print its tables.
+* ``tkcm-repro serve-bench`` — benchmark the sharded serving cluster against
+  the single-process service on the multi-station workload and print the
+  throughput/speedup table (optionally ``--json`` the record).
 
 Streams are replayed through the batch execution path by default
 (:data:`~repro.config.DEFAULT_BATCH_SIZE` ticks per block); ``--no-batch``
@@ -130,6 +133,33 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=2017, help="experiment seed")
     _add_batch_arguments(experiment)
     experiment.set_defaults(handler=_cmd_experiment)
+
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="benchmark the sharded serving cluster against the "
+             "single-process service",
+    )
+    serve.add_argument("--workers", type=int, nargs="+", default=[2, 4],
+                       help="cluster sizes to benchmark (default: 2 4)")
+    serve.add_argument("--stations", type=int, default=4,
+                       help="independent sensor groups, one session each "
+                            "(default 4)")
+    serve.add_argument("--series", type=int, default=4,
+                       help="series per station (default 4)")
+    serve.add_argument("--window-days", type=int, default=7,
+                       help="priming history per station in days (default 7)")
+    serve.add_argument("--stream-days", type=float, default=2.0,
+                       help="streamed (timed) portion in days (default 2)")
+    serve.add_argument("--missing-days", type=float, default=1.5,
+                       help="outage length of each station's target series "
+                            "(default 1.5)")
+    serve.add_argument("--method", default="tkcm", choices=list_methods(),
+                       help="registered method served by every session "
+                            "(default: tkcm)")
+    serve.add_argument("--seed", type=int, default=2017, help="workload seed")
+    serve.add_argument("--json", dest="json_path", default=None,
+                       help="also write the benchmark record to this path")
+    serve.set_defaults(handler=_cmd_serve_bench)
 
     return parser
 
@@ -294,6 +324,65 @@ _EXPERIMENTS: Dict[str, Callable[[int, Optional[int]], None]] = {
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     _EXPERIMENTS[args.figure](args.seed, _batch_size_from(args))
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .cluster.bench import build_multistation_workload, serve_bench_record
+
+    workload = build_multistation_workload(
+        num_stations=args.stations,
+        num_series=args.series,
+        window_days=args.window_days,
+        stream_days=args.stream_days,
+        missing_days=args.missing_days,
+        seed=args.seed,
+        method=args.method,
+    )
+    record = serve_bench_record(workload, worker_counts=args.workers)
+
+    rows = [
+        {
+            "mode": "single-push",
+            "seconds": record["single_push_seconds"],
+            "records_per_s": record["single_push_records_per_s"],
+            "speedup": 1.0,
+            "identical": True,
+        },
+        {
+            "mode": "single-blocked",
+            "seconds": record["single_blocked_seconds"],
+            "records_per_s": record["single_blocked_records_per_s"],
+            "speedup": record["single_push_seconds"] / record["single_blocked_seconds"],
+            "identical": record["single_blocked_identical"],
+        },
+    ]
+    for entry in record["clusters"].values():
+        rows.append({
+            "mode": f"cluster-{entry['workers']}w",
+            "seconds": entry["seconds"],
+            "records_per_s": entry["records_per_s"],
+            "speedup": entry["speedup_vs_single_push"],
+            "identical": entry["identical"],
+        })
+    print(format_table(
+        rows,
+        title=f"serve-bench — {record['stations']} stations x "
+              f"{record['records'] // record['stations']} ticks, "
+              f"{record['method']} (cpu_count={record['cpu_count']})",
+    ))
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote benchmark record to {args.json_path}")
+    if not all(row["identical"] for row in rows):
+        raise ReproError(
+            "cluster outputs diverged from the single-process service — "
+            "this is a bug; please report it"
+        )
     return 0
 
 

@@ -1,0 +1,36 @@
+"""Cluster tier: shard the imputation service across worker processes.
+
+A single-process :class:`~repro.service.ImputationService` serves every
+session under one GIL; this package removes that ceiling by spreading
+sessions over N worker processes while keeping the service's push/snapshot
+surface and its bit-identical output guarantees:
+
+* :class:`~repro.cluster.router.ShardRouter` — deterministic session-to-shard
+  placement (rendezvous hashing, explicit shard map) with minimal-move drain
+  and resize plans.
+* :class:`~repro.cluster.worker.ClusterWorker` — one child process owning an
+  :class:`~repro.service.ImputationService` fleet, fed over a command pipe,
+  coalescing queued pushes into vectorised blocks once per loop tick.
+* :class:`~repro.cluster.coordinator.ClusterCoordinator` — the facade: the
+  same ``push`` / ``push_block`` / ``snapshot`` surface as the single-process
+  service, plus pipelined ingestion (``push_nowait`` / ``flush`` /
+  ``push_many``), live ``drain`` / ``rebalance`` built on the session
+  snapshot/restore primitive, and cluster-wide ``stats()``.
+* :mod:`~repro.cluster.telemetry` — per-worker serving counters (records
+  routed, ticks imputed, queue depth, push latency) and their aggregation.
+* :mod:`~repro.cluster.bench` — the shared multi-station serving workload
+  behind ``tkcm-repro serve-bench`` and ``benchmarks/test_bench_cluster.py``.
+"""
+
+from .coordinator import ClusterCoordinator
+from .router import ShardRouter
+from .telemetry import WorkerTelemetry, aggregate_stats
+from .worker import ClusterWorker
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterWorker",
+    "ShardRouter",
+    "WorkerTelemetry",
+    "aggregate_stats",
+]

@@ -1,0 +1,301 @@
+"""Shared multi-station serving workload for the cluster benchmarks.
+
+One definition of the fig17-style serving workload, used by both the
+``tkcm-repro serve-bench`` CLI subcommand and
+``benchmarks/test_bench_cluster.py``, so the CLI and the recorded
+``BENCH_cluster.json`` numbers always measure the same thing.
+
+The workload models a regional deployment: ``num_stations`` independent
+sensor groups (one session each, TKCM by default at the benchmark-scale
+Fig. 17 configuration), every group primed with ``window_days`` of history,
+then a per-record stream of ``stream_days`` interleaved round-robin across
+the groups — the arrival order an ingestion tier actually sees.  Each
+group's target series goes dark for a multi-hour block mid-stream, so the
+stream exercises the paper's continuous-imputation scenario on every
+station at once.
+
+Three ways of serving the identical stream are timed:
+
+* ``run_single_push`` — one in-process :class:`ImputationService`, one
+  ``push()`` per record: the pre-cluster baseline.
+* ``run_single_blocked`` — the same service fed through per-session
+  micro-batches, isolating how much of the cluster's win is batching alone.
+* ``run_cluster`` — a :class:`ClusterCoordinator` with N workers fed through
+  the pipelined ``push_many`` path.
+
+All three must produce bit-identical estimates (checked by
+:func:`flatten_results` equality, NaN-aware); the speedup of the cluster
+comes from per-tick batch coalescing onto the vectorised block path plus —
+when the machine has the cores for it — true multi-process parallelism.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SAMPLES_PER_DAY_5MIN
+from ..datasets import generate_sbr_shifted
+from ..service import ImputationService
+from .coordinator import ClusterCoordinator
+
+__all__ = [
+    "ServingWorkload",
+    "build_multistation_workload",
+    "run_single_push",
+    "run_single_blocked",
+    "run_cluster",
+    "serve_bench_record",
+    "flatten_results",
+    "results_identical",
+]
+
+
+@dataclass
+class ServingWorkload:
+    """A reproducible multi-station serving scenario.
+
+    ``records`` is the full interleaved stream: ``(session_id, row)`` pairs
+    where each row is a float array aligned with that session's series order
+    (``NaN`` marks an outage).  ``histories`` holds the priming data per
+    session; ``session_params`` the registry parameters each session is
+    created with.
+    """
+
+    method: str
+    stations: List[str]
+    series_names: Dict[str, List[str]]
+    session_params: Dict[str, dict]
+    histories: Dict[str, Dict[str, np.ndarray]]
+    records: List[Tuple[str, np.ndarray]] = field(repr=False)
+    missing_ticks_per_station: int = 0
+
+    @property
+    def num_records(self) -> int:
+        """Total records in the interleaved stream."""
+        return len(self.records)
+
+
+def build_multistation_workload(
+    num_stations: int = 4,
+    num_series: int = 4,
+    window_days: int = 7,
+    stream_days: float = 2.0,
+    missing_days: float = 1.5,
+    seed: int = 2017,
+    method: str = "tkcm",
+    pattern_length: int = 36,
+    num_anchors: int = 5,
+    num_references: int = 3,
+) -> ServingWorkload:
+    """Generate the multi-station workload (see module docstring).
+
+    Every station gets its own phase-shifted SBR-like dataset (different
+    seed), ``window_days`` of priming history, and a missing block of
+    ``missing_days`` in its target series starting a quarter day into the
+    stream.  ``method`` may be any registered imputer; non-TKCM methods
+    ignore the TKCM-specific parameters.
+    """
+    window_length = window_days * SAMPLES_PER_DAY_5MIN
+    stream_ticks = int(stream_days * SAMPLES_PER_DAY_5MIN)
+    missing_ticks = int(missing_days * SAMPLES_PER_DAY_5MIN)
+    gap_start = min(SAMPLES_PER_DAY_5MIN, stream_ticks) // 4
+    missing_ticks = max(0, min(missing_ticks, stream_ticks - gap_start))
+    total_days = window_days + int(np.ceil(stream_days)) + 1
+
+    stations = [f"station-{i:02d}" for i in range(num_stations)]
+    series_names: Dict[str, List[str]] = {}
+    session_params: Dict[str, dict] = {}
+    histories: Dict[str, Dict[str, np.ndarray]] = {}
+    streams: Dict[str, np.ndarray] = {}
+
+    for i, station in enumerate(stations):
+        dataset = generate_sbr_shifted(
+            num_series=num_series, num_days=total_days, seed=seed + 13 * i
+        )
+        names = [f"{station}/{name}" for name in dataset.names]
+        matrix = np.stack([dataset.values(name) for name in dataset.names], axis=1)
+        series_names[station] = names
+        histories[station] = {
+            name: matrix[:window_length, j].copy() for j, name in enumerate(names)
+        }
+        stream = matrix[window_length: window_length + stream_ticks].copy()
+        stream[gap_start: gap_start + missing_ticks, 0] = np.nan
+        streams[station] = stream
+        params: dict = {}
+        if method == "tkcm":
+            params = dict(
+                window_length=window_length,
+                pattern_length=pattern_length,
+                num_anchors=num_anchors,
+                num_references=num_references,
+                reference_rankings={names[0]: names[1:]},
+            )
+        session_params[station] = params
+
+    # Round-robin interleave: tick t of every station before tick t + 1 of
+    # any — the arrival order of a shared ingestion queue.
+    records: List[Tuple[str, np.ndarray]] = []
+    for t in range(stream_ticks):
+        for station in stations:
+            records.append((station, streams[station][t]))
+
+    return ServingWorkload(
+        method=method,
+        stations=stations,
+        series_names=series_names,
+        session_params=session_params,
+        histories=histories,
+        records=records,
+        missing_ticks_per_station=missing_ticks,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Serving runners (setup and priming excluded from the timed section)
+# --------------------------------------------------------------------------- #
+def _populate(target, workload: ServingWorkload) -> None:
+    """Create and prime one session per station on a service/coordinator."""
+    for station in workload.stations:
+        target.create_session(
+            station,
+            method=workload.method,
+            series_names=workload.series_names[station],
+            **workload.session_params[station],
+        )
+        target.prime(station, workload.histories[station])
+
+
+def run_single_push(workload: ServingWorkload):
+    """Baseline: one process, one ``push()`` round trip per record."""
+    service = ImputationService()
+    _populate(service, workload)
+    results: Dict[str, list] = {station: [] for station in workload.stations}
+    started = time.perf_counter()
+    for station, row in workload.records:
+        results[station].extend(service.push(station, row))
+    seconds = time.perf_counter() - started
+    return seconds, results
+
+
+def run_single_blocked(
+    workload: ServingWorkload, block_records: int = 64
+) -> Tuple[float, Dict[str, list]]:
+    """One process fed through per-session micro-batches of ``block_records``.
+
+    Isolates the batching contribution: this is what the cluster's ingestion
+    path does, minus the extra processes and pipes.
+    """
+    service = ImputationService()
+    _populate(service, workload)
+    results: Dict[str, list] = {station: [] for station in workload.stations}
+    started = time.perf_counter()
+    buffers: Dict[str, list] = {station: [] for station in workload.stations}
+    for station, row in workload.records:
+        rows = buffers[station]
+        rows.append(row)
+        if len(rows) >= block_records:
+            results[station].extend(service.push_block(station, np.stack(rows)))
+            rows.clear()
+    for station, rows in buffers.items():
+        if rows:
+            results[station].extend(service.push_block(station, np.stack(rows)))
+    seconds = time.perf_counter() - started
+    return seconds, results
+
+
+def run_cluster(
+    workload: ServingWorkload, num_workers: int, **coordinator_options
+):
+    """The cluster: N workers fed through the pipelined ``push_many`` path.
+
+    Returns ``(seconds, results, stats)`` — the stats dict is the
+    coordinator's telemetry right after the stream finished.
+    """
+    with ClusterCoordinator(num_workers=num_workers, **coordinator_options) as cluster:
+        _populate(cluster, workload)
+        started = time.perf_counter()
+        results = cluster.push_many(workload.records)
+        seconds = time.perf_counter() - started
+        stats = cluster.stats()
+    for station in workload.stations:
+        results.setdefault(station, [])
+    return seconds, results, stats
+
+
+def serve_bench_record(
+    workload: ServingWorkload,
+    worker_counts: Sequence[int] = (2, 4),
+    **coordinator_options,
+) -> Dict[str, object]:
+    """Time every serving mode on ``workload`` and return the full record.
+
+    The record is what ``BENCH_cluster.json`` stores and what the
+    ``serve-bench`` CLI prints: the single-process per-record baseline, the
+    single-process micro-batched variant, and one cluster entry per worker
+    count — each with throughput, speedup vs the baseline, and a
+    bit-identity verdict against the baseline's estimates.
+    """
+    single_seconds, single_results = run_single_push(workload)
+    blocked_seconds, blocked_results = run_single_blocked(workload)
+    record: Dict[str, object] = {
+        "workload": "multi_station_serving",
+        "method": workload.method,
+        "stations": len(workload.stations),
+        "series_per_station": len(workload.series_names[workload.stations[0]]),
+        "records": workload.num_records,
+        "missing_ticks_per_station": workload.missing_ticks_per_station,
+        "cpu_count": os.cpu_count(),
+        "single_push_seconds": single_seconds,
+        "single_push_records_per_s": workload.num_records / single_seconds,
+        "single_blocked_seconds": blocked_seconds,
+        "single_blocked_records_per_s": workload.num_records / blocked_seconds,
+        "single_blocked_identical": results_identical(blocked_results, single_results),
+        "clusters": {},
+    }
+    for num_workers in worker_counts:
+        seconds, results, stats = run_cluster(
+            workload, num_workers, **coordinator_options
+        )
+        record["clusters"][str(num_workers)] = {
+            "workers": num_workers,
+            "seconds": seconds,
+            "records_per_s": workload.num_records / seconds,
+            "speedup_vs_single_push": single_seconds / seconds,
+            "identical": results_identical(results, single_results),
+            "ticks_imputed": stats["cluster"]["ticks_imputed"],
+            "avg_batch_records": stats["cluster"]["avg_batch_records"],
+        }
+    return record
+
+
+# --------------------------------------------------------------------------- #
+# Result comparison
+# --------------------------------------------------------------------------- #
+def flatten_results(results: Mapping[str, list]) -> Dict[tuple, tuple]:
+    """``{(session, tick, series): (value, method)}`` over per-session results."""
+    flat: Dict[tuple, tuple] = {}
+    for session_id, ticks in results.items():
+        for tick in ticks:
+            for series in tick:
+                estimate = tick[series]
+                flat[(session_id, tick.index, series)] = (estimate.value, estimate.method)
+    return flat
+
+
+def results_identical(a: Mapping[str, list], b: Mapping[str, list]) -> bool:
+    """Bit-identical comparison of two serving runs (NaN == NaN)."""
+    left, right = flatten_results(a), flatten_results(b)
+    if left.keys() != right.keys():
+        return False
+    for key, (value, method) in left.items():
+        other_value, other_method = right[key]
+        if method != other_method:
+            return False
+        if not (value == other_value or (np.isnan(value) and np.isnan(other_value))):
+            return False
+    return True

@@ -1,0 +1,496 @@
+"""Cluster coordinator: the :class:`ImputationService` facade over N workers.
+
+:class:`ClusterCoordinator` exposes the same push / push_block / snapshot
+surface as a single-process :class:`~repro.service.ImputationService`, but
+every session actually lives inside one of N :class:`~repro.cluster.worker.
+ClusterWorker` processes, chosen by the :class:`~repro.cluster.router.
+ShardRouter`.  One Python process's GIL therefore stops being the throughput
+ceiling: sessions are spread over workers, and each worker imputes its own
+shard independently.
+
+Two ingestion shapes:
+
+* **Synchronous** — :meth:`push` / :meth:`push_block` round-trip one command
+  to the owning worker and return its :class:`~repro.results.TickResult`
+  list, exactly like the single-process service.
+* **Pipelined** — :meth:`push_nowait` streams records without waiting;
+  :meth:`flush` gathers everything produced so far, per session in tick
+  order; :meth:`push_many` wraps the two for a whole record stream.  On the
+  way in, the coordinator micro-batches consecutive records per session
+  (``linger_records`` per pipe message, Kafka-producer style) and each worker
+  additionally coalesces whatever has queued up per loop tick, so sustained
+  streams are imputed through the vectorised block path regardless of OS
+  scheduling.
+
+Live operations ride on the session checkpoint primitive — the exact
+``snapshot()`` / ``restore()`` round trip:
+
+* :meth:`drain` empties one worker (pre-rollout): its sessions are
+  snapshotted, restored onto the remaining workers along the router's
+  minimal move plan, and the drained worker accepts no new placements.
+* :meth:`rebalance` changes the worker count in place, migrating only the
+  sessions the router's rendezvous hashing actually re-places.
+
+Both preserve bit-identical outputs: a stream pushed across a mid-stream
+drain or rebalance produces exactly the estimates of an uninterrupted
+single-process run (``tests/cluster/test_cluster.py``).
+
+Results cross process boundaries as pickles, so everything said about
+trusting snapshot blobs in :mod:`repro.service.session` applies to the
+cluster's pipes as well — they are process-local and never leave the machine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ClusterError, ServiceError
+from ..results import TickResult
+from ..service.session import Tick
+from .router import MovePlan, ShardRouter
+from .telemetry import aggregate_stats
+from .worker import ClusterWorker
+
+__all__ = ["ClusterCoordinator"]
+
+#: Records buffered per session before a pipe message is emitted on the
+#: pipelined path.  64 rows keeps pipe traffic low and blocks big enough for
+#: the vectorised path while bounding per-record latency.
+DEFAULT_LINGER_RECORDS = 64
+
+#: Pipelined records in flight (sent, results not yet collected) per worker
+#: before the coordinator collects mid-stream to bound worker-side buffering.
+DEFAULT_MAX_INFLIGHT = 20_000
+
+#: Outstanding RPCs during a fan-out gather (snapshot_all, migrations).
+#: Bounded so neither pipe direction fills while the coordinator is still
+#: sending: unbounded pipelining over thousands of sessions would deadlock
+#: both processes in ``send`` once the OS pipe buffers are full of snapshot
+#: blobs.
+_PIPELINE_WINDOW = 32
+
+
+class ClusterCoordinator:
+    """Serve many imputation sessions across ``num_workers`` processes.
+
+    Examples
+    --------
+    >>> with ClusterCoordinator(num_workers=2) as cluster:
+    ...     _ = cluster.create_session("north", method="locf",
+    ...                                series_names=["n1", "n2"])
+    ...     _ = cluster.push("north", {"n1": 1.0, "n2": 2.0})
+    ...     cluster.push("north", {"n1": float("nan"), "n2": 3.0})[0]["n1"].value
+    1.0
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        *,
+        start_method: Optional[str] = None,
+        linger_records: int = DEFAULT_LINGER_RECORDS,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    ) -> None:
+        if num_workers < 1:
+            raise ClusterError(f"a cluster needs at least one worker, got {num_workers}")
+        if linger_records < 1:
+            raise ClusterError(f"linger_records must be >= 1, got {linger_records}")
+        self._context = multiprocessing.get_context(start_method)
+        self._router = ShardRouter(num_workers)
+        self._workers: List[ClusterWorker] = [
+            ClusterWorker(i, self._context) for i in range(num_workers)
+        ]
+        self._linger_records = int(linger_records)
+        self._max_inflight = int(max_inflight)
+        #: Per-session rows accepted by push_nowait but not yet piped out.
+        self._linger: Dict[str, list] = {}
+        #: Per-worker records piped out but whose results are uncollected.
+        self._inflight: Dict[int, int] = {i: 0 for i in range(num_workers)}
+        #: Results collected early (backpressure) awaiting the next flush().
+        self._stash: Dict[str, List[TickResult]] = {}
+        self._records_routed: Dict[int, int] = {i: 0 for i in range(num_workers)}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Topology introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        """Number of worker processes (drained ones included)."""
+        return len(self._workers)
+
+    @property
+    def router(self) -> ShardRouter:
+        """The live routing table (read it, don't mutate it)."""
+        return self._router
+
+    @property
+    def session_ids(self) -> List[str]:
+        """Ids of all sessions across all workers, sorted."""
+        return sorted(self._router.shard_map)
+
+    def worker_of(self, session_id: str) -> int:
+        """Index of the worker currently owning ``session_id``."""
+        return self._router.shard_of(session_id)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._router
+
+    def __len__(self) -> int:
+        return len(self._router)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.session_ids)
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+    def create_session(
+        self,
+        session_id: str,
+        method: str = "tkcm",
+        series_names: Optional[Sequence[str]] = None,
+        *,
+        warmup_ticks: int = 0,
+        **params,
+    ) -> int:
+        """Create a session on its rendezvous worker; returns the worker index.
+
+        Same signature as :meth:`ImputationService.create_session`, except the
+        session object lives in a worker process, so the *worker index* is
+        returned instead of the session.
+        """
+        self._ensure_open()
+        if session_id in self._router:
+            raise ServiceError(f"session {session_id!r} already exists")
+        shard = self._router.place(session_id)
+        self._workers[shard].request(
+            "create_session", session_id, method, series_names, warmup_ticks, params
+        )
+        self._router.add(session_id, shard)
+        return shard
+
+    def remove_session(self, session_id: str) -> None:
+        """Remove a session from its worker and the routing table.
+
+        Results of records already streamed with :meth:`push_nowait` are
+        collected first, so they stay claimable by the next :meth:`flush`
+        instead of vanishing with the session.
+        """
+        self._ensure_open()
+        self._collect_into_stash()
+        shard = self._require_session(session_id)
+        self._workers[shard].request("remove_session", session_id)
+        self._router.remove(session_id)
+
+    #: Alias matching :meth:`ImputationService.close_session` (which returns
+    #: the session object; here the state stays inside the worker).
+    close_session = remove_session
+
+    # ------------------------------------------------------------------ #
+    # Synchronous ingestion (ImputationService surface)
+    # ------------------------------------------------------------------ #
+    def push(self, session_id: str, tick: Tick) -> List[TickResult]:
+        """Route one record to its worker and wait for the imputations."""
+        self._ensure_open()
+        shard = self._require_session(session_id)
+        self._flush_linger()  # earlier pipelined records must land first
+        self._records_routed[shard] += 1
+        return self._workers[shard].request("push_sync", session_id, tick)
+
+    def push_block(self, session_id: str, block) -> List[TickResult]:
+        """Route a whole block to its worker and wait for the imputations."""
+        self._ensure_open()
+        shard = self._require_session(session_id)
+        self._flush_linger()
+        if not hasattr(block, "__len__"):
+            block = list(block)
+        self._records_routed[shard] += len(block)
+        return self._workers[shard].request("push_block", session_id, block)
+
+    def prime(self, session_id: str, history: Mapping[str, Sequence[float]]) -> None:
+        """Bulk-feed history into one session before streaming starts."""
+        self._ensure_open()
+        self._flush_linger()
+        shard = self._require_session(session_id)
+        self._workers[shard].request("prime", session_id, history)
+
+    # ------------------------------------------------------------------ #
+    # Pipelined ingestion
+    # ------------------------------------------------------------------ #
+    def push_nowait(self, session_id: str, tick: Tick) -> None:
+        """Stream one record without waiting for its results.
+
+        Records are micro-batched per session (``linger_records`` per pipe
+        message); results accumulate inside the workers until :meth:`flush`.
+        Per-session ordering is preserved end to end.
+        """
+        self._ensure_open()
+        self._require_session(session_id)
+        rows = self._linger.setdefault(session_id, [])
+        rows.append(tick)
+        if len(rows) >= self._linger_records:
+            self._emit_linger(session_id)
+            shard = self._router.shard_of(session_id)
+            if self._inflight.get(shard, 0) >= self._max_inflight:
+                self._collect_into_stash()
+
+    def flush(self) -> Dict[str, List[TickResult]]:
+        """Deliver all pending pipelined records and gather their results.
+
+        Returns ``{session_id: [TickResult, ...]}`` covering every record
+        streamed with :meth:`push_nowait` since the previous flush, each
+        session's results in tick order.
+        """
+        self._ensure_open()
+        self._collect_into_stash()
+        gathered, self._stash = self._stash, {}
+        return gathered
+
+    def push_many(
+        self, records: Iterable[Tuple[str, Tick]]
+    ) -> Dict[str, List[TickResult]]:
+        """Stream ``(session_id, record)`` pairs pipelined, then flush.
+
+        The high-throughput entry point for fan-in ingestion: all records are
+        in flight before any result is awaited, so workers impute while the
+        coordinator is still routing.
+        """
+        for session_id, tick in records:
+            self.push_nowait(session_id, tick)
+        return self.flush()
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (ImputationService surface)
+    # ------------------------------------------------------------------ #
+    def snapshot(self, session_id: str) -> bytes:
+        """Checkpoint one session into an opaque blob (see
+        :meth:`ImputationSession.snapshot` for the trust caveats)."""
+        self._ensure_open()
+        self._flush_linger()
+        shard = self._require_session(session_id)
+        return self._workers[shard].request("snapshot", session_id)
+
+    def restore(self, session_id: str, blob: bytes) -> int:
+        """Rebuild ``session_id`` from a snapshot blob on its worker.
+
+        Replaces the session if the id exists (rollback), otherwise places it
+        like a new session.  Returns the worker index.
+        """
+        self._ensure_open()
+        self._flush_linger()
+        if session_id in self._router:
+            shard = self._router.shard_of(session_id)
+        else:
+            shard = self._router.place(session_id)
+        self._workers[shard].request("restore", session_id, blob)
+        if session_id not in self._router:
+            self._router.add(session_id, shard)
+        return shard
+
+    def snapshot_all(self) -> Dict[str, bytes]:
+        """Checkpoint every session on every worker, keyed by session id."""
+        self._ensure_open()
+        self._flush_linger()
+        blobs: Dict[str, bytes] = {}
+        requested: List[Tuple[str, ClusterWorker]] = []
+
+        def gather() -> None:
+            for session_id, worker in requested:
+                blobs[session_id] = worker.recv_reply()
+            requested.clear()
+
+        for session_id, shard in sorted(self._router.shard_map.items()):
+            worker = self._workers[shard]
+            worker.send_request("snapshot", session_id)
+            requested.append((session_id, worker))
+            if len(requested) >= _PIPELINE_WINDOW:
+                gather()
+        gather()
+        return blobs
+
+    def restore_all(self, blobs: Mapping[str, bytes]) -> None:
+        """Rebuild every session from :meth:`snapshot_all` output."""
+        for session_id, blob in blobs.items():
+            self.restore(session_id, blob)
+
+    # ------------------------------------------------------------------ #
+    # Live operations
+    # ------------------------------------------------------------------ #
+    def drain(self, worker_index: int) -> MovePlan:
+        """Move every session off one worker and stop placing new ones there.
+
+        The pre-rollout primitive: after ``drain(i)`` the worker is idle and
+        can be restarted/upgraded while its former sessions keep serving
+        elsewhere, bit-identically (exact snapshot/restore round trip).
+        Returns the executed ``{session_id: (from, to)}`` move plan.
+        """
+        self._ensure_open()
+        self._flush_linger()
+        self._collect_into_stash()  # in-flight results must not be lost
+        plan = self._router.drain(worker_index)
+        self._migrate(plan)
+        return plan
+
+    def rebalance(self, new_worker_count: int) -> MovePlan:
+        """Grow or shrink the cluster to ``new_worker_count`` workers.
+
+        Spawns or retires worker processes as needed and migrates only the
+        sessions the router's rendezvous hashing re-places (the minimal move
+        set).  A rebalance ends any previous drains: all workers are active
+        again afterwards.  Returns the executed move plan.
+        """
+        self._ensure_open()
+        if new_worker_count < 1:
+            raise ClusterError(
+                f"a cluster needs at least one worker, got {new_worker_count}"
+            )
+        self._flush_linger()
+        self._collect_into_stash()
+        for index in range(self.num_workers, new_worker_count):
+            self._workers.append(ClusterWorker(index, self._context))
+            self._inflight[index] = 0
+            self._records_routed[index] = 0  # a fresh process starts at zero
+        plan = self._router.resize(new_worker_count)
+        self._migrate(plan)
+        for worker in self._workers[new_worker_count:]:
+            worker.stop()
+        del self._workers[new_worker_count:]
+        for index in list(self._inflight):
+            if index >= new_worker_count:
+                del self._inflight[index]
+                del self._records_routed[index]
+        return plan
+
+    def stats(self) -> Dict[str, object]:
+        """Cluster telemetry: per-worker counters plus aggregate totals.
+
+        Per worker: the serving counters of
+        :class:`~repro.cluster.telemetry.WorkerTelemetry` (records routed,
+        blocks executed, ticks imputed, push latency, queue depths) plus the
+        coordinator-side ``records_sent`` and the sessions it owns.  The
+        ``"cluster"`` entry aggregates across workers.  Everything is plain
+        JSON-serialisable data.
+        """
+        self._ensure_open()
+        self._flush_linger()
+        per_worker: Dict[int, Dict[str, object]] = {}
+        for worker in self._workers:
+            worker.send_request("stats")
+        for worker in self._workers:
+            per_worker[worker.worker_id] = worker.recv_reply()
+        for worker in self._workers:
+            per_worker[worker.worker_id]["records_sent"] = self._records_routed.get(
+                worker.worker_id, 0
+            )
+        cluster = aggregate_stats(per_worker)
+        cluster["drained_workers"] = self._router.drained_shards
+        return {"workers": per_worker, "cluster": cluster}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Stop every worker process.  Idempotent; session state is lost
+        unless it was snapshotted first."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.stop()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"ClusterCoordinator(workers={self.num_workers}, "
+            f"sessions={len(self._router)}, {state})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ClusterError("the cluster has been shut down")
+
+    def _require_session(self, session_id: str) -> int:
+        try:
+            return self._router.shard_of(session_id)
+        except ClusterError:
+            raise ServiceError(
+                f"unknown session {session_id!r}; "
+                f"active: {', '.join(self.session_ids) or '(none)'}"
+            ) from None
+
+    def _emit_linger(self, session_id: str) -> None:
+        """Pipe one session's buffered rows out as a single push message."""
+        rows = self._linger.pop(session_id, None)
+        if not rows:
+            return
+        shard = self._router.shard_of(session_id)
+        self._workers[shard].send("push", session_id, rows)
+        self._records_routed[shard] += len(rows)
+        self._inflight[shard] = self._inflight.get(shard, 0) + len(rows)
+
+    def _flush_linger(self) -> None:
+        """Pipe out every buffered row (ordering barrier before any RPC)."""
+        for session_id in list(self._linger):
+            self._emit_linger(session_id)
+
+    def _collect_into_stash(self) -> None:
+        """Gather buffered results from every worker with records in flight."""
+        self._flush_linger()
+        busy = [
+            worker for worker in self._workers if self._inflight.get(worker.worker_id)
+        ]
+        for worker in busy:
+            worker.send_request("collect")
+        errors: List[Exception] = []
+        for worker in busy:
+            try:
+                collected = worker.recv_reply()
+            except Exception as error:  # deferred push failure; keep draining
+                # The worker kept its buffered results (and possibly further
+                # deferred errors); leave it marked busy so the next flush
+                # retries the collect instead of stranding them worker-side.
+                self._inflight[worker.worker_id] = 1
+                errors.append(error)
+                continue
+            self._inflight[worker.worker_id] = 0
+            for session_id, results in collected.items():
+                self._stash.setdefault(session_id, []).extend(results)
+        if errors:
+            raise errors[0]
+
+    def _migrate(self, plan: MovePlan) -> None:
+        """Execute a router move plan via snapshot / restore / remove.
+
+        RPCs are pipelined per chunk of ``_PIPELINE_WINDOW`` sessions: within
+        a chunk every request goes out before any reply is read (per-worker
+        FIFO keeps replies matched), between chunks everything is drained so
+        the pipe buffers never fill in both directions at once.
+        """
+        ordered = sorted(plan.items())
+        for start in range(0, len(ordered), _PIPELINE_WINDOW):
+            chunk = ordered[start: start + _PIPELINE_WINDOW]
+            for session_id, (source, _) in chunk:
+                self._workers[source].send_request("snapshot", session_id)
+            blobs = {
+                session_id: self._workers[source].recv_reply()
+                for session_id, (source, _) in chunk
+            }
+            for session_id, (source, destination) in chunk:
+                self._workers[destination].send_request(
+                    "restore", session_id, blobs[session_id]
+                )
+                self._workers[source].send_request("remove_session", session_id)
+            for session_id, (source, destination) in chunk:
+                self._workers[destination].recv_reply()
+                self._workers[source].recv_reply()

@@ -1,0 +1,220 @@
+"""Stable session-to-shard routing for the cluster tier.
+
+:class:`ShardRouter` decides which shard (worker) owns each session.  It uses
+**rendezvous (highest-random-weight) hashing**: every ``(session id, shard)``
+pair gets a deterministic score derived from an MD5 digest, and a session
+lives on the active shard with the highest score.  Compared to the classic
+``hash(id) % N`` scheme, rendezvous hashing keeps placements *stable* under
+topology changes:
+
+* growing from ``N`` to ``M`` shards only moves the sessions whose best score
+  now lands on one of the new shards (about ``(M - N) / M`` of them), and
+  every one of those moves *to* a new shard;
+* shrinking, or draining one shard, only moves the sessions that lived on the
+  removed/drained shards — everything else stays put.
+
+Those two properties are what make :meth:`ShardRouter.plan_drain` and
+:meth:`ShardRouter.plan_resize` produce the **minimal** move set, which the
+coordinator then executes with session ``snapshot()``/``restore()``.
+
+The router is pure bookkeeping: it never touches a process or a pipe, so it
+is unit-testable in isolation (``tests/cluster/test_router.py``) and the
+coordinator stays the single place that performs migrations.
+
+Hashing is intentionally *not* Python's built-in ``hash`` — that one is
+randomised per process (``PYTHONHASHSEED``), while routing must agree across
+the coordinator, its workers, and any process that restores a shard map.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ClusterError
+
+__all__ = ["ShardRouter"]
+
+#: A move plan: ``{session_id: (source_shard, destination_shard)}``.
+MovePlan = Dict[str, Tuple[int, int]]
+
+
+def _score(session_id: str, shard: int) -> int:
+    """Deterministic rendezvous weight of placing ``session_id`` on ``shard``."""
+    digest = hashlib.md5(f"{session_id}\x00{shard}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardRouter:
+    """Deterministic assignment of session ids onto ``num_shards`` shards.
+
+    The router tracks every registered session in an explicit shard map
+    (:attr:`shard_map`), so the *current* placement is always inspectable and
+    survives operations — such as a drain — that intentionally leave sessions
+    away from their default rendezvous shard.
+
+    Examples
+    --------
+    >>> router = ShardRouter(4)
+    >>> shard = router.add("stations/alpine")
+    >>> router.shard_of("stations/alpine") == shard
+    True
+    >>> sorted(router.shard_map) == ["stations/alpine"]
+    True
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ClusterError(f"a cluster needs at least one shard, got {num_shards}")
+        self._num_shards = int(num_shards)
+        self._drained: set = set()
+        self._shard_map: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """Total shards, drained ones included."""
+        return self._num_shards
+
+    @property
+    def active_shards(self) -> List[int]:
+        """Shards that accept session placements (not drained), sorted."""
+        return [s for s in range(self._num_shards) if s not in self._drained]
+
+    @property
+    def drained_shards(self) -> List[int]:
+        """Shards excluded from placement by :meth:`plan_drain`, sorted."""
+        return sorted(self._drained)
+
+    @property
+    def shard_map(self) -> Dict[str, int]:
+        """Current explicit placement of every registered session (a copy)."""
+        return dict(self._shard_map)
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def stable_shard(session_id: str, shards: Sequence[int]) -> int:
+        """The rendezvous winner for ``session_id`` among ``shards``.
+
+        Deterministic across processes and interpreter restarts; ties (which
+        require an MD5 collision) break toward the lowest shard index.
+        """
+        if not shards:
+            raise ClusterError("cannot route a session onto an empty shard set")
+        return max(shards, key=lambda shard: (_score(session_id, shard), -shard))
+
+    def place(self, session_id: str) -> int:
+        """Default shard for a (new) session: rendezvous among active shards."""
+        return self.stable_shard(session_id, self.active_shards)
+
+    def add(self, session_id: str, shard: Optional[int] = None) -> int:
+        """Register a session and return its shard.
+
+        ``shard`` pins the session explicitly (the restore-to-a-specific-
+        worker path); otherwise the rendezvous placement is used.
+        """
+        if session_id in self._shard_map:
+            raise ClusterError(f"session {session_id!r} is already routed")
+        if shard is None:
+            shard = self.place(session_id)
+        elif not 0 <= shard < self._num_shards:
+            raise ClusterError(
+                f"shard {shard} out of range for {self._num_shards} shards"
+            )
+        self._shard_map[session_id] = int(shard)
+        return int(shard)
+
+    def remove(self, session_id: str) -> int:
+        """Forget a session; returns the shard it lived on."""
+        try:
+            return self._shard_map.pop(session_id)
+        except KeyError:
+            raise ClusterError(f"session {session_id!r} is not routed") from None
+
+    def shard_of(self, session_id: str) -> int:
+        """Current shard of a registered session."""
+        try:
+            return self._shard_map[session_id]
+        except KeyError:
+            raise ClusterError(f"session {session_id!r} is not routed") from None
+
+    def sessions_on(self, shard: int) -> List[str]:
+        """Ids of the sessions currently placed on ``shard``, sorted."""
+        return sorted(s for s, owner in self._shard_map.items() if owner == shard)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._shard_map
+
+    def __len__(self) -> int:
+        return len(self._shard_map)
+
+    # ------------------------------------------------------------------ #
+    # Topology changes
+    # ------------------------------------------------------------------ #
+    def plan_drain(self, shard: int) -> MovePlan:
+        """Moves required to empty ``shard`` without touching anything else.
+
+        Every session on ``shard`` is re-placed by rendezvous among the
+        remaining active shards; sessions on other shards never move (the
+        rendezvous stability property).
+        """
+        if not 0 <= shard < self._num_shards:
+            raise ClusterError(
+                f"shard {shard} out of range for {self._num_shards} shards"
+            )
+        remaining = [s for s in self.active_shards if s != shard]
+        if not remaining:
+            raise ClusterError("cannot drain the last active shard")
+        return {
+            session_id: (shard, self.stable_shard(session_id, remaining))
+            for session_id in self.sessions_on(shard)
+        }
+
+    def drain(self, shard: int) -> MovePlan:
+        """Apply :meth:`plan_drain`: mark ``shard`` drained and re-place its
+        sessions.  Returns the executed move plan."""
+        plan = self.plan_drain(shard)
+        self._drained.add(shard)
+        for session_id, (_, destination) in plan.items():
+            self._shard_map[session_id] = destination
+        return plan
+
+    def plan_resize(self, new_shard_count: int) -> MovePlan:
+        """Moves required to re-spread every session over ``new_shard_count``
+        shards (all active again — a resize ends any drains).
+
+        The plan is minimal: a session moves only if its rendezvous winner
+        among ``0 .. new_shard_count - 1`` differs from where it lives now.
+        Growing the cluster therefore only moves sessions *onto* the new
+        shards, and shrinking only moves sessions *off* the removed ones.
+        """
+        if new_shard_count < 1:
+            raise ClusterError(
+                f"a cluster needs at least one shard, got {new_shard_count}"
+            )
+        shards = list(range(new_shard_count))
+        plan: MovePlan = {}
+        for session_id, current in self._shard_map.items():
+            target = self.stable_shard(session_id, shards)
+            if target != current:
+                plan[session_id] = (current, target)
+        return plan
+
+    def resize(self, new_shard_count: int) -> MovePlan:
+        """Apply :meth:`plan_resize` and adopt the new shard count."""
+        plan = self.plan_resize(new_shard_count)
+        self._num_shards = int(new_shard_count)
+        self._drained.clear()
+        for session_id, (_, destination) in plan.items():
+            self._shard_map[session_id] = destination
+        return plan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardRouter(num_shards={self._num_shards}, "
+            f"sessions={len(self._shard_map)}, drained={sorted(self._drained)})"
+        )

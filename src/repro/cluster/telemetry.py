@@ -1,0 +1,127 @@
+"""Per-worker serving telemetry for the cluster tier.
+
+Each :class:`~repro.cluster.worker.ClusterWorker` child process owns one
+:class:`WorkerTelemetry` and updates it inline while serving; the coordinator
+fetches it over the command pipe (the ``stats`` op) and merges all workers
+into one cluster view with :func:`aggregate_stats`.  Everything crosses the
+process boundary as plain dicts of numbers, so ``ClusterCoordinator.stats()``
+output is JSON-serialisable as-is — ready for a metrics scraper or the
+``serve-bench`` CLI table.
+
+Counters (the names match the keys in the exported dict):
+
+``records_routed``
+    Rows received over the pipe, via any push op.
+``blocks_executed``
+    Imputation calls actually made after the worker's per-tick coalescing —
+    ``records_routed / blocks_executed`` is the achieved batching factor.
+``ticks_imputed``
+    Ticks on which at least one value was imputed (``TickResult`` objects
+    produced).
+``push_seconds``
+    Wall time spent inside the imputation calls; ``avg_push_latency`` is the
+    per-block average.
+``queue_depth_last`` / ``queue_depth_max``
+    Commands drained from the pipe in the latest / busiest loop tick — the
+    worker's backlog indicator.
+``loop_ticks``
+    Worker loop iterations that processed at least one command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+__all__ = ["WorkerTelemetry", "aggregate_stats"]
+
+
+@dataclass
+class WorkerTelemetry:
+    """Serving counters maintained inside one cluster worker process."""
+
+    worker_id: int = 0
+    records_routed: int = 0
+    blocks_executed: int = 0
+    ticks_imputed: int = 0
+    push_seconds: float = 0.0
+    queue_depth_last: int = 0
+    queue_depth_max: int = 0
+    loop_ticks: int = 0
+    sessions: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_drain(self, depth: int) -> None:
+        """One worker loop tick drained ``depth`` commands from the pipe."""
+        self.loop_ticks += 1
+        self.queue_depth_last = depth
+        self.queue_depth_max = max(self.queue_depth_max, depth)
+
+    def record_push(self, records: int, imputed_ticks: int, seconds: float) -> None:
+        """One (possibly coalesced) imputation call finished."""
+        self.records_routed += records
+        self.blocks_executed += 1
+        self.ticks_imputed += imputed_ticks
+        self.push_seconds += seconds
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (JSON-serialisable), including derived ratios."""
+        return {
+            "worker_id": self.worker_id,
+            "records_routed": self.records_routed,
+            "blocks_executed": self.blocks_executed,
+            "ticks_imputed": self.ticks_imputed,
+            "push_seconds": self.push_seconds,
+            "avg_push_latency": (
+                self.push_seconds / self.blocks_executed if self.blocks_executed else 0.0
+            ),
+            "avg_batch_records": (
+                self.records_routed / self.blocks_executed if self.blocks_executed else 0.0
+            ),
+            "queue_depth_last": self.queue_depth_last,
+            "queue_depth_max": self.queue_depth_max,
+            "loop_ticks": self.loop_ticks,
+            "sessions": list(self.sessions),
+        }
+
+
+def aggregate_stats(per_worker: Mapping[int, Mapping[str, object]]) -> Dict[str, object]:
+    """Merge per-worker telemetry dicts into one cluster-wide summary.
+
+    Sums the throughput counters, takes the max of the queue depths, and
+    recomputes the derived averages from the summed totals.
+    """
+    totals = {
+        "workers": len(per_worker),
+        "records_routed": 0,
+        "blocks_executed": 0,
+        "ticks_imputed": 0,
+        "push_seconds": 0.0,
+        "queue_depth_max": 0,
+        "sessions": 0,
+    }
+    for stats in per_worker.values():
+        totals["records_routed"] += int(stats.get("records_routed", 0))
+        totals["blocks_executed"] += int(stats.get("blocks_executed", 0))
+        totals["ticks_imputed"] += int(stats.get("ticks_imputed", 0))
+        totals["push_seconds"] += float(stats.get("push_seconds", 0.0))
+        totals["queue_depth_max"] = max(
+            totals["queue_depth_max"], int(stats.get("queue_depth_max", 0))
+        )
+        totals["sessions"] += len(stats.get("sessions", ()))
+    totals["avg_push_latency"] = (
+        totals["push_seconds"] / totals["blocks_executed"]
+        if totals["blocks_executed"]
+        else 0.0
+    )
+    totals["avg_batch_records"] = (
+        totals["records_routed"] / totals["blocks_executed"]
+        if totals["blocks_executed"]
+        else 0.0
+    )
+    return totals

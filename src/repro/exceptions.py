@@ -43,3 +43,8 @@ class NotFittedError(ReproError):
 
 class ServiceError(ReproError):
     """A service-level operation failed (e.g. unknown or duplicate session id)."""
+
+
+class ClusterError(ReproError):
+    """A cluster-level operation failed (e.g. a worker process died or an
+    invalid shard was addressed)."""

@@ -91,6 +91,16 @@ class ImputationService:
         del self._sessions[session_id]
         return session
 
+    def remove_session(self, session_id: str) -> None:
+        """Drop a session without returning it.
+
+        The fleet-management counterpart of :meth:`close_session` for callers
+        — like the cluster coordinator after migrating a session away — that
+        only need the id gone; raises
+        :class:`~repro.exceptions.ServiceError` for unknown ids.
+        """
+        self.close_session(session_id)
+
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #

@@ -29,7 +29,7 @@ from ..exceptions import ConfigurationError, ServiceError
 from ..registry import make_imputer
 from ..results import TickResult
 
-__all__ = ["ImputationSession"]
+__all__ = ["ImputationSession", "SNAPSHOT_PICKLE_PROTOCOL"]
 
 #: One pushed record: a ``{series: value}`` mapping or a sequence aligned
 #: with the session's series order.  ``NaN`` marks a missing value.
@@ -37,6 +37,15 @@ Tick = Union[Mapping[str, float], Sequence[float], np.ndarray]
 
 #: Snapshot format version; bumped when the payload layout changes.
 _SNAPSHOT_VERSION = 1
+
+#: Pickle protocol used for snapshot blobs — pinned (rather than
+#: ``pickle.HIGHEST_PROTOCOL``) so that every interpreter in a mixed-version
+#: cluster produces and accepts the same wire format: a session snapshotted
+#: on a worker running a newer Python must restore on an older coordinator
+#: during a rolling deployment.  Protocol 4 is supported by every Python this
+#: package targets (3.10+) and handles the large buffers of windowed
+#: imputers efficiently.
+SNAPSHOT_PICKLE_PROTOCOL = 4
 
 
 class ImputationSession:
@@ -235,7 +244,7 @@ class ImputationSession:
             "tick": self._tick,
             "imputer": self.imputer,
         }
-        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        return pickle.dumps(payload, protocol=SNAPSHOT_PICKLE_PROTOCOL)
 
     @classmethod
     def restore(cls, blob: bytes) -> "ImputationSession":

@@ -1,0 +1,181 @@
+"""Invariant tests for :class:`ShardRouter` (pure routing, no processes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ShardRouter
+from repro.exceptions import ClusterError
+
+SIDS = [f"session-{i:03d}" for i in range(200)]
+
+
+def _routed(num_shards: int, sids=SIDS) -> ShardRouter:
+    router = ShardRouter(num_shards)
+    for sid in sids:
+        router.add(sid)
+    return router
+
+
+class TestDeterminism:
+    def test_placement_is_deterministic_across_router_instances(self):
+        a = _routed(4)
+        b = _routed(4)
+        assert a.shard_map == b.shard_map
+
+    def test_stable_shard_does_not_depend_on_shard_order(self):
+        assert ShardRouter.stable_shard("x", [0, 1, 2, 3]) == ShardRouter.stable_shard(
+            "x", [3, 1, 0, 2]
+        )
+
+    def test_placement_does_not_use_randomised_builtin_hash(self):
+        """The mapping must be stable across interpreter runs, so it cannot be
+        built on ``hash()`` (randomised by PYTHONHASHSEED).  Pin a few
+        concrete placements: if these ever change, existing shard maps in
+        deployed clusters would be silently invalidated."""
+        shards = list(range(4))
+        placements = {
+            sid: ShardRouter.stable_shard(sid, shards)
+            for sid in ("stations/alpine", "stations/valley", "network/junction-7")
+        }
+        assert placements == {
+            "stations/alpine": 2,
+            "stations/valley": 1,
+            "network/junction-7": 0,
+        }
+
+
+class TestPlacement:
+    def test_every_session_maps_to_exactly_one_shard_in_range(self):
+        router = _routed(4)
+        assert sorted(router.shard_map) == sorted(SIDS)
+        for sid in SIDS:
+            shard = router.shard_of(sid)
+            assert 0 <= shard < 4
+        per_shard = [router.sessions_on(s) for s in range(4)]
+        assert sorted(sid for shard in per_shard for sid in shard) == sorted(SIDS)
+
+    def test_sessions_spread_over_all_shards(self):
+        router = _routed(4)
+        for shard in range(4):
+            assert router.sessions_on(shard), f"shard {shard} got no sessions"
+
+    def test_explicit_pin_overrides_rendezvous(self):
+        router = ShardRouter(4)
+        default = router.place("pinned")
+        pin = (default + 1) % 4
+        assert router.add("pinned", shard=pin) == pin
+        assert router.shard_of("pinned") == pin
+
+    def test_membership_and_len(self):
+        router = _routed(3, SIDS[:5])
+        assert len(router) == 5
+        assert SIDS[0] in router and "ghost" not in router
+        assert router.remove(SIDS[0]) in range(3)
+        assert len(router) == 4 and SIDS[0] not in router
+
+    def test_error_paths(self):
+        router = ShardRouter(2)
+        router.add("a")
+        with pytest.raises(ClusterError, match="already routed"):
+            router.add("a")
+        with pytest.raises(ClusterError, match="not routed"):
+            router.shard_of("ghost")
+        with pytest.raises(ClusterError, match="not routed"):
+            router.remove("ghost")
+        with pytest.raises(ClusterError, match="out of range"):
+            router.add("b", shard=7)
+        with pytest.raises(ClusterError, match="at least one shard"):
+            ShardRouter(0)
+        with pytest.raises(ClusterError, match="empty shard set"):
+            ShardRouter.stable_shard("x", [])
+
+
+class TestDrainPlans:
+    def test_drain_moves_exactly_the_drained_shards_sessions(self):
+        router = _routed(4)
+        victims = router.sessions_on(1)
+        before = router.shard_map
+        plan = router.drain(1)
+        assert sorted(plan) == victims
+        for sid, (source, destination) in plan.items():
+            assert source == 1 and destination != 1
+        # Sessions on other shards never move (rendezvous stability).
+        after = router.shard_map
+        for sid in SIDS:
+            if sid not in plan:
+                assert after[sid] == before[sid]
+
+    def test_drained_shard_is_excluded_from_new_placements(self):
+        router = _routed(4)
+        router.drain(2)
+        assert router.active_shards == [0, 1, 3]
+        assert router.drained_shards == [2]
+        for i in range(50):
+            assert router.place(f"new-{i}") != 2
+        assert router.sessions_on(2) == []
+
+    def test_cannot_drain_the_last_active_shard(self):
+        router = ShardRouter(2)
+        router.add("a")
+        router.drain(0)
+        with pytest.raises(ClusterError, match="last active"):
+            router.plan_drain(1)
+
+    def test_drain_plan_out_of_range(self):
+        with pytest.raises(ClusterError, match="out of range"):
+            ShardRouter(2).plan_drain(5)
+
+
+class TestResizePlans:
+    def test_growing_only_moves_sessions_onto_new_shards(self):
+        router = _routed(4)
+        plan = router.plan_resize(6)
+        assert plan, "growing 4 -> 6 should move some sessions"
+        for sid, (source, destination) in plan.items():
+            assert source < 4
+            assert destination in (4, 5), (
+                "a session moved between old shards during a grow — "
+                "the move set is not minimal"
+            )
+
+    def test_growth_move_set_is_a_minority(self):
+        """Rendezvous moves ~(M - N)/M of sessions on a grow (here 1/3),
+        where mod-hashing would reshuffle ~5/6 of them."""
+        router = _routed(4)
+        moved = len(router.plan_resize(6))
+        assert 0 < moved < len(SIDS) // 2
+
+    def test_shrinking_only_moves_sessions_off_removed_shards(self):
+        router = _routed(4)
+        doomed = set(router.sessions_on(2)) | set(router.sessions_on(3))
+        plan = router.plan_resize(2)
+        assert set(plan) == doomed
+        for sid, (source, destination) in plan.items():
+            assert source in (2, 3) and destination in (0, 1)
+
+    def test_resize_applies_plan_and_restores_rendezvous_placement(self):
+        router = _routed(4)
+        router.resize(6)
+        assert router.num_shards == 6
+        shards = list(range(6))
+        for sid in SIDS:
+            assert router.shard_of(sid) == ShardRouter.stable_shard(sid, shards)
+
+    def test_resize_ends_a_drain(self):
+        router = _routed(4)
+        router.drain(1)
+        router.resize(4)
+        assert router.drained_shards == []
+        assert router.active_shards == [0, 1, 2, 3]
+
+    def test_resize_roundtrip_returns_sessions_home(self):
+        router = _routed(4)
+        original = router.shard_map
+        router.resize(6)
+        router.resize(4)
+        assert router.shard_map == original
+
+    def test_resize_to_zero_raises(self):
+        with pytest.raises(ClusterError, match="at least one shard"):
+            _routed(2).plan_resize(0)

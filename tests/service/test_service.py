@@ -44,6 +44,24 @@ class TestSessionLifecycle:
         with pytest.raises(ServiceError):
             service.session("north")
 
+    def test_remove_session_drops_without_returning(self):
+        service = _make_service()
+        assert service.remove_session("north") is None
+        assert "north" not in service and len(service) == 1
+        with pytest.raises(ServiceError, match="unknown session"):
+            service.remove_session("north")
+
+    def test_fleet_management_dunders(self):
+        """The coordinator manages fleets through the public surface only:
+        membership, size and iteration must work without touching
+        ``_sessions``."""
+        service = _make_service()
+        assert len(service) == 2
+        assert "south" in service and "west" not in service
+        assert list(service) == ["north", "south"]
+        service.remove_session("south")
+        assert len(service) == 1 and "south" not in service
+
     def test_add_session_registers_external_instance(self):
         service = ImputationService()
         session = ImputationSession("locf", series_names=["a"])

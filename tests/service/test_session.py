@@ -283,6 +283,59 @@ class TestSnapshotRestore:
             ImputationSession.restore(blob)
 
 
+def _snapshot_in_child(conn, kind: str, cut: int) -> None:
+    """Child-process half of the cross-process parity test: build a session,
+    stream the head of the matrix, snapshot, and ship blob + head results."""
+    matrix = _matrix()
+    session = SESSION_FACTORIES[kind]()
+    head = session.push_block(matrix[:cut])
+    conn.send((session.snapshot(), _flatten(head)))
+    conn.close()
+
+
+class TestSnapshotProtocol:
+    """The snapshot wire format is pinned so blobs cross process (and,
+    during rolling deployments, interpreter-version) boundaries."""
+
+    def test_pickle_protocol_is_pinned(self):
+        from repro.service.session import SNAPSHOT_PICKLE_PROTOCOL
+
+        assert SNAPSHOT_PICKLE_PROTOCOL == 4
+        session = ImputationSession("locf", series_names=["a"])
+        blob = session.snapshot()
+        # A protocol-4+ pickle starts with the PROTO opcode and its version.
+        assert blob[:2] == b"\x80\x04"
+
+    @pytest.mark.parametrize("kind", ["tkcm", "locf"])
+    def test_cross_process_restore_is_bit_identical(self, kind):
+        """Snapshot in a subprocess, restore in the parent: the parent's
+        continuation must match an uninterrupted single-process run exactly —
+        the primitive the cluster tier's session migration relies on."""
+        import multiprocessing
+
+        cut = 750
+        matrix = _matrix()
+        expected = _flatten(SESSION_FACTORIES[kind]().push_block(matrix))
+
+        parent_conn, child_conn = multiprocessing.Pipe()
+        child = multiprocessing.Process(
+            target=_snapshot_in_child, args=(child_conn, kind, cut)
+        )
+        child.start()
+        child_conn.close()
+        try:
+            assert parent_conn.poll(60), "child never produced a snapshot"
+            blob, head = parent_conn.recv()
+        finally:
+            child.join(timeout=30)
+        assert child.exitcode == 0
+
+        restored = ImputationSession.restore(blob)
+        tail = restored.push_block(matrix[cut:])
+        assert restored.ticks_seen == len(matrix)
+        assert head | _flatten(tail) == expected
+
+
 class TestReset:
     def test_reset_forgets_streamed_data(self):
         matrix = _matrix()

@@ -159,6 +159,32 @@ class TestImpute:
         assert np.array_equal(batched, tick, equal_nan=True)
 
 
+class TestServeBench:
+    def test_serve_bench_prints_table_and_writes_record(self, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "bench.json"
+        code = main([
+            "serve-bench", "--method", "locf", "--stations", "2",
+            "--series", "2", "--window-days", "1", "--stream-days", "0.25",
+            "--missing-days", "0.1", "--workers", "2",
+            "--json", str(json_path),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "single-push" in output
+        assert "cluster-2w" in output
+        assert "identical" in output
+        record = json.loads(json_path.read_text())
+        assert record["single_push_seconds"] > 0
+        assert record["clusters"]["2"]["identical"] is True
+        assert record["clusters"]["2"]["workers"] == 2
+
+    def test_serve_bench_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--method", "nope"])
+
+
 class TestExperimentCommand:
     def test_fig04_prints_a_table(self, capsys):
         assert main(["experiment", "fig04"]) == 0

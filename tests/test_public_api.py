@@ -12,6 +12,7 @@ import pytest
 import repro
 import repro.analysis as analysis
 import repro.baselines as baselines
+import repro.cluster as cluster
 import repro.core as core
 import repro.datasets as datasets
 import repro.evaluation as evaluation
@@ -24,7 +25,7 @@ import repro.streams as streams
 
 PACKAGES = [
     repro, core, streams, datasets, baselines, metrics, analysis, evaluation,
-    registry, results, service,
+    registry, results, service, cluster,
 ]
 
 
@@ -60,6 +61,11 @@ class TestExports:
         assert repro.make_imputer is registry.make_imputer
         assert repro.TickResult is results.TickResult
         assert issubclass(repro.ServiceError, repro.ReproError)
+
+    def test_cluster_tier_convenience_imports(self):
+        assert repro.ClusterCoordinator is cluster.ClusterCoordinator
+        assert repro.ShardRouter is cluster.ShardRouter
+        assert issubclass(repro.ClusterError, repro.ReproError)
 
     def test_experiment_functions_cover_every_figure(self):
         expected = {
