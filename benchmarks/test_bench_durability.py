@@ -1,0 +1,201 @@
+"""Benchmark: the cost of durability and the speed of crash recovery.
+
+Workload: a smaller cousin of the multi-station serving scenario used by the
+cluster benchmark — four TKCM stations (one-day windows, l = 36, k = 5,
+d = 3), each primed with a day of history and streamed half a day of records
+in per-session micro-batches, with every station's target series dark for a
+multi-hour block.
+
+Three questions, three sections of ``BENCH_durability.json``:
+
+* **WAL append overhead** — the identical blocked stream is served by an
+  in-memory ``ImputationService`` and by a durable one (write-ahead logging
+  every record, checkpointing every 288 records).  Both must produce
+  bit-identical estimates; the overhead ratio is the price of crash safety
+  on the serving hot path.
+* **Checkpoint write throughput** — the primed TKCM session snapshot is
+  written repeatedly through ``CheckpointStore.write_checkpoint`` (atomic
+  write + fsync + rename + manifest update), reported as checkpoints/s and
+  MB/s.
+* **Recovery replay time** — the durable service is abandoned mid-epoch and
+  recovered (latest checkpoint + WAL-tail replay through the vectorised
+  block path); the recovered fleet must continue bit-identically to the
+  uninterrupted baseline.
+
+The record is written to ``BENCH_durability.json`` at the repository root
+(and mirrored into ``benchmarks/results/``); the schema is documented in
+DESIGN.md Sec. 4a.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro import ImputationService
+from repro.cluster.bench import (
+    build_multistation_workload,
+    results_identical,
+    run_single_blocked,
+)
+from repro.durability import DurabilityConfig, DurabilityPolicy, RecoveryManager
+from repro.evaluation.report import format_table
+
+from .conftest import RESULTS_DIR, emit
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Serving workload at benchmark scale (lighter than the cluster benchmark:
+#: the interesting axis here is durability, not parallelism).
+NUM_STATIONS = 4
+NUM_SERIES = 4
+WINDOW_DAYS = 1
+STREAM_DAYS = 0.5
+MISSING_DAYS = 0.3
+
+#: Checkpoint every day's worth of records per session (288 five-minute
+#: samples) — the WAL tail a recovery replays is bounded by this.
+CHECKPOINT_EVERY = 288
+
+#: Snapshot writes timed for the checkpoint-throughput section.
+CHECKPOINT_WRITES = 20
+
+#: The durable run must stay within this factor of the in-memory run.  WAL
+#: appends are a pickle plus a buffered write per 64-record block, so the
+#: true overhead is a few percent; 2.0 leaves CI noise a wide margin.
+MAX_OVERHEAD_RATIO = 2.0
+
+
+def test_bench_durability(run_once, tmp_path):
+    workload = build_multistation_workload(
+        num_stations=NUM_STATIONS,
+        num_series=NUM_SERIES,
+        window_days=WINDOW_DAYS,
+        stream_days=STREAM_DAYS,
+        missing_days=MISSING_DAYS,
+        seed=2017,
+    )
+    config = DurabilityConfig(
+        tmp_path / "state", DurabilityPolicy(checkpoint_every=CHECKPOINT_EVERY)
+    )
+
+    def measure():
+        base_seconds, base_results = run_single_blocked(workload)
+        durable_seconds, durable_results = run_single_blocked(
+            workload, durability=config
+        )
+
+        # Checkpoint write throughput: repeated atomic snapshot writes of
+        # the fully primed-and-streamed TKCM session state the durable run
+        # left on disk (blob size ~= window buffers of one station).  The
+        # probe writes into its own store so the real durability root stays
+        # exactly as the "crash" left it for the recovery section below.
+        from repro.durability import CheckpointStore
+
+        session_id = workload.stations[0]
+        blob = config.make_store().read_checkpoint(session_id)
+        probe_store = CheckpointStore(tmp_path / "checkpoint-probe")
+        started = time.perf_counter()
+        for _ in range(CHECKPOINT_WRITES):
+            probe_store.write_checkpoint(session_id, blob, tick=0)
+        checkpoint_seconds = time.perf_counter() - started
+
+        # Recovery: the durable service was abandoned mid-epoch; rebuild its
+        # fleet from the latest checkpoints plus the WAL tails.
+        survivor = ImputationService()
+        report = RecoveryManager(config).recover_into(
+            survivor, session_ids=workload.stations
+        )
+        return {
+            "base_seconds": base_seconds,
+            "base_results": base_results,
+            "durable_seconds": durable_seconds,
+            "durable_results": durable_results,
+            "checkpoint_seconds": checkpoint_seconds,
+            "checkpoint_bytes": len(blob),
+            "report": report,
+        }
+
+    measured = run_once(measure)
+
+    base_seconds = measured["base_seconds"]
+    durable_seconds = measured["durable_seconds"]
+    identical = results_identical(
+        measured["durable_results"], measured["base_results"]
+    )
+    assert identical, (
+        "durable serving must produce bit-identical estimates to the "
+        "in-memory service"
+    )
+    report = measured["report"]
+    assert report.session_ids == sorted(workload.stations)
+    assert report.records_replayed > 0, (
+        "the abandoned epoch must leave a WAL tail for recovery to replay"
+    )
+
+    overhead = durable_seconds / base_seconds
+    record = {
+        "workload": "multi_station_durability",
+        "stations": NUM_STATIONS,
+        "records": workload.num_records,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "base_seconds": base_seconds,
+        "base_records_per_s": workload.num_records / base_seconds,
+        "durable_seconds": durable_seconds,
+        "durable_records_per_s": workload.num_records / durable_seconds,
+        "wal_overhead_ratio": overhead,
+        "durable_identical": identical,
+        "checkpoint_writes": CHECKPOINT_WRITES,
+        "checkpoint_blob_bytes": measured["checkpoint_bytes"],
+        "checkpoints_per_s": CHECKPOINT_WRITES / measured["checkpoint_seconds"],
+        "checkpoint_mb_per_s": (
+            CHECKPOINT_WRITES * measured["checkpoint_bytes"]
+            / measured["checkpoint_seconds"] / 1e6
+        ),
+        "recovery_sessions": len(report.sessions),
+        "recovery_records_replayed": report.records_replayed,
+        "recovery_replay_seconds": report.replay_seconds,
+        "recovery_records_per_s": (
+            report.records_replayed / report.replay_seconds
+            if report.replay_seconds
+            else 0.0
+        ),
+        "max_overhead_ratio": MAX_OVERHEAD_RATIO,
+    }
+
+    payload = json.dumps(record, indent=2) + "\n"
+    (REPO_ROOT / "BENCH_durability.json").write_text(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_durability.json").write_text(payload)
+
+    emit(
+        "BENCH durability — WAL overhead, checkpoint throughput, recovery",
+        format_table([
+            {
+                "mode": "in-memory",
+                "seconds": base_seconds,
+                "records_per_s": record["base_records_per_s"],
+            },
+            {
+                "mode": "durable",
+                "seconds": durable_seconds,
+                "records_per_s": record["durable_records_per_s"],
+            },
+        ])
+        + "\n"
+        + format_table([
+            {
+                "wal_overhead": f"{overhead:.3f}x",
+                "ckpt_per_s": record["checkpoints_per_s"],
+                "ckpt_mb_per_s": record["checkpoint_mb_per_s"],
+                "replayed": report.records_replayed,
+                "replay_s": report.replay_seconds,
+            },
+        ]),
+    )
+
+    assert overhead < MAX_OVERHEAD_RATIO, (
+        f"durable serving is {overhead:.2f}x the in-memory service "
+        f"(allowed < {MAX_OVERHEAD_RATIO}x)"
+    )

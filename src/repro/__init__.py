@@ -28,6 +28,11 @@ The library is organised in layers:
   (:class:`ShardRouter` rendezvous placement, per-tick push batching in the
   workers, live drain/rebalance via snapshots, per-worker telemetry) behind
   the same push/snapshot surface as the single-process service.
+* :mod:`repro.durability` — crash safety for both serving tiers:
+  :class:`CheckpointStore` (atomic, versioned, integrity-hashed snapshot
+  files), :class:`WriteAheadLog` (block-framed record log since the last
+  checkpoint), and :class:`RecoveryManager`, which restores a session, a
+  service, or a whole cluster fleet to its exact pre-crash state.
 
 Quickstart::
 
@@ -60,14 +65,24 @@ Or, push-based, through the service layer (any registered method)::
 from .cluster import ClusterCoordinator, ShardRouter
 from .config import DEFAULT_BATCH_SIZE, ExperimentConfig, StreamConfig, TKCMConfig
 from .core import ImputationResult, TKCMImputer
+from .durability import (
+    CheckpointStore,
+    DurabilityConfig,
+    DurabilityPolicy,
+    RecoveryManager,
+    RecoveryReport,
+    WriteAheadLog,
+)
 from .exceptions import (
     ClusterError,
     ConfigurationError,
     DatasetError,
+    DurabilityError,
     ImputationError,
     InsufficientDataError,
     MissingReferenceError,
     NotFittedError,
+    RecoveryError,
     ReproError,
     ServiceError,
     StreamError,
@@ -76,7 +91,7 @@ from .registry import ImputerRegistry, list_methods, make_imputer, register
 from .results import SeriesEstimate, TickResult
 from .service import ImputationService, ImputationSession
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "TKCMConfig",
@@ -93,6 +108,12 @@ __all__ = [
     "ImputationService",
     "ClusterCoordinator",
     "ShardRouter",
+    "CheckpointStore",
+    "WriteAheadLog",
+    "DurabilityConfig",
+    "DurabilityPolicy",
+    "RecoveryManager",
+    "RecoveryReport",
     "TickResult",
     "SeriesEstimate",
     "ReproError",
@@ -105,5 +126,7 @@ __all__ = [
     "NotFittedError",
     "ServiceError",
     "ClusterError",
+    "DurabilityError",
+    "RecoveryError",
     "__version__",
 ]

@@ -15,6 +15,12 @@ The CLI exposes the workflows a downstream user needs without writing Python:
 * ``tkcm-repro serve-bench`` — benchmark the sharded serving cluster against
   the single-process service on the multi-station workload and print the
   throughput/speedup table (optionally ``--json`` the record).
+* ``tkcm-repro checkpoint --dir <root>`` — inspect a durability root:
+  sessions, checkpoint versions/ticks, WAL tail sizes; ``--verify`` also
+  re-hashes every checkpoint and integrity-scans every WAL.
+* ``tkcm-repro recover --dir <root>`` — run a non-destructive recovery
+  drill: rebuild every stored session in memory (latest checkpoint + WAL
+  replay) and report what a real crash recovery would restore.
 
 Streams are replayed through the batch execution path by default
 (:data:`~repro.config.DEFAULT_BATCH_SIZE` ticks per block); ``--no-batch``
@@ -160,6 +166,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", dest="json_path", default=None,
                        help="also write the benchmark record to this path")
     serve.set_defaults(handler=_cmd_serve_bench)
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint",
+        help="inspect (and optionally verify) a durability root",
+    )
+    checkpoint.add_argument("--dir", dest="root", required=True,
+                            help="durability root directory (a service root, "
+                                 "or a cluster root with worker-* shards)")
+    checkpoint.add_argument("--session", action="append", default=None,
+                            help="restrict to one session id "
+                                 "(repeatable; default: all)")
+    checkpoint.add_argument("--verify", action="store_true",
+                            help="re-hash every retained checkpoint blob and "
+                                 "integrity-scan every WAL tail (a torn tail "
+                                 "from a crash mid-append is reported but is "
+                                 "not a failure — recovery truncates it)")
+    checkpoint.add_argument("--json", dest="json_path", default=None,
+                            help="also write the inspection record to this path")
+    checkpoint.set_defaults(handler=_cmd_checkpoint)
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="run a non-destructive recovery drill on a durability root",
+    )
+    recover.add_argument("--dir", dest="root", required=True,
+                         help="durability root directory (a service root, or "
+                              "a cluster root with worker-* shards)")
+    recover.add_argument("--session", action="append", default=None,
+                         help="restrict to one session id "
+                              "(repeatable; default: all)")
+    recover.add_argument("--json", dest="json_path", default=None,
+                         help="also write the recovery report to this path")
+    recover.set_defaults(handler=_cmd_recover)
 
     return parser
 
@@ -383,6 +422,153 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "cluster outputs diverged from the single-process service — "
             "this is a bug; please report it"
         )
+    return 0
+
+
+def _durability_stores(root: str, sessions):
+    """Yield ``(shard label, store, session id)`` rows for a durability root.
+
+    Handles both layouts: a single-service root holding session directories
+    directly, and a cluster root holding per-worker ``worker-*`` shards.
+    """
+    from .durability import discover_stores
+
+    stores = discover_stores(root)
+    if not stores:
+        raise ReproError(
+            f"no checkpoint stores found under {root!r} (expected session "
+            f"manifests, or worker-* shard directories containing them)"
+        )
+    wanted = set(sessions) if sessions else None
+    for label, store in sorted(stores.items()):
+        for session_id in store.session_ids():
+            if wanted is None or session_id in wanted:
+                yield label, store, session_id
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .durability import scan_wal
+    from .exceptions import DurabilityError
+
+    rows = []
+    intact = True
+    for label, store, session_id in _durability_stores(args.root, args.session):
+        info = store.latest_checkpoint(session_id)
+        if info is None:
+            continue
+        row: Dict[str, object] = {
+            "shard": label or "-",
+            "session": session_id,
+            "version": info.version,
+            "tick": info.tick,
+            "ckpt_bytes": info.size,
+        }
+        wal_path = store.wal_path(session_id, info.version)
+        wal_corrupt = False
+        if os.path.exists(wal_path):
+            try:
+                scan = scan_wal(wal_path)
+                row["wal_records"] = scan.records
+                row["wal_bytes"] = scan.file_bytes
+                wal_torn = scan.torn
+            except DurabilityError:  # wrong magic: not a crash artefact
+                row["wal_records"] = "?"
+                row["wal_bytes"] = os.path.getsize(wal_path)
+                wal_torn = True
+                wal_corrupt = True
+        else:
+            row["wal_records"] = 0
+            row["wal_bytes"] = 0
+            wal_torn = False
+        if args.verify:
+            # Every *retained* checkpoint and WAL must verify — the older
+            # versions are the rollback margin, so silent corruption there
+            # matters too.  A torn WAL tail, by contrast, is the normal
+            # signature of a crash mid-append (recovery truncates it away)
+            # and is reported separately without failing the verification.
+            ok = not wal_corrupt
+            for retained in store.checkpoints(session_id):
+                try:
+                    store.read_checkpoint(session_id, retained.version)
+                except DurabilityError:
+                    ok = False
+                if retained.version == info.version:
+                    continue  # its WAL was already scanned for the listing
+                retained_wal = store.wal_path(session_id, retained.version)
+                if os.path.exists(retained_wal):
+                    try:
+                        wal_torn = wal_torn or scan_wal(retained_wal).torn
+                    except DurabilityError:  # wrong magic / unreadable
+                        ok = False
+            row["intact"] = ok
+            row["wal_torn"] = wal_torn
+            intact = intact and ok
+        rows.append(row)
+    if not rows:
+        raise ReproError(f"no sessions matched under {args.root!r}")
+    print(format_table(rows, title=f"checkpoint store — {args.root}"))
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump({"root": args.root, "sessions": rows}, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote inspection record to {args.json_path}")
+    if args.verify and not intact:
+        raise ReproError(
+            "integrity verification failed for at least one session "
+            "(see the table above)"
+        )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from .durability import RecoveryManager
+    from .service import ImputationService
+
+    rows = []
+    reports = []
+    for label, store, session_id in _durability_stores(args.root, args.session):
+        # A plain in-memory service keeps the drill non-destructive: nothing
+        # on disk is rotated, pruned, or deleted.
+        drill = ImputationService()
+        report = RecoveryManager(store).recover_into(drill, session_ids=[session_id])
+        reports.append(report)
+        for outcome in report.sessions:
+            rows.append({
+                "shard": label or "-",
+                "session": outcome.session_id,
+                "version": outcome.checkpoint_version,
+                "ckpt_tick": outcome.checkpoint_tick,
+                "replayed": outcome.wal_records,
+                "replay_s": outcome.replay_seconds,
+                "final_tick": outcome.final_tick,
+            })
+    if not rows:
+        raise ReproError(f"no sessions matched under {args.root!r}")
+    print(format_table(rows, title=f"recovery drill — {args.root}"))
+    total_records = sum(report.records_replayed for report in reports)
+    total_seconds = sum(report.replay_seconds for report in reports)
+    print(f"recovered {len(rows)} session(s), replayed {total_records} "
+          f"record(s) in {total_seconds:.3f}s — on-disk state untouched")
+    if args.json_path:
+        payload = {
+            "root": args.root,
+            "sessions": [
+                outcome.as_dict()
+                for report in reports
+                for outcome in report.sessions
+            ],
+            "records_replayed": total_records,
+            "replay_seconds": total_seconds,
+        }
+        with open(args.json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote recovery report to {args.json_path}")
     return 0
 
 

@@ -20,6 +20,12 @@ surface and its bit-identical output guarantees:
   routed, ticks imputed, queue depth, push latency) and their aggregation.
 * :mod:`~repro.cluster.bench` — the shared multi-station serving workload
   behind ``tkcm-repro serve-bench`` and ``benchmarks/test_bench_cluster.py``.
+
+With a :class:`~repro.durability.journal.DurabilityConfig` the cluster is
+also crash-safe: every worker journals its shard to disk, and the
+coordinator detects dead workers, respawns them, and restores their shards
+(``heal()``) — or rebuilds a whole fleet (``recover_from_disk()``) — with
+bit-identical results (see :mod:`repro.durability`).
 """
 
 from .coordinator import ClusterCoordinator

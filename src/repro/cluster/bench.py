@@ -183,14 +183,18 @@ def run_single_push(workload: ServingWorkload):
 
 
 def run_single_blocked(
-    workload: ServingWorkload, block_records: int = 64
+    workload: ServingWorkload, block_records: int = 64, durability=None
 ) -> Tuple[float, Dict[str, list]]:
     """One process fed through per-session micro-batches of ``block_records``.
 
     Isolates the batching contribution: this is what the cluster's ingestion
-    path does, minus the extra processes and pipes.
+    path does, minus the extra processes and pipes.  ``durability`` (a
+    :class:`~repro.durability.journal.DurabilityConfig`) makes the run
+    crash-safe; comparing against ``durability=None`` on the same workload
+    isolates the WAL/checkpoint overhead
+    (``benchmarks/test_bench_durability.py``).
     """
-    service = ImputationService()
+    service = ImputationService(durability=durability)
     _populate(service, workload)
     results: Dict[str, list] = {station: [] for station in workload.stations}
     started = time.perf_counter()

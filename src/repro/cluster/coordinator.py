@@ -35,6 +35,16 @@ Both preserve bit-identical outputs: a stream pushed across a mid-stream
 drain or rebalance produces exactly the estimates of an uninterrupted
 single-process run (``tests/cluster/test_cluster.py``).
 
+Constructed with a :class:`~repro.durability.journal.DurabilityConfig`, the
+cluster is additionally *crash-safe*: every worker journals its shard to its
+own subdirectory of the durability root (``worker-00/``, ``worker-01/``,
+...), and the coordinator can detect a dead worker
+(:meth:`ClusterCoordinator.dead_workers`), respawn it, and restore its shard
+from disk (:meth:`ClusterCoordinator.recover_worker` /
+:meth:`ClusterCoordinator.heal`) — or rebuild an entire fleet after a full
+outage (:meth:`ClusterCoordinator.recover_from_disk`).  Recovered sessions
+resume bit-identically (``tests/cluster/test_crash_recovery.py``).
+
 Results cross process boundaries as pickles, so everything said about
 trusting snapshot blobs in :mod:`repro.service.session` applies to the
 cluster's pipes as well — they are process-local and never leave the machine.
@@ -45,7 +55,10 @@ from __future__ import annotations
 import multiprocessing
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from ..exceptions import ClusterError, ServiceError
+from ..durability.journal import DurabilityConfig
+from ..durability.recovery import RecoveryManager, RecoveryReport
+from ..durability.store import discover_stores
+from ..exceptions import ClusterError, RecoveryError, ServiceError
 from ..results import TickResult
 from ..service.session import Tick
 from .router import MovePlan, ShardRouter
@@ -91,6 +104,7 @@ class ClusterCoordinator:
         start_method: Optional[str] = None,
         linger_records: int = DEFAULT_LINGER_RECORDS,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
         if num_workers < 1:
             raise ClusterError(f"a cluster needs at least one worker, got {num_workers}")
@@ -98,8 +112,9 @@ class ClusterCoordinator:
             raise ClusterError(f"linger_records must be >= 1, got {linger_records}")
         self._context = multiprocessing.get_context(start_method)
         self._router = ShardRouter(num_workers)
+        self._durability = durability
         self._workers: List[ClusterWorker] = [
-            ClusterWorker(i, self._context) for i in range(num_workers)
+            self._spawn_worker(i) for i in range(num_workers)
         ]
         self._linger_records = int(linger_records)
         self._max_inflight = int(max_inflight)
@@ -110,7 +125,19 @@ class ClusterCoordinator:
         #: Results collected early (backpressure) awaiting the next flush().
         self._stash: Dict[str, List[TickResult]] = {}
         self._records_routed: Dict[int, int] = {i: 0 for i in range(num_workers)}
+        #: Coordinator-side recovery telemetry (surfaced by stats()).
+        self._worker_recoveries = 0
+        self._recovery_replay_seconds = 0.0
+        self._recovery_records_replayed = 0
+        self._lost_inflight_records = 0
         self._closed = False
+
+    def _spawn_worker(self, index: int) -> ClusterWorker:
+        """Start one worker process, durability-scoped to its own subdirectory."""
+        durability = (
+            self._durability.for_worker(index) if self._durability else None
+        )
+        return ClusterWorker(index, self._context, durability=durability)
 
     # ------------------------------------------------------------------ #
     # Topology introspection
@@ -265,8 +292,10 @@ class ClusterCoordinator:
     # Checkpointing (ImputationService surface)
     # ------------------------------------------------------------------ #
     def snapshot(self, session_id: str) -> bytes:
-        """Checkpoint one session into an opaque blob (see
-        :meth:`ImputationSession.snapshot` for the trust caveats)."""
+        """Checkpoint one session into an opaque blob.
+
+        See :meth:`ImputationSession.snapshot` for the trust caveats.
+        """
         self._ensure_open()
         self._flush_linger()
         shard = self._require_session(session_id)
@@ -349,7 +378,7 @@ class ClusterCoordinator:
         self._flush_linger()
         self._collect_into_stash()
         for index in range(self.num_workers, new_worker_count):
-            self._workers.append(ClusterWorker(index, self._context))
+            self._workers.append(self._spawn_worker(index))
             self._inflight[index] = 0
             self._records_routed[index] = 0  # a fresh process starts at zero
         plan = self._router.resize(new_worker_count)
@@ -363,6 +392,184 @@ class ClusterCoordinator:
                 del self._records_routed[index]
         return plan
 
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+    # ------------------------------------------------------------------ #
+    @property
+    def durability(self) -> Optional[DurabilityConfig]:
+        """The durability configuration, or ``None`` for an in-memory cluster."""
+        return self._durability
+
+    def dead_workers(self) -> List[int]:
+        """Indices of workers that are no longer usable (crashed or fenced)."""
+        return [
+            worker.worker_id for worker in self._workers if not worker.alive
+        ]
+
+    def terminate_worker(self, worker_index: int) -> None:
+        """Hard-kill one worker process without draining it (crash injection).
+
+        The worker dies exactly like an OOM kill would take it: no graceful
+        shutdown, in-flight results lost.  On a durable cluster every record
+        it had acknowledged remains recoverable from its on-disk shard —
+        follow up with :meth:`recover_worker` or :meth:`heal`.
+        """
+        self._ensure_open()
+        if not 0 <= worker_index < len(self._workers):
+            raise ClusterError(
+                f"worker {worker_index} out of range for "
+                f"{len(self._workers)} workers"
+            )
+        self._workers[worker_index].kill()
+
+    def recover_worker(self, worker_index: int) -> RecoveryReport:
+        """Respawn one dead worker and restore its shard from disk.
+
+        The replacement process is started on the same index, every session
+        the router places there is restored from its latest checkpoint, and
+        the WAL tail is replayed through the vectorised block path — the
+        recovered shard then resumes serving bit-identically.  Routing is
+        untouched: the shard map still names this worker, so traffic resumes
+        as soon as this method returns.
+
+        Pipelined records that were in flight to the dead worker are
+        reported as ``lost_inflight_records``: their *results* were never
+        collected and cannot be, but any record the worker journaled before
+        dying is still replayed from the WAL, so the count is an upper
+        bound on true state loss.  Raises
+        :class:`~repro.exceptions.ClusterError` when the worker is still
+        alive (use :meth:`terminate_worker` first) or the cluster has no
+        durability, and :class:`~repro.exceptions.RecoveryError` when a
+        routed session has no on-disk state.
+        """
+        self._ensure_open()
+        self._require_durability("recover a worker")
+        if not 0 <= worker_index < len(self._workers):
+            raise ClusterError(
+                f"worker {worker_index} out of range for "
+                f"{len(self._workers)} workers"
+            )
+        if self._workers[worker_index].alive:
+            raise ClusterError(
+                f"worker {worker_index} is still alive; terminate_worker() "
+                f"it first if a forced restart is intended"
+            )
+        # Validate recoverability BEFORE touching any state: failing after
+        # the respawn would strand the shard empty, discard the in-flight
+        # accounting, and make a retry impossible ("worker is still alive").
+        sessions = self._router.sessions_on(worker_index)
+        manager = RecoveryManager(self._durability.for_worker(worker_index))
+        on_disk = set(manager.store.session_ids())
+        missing = [s for s in sessions if s not in on_disk]
+        if missing:
+            raise RecoveryError(
+                f"worker {worker_index} routes sessions with no on-disk "
+                f"state: {missing}; they cannot be recovered"
+            )
+        # Fence the predecessor before respawning: a timeout-poisoned worker
+        # counts as dead (its pipe is useless) while its *process* may still
+        # be running — and still journaling into this shard's directory.
+        # kill() is a no-op for an already-exited process.
+        self._workers[worker_index].kill()
+        lost = self._inflight.get(worker_index, 0)
+        self._inflight[worker_index] = 0
+        self._workers[worker_index] = self._spawn_worker(worker_index)
+        # Hold back pipelined rows queued for any unsendable shard: this
+        # worker's sessions (not restored yet) and every *other* dead
+        # worker's sessions (their pipes are gone).  A flush triggered by
+        # the replay below must not try to deliver either kind.
+        unsendable = set(sessions)
+        for worker in self._workers:
+            if not worker.alive:
+                unsendable.update(self._router.sessions_on(worker.worker_id))
+        held = {
+            session_id: self._linger.pop(session_id)
+            for session_id in unsendable
+            if session_id in self._linger
+        }
+        try:
+            report = manager.recover_into(self, session_ids=sessions)
+        finally:
+            for session_id, rows in held.items():
+                self._linger[session_id] = rows
+        report.lost_inflight_records = lost
+        self._count_recovery(report)
+        return report
+
+    def heal(self) -> Dict[int, RecoveryReport]:
+        """Respawn and recover every dead worker; returns reports by index.
+
+        The one-call repair loop: ``cluster.heal()`` after any
+        :class:`~repro.exceptions.ClusterError` that signalled a worker
+        death brings the fleet back to full strength with all shards
+        restored from disk.
+        """
+        self._ensure_open()
+        self._require_durability("heal the cluster")
+        return {
+            index: self.recover_worker(index) for index in self.dead_workers()
+        }
+
+    def recover_from_disk(self) -> RecoveryReport:
+        """Rebuild sessions persisted by a previous cluster (full-fleet recovery).
+
+        Scans the durability root for every per-worker shard directory (the
+        previous fleet may have had a different worker count), restores each
+        stored session onto its current rendezvous worker, and replays its
+        WAL tail.  When several shard directories hold copies of one session
+        (a crash mid-migration), the copy with the most advanced checkpoint
+        wins.  Source artifacts that now live under a different worker's
+        directory are deleted after the restore succeeds, so the disk ends
+        up exactly mirroring the new topology — no orphaned state.
+
+        Sessions already live on this cluster are skipped, which makes the
+        call idempotent.
+        """
+        self._ensure_open()
+        self._require_durability("recover a fleet from disk")
+        self._flush_linger()
+        stores = discover_stores(self._durability.root)
+        # Pick the most advanced copy per session id.
+        best: Dict[str, Tuple[Tuple[int, int], str, object]] = {}
+        for label, store in stores.items():
+            for session_id in store.session_ids():
+                info = store.latest_checkpoint(session_id)
+                if info is None:
+                    continue
+                key = (info.tick, info.version)
+                if session_id not in best or key > best[session_id][0]:
+                    best[session_id] = (key, label, store)
+        report = RecoveryReport()
+        for session_id, (_, label, store) in sorted(best.items()):
+            if session_id not in self._router:
+                report.merge(
+                    RecoveryManager(store).recover_into(
+                        self, session_ids=[session_id]
+                    )
+                )
+            # Stale copies are cleaned even for sessions that were already
+            # live (e.g. healed earlier): leaving them would let a later
+            # recovery resurrect an out-of-date replica.
+            owner_label = f"worker-{self._router.shard_of(session_id):02d}"
+            for other_label, other_store in stores.items():
+                if other_label != owner_label:
+                    other_store.delete_session(session_id)
+        self._count_recovery(report)
+        return report
+
+    def _require_durability(self, action: str) -> None:
+        if self._durability is None:
+            raise ClusterError(
+                f"cannot {action}: this cluster has no durability configured "
+                f"(pass durability=DurabilityConfig(...) to the coordinator)"
+            )
+
+    def _count_recovery(self, report: RecoveryReport) -> None:
+        self._worker_recoveries += 1
+        self._recovery_replay_seconds += report.replay_seconds
+        self._recovery_records_replayed += report.records_replayed
+        self._lost_inflight_records += report.lost_inflight_records
+
     def stats(self) -> Dict[str, object]:
         """Cluster telemetry: per-worker counters plus aggregate totals.
 
@@ -370,8 +577,13 @@ class ClusterCoordinator:
         :class:`~repro.cluster.telemetry.WorkerTelemetry` (records routed,
         blocks executed, ticks imputed, push latency, queue depths) plus the
         coordinator-side ``records_sent`` and the sessions it owns.  The
-        ``"cluster"`` entry aggregates across workers.  Everything is plain
-        JSON-serialisable data.
+        ``"cluster"`` entry aggregates across workers.  On a durable cluster
+        each worker additionally reports its ``durability`` counters
+        (checkpoints written, WAL records/bytes), and the aggregate gains
+        the coordinator's recovery telemetry (``worker_recoveries``,
+        ``recovery_replay_seconds``, ``recovery_records_replayed``,
+        ``lost_inflight_records``).  Everything is plain JSON-serialisable
+        data.
         """
         self._ensure_open()
         self._flush_linger()
@@ -386,14 +598,30 @@ class ClusterCoordinator:
             )
         cluster = aggregate_stats(per_worker)
         cluster["drained_workers"] = self._router.drained_shards
+        if self._durability is not None:
+            durability = cluster.setdefault("durability", {})
+            durability["worker_recoveries"] = self._worker_recoveries
+            durability["recovery_replay_seconds"] = (
+                float(durability.get("recovery_replay_seconds", 0.0))
+                + self._recovery_replay_seconds
+            )
+            durability["recovery_records_replayed"] = (
+                int(durability.get("recovery_records_replayed", 0))
+                + self._recovery_records_replayed
+            )
+            durability["lost_inflight_records"] = self._lost_inflight_records
         return {"workers": per_worker, "cluster": cluster}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def shutdown(self) -> None:
-        """Stop every worker process.  Idempotent; session state is lost
-        unless it was snapshotted first."""
+        """Stop every worker process (idempotent).
+
+        In-memory session state is lost unless it was snapshotted first; on
+        a durable cluster the on-disk checkpoints and WAL tails survive and
+        :meth:`recover_from_disk` on a successor brings the fleet back.
+        """
         if self._closed:
             return
         self._closed = True
@@ -486,11 +714,17 @@ class ClusterCoordinator:
                 session_id: self._workers[source].recv_reply()
                 for session_id, (source, _) in chunk
             }
-            for session_id, (source, destination) in chunk:
+            for session_id, (_, destination) in chunk:
                 self._workers[destination].send_request(
                     "restore", session_id, blobs[session_id]
                 )
-                self._workers[source].send_request("remove_session", session_id)
-            for session_id, (source, destination) in chunk:
+            for session_id, (_, destination) in chunk:
                 self._workers[destination].recv_reply()
+            # Only after every destination acknowledged its restore (on a
+            # durable cluster: its fresh checkpoint is on disk) may the
+            # sources drop theirs — removing earlier would open a crash
+            # window with zero durable copies of a migrating session.
+            for session_id, (source, _) in chunk:
+                self._workers[source].send_request("remove_session", session_id)
+            for session_id, (source, _) in chunk:
                 self._workers[source].recv_reply()

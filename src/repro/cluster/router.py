@@ -175,8 +175,11 @@ class ShardRouter:
         }
 
     def drain(self, shard: int) -> MovePlan:
-        """Apply :meth:`plan_drain`: mark ``shard`` drained and re-place its
-        sessions.  Returns the executed move plan."""
+        """Apply :meth:`plan_drain` and return the executed move plan.
+
+        The shard is marked drained (no new placements) and its sessions
+        are re-placed on the remaining active shards.
+        """
         plan = self.plan_drain(shard)
         self._drained.add(shard)
         for session_id, (_, destination) in plan.items():
@@ -184,10 +187,10 @@ class ShardRouter:
         return plan
 
     def plan_resize(self, new_shard_count: int) -> MovePlan:
-        """Moves required to re-spread every session over ``new_shard_count``
-        shards (all active again — a resize ends any drains).
+        """Moves required to re-spread the sessions over a new shard count.
 
-        The plan is minimal: a session moves only if its rendezvous winner
+        All ``new_shard_count`` shards count as active again — a resize ends
+        any drains.  The plan is minimal: a session moves only if its rendezvous winner
         among ``0 .. new_shard_count - 1`` differs from where it lives now.
         Growing the cluster therefore only moves sessions *onto* the new
         shards, and shrinking only moves sessions *off* the removed ones.

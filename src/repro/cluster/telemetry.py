@@ -90,11 +90,28 @@ class WorkerTelemetry:
         }
 
 
+#: Durability counter keys summed across workers by :func:`aggregate_stats`
+#: (the dict each durable worker exports under its ``"durability"`` key —
+#: see :class:`repro.durability.store.DurabilityCounters`).
+_DURABILITY_KEYS = (
+    "checkpoints_written",
+    "checkpoint_bytes",
+    "wal_records",
+    "wal_bytes",
+    "wal_syncs",
+    "recoveries",
+    "recovery_replay_seconds",
+    "recovery_records_replayed",
+)
+
+
 def aggregate_stats(per_worker: Mapping[int, Mapping[str, object]]) -> Dict[str, object]:
     """Merge per-worker telemetry dicts into one cluster-wide summary.
 
     Sums the throughput counters, takes the max of the queue depths, and
-    recomputes the derived averages from the summed totals.
+    recomputes the derived averages from the summed totals.  When any worker
+    reports a ``durability`` sub-dict its counters are summed into a
+    cluster-wide ``durability`` entry as well.
     """
     totals = {
         "workers": len(per_worker),
@@ -124,4 +141,14 @@ def aggregate_stats(per_worker: Mapping[int, Mapping[str, object]]) -> Dict[str,
         if totals["blocks_executed"]
         else 0.0
     )
+    durability: Dict[str, float] = {}
+    for stats in per_worker.values():
+        worker_durability = stats.get("durability")
+        if not worker_durability:
+            continue
+        for key in _DURABILITY_KEYS:
+            value = worker_durability.get(key, 0)
+            durability[key] = durability.get(key, 0) + value
+    if durability:
+        totals["durability"] = durability
     return totals

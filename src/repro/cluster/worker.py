@@ -69,9 +69,9 @@ def _execute_pending(service, telemetry, pending, buffered, deferred) -> None:
     pending.clear()
 
 
-def _worker_main(worker_id: int, conn) -> None:  # pragma: no cover - child process
+def _worker_main(worker_id: int, conn, durability=None) -> None:  # pragma: no cover - child process
     """Entry point of the worker child process (covered via subprocesses)."""
-    service = ImputationService()
+    service = ImputationService(durability=durability)
     telemetry = WorkerTelemetry(worker_id=worker_id)
     buffered: Dict[str, List[TickResult]] = {}
     deferred: List[Exception] = []
@@ -136,6 +136,9 @@ def _worker_main(worker_id: int, conn) -> None:  # pragma: no cover - child proc
                 elif op == "stats":
                     telemetry.sessions = service.session_ids
                     reply = telemetry.as_dict()
+                    durability_stats = service.durability_stats()
+                    if durability_stats is not None:
+                        reply["durability"] = durability_stats
                 elif op == "session_ids":
                     reply = service.session_ids
                 elif op == "shutdown":
@@ -151,6 +154,7 @@ def _worker_main(worker_id: int, conn) -> None:  # pragma: no cover - child proc
                 break
         else:
             _execute_pending(service, telemetry, pending, buffered, deferred)
+    service.close()  # release WAL handles; on-disk state stays recoverable
     conn.close()
 
 
@@ -167,13 +171,13 @@ class ClusterWorker:
     fanning one command out to many workers before gathering any reply.
     """
 
-    def __init__(self, worker_id: int, context) -> None:
+    def __init__(self, worker_id: int, context, durability=None) -> None:
         self.worker_id = int(worker_id)
         parent_conn, child_conn = context.Pipe(duplex=True)
         self._conn = parent_conn
         self._process = context.Process(
             target=_worker_main,
-            args=(self.worker_id, child_conn),
+            args=(self.worker_id, child_conn, durability),
             name=f"repro-cluster-worker-{self.worker_id}",
             daemon=True,
         )
@@ -235,8 +239,34 @@ class ClusterWorker:
     # ------------------------------------------------------------------ #
     @property
     def alive(self) -> bool:
-        """Whether the worker process is still running."""
-        return self._process.is_alive()
+        """Whether the worker is still usable (process up, pipe open).
+
+        A worker whose connection was poisoned by a reply timeout counts as
+        dead even while its process lingers: the FIFO protocol on that pipe
+        can never be resynchronised, so the only way forward is a restart
+        (see :meth:`ClusterCoordinator.recover_worker
+        <repro.cluster.coordinator.ClusterCoordinator.recover_worker>`).
+        """
+        return self._process.is_alive() and not self._conn.closed
+
+    def kill(self) -> None:
+        """Hard-kill the worker process without draining it (crash injection).
+
+        Unlike :meth:`stop` there is no graceful ``shutdown`` RPC: the
+        process is terminated mid-flight, exactly like an OOM kill or a node
+        failure.  Used by the crash-recovery tests and by
+        :meth:`ClusterCoordinator.terminate_worker
+        <repro.cluster.coordinator.ClusterCoordinator.terminate_worker>`;
+        with durability enabled, every record the worker acknowledged is
+        recoverable from its checkpoint store afterwards.
+        """
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=10.0)
+        if self._process.is_alive():  # pragma: no cover - wedged worker
+            self._process.kill()
+            self._process.join(timeout=10.0)
+        self._conn.close()
 
     def stop(self, timeout: float = 10.0) -> None:
         """Shut the worker down: graceful ``shutdown`` RPC, then escalate."""

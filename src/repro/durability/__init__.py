@@ -1,0 +1,57 @@
+"""Durability tier: crash-safe persistence and recovery for the serving tiers.
+
+The in-memory serving layers already guarantee exact
+``snapshot()``/``restore()`` round trips; this package makes that state
+survive process death:
+
+* :class:`~repro.durability.store.CheckpointStore` — versioned snapshot
+  blobs on disk, written atomically (write-to-temporary + fsync + rename)
+  with a per-session JSON manifest carrying SHA-256 integrity hashes.
+* :class:`~repro.durability.wal.WriteAheadLog` — an append-only, block-framed,
+  fsync-batched log of the records pushed since the last checkpoint; torn
+  tails from a crash mid-append are detected and truncated on replay.
+* :class:`~repro.durability.journal.SessionJournal` +
+  :class:`~repro.durability.journal.DurabilityPolicy` — the checkpoint
+  policy glue: every applied record is WAL-appended, and every
+  ``checkpoint_every`` records the session is re-snapshotted and the WAL
+  rotated.
+* :class:`~repro.durability.recovery.RecoveryManager` — rebuilds a session,
+  an :class:`~repro.service.service.ImputationService`, or a whole
+  :class:`~repro.cluster.coordinator.ClusterCoordinator` fleet to the exact
+  pre-crash state: latest checkpoint, then WAL-tail replay through the
+  vectorised block path, bit-identically (``tests/durability/``).
+
+Enable it by passing a :class:`~repro.durability.journal.DurabilityConfig`
+to the service or the coordinator::
+
+    from repro import DurabilityConfig, DurabilityPolicy, ImputationService
+
+    service = ImputationService(
+        durability=DurabilityConfig("state/", DurabilityPolicy(checkpoint_every=512))
+    )
+
+See ``ARCHITECTURE.md`` for where this tier sits in the system and
+``DESIGN.md`` Sec. 2c for the on-disk formats.
+"""
+
+from .journal import DurabilityConfig, DurabilityPolicy, SessionJournal
+from .recovery import RecoveryManager, RecoveryReport, SessionRecovery
+from .store import CheckpointStore, CheckpointInfo, DurabilityCounters, discover_stores
+from .wal import WriteAheadLog, WalScan, read_wal, scan_wal
+
+__all__ = [
+    "CheckpointStore",
+    "CheckpointInfo",
+    "DurabilityConfig",
+    "DurabilityCounters",
+    "DurabilityPolicy",
+    "RecoveryManager",
+    "RecoveryReport",
+    "SessionJournal",
+    "SessionRecovery",
+    "WalScan",
+    "WriteAheadLog",
+    "discover_stores",
+    "read_wal",
+    "scan_wal",
+]

@@ -1,0 +1,200 @@
+"""Checkpoint policy and the per-session durability journal.
+
+The journal is the glue between a live
+:class:`~repro.service.session.ImputationSession` and the on-disk layer:
+every record the session applies is appended to the session's current
+:class:`~repro.durability.wal.WriteAheadLog`, and once
+:attr:`DurabilityPolicy.checkpoint_every` records have accumulated the
+journal snapshots the session into the
+:class:`~repro.durability.store.CheckpointStore` and rotates the WAL.  The
+invariant at every instant is therefore::
+
+    on-disk state = latest checkpoint + its WAL tail
+                  = the session, bit-identically
+
+which is exactly what :class:`~repro.durability.recovery.RecoveryManager`
+rebuilds after a crash.
+
+Ordering: the session applies a record first and journals it second, before
+the push returns.  A crash between the two can only lose records whose
+results were never delivered to the producer, so every *acknowledged* record
+is recoverable (fsync batching relaxes this to process-crash durability; see
+:mod:`repro.durability.wal`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import DurabilityError
+from .store import DEFAULT_KEEP_CHECKPOINTS, CheckpointStore
+from .wal import DEFAULT_FSYNC_EVERY, WriteAheadLog
+
+__all__ = ["DurabilityPolicy", "DurabilityConfig", "SessionJournal"]
+
+#: Default records between automatic checkpoints.
+DEFAULT_CHECKPOINT_EVERY = 1024
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """Tuning knobs of the durability layer (all plain ints, picklable)."""
+
+    #: Records (= session ticks) between automatic checkpoints.  Smaller
+    #: values shorten recovery replay; larger values amortise snapshot cost.
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+    #: WAL appends per ``fsync`` (``0`` disables fsync; see the WAL module).
+    fsync_every: int = DEFAULT_FSYNC_EVERY
+    #: Checkpoint versions retained per session.
+    keep_checkpoints: int = DEFAULT_KEEP_CHECKPOINTS
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise DurabilityError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.fsync_every < 0:
+            raise DurabilityError(
+                f"fsync_every must be >= 0, got {self.fsync_every}"
+            )
+        if self.keep_checkpoints < 1:
+            raise DurabilityError(
+                f"keep_checkpoints must be >= 1, got {self.keep_checkpoints}"
+            )
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Where and how a service persists its sessions (picklable).
+
+    Passed to :class:`~repro.service.service.ImputationService` or
+    :class:`~repro.cluster.coordinator.ClusterCoordinator`; the cluster
+    forwards a per-worker variant (:meth:`for_worker`) into each worker
+    process, so concurrent workers never share a session directory.
+    """
+
+    #: Root directory of the checkpoint store.
+    root: str
+    #: Checkpointing/fsync policy.
+    policy: DurabilityPolicy = field(default_factory=DurabilityPolicy)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "root", os.fspath(self.root))
+
+    def for_worker(self, worker_id: int) -> "DurabilityConfig":
+        """The same config scoped to one cluster worker's subdirectory."""
+        return DurabilityConfig(
+            root=os.path.join(self.root, f"worker-{int(worker_id):02d}"),
+            policy=self.policy,
+        )
+
+    def make_store(self) -> CheckpointStore:
+        """Open a :class:`CheckpointStore` on this config's root."""
+        return CheckpointStore(
+            self.root, keep_checkpoints=self.policy.keep_checkpoints
+        )
+
+
+class SessionJournal:
+    """Policy-driven durability for one attached session.
+
+    A journal is created by the owning service when a session is created,
+    added, or restored, and attached via
+    :meth:`~repro.service.session.ImputationSession.attach_journal`.  The
+    session calls :meth:`record` after applying every push; the journal
+    appends to the WAL and triggers a checkpoint whenever the policy says
+    so.  Attaching always writes an initial checkpoint, so a session is
+    recoverable from its very first record.
+    """
+
+    def __init__(
+        self, store: CheckpointStore, session_id: str, policy: DurabilityPolicy
+    ) -> None:
+        self.store = store
+        self.session_id = session_id
+        self.policy = policy
+        self._wal: Optional[WriteAheadLog] = None
+        self._records_since_checkpoint = 0
+        self._wal_syncs_reported = 0
+        self.checkpoint_version: Optional[int] = None
+
+    @property
+    def records_since_checkpoint(self) -> int:
+        """Records appended to the current WAL since the last checkpoint."""
+        return self._records_since_checkpoint
+
+    def attach(self, session) -> "SessionJournal":
+        """Attach to ``session`` and write its initial checkpoint."""
+        session.attach_journal(self)
+        self.checkpoint(session)
+        return self
+
+    def record(self, session, matrix: np.ndarray, mask=None) -> None:
+        """Journal one applied block and checkpoint if the policy is due."""
+        if self._wal is None:
+            raise DurabilityError(
+                f"journal for session {self.session_id!r} has no WAL — "
+                f"attach() it before recording"
+            )
+        before = self._wal.bytes_written
+        self._wal.append_block(matrix, mask)
+        self.store.counters.wal_records += int(np.shape(matrix)[0])
+        self.store.counters.wal_bytes += self._wal.bytes_written - before
+        self._report_syncs()
+        self._records_since_checkpoint += int(np.shape(matrix)[0])
+        if self._records_since_checkpoint >= self.policy.checkpoint_every:
+            self.checkpoint(session)
+
+    def checkpoint(self, session) -> int:
+        """Snapshot the session now and rotate the WAL; returns the version.
+
+        The new checkpoint is durable before the previous WAL becomes
+        prunable, so there is no instant at which recovery would find
+        neither a complete checkpoint nor the log that reaches it.
+        """
+        if self._wal is not None:
+            self._wal.close()
+            self._report_syncs()
+            self._wal = None
+        version = self.store.write_checkpoint(
+            self.session_id, session.snapshot(), tick=session.ticks_seen
+        )
+        self.checkpoint_version = version
+        self._records_since_checkpoint = 0
+        self._wal_syncs_reported = 0
+        self._wal = WriteAheadLog(
+            self.store.wal_path(self.session_id, version),
+            fsync_every=self.policy.fsync_every,
+        )
+        return version
+
+    def close(self) -> None:
+        """Close the WAL file handle; on-disk state is left intact."""
+        if self._wal is not None:
+            self._wal.close()
+            self._report_syncs()
+            self._wal = None
+
+    def _report_syncs(self) -> None:
+        """Fold newly performed fsyncs into the shared counters.
+
+        Called per append (not just at rotation) so ``wal_syncs`` telemetry
+        tracks reality instead of lagging a whole checkpoint epoch behind.
+        """
+        if self._wal is None:
+            return
+        delta = self._wal.syncs - self._wal_syncs_reported
+        if delta:
+            self.store.counters.wal_syncs += delta
+            self._wal_syncs_reported = self._wal.syncs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SessionJournal(session={self.session_id!r}, "
+            f"version={self.checkpoint_version}, "
+            f"pending={self._records_since_checkpoint})"
+        )

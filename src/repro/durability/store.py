@@ -1,0 +1,387 @@
+"""Durable, versioned checkpoint storage for imputation sessions.
+
+A :class:`CheckpointStore` owns one directory tree of per-session state.
+Each session gets its own subdirectory (the id is percent-encoded so ids
+like ``"stations/alpine"`` are filesystem-safe) holding:
+
+* ``checkpoint-<version>.ckpt`` — opaque session snapshot blobs (the exact
+  bytes of :meth:`~repro.service.session.ImputationSession.snapshot`), one
+  per checkpoint version;
+* ``wal-<version>.log`` — the write-ahead log of records pushed *after*
+  checkpoint ``<version>`` (see :mod:`repro.durability.wal`);
+* ``MANIFEST.json`` — the session's checkpoint index: for every retained
+  version, its file name, byte size, SHA-256 digest, and the session tick
+  it captures.
+
+Every write is crash-atomic: blobs and manifests are written to a temporary
+file, fsynced, and ``os.replace``\\ d into place, so a reader never observes
+a half-written checkpoint and a crash mid-write leaves the previous version
+intact.  Reads verify the manifest's SHA-256 digest before returning a blob,
+so silent corruption is detected instead of restored.
+
+One store directory has a single writer at a time (the service or worker
+process that owns its sessions); the cluster tier gives every worker its own
+subdirectory via :meth:`DurabilityConfig.for_worker
+<repro.durability.journal.DurabilityConfig.for_worker>` so concurrent
+workers never share a manifest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import urllib.parse
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..exceptions import DurabilityError
+
+__all__ = [
+    "CheckpointStore",
+    "CheckpointInfo",
+    "DurabilityCounters",
+    "discover_stores",
+    "MANIFEST_NAME",
+    "MANIFEST_FORMAT",
+    "DEFAULT_KEEP_CHECKPOINTS",
+]
+
+#: File name of the per-session checkpoint index.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Manifest format version; bumped when the JSON layout changes.
+MANIFEST_FORMAT = 1
+
+#: Checkpoint versions retained per session (older ones are pruned together
+#: with their WAL files when a new checkpoint lands).
+DEFAULT_KEEP_CHECKPOINTS = 2
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Metadata of one stored checkpoint (one manifest entry)."""
+
+    #: Monotonically increasing checkpoint version within the session.
+    version: int
+    #: Session ticks captured by the snapshot (``ticks_seen`` at write time).
+    tick: int
+    #: Blob file name inside the session directory.
+    file: str
+    #: Blob size in bytes.
+    size: int
+    #: Hex SHA-256 digest of the blob.
+    sha256: str
+
+
+@dataclass
+class DurabilityCounters:
+    """Running durability telemetry, shared by one store and its journals."""
+
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    wal_records: int = 0
+    wal_bytes: int = 0
+    wal_syncs: int = 0
+    recoveries: int = 0
+    recovery_replay_seconds: float = 0.0
+    recovery_records_replayed: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view, JSON-serialisable."""
+        return {
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "wal_records": self.wal_records,
+            "wal_bytes": self.wal_bytes,
+            "wal_syncs": self.wal_syncs,
+            "recoveries": self.recoveries,
+            "recovery_replay_seconds": self.recovery_replay_seconds,
+            "recovery_records_replayed": self.recovery_records_replayed,
+        }
+
+
+def _quote(session_id: str) -> str:
+    """Filesystem-safe directory name for a session id (reversible)."""
+    if not session_id:
+        # quote("") is "" — the session directory would alias the store
+        # root itself, and delete_session would rmtree the whole store.
+        raise DurabilityError("session ids must be non-empty")
+    name = urllib.parse.quote(session_id, safe="")
+    if name in (".", ".."):
+        # quote() treats dots as unreserved, but these two names traverse
+        # out of (or alias) the store root.  %2E round-trips via unquote.
+        name = name.replace(".", "%2E")
+    return name
+
+
+def _fsync_directory(path: str) -> None:
+    """Flush a directory entry to disk (best effort; not on all platforms)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` via write-to-temporary + fsync + rename."""
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as error:
+        raise DurabilityError(f"cannot write {path!r}: {error}") from error
+    _fsync_directory(os.path.dirname(path))
+
+
+class CheckpointStore:
+    """Versioned snapshot files plus manifests under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Directory owning the per-session subdirectories; created on first
+        write.
+    keep_checkpoints:
+        Checkpoint versions retained per session; older versions (and their
+        WAL files) are pruned when a newer checkpoint is written.
+    counters:
+        Optional shared :class:`DurabilityCounters`; a fresh instance is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        keep_checkpoints: int = DEFAULT_KEEP_CHECKPOINTS,
+        counters: Optional[DurabilityCounters] = None,
+    ) -> None:
+        if keep_checkpoints < 1:
+            raise DurabilityError(
+                f"keep_checkpoints must be >= 1, got {keep_checkpoints}"
+            )
+        self.root = os.fspath(root)
+        self.keep_checkpoints = int(keep_checkpoints)
+        self.counters = counters if counters is not None else DurabilityCounters()
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    def session_dir(self, session_id: str) -> str:
+        """Directory holding one session's checkpoints, manifest, and WALs."""
+        return os.path.join(self.root, _quote(session_id))
+
+    def wal_path(self, session_id: str, version: int) -> str:
+        """Path of the WAL holding records pushed after checkpoint ``version``."""
+        return os.path.join(self.session_dir(session_id), f"wal-{version:08d}.log")
+
+    def _checkpoint_file(self, version: int) -> str:
+        return f"checkpoint-{version:08d}.ckpt"
+
+    def _manifest_path(self, session_id: str) -> str:
+        return os.path.join(self.session_dir(session_id), MANIFEST_NAME)
+
+    # ------------------------------------------------------------------ #
+    # Manifest
+    # ------------------------------------------------------------------ #
+    def _load_manifest(self, session_id: str) -> Optional[dict]:
+        path = self._manifest_path(session_id)
+        try:
+            with open(path, "r") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as error:
+            raise DurabilityError(
+                f"corrupt manifest for session {session_id!r} at {path!r}: {error}"
+            ) from error
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise DurabilityError(
+                f"unsupported manifest format {manifest.get('format')!r} for "
+                f"session {session_id!r} (expected {MANIFEST_FORMAT})"
+            )
+        return manifest
+
+    def _save_manifest(self, session_id: str, manifest: dict) -> None:
+        payload = (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
+        _atomic_write(self._manifest_path(session_id), payload)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def write_checkpoint(self, session_id: str, blob: bytes, *, tick: int) -> int:
+        """Durably store one snapshot blob; returns its new version number.
+
+        The blob lands atomically (write-to-temporary, fsync, rename) and
+        the manifest is updated the same way, so a crash at any point leaves
+        either the previous or the new checkpoint fully readable.  Versions
+        beyond ``keep_checkpoints`` are pruned, WAL files included.
+        """
+        directory = self.session_dir(session_id)
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as error:
+            raise DurabilityError(
+                f"cannot create session directory {directory!r}: {error}"
+            ) from error
+        manifest = self._load_manifest(session_id) or {
+            "format": MANIFEST_FORMAT,
+            "session_id": session_id,
+            "checkpoints": [],
+        }
+        version = 1 + max(
+            (entry["version"] for entry in manifest["checkpoints"]), default=0
+        )
+        file_name = self._checkpoint_file(version)
+        _atomic_write(os.path.join(directory, file_name), blob)
+        manifest["checkpoints"].append(
+            {
+                "version": version,
+                "tick": int(tick),
+                "file": file_name,
+                "size": len(blob),
+                "sha256": hashlib.sha256(blob).hexdigest(),
+            }
+        )
+        retained = manifest["checkpoints"][-self.keep_checkpoints:]
+        pruned = manifest["checkpoints"][: -self.keep_checkpoints]
+        manifest["checkpoints"] = retained
+        self._save_manifest(session_id, manifest)
+        for entry in pruned:
+            for stale in (
+                os.path.join(directory, entry["file"]),
+                self.wal_path(session_id, entry["version"]),
+            ):
+                try:
+                    os.remove(stale)
+                except FileNotFoundError:
+                    pass
+        self.counters.checkpoints_written += 1
+        self.counters.checkpoint_bytes += len(blob)
+        return version
+
+    def delete_session(self, session_id: str) -> bool:
+        """Remove every on-disk artifact of one session; True if any existed."""
+        directory = self.session_dir(session_id)
+        if not os.path.isdir(directory):
+            return False
+        shutil.rmtree(directory)
+        _fsync_directory(self.root)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def session_ids(self) -> List[str]:
+        """Ids of every session with a manifest under this root, sorted."""
+        if not os.path.isdir(self.root):
+            return []
+        found = []
+        for name in os.listdir(self.root):
+            manifest_path = os.path.join(self.root, name, MANIFEST_NAME)
+            if os.path.isfile(manifest_path):
+                found.append(urllib.parse.unquote(name))
+        return sorted(found)
+
+    def checkpoints(self, session_id: str) -> List[CheckpointInfo]:
+        """All retained checkpoints of one session, oldest first."""
+        manifest = self._load_manifest(session_id)
+        if manifest is None:
+            return []
+        return [
+            CheckpointInfo(
+                version=entry["version"],
+                tick=entry["tick"],
+                file=entry["file"],
+                size=entry["size"],
+                sha256=entry["sha256"],
+            )
+            for entry in manifest["checkpoints"]
+        ]
+
+    def latest_checkpoint(self, session_id: str) -> Optional[CheckpointInfo]:
+        """The newest retained checkpoint, or ``None`` for an unknown id."""
+        checkpoints = self.checkpoints(session_id)
+        return checkpoints[-1] if checkpoints else None
+
+    def read_checkpoint(
+        self, session_id: str, version: Optional[int] = None
+    ) -> bytes:
+        """Read one snapshot blob, verifying its SHA-256 against the manifest.
+
+        ``version`` defaults to the latest retained checkpoint.  A digest or
+        size mismatch raises :class:`~repro.exceptions.DurabilityError`
+        rather than returning corrupt state.
+        """
+        checkpoints = self.checkpoints(session_id)
+        if not checkpoints:
+            raise DurabilityError(
+                f"no checkpoints stored for session {session_id!r} under "
+                f"{self.root!r}"
+            )
+        if version is None:
+            info = checkpoints[-1]
+        else:
+            by_version = {entry.version: entry for entry in checkpoints}
+            if version not in by_version:
+                raise DurabilityError(
+                    f"checkpoint version {version} of session {session_id!r} "
+                    f"is not retained (have {sorted(by_version)})"
+                )
+            info = by_version[version]
+        path = os.path.join(self.session_dir(session_id), info.file)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as error:
+            raise DurabilityError(
+                f"cannot read checkpoint {path!r}: {error}"
+            ) from error
+        if len(blob) != info.size or hashlib.sha256(blob).hexdigest() != info.sha256:
+            raise DurabilityError(
+                f"checkpoint {path!r} failed integrity verification "
+                f"(expected {info.size} bytes, sha256 {info.sha256[:12]}...)"
+            )
+        return blob
+
+    def __contains__(self, session_id: str) -> bool:
+        return os.path.isfile(self._manifest_path(session_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckpointStore(root={self.root!r})"
+
+
+def discover_stores(root) -> Dict[str, CheckpointStore]:
+    """Find every checkpoint store under ``root``.
+
+    Returns ``{label: store}``: the root itself under label ``""`` when it
+    directly holds session manifests, plus one entry per ``worker-*``
+    subdirectory (the layout :class:`~repro.durability.journal.
+    DurabilityConfig.for_worker` produces for cluster fleets).  Useful for
+    fleet-wide recovery and for the ``tkcm-repro checkpoint`` CLI, which
+    must handle both single-service and cluster roots.
+    """
+    root = os.fspath(root)
+    stores: Dict[str, CheckpointStore] = {}
+    direct = CheckpointStore(root)
+    if direct.session_ids():
+        stores[""] = direct
+    if os.path.isdir(root):
+        for name in sorted(os.listdir(root)):
+            if not name.startswith("worker-"):
+                continue
+            candidate = CheckpointStore(os.path.join(root, name))
+            if candidate.session_ids():
+                stores[name] = candidate
+    return stores

@@ -1,0 +1,296 @@
+"""Write-ahead log of records pushed since the last checkpoint.
+
+A :class:`WriteAheadLog` is an append-only, block-framed file: every
+:meth:`WriteAheadLog.append_block` call writes one self-delimiting frame
+holding a ``(rows, num_series)`` float matrix (plus an optional presence
+mask, see below).  Crash recovery replays the frames behind the latest
+checkpoint through :meth:`~repro.service.session.ImputationSession.push_block`,
+so a replay runs through the same vectorised batch path as live serving and
+reproduces the pre-crash state bit-identically.
+
+On-disk format (documented for external tooling in ``DESIGN.md`` Sec. 2c)::
+
+    [8-byte file magic b"TKWAL001"]
+    frame*:
+        [u32 little-endian payload length]
+        [u32 little-endian CRC-32 of the payload]
+        [u32 little-endian row count of the frame's matrix]
+        [payload: pickle (pinned protocol) of (matrix, mask-or-None)]
+
+The row count is redundant with the payload but lets :func:`scan_wal`
+integrity-check and size a log without unpickling anything — ``tkcm-repro
+checkpoint --verify`` inspects possibly corrupt files and must not execute
+their payloads.
+
+``matrix`` is a C-contiguous ``float64`` array of pushed rows aligned with
+the session's series order; ``mask`` is a boolean array of the same shape
+that preserves which series were *present* in a mapping-shaped push (an
+absent series and an explicit ``NaN`` are different inputs to a duck-typed
+imputer, so replay must reproduce the distinction).  ``mask is None`` marks
+the common fully-positional case, which replays as one vectorised block.
+
+Durability levels: every append ``flush()``\\ es the userspace buffer, so a
+*process* crash (``kill -9``) loses nothing that was acknowledged; ``fsync``
+is batched (one per ``fsync_every`` appends, plus one on close/rotation), so
+an *operating-system* crash can lose at most the records appended since the
+last sync.  A torn final frame — the signature of a crash mid-append — is
+detected by the length/CRC framing and truncated away on replay.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DurabilityError
+
+__all__ = [
+    "WriteAheadLog",
+    "WalScan",
+    "read_wal",
+    "scan_wal",
+    "WAL_MAGIC",
+    "WAL_PICKLE_PROTOCOL",
+    "DEFAULT_FSYNC_EVERY",
+]
+
+#: File magic identifying (and versioning) the WAL format.
+WAL_MAGIC = b"TKWAL001"
+
+#: Frame header: little-endian (payload length, CRC-32 of payload, rows).
+_FRAME_HEADER = struct.Struct("<III")
+
+#: Pickle protocol for frame payloads — pinned for the same mixed-version
+#: cluster reason as :data:`repro.service.session.SNAPSHOT_PICKLE_PROTOCOL`.
+WAL_PICKLE_PROTOCOL = 4
+
+#: Default number of appends between ``fsync`` calls (see module docstring
+#: for what the batching does and does not protect against).
+DEFAULT_FSYNC_EVERY = 64
+
+
+class WriteAheadLog:
+    """Append-only writer for one WAL file.
+
+    Parameters
+    ----------
+    path:
+        File to append to.  A fresh file gets the :data:`WAL_MAGIC` header;
+        appending to an existing WAL resumes after its current end.
+    fsync_every:
+        Number of appends per ``os.fsync``.  ``0`` disables fsync entirely
+        (OS-crash durability is then only as good as the kernel's writeback).
+    """
+
+    def __init__(self, path, *, fsync_every: int = DEFAULT_FSYNC_EVERY) -> None:
+        if fsync_every < 0:
+            raise DurabilityError(f"fsync_every must be >= 0, got {fsync_every}")
+        self.path = os.fspath(path)
+        self._fsync_every = int(fsync_every)
+        self._appends_since_sync = 0
+        self.frames_written = 0
+        self.records_written = 0
+        self.bytes_written = 0
+        self.syncs = 0
+        try:
+            self._file = open(self.path, "ab")
+            if self._file.tell() == 0:
+                self._file.write(WAL_MAGIC)
+                self._file.flush()
+                self.bytes_written += len(WAL_MAGIC)
+        except OSError as error:
+            raise DurabilityError(f"cannot open WAL {self.path!r}: {error}") from error
+
+    @property
+    def closed(self) -> bool:
+        """Whether the underlying file has been closed."""
+        return self._file.closed
+
+    def append_block(
+        self, matrix: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> int:
+        """Append one block of pushed rows; returns the bytes written.
+
+        ``matrix`` is coerced to a C-contiguous float64 ``(rows, series)``
+        array.  ``mask`` (same shape, boolean) records which cells were
+        present in the original push; pass ``None`` for fully-positional
+        pushes so replay can use the vectorised block path.
+        """
+        if self._file.closed:
+            raise DurabilityError(f"WAL {self.path!r} is closed")
+        block = np.ascontiguousarray(matrix, dtype=float)
+        if block.ndim != 2:
+            raise DurabilityError(
+                f"WAL blocks must be 2-D (rows, series), got shape {block.shape}"
+            )
+        if mask is not None:
+            mask = np.ascontiguousarray(mask, dtype=bool)
+            if mask.shape != block.shape:
+                raise DurabilityError(
+                    f"mask shape {mask.shape} does not match block {block.shape}"
+                )
+            if mask.all():
+                mask = None  # fully present: replayable as one block
+        payload = pickle.dumps((block, mask), protocol=WAL_PICKLE_PROTOCOL)
+        frame = (
+            _FRAME_HEADER.pack(len(payload), zlib.crc32(payload), block.shape[0])
+            + payload
+        )
+        try:
+            self._file.write(frame)
+            # Hand the frame to the kernel immediately: an acknowledged push
+            # must survive a crash of *this* process.
+            self._file.flush()
+        except OSError as error:
+            raise DurabilityError(
+                f"cannot append to WAL {self.path!r}: {error}"
+            ) from error
+        self.frames_written += 1
+        self.records_written += block.shape[0]
+        self.bytes_written += len(frame)
+        self._appends_since_sync += 1
+        if self._fsync_every and self._appends_since_sync >= self._fsync_every:
+            self.sync()
+        return len(frame)
+
+    def sync(self) -> None:
+        """Force the appended frames onto stable storage (``fsync``)."""
+        if self._file.closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.syncs += 1
+        self._appends_since_sync = 0
+
+    def close(self) -> None:
+        """Sync (unless fsync is disabled) and close the file; idempotent."""
+        if self._file.closed:
+            return
+        if self._fsync_every and self._appends_since_sync:
+            self.sync()
+        self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog(path={self.path!r}, frames={self.frames_written}, "
+            f"records={self.records_written})"
+        )
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """Summary of one WAL file produced by :func:`scan_wal`."""
+
+    #: Complete, checksum-valid frames found.
+    frames: int
+    #: Total rows across the valid frames.
+    records: int
+    #: Bytes covered by the header plus the valid frames.
+    valid_bytes: int
+    #: Total file size on disk.
+    file_bytes: int
+    #: Whether the file ends in an incomplete or corrupt frame (crash tail).
+    torn: bool
+
+
+def read_wal(path) -> Iterator[Tuple[np.ndarray, Optional[np.ndarray]]]:
+    """Yield ``(matrix, mask)`` blocks from a WAL file, oldest first.
+
+    Replay stops silently at the first incomplete or checksum-corrupt frame:
+    a torn tail is the expected signature of a crash mid-append, and every
+    record behind it was never acknowledged.  An empty or short-magic file is
+    the same thing one step earlier — a crash between WAL rotation and the
+    first durable write — and yields no frames.  A missing file or a
+    full-length *wrong* magic raises
+    :class:`~repro.exceptions.DurabilityError` — those are not crash
+    artefacts.
+    """
+    path = os.fspath(path)
+    try:
+        handle = open(path, "rb")
+    except OSError as error:
+        raise DurabilityError(f"cannot open WAL {path!r}: {error}") from error
+    with handle:
+        magic = handle.read(len(WAL_MAGIC))
+        if len(magic) < len(WAL_MAGIC):
+            return  # torn (or never-written) header: an empty log
+        if magic != WAL_MAGIC:
+            raise DurabilityError(
+                f"{path!r} is not a WAL file (bad magic {magic!r})"
+            )
+        while True:
+            header = handle.read(_FRAME_HEADER.size)
+            if len(header) < _FRAME_HEADER.size:
+                return  # clean end of log (or torn header)
+            length, crc, _ = _FRAME_HEADER.unpack(header)
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return  # torn or corrupt tail: stop replay here
+            matrix, mask = pickle.loads(payload)
+            yield matrix, mask
+
+
+def scan_wal(path) -> WalScan:
+    """Integrity-scan a WAL file without deserialising any payload.
+
+    Frame sizes, checksums, and row counts all come from the headers, so a
+    scan never unpickles — safe to run on corrupt or untrusted files (the
+    ``tkcm-repro checkpoint --verify`` path).
+    """
+    path = os.fspath(path)
+    try:
+        file_bytes = os.path.getsize(path)
+        handle = open(path, "rb")
+    except OSError as error:
+        raise DurabilityError(f"cannot open WAL {path!r}: {error}") from error
+    frames = 0
+    records = 0
+    with handle:
+        magic = handle.read(len(WAL_MAGIC))
+        if len(magic) < len(WAL_MAGIC):
+            # A crash between rotation and the first durable write: an empty
+            # (clean) or partially-written (torn) header, zero frames.
+            return WalScan(
+                frames=0,
+                records=0,
+                valid_bytes=0,
+                file_bytes=file_bytes,
+                torn=len(magic) > 0,
+            )
+        if magic != WAL_MAGIC:
+            raise DurabilityError(
+                f"{path!r} is not a WAL file (bad magic {magic!r})"
+            )
+        valid_bytes = len(WAL_MAGIC)
+        while True:
+            header = handle.read(_FRAME_HEADER.size)
+            if len(header) < _FRAME_HEADER.size:
+                torn = len(header) > 0
+                break
+            length, crc, rows = _FRAME_HEADER.unpack(header)
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                torn = True
+                break
+            frames += 1
+            records += rows
+            valid_bytes += _FRAME_HEADER.size + length
+    return WalScan(
+        frames=frames,
+        records=records,
+        valid_bytes=valid_bytes,
+        file_bytes=file_bytes,
+        torn=torn,
+    )

@@ -48,3 +48,12 @@ class ServiceError(ReproError):
 class ClusterError(ReproError):
     """A cluster-level operation failed (e.g. a worker process died or an
     invalid shard was addressed)."""
+
+
+class DurabilityError(ReproError):
+    """A durable-storage operation failed (corrupt checkpoint, bad WAL frame,
+    unwritable store directory)."""
+
+
+class RecoveryError(DurabilityError):
+    """A crash-recovery operation could not restore the requested state."""

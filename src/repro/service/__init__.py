@@ -17,6 +17,11 @@ producer *push* records as they arrive:
 Results are the unified :class:`~repro.results.TickResult` /
 :class:`~repro.results.SeriesEstimate` model shared with the engine and the
 experiment runner.
+
+Both classes integrate with the durability tier: construct the service with
+a :class:`~repro.durability.journal.DurabilityConfig` and every session is
+checkpointed and write-ahead-logged to disk, recoverable bit-identically
+after a crash (see :mod:`repro.durability`).
 """
 
 from ..results import SeriesEstimate, TickResult

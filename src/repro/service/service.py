@@ -12,12 +12,22 @@ every session as an opaque blob keyed by session id, and
 :meth:`ImputationService.restore_all` rebuilds them — on the same process or
 on a different worker, which is the primitive later scaling work (sharding
 sessions across processes, draining a worker before rollout) builds on.
+
+Constructed with a :class:`~repro.durability.journal.DurabilityConfig`, the
+service is additionally *durable*: every session gets a
+:class:`~repro.durability.journal.SessionJournal` that write-ahead-logs
+applied records and checkpoints to disk on the configured policy, and
+:meth:`ImputationService.recover` rebuilds the whole fleet after a crash —
+bit-identically, latest checkpoint plus WAL-tail replay.  Removing a session
+(:meth:`ImputationService.remove_session` / ``close_session``) also deletes
+its on-disk artifacts, so a retired session leaves no orphaned state behind.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
+from ..durability.journal import DurabilityConfig, SessionJournal
 from ..exceptions import ServiceError
 from ..results import TickResult
 from .session import ImputationSession, Tick
@@ -27,6 +37,15 @@ __all__ = ["ImputationService"]
 
 class ImputationService:
     """Manage many named :class:`ImputationSession` objects.
+
+    Parameters
+    ----------
+    durability:
+        Optional :class:`~repro.durability.journal.DurabilityConfig`.  When
+        given, every session is journaled to disk under the config's root
+        (checkpoints plus write-ahead log, on the config's policy) and the
+        fleet is recoverable with :meth:`recover` after a crash.  Without
+        it, the service is purely in-memory, exactly as before.
 
     Examples
     --------
@@ -39,8 +58,85 @@ class ImputationService:
     1.0
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, durability: Optional[DurabilityConfig] = None) -> None:
         self._sessions: Dict[str, ImputationSession] = {}
+        self._durability = durability
+        self._store = durability.make_store() if durability is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+    @property
+    def durability(self) -> Optional[DurabilityConfig]:
+        """The durability configuration, or ``None`` for in-memory serving."""
+        return self._durability
+
+    @property
+    def store(self):
+        """The service's :class:`CheckpointStore`, or ``None`` if in-memory."""
+        return self._store
+
+    def durability_stats(self) -> Optional[Dict[str, object]]:
+        """Durability counters as a plain dict, or ``None`` if in-memory."""
+        if self._store is None:
+            return None
+        return self._store.counters.as_dict()
+
+    def _attach_journal(self, session_id: str, session: ImputationSession) -> None:
+        """Journal a session to disk (writes its initial checkpoint)."""
+        if self._store is None:
+            return
+        SessionJournal(
+            self._store, session_id, self._durability.policy
+        ).attach(session)
+
+    def _discard_journal(
+        self, session: ImputationSession, *, delete_artifacts: bool, session_id: str
+    ) -> None:
+        """Close a session's journal and optionally drop its on-disk state."""
+        journal = session.detach_journal()
+        if journal is not None:
+            journal.close()
+        if delete_artifacts and self._store is not None:
+            self._store.delete_session(session_id)
+
+    def recover(self, session_ids: Optional[Sequence[str]] = None):
+        """Rebuild sessions from this service's durability root.
+
+        Restores the latest checkpoint of every stored session (or of
+        ``session_ids`` only) and replays its WAL tail, then re-journals the
+        recovered sessions so the fleet is immediately crash-safe again.
+        The recovered sessions are bit-identical to their pre-crash state.
+        A :class:`~repro.durability.recovery.RecoveryReport` is returned.
+        """
+        if self._store is None:
+            raise ServiceError(
+                "this service has no durability configured; construct it "
+                "with ImputationService(durability=DurabilityConfig(...))"
+            )
+        # Imported lazily: repro.durability.recovery imports the service
+        # package, so a module-level import would be circular.
+        from ..durability.recovery import RecoveryManager
+
+        return RecoveryManager(self._store).recover_into(
+            self, session_ids=session_ids
+        )
+
+    def close(self) -> None:
+        """Shut the fleet down: release journal handles, drop the sessions.
+
+        The graceful counterpart of a crash: on-disk state is untouched, so
+        every session stays recoverable from its checkpoint and WAL tail.
+        The sessions are removed from the service — were they left pushable,
+        later records would be accepted but silently bypass the WAL, and a
+        recovery would lose them.  Recover into a fresh service (or this
+        one, via :meth:`recover`) to resume.
+        """
+        for session_id, session in self._sessions.items():
+            self._discard_journal(
+                session, delete_artifacts=False, session_id=session_id
+            )
+        self._sessions.clear()
 
     # ------------------------------------------------------------------ #
     # Session lifecycle
@@ -67,13 +163,19 @@ class ImputationService:
             method, series_names=series_names, warmup_ticks=warmup_ticks, **params
         )
         self._sessions[session_id] = session
+        self._attach_journal(session_id, session)
         return session
 
     def add_session(self, session_id: str, session: ImputationSession) -> None:
-        """Register an externally constructed (or restored) session."""
+        """Register an externally constructed (or restored) session.
+
+        On a durable service the session is journaled from this point on
+        (its current state becomes the initial checkpoint).
+        """
         if session_id in self._sessions:
             raise ServiceError(f"session {session_id!r} already exists")
         self._sessions[session_id] = session
+        self._attach_journal(session_id, session)
 
     def session(self, session_id: str) -> ImputationSession:
         """Look up a session by id."""
@@ -86,9 +188,16 @@ class ImputationService:
             ) from None
 
     def close_session(self, session_id: str) -> ImputationSession:
-        """Remove and return a session (e.g. after snapshotting it away)."""
+        """Remove and return a session (e.g. after snapshotting it away).
+
+        On a durable service this also deletes the session's on-disk
+        checkpoint/WAL artifacts — a removed session must not leave orphaned
+        state that a later recovery would wrongly resurrect.  Snapshot the
+        session first if its state should outlive the removal.
+        """
         session = self.session(session_id)
         del self._sessions[session_id]
+        self._discard_journal(session, delete_artifacts=True, session_id=session_id)
         return session
 
     def remove_session(self, session_id: str) -> None:
@@ -97,7 +206,8 @@ class ImputationService:
         The fleet-management counterpart of :meth:`close_session` for callers
         — like the cluster coordinator after migrating a session away — that
         only need the id gone; raises
-        :class:`~repro.exceptions.ServiceError` for unknown ids.
+        :class:`~repro.exceptions.ServiceError` for unknown ids.  Like
+        :meth:`close_session`, on-disk durability artifacts are deleted too.
         """
         self.close_session(session_id)
 
@@ -124,10 +234,24 @@ class ImputationService:
         return self.session(session_id).snapshot()
 
     def restore(self, session_id: str, blob: bytes) -> ImputationSession:
-        """Rebuild ``session_id`` from a snapshot blob, replacing any
-        existing session with that id (the migration path)."""
+        """Rebuild ``session_id`` from a snapshot blob (the migration path).
+
+        Replaces any existing session with that id.  On a durable service
+        the restored state immediately becomes a fresh on-disk checkpoint
+        (continuing the session's version sequence), so the migration target
+        is crash-safe from the first post-restore record.
+        """
+        previous = self._sessions.get(session_id)
+        if previous is not None:
+            # The replaced object is discarded, but its WAL handle must be
+            # closed; the on-disk artifacts stay — the restored session
+            # continues the same version sequence.
+            self._discard_journal(
+                previous, delete_artifacts=False, session_id=session_id
+            )
         session = ImputationSession.restore(blob)
         self._sessions[session_id] = session
+        self._attach_journal(session_id, session)
         return session
 
     def snapshot_all(self) -> Dict[str, bytes]:

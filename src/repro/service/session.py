@@ -16,6 +16,14 @@ worker, which is how a serving tier migrates sessions between machines.  The
 round-trip is exact: a restored session produces bit-identical imputations to
 one that was never interrupted (enforced by the parity tests under
 ``tests/service/``).
+
+Sessions can additionally be made *durable*: a
+:class:`~repro.durability.journal.SessionJournal` attached via
+:meth:`ImputationSession.attach_journal` write-ahead-logs every applied
+record and checkpoints the session to disk on the journal's policy, which is
+what crash recovery (:mod:`repro.durability`) replays.  The session itself
+stays storage-agnostic — it only calls the attached journal's ``record``
+hook after each successful push.
 """
 
 from __future__ import annotations
@@ -116,6 +124,7 @@ class ImputationSession:
         self.series_names: List[str] = [str(name) for name in names]
         self.warmup_ticks = int(warmup_ticks)
         self._tick = 0
+        self._journal = None
 
     # ------------------------------------------------------------------ #
     # Accounting
@@ -153,9 +162,14 @@ class ImputationSession:
         if hasattr(self.imputer, "prime"):
             self.imputer.prime(history)
             self._tick += length
-            return
-        for i in range(length):
-            self.push({name: float(history[name][i]) for name in names})
+        else:
+            for i in range(length):
+                self.push({name: float(history[name][i]) for name in names})
+        if self._journal is not None:
+            # Checkpointing after the bulk feed is much cheaper than logging
+            # the whole history to the WAL (and rotates away any rows the
+            # tick-loop fallback above appended).
+            self._journal.checkpoint(self)
 
     def push(self, tick: Tick) -> List[TickResult]:
         """Consume one record and return the imputations it produced.
@@ -178,6 +192,18 @@ class ImputationSession:
         index = self._tick
         outputs = self.imputer.observe(values)
         self._tick = index + 1
+        if self._journal is not None:
+            row = np.array(
+                [[values.get(name, np.nan) for name in self.series_names]]
+            )
+            if len(values) == len(self.series_names):
+                mask = None  # fully present: replayable as a block
+            else:
+                # Preserve which series were absent (not just NaN): a
+                # duck-typed imputer may treat the two differently, and
+                # recovery replay must be bit-exact.
+                mask = np.array([[name in values for name in self.series_names]])
+            self._journal.record(self, row, mask)
         if not outputs or index < self.warmup_ticks:
             return []
         return [TickResult.from_outputs(index, outputs)]
@@ -207,6 +233,8 @@ class ImputationSession:
         if hasattr(self.imputer, "observe_batch"):
             outputs = self.imputer.observe_batch(matrix, self.series_names)
             self._tick = base + matrix.shape[0]
+            if self._journal is not None:
+                self._journal.record(self, matrix)
             results = [
                 TickResult.from_outputs(base + int(offset), per_tick)
                 for offset, per_tick in sorted((outputs or {}).items())
@@ -217,6 +245,40 @@ class ImputationSession:
         for row in matrix:
             results.extend(self.push(row))
         return results
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+    @property
+    def journal(self):
+        """The attached durability journal, or ``None`` for an in-memory session."""
+        return self._journal
+
+    def attach_journal(self, journal) -> None:
+        """Attach a durability journal; every later push is logged through it.
+
+        ``journal`` is duck-typed — it needs ``record(session, matrix,
+        mask=None)`` and ``checkpoint(session)`` — and is normally a
+        :class:`~repro.durability.journal.SessionJournal` created by the
+        owning service.  A session holds at most one journal; attach over an
+        existing one raises :class:`~repro.exceptions.ServiceError` (detach
+        first so its file handles are closed deliberately).
+        """
+        if self._journal is not None:
+            raise ServiceError(
+                "a journal is already attached to this session; "
+                "detach_journal() it first"
+            )
+        self._journal = journal
+
+    def detach_journal(self):
+        """Detach and return the journal (``None`` if none was attached).
+
+        The caller owns closing the returned journal; the session simply
+        stops logging.
+        """
+        journal, self._journal = self._journal, None
+        return journal
 
     # ------------------------------------------------------------------ #
     # Checkpointing
@@ -279,6 +341,10 @@ class ImputationSession:
         if hasattr(self.imputer, "reset"):
             self.imputer.reset()
         self._tick = 0
+        if self._journal is not None:
+            # The durable state must reflect the reset, or recovery would
+            # resurrect the pre-reset stream.
+            self._journal.checkpoint(self)
 
     # ------------------------------------------------------------------ #
     # Input normalisation

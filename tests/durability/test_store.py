@@ -1,0 +1,184 @@
+"""Tests for the versioned, integrity-hashed checkpoint store."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.durability import CheckpointStore, discover_stores
+from repro.durability.store import MANIFEST_NAME
+from repro.exceptions import DurabilityError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "state")
+
+
+class TestWriteRead:
+    def test_roundtrip(self, store):
+        version = store.write_checkpoint("s", b"blob-one", tick=10)
+        assert version == 1
+        assert store.read_checkpoint("s") == b"blob-one"
+        info = store.latest_checkpoint("s")
+        assert info.version == 1 and info.tick == 10 and info.size == 8
+
+    def test_versions_increment(self, store):
+        assert store.write_checkpoint("s", b"a", tick=1) == 1
+        assert store.write_checkpoint("s", b"b", tick=2) == 2
+        assert store.read_checkpoint("s") == b"b"
+        assert store.read_checkpoint("s", version=1) == b"a"
+
+    def test_sessions_are_independent(self, store):
+        store.write_checkpoint("a", b"aa", tick=1)
+        store.write_checkpoint("b", b"bb", tick=2)
+        assert store.session_ids() == ["a", "b"]
+        assert store.read_checkpoint("a") == b"aa"
+
+    def test_unknown_session_raises(self, store):
+        with pytest.raises(DurabilityError, match="no checkpoints"):
+            store.read_checkpoint("ghost")
+
+    def test_unretained_version_raises(self, store):
+        for tick in range(5):
+            store.write_checkpoint("s", b"x", tick=tick)
+        with pytest.raises(DurabilityError, match="not retained"):
+            store.read_checkpoint("s", version=1)
+
+    def test_empty_root_lists_nothing(self, tmp_path):
+        assert CheckpointStore(tmp_path / "missing").session_ids() == []
+
+
+class TestFilesystemSafety:
+    def test_session_ids_with_slashes_and_spaces(self, store):
+        tricky = "stations/alpine north #1"
+        store.write_checkpoint(tricky, b"data", tick=3)
+        assert store.session_ids() == [tricky]
+        assert store.read_checkpoint(tricky) == b"data"
+        # The directory name must not create nested path components.
+        (entry,) = os.listdir(store.root)
+        assert "/" not in entry
+
+    @pytest.mark.parametrize("tricky", [".", "..", "...", "../../etc"])
+    def test_dot_session_ids_cannot_escape_the_root(self, store, tricky):
+        """Regression: '.' and '..' are untouched by percent-encoding, so an
+        unguarded session dir would alias or escape the store root (and
+        delete_session would rmtree outside it)."""
+        store.write_checkpoint(tricky, b"data", tick=1)
+        directory = os.path.realpath(store.session_dir(tricky))
+        root = os.path.realpath(store.root)
+        assert directory.startswith(root + os.sep) and directory != root
+        assert store.session_ids() == [tricky]
+        assert store.read_checkpoint(tricky) == b"data"
+        assert store.delete_session(tricky) is True
+        assert os.path.isdir(root)  # the root itself must survive
+
+    def test_empty_session_id_is_rejected(self, store):
+        with pytest.raises(DurabilityError, match="non-empty"):
+            store.write_checkpoint("", b"data", tick=1)
+
+    def test_no_temporary_files_left_behind(self, store):
+        store.write_checkpoint("s", b"blob", tick=1)
+        leftovers = [
+            name
+            for name in os.listdir(store.session_dir("s"))
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+
+class TestIntegrity:
+    def test_corrupt_blob_is_detected(self, store):
+        store.write_checkpoint("s", b"precious-state", tick=1)
+        info = store.latest_checkpoint("s")
+        path = os.path.join(store.session_dir("s"), info.file)
+        with open(path, "r+b") as handle:
+            handle.seek(3)
+            handle.write(b"X")
+        with pytest.raises(DurabilityError, match="integrity"):
+            store.read_checkpoint("s")
+
+    def test_truncated_blob_is_detected(self, store):
+        store.write_checkpoint("s", b"precious-state", tick=1)
+        info = store.latest_checkpoint("s")
+        path = os.path.join(store.session_dir("s"), info.file)
+        with open(path, "r+b") as handle:
+            handle.truncate(4)
+        with pytest.raises(DurabilityError, match="integrity"):
+            store.read_checkpoint("s")
+
+    def test_corrupt_manifest_is_reported(self, store):
+        store.write_checkpoint("s", b"blob", tick=1)
+        manifest = os.path.join(store.session_dir("s"), MANIFEST_NAME)
+        with open(manifest, "w") as handle:
+            handle.write("{ not json")
+        with pytest.raises(DurabilityError, match="manifest"):
+            store.read_checkpoint("s")
+
+    def test_unsupported_manifest_format_is_rejected(self, store):
+        store.write_checkpoint("s", b"blob", tick=1)
+        manifest = os.path.join(store.session_dir("s"), MANIFEST_NAME)
+        with open(manifest, "w") as handle:
+            json.dump({"format": 999, "session_id": "s", "checkpoints": []}, handle)
+        with pytest.raises(DurabilityError, match="format"):
+            store.read_checkpoint("s")
+
+
+class TestPruning:
+    def test_old_checkpoints_and_wals_are_pruned(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep_checkpoints=2)
+        for version in (1, 2, 3):
+            store.write_checkpoint("s", f"blob-{version}".encode(), tick=version)
+            # Simulate the journal opening a WAL for each checkpoint epoch.
+            if version < 3:
+                with open(store.wal_path("s", version), "wb") as handle:
+                    handle.write(b"TKWAL001")
+        versions = [info.version for info in store.checkpoints("s")]
+        assert versions == [2, 3]
+        files = set(os.listdir(store.session_dir("s")))
+        assert "checkpoint-00000001.ckpt" not in files
+        assert "wal-00000001.log" not in files
+        assert "wal-00000002.log" in files  # still within the retained chain
+
+    def test_keep_checkpoints_validation(self, tmp_path):
+        with pytest.raises(DurabilityError):
+            CheckpointStore(tmp_path, keep_checkpoints=0)
+
+
+class TestDelete:
+    def test_delete_session_removes_everything(self, store):
+        store.write_checkpoint("s", b"blob", tick=1)
+        assert store.delete_session("s") is True
+        assert store.session_ids() == []
+        assert not os.path.isdir(store.session_dir("s"))
+
+    def test_delete_unknown_session_is_a_noop(self, store):
+        assert store.delete_session("ghost") is False
+
+
+class TestCounters:
+    def test_checkpoint_counters_accumulate(self, store):
+        store.write_checkpoint("s", b"12345", tick=1)
+        store.write_checkpoint("s", b"123", tick=2)
+        assert store.counters.checkpoints_written == 2
+        assert store.counters.checkpoint_bytes == 8
+
+
+class TestDiscoverStores:
+    def test_flat_root(self, tmp_path):
+        CheckpointStore(tmp_path).write_checkpoint("s", b"x", tick=1)
+        stores = discover_stores(tmp_path)
+        assert list(stores) == [""]
+        assert stores[""].session_ids() == ["s"]
+
+    def test_cluster_root_with_worker_shards(self, tmp_path):
+        CheckpointStore(tmp_path / "worker-00").write_checkpoint("a", b"x", tick=1)
+        CheckpointStore(tmp_path / "worker-01").write_checkpoint("b", b"y", tick=1)
+        stores = discover_stores(tmp_path)
+        assert sorted(stores) == ["worker-00", "worker-01"]
+        assert stores["worker-01"].session_ids() == ["b"]
+
+    def test_empty_root(self, tmp_path):
+        assert discover_stores(tmp_path / "nothing") == {}

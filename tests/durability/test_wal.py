@@ -1,0 +1,174 @@
+"""Tests for the block-framed write-ahead log."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.durability import WriteAheadLog, read_wal, scan_wal
+from repro.durability.wal import WAL_MAGIC
+from repro.exceptions import DurabilityError
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "wal-00000001.log"
+
+
+def _blocks(path):
+    return list(read_wal(path))
+
+
+class TestRoundtrip:
+    def test_blocks_survive_exactly(self, wal_path):
+        first = np.array([[1.0, 2.0], [np.nan, 4.0]])
+        second = np.array([[5.5, np.nan]])
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(first)
+            wal.append_block(second)
+        blocks = _blocks(wal_path)
+        assert len(blocks) == 2
+        np.testing.assert_array_equal(blocks[0][0], first)
+        np.testing.assert_array_equal(blocks[1][0], second)
+        assert blocks[0][1] is None and blocks[1][1] is None
+
+    def test_presence_mask_roundtrip(self, wal_path):
+        matrix = np.array([[1.0, np.nan]])
+        mask = np.array([[True, False]])
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(matrix, mask)
+        ((_, stored_mask),) = _blocks(wal_path)
+        np.testing.assert_array_equal(stored_mask, mask)
+
+    def test_all_true_mask_is_normalised_to_none(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(np.ones((2, 2)), np.ones((2, 2), dtype=bool))
+        ((_, mask),) = _blocks(wal_path)
+        assert mask is None
+
+    def test_reopening_appends(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(np.array([[1.0]]))
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(np.array([[2.0]]))
+        values = [float(matrix[0, 0]) for matrix, _ in _blocks(wal_path)]
+        assert values == [1.0, 2.0]
+
+    def test_counters(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(np.zeros((3, 2)))
+            wal.append_block(np.zeros((2, 2)))
+            assert wal.frames_written == 2
+            assert wal.records_written == 5
+            assert wal.bytes_written > len(WAL_MAGIC)
+
+
+class TestValidation:
+    def test_one_dimensional_block_rejected(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            with pytest.raises(DurabilityError, match="2-D"):
+                wal.append_block(np.zeros(3))
+
+    def test_mask_shape_mismatch_rejected(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            with pytest.raises(DurabilityError, match="mask shape"):
+                wal.append_block(np.zeros((2, 2)), np.ones((1, 2), dtype=bool))
+
+    def test_append_after_close_rejected(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.close()
+        with pytest.raises(DurabilityError, match="closed"):
+            wal.append_block(np.zeros((1, 1)))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DurabilityError, match="cannot open"):
+            list(read_wal(tmp_path / "nope.log"))
+
+    def test_wrong_magic_raises(self, tmp_path):
+        path = tmp_path / "not-a-wal.log"
+        path.write_bytes(b"definitely not a WAL")
+        with pytest.raises(DurabilityError, match="magic"):
+            list(read_wal(path))
+
+    def test_empty_file_is_an_empty_log(self, tmp_path):
+        """A crash between rotation and the first durable write leaves a
+        0-byte WAL; that is an empty log, not corruption."""
+        path = tmp_path / "wal-crash.log"
+        path.write_bytes(b"")
+        assert list(read_wal(path)) == []
+        scan = scan_wal(path)
+        assert scan.frames == 0 and not scan.torn
+
+    def test_partial_magic_is_a_torn_empty_log(self, tmp_path):
+        path = tmp_path / "wal-crash.log"
+        path.write_bytes(WAL_MAGIC[:3])
+        assert list(read_wal(path)) == []
+        scan = scan_wal(path)
+        assert scan.frames == 0 and scan.torn
+
+
+class TestCrashTails:
+    def test_truncated_tail_is_dropped(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(np.array([[1.0]]))
+            wal.append_block(np.array([[2.0]]))
+        # Chop bytes off the last frame: the crash-mid-append signature.
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(size - 7)
+        blocks = _blocks(wal_path)
+        assert len(blocks) == 1
+        assert float(blocks[0][0][0, 0]) == 1.0
+
+    def test_corrupt_tail_is_dropped(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(np.array([[1.0]]))
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as handle:
+            handle.seek(size - 2)
+            handle.write(b"\xff\xff")
+        assert _blocks(wal_path) == []
+
+    def test_garbage_after_valid_frames_is_ignored(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(np.array([[42.0]]))
+        with open(wal_path, "ab") as handle:
+            handle.write(b"\x01\x02\x03")  # torn header
+        blocks = _blocks(wal_path)
+        assert len(blocks) == 1
+
+    def test_scan_reports_torn_tail(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(np.zeros((4, 3)))
+        clean = scan_wal(wal_path)
+        assert clean.frames == 1 and clean.records == 4 and not clean.torn
+        assert clean.valid_bytes == clean.file_bytes
+        with open(wal_path, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef\xde\xad\xbe\xef\xff")
+        torn = scan_wal(wal_path)
+        assert torn.frames == 1 and torn.torn
+        assert torn.valid_bytes < torn.file_bytes
+
+
+class TestFsyncBatching:
+    def test_fsync_every_n_appends(self, wal_path, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: calls.append(fd) or real_fsync(fd))
+        with WriteAheadLog(wal_path, fsync_every=3) as wal:
+            for _ in range(7):
+                wal.append_block(np.zeros((1, 1)))
+        # Two batched syncs (after appends 3 and 6) plus the close() sync.
+        assert len(calls) == 3
+        assert wal.syncs == 3
+
+    def test_fsync_zero_disables_batched_syncs(self, wal_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(os, "fsync", lambda fd: calls.append(fd))
+        wal = WriteAheadLog(wal_path, fsync_every=0)
+        for _ in range(5):
+            wal.append_block(np.zeros((1, 1)))
+        wal.close()
+        assert calls == []

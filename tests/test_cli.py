@@ -196,3 +196,110 @@ class TestExperimentCommand:
         assert main(["experiment", "fig06"]) == 0
         output = capsys.readouterr().out
         assert "zero_matches" in output
+
+
+class TestCheckpointRecoverCommands:
+    @pytest.fixture
+    def durable_root(self, tmp_path):
+        """A durability root left behind by a 'crashed' durable service."""
+        from repro import DurabilityConfig, DurabilityPolicy, ImputationService
+
+        root = tmp_path / "state"
+        service = ImputationService(
+            durability=DurabilityConfig(root, DurabilityPolicy(checkpoint_every=50))
+        )
+        service.create_session("stations/north", method="locf",
+                               series_names=["a", "b"])
+        for i in range(70):
+            value = float("nan") if i % 9 == 0 and i else float(i)
+            service.push("stations/north", {"a": value, "b": float(i)})
+        return root
+
+    def test_checkpoint_lists_and_verifies(self, durable_root, capsys):
+        assert main(["checkpoint", "--dir", str(durable_root), "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "stations/north" in output
+        assert "intact" in output
+
+    def test_checkpoint_detects_corruption(self, durable_root, capsys):
+        import pathlib
+
+        (blob,) = sorted(
+            pathlib.Path(durable_root).glob("*/checkpoint-*.ckpt")
+        )[-1:]
+        blob.write_bytes(b"garbage")
+        assert main(["checkpoint", "--dir", str(durable_root), "--verify"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_checkpoint_json_record(self, durable_root, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "inspect.json"
+        assert main(["checkpoint", "--dir", str(durable_root),
+                     "--json", str(json_path)]) == 0
+        record = json.loads(json_path.read_text())
+        assert record["sessions"][0]["session"] == "stations/north"
+        assert record["sessions"][0]["tick"] == 50
+
+    def test_recover_drill_reports_and_leaves_disk_untouched(
+        self, durable_root, tmp_path, capsys
+    ):
+        import json
+
+        from repro.durability import CheckpointStore
+
+        before = CheckpointStore(durable_root).latest_checkpoint("stations/north")
+        json_path = tmp_path / "report.json"
+        assert main(["recover", "--dir", str(durable_root),
+                     "--json", str(json_path)]) == 0
+        output = capsys.readouterr().out
+        assert "stations/north" in output and "untouched" in output
+        report = json.loads(json_path.read_text())
+        assert report["records_replayed"] == 20  # 70 pushed, checkpoint at 50
+        assert report["sessions"][0]["final_tick"] == 70
+        after = CheckpointStore(durable_root).latest_checkpoint("stations/north")
+        assert after == before  # the drill wrote nothing
+
+    def test_recover_empty_root_fails_cleanly(self, tmp_path, capsys):
+        assert main(["recover", "--dir", str(tmp_path / "empty")]) == 2
+        assert "no checkpoint stores" in capsys.readouterr().err
+
+    def test_session_filter(self, durable_root, capsys):
+        assert main(["checkpoint", "--dir", str(durable_root),
+                     "--session", "ghost"]) == 2
+        assert "no sessions matched" in capsys.readouterr().err
+
+
+    def test_verify_reports_torn_tail_without_failing(self, durable_root, capsys):
+        """A torn WAL tail is a normal crash artefact: --verify reports it
+        (wal_torn) but exits 0 — recovery truncates it away."""
+        import pathlib
+
+        (wal,) = sorted(pathlib.Path(durable_root).glob("*/wal-*.log"))[-1:]
+        with open(wal, "ab") as handle:
+            handle.write(b"\x01\x02\x03")  # torn frame header
+        assert main(["checkpoint", "--dir", str(durable_root), "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "wal_torn" in output and "True" in output
+
+    def test_verify_checks_every_retained_checkpoint(self, durable_root, capsys):
+        """Corruption of an OLDER retained checkpoint (the rollback margin)
+        must fail --verify, not just corruption of the latest."""
+        import pathlib
+
+        blobs = sorted(pathlib.Path(durable_root).glob("*/checkpoint-*.ckpt"))
+        assert len(blobs) >= 2, "fixture should retain two versions"
+        blobs[0].write_bytes(b"rotted")  # the older retained version
+        assert main(["checkpoint", "--dir", str(durable_root), "--verify"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_verify_scans_older_retained_wals(self, durable_root, capsys):
+        """A corrupted *older* retained WAL (rollback margin) must fail
+        --verify just like a corrupted older checkpoint."""
+        import pathlib
+
+        wals = sorted(pathlib.Path(durable_root).glob("*/wal-*.log"))
+        assert len(wals) >= 2, "fixture should retain two WAL epochs"
+        wals[0].write_bytes(b"NOTAWAL!")  # full-length wrong magic
+        assert main(["checkpoint", "--dir", str(durable_root), "--verify"]) == 2
+        assert "error" in capsys.readouterr().err

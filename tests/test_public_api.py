@@ -15,6 +15,7 @@ import repro.baselines as baselines
 import repro.cluster as cluster
 import repro.core as core
 import repro.datasets as datasets
+import repro.durability as durability
 import repro.evaluation as evaluation
 import repro.metrics as metrics
 import repro.registry as registry
@@ -25,7 +26,7 @@ import repro.streams as streams
 
 PACKAGES = [
     repro, core, streams, datasets, baselines, metrics, analysis, evaluation,
-    registry, results, service, cluster,
+    registry, results, service, cluster, durability,
 ]
 
 
@@ -66,6 +67,14 @@ class TestExports:
         assert repro.ClusterCoordinator is cluster.ClusterCoordinator
         assert repro.ShardRouter is cluster.ShardRouter
         assert issubclass(repro.ClusterError, repro.ReproError)
+
+    def test_durability_tier_convenience_imports(self):
+        assert repro.CheckpointStore is durability.CheckpointStore
+        assert repro.WriteAheadLog is durability.WriteAheadLog
+        assert repro.DurabilityConfig is durability.DurabilityConfig
+        assert repro.RecoveryManager is durability.RecoveryManager
+        assert issubclass(repro.DurabilityError, repro.ReproError)
+        assert issubclass(repro.RecoveryError, repro.DurabilityError)
 
     def test_experiment_functions_cover_every_figure(self):
         expected = {
