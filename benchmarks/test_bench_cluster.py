@@ -2,26 +2,34 @@
 
 Workload: the fig17-style multi-station serving scenario from
 :mod:`repro.cluster.bench` — eight independent TKCM stations (benchmark-scale
-configuration: one-week window, l = 36, k = 5, d = 3), each primed with a
-week of history and then streamed one day of records interleaved round-robin,
-with every station's target series dark for most of that day (the paper's
-continuous-imputation setting, fleet-wide).
+configuration: one-week window, l = 36, k = 5, d = 3), each a *wide* sensor
+group of 32 series (the paper's networks are wide: chlorine has 166 series),
+primed with a week of history and then streamed one day of records
+interleaved round-robin, with every station's target series dark for most of
+that day (the paper's continuous-imputation setting, fleet-wide).
 
-Three serving modes are timed on the identical record stream:
+Serving modes timed on the identical record stream:
 
 * ``single-push`` — one in-process ``ImputationService``, one ``push()``
   round trip per record (the pre-cluster baseline);
 * ``single-blocked`` — the same service fed per-session micro-batches,
   isolating the batching contribution;
-* ``cluster-Nw`` — a ``ClusterCoordinator`` with N worker processes fed
-  through the pipelined ``push_many`` path.
+* ``cluster-Nw`` on **both transports** — a ``ClusterCoordinator`` with
+  N ∈ {1, 2, 4} workers fed through the pipelined ``push_many`` path, once
+  over the legacy pickled pipe and once over the shared-memory data plane.
 
-All modes must produce **bit-identical** estimates.  The cluster's speedup
-comes from coalescing pipelined pushes onto the vectorised block path once
-per worker loop tick, plus true multi-process parallelism where the machine
-has the cores for it (``cpu_count`` is recorded alongside the timings so a
-single-core CI number and a 16-core workstation number can be read side by
-side).
+All modes must produce **bit-identical** estimates.  Two regressions are
+gated here:
+
+* the transport tax: the shm data plane must be ≥ 1.5x the pipe transport
+  at 4 workers (it was the pipe's per-record pickling that made the cluster
+  scale *negatively* before PR 5);
+* scaling shape: under shm, throughput must be monotone non-decreasing from
+  1 → 2 → 4 workers within a small tolerance.  On a single-core runner all
+  worker counts share one compute ceiling and the ordering is decided by
+  scheduler noise, hence the tolerance; on multi-core runners the scaling
+  is genuinely positive.  (The pre-PR-5 bug was an 18% cliff from 2 to 4
+  workers — far outside the tolerance.)
 
 The record is written to ``BENCH_cluster.json`` at the repository root (and
 mirrored into ``benchmarks/results/``).
@@ -41,18 +49,32 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: Serving workload at benchmark scale.
 NUM_STATIONS = 8
-NUM_SERIES = 4
+NUM_SERIES = 32
 WINDOW_DAYS = 7
 STREAM_DAYS = 1.0
 MISSING_DAYS = 0.75
-WORKER_COUNTS = (2, 4)
+WORKER_COUNTS = (1, 2, 4)
+TRANSPORTS = ("pipe", "shm")
+REPEATS = 4
 
 #: The tentpole target at 4 workers, and the floor the test enforces (the
-#: acceptance bar): the cluster must be ≥ 1.8x the single-process service on
-#: this workload even on a single-core runner, where all of the win comes
-#: from per-tick batch coalescing rather than parallelism.
+#: acceptance bar): the shm cluster must be ≥ 1.8x the single-process
+#: service on this workload even on a single-core runner, where all of the
+#: win comes from per-tick batch coalescing and the pickle-free data plane
+#: rather than parallelism.
 TARGET_SPEEDUP = 3.0
 ASSERTED_SPEEDUP = 1.8
+
+#: The transport fix itself: shm throughput over pipe throughput at the
+#: largest worker count.
+ASSERTED_TRANSPORT_SPEEDUP = 1.5
+
+#: Worker-count scaling under shm must be non-decreasing within this factor.
+#: 1.0 would demand strict monotonicity, which a single-core runner cannot
+#: deliver deterministically (all counts hit the same compute ceiling and
+#: differ by scheduler noise); 7% comfortably catches the 18% 2→4 cliff
+#: this PR fixed while tolerating that noise.
+SCALING_TOLERANCE = 0.93
 
 
 def test_bench_cluster(run_once):
@@ -65,20 +87,29 @@ def test_bench_cluster(run_once):
         seed=2017,
     )
 
-    record = run_once(serve_bench_record, workload, worker_counts=WORKER_COUNTS)
+    record = run_once(
+        serve_bench_record,
+        workload,
+        worker_counts=WORKER_COUNTS,
+        transports=TRANSPORTS,
+        repeats=REPEATS,
+    )
     record["target_speedup"] = TARGET_SPEEDUP
     record["asserted_speedup"] = ASSERTED_SPEEDUP
+    record["asserted_transport_speedup"] = ASSERTED_TRANSPORT_SPEEDUP
+    record["scaling_tolerance"] = SCALING_TOLERANCE
 
     assert record["single_blocked_identical"], (
         "micro-batched single-process serving must reproduce the per-record "
         "push results exactly"
     )
-    for entry in record["clusters"].values():
-        assert entry["identical"], (
-            f"{entry['workers']}-worker cluster outputs diverged from the "
-            f"single-process service"
-        )
-        assert entry["ticks_imputed"] > 0
+    for transport, entries in record["transports"].items():
+        for entry in entries.values():
+            assert entry["identical"], (
+                f"{entry['workers']}-worker cluster outputs diverged from "
+                f"the single-process service on the {transport} transport"
+            )
+            assert entry["ticks_imputed"] > 0
 
     payload = json.dumps(record, indent=2) + "\n"
     (REPO_ROOT / "BENCH_cluster.json").write_text(payload)
@@ -100,21 +131,43 @@ def test_bench_cluster(run_once):
         },
     ] + [
         {
-            "mode": f"cluster-{entry['workers']}w",
+            "mode": f"cluster-{entry['workers']}w-{transport}",
             "seconds": entry["seconds"],
             "records_per_s": entry["records_per_s"],
             "speedup": entry["speedup_vs_single_push"],
         }
-        for entry in record["clusters"].values()
+        for transport, entries in record["transports"].items()
+        for entry in entries.values()
     ]
     emit(
-        "BENCH cluster — single-process service vs sharded cluster",
+        "BENCH cluster — single-process service vs sharded cluster "
+        "(pipe vs shared-memory transport)",
         format_table(rows),
     )
 
-    four = record["clusters"]["4"]
+    four = record["transports"]["shm"]["4"]
     assert four["speedup_vs_single_push"] >= ASSERTED_SPEEDUP, (
-        f"4-worker cluster is only {four['speedup_vs_single_push']:.2f}x the "
-        f"single-process service (target {TARGET_SPEEDUP}x, floor "
+        f"4-worker shm cluster is only {four['speedup_vs_single_push']:.2f}x "
+        f"the single-process service (target {TARGET_SPEEDUP}x, floor "
         f"{ASSERTED_SPEEDUP}x)"
     )
+
+    comparison = record["transport_comparison"]
+    assert comparison["shm_vs_pipe_speedup"] >= ASSERTED_TRANSPORT_SPEEDUP, (
+        f"shm transport is only {comparison['shm_vs_pipe_speedup']:.2f}x the "
+        f"pipe transport at {comparison['workers']} workers "
+        f"(floor {ASSERTED_TRANSPORT_SPEEDUP}x)"
+    )
+
+    # The throughput floor this PR exists for: adding workers must never
+    # again *cost* throughput the way the pickled pipe did.
+    scaling = record["scaling"]["records_per_s"]
+    for smaller, larger in zip(scaling, scaling[1:]):
+        assert larger >= smaller * SCALING_TOLERANCE, (
+            f"shm throughput dropped when adding workers: {scaling} rec/s "
+            f"across {record['scaling']['worker_counts']} workers "
+            f"(tolerance {SCALING_TOLERANCE})"
+        )
+
+    # And the shm data plane must actually carry the stream.
+    assert four["transport_stats"]["bytes_via_shm"] > 0

@@ -145,8 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark the sharded serving cluster against the "
              "single-process service",
     )
-    serve.add_argument("--workers", type=int, nargs="+", default=[2, 4],
-                       help="cluster sizes to benchmark (default: 2 4)")
+    serve.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                       help="cluster sizes to benchmark (default: 1 2 4)")
+    serve.add_argument("--transport", choices=["shm", "pipe", "both"],
+                       default="both",
+                       help="data-plane transport to benchmark: the "
+                            "shared-memory rings, the legacy pickled pipe, "
+                            "or both side by side (default: both)")
+    serve.add_argument("--repeats", type=int, default=3,
+                       help="timed repetitions per configuration; the best "
+                            "wall time is kept (default: 3)")
     serve.add_argument("--stations", type=int, default=4,
                        help="independent sensor groups, one session each "
                             "(default 4)")
@@ -380,7 +388,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         method=args.method,
     )
-    record = serve_bench_record(workload, worker_counts=args.workers)
+    transports = {
+        "shm": ("shm",), "pipe": ("pipe",), "both": ("pipe", "shm"),
+    }[args.transport]
+    record = serve_bench_record(
+        workload,
+        worker_counts=args.workers,
+        transports=transports,
+        repeats=args.repeats,
+    )
 
     rows = [
         {
@@ -398,20 +414,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "identical": record["single_blocked_identical"],
         },
     ]
-    for entry in record["clusters"].values():
-        rows.append({
-            "mode": f"cluster-{entry['workers']}w",
-            "seconds": entry["seconds"],
-            "records_per_s": entry["records_per_s"],
-            "speedup": entry["speedup_vs_single_push"],
-            "identical": entry["identical"],
-        })
+    for transport, entries in record["transports"].items():
+        for entry in entries.values():
+            rows.append({
+                "mode": f"cluster-{entry['workers']}w-{transport}",
+                "seconds": entry["seconds"],
+                "records_per_s": entry["records_per_s"],
+                "speedup": entry["speedup_vs_single_push"],
+                "identical": entry["identical"],
+            })
     print(format_table(
         rows,
         title=f"serve-bench — {record['stations']} stations x "
               f"{record['records'] // record['stations']} ticks, "
               f"{record['method']} (cpu_count={record['cpu_count']})",
     ))
+    _print_transport_summary(record)
     if args.json_path:
         with open(args.json_path, "w") as handle:
             json.dump(record, handle, indent=2)
@@ -423,6 +441,31 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "this is a bug; please report it"
         )
     return 0
+
+
+def _print_transport_summary(record) -> None:
+    """Print the data-plane telemetry of each benchmarked cluster entry."""
+    rows = []
+    for transport, entries in record["transports"].items():
+        for entry in entries.values():
+            stats = entry.get("transport_stats") or {}
+            rows.append({
+                "mode": f"cluster-{entry['workers']}w-{transport}",
+                "shm_bytes": stats.get("bytes_via_shm", 0),
+                "pipe_bytes": stats.get("bytes_via_pipe", 0),
+                "frames": stats.get("frames_via_shm", 0),
+                "avg_frame_bytes": round(stats.get("avg_frame_bytes", 0.0), 1),
+                "ring_stalls": stats.get("ring_full_stalls", 0),
+            })
+    print(format_table(rows, title="transport — bytes via shm vs pipe"))
+    comparison = record.get("transport_comparison")
+    if comparison:
+        print(
+            f"shm vs pipe at {comparison['workers']} workers: "
+            f"{comparison['shm_vs_pipe_speedup']:.2f}x "
+            f"({comparison['shm_records_per_s']:.0f} vs "
+            f"{comparison['pipe_records_per_s']:.0f} records/s)"
+        )
 
 
 def _durability_stores(root: str, sessions):

@@ -9,8 +9,14 @@ surface and its bit-identical output guarantees:
   placement (rendezvous hashing, explicit shard map) with minimal-move drain
   and resize plans.
 * :class:`~repro.cluster.worker.ClusterWorker` — one child process owning an
-  :class:`~repro.service.ImputationService` fleet, fed over a command pipe,
-  coalescing queued pushes into vectorised blocks once per loop tick.
+  :class:`~repro.service.ImputationService` fleet, coalescing queued pushes
+  into vectorised blocks once per loop tick.  Commands arrive over a pipe
+  (the control plane); streamed records and imputed results travel through
+  pickle-free shared-memory rings (the data plane, :mod:`repro.cluster.shm`)
+  unless the legacy ``transport="pipe"`` is selected.
+* :class:`~repro.cluster.shm.SharedRingBuffer` — the fixed-capacity SPSC
+  frame ring (one ``multiprocessing.shared_memory`` segment per direction
+  per worker) and the block/result codec behind the data plane.
 * :class:`~repro.cluster.coordinator.ClusterCoordinator` — the facade: the
   same ``push`` / ``push_block`` / ``snapshot`` surface as the single-process
   service, plus pipelined ingestion (``push_nowait`` / ``flush`` /
@@ -30,6 +36,7 @@ bit-identical results (see :mod:`repro.durability`).
 
 from .coordinator import ClusterCoordinator
 from .router import ShardRouter
+from .shm import SharedRingBuffer
 from .telemetry import WorkerTelemetry, aggregate_stats
 from .worker import ClusterWorker
 
@@ -37,6 +44,7 @@ __all__ = [
     "ClusterCoordinator",
     "ClusterWorker",
     "ShardRouter",
+    "SharedRingBuffer",
     "WorkerTelemetry",
     "aggregate_stats",
 ]

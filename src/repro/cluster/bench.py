@@ -21,12 +21,15 @@ Three ways of serving the identical stream are timed:
 * ``run_single_blocked`` — the same service fed through per-session
   micro-batches, isolating how much of the cluster's win is batching alone.
 * ``run_cluster`` — a :class:`ClusterCoordinator` with N workers fed through
-  the pipelined ``push_many`` path.
+  the pipelined ``push_many`` path, on either transport: the shared-memory
+  data plane (``transport="shm"``, the default) or the legacy pickled pipe
+  (``transport="pipe"``, kept as the comparison baseline).
 
-All three must produce bit-identical estimates (checked by
+All modes must produce bit-identical estimates (checked by
 :func:`flatten_results` equality, NaN-aware); the speedup of the cluster
-comes from per-tick batch coalescing onto the vectorised block path plus —
-when the machine has the cores for it — true multi-process parallelism.
+comes from per-tick batch coalescing onto the vectorised block path, the
+pickle-free shared-memory data plane, and — when the machine has the cores
+for it — true multi-process parallelism.
 """
 
 from __future__ import annotations
@@ -217,8 +220,10 @@ def run_cluster(
 ):
     """The cluster: N workers fed through the pipelined ``push_many`` path.
 
-    Returns ``(seconds, results, stats)`` — the stats dict is the
-    coordinator's telemetry right after the stream finished.
+    ``coordinator_options`` pass through to :class:`ClusterCoordinator`
+    (notably ``transport="shm"`` / ``"pipe"``).  Returns ``(seconds,
+    results, stats)`` — the stats dict is the coordinator's telemetry right
+    after the stream finished.
     """
     with ClusterCoordinator(num_workers=num_workers, **coordinator_options) as cluster:
         _populate(cluster, workload)
@@ -233,16 +238,29 @@ def run_cluster(
 
 def serve_bench_record(
     workload: ServingWorkload,
-    worker_counts: Sequence[int] = (2, 4),
+    worker_counts: Sequence[int] = (1, 2, 4),
+    transports: Sequence[str] = ("pipe", "shm"),
+    repeats: int = 3,
     **coordinator_options,
 ) -> Dict[str, object]:
     """Time every serving mode on ``workload`` and return the full record.
 
     The record is what ``BENCH_cluster.json`` stores and what the
     ``serve-bench`` CLI prints: the single-process per-record baseline, the
-    single-process micro-batched variant, and one cluster entry per worker
-    count — each with throughput, speedup vs the baseline, and a
-    bit-identity verdict against the baseline's estimates.
+    single-process micro-batched variant, and one cluster entry per
+    ``(transport, worker count)`` — each with throughput, speedup vs the
+    baseline, a bit-identity verdict against the baseline's estimates, and
+    the transport telemetry (bytes over shm vs pipe, backpressure stalls).
+
+    Cluster runs are repeated ``repeats`` times — round-robin across all
+    ``(transport, worker count)`` configurations, so a slow scheduler phase
+    taxes every configuration instead of poisoning one — and the best wall
+    time per configuration is kept: the workload is deterministic, so the
+    minimum is the least noise-contaminated estimate.  Important on small
+    CI runners where one preemption is a double-digit percentage of a run.
+    ``record["transport_comparison"]`` summarises shm vs pipe at the
+    largest worker count, and ``record["scaling"]`` the worker-count
+    scaling under the preferred (last-listed) transport.
     """
     single_seconds, single_results = run_single_push(workload)
     blocked_seconds, blocked_results = run_single_blocked(workload)
@@ -254,26 +272,71 @@ def serve_bench_record(
         "records": workload.num_records,
         "missing_ticks_per_station": workload.missing_ticks_per_station,
         "cpu_count": os.cpu_count(),
+        "bench_repeats": int(repeats),
         "single_push_seconds": single_seconds,
         "single_push_records_per_s": workload.num_records / single_seconds,
         "single_blocked_seconds": blocked_seconds,
         "single_blocked_records_per_s": workload.num_records / blocked_seconds,
         "single_blocked_identical": results_identical(blocked_results, single_results),
-        "clusters": {},
+        "transports": {},
     }
-    for num_workers in worker_counts:
-        seconds, results, stats = run_cluster(
-            workload, num_workers, **coordinator_options
-        )
-        record["clusters"][str(num_workers)] = {
-            "workers": num_workers,
-            "seconds": seconds,
-            "records_per_s": workload.num_records / seconds,
-            "speedup_vs_single_push": single_seconds / seconds,
-            "identical": results_identical(results, single_results),
-            "ticks_imputed": stats["cluster"]["ticks_imputed"],
-            "avg_batch_records": stats["cluster"]["avg_batch_records"],
+    best: Dict[Tuple[str, int], Tuple[float, dict]] = {}
+    identical: Dict[Tuple[str, int], bool] = {}
+    for _ in range(max(1, int(repeats))):
+        for transport in transports:
+            for num_workers in worker_counts:
+                seconds, results, stats = run_cluster(
+                    workload, num_workers, transport=transport,
+                    **coordinator_options,
+                )
+                key = (transport, num_workers)
+                identical[key] = identical.get(key, True) and results_identical(
+                    results, single_results
+                )
+                if key not in best or seconds < best[key][0]:
+                    best[key] = (seconds, stats)
+    for transport in transports:
+        entries: Dict[str, dict] = {}
+        for num_workers in worker_counts:
+            best_seconds, best_stats = best[(transport, num_workers)]
+            cluster_stats = best_stats["cluster"]
+            entries[str(num_workers)] = {
+                "workers": num_workers,
+                "transport": transport,
+                "seconds": best_seconds,
+                "records_per_s": workload.num_records / best_seconds,
+                "speedup_vs_single_push": single_seconds / best_seconds,
+                "identical": identical[(transport, num_workers)],
+                "ticks_imputed": cluster_stats["ticks_imputed"],
+                "avg_batch_records": cluster_stats["avg_batch_records"],
+                "transport_stats": cluster_stats.get("transport", {}),
+            }
+        record["transports"][transport] = entries
+    preferred = "shm" if "shm" in record["transports"] else transports[-1]
+    #: Backward-compatible view: "clusters" is the preferred transport.
+    record["clusters"] = record["transports"][preferred]
+    largest = str(max(worker_counts))
+    if "pipe" in record["transports"] and "shm" in record["transports"]:
+        pipe_rps = record["transports"]["pipe"][largest]["records_per_s"]
+        shm_rps = record["transports"]["shm"][largest]["records_per_s"]
+        record["transport_comparison"] = {
+            "workers": int(largest),
+            "pipe_records_per_s": pipe_rps,
+            "shm_records_per_s": shm_rps,
+            "shm_vs_pipe_speedup": shm_rps / pipe_rps,
         }
+    ordered = [
+        record["transports"][preferred][str(n)]["records_per_s"]
+        for n in sorted(worker_counts)
+    ]
+    record["scaling"] = {
+        "transport": preferred,
+        "worker_counts": sorted(worker_counts),
+        "records_per_s": ordered,
+        "monotone_non_decreasing": all(
+            b >= a for a, b in zip(ordered, ordered[1:])
+        ),
+    }
     return record
 
 

@@ -45,9 +45,27 @@ from disk (:meth:`ClusterCoordinator.recover_worker` /
 outage (:meth:`ClusterCoordinator.recover_from_disk`).  Recovered sessions
 resume bit-identically (``tests/cluster/test_crash_recovery.py``).
 
-Results cross process boundaries as pickles, so everything said about
-trusting snapshot blobs in :mod:`repro.service.session` applies to the
-cluster's pipes as well — they are process-local and never leave the machine.
+Since PR 5 the cluster has two transports (``transport=`` constructor
+argument):
+
+* ``"shm"`` (default) — the **shared-memory data plane**: streamed record
+  blocks travel coordinator → worker through a per-worker
+  :class:`~repro.cluster.shm.SharedRingBuffer`, and imputed tick results
+  travel back through a second ring, both as pickle-free codec frames (see
+  :mod:`repro.cluster.shm`).  The pipe remains the **control plane**:
+  commands, snapshot blobs, errors, and backpressure wakeups.  On the way
+  in the coordinator *coalesces adaptively* — while a worker's ring has a
+  backlog, the per-session micro-batch grows (up to ``linger_cap``) so a
+  busy worker receives fewer, larger frames and imputes through larger
+  vectorised blocks.
+* ``"pipe"`` — the pre-PR-5 behaviour: everything is pickled through the
+  duplex pipe.  Kept for comparison benchmarks and as a fallback where
+  ``/dev/shm`` is unavailable.
+
+Control messages and snapshot blobs still cross process boundaries as
+pickles, so everything said about trusting snapshot blobs in
+:mod:`repro.service.session` applies to the cluster's pipes as well — they
+are process-local and never leave the machine.
 """
 
 from __future__ import annotations
@@ -67,10 +85,16 @@ from .worker import ClusterWorker
 
 __all__ = ["ClusterCoordinator"]
 
-#: Records buffered per session before a pipe message is emitted on the
-#: pipelined path.  64 rows keeps pipe traffic low and blocks big enough for
-#: the vectorised path while bounding per-record latency.
+#: Records buffered per session before a data-plane emit on the pipelined
+#: path.  64 rows keeps transport traffic low and blocks big enough for the
+#: vectorised path while bounding per-record latency.
 DEFAULT_LINGER_RECORDS = 64
+
+#: Ceiling of the adaptive micro-batch on the shm transport: while a
+#: worker's push ring has a backlog the per-session linger doubles per emit,
+#: capped here so per-record latency stays bounded even under sustained
+#: overload.
+DEFAULT_LINGER_CAP = 512
 
 #: Pipelined records in flight (sent, results not yet collected) per worker
 #: before the coordinator collects mid-stream to bound worker-side buffering.
@@ -102,7 +126,10 @@ class ClusterCoordinator:
         num_workers: int = 2,
         *,
         start_method: Optional[str] = None,
+        transport: str = "shm",
+        ring_capacity: Optional[int] = None,
         linger_records: int = DEFAULT_LINGER_RECORDS,
+        linger_cap: int = DEFAULT_LINGER_CAP,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         durability: Optional[DurabilityConfig] = None,
     ) -> None:
@@ -110,15 +137,24 @@ class ClusterCoordinator:
             raise ClusterError(f"a cluster needs at least one worker, got {num_workers}")
         if linger_records < 1:
             raise ClusterError(f"linger_records must be >= 1, got {linger_records}")
+        if transport not in ("shm", "pipe"):
+            raise ClusterError(
+                f"unknown cluster transport {transport!r}; expected 'shm' or 'pipe'"
+            )
         self._context = multiprocessing.get_context(start_method)
         self._router = ShardRouter(num_workers)
         self._durability = durability
+        self._transport = transport
+        self._ring_capacity = ring_capacity
+        #: Per-worker adaptive micro-batch target (shm transport only).
+        self._linger_target: Dict[int, int] = {}
         self._workers: List[ClusterWorker] = [
             self._spawn_worker(i) for i in range(num_workers)
         ]
         self._linger_records = int(linger_records)
+        self._linger_cap = max(int(linger_cap), int(linger_records))
         self._max_inflight = int(max_inflight)
-        #: Per-session rows accepted by push_nowait but not yet piped out.
+        #: Per-session rows accepted by push_nowait but not yet emitted.
         self._linger: Dict[str, list] = {}
         #: Per-worker records piped out but whose results are uncollected.
         self._inflight: Dict[int, int] = {i: 0 for i in range(num_workers)}
@@ -137,7 +173,19 @@ class ClusterCoordinator:
         durability = (
             self._durability.for_worker(index) if self._durability else None
         )
-        return ClusterWorker(index, self._context, durability=durability)
+        self._linger_target.pop(index, None)
+        return ClusterWorker(
+            index,
+            self._context,
+            durability=durability,
+            transport=self._transport,
+            ring_capacity=self._ring_capacity,
+        )
+
+    @property
+    def transport(self) -> str:
+        """The configured data-plane transport (``"shm"`` or ``"pipe"``)."""
+        return self._transport
 
     # ------------------------------------------------------------------ #
     # Topology introspection
@@ -249,17 +297,18 @@ class ClusterCoordinator:
     def push_nowait(self, session_id: str, tick: Tick) -> None:
         """Stream one record without waiting for its results.
 
-        Records are micro-batched per session (``linger_records`` per pipe
-        message); results accumulate inside the workers until :meth:`flush`.
+        Records are micro-batched per session (``linger_records`` per
+        data-plane emit; on the shm transport the batch grows adaptively up
+        to ``linger_cap`` while the owning worker's ring has a backlog);
+        results accumulate inside the workers until :meth:`flush`.
         Per-session ordering is preserved end to end.
         """
         self._ensure_open()
-        self._require_session(session_id)
+        shard = self._require_session(session_id)
         rows = self._linger.setdefault(session_id, [])
         rows.append(tick)
-        if len(rows) >= self._linger_records:
+        if len(rows) >= self._linger_target.get(shard, self._linger_records):
             self._emit_linger(session_id)
-            shard = self._router.shard_of(session_id)
             if self._inflight.get(shard, 0) >= self._max_inflight:
                 self._collect_into_stash()
 
@@ -390,6 +439,7 @@ class ClusterCoordinator:
             if index >= new_worker_count:
                 del self._inflight[index]
                 del self._records_routed[index]
+                self._linger_target.pop(index, None)
         return plan
 
     # ------------------------------------------------------------------ #
@@ -582,8 +632,11 @@ class ClusterCoordinator:
         (checkpoints written, WAL records/bytes), and the aggregate gains
         the coordinator's recovery telemetry (``worker_recoveries``,
         ``recovery_replay_seconds``, ``recovery_records_replayed``,
-        ``lost_inflight_records``).  Everything is plain JSON-serialisable
-        data.
+        ``lost_inflight_records``).  Each worker also reports a
+        ``transport`` entry (bytes/frames over its shared-memory rings,
+        ring-full backpressure stalls, bytes that travelled over the pipe
+        instead), aggregated under ``stats()["cluster"]["transport"]``.
+        Everything is plain JSON-serialisable data.
         """
         self._ensure_open()
         self._flush_linger()
@@ -593,11 +646,17 @@ class ClusterCoordinator:
         for worker in self._workers:
             per_worker[worker.worker_id] = worker.recv_reply()
         for worker in self._workers:
-            per_worker[worker.worker_id]["records_sent"] = self._records_routed.get(
-                worker.worker_id, 0
-            )
+            stats = per_worker[worker.worker_id]
+            stats["records_sent"] = self._records_routed.get(worker.worker_id, 0)
+            # Merge the coordinator's side of the data plane (frames/bytes
+            # written to the push ring, stalls, pipe fallback bytes) into
+            # the worker-side counters.
+            transport = dict(stats.get("transport") or {})
+            transport.update(worker.transport_stats())
+            stats["transport"] = transport
         cluster = aggregate_stats(per_worker)
         cluster["drained_workers"] = self._router.drained_shards
+        cluster["transport"]["mode"] = self._transport
         if self._durability is not None:
             durability = cluster.setdefault("durability", {})
             durability["worker_recoveries"] = self._worker_recoveries
@@ -658,32 +717,72 @@ class ClusterCoordinator:
             ) from None
 
     def _emit_linger(self, session_id: str) -> None:
-        """Pipe one session's buffered rows out as a single push message."""
+        """Emit one session's buffered rows onto the data plane.
+
+        On the shm transport the rows become codec frames in the owning
+        worker's push ring, and the adaptive micro-batch target for that
+        worker is updated: a non-empty ring before the write means the
+        worker is running behind, so the next batch is allowed to grow
+        (fewer, larger frames → larger vectorised blocks); an empty ring
+        resets the target to the configured base.
+        """
         rows = self._linger.pop(session_id, None)
         if not rows:
             return
         shard = self._router.shard_of(session_id)
-        self._workers[shard].send("push", session_id, rows)
+        worker = self._workers[shard]
+        if worker.uses_shm:
+            if worker.ring_backlog:
+                self._linger_target[shard] = min(
+                    self._linger_target.get(shard, self._linger_records) * 2,
+                    self._linger_cap,
+                )
+            else:
+                self._linger_target.pop(shard, None)
+        worker.push_rows(session_id, rows)
         self._records_routed[shard] += len(rows)
         self._inflight[shard] = self._inflight.get(shard, 0) + len(rows)
 
     def _flush_linger(self) -> None:
-        """Pipe out every buffered row (ordering barrier before any RPC)."""
+        """Emit every buffered row (ordering barrier before any RPC)."""
         for session_id in list(self._linger):
             self._emit_linger(session_id)
 
     def _collect_into_stash(self) -> None:
-        """Gather buffered results from every worker with records in flight."""
+        """Gather buffered results from every worker with records in flight.
+
+        On the shm transport each worker's ``collect`` reply announces how
+        many result frames it is about to publish (plus any results that had
+        to stay inline on the pipe); the coordinator drains every busy
+        worker's result ring while replies are in flight, so a worker
+        blocked on a full ring is always unblocked by the very loop that
+        waits for it.
+        """
         self._flush_linger()
         busy = [
             worker for worker in self._workers if self._inflight.get(worker.worker_id)
         ]
+        if not busy:
+            return
+
+        def sink(session_id: str, results: List[TickResult]) -> None:
+            self._stash.setdefault(session_id, []).extend(results)
+
+        def drain_all() -> None:
+            for other in busy:
+                other.drain_results(sink)
+
         for worker in busy:
             worker.send_request("collect")
         errors: List[Exception] = []
         for worker in busy:
             try:
-                collected = worker.recv_reply()
+                reply = worker.recv_reply(drain=drain_all)
+                if worker.uses_shm:
+                    frames, collected = reply
+                    worker.consume_results(frames, sink)
+                else:
+                    collected = reply
             except Exception as error:  # deferred push failure; keep draining
                 # The worker kept its buffered results (and possibly further
                 # deferred errors); leave it marked busy so the next flush
@@ -693,7 +792,7 @@ class ClusterCoordinator:
                 continue
             self._inflight[worker.worker_id] = 0
             for session_id, results in collected.items():
-                self._stash.setdefault(session_id, []).extend(results)
+                sink(session_id, results)
         if errors:
             raise errors[0]
 

@@ -22,10 +22,19 @@ Counters (the names match the keys in the exported dict):
     Wall time spent inside the imputation calls; ``avg_push_latency`` is the
     per-block average.
 ``queue_depth_last`` / ``queue_depth_max``
-    Commands drained from the pipe in the latest / busiest loop tick — the
-    worker's backlog indicator.
+    Commands and data-plane frames drained in the latest / busiest loop
+    tick — the worker's backlog indicator.
 ``loop_ticks``
     Worker loop iterations that processed at least one command.
+
+On the shared-memory transport the worker additionally maintains a
+``transport`` sub-dict counting its side of the data plane: frames/bytes
+read from the push ring, frames/bytes written to the result ring, and the
+ring-full stalls it suffered while publishing results.  The coordinator
+merges its own side (bytes written to the push ring, stalls, nominal bytes
+that still travelled over the pipe) into the same ``transport`` entry in
+``ClusterCoordinator.stats()``, and :func:`aggregate_stats` sums everything
+into ``stats()["cluster"]["transport"]``.
 """
 
 from __future__ import annotations
@@ -49,12 +58,18 @@ class WorkerTelemetry:
     queue_depth_max: int = 0
     loop_ticks: int = 0
     sessions: List[str] = field(default_factory=list)
+    #: Worker-side data-plane counters (shared-memory transport only).
+    shm_frames_in: int = 0
+    shm_bytes_in: int = 0
+    shm_frames_out: int = 0
+    shm_bytes_out: int = 0
+    result_ring_stalls: int = 0
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
     def record_drain(self, depth: int) -> None:
-        """One worker loop tick drained ``depth`` commands from the pipe."""
+        """One worker loop tick drained ``depth`` commands/frames."""
         self.loop_ticks += 1
         self.queue_depth_last = depth
         self.queue_depth_max = max(self.queue_depth_max, depth)
@@ -65,6 +80,17 @@ class WorkerTelemetry:
         self.blocks_executed += 1
         self.ticks_imputed += imputed_ticks
         self.push_seconds += seconds
+
+    def record_frame_in(self, payload_bytes: int) -> None:
+        """One push frame was drained from the shared-memory ring."""
+        self.shm_frames_in += 1
+        self.shm_bytes_in += payload_bytes
+
+    def record_frame_out(self, payload_bytes: int, stalls: int) -> None:
+        """One result frame was published to the shared-memory ring."""
+        self.shm_frames_out += 1
+        self.shm_bytes_out += payload_bytes
+        self.result_ring_stalls += stalls
 
     # ------------------------------------------------------------------ #
     # Export
@@ -87,6 +113,13 @@ class WorkerTelemetry:
             "queue_depth_max": self.queue_depth_max,
             "loop_ticks": self.loop_ticks,
             "sessions": list(self.sessions),
+            "transport": {
+                "shm_frames_in": self.shm_frames_in,
+                "shm_bytes_in": self.shm_bytes_in,
+                "shm_frames_out": self.shm_frames_out,
+                "shm_bytes_out": self.shm_bytes_out,
+                "result_ring_stalls": self.result_ring_stalls,
+            },
         }
 
 
@@ -151,4 +184,45 @@ def aggregate_stats(per_worker: Mapping[int, Mapping[str, object]]) -> Dict[str,
             durability[key] = durability.get(key, 0) + value
     if durability:
         totals["durability"] = durability
+    totals["transport"] = aggregate_transport(
+        stats.get("transport") for stats in per_worker.values()
+    )
+    return totals
+
+
+def aggregate_transport(per_worker_transport) -> Dict[str, object]:
+    """Merge per-worker ``transport`` dicts into the cluster-wide summary.
+
+    ``bytes_via_shm`` counts frame payload bytes over both ring directions;
+    ``bytes_via_pipe`` counts the *nominal* data-plane payload (8 bytes per
+    record cell, as reported by the coordinator side) that travelled as
+    pickles over the command pipe instead; ``ring_full_stalls`` sums the
+    writer-side backpressure stalls of both directions.
+    """
+    totals: Dict[str, object] = {
+        "bytes_via_shm": 0,
+        "frames_via_shm": 0,
+        "bytes_via_pipe": 0,
+        "pipe_messages": 0,
+        "ring_full_stalls": 0,
+    }
+    for transport in per_worker_transport:
+        if not transport:
+            continue
+        totals["bytes_via_shm"] += int(
+            transport.get("shm_bytes_to_worker", 0)
+        ) + int(transport.get("shm_bytes_from_worker", 0))
+        totals["frames_via_shm"] += int(
+            transport.get("shm_frames_to_worker", 0)
+        ) + int(transport.get("shm_frames_from_worker", 0))
+        totals["bytes_via_pipe"] += int(transport.get("pipe_data_bytes", 0))
+        totals["pipe_messages"] += int(transport.get("pipe_messages", 0))
+        totals["ring_full_stalls"] += int(
+            transport.get("push_ring_stalls", 0)
+        ) + int(transport.get("result_ring_stalls", 0))
+    totals["avg_frame_bytes"] = (
+        totals["bytes_via_shm"] / totals["frames_via_shm"]
+        if totals["frames_via_shm"]
+        else 0.0
+    )
     return totals

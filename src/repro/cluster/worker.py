@@ -1,34 +1,42 @@
 """Cluster worker: one process, one :class:`ImputationService` fleet.
 
 A :class:`ClusterWorker` is the parent-side handle of a child process running
-:func:`_worker_main`.  Parent and child speak over a single duplex pipe with
-a small tuple protocol:
+:func:`_worker_main`.  Parent and child always share a duplex pipe — the
+**control plane** — and, on the default shared-memory transport, two
+:class:`~repro.cluster.shm.SharedRingBuffer` segments — the **data plane**:
 
-* **Streamed pushes** — ``("push", session_id, rows)`` carries a list of raw
-  records and gets **no reply**; the produced :class:`~repro.results.TickResult`
-  objects accumulate inside the worker until a ``("collect",)`` command fetches
-  them.  This is the pipelined ingestion path: the coordinator can keep
-  sending while the worker is imputing.
-* **RPCs** — every other command (``create_session``, ``prime``, ``snapshot``,
-  ``restore``, ``remove_session``, ``push_sync``, ``push_block``, ``collect``,
-  ``stats``, ``session_ids``, ``shutdown``) receives exactly one
-  ``("ok", payload)`` or ``("error", exception)`` reply, in command order
-  (the pipe is FIFO, so no sequence numbers are needed).
+* **push ring** (coordinator → worker): streamed record blocks as
+  length-prefixed codec frames (``(session-id, float64 block, presence
+  bitmask)`` laid out in place — no pickle).  The worker *drains the ring*
+  instead of ``conn.recv()`` for push traffic.
+* **result ring** (worker → coordinator): imputed
+  :class:`~repro.results.TickResult` lists encoded as flat numpy columns.
+* **pipe**: commands, snapshot blobs, errors, and backpressure wakeups —
+  everything rare enough that pickling does not matter.  On the legacy
+  ``pipe`` transport the pipe carries the data plane too, exactly as before.
 
-**Batching pushes per tick** is the worker's throughput lever: each loop tick
-drains *everything* currently queued on the pipe, groups the streamed rows by
-session (per-session arrival order preserved; sessions are independent), and
-feeds each group to :meth:`ImputationSession.push_block` as one block.  The
-session's block/tick parity guarantee makes this coalescing invisible in the
-results — byte-for-byte the same estimates as one-at-a-time pushes — while
-the vectorised ``observe_batch`` path makes it several times faster.  The
-achieved batching factor is visible in the telemetry
-(``records_routed / blocks_executed``).
+Ordering across the two planes is kept by a per-worker *data-plane position*:
+every frame (and every pipe-carried push fallback) is stamped with a
+monotonically increasing position, and every control command carries the
+position reached when it was sent as a **barrier** — the worker applies all
+data items below the barrier before executing the command.  This preserves
+the FIFO semantics of the single-pipe protocol: an RPC observes every push
+that preceded it, bit for bit.
+
+**Batching pushes per tick** is unchanged and amplified: each loop tick the
+worker drains *everything* currently published (frames and piped pushes),
+groups it by session, coalesces adjacent record matrices, and feeds each
+session one vectorised :meth:`ImputationSession.push_block`.  The session's
+block/tick parity guarantee makes the coalescing invisible in the results.
 
 Because a streamed push cannot be replied to, a failure while executing one
 (say, a malformed row) is *deferred*: the exception is raised at the next
 ``collect`` for the coordinator to re-raise at the call site that gathers
-results.
+results.  On the shared-memory transport the ``collect`` reply carries the
+number of result frames about to be published (plus any results that had to
+stay inline); the frames themselves are written *after* the reply, so the
+coordinator can drain them while the worker is still publishing and neither
+side ever deadlocks on a full ring.
 """
 
 from __future__ import annotations
@@ -36,9 +44,20 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
-from ..exceptions import ClusterError
+import numpy as np
+
+from ..exceptions import ClusterError, WorkerCrashedError
 from ..results import TickResult
 from ..service import ImputationService
+from .shm import (
+    FRAME_PUSH,
+    FRAME_RESULTS,
+    SharedRingBuffer,
+    decode_push_frame,
+    decode_result_frame,
+    encode_push_frames,
+    encode_result_frames,
+)
 from .telemetry import WorkerTelemetry
 
 __all__ = ["ClusterWorker"]
@@ -48,51 +67,195 @@ __all__ = ["ClusterWorker"]
 #: large coalesced block before it reaches the RPC in its queue.
 DEFAULT_REPLY_TIMEOUT = 120.0
 
+#: Poll slice while waiting for a reply: short enough to notice a crashed
+#: worker (and to drain result rings) promptly, long enough to stay cheap.
+_REPLY_POLL_SLICE = 0.01
+
+#: Worker-side idle wait on the pipe when both planes are quiet.  Wakeups
+#: are event-driven — the coordinator sends a ``wake`` control message when
+#: it writes into an empty ring — so this only bounds the latency of the
+#: rare lost-wakeup race (frame published in the instant between the
+#: worker's last ring check and its pipe wait).
+_IDLE_POLL = 0.02
+
+#: Spin sleep while waiting for in-flight frames below a command barrier.
+_BARRIER_SPIN = 0.0001
+
 
 # --------------------------------------------------------------------------- #
 # Child process
 # --------------------------------------------------------------------------- #
+def _coalesce_parts(parts: List) -> List:
+    """Merge adjacent pending parts per session into maximal blocks.
+
+    ``("matrix", m)`` parts with matching widths are concatenated into one
+    block; ``("rows", r)`` parts are chained.  Order is preserved, so the
+    session sees exactly the pushed tick sequence.
+    """
+    groups: List = []
+    for kind, value in parts:
+        if kind == "matrix":
+            if (
+                groups
+                and isinstance(groups[-1], np.ndarray)
+                and groups[-1].shape[1] == value.shape[1]
+            ):
+                groups[-1] = np.concatenate((groups[-1], value))
+            else:
+                groups.append(value)
+        else:
+            if groups and isinstance(groups[-1], list):
+                groups[-1].extend(value)
+            else:
+                groups.append(list(value))
+    return groups
+
+
 def _execute_pending(service, telemetry, pending, buffered, deferred) -> None:
-    """Impute the coalesced per-session row groups drained this loop tick."""
-    for session_id, rows in pending.items():
-        started = time.perf_counter()
-        try:
-            results = service.push_block(session_id, rows)
-        except Exception as error:  # surfaces at the next collect
-            deferred.append(error)
-            continue
-        telemetry.record_push(
-            len(rows), len(results), time.perf_counter() - started
-        )
-        if results:
-            buffered.setdefault(session_id, []).extend(results)
+    """Impute the coalesced per-session groups drained this loop tick."""
+    for session_id, parts in pending.items():
+        for block in _coalesce_parts(parts):
+            started = time.perf_counter()
+            try:
+                results = service.push_block(session_id, block)
+            except Exception as error:  # surfaces at the next collect
+                deferred.append(error)
+                continue
+            telemetry.record_push(
+                len(block), len(results), time.perf_counter() - started
+            )
+            if results:
+                buffered.setdefault(session_id, []).extend(results)
     pending.clear()
 
 
-def _worker_main(worker_id: int, conn, durability=None) -> None:  # pragma: no cover - child process
+def _worker_main(worker_id: int, conn, durability=None, shm_names=None) -> None:  # pragma: no cover - child process
     """Entry point of the worker child process (covered via subprocesses)."""
     service = ImputationService(durability=durability)
     telemetry = WorkerTelemetry(worker_id=worker_id)
     buffered: Dict[str, List[TickResult]] = {}
     deferred: List[Exception] = []
+    pending: Dict[str, list] = {}
+
+    push_ring = result_ring = None
+    if shm_names is not None:
+        push_ring = SharedRingBuffer.attach(shm_names[0])
+        result_ring = SharedRingBuffer.attach(shm_names[1])
+
+    consumed = 0          # data-plane items applied (frames + piped pushes)
+    held: Optional[tuple] = None  # decoded frame waiting for its position
+
+    def _pump(limit: Optional[int]) -> int:
+        """Apply ring frames in position order; block up to ``limit``.
+
+        With ``limit`` ``None``, applies whatever is already published and
+        contiguous; with a barrier limit, waits for in-flight frames (they
+        were written before the barrier command was sent, so they arrive).
+        A positional gap means a piped push precedes the held frame — it is
+        left held for the command loop to fill the gap.
+        """
+        nonlocal consumed, held
+        applied = 0
+        while True:
+            if held is None:
+                frame = push_ring.read()
+                if frame is None:
+                    if limit is None or consumed >= limit:
+                        return applied
+                    time.sleep(_BARRIER_SPIN)
+                    continue
+                _, view = frame
+                telemetry.record_frame_in(len(view))
+                held = decode_push_frame(view)
+                push_ring.release()
+            position, session_id, part = held
+            if position != consumed:
+                if limit is not None and consumed < limit:
+                    raise ClusterError(
+                        "data-plane ordering violated: frame "
+                        f"{position} held at barrier {limit} with only "
+                        f"{consumed} items applied"
+                    )
+                return applied
+            pending.setdefault(session_id, []).append(part)
+            consumed += 1
+            held = None
+            applied += 1
+            if limit is not None and consumed >= limit:
+                return applied
+
+    def _collect_reply():
+        """Encode buffered results; reply count first, frames after."""
+        nonlocal buffered
+        if deferred:
+            raise deferred.pop(0)
+        if result_ring is None:
+            reply, buffered = buffered, {}
+            return reply, None
+        frames: List[bytes] = []
+        inline: Dict[str, List[TickResult]] = {}
+        for session_id, results in buffered.items():
+            try:
+                encoded = encode_result_frames(
+                    session_id, results, result_ring.max_frame_payload
+                )
+                if any(
+                    len(payload) > result_ring.max_frame_payload
+                    for payload in encoded
+                ):
+                    # A single tick result too large to split (it alone
+                    # overflows a frame): ship it inline rather than letting
+                    # the post-reply ring write blow up the worker.
+                    raise ValueError("unsplittable oversized result frame")
+            except Exception:
+                # Results the codec cannot represent stay on the pickled
+                # control plane; correctness beats zero-copy here.
+                inline[session_id] = results
+            else:
+                frames.extend(encoded)
+        buffered = {}
+        return (len(frames), inline), frames
+
     running = True
     while running:
         try:
-            commands = [conn.recv()]
+            commands = []
+            if push_ring is None:
+                commands.append(conn.recv())  # legacy: block on the pipe
             while conn.poll():
                 commands.append(conn.recv())
+            if push_ring is not None:
+                drained = _pump(None)
+                if not commands and not drained:
+                    if not conn.poll(_IDLE_POLL):
+                        continue
+                    while conn.poll():
+                        commands.append(conn.recv())
         except (EOFError, OSError):
             break  # coordinator went away; nothing left to serve
-        telemetry.record_drain(len(commands))
-        pending: Dict[str, list] = {}
-        for command in commands:
+        if push_ring is None:
+            drained = 0
+        telemetry.record_drain(len(commands) + drained)
+        for message in commands:
+            if push_ring is None:
+                barrier, command = None, message
+            else:
+                barrier, command = message
             op = command[0]
+            if op == "wake":
+                continue  # ring data; the next _pump picks it up
             if op == "push":
-                pending.setdefault(command[1], []).extend(command[2])
+                if barrier is not None:
+                    _pump(barrier)
+                    consumed += 1
+                pending.setdefault(command[1], []).append(("rows", command[2]))
                 continue
-            # Any RPC is a barrier: imputations queued before it must land
+            # Any RPC is a barrier: data items queued before it must land
             # first so snapshots/collects observe a consistent state.
+            if barrier is not None:
+                _pump(barrier)
             _execute_pending(service, telemetry, pending, buffered, deferred)
+            result_frames = None
             try:
                 if op == "push_sync":
                     _, session_id, row = command
@@ -130,9 +293,7 @@ def _worker_main(worker_id: int, conn, durability=None) -> None:  # pragma: no c
                     buffered.pop(command[1], None)
                     reply = None
                 elif op == "collect":
-                    if deferred:
-                        raise deferred.pop(0)
-                    reply, buffered = buffered, {}
+                    reply, result_frames = _collect_reply()
                 elif op == "stats":
                     telemetry.sessions = service.session_ids
                     reply = telemetry.as_dict()
@@ -150,12 +311,24 @@ def _worker_main(worker_id: int, conn, durability=None) -> None:  # pragma: no c
                 conn.send(("error", error))
             else:
                 conn.send(("ok", reply))
+                if result_frames is not None:
+                    # Published after the count reached the coordinator, so
+                    # it drains while we block on a full ring — no deadlock.
+                    for payload in result_frames:
+                        stalls = result_ring.write(
+                            FRAME_RESULTS, [payload],
+                            describe=f"coordinator of worker {worker_id}",
+                        )
+                        telemetry.record_frame_out(len(payload), stalls)
             if not running:
                 break
         else:
             _execute_pending(service, telemetry, pending, buffered, deferred)
     service.close()  # release WAL handles; on-disk state stays recoverable
     conn.close()
+    if push_ring is not None:
+        push_ring.close()
+        result_ring.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -164,51 +337,179 @@ def _worker_main(worker_id: int, conn, durability=None) -> None:  # pragma: no c
 class ClusterWorker:
     """Parent-side handle of one worker process.
 
-    Owns the process object and the parent end of the command pipe, and
-    provides the three interaction shapes the coordinator needs: feed-and-
-    forget streaming (:meth:`send`), blocking RPC (:meth:`request`), and
-    pipelined RPC (:meth:`send_request` ... :meth:`recv_reply`) for
-    fanning one command out to many workers before gathering any reply.
+    Owns the process object, the parent end of the command pipe and — on the
+    shared-memory transport — both ring segments.  Provides the interaction
+    shapes the coordinator needs: feed-and-forget streaming
+    (:meth:`push_rows`), blocking RPC (:meth:`request`), pipelined RPC
+    (:meth:`send_request` ... :meth:`recv_reply`), and result-ring draining
+    (:meth:`drain_results` / :meth:`consume_results`).
     """
 
-    def __init__(self, worker_id: int, context, durability=None) -> None:
+    def __init__(
+        self,
+        worker_id: int,
+        context,
+        durability=None,
+        transport: str = "shm",
+        ring_capacity: Optional[int] = None,
+    ) -> None:
         self.worker_id = int(worker_id)
+        self._push_ring: Optional[SharedRingBuffer] = None
+        self._result_ring: Optional[SharedRingBuffer] = None
+        shm_names = None
+        if transport == "shm":
+            try:
+                kwargs = {} if ring_capacity is None else {"capacity": ring_capacity}
+                self._push_ring = SharedRingBuffer.create(**kwargs)
+                self._result_ring = SharedRingBuffer.create(**kwargs)
+                shm_names = (self._push_ring.name, self._result_ring.name)
+            except OSError:  # pragma: no cover - no usable /dev/shm
+                self._close_rings()
+        elif transport != "pipe":
+            raise ClusterError(
+                f"unknown cluster transport {transport!r}; "
+                f"expected 'shm' or 'pipe'"
+            )
+        #: Data-plane items sent (frames + piped push fallbacks) — the
+        #: barrier stamped onto every control command.
+        self._position = 0
+        self._result_frames_seen = 0
+        self._result_frames_claimed = 0
+        self._pipe_messages = 0
+        self._pipe_data_bytes = 0
+        self._push_ring_stalls = 0
         parent_conn, child_conn = context.Pipe(duplex=True)
         self._conn = parent_conn
         self._process = context.Process(
             target=_worker_main,
-            args=(self.worker_id, child_conn, durability),
+            args=(self.worker_id, child_conn, durability, shm_names),
             name=f"repro-cluster-worker-{self.worker_id}",
             daemon=True,
         )
         self._process.start()
         child_conn.close()  # the child holds its own copy
 
+    @property
+    def uses_shm(self) -> bool:
+        """Whether this worker's data plane runs over shared memory."""
+        return self._push_ring is not None
+
     # ------------------------------------------------------------------ #
     # Messaging
     # ------------------------------------------------------------------ #
     def send(self, *command) -> None:
-        """Fire-and-forget: stream a command with no reply (``push``)."""
+        """Send one control message (barrier-stamped on the shm transport)."""
+        payload = (self._position, command) if self.uses_shm else command
         try:
-            self._conn.send(command)
+            self._conn.send(payload)
         except (BrokenPipeError, OSError) as error:
             raise ClusterError(
                 f"worker {self.worker_id} is gone: {error}"
             ) from error
+        self._pipe_messages += 1
+
+    def push_rows(self, session_id: str, rows: List) -> None:
+        """Data-plane emit: stream rows to the worker, no reply.
+
+        On the shm transport the rows are laid out as codec frames in the
+        push ring (splitting oversized runs); rows the codec cannot encode
+        fall back to a barrier-stamped pipe push, which the worker applies
+        at exactly the same data-plane position — ordering is preserved
+        either way.  A full ring blocks (and counts the stall) rather than
+        drop; a dead worker raises
+        :class:`~repro.exceptions.WorkerCrashedError`.
+        """
+        if not self.alive:
+            raise ClusterError(f"worker {self.worker_id} is gone")
+        if self._push_ring is None:
+            self._pipe_data_bytes += sum(
+                8 * len(row) if hasattr(row, "__len__") else 8 for row in rows
+            )
+            self.send("push", session_id, rows)
+            return
+        try:
+            frames, next_position = encode_push_frames(
+                self._position, session_id, rows,
+                self._push_ring.max_frame_payload,
+            )
+            # Size-check every frame BEFORE writing any: a row too wide to
+            # split below the frame cap must divert the whole emit to the
+            # pipe — bailing mid-emit would duplicate rows across planes.
+            if any(
+                sum(memoryview(chunk).nbytes for chunk in chunks)
+                > self._push_ring.max_frame_payload
+                for chunks in frames
+            ):
+                raise ValueError("row too wide for a single ring frame")
+        except Exception:
+            self._pipe_data_bytes += sum(
+                8 * len(row) if hasattr(row, "__len__") else 8 for row in rows
+            )
+            self.send("push", session_id, rows)
+            self._position += 1
+            return
+        was_idle = self._push_ring.is_empty
+        for chunks in frames:
+            self._push_ring_stalls += self._push_ring.write(
+                FRAME_PUSH, chunks,
+                alive=self._process.is_alive,
+                describe=f"worker {self.worker_id}",
+            )
+        self._position = next_position
+        if was_idle:
+            # The worker may be asleep on its pipe: nudge it.  (An already
+            # backlogged ring means it is awake and draining.)
+            try:
+                self.send("wake")
+            except ClusterError:
+                pass  # frames are durable in the ring; death surfaces later
+
+    @property
+    def ring_backlog(self) -> bool:
+        """Whether the worker still has unread push frames (shm only)."""
+        return self._push_ring is not None and not self._push_ring.is_empty
 
     def send_request(self, *command) -> None:
         """First half of a pipelined RPC; pair with :meth:`recv_reply`."""
         self.send(*command)
 
-    def recv_reply(self, timeout: Optional[float] = DEFAULT_REPLY_TIMEOUT):
+    def recv_reply(
+        self,
+        timeout: Optional[float] = DEFAULT_REPLY_TIMEOUT,
+        drain=None,
+    ):
         """Second half of a pipelined RPC: reply payload, or raise.
 
-        Raises the worker-side exception as-is when the command failed, and
-        :class:`~repro.exceptions.ClusterError` when the worker died or the
-        reply timed out.
+        Polls the pipe with a short deadline slice instead of blocking, so a
+        worker that dies between frames surfaces
+        :class:`~repro.exceptions.WorkerCrashedError` within one slice — not
+        after the full ``timeout`` (which guards against a live-but-wedged
+        worker).  ``drain`` is called between slices; the coordinator uses
+        it to empty result rings while a ``collect`` reply is in flight.
+        Raises the worker-side exception as-is when the command failed.
         """
-        try:
-            if timeout is not None and not self._conn.poll(timeout):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                if self._conn.poll(_REPLY_POLL_SLICE):
+                    break
+            except (EOFError, OSError) as error:
+                self._conn.close()
+                raise WorkerCrashedError(
+                    f"worker {self.worker_id} died mid-command: {error}"
+                ) from error
+            if drain is not None:
+                drain()
+            if not self._process.is_alive():
+                # One final poll: the reply may have been written just
+                # before the process exited.
+                if not self._conn.poll(0):
+                    self._conn.close()
+                    raise WorkerCrashedError(
+                        f"worker {self.worker_id} crashed before replying"
+                    )
+                break
+            if deadline is not None and time.monotonic() > deadline:
                 # The reply will still arrive eventually, which would leave
                 # the FIFO protocol permanently off-by-one — a later RPC
                 # would read this command's reply.  The connection cannot be
@@ -220,9 +521,13 @@ class ClusterWorker:
                     f"worker {self.worker_id} did not reply within "
                     f"{timeout:.0f}s; its connection has been abandoned"
                 )
+        try:
             status, payload = self._conn.recv()
         except (EOFError, OSError) as error:
-            raise ClusterError(
+            # Poison the handle: the worker is gone, and a half-read pipe
+            # could never be resynchronised anyway.
+            self._conn.close()
+            raise WorkerCrashedError(
                 f"worker {self.worker_id} died mid-command: {error}"
             ) from error
         if status == "error":
@@ -235,8 +540,86 @@ class ClusterWorker:
         return self.recv_reply(timeout=timeout)
 
     # ------------------------------------------------------------------ #
+    # Result-ring draining (shm transport)
+    # ------------------------------------------------------------------ #
+    def drain_results(self, sink) -> int:
+        """Decode all published result frames into ``sink(sid, results)``."""
+        if self._result_ring is None:
+            return 0
+        count = 0
+        while True:
+            frame = self._result_ring.read()
+            if frame is None:
+                break
+            _, view = frame
+            session_id, results = decode_result_frame(view)
+            self._result_ring.release()
+            sink(session_id, results)
+            count += 1
+        self._result_frames_seen += count
+        return count
+
+    def consume_results(
+        self, frames: int, sink, timeout: float = DEFAULT_REPLY_TIMEOUT
+    ) -> None:
+        """Block until ``frames`` more result frames have been drained.
+
+        Called after a ``collect`` reply announced its frame count; the
+        worker publishes the frames right after replying, so this normally
+        returns after one or two drains.  A worker death mid-publication
+        leaves at worst a torn (never-published, hence invisible) frame —
+        it is discarded with the segment and surfaces here as
+        :class:`~repro.exceptions.WorkerCrashedError`.
+        """
+        target = self._result_frames_claimed + frames
+        deadline = time.monotonic() + timeout
+        while self._result_frames_seen < target:
+            if self.drain_results(sink):
+                continue
+            if not self._process.is_alive() and not self.drain_results(sink):
+                raise WorkerCrashedError(
+                    f"worker {self.worker_id} crashed while publishing "
+                    f"results; torn frames discarded"
+                )
+            if time.monotonic() > deadline:
+                raise ClusterError(
+                    f"worker {self.worker_id} did not publish its announced "
+                    f"result frames within {timeout:.0f}s"
+                )
+            time.sleep(_BARRIER_SPIN)
+        self._result_frames_claimed = target
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def transport_stats(self) -> Dict[str, object]:
+        """Coordinator-side data-plane counters for this worker."""
+        stats: Dict[str, object] = {
+            "mode": "shm" if self.uses_shm else "pipe",
+            "pipe_messages": self._pipe_messages,
+            "pipe_data_bytes": self._pipe_data_bytes,
+        }
+        if self._push_ring is not None:
+            stats.update(
+                shm_frames_to_worker=self._push_ring.frames_written,
+                shm_bytes_to_worker=self._push_ring.bytes_written,
+                shm_frames_from_worker=self._result_ring.frames_read,
+                shm_bytes_from_worker=self._result_ring.bytes_read,
+                push_ring_stalls=self._push_ring_stalls,
+                ring_capacity=self._push_ring.capacity,
+            )
+        return stats
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    def _close_rings(self) -> None:
+        for ring in (self._push_ring, self._result_ring):
+            if ring is not None:
+                ring.close()
+        self._push_ring = None
+        self._result_ring = None
+
     @property
     def alive(self) -> bool:
         """Whether the worker is still usable (process up, pipe open).
@@ -254,7 +637,9 @@ class ClusterWorker:
 
         Unlike :meth:`stop` there is no graceful ``shutdown`` RPC: the
         process is terminated mid-flight, exactly like an OOM kill or a node
-        failure.  Used by the crash-recovery tests and by
+        failure — a frame being written when the signal lands stays torn and
+        unpublished, and is discarded with the ring segments here.  Used by
+        the crash-recovery tests and by
         :meth:`ClusterCoordinator.terminate_worker
         <repro.cluster.coordinator.ClusterCoordinator.terminate_worker>`;
         with durability enabled, every record the worker acknowledged is
@@ -267,6 +652,7 @@ class ClusterWorker:
             self._process.kill()
             self._process.join(timeout=10.0)
         self._conn.close()
+        self._close_rings()
 
     def stop(self, timeout: float = 10.0) -> None:
         """Shut the worker down: graceful ``shutdown`` RPC, then escalate."""
@@ -280,7 +666,9 @@ class ClusterWorker:
             self._process.terminate()
             self._process.join(timeout=timeout)
         self._conn.close()
+        self._close_rings()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "stopped"
-        return f"ClusterWorker(id={self.worker_id}, {state})"
+        transport = "shm" if self.uses_shm else "pipe"
+        return f"ClusterWorker(id={self.worker_id}, {transport}, {state})"

@@ -83,7 +83,10 @@ def _validate_inputs(dissimilarities: np.ndarray, k: int, pattern_length: int) -
 
 
 def select_anchors_dp(
-    dissimilarities: Sequence[float], k: int, pattern_length: int
+    dissimilarities: Sequence[float],
+    k: int,
+    pattern_length: int,
+    bound_hint: Optional[float] = None,
 ) -> AnchorSelection:
     """Paper's dynamic program (Eq. 5 / Algorithm 1).
 
@@ -97,6 +100,15 @@ def select_anchors_dp(
     pattern_length:
         Pattern length ``l``; two selected candidates must differ by at least
         ``l`` in candidate index to be non-overlapping.
+    bound_hint:
+        Optional *feasible-total* upper bound supplied by the caller: the
+        dissimilarity sum of some known feasible (pairwise non-overlapping)
+        selection under **this** ``D``.  Streaming callers derive it from
+        the previous tick's anchors — anchors rarely change tick-to-tick,
+        so the hint is usually near-optimal and prunes far harder than the
+        cheap chunk bound computed here.  Any genuine feasible total keeps
+        the DP exact (including tie-breaking); an invalid/infinite hint is
+        ignored.
 
     Returns
     -------
@@ -114,7 +126,10 @@ def select_anchors_dp(
     # without changing the result (see _select_anchors_dp_pruned for why the
     # tie-breaking is also unaffected).
     if num_candidates >= _PRUNE_THRESHOLD:
-        bound = _feasible_total_bound(d, k, l)
+        if bound_hint is not None and np.isfinite(bound_hint):
+            bound = float(bound_hint)
+        else:
+            bound = _feasible_total_bound(d, k, l)
         if bound is not None and np.isfinite(bound):
             keep = d <= bound
             if np.count_nonzero(keep) < num_candidates:
@@ -291,12 +306,20 @@ def select_anchors(
     pattern_length: int,
     strategy: str = "dp",
     allow_overlap: bool = False,
+    bound_hint: Optional[float] = None,
 ) -> AnchorSelection:
-    """Dispatch to the configured anchor-selection strategy."""
+    """Dispatch to the configured anchor-selection strategy.
+
+    ``bound_hint`` (a feasible-total upper bound, see
+    :func:`select_anchors_dp`) only affects the DP strategy's candidate
+    pruning — never the selected anchors.
+    """
     if allow_overlap:
         return select_anchors_overlapping(dissimilarities, k, pattern_length)
     if strategy == "dp":
-        return select_anchors_dp(dissimilarities, k, pattern_length)
+        return select_anchors_dp(
+            dissimilarities, k, pattern_length, bound_hint=bound_hint
+        )
     if strategy == "greedy":
         return select_anchors_greedy(dissimilarities, k, pattern_length)
     raise ConfigurationError(f"unknown anchor selection strategy {strategy!r}")

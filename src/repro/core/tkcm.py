@@ -113,6 +113,11 @@ class TKCMImputer:
         i.e. refuse to impute).
     """
 
+    #: Escape hatch for the parity tests: with ``False`` the anchor DP never
+    #: receives the carried-over pruning bound and always recomputes its own.
+    #: The selected anchors are identical either way (the bound is exact).
+    _use_anchor_hints = True
+
     def __init__(
         self,
         config: Optional[TKCMConfig] = None,
@@ -131,6 +136,9 @@ class TKCMImputer:
         self._buffers: Dict[str, RingBuffer] = {}
         self._rankings: Dict[str, List[str]] = {}
         self._tick = 0
+        #: Per-target (tick, window size, candidate indices) of the latest
+        #: anchor selection — the carried-over DP pruning bound.
+        self._anchor_hint_state: Dict[str, tuple] = {}
 
         for name in series_names or []:
             self.register_series(name)
@@ -184,6 +192,7 @@ class TKCMImputer:
         for name in self._buffers:
             self._buffers[name] = RingBuffer(self.config.window_length)
         self._tick = 0
+        self._anchor_hint_state = {}
 
     def prime(self, history: Mapping[str, Sequence[float]]) -> None:
         """Pre-fill the windows with historical values (no imputation performed).
@@ -384,6 +393,12 @@ class TKCMImputer:
             cfg.pattern_length,
             strategy=cfg.selection,
             allow_overlap=cfg.allow_overlap,
+            bound_hint=self._anchor_bound_hint(
+                target, self._tick + offset + 1, dissimilarities
+            ),
+        )
+        self._remember_selection(
+            target, self._tick + offset + 1, len(target_window), selection
         )
         return self._result_from_selection(target, target_window, references, selection)
 
@@ -448,8 +463,62 @@ class TKCMImputer:
             cfg.pattern_length,
             strategy=cfg.selection,
             allow_overlap=cfg.allow_overlap,
+            bound_hint=self._anchor_bound_hint(target, self._tick, dissimilarities),
         )
+        self._remember_selection(target, self._tick, window_size, selection)
         return self._result_from_selection(target, target_window, references, selection)
+
+    # ------------------------------------------------------------------ #
+    # Anchor-selection pruning-bound reuse
+    # ------------------------------------------------------------------ #
+    # The anchor DP prunes candidates against a *feasible-total* upper bound
+    # (see repro.core.anchor_selection).  During a missing block the anchors
+    # of consecutive ticks rarely change, so the previous tick's selection —
+    # shifted by how far the window slid — is itself a feasible selection
+    # under the current D, and its total is a near-optimal bound obtained in
+    # O(k).  Reusing it replaces the generic chunk bound with a much tighter
+    # one, shrinking the DP to a handful of surviving candidates.  Exactness
+    # is untouched: any feasible total >= the optimal total, which is all the
+    # pruning proof requires.
+    def _anchor_bound_hint(
+        self, target: str, abs_tick: int, dissimilarities: np.ndarray
+    ) -> Optional[float]:
+        """Feasible-total bound carried over from the previous tick, or ``None``."""
+        cfg = self.config
+        if (
+            not self._use_anchor_hints
+            or cfg.selection != "dp"
+            or cfg.allow_overlap
+        ):
+            return None
+        state = getattr(self, "_anchor_hint_state", None)
+        previous = state.get(target) if state else None
+        if previous is None:
+            return None
+        prev_tick, prev_window_size, prev_candidates = previous
+        if abs_tick != prev_tick + 1:
+            return None
+        # A full window slides one position per tick (candidate j becomes
+        # j - 1); a still-growing window keeps old indices in place.
+        shift = 1 if prev_window_size >= cfg.window_length else 0
+        shifted = prev_candidates - shift
+        if shifted[0] < 0 or shifted[-1] >= len(dissimilarities):
+            return None
+        total = float(dissimilarities[shifted].sum())
+        return total if np.isfinite(total) else None
+
+    def _remember_selection(
+        self, target: str, abs_tick: int, window_size: int, selection: AnchorSelection
+    ) -> None:
+        """Record a successful selection for the next tick's bound hint."""
+        state = getattr(self, "_anchor_hint_state", None)
+        if state is None:
+            state = self._anchor_hint_state = {}
+        state[target] = (
+            abs_tick,
+            window_size,
+            np.asarray(selection.candidate_indices, dtype=int),
+        )
 
     def _current_references(self, target: str, window_size: int) -> List[str]:
         ranking = self._rankings.get(target)

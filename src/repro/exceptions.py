@@ -50,6 +50,14 @@ class ClusterError(ReproError):
     invalid shard was addressed)."""
 
 
+class WorkerCrashedError(ClusterError):
+    """A cluster worker process died while the coordinator was talking to it
+    (mid-RPC, or while frames were being exchanged over its shared-memory
+    rings).  Subclasses :class:`ClusterError`, so existing handlers keep
+    working; on a durable cluster the usual follow-up is
+    :meth:`~repro.cluster.coordinator.ClusterCoordinator.heal`."""
+
+
 class DurabilityError(ReproError):
     """A durable-storage operation failed (corrupt checkpoint, bad WAL frame,
     unwritable store directory)."""

@@ -437,6 +437,121 @@ class TestTelemetry:
             assert cluster.stats()["cluster"]["drained_workers"] == [0]
 
 
+class TestTransports:
+    """The data plane has two implementations; both must stay bit-exact.
+
+    The default transport is the shared-memory ring (every other test in
+    this module runs it); these tests pin the legacy pipe transport and the
+    cross-transport invariants.
+    """
+
+    def test_pipe_transport_matches_single_process(self, reference_results):
+        records = _record_stream()
+        with ClusterCoordinator(num_workers=2, transport="pipe") as cluster:
+            _populate(cluster)
+            results = cluster.push_many(records)
+        assert results_identical(results, reference_results)
+
+    def test_shm_and_pipe_transports_agree_exactly(self, reference_results):
+        records = _record_stream()
+        outputs = {}
+        for transport in ("pipe", "shm"):
+            with ClusterCoordinator(num_workers=2, transport=transport) as cluster:
+                _populate(cluster)
+                outputs[transport] = cluster.push_many(records)
+        assert results_identical(outputs["pipe"], outputs["shm"])
+
+    def test_pipe_transport_drain_parity(self, reference_results):
+        records = _record_stream()
+        half = len(records) // 2
+        with ClusterCoordinator(num_workers=2, transport="pipe") as cluster:
+            _populate(cluster)
+            first = cluster.push_many(records[:half])
+            busy = next(w for w in range(2) if cluster.router.sessions_on(w))
+            cluster.drain(busy)
+            second = cluster.push_many(records[half:])
+        combined = {
+            station: first.get(station, []) + second.get(station, [])
+            for station in STATIONS
+        }
+        assert results_identical(combined, reference_results)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ClusterError, match="unknown cluster transport"):
+            ClusterCoordinator(num_workers=1, transport="carrier-pigeon")
+
+    def test_shm_transport_reports_data_plane_bytes(self):
+        records = _record_stream(num_ticks=120)
+        with ClusterCoordinator(num_workers=2) as cluster:
+            _populate(cluster)
+            cluster.push_many(records)
+            stats = cluster.stats()
+        transport = stats["cluster"]["transport"]
+        assert transport["mode"] == "shm"
+        assert transport["bytes_via_shm"] > 0
+        assert transport["frames_via_shm"] > 0
+        assert transport["avg_frame_bytes"] > 0
+        for worker_stats in stats["workers"].values():
+            worker_transport = worker_stats["transport"]
+            assert worker_transport["mode"] == "shm"
+            # The worker's view of the push ring must match what the
+            # coordinator wrote into it.
+            assert (
+                worker_transport["shm_bytes_in"]
+                == worker_transport["shm_bytes_to_worker"]
+            )
+
+    def test_pipe_transport_reports_pipe_bytes(self):
+        records = _record_stream(num_ticks=120)
+        with ClusterCoordinator(num_workers=2, transport="pipe") as cluster:
+            _populate(cluster)
+            cluster.push_many(records)
+            stats = cluster.stats()
+        transport = stats["cluster"]["transport"]
+        assert transport["mode"] == "pipe"
+        assert transport["bytes_via_shm"] == 0
+        assert transport["bytes_via_pipe"] > 0
+
+    def test_small_ring_forces_backpressure_without_loss(self, reference_results):
+        """A ring far smaller than the stream must stall the producer but
+        never drop or reorder a frame: outputs stay bit-identical and the
+        stall counter shows the backpressure actually happened."""
+        records = _record_stream()
+        with ClusterCoordinator(
+            num_workers=2, ring_capacity=4096, linger_records=16
+        ) as cluster:
+            _populate(cluster)
+            results = cluster.push_many(records)
+            stats = cluster.stats()
+        assert results_identical(results, reference_results)
+        assert stats["cluster"]["transport"]["ring_full_stalls"] > 0
+
+    def test_kill_and_recover_under_shm_with_durability(self, tmp_path):
+        """Crash recovery over the shm transport: a worker killed mid-frame
+        leaves at worst a torn, unpublished frame; WAL replay restores the
+        acknowledged stream bit-identically."""
+        from repro.durability import DurabilityConfig, DurabilityPolicy
+
+        records = _record_stream()
+        half = len(records) // 2
+        durability = DurabilityConfig(
+            tmp_path / "state", DurabilityPolicy(checkpoint_every=1_000_000)
+        )
+        with ClusterCoordinator(num_workers=2, durability=durability) as cluster:
+            _populate(cluster)
+            first = cluster.push_many(records[:half])
+            victim = next(w for w in range(2) if cluster.router.sessions_on(w))
+            assert cluster._workers[victim].uses_shm
+            cluster.terminate_worker(victim)
+            cluster.heal()
+            second = cluster.push_many(records[half:])
+        combined = {
+            station: first.get(station, []) + second.get(station, [])
+            for station in STATIONS
+        }
+        assert results_identical(combined, _single_process_results(records))
+
+
 class TestLifecycle:
     def test_shutdown_is_idempotent_and_closes_the_surface(self):
         cluster = ClusterCoordinator(num_workers=2)

@@ -234,3 +234,82 @@ class TestPrunedDp:
         result = select_anchors_dp(d, 5, 36)
         anchors = sorted(result.candidate_indices)
         assert all(b - a >= 36 for a, b in zip(anchors, anchors[1:]))
+
+
+class TestBoundHint:
+    """The carried-over pruning bound (a caller-supplied feasible total)
+    must never change the selected anchors — only how hard the DP prunes."""
+
+    def _feasible_total(self, d, k, l, rng):
+        """Total of a random feasible (pairwise >= l apart) selection."""
+        picks = []
+        position = int(rng.integers(0, l))
+        while len(picks) < k:
+            picks.append(position)
+            position += l + int(rng.integers(0, 3))
+        assert picks[-1] < len(d)
+        return float(np.asarray(d)[picks].sum())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_hint_matches_unhinted_dp(self, seed, monkeypatch):
+        import repro.core.anchor_selection as module
+
+        monkeypatch.setattr(module, "_PRUNE_THRESHOLD", 1)
+        rng = np.random.default_rng(seed)
+        d = rng.random(700) * 10
+        k, l = 5, 20
+        hint = self._feasible_total(d, k, l, rng)
+        plain = select_anchors_dp(d, k, l)
+        hinted = select_anchors_dp(d, k, l, bound_hint=hint)
+        assert hinted.candidate_indices == plain.candidate_indices
+        assert hinted.dissimilarities == plain.dissimilarities
+        assert hinted.total_dissimilarity == plain.total_dissimilarity
+
+    def test_hint_matches_with_exact_ties(self, monkeypatch):
+        import repro.core.anchor_selection as module
+
+        monkeypatch.setattr(module, "_PRUNE_THRESHOLD", 1)
+        rng = np.random.default_rng(31)
+        d = np.round(rng.random(600) * 4) / 4.0  # many exact ties
+        hint = self._feasible_total(d, 4, 15, rng)
+        plain = select_anchors_dp(d, 4, 15)
+        hinted = select_anchors_dp(d, 4, 15, bound_hint=hint)
+        assert hinted.candidate_indices == plain.candidate_indices
+
+    def test_tight_hint_equal_to_optimum_keeps_the_optimum(self, monkeypatch):
+        import repro.core.anchor_selection as module
+
+        monkeypatch.setattr(module, "_PRUNE_THRESHOLD", 1)
+        rng = np.random.default_rng(7)
+        d = rng.random(650)
+        plain = select_anchors_dp(d, 4, 18)
+        # The tightest legal hint: the optimal total itself.
+        hinted = select_anchors_dp(
+            d, 4, 18, bound_hint=plain.total_dissimilarity
+        )
+        assert hinted.candidate_indices == plain.candidate_indices
+
+    def test_infinite_or_missing_hint_is_ignored(self, monkeypatch):
+        import repro.core.anchor_selection as module
+
+        monkeypatch.setattr(module, "_PRUNE_THRESHOLD", 1)
+        rng = np.random.default_rng(11)
+        d = rng.random(600)
+        plain = select_anchors_dp(d, 3, 12)
+        assert select_anchors_dp(
+            d, 3, 12, bound_hint=float("inf")
+        ).candidate_indices == plain.candidate_indices
+        assert select_anchors_dp(
+            d, 3, 12, bound_hint=None
+        ).candidate_indices == plain.candidate_indices
+
+    def test_dispatcher_forwards_the_hint_to_dp_only(self):
+        rng = np.random.default_rng(3)
+        d = rng.random(600)
+        hint = self._feasible_total(d, 3, 12, rng)
+        via_dispatch = select_anchors(d, 3, 12, strategy="dp", bound_hint=hint)
+        direct = select_anchors_dp(d, 3, 12, bound_hint=hint)
+        assert via_dispatch.candidate_indices == direct.candidate_indices
+        # Greedy ignores the hint rather than crashing on it.
+        greedy = select_anchors(d, 3, 12, strategy="greedy", bound_hint=hint)
+        assert len(greedy.candidate_indices) == 3

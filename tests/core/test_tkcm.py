@@ -236,3 +236,91 @@ class TestMissingDataInReferences:
         assert result.method == "tkcm"
         assert np.isfinite(result.value)
         assert abs(result.value - truth) < 0.25
+
+
+class TestAnchorHintReuse:
+    """The carried-over anchor-DP pruning bound must be invisible in the
+    results — same imputations, tick path and batch path alike."""
+
+    def _imputer(self, use_hints: bool) -> TKCMImputer:
+        config = TKCMConfig(
+            window_length=1200, pattern_length=12, num_anchors=3,
+            num_references=2,
+        )
+        imputer = TKCMImputer(
+            config,
+            series_names=["s0", "s1", "s2"],
+            reference_rankings={"s0": ["s1", "s2"]},
+        )
+        imputer._use_anchor_hints = use_hints
+        return imputer
+
+    def _stream(self):
+        rng = np.random.default_rng(1234)
+        t = np.arange(1500, dtype=float)
+        matrix = np.stack(
+            [
+                np.sin(2 * np.pi * (t + shift) / 96)
+                + 0.05 * rng.standard_normal(len(t))
+                for shift in (0, 7, 13)
+            ],
+            axis=1,
+        )
+        matrix[1260:1380, 0] = np.nan  # long missing block: consecutive ticks
+        return matrix
+
+    def _run(self, imputer, matrix, batch: bool):
+        history = {f"s{j}": matrix[:1200, j] for j in range(3)}
+        imputer.prime(history)
+        outputs = {}
+        if batch:
+            results = imputer.observe_batch(
+                matrix[1200:], ["s0", "s1", "s2"]
+            )
+            for offset, per_tick in results.items():
+                for name, result in per_tick.items():
+                    outputs[(offset, name)] = (result.value, result.method,
+                                               result.anchor_indices)
+        else:
+            for offset, row in enumerate(matrix[1200:]):
+                per_tick = imputer.observe(
+                    {f"s{j}": row[j] for j in range(3)}
+                )
+                for name, result in per_tick.items():
+                    outputs[(offset, name)] = (result.value, result.method,
+                                               result.anchor_indices)
+        return outputs
+
+    def test_hints_do_not_change_results_and_are_actually_used(self):
+        matrix = self._stream()
+        lowered = pytest.MonkeyPatch()
+        try:
+            # Make pruning (and hence the hint) active at this test's window.
+            from repro.core import anchor_selection
+
+            lowered.setattr(anchor_selection, "_PRUNE_THRESHOLD", 64)
+            for batch in (False, True):
+                with_hints = self._imputer(True)
+                without = self._imputer(False)
+                got = self._run(with_hints, matrix, batch)
+                expected = self._run(without, matrix, batch)
+                assert got == expected
+                assert with_hints._anchor_hint_state, (
+                    "the hint state should have been populated"
+                )
+        finally:
+            lowered.undo()
+
+    def test_batch_and_tick_paths_agree_with_hints_on(self):
+        matrix = self._stream()
+        tick_outputs = self._run(self._imputer(True), matrix, batch=False)
+        batch_outputs = self._run(self._imputer(True), matrix, batch=True)
+        assert tick_outputs == batch_outputs
+
+    def test_reset_clears_hint_state(self):
+        matrix = self._stream()
+        imputer = self._imputer(True)
+        self._run(imputer, matrix, batch=True)
+        assert imputer._anchor_hint_state
+        imputer.reset()
+        assert imputer._anchor_hint_state == {}
