@@ -33,6 +33,12 @@ The library is organised in layers:
   files), :class:`WriteAheadLog` (block-framed record log since the last
   checkpoint), and :class:`RecoveryManager`, which restores a session, a
   service, or a whole cluster fleet to its exact pre-crash state.
+* :mod:`repro.gateway` — the network ingest tier: :class:`GatewayServer`
+  (asyncio TCP front-end multiplexing thousands of connections onto the
+  cluster's pipelined path over a CRC-checked binary frame protocol, with
+  watermark backpressure), :class:`GatewayClient` (sync client library over
+  an asyncio core), and the open-loop load generator behind the
+  ``gateway-bench`` CLI subcommand.
 
 Quickstart::
 
@@ -78,20 +84,24 @@ from .exceptions import (
     ConfigurationError,
     DatasetError,
     DurabilityError,
+    GatewayError,
     ImputationError,
     InsufficientDataError,
     MissingReferenceError,
     NotFittedError,
+    OverloadedError,
+    ProtocolError,
     RecoveryError,
     ReproError,
     ServiceError,
     StreamError,
 )
+from .gateway import AsyncGatewayClient, GatewayClient, GatewayServer
 from .registry import ImputerRegistry, list_methods, make_imputer, register
 from .results import SeriesEstimate, TickResult
 from .service import ImputationService, ImputationSession
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "TKCMConfig",
@@ -108,6 +118,9 @@ __all__ = [
     "ImputationService",
     "ClusterCoordinator",
     "ShardRouter",
+    "GatewayServer",
+    "GatewayClient",
+    "AsyncGatewayClient",
     "CheckpointStore",
     "WriteAheadLog",
     "DurabilityConfig",
@@ -126,6 +139,9 @@ __all__ = [
     "NotFittedError",
     "ServiceError",
     "ClusterError",
+    "GatewayError",
+    "ProtocolError",
+    "OverloadedError",
     "DurabilityError",
     "RecoveryError",
     "__version__",

@@ -175,6 +175,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the benchmark record to this path")
     serve.set_defaults(handler=_cmd_serve_bench)
 
+    gateway = subparsers.add_parser(
+        "gateway-bench",
+        help="drive a networked gateway + cluster with the open-loop "
+             "load generator",
+    )
+    gateway.add_argument("--connections", type=int, default=500,
+                         help="concurrent TCP client connections "
+                              "(default 500)")
+    gateway.add_argument("--stations-per-connection", type=int, default=1,
+                         help="stations (sessions) per connection "
+                              "(default 1)")
+    gateway.add_argument("--records-per-station", type=int, default=40,
+                         help="streamed records per station (default 40)")
+    gateway.add_argument("--workers", type=int, default=2,
+                         help="cluster workers behind the gateway "
+                              "(default 2)")
+    gateway.add_argument("--rate", type=float, default=4000.0,
+                         help="offered load in records/s across the whole "
+                              "fleet (default 4000)")
+    gateway.add_argument("--process", choices=["poisson", "ramp", "uniform"],
+                         default="poisson",
+                         help="open-loop arrival process (default: poisson)")
+    gateway.add_argument("--transport", choices=["shm", "pipe"],
+                         default="shm",
+                         help="cluster data-plane transport (default: shm)")
+    gateway.add_argument("--pause-watermark", type=int, default=8192,
+                         help="backlog (records) at which the gateway stops "
+                              "reading sockets until a flush drains it "
+                              "(default 8192)")
+    gateway.add_argument("--shed-watermark", type=int, default=None,
+                         help="backlog above which pushes are shed with an "
+                              "ERROR frame instead of delayed "
+                              "(default: never shed)")
+    gateway.add_argument("--no-parity", dest="parity", action="store_false",
+                         help="skip the bit-identity replay against an "
+                              "in-process ClusterCoordinator")
+    gateway.add_argument("--seed", type=int, default=2017,
+                         help="workload + arrival-schedule seed")
+    gateway.add_argument("--json", dest="json_path", default=None,
+                         help="also write the benchmark record to this path")
+    gateway.set_defaults(handler=_cmd_gateway_bench)
+
     checkpoint = subparsers.add_parser(
         "checkpoint",
         help="inspect (and optionally verify) a durability root",
@@ -456,6 +498,8 @@ def _print_transport_summary(record) -> None:
                 "frames": stats.get("frames_via_shm", 0),
                 "avg_frame_bytes": round(stats.get("avg_frame_bytes", 0.0), 1),
                 "ring_stalls": stats.get("ring_full_stalls", 0),
+                "pending_peak": entry.get("pending_records_peak", 0),
+                "queue_max": entry.get("queue_depth_max", 0),
             })
     print(format_table(rows, title="transport — bytes via shm vs pipe"))
     comparison = record.get("transport_comparison")
@@ -466,6 +510,63 @@ def _print_transport_summary(record) -> None:
             f"({comparison['shm_records_per_s']:.0f} vs "
             f"{comparison['pipe_records_per_s']:.0f} records/s)"
         )
+
+
+def _cmd_gateway_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .gateway import gateway_bench_record
+
+    record = gateway_bench_record(
+        connections=args.connections,
+        stations_per_connection=args.stations_per_connection,
+        records_per_station=args.records_per_station,
+        workers=args.workers,
+        rate=args.rate,
+        process=args.process,
+        transport=args.transport,
+        seed=args.seed,
+        pause_watermark=args.pause_watermark,
+        shed_watermark=args.shed_watermark,
+        check_parity=args.parity,
+    )
+    latency = record["latency_ms"]
+    rows = [{
+        "connections": record["config"]["connections"],
+        "stations": (record["config"]["connections"]
+                     * record["config"]["stations_per_connection"]),
+        "records": record["records"],
+        "records_per_s": record["records_per_second"],
+        "offered_rate": record["offered_rate"],
+        "p50_ms": round(latency["p50"], 2),
+        "p99_ms": round(latency["p99"], 2),
+        "shed": record["shed_records"],
+        "identical": record["bit_identical_to_inprocess"],
+    }]
+    print(format_table(
+        rows,
+        title=f"gateway-bench — {record['config']['workers']} workers, "
+              f"{record['config']['transport']} transport, "
+              f"{record['config']['process']} arrivals",
+    ))
+    gateway_stats = record["gateway_stats"]
+    print(
+        f"gateway: {gateway_stats['connections_total']} connections served, "
+        f"pending peak {gateway_stats['pending_records_peak']} records, "
+        f"{gateway_stats['pause_events']} pause events, "
+        f"{gateway_stats['flushes']} flushes"
+    )
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote benchmark record to {args.json_path}")
+    if record["bit_identical_to_inprocess"] is False:
+        raise ReproError(
+            "gateway results diverged from the in-process coordinator — "
+            "this is a bug; please report it"
+        )
+    return 0
 
 
 def _durability_stores(root: str, sessions):

@@ -309,6 +309,10 @@ def serve_bench_record(
                 "identical": identical[(transport, num_workers)],
                 "ticks_imputed": cluster_stats["ticks_imputed"],
                 "avg_batch_records": cluster_stats["avg_batch_records"],
+                "queue_depth_max": cluster_stats.get("queue_depth_max", 0),
+                "pending_records_peak": cluster_stats.get(
+                    "pending_records_peak", 0
+                ),
                 "transport_stats": cluster_stats.get("transport", {}),
             }
         record["transports"][transport] = entries

@@ -158,6 +158,10 @@ class ClusterCoordinator:
         self._linger: Dict[str, list] = {}
         #: Per-worker records piped out but whose results are uncollected.
         self._inflight: Dict[int, int] = {i: 0 for i in range(num_workers)}
+        #: Lifetime high-water mark of ``_inflight`` per worker — how deep
+        #: the pipelined backlog ever got (watermark telemetry for callers
+        #: like the gateway that need to tune backpressure thresholds).
+        self._inflight_peak: Dict[int, int] = {i: 0 for i in range(num_workers)}
         #: Results collected early (backpressure) awaiting the next flush().
         self._stash: Dict[str, List[TickResult]] = {}
         self._records_routed: Dict[int, int] = {i: 0 for i in range(num_workers)}
@@ -324,6 +328,27 @@ class ClusterCoordinator:
         gathered, self._stash = self._stash, {}
         return gathered
 
+    def pipelined_backlog(self) -> int:
+        """Records accepted by :meth:`push_nowait` whose results are pending.
+
+        Counts both rows still lingering coordinator-side and records
+        already emitted onto the data plane but not yet collected.  Cheap
+        (no RPC) — suitable for polling by an ingest tier deciding whether
+        to apply backpressure.
+        """
+        lingering = sum(len(rows) for rows in self._linger.values())
+        return lingering + sum(self._inflight.values())
+
+    def data_plane_stalls(self) -> int:
+        """Total ring-full backpressure stalls seen writing to workers.
+
+        A stall means a worker's shared-memory push ring was full and the
+        coordinator had to spin-wait — the earliest observable signal that
+        the fleet is running behind the offered load.  Cheap (coordinator's
+        own counters, no RPC); always 0 on the pipe transport.
+        """
+        return sum(worker.push_ring_stalls for worker in self._workers)
+
     def push_many(
         self, records: Iterable[Tuple[str, Tick]]
     ) -> Dict[str, List[TickResult]]:
@@ -429,6 +454,7 @@ class ClusterCoordinator:
         for index in range(self.num_workers, new_worker_count):
             self._workers.append(self._spawn_worker(index))
             self._inflight[index] = 0
+            self._inflight_peak[index] = 0
             self._records_routed[index] = 0  # a fresh process starts at zero
         plan = self._router.resize(new_worker_count)
         self._migrate(plan)
@@ -438,6 +464,7 @@ class ClusterCoordinator:
         for index in list(self._inflight):
             if index >= new_worker_count:
                 del self._inflight[index]
+                self._inflight_peak.pop(index, None)
                 del self._records_routed[index]
                 self._linger_target.pop(index, None)
         return plan
@@ -626,8 +653,9 @@ class ClusterCoordinator:
         Per worker: the serving counters of
         :class:`~repro.cluster.telemetry.WorkerTelemetry` (records routed,
         blocks executed, ticks imputed, push latency, queue depths) plus the
-        coordinator-side ``records_sent`` and the sessions it owns.  The
-        ``"cluster"`` entry aggregates across workers.  On a durable cluster
+        coordinator-side ``records_sent``, the lifetime high-water mark of
+        its pipelined backlog (``pending_records_peak``) and the sessions it
+        owns.  The ``"cluster"`` entry aggregates across workers.  On a durable cluster
         each worker additionally reports its ``durability`` counters
         (checkpoints written, WAL records/bytes), and the aggregate gains
         the coordinator's recovery telemetry (``worker_recoveries``,
@@ -648,6 +676,11 @@ class ClusterCoordinator:
         for worker in self._workers:
             stats = per_worker[worker.worker_id]
             stats["records_sent"] = self._records_routed.get(worker.worker_id, 0)
+            # High-water mark of this worker's pipelined backlog (records
+            # emitted by push_nowait whose results were not yet collected).
+            stats["pending_records_peak"] = self._inflight_peak.get(
+                worker.worker_id, 0
+            )
             # Merge the coordinator's side of the data plane (frames/bytes
             # written to the push ring, stalls, pipe fallback bytes) into
             # the worker-side counters.
@@ -741,7 +774,10 @@ class ClusterCoordinator:
                 self._linger_target.pop(shard, None)
         worker.push_rows(session_id, rows)
         self._records_routed[shard] += len(rows)
-        self._inflight[shard] = self._inflight.get(shard, 0) + len(rows)
+        pending = self._inflight.get(shard, 0) + len(rows)
+        self._inflight[shard] = pending
+        if pending > self._inflight_peak.get(shard, 0):
+            self._inflight_peak[shard] = pending
 
     def _flush_linger(self) -> None:
         """Emit every buffered row (ordering barrier before any RPC)."""

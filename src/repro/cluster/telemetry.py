@@ -141,10 +141,11 @@ _DURABILITY_KEYS = (
 def aggregate_stats(per_worker: Mapping[int, Mapping[str, object]]) -> Dict[str, object]:
     """Merge per-worker telemetry dicts into one cluster-wide summary.
 
-    Sums the throughput counters, takes the max of the queue depths, and
-    recomputes the derived averages from the summed totals.  When any worker
-    reports a ``durability`` sub-dict its counters are summed into a
-    cluster-wide ``durability`` entry as well.
+    Sums the throughput counters, takes the max of the queue depths and of
+    the pipelined-backlog high-water marks, and recomputes the derived
+    averages from the summed totals.  When any worker reports a
+    ``durability`` sub-dict its counters are summed into a cluster-wide
+    ``durability`` entry as well.
     """
     totals = {
         "workers": len(per_worker),
@@ -153,6 +154,7 @@ def aggregate_stats(per_worker: Mapping[int, Mapping[str, object]]) -> Dict[str,
         "ticks_imputed": 0,
         "push_seconds": 0.0,
         "queue_depth_max": 0,
+        "pending_records_peak": 0,
         "sessions": 0,
     }
     for stats in per_worker.values():
@@ -162,6 +164,10 @@ def aggregate_stats(per_worker: Mapping[int, Mapping[str, object]]) -> Dict[str,
         totals["push_seconds"] += float(stats.get("push_seconds", 0.0))
         totals["queue_depth_max"] = max(
             totals["queue_depth_max"], int(stats.get("queue_depth_max", 0))
+        )
+        totals["pending_records_peak"] = max(
+            totals["pending_records_peak"],
+            int(stats.get("pending_records_peak", 0)),
         )
         totals["sessions"] += len(stats.get("sessions", ()))
     totals["avg_push_latency"] = (

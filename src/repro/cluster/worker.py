@@ -592,6 +592,15 @@ class ClusterWorker:
     # ------------------------------------------------------------------ #
     # Telemetry
     # ------------------------------------------------------------------ #
+    @property
+    def push_ring_stalls(self) -> int:
+        """Ring-full backpressure stalls writing pushes to this worker.
+
+        0 on the pipe transport (there is no ring to fill).  Cheap enough
+        to poll: it is the coordinator's own counter, no RPC involved.
+        """
+        return self._push_ring_stalls
+
     def transport_stats(self) -> Dict[str, object]:
         """Coordinator-side data-plane counters for this worker."""
         stats: Dict[str, object] = {

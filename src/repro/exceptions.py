@@ -58,6 +58,23 @@ class WorkerCrashedError(ClusterError):
     :meth:`~repro.cluster.coordinator.ClusterCoordinator.heal`."""
 
 
+class GatewayError(ReproError):
+    """A network-gateway operation failed (connection refused, handshake
+    rejected, server-side push failure reported over the wire)."""
+
+
+class ProtocolError(GatewayError):
+    """A wire frame is malformed (bad CRC, oversized length prefix, garbage
+    bytes, unknown frame kind).  The connection that produced it cannot be
+    resynchronised and is closed."""
+
+
+class OverloadedError(GatewayError):
+    """The gateway shed a push because the serving tier's backlog crossed the
+    configured shed watermark; the record was **not** applied.  Retry later
+    or slow the producer down."""
+
+
 class DurabilityError(ReproError):
     """A durable-storage operation failed (corrupt checkpoint, bad WAL frame,
     unwritable store directory)."""

@@ -1,0 +1,406 @@
+"""Open-loop load generator for the gateway tier.
+
+Simulates the paper's deployment story — a fleet of weather stations
+streaming records over the network — against a real
+:class:`~repro.gateway.server.GatewayServer`: ``connections`` TCP clients,
+each owning one or more stations, pushing records on an *open-loop*
+arrival schedule (Poisson, linearly ramping, or uniform).  Open-loop means
+the schedule is fixed before the run and does not slow down when the
+server does; the only throttle is the transport itself (the gateway's
+pause watermark filling TCP windows), which is exactly the behaviour a
+production ingest tier sees from sensors that do not care how busy the
+backend is.
+
+Every station's stream carries a contiguous missing block in its target
+series, so the serving tier is continuously imputing; push-to-result
+latency is measured per record by stamping the send time and matching the
+returned :class:`~repro.results.TickResult` by tick index (priming
+advances the session clock by the history length, so stream ordinal ``j``
+comes back as index ``history_ticks + j``).
+
+:func:`gateway_bench_record` is the one entry point shared by the
+``gateway-bench`` CLI subcommand and ``benchmarks/test_bench_gateway.py``:
+it stands up a cluster + gateway, runs the load, then replays the same
+per-station streams into a fresh in-process
+:class:`~repro.cluster.coordinator.ClusterCoordinator` via plain
+``push()`` and asserts the wire results are bit-identical — the same
+bar every previous serving tier had to clear.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.bench import results_identical
+from ..cluster.coordinator import ClusterCoordinator
+from ..exceptions import GatewayError
+from ..results import TickResult
+from .client import AsyncGatewayClient
+from .server import GatewayServer
+
+__all__ = [
+    "LoadgenStation",
+    "LoadgenReport",
+    "build_loadgen_workload",
+    "arrival_schedule",
+    "run_loadgen",
+    "gateway_bench_record",
+]
+
+#: Valid open-loop arrival processes.
+ARRIVAL_PROCESSES = ("poisson", "ramp", "uniform")
+
+
+@dataclass
+class LoadgenStation:
+    """One station of the load-generator workload.
+
+    ``station`` is globally unique across all connections, so the parity
+    run can reuse it verbatim as an in-process session id.
+    """
+
+    station: str
+    series_names: List[str]
+    params: dict
+    history: Dict[str, np.ndarray]
+    rows: List[np.ndarray] = field(repr=False)
+    history_ticks: int = 0
+
+
+@dataclass
+class LoadgenReport:
+    """Everything one load-generator run produced."""
+
+    connections: int
+    stations: int
+    records: int
+    elapsed_seconds: float
+    records_per_second: float
+    offered_rate: float
+    latencies_seconds: np.ndarray = field(repr=False)
+    results: Dict[str, List[TickResult]] = field(repr=False)
+    shed: List[str] = field(default_factory=list)
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+
+    def latency_percentiles_ms(self) -> Dict[str, float]:
+        """``{"p50": ..., "p99": ...}`` push-to-result latency in ms."""
+        if self.latencies_seconds.size == 0:
+            return {"p50": float("nan"), "p99": float("nan")}
+        p50, p99 = np.percentile(self.latencies_seconds, [50.0, 99.0])
+        return {"p50": float(p50) * 1e3, "p99": float(p99) * 1e3}
+
+
+# --------------------------------------------------------------------------- #
+# Workload
+# --------------------------------------------------------------------------- #
+def build_loadgen_workload(
+    connections: int,
+    stations_per_connection: int = 1,
+    records_per_station: int = 40,
+    num_series: int = 3,
+    window_length: int = 144,
+    pattern_length: int = 12,
+    num_anchors: int = 3,
+    num_references: int = 2,
+    seed: int = 2017,
+) -> List[List[LoadgenStation]]:
+    """Build a deterministic fleet workload, grouped per connection.
+
+    Each station gets a seeded sinusoid-plus-noise multivariate stream:
+    ``window_length`` priming ticks, then ``records_per_station`` streamed
+    rows whose target series goes dark for the middle half — so roughly
+    half of every station's streamed ticks produce imputations.  TKCM at a
+    deliberately small configuration (the load generator measures the
+    serving path, not the imputer).
+    """
+    if connections < 1 or stations_per_connection < 1:
+        raise GatewayError("need at least one connection and one station")
+    fleet: List[List[LoadgenStation]] = []
+    gap_start = records_per_station // 4
+    gap_length = max(1, records_per_station // 2)
+    station_index = 0
+    for _ in range(connections):
+        group: List[LoadgenStation] = []
+        for _ in range(stations_per_connection):
+            rng = np.random.default_rng(seed + 997 * station_index)
+            total = window_length + records_per_station
+            ticks = np.arange(total, dtype=np.float64)
+            columns = []
+            for j in range(num_series):
+                phase = 2.0 * np.pi * (j / num_series + 0.01 * station_index)
+                wave = np.sin(2.0 * np.pi * ticks / 48.0 + phase)
+                columns.append(wave + 0.1 * rng.standard_normal(total))
+            matrix = np.stack(columns, axis=1)
+            station = f"st-{station_index:05d}"
+            names = [f"{station}/s{j}" for j in range(num_series)]
+            history = {
+                name: matrix[:window_length, j].copy()
+                for j, name in enumerate(names)
+            }
+            stream = matrix[window_length:].copy()
+            stream[gap_start: gap_start + gap_length, 0] = np.nan
+            params = dict(
+                window_length=int(window_length),
+                pattern_length=int(pattern_length),
+                num_anchors=int(num_anchors),
+                num_references=int(num_references),
+                reference_rankings={names[0]: names[1:]},
+            )
+            group.append(
+                LoadgenStation(
+                    station=station,
+                    series_names=names,
+                    params=params,
+                    history=history,
+                    rows=[stream[t] for t in range(records_per_station)],
+                    history_ticks=window_length,
+                )
+            )
+            station_index += 1
+        fleet.append(group)
+    return fleet
+
+
+def arrival_schedule(
+    count: int, rate: float, process: str = "poisson", seed: int = 0
+) -> np.ndarray:
+    """Absolute send times (seconds from start) for ``count`` open-loop events.
+
+    ``poisson`` draws exponential inter-arrivals at ``rate`` events/s;
+    ``ramp`` sweeps the instantaneous rate linearly from half to
+    one-and-a-half times ``rate`` (same mean); ``uniform`` is a metronome.
+    Deterministic for a given ``seed``.
+    """
+    if rate <= 0:
+        raise GatewayError(f"arrival rate must be positive, got {rate}")
+    if process == "uniform":
+        return np.arange(count, dtype=np.float64) / rate
+    if process == "poisson":
+        rng = np.random.default_rng(seed)
+        return np.cumsum(rng.exponential(1.0 / rate, size=count))
+    if process == "ramp":
+        rates = np.linspace(0.5, 1.5, num=max(count, 2))[:count] * rate
+        return np.cumsum(1.0 / rates)
+    raise GatewayError(
+        f"unknown arrival process {process!r} (choose from {ARRIVAL_PROCESSES})"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The run
+# --------------------------------------------------------------------------- #
+async def _run_loadgen_async(
+    host: str,
+    port: int,
+    fleet: List[List[LoadgenStation]],
+    rate: float,
+    process: str,
+    seed: int,
+) -> LoadgenReport:
+    clients: List[AsyncGatewayClient] = []
+    send_times: Dict[Tuple[str, int], float] = {}
+    latencies: List[float] = []
+    history_ticks = fleet[0][0].history_ticks
+
+    def result_hook(station: str, results: List[TickResult]) -> None:
+        """Stamp push-to-result latency for every imputed tick."""
+        received = time.perf_counter()
+        for result in results:
+            sent = send_times.get((station, result.index - history_ticks))
+            if sent is not None:
+                latencies.append(received - sent)
+
+    try:
+        for group in fleet:
+            client = await AsyncGatewayClient.connect(host, port)
+            client.result_hook = result_hook
+            clients.append(client)
+            for spec in group:
+                await client.create_session(
+                    spec.station,
+                    method="tkcm",
+                    series_names=spec.series_names,
+                    **spec.params,
+                )
+                await client.prime(spec.station, spec.history)
+
+        # Interleave round-robin across every station: record j of all
+        # stations before record j + 1 of any, like a shared ingest queue.
+        events: List[Tuple[AsyncGatewayClient, LoadgenStation, int]] = []
+        depth = max(len(spec.rows) for group in fleet for spec in group)
+        for ordinal in range(depth):
+            for client, group in zip(clients, fleet):
+                for spec in group:
+                    if ordinal < len(spec.rows):
+                        events.append((client, spec, ordinal))
+        schedule = arrival_schedule(len(events), rate, process, seed)
+
+        loop = asyncio.get_event_loop()
+        started = loop.time()
+        wall_started = time.perf_counter()
+        for (client, spec, ordinal), offset in zip(events, schedule):
+            delay = (started + float(offset)) - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            send_times[(spec.station, ordinal)] = time.perf_counter()
+            await client.push(spec.station, spec.rows[ordinal])
+
+        # Barrier: one FLUSH per connection collects every result.
+        all_results: Dict[str, List[TickResult]] = {}
+        for client, group in zip(clients, fleet):
+            gathered = await client.flush()
+            for station, ticks in gathered.items():
+                all_results.setdefault(station, []).extend(ticks)
+            for spec in group:
+                all_results.setdefault(spec.station, [])
+        elapsed = time.perf_counter() - wall_started
+
+        shed = [message for client in clients for message in client.shed]
+        errors = [error for client in clients for error in client.errors]
+        stations = sum(len(group) for group in fleet)
+        return LoadgenReport(
+            connections=len(fleet),
+            stations=stations,
+            records=len(events),
+            elapsed_seconds=elapsed,
+            records_per_second=len(events) / elapsed if elapsed > 0 else 0.0,
+            offered_rate=rate,
+            latencies_seconds=np.asarray(latencies, dtype=np.float64),
+            results=all_results,
+            shed=shed,
+            errors=errors,
+        )
+    finally:
+        for client in clients:
+            await client.close()
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    fleet: List[List[LoadgenStation]],
+    rate: float,
+    process: str = "poisson",
+    seed: int = 2017,
+) -> LoadgenReport:
+    """Run the open-loop load against an already-listening gateway."""
+    return asyncio.run(_run_loadgen_async(host, port, fleet, rate, process, seed))
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end benchmark record (CLI + benchmarks share this)
+# --------------------------------------------------------------------------- #
+def _reference_results(
+    fleet: List[List[LoadgenStation]],
+    workers: int,
+    transport: str,
+) -> Dict[str, List[TickResult]]:
+    """Replay every station's stream through in-process ``push()`` calls."""
+    reference: Dict[str, List[TickResult]] = {}
+    with ClusterCoordinator(num_workers=workers, transport=transport) as cluster:
+        for group in fleet:
+            for spec in group:
+                cluster.create_session(
+                    spec.station,
+                    method="tkcm",
+                    series_names=spec.series_names,
+                    **spec.params,
+                )
+                cluster.prime(spec.station, spec.history)
+        for group in fleet:
+            for spec in group:
+                ticks = reference.setdefault(spec.station, [])
+                for row in spec.rows:
+                    ticks.extend(cluster.push(spec.station, row))
+    return reference
+
+
+def gateway_bench_record(
+    connections: int = 500,
+    stations_per_connection: int = 1,
+    records_per_station: int = 40,
+    workers: int = 2,
+    rate: float = 4000.0,
+    process: str = "poisson",
+    transport: str = "shm",
+    seed: int = 2017,
+    pause_watermark: int = 8192,
+    shed_watermark: Optional[int] = None,
+    flush_interval: float = 0.01,
+    check_parity: bool = True,
+) -> Dict[str, object]:
+    """Run the full gateway benchmark and return the ``BENCH_gateway`` record.
+
+    Stands up a ``workers``-worker cluster on ``transport``, fronts it with
+    a :class:`~repro.gateway.server.GatewayServer`, drives it with the
+    open-loop load generator, and (with ``check_parity``) replays the same
+    streams through in-process ``ClusterCoordinator.push`` to assert the
+    wire results are bit-identical.  The returned dict is JSON-serialisable.
+    """
+    fleet = build_loadgen_workload(
+        connections,
+        stations_per_connection=stations_per_connection,
+        records_per_station=records_per_station,
+        seed=seed,
+    )
+    with ClusterCoordinator(num_workers=workers, transport=transport) as cluster:
+        server = GatewayServer(
+            cluster,
+            pause_watermark=pause_watermark,
+            shed_watermark=shed_watermark,
+            flush_interval=flush_interval,
+        )
+        with server.background():
+            report = run_loadgen(
+                server.host, server.port, fleet,
+                rate=rate, process=process, seed=seed,
+            )
+            gateway_stats = server.stats()
+        # ClusterCoordinator.stats() nests the aggregate under "cluster".
+        aggregate = cluster.stats()["cluster"]
+
+    parity = None
+    if check_parity:
+        reference = _reference_results(fleet, workers, transport)
+        parity = results_identical(report.results, reference)
+
+    latency = report.latency_percentiles_ms()
+    imputed = sum(len(ticks) for ticks in report.results.values())
+    return {
+        "benchmark": "gateway",
+        "config": {
+            "connections": connections,
+            "stations_per_connection": stations_per_connection,
+            "records_per_station": records_per_station,
+            "workers": workers,
+            "transport": transport,
+            "rate": rate,
+            "process": process,
+            "seed": seed,
+            "pause_watermark": pause_watermark,
+            "shed_watermark": shed_watermark,
+            "flush_interval": flush_interval,
+        },
+        "records": report.records,
+        "elapsed_seconds": report.elapsed_seconds,
+        "records_per_second": report.records_per_second,
+        "offered_rate": report.offered_rate,
+        "latency_ms": latency,
+        "latency_samples": int(report.latencies_seconds.size),
+        "imputed_ticks": imputed,
+        "shed_records": len(report.shed),
+        "push_errors": len(report.errors),
+        "bit_identical_to_inprocess": parity,
+        "gateway_stats": gateway_stats,
+        "cluster_stats": {
+            "records_routed": aggregate.get("records_routed"),
+            "pending_records_peak": aggregate.get("pending_records_peak"),
+            "queue_depth_max": aggregate.get("queue_depth_max"),
+            "transport": aggregate.get("transport"),
+        },
+    }

@@ -1,0 +1,614 @@
+"""Asyncio TCP front-end multiplexing client connections onto the cluster.
+
+:class:`GatewayServer` is the network ingest tier: thousands of concurrent
+TCP connections, each speaking the length-prefixed frame protocol of
+:mod:`repro.gateway.protocol`, are funnelled onto one serving *backend* —
+a :class:`~repro.cluster.coordinator.ClusterCoordinator` fed through its
+pipelined ``push_nowait`` / ``flush`` path (or, for small deployments, a
+single-process :class:`~repro.service.ImputationService`).  The asyncio
+event loop is the fan-in point: every frame is applied to the backend on
+the loop thread, so the backend never sees concurrent calls.
+
+**Session namespacing** is auth-free but collision-proof: each connection
+gets a monotonically increasing ``conn_id``, and a station opened via HELLO
+becomes backend session ``c<conn_id>/<station>``.  Two clients may both
+call their station ``"north"`` without ever sharing state, and the server
+strips the namespace again on the way out — RESULT frames carry the
+client's own station name.
+
+**Result delivery** is push-based: a flusher task periodically calls the
+backend's ``flush()`` and routes each session's tick results to the owning
+connection as RESULT frames.  A client that wants a barrier sends FLUSH and
+gets FLUSH_OK only after every result of its earlier pushes has been
+written to its socket.
+
+**Backpressure** closes the loop between the wire and the cluster's own
+telemetry.  The server tracks the records admitted since the last backend
+flush; when that backlog — or a ring-full stall reported by the cluster's
+data plane — crosses ``pause_watermark``, a shared gate closes and every
+connection handler stops reading its socket (TCP receive windows fill, so
+the pressure propagates to the producers) until a flush drains the
+backlog.  With ``shed_watermark`` set, a push that would climb past it is
+instead *shed*: dropped with an ERROR(overloaded) frame, for deployments
+that prefer losing records over delaying them.
+
+A client killed mid-write costs nothing: the torn frame stays in that
+connection's decoder buffer and dies with it, the connection's sessions are
+removed from the backend, and every other connection keeps streaming.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, List, Optional, Set
+
+from ..exceptions import GatewayError, ProtocolError, ReproError
+from ..results import TickResult
+from . import protocol
+
+__all__ = ["GatewayServer"]
+
+#: Records admitted since the last backend flush before the read gate
+#: closes and a flush is forced.
+DEFAULT_PAUSE_WATERMARK = 8192
+
+#: Seconds between periodic backend flushes when the watermark stays quiet.
+DEFAULT_FLUSH_INTERVAL = 0.01
+
+#: Socket read size per handler iteration.
+_READ_CHUNK = 1 << 16
+
+
+class _Connection:
+    """Server-side state of one client connection."""
+
+    def __init__(self, conn_id: int, writer: asyncio.StreamWriter) -> None:
+        self.conn_id = conn_id
+        self.writer = writer
+        self.decoder = protocol.FrameDecoder()
+        #: station -> namespaced backend session id
+        self.sessions: Dict[str, str] = {}
+        self.records_in = 0
+        self.results_out = 0
+
+    def send(self, kind: int, payload: bytes = b"") -> None:
+        """Queue one frame on the socket (whole frames, never interleaved)."""
+        self.writer.write(protocol.encode_frame(kind, payload))
+
+
+class GatewayServer:
+    """Serve the frame protocol over TCP in front of a serving backend.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.cluster.coordinator.ClusterCoordinator` (used
+        through its pipelined ``push_nowait``/``flush`` path) or an
+        :class:`~repro.service.ImputationService` (pushed synchronously).
+        The server *borrows* the backend — closing the server does not shut
+        the backend down.
+    host, port:
+        Listen address; ``port=0`` picks a free port (read :attr:`port`
+        after :meth:`start`).
+    flush_interval:
+        Seconds between periodic backend flushes (result-delivery latency
+        floor on an otherwise idle gateway).
+    pause_watermark:
+        Admitted-record backlog at which the read gate closes and a flush
+        is forced; ring-full stalls reported by the cluster transport close
+        the gate too.
+    shed_watermark:
+        Optional higher watermark above which pushes are shed with
+        ERROR(overloaded) instead of delaying the producer; ``None``
+        (default) never sheds.
+    max_frame_payload:
+        Per-frame payload bound enforced on both directions.
+    """
+
+    def __init__(
+        self,
+        backend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+        pause_watermark: int = DEFAULT_PAUSE_WATERMARK,
+        shed_watermark: Optional[int] = None,
+        max_frame_payload: int = protocol.DEFAULT_MAX_FRAME_PAYLOAD,
+    ) -> None:
+        if pause_watermark < 1:
+            raise GatewayError(
+                f"pause_watermark must be >= 1, got {pause_watermark}"
+            )
+        if shed_watermark is not None and shed_watermark < pause_watermark:
+            raise GatewayError(
+                f"shed_watermark ({shed_watermark}) must be >= "
+                f"pause_watermark ({pause_watermark})"
+            )
+        self._backend = backend
+        self._pipelined = hasattr(backend, "push_nowait")
+        self._host = host
+        self._port = port
+        self._flush_interval = float(flush_interval)
+        self._pause_watermark = int(pause_watermark)
+        self._shed_watermark = None if shed_watermark is None else int(shed_watermark)
+        self._max_frame_payload = int(max_frame_payload)
+
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._flusher: Optional[asyncio.Task] = None
+        self._gate: Optional[asyncio.Event] = None
+        self._flush_wanted: Optional[asyncio.Event] = None
+        self._flush_lock: Optional[asyncio.Lock] = None
+        self._connections: Dict[int, _Connection] = {}
+        self._session_owner: Dict[str, _Connection] = {}
+        self._next_conn_id = 0
+        self._closed = False
+        self._stopping = False
+
+        #: Results buffered for a direct (non-pipelined) backend.
+        self._direct_results: Dict[str, List[TickResult]] = {}
+        #: Records admitted since the last backend flush.
+        self._pending = 0
+        #: Data-plane stall count at the last flush (cluster backends).
+        self._stalls_seen = self._backend_stalls()
+
+        # Lifetime telemetry.
+        self._records_in = 0
+        self._results_out = 0
+        self._shed_records = 0
+        self._flushes = 0
+        self._pause_events = 0
+        self._pending_peak = 0
+        self._connections_peak = 0
+        self._connections_total = 0
+        self._protocol_errors = 0
+
+        # Background-thread bookkeeping (see :meth:`background`).
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        """The configured listen host."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after :meth:`start` when created as 0)."""
+        return self._port
+
+    @property
+    def backend(self):
+        """The serving backend this gateway fronts."""
+        return self._backend
+
+    def stats(self) -> Dict[str, object]:
+        """Gateway telemetry as plain JSON-serialisable data."""
+        return {
+            "connections_current": len(self._connections),
+            "connections_peak": self._connections_peak,
+            "connections_total": self._connections_total,
+            "sessions": len(self._session_owner),
+            "records_in": self._records_in,
+            "results_out": self._results_out,
+            "shed_records": self._shed_records,
+            "flushes": self._flushes,
+            "pause_events": self._pause_events,
+            "pending_records": self._pending,
+            "pending_records_peak": self._pending_peak,
+            "protocol_errors": self._protocol_errors,
+            "pause_watermark": self._pause_watermark,
+            "shed_watermark": self._shed_watermark,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Async lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listen socket and start the flusher task."""
+        if self._server is not None:
+            raise GatewayError("the gateway server is already running")
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._flush_wanted = asyncio.Event()
+        self._flush_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._stopping = False
+        self._flusher = asyncio.ensure_future(self._flusher_loop())
+        self._closed = False
+
+    async def stop(self) -> None:
+        """Stop accepting, flush once, and close every connection."""
+        if self._server is None:
+            return
+        self._closed = True
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        if self._flusher is not None:
+            # Cooperative shutdown, NOT task.cancel(): with a short flush
+            # interval, a cancel() racing the wait_for timeout can be
+            # swallowed (CPython 3.11 wait_for timeout/cancel race),
+            # leaving the task alive and this await hung forever.
+            self._stopping = True
+            self._flush_wanted.set()
+            try:
+                await self._flusher
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._flusher = None
+        # Deliver what the backend still buffers, then drop the clients.
+        try:
+            await self._flush_backend()
+        except Exception:
+            pass
+        for connection in list(self._connections.values()):
+            connection.writer.close()
+        self._connections.clear()
+        self._session_owner.clear()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (after :meth:`start`)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------ #
+    # Background-thread convenience (sync callers, tests, benchmarks)
+    # ------------------------------------------------------------------ #
+    def background(self) -> "GatewayServer":
+        """Run the server on a dedicated thread; use as a context manager.
+
+        ``with GatewayServer(cluster).background() as gw:`` starts an event
+        loop on a daemon thread, binds the socket (``gw.port`` is resolved
+        once ``__enter__`` returns), and tears everything down on exit.
+        The *backend* stays owned by the caller — only the network front is
+        started and stopped.
+        """
+        return self
+
+    def __enter__(self) -> "GatewayServer":
+        ready = threading.Event()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._thread_main, args=(ready,),
+            name="repro-gateway-server", daemon=True,
+        )
+        self._thread.start()
+        ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise GatewayError(
+                f"gateway server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the background-thread server (idempotent)."""
+        if self._thread is None:
+            return
+        loop, stop = self._loop, self._stop_requested
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    def _thread_main(self, ready: threading.Event) -> None:
+        try:
+            asyncio.run(self._background_main(ready))
+        except BaseException as error:  # startup failures surface in __enter__
+            self._startup_error = self._startup_error or error
+        finally:
+            ready.set()
+
+    async def _background_main(self, ready: threading.Event) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        try:
+            await self.start()
+        except BaseException as error:
+            self._startup_error = error
+            return
+        ready.set()
+        try:
+            await self._stop_requested.wait()
+        finally:
+            await self.stop()
+            self._loop = None
+            self._stop_requested = None
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(self._next_conn_id, writer)
+        self._next_conn_id += 1
+        connection.decoder = protocol.FrameDecoder(self._max_frame_payload)
+        self._connections[connection.conn_id] = connection
+        self._connections_total += 1
+        self._connections_peak = max(
+            self._connections_peak, len(self._connections)
+        )
+        try:
+            while not self._closed:
+                # Backpressure: while the gate is closed, no handler reads —
+                # kernel receive buffers fill and TCP stalls the producers.
+                await self._gate.wait()
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break  # orderly EOF
+                try:
+                    frames = connection.decoder.feed(data)
+                except ProtocolError as error:
+                    self._protocol_errors += 1
+                    connection.send(
+                        protocol.FRAME_ERROR,
+                        protocol.encode_error(protocol.ERR_PROTOCOL, str(error)),
+                    )
+                    break  # the stream cannot be resynchronised
+                for kind, payload in frames:
+                    await self._apply(connection, kind, payload)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client died mid-write; its torn frame dies with it
+        except asyncio.CancelledError:
+            raise
+        finally:
+            await self._forget_connection(connection)
+
+    async def _forget_connection(self, connection: _Connection) -> None:
+        """Remove a gone client's sessions; keep everyone else serving."""
+        self._connections.pop(connection.conn_id, None)
+        if connection.sessions:
+            # Rescue other connections' in-flight results before removal
+            # collects (and this client's sessions disappear from routing).
+            try:
+                await self._flush_backend()
+            except Exception:
+                pass
+        for station, session_id in list(connection.sessions.items()):
+            self._session_owner.pop(session_id, None)
+            try:
+                self._backend.remove_session(session_id)
+            except ReproError:
+                pass  # already gone (e.g. backend shut down first)
+        connection.sessions.clear()
+        try:
+            connection.writer.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Frame application
+    # ------------------------------------------------------------------ #
+    async def _apply(self, connection: _Connection, kind: int, payload: bytes) -> None:
+        if kind == protocol.FRAME_PUSH or kind == protocol.FRAME_PUSH_BLOCK:
+            self._apply_push(connection, payload)
+        elif kind == protocol.FRAME_HELLO:
+            self._apply_hello(connection, payload)
+        elif kind == protocol.FRAME_PRIME:
+            self._apply_prime(connection, payload)
+        elif kind == protocol.FRAME_FLUSH:
+            token = protocol.decode_token(payload)
+            await self._flush_backend()
+            connection.send(protocol.FRAME_FLUSH_OK, protocol.encode_token(token))
+        elif kind == protocol.FRAME_PING:
+            connection.send(protocol.FRAME_PONG, payload)
+        else:
+            self._protocol_errors += 1
+            connection.send(
+                protocol.FRAME_ERROR,
+                protocol.encode_error(
+                    protocol.ERR_PROTOCOL,
+                    f"frame kind {kind} is not valid client -> server",
+                ),
+            )
+
+    def _apply_hello(self, connection: _Connection, payload: bytes) -> None:
+        hello = protocol.decode_hello(payload)
+        station = str(hello["station"])
+        session_id = f"c{connection.conn_id}/{station}"
+        try:
+            if station in connection.sessions:
+                raise GatewayError(
+                    f"station {station!r} is already open on this connection"
+                )
+            params = dict(hello["params"])
+            shard = self._backend.create_session(
+                session_id,
+                method=str(hello["method"]),
+                series_names=hello.get("series_names"),
+                warmup_ticks=int(hello["warmup_ticks"]),
+                **params,
+            )
+        except ReproError as error:
+            connection.send(
+                protocol.FRAME_ERROR,
+                protocol.encode_error(protocol.ERR_SESSION, str(error)),
+            )
+            return
+        connection.sessions[station] = session_id
+        self._session_owner[session_id] = connection
+        worker = shard if isinstance(shard, int) else None
+        connection.send(
+            protocol.FRAME_HELLO_OK, protocol.encode_hello_ok(session_id, worker)
+        )
+
+    def _apply_prime(self, connection: _Connection, payload: bytes) -> None:
+        station, history = protocol.decode_prime(payload)
+        session_id = connection.sessions.get(station)
+        if session_id is None:
+            connection.send(
+                protocol.FRAME_ERROR,
+                protocol.encode_error(
+                    protocol.ERR_SESSION,
+                    f"station {station!r} has no open session (send HELLO first)",
+                ),
+            )
+            return
+        try:
+            self._backend.prime(session_id, history)
+        except ReproError as error:
+            connection.send(
+                protocol.FRAME_ERROR,
+                protocol.encode_error(protocol.ERR_SESSION, str(error)),
+            )
+            return
+        connection.send(protocol.FRAME_PRIME_OK)
+
+    def _apply_push(self, connection: _Connection, payload: bytes) -> None:
+        _, station, part = protocol.decode_push_payload(payload)
+        session_id = connection.sessions.get(station)
+        if session_id is None:
+            connection.send(
+                protocol.FRAME_ERROR,
+                protocol.encode_error(
+                    protocol.ERR_SESSION,
+                    f"station {station!r} has no open session (send HELLO first)",
+                ),
+            )
+            return
+        kind, value = part
+        rows = list(value) if kind == "rows" else [value[i] for i in range(len(value))]
+        if (
+            self._shed_watermark is not None
+            and self._pending + len(rows) > self._shed_watermark
+        ):
+            self._shed_records += len(rows)
+            connection.send(
+                protocol.FRAME_ERROR,
+                protocol.encode_error(
+                    protocol.ERR_OVERLOADED,
+                    f"push of {len(rows)} records shed: backlog "
+                    f"{self._pending} >= shed watermark {self._shed_watermark}",
+                ),
+            )
+            return
+        try:
+            if self._pipelined:
+                for row in rows:
+                    self._backend.push_nowait(session_id, row)
+            else:
+                results = (
+                    self._backend.push_block(session_id, value)
+                    if kind == "matrix"
+                    else self._backend.push_block(session_id, rows)
+                )
+                if results:
+                    self._direct_results.setdefault(session_id, []).extend(results)
+        except ReproError as error:
+            connection.send(
+                protocol.FRAME_ERROR,
+                protocol.encode_error(protocol.ERR_SESSION, str(error)),
+            )
+            return
+        count = len(rows)
+        connection.records_in += count
+        self._records_in += count
+        self._pending += count
+        self._pending_peak = max(self._pending_peak, self._pending)
+        if self._pending >= self._pause_watermark or self._stalls_increased():
+            # Close the read gate and force a flush: the serving tier is
+            # running behind and the wire must feel it.
+            if self._gate.is_set():
+                self._pause_events += 1
+                self._gate.clear()
+            self._flush_wanted.set()
+
+    # ------------------------------------------------------------------ #
+    # Flushing
+    # ------------------------------------------------------------------ #
+    def _backend_stalls(self) -> int:
+        stalls = getattr(self._backend, "data_plane_stalls", None)
+        return int(stalls()) if callable(stalls) else 0
+
+    def _stalls_increased(self) -> bool:
+        return self._backend_stalls() > self._stalls_seen
+
+    async def _flusher_loop(self) -> None:
+        """Flush the backend on the watermark signal or the idle interval.
+
+        Exits cooperatively when :meth:`stop` raises ``_stopping`` and sets
+        the wake event (see the comment there for why it is not cancelled).
+        """
+        while not self._stopping:
+            try:
+                await asyncio.wait_for(
+                    self._flush_wanted.wait(), timeout=self._flush_interval
+                )
+            except asyncio.TimeoutError:
+                pass
+            self._flush_wanted.clear()
+            if self._stopping:
+                return
+            if self._pending or self._direct_results:
+                await self._flush_backend()
+
+    async def _flush_backend(self) -> None:
+        """Collect everything the backend buffered and route it out."""
+        async with self._flush_lock:
+            if self._pipelined:
+                gathered = self._backend.flush()
+            else:
+                gathered, self._direct_results = self._direct_results, {}
+            self._pending = 0
+            self._stalls_seen = self._backend_stalls()
+            self._flushes += 1
+            if not self._gate.is_set():
+                self._gate.set()  # backlog drained: reopen the read gate
+            touched: Set[int] = set()
+            for session_id, results in gathered.items():
+                if not results:
+                    continue
+                connection = self._session_owner.get(session_id)
+                if connection is None:
+                    continue  # owner disconnected; results die with it
+                station = session_id.split("/", 1)[1]
+                try:
+                    payloads = protocol.encode_result_payloads(
+                        station, results, self._max_frame_payload
+                    )
+                except Exception as error:
+                    connection.send(
+                        protocol.FRAME_ERROR,
+                        protocol.encode_error(
+                            protocol.ERR_SERVER,
+                            f"results for {station!r} cannot be encoded: {error}",
+                        ),
+                    )
+                    continue
+                for result_payload in payloads:
+                    connection.send(protocol.FRAME_RESULT, result_payload)
+                delivered = len(results)
+                connection.results_out += delivered
+                self._results_out += delivered
+                touched.add(connection.conn_id)
+            for conn_id in touched:
+                connection = self._connections.get(conn_id)
+                if connection is not None:
+                    try:
+                        await connection.writer.drain()
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass  # handler notices on its next read
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "listening" if self._server is not None else "stopped"
+        return (
+            f"GatewayServer({self._host}:{self._port}, "
+            f"connections={len(self._connections)}, {state})"
+        )

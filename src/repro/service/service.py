@@ -125,6 +125,12 @@ class ImputationService:
     def close(self) -> None:
         """Shut the fleet down: release journal handles, drop the sessions.
 
+        Idempotent, and also what the context-manager protocol runs on
+        exit — ``with ImputationService() as service:`` mirrors the
+        :class:`~repro.cluster.coordinator.ClusterCoordinator` lifecycle, so
+        callers fronting either backend (like the gateway) manage both
+        uniformly.
+
         The graceful counterpart of a crash: on-disk state is untouched, so
         every session stays recoverable from its checkpoint and WAL tail.
         The sessions are removed from the service — were they left pushable,
@@ -137,6 +143,12 @@ class ImputationService:
                 session, delete_artifacts=False, session_id=session_id
             )
         self._sessions.clear()
+
+    def __enter__(self) -> "ImputationService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Session lifecycle

@@ -436,6 +436,43 @@ class TestTelemetry:
             cluster.drain(0)
             assert cluster.stats()["cluster"]["drained_workers"] == [0]
 
+    def test_pending_records_peak_tracks_pipelined_backlog(self):
+        """The high-water mark of push_nowait backlog is visible in stats.
+
+        An ingest tier (the gateway) tunes its backpressure watermarks off
+        this number, so it must track the deepest uncollected backlog even
+        after a flush drained everything.
+        """
+        records = _record_stream()
+        with ClusterCoordinator(num_workers=2) as cluster:
+            _populate(cluster)
+            assert cluster.pipelined_backlog() == 0
+            for session_id, row in records:
+                cluster.push_nowait(session_id, row)
+            assert cluster.pipelined_backlog() > 0
+            cluster.flush()
+            assert cluster.pipelined_backlog() == 0
+            stats = cluster.stats()
+            assert cluster.data_plane_stalls() >= 0
+        peaks = [
+            worker_stats["pending_records_peak"]
+            for worker_stats in stats["workers"].values()
+        ]
+        assert max(peaks) > 0
+        # The aggregate is the max across workers, and survives the flush.
+        assert stats["cluster"]["pending_records_peak"] == max(peaks)
+
+    def test_pending_records_peak_resets_for_fresh_workers(self):
+        with ClusterCoordinator(num_workers=2) as cluster:
+            _populate(cluster)
+            for session_id, row in _record_stream():
+                cluster.push_nowait(session_id, row)
+            cluster.flush()
+            cluster.rebalance(1)
+            cluster.rebalance(2)
+            stats = cluster.stats()
+        assert stats["workers"][1]["pending_records_peak"] == 0
+
 
 class TestTransports:
     """The data plane has two implementations; both must stay bit-exact.

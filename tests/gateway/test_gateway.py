@@ -1,0 +1,349 @@
+"""End-to-end tests for the gateway tier: server, client, backpressure.
+
+The bar is the same one every serving tier before it had to clear:
+whatever crosses the wire must be bit-identical to the in-process path.
+On top of that, the network adds failure modes of its own — clients killed
+mid-write, garbage bytes, overload — and each must leave the server
+serving everyone else.
+"""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.cluster.bench import results_identical
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.exceptions import GatewayError, OverloadedError
+from repro.gateway import (
+    GatewayClient,
+    GatewayServer,
+    build_loadgen_workload,
+    gateway_bench_record,
+    run_loadgen,
+)
+from repro.gateway import protocol
+from repro.service import ImputationService
+
+
+def small_fleet(connections=2, stations=1, records=24):
+    return build_loadgen_workload(
+        connections, stations_per_connection=stations,
+        records_per_station=records,
+    )
+
+
+@pytest.fixture()
+def service_server():
+    """A gateway over a single-process ImputationService backend."""
+    with ImputationService() as service:
+        server = GatewayServer(service)
+        with server.background():
+            yield server
+
+
+class TestWireParity:
+    def test_loadgen_results_bit_identical_to_inprocess(self):
+        record = gateway_bench_record(
+            connections=6, stations_per_connection=2, records_per_station=24,
+            workers=2, rate=6000.0, process="uniform",
+        )
+        assert record["bit_identical_to_inprocess"] is True
+        assert record["records"] == 6 * 2 * 24
+        assert record["imputed_ticks"] > 0
+        assert record["latency_samples"] == record["imputed_ticks"]
+        assert record["latency_ms"]["p99"] >= record["latency_ms"]["p50"] > 0
+        assert record["gateway_stats"]["connections_peak"] == 6
+        assert record["shed_records"] == 0
+        assert record["push_errors"] == 0
+
+    def test_single_client_parity_against_service(self, service_server):
+        fleet = small_fleet(connections=1)
+        spec = fleet[0][0]
+        with GatewayClient(
+            "127.0.0.1", service_server.port, timeout=30
+        ) as client:
+            session_id = client.create_session(
+                spec.station, series_names=spec.series_names, **spec.params
+            )
+            assert session_id.endswith(f"/{spec.station}")
+            client.prime(spec.station, spec.history)
+            for row in spec.rows:
+                client.push(spec.station, row)
+            wire = client.flush()
+
+        reference = ImputationService()
+        reference.create_session(
+            spec.station, series_names=spec.series_names, **spec.params
+        )
+        reference.prime(spec.station, spec.history)
+        expected = []
+        for row in spec.rows:
+            expected.extend(reference.push(spec.station, row))
+        assert results_identical(
+            {spec.station: wire[spec.station]}, {spec.station: expected}
+        )
+
+    def test_push_block_equals_per_record_push(self, service_server):
+        fleet = small_fleet(connections=2)
+        a, b = fleet[0][0], fleet[1][0]
+        with GatewayClient("127.0.0.1", service_server.port) as one, \
+                GatewayClient("127.0.0.1", service_server.port) as two:
+            for client, spec in ((one, a), (two, b)):
+                client.create_session(
+                    spec.station, series_names=spec.series_names, **spec.params
+                )
+                client.prime(spec.station, spec.history)
+            one.push_block(a.station, np.stack(a.rows))
+            for row in b.rows:
+                two.push(b.station, row)
+            blocked = one.flush()[a.station]
+            pushed = two.flush()[b.station]
+        # Different stations (different data) — compare tick counts only…
+        assert len(blocked) > 0 and len(pushed) > 0
+        # …and the real check: same station blocked-vs-pushed is covered by
+        # the service-tier tests; here block framing must impute as many
+        # ticks as the per-record path did for the twin workload.
+        assert len(blocked) == len(pushed)
+
+
+class TestSessionNamespacing:
+    def test_two_connections_same_station_name_do_not_collide(self):
+        fleet = small_fleet(connections=2)
+        a, b = fleet[0][0], fleet[1][0]
+        with ImputationService() as service:
+            server = GatewayServer(service)
+            with server.background():
+                with GatewayClient("127.0.0.1", server.port) as one, \
+                        GatewayClient("127.0.0.1", server.port) as two:
+                    # Both clients call their station "shared".
+                    sid_one = one.create_session(
+                        "shared", series_names=a.series_names, **a.params
+                    )
+                    sid_two = two.create_session(
+                        "shared", series_names=b.series_names, **b.params
+                    )
+                    assert sid_one != sid_two
+                    one.prime("shared", a.history)
+                    two.prime("shared", b.history)
+                    for row_a, row_b in zip(a.rows, b.rows):
+                        one.push("shared", row_a)
+                        two.push("shared", row_b)
+                    results_one = one.flush()["shared"]
+                    results_two = two.flush()["shared"]
+                    assert len(results_one) == len(results_two) > 0
+
+    def test_duplicate_station_on_one_connection_rejected(self, service_server):
+        spec = small_fleet()[0][0]
+        with GatewayClient("127.0.0.1", service_server.port) as client:
+            client.create_session(
+                spec.station, series_names=spec.series_names, **spec.params
+            )
+            with pytest.raises(GatewayError, match="already open"):
+                client.create_session(
+                    spec.station, series_names=spec.series_names, **spec.params
+                )
+
+    def test_push_to_unknown_station_reports_session_error(self, service_server):
+        with GatewayClient("127.0.0.1", service_server.port) as client:
+            client.push("nobody", {"a": 1.0})
+            # The rejected fire-and-forget push is recorded on the client
+            # and — if the ERROR lands while the ping is in flight — also
+            # fails that control call.  Either way the error is visible
+            # once the round-trip completes (the server wrote the ERROR
+            # frame before the PONG).
+            try:
+                client.ping()
+            except GatewayError:
+                pass
+            assert client.errors
+            code, message = client.errors[0]
+            assert code == protocol.ERR_SESSION
+            assert "nobody" in message
+            client.ping()  # the connection itself is still healthy
+
+    def test_disconnect_removes_sessions_from_backend(self):
+        spec = small_fleet()[0][0]
+        with ImputationService() as service:
+            server = GatewayServer(service)
+            with server.background():
+                with GatewayClient("127.0.0.1", server.port) as client:
+                    client.create_session(
+                        spec.station, series_names=spec.series_names,
+                        **spec.params,
+                    )
+                    client.ping()
+                    assert len(service.session_ids) == 1
+                # Context exit closed the socket; poll until the server
+                # notices and cleans up.
+                deadline = 100
+                while service.session_ids and deadline:
+                    import time
+                    time.sleep(0.02)
+                    deadline -= 1
+                assert service.session_ids == []
+
+
+class TestBackpressure:
+    def test_oversized_block_is_shed_with_error(self):
+        spec = small_fleet(records=16)[0][0]
+        with ImputationService() as service:
+            server = GatewayServer(
+                service, pause_watermark=4, shed_watermark=4,
+                flush_interval=60.0,
+            )
+            with server.background():
+                with GatewayClient("127.0.0.1", server.port) as client:
+                    client.create_session(
+                        spec.station, series_names=spec.series_names,
+                        **spec.params,
+                    )
+                    client.prime(spec.station, spec.history)
+                    # 16 records in one block frame climb past the shed
+                    # watermark of 4 before any flush can drain them.
+                    client.push_block(spec.station, np.stack(spec.rows))
+                    client.ping()
+                    assert client.shed
+                    with pytest.raises(OverloadedError, match="shed"):
+                        client._core.raise_if_shed()
+                    # A small push still fits and is applied normally.
+                    client.push(spec.station, spec.rows[0])
+                    client.ping()
+                stats = server.stats()
+        assert stats["shed_records"] == 16
+        assert stats["records_in"] == 1
+
+    def test_pause_watermark_pauses_and_recovers(self):
+        spec = small_fleet(records=24)[0][0]
+        with ImputationService() as service:
+            server = GatewayServer(service, pause_watermark=2)
+            with server.background():
+                with GatewayClient("127.0.0.1", server.port) as client:
+                    client.create_session(
+                        spec.station, series_names=spec.series_names,
+                        **spec.params,
+                    )
+                    client.prime(spec.station, spec.history)
+                    for row in spec.rows:
+                        client.push(spec.station, row)
+                    results = client.flush()
+                    assert len(results[spec.station]) > 0
+                stats = server.stats()
+        # The watermark tripped at least once, and every record was
+        # admitted (paused, not shed) and eventually flushed through.
+        assert stats["pause_events"] >= 1
+        assert stats["shed_records"] == 0
+        assert stats["records_in"] == len(spec.rows)
+        assert stats["pending_records"] == 0
+
+
+class TestHostileClients:
+    def _raw_connect(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=5)
+        sock.settimeout(5)
+        return sock
+
+    def test_killed_mid_write_client_leaves_server_healthy(self, service_server):
+        spec = small_fleet()[0][0]
+        # A client dies halfway through writing a frame…
+        torn = self._raw_connect(service_server)
+        frame = protocol.encode_frame(
+            protocol.FRAME_PUSH, b"\x00" * 64
+        )
+        torn.sendall(frame[: len(frame) // 2])
+        torn.close()
+        # …and a well-behaved client is entirely unaffected.
+        with GatewayClient("127.0.0.1", service_server.port) as client:
+            client.create_session(
+                spec.station, series_names=spec.series_names, **spec.params
+            )
+            client.prime(spec.station, spec.history)
+            for row in spec.rows:
+                client.push(spec.station, row)
+            assert len(client.flush()[spec.station]) > 0
+
+    def test_garbage_bytes_get_error_and_close(self, service_server):
+        sock = self._raw_connect(service_server)
+        sock.sendall(b"GET / HTTP/1.1\r\nHost: nope\r\n\r\n")
+        # The server answers with one ERROR frame, then closes.
+        blob = b""
+        while True:
+            data = sock.recv(4096)
+            if not data:
+                break
+            blob += data
+        sock.close()
+        frames = list(protocol.iter_frames(blob))
+        assert len(frames) == 1
+        kind, payload = frames[0]
+        assert kind == protocol.FRAME_ERROR
+        code, _ = protocol.decode_error(payload)
+        assert code == protocol.ERR_PROTOCOL
+        # And the server still accepts new connections.
+        with GatewayClient("127.0.0.1", service_server.port) as client:
+            client.ping()
+
+    def test_oversized_frame_header_rejected(self, service_server):
+        sock = self._raw_connect(service_server)
+        sock.sendall(struct.pack(
+            "<IIB", protocol.DEFAULT_MAX_FRAME_PAYLOAD + 1, 0,
+            protocol.FRAME_PUSH,
+        ))
+        blob = b""
+        while True:
+            data = sock.recv(4096)
+            if not data:
+                break
+            blob += data
+        sock.close()
+        (kind, payload), = protocol.iter_frames(blob)
+        assert kind == protocol.FRAME_ERROR
+        assert protocol.decode_error(payload)[0] == protocol.ERR_PROTOCOL
+
+
+class TestClusterBackend:
+    def test_gateway_over_cluster_with_loadgen(self):
+        fleet = small_fleet(connections=4, stations=1, records=20)
+        with ClusterCoordinator(num_workers=2, transport="shm") as cluster:
+            server = GatewayServer(cluster)
+            with server.background():
+                report = run_loadgen(
+                    server.host, server.port, fleet,
+                    rate=5000.0, process="ramp",
+                )
+            stats = cluster.stats()
+        assert report.records == 4 * 20
+        assert not report.errors and not report.shed
+        assert sum(len(t) for t in report.results.values()) > 0
+        # The satellite telemetry: the pipelined high-water mark is visible.
+        assert stats["cluster"]["pending_records_peak"] > 0
+
+    def test_hello_ok_reports_worker_index(self):
+        spec = small_fleet()[0][0]
+        with ClusterCoordinator(num_workers=2, transport="shm") as cluster:
+            server = GatewayServer(cluster)
+            with server.background():
+                with GatewayClient("127.0.0.1", server.port) as client:
+                    client.create_session(
+                        spec.station, series_names=spec.series_names,
+                        **spec.params,
+                    )
+                    # Routed onto a real shard.
+                    assert cluster.session_ids
+
+
+class TestServiceContextManager:
+    def test_service_is_a_context_manager_with_idempotent_close(self):
+        service = ImputationService()
+        with service as entered:
+            assert entered is service
+            service.create_session("s", method="mean", series_names=["a"])
+            assert service.session_ids == ["s"]
+        assert service.session_ids == []
+        service.close()  # idempotent
+        service.close()
+        # The service object stays usable after close (recover() relies
+        # on this), so a new session can be created.
+        service.create_session("t", method="mean", series_names=["a"])
+        assert service.session_ids == ["t"]
