@@ -1,0 +1,110 @@
+"""Benchmark: the chaos drill — kill/heal recovery under a bursty
+correlated-failure scenario.
+
+Workload: the ``bursty-cascade`` scenario family (bursty on/off arrivals, a
+correlated multi-station cascade outage) materialised for ``STATIONS`` TKCM
+stations, streamed through a ``WORKERS``-worker shared-memory cluster with
+durability on, while the chaos controller kills a worker mid-stream
+``KILLS`` times and heals each from its checkpoints + WAL tail.  A second
+phase injects ENOSPC into a checkpoint write (disk-full) and recovers.
+
+Two regressions are gated here:
+
+* **parity under failures** — the drilled run's estimates must be
+  bit-identical to an uninterrupted single-process run of the same
+  scenario, and the disk-full recovery must lose at most the one
+  unacknowledged push;
+* **MTTR sanity** — every kill must produce a finite, positive repair time
+  below a generous ceiling; an unbounded or NaN MTTR means heals stopped
+  replaying.
+
+The record is written to ``BENCH_chaos.json`` at the repository root (and
+mirrored into ``benchmarks/results/``), with per-kill MTTR samples, the
+replayed-record count, and the disk-full report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import tempfile
+
+from repro.evaluation.report import format_table
+from repro.scenarios import chaos_bench_record
+
+from .conftest import RESULTS_DIR, emit
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+FAMILY = "bursty-cascade"
+STATIONS = 4
+RECORDS_PER_STATION = 40
+WORKERS = 2
+KILLS = 3
+TRANSPORT = "shm"
+
+#: Repair-time ceiling (seconds) — a collapse gate, not a target: healthy
+#: heals on this workload take tens of milliseconds.
+ASSERTED_MTTR_CEILING_S = 30.0
+
+
+def _record():
+    with tempfile.TemporaryDirectory(prefix="tkcm-bench-chaos-") as root:
+        return chaos_bench_record(
+            pathlib.Path(root),
+            family=FAMILY,
+            stations=STATIONS,
+            records_per_station=RECORDS_PER_STATION,
+            workers=WORKERS,
+            kills=KILLS,
+            transport=TRANSPORT,
+            seed=2017,
+        )
+
+
+def test_bench_chaos(run_once):
+    record = run_once(_record)
+    record["asserted_mttr_ceiling_s"] = ASSERTED_MTTR_CEILING_S
+
+    drill = record["drill"]
+    assert drill["bit_identical_to_reference"] is True, (
+        "the drilled cluster's estimates diverged from the uninterrupted "
+        "single-process reference"
+    )
+    assert drill["kills"] == KILLS
+    assert len(drill["mttr_seconds"]) == KILLS
+    assert all(
+        math.isfinite(sample) and 0 < sample < ASSERTED_MTTR_CEILING_S
+        for sample in drill["mttr_seconds"]
+    ), f"MTTR samples out of range: {drill['mttr_seconds']}"
+    assert drill["records_replayed"] > 0, "heals never replayed the WAL tail"
+
+    disk = record["disk_full"]
+    assert disk["manifest_intact"] and disk["previous_checkpoint_intact"]
+    assert disk["identical_after_recovery"] is True
+    assert disk["results_lost_at_failure"] <= 1
+
+    payload = json.dumps(record, indent=2) + "\n"
+    (REPO_ROOT / "BENCH_chaos.json").write_text(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_chaos.json").write_text(payload)
+
+    stats = drill["mttr"]
+    rows = [
+        {
+            "family": FAMILY,
+            "records": drill["records"],
+            "kills": drill["kills"],
+            "mttr_p50_ms": stats["p50"] * 1e3,
+            "mttr_max_ms": stats["max"] * 1e3,
+            "replayed": drill["records_replayed"],
+            "identical": drill["bit_identical_to_reference"],
+            "disk_full_ok": disk["identical_after_recovery"],
+        }
+    ]
+    emit(
+        f"BENCH chaos — {KILLS} kills on a {WORKERS}-worker {TRANSPORT} "
+        "cluster + disk-full recovery",
+        format_table(rows),
+    )

@@ -39,6 +39,16 @@ The library is organised in layers:
   watermark backpressure), :class:`GatewayClient` (sync client library over
   an asyncio core), and the open-loop load generator behind the
   ``gateway-bench`` CLI subcommand.
+* :mod:`repro.scenarios` — the scenario + chaos tier:
+  :class:`ScenarioSpec` (composable, JSON-serialisable workload
+  descriptions — station layouts, seeded arrival processes, missingness
+  patterns, delivery perturbations — deterministic from a seed), the
+  generator that materialises a spec for any drive point (batch engine,
+  service, cluster, gateway loadgen), and the chaos harness
+  (:func:`~repro.scenarios.run_chaos_drill` kills and heals live workers
+  mid-stream, :func:`~repro.scenarios.run_disk_full_drill` injects ENOSPC
+  into checkpoint writes via :class:`FaultInjector`) behind the
+  ``scenario-bench`` and ``chaos-drill`` CLI subcommands.
 
 Quickstart::
 
@@ -75,6 +85,7 @@ from .durability import (
     CheckpointStore,
     DurabilityConfig,
     DurabilityPolicy,
+    FaultInjector,
     RecoveryManager,
     RecoveryReport,
     WriteAheadLog,
@@ -99,9 +110,10 @@ from .exceptions import (
 from .gateway import AsyncGatewayClient, GatewayClient, GatewayServer
 from .registry import ImputerRegistry, list_methods, make_imputer, register
 from .results import SeriesEstimate, TickResult
+from .scenarios import ScenarioSpec, StationLayout, family_spec, run_chaos_drill
 from .service import ImputationService, ImputationSession
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "TKCMConfig",
@@ -127,6 +139,11 @@ __all__ = [
     "DurabilityPolicy",
     "RecoveryManager",
     "RecoveryReport",
+    "FaultInjector",
+    "ScenarioSpec",
+    "StationLayout",
+    "family_spec",
+    "run_chaos_drill",
     "TickResult",
     "SeriesEstimate",
     "ReproError",

@@ -15,6 +15,14 @@ The CLI exposes the workflows a downstream user needs without writing Python:
 * ``tkcm-repro serve-bench`` — benchmark the sharded serving cluster against
   the single-process service on the multi-station workload and print the
   throughput/speedup table (optionally ``--json`` the record).
+* ``tkcm-repro scenario-bench`` — push every named scenario family (seeded
+  arrival / missingness / delivery-perturbation combinations) through a live
+  cluster and print sustained records/s plus the bit-identity flag per
+  family.
+* ``tkcm-repro chaos-drill`` — run the chaos harness: a scenario stream
+  against a live durable cluster with seeded worker kills, mid-stream
+  rebalances and an optional disk-full checkpoint fault, gating on
+  bit-identical recovery and reporting the MTTR distribution.
 * ``tkcm-repro checkpoint --dir <root>`` — inspect a durability root:
   sessions, checkpoint versions/ticks, WAL tail sizes; ``--verify`` also
   re-hashes every checkpoint and integrity-scans every WAL.
@@ -216,6 +224,73 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--json", dest="json_path", default=None,
                          help="also write the benchmark record to this path")
     gateway.set_defaults(handler=_cmd_gateway_bench)
+
+    scenario = subparsers.add_parser(
+        "scenario-bench",
+        help="push every named scenario family through a live cluster "
+             "and report sustained throughput + parity",
+    )
+    scenario.add_argument("--family", action="append", default=None,
+                          help="scenario family to run (repeatable; "
+                               "default: all predefined families)")
+    scenario.add_argument("--stations", type=int, default=4,
+                          help="stations in the fleet (default 4)")
+    scenario.add_argument("--records-per-station", type=int, default=40,
+                          help="streamed records per station (default 40)")
+    scenario.add_argument("--workers", type=int, default=2,
+                          help="cluster workers (default 2)")
+    scenario.add_argument("--transport", choices=["shm", "pipe"],
+                          default="shm",
+                          help="cluster data-plane transport (default: shm)")
+    scenario.add_argument("--no-parity", dest="parity", action="store_false",
+                          help="skip the bit-identity comparison against the "
+                               "single-process reference run")
+    scenario.add_argument("--seed", type=int, default=2017,
+                          help="scenario seed (default 2017)")
+    scenario.add_argument("--json", dest="json_path", default=None,
+                          help="also write the benchmark record to this path")
+    scenario.set_defaults(handler=_cmd_scenario_bench)
+
+    chaos = subparsers.add_parser(
+        "chaos-drill",
+        help="run a scenario against a live durable cluster with seeded "
+             "worker kills, rebalances and a disk-full checkpoint fault",
+    )
+    chaos.add_argument("--dir", dest="root", default=None,
+                       help="durability root for the drill's checkpoints/WALs "
+                            "(default: a fresh temporary directory)")
+    chaos.add_argument("--family", default="bursty-cascade",
+                       help="scenario family to run (default: bursty-cascade)")
+    chaos.add_argument("--stations", type=int, default=4,
+                       help="stations in the fleet (default 4)")
+    chaos.add_argument("--records-per-station", type=int, default=40,
+                       help="streamed records per station (default 40)")
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="cluster workers (default 2)")
+    chaos.add_argument("--kills", type=int, default=3,
+                       help="hard worker kills injected at seeded chunk "
+                            "boundaries (default 3)")
+    chaos.add_argument("--rebalance-to", type=int, default=None,
+                       help="also rebalance the fleet to this worker count "
+                            "mid-stream, without flushing first "
+                            "(default: no rebalance)")
+    chaos.add_argument("--transport", choices=["shm", "pipe"], default="shm",
+                       help="cluster data-plane transport (default: shm)")
+    chaos.add_argument("--ring-capacity", type=int, default=None,
+                       help="shm ring capacity in bytes; small values "
+                            "saturate the data plane so backpressure stalls "
+                            "are exercised (default: transport default)")
+    chaos.add_argument("--checkpoint-every", type=int, default=64,
+                       help="durability checkpoint interval in ticks "
+                            "(default 64)")
+    chaos.add_argument("--no-disk-full", dest="disk_full",
+                       action="store_false",
+                       help="skip the disk-full checkpoint-fault drill")
+    chaos.add_argument("--seed", type=int, default=2017,
+                       help="scenario + fault-schedule seed (default 2017)")
+    chaos.add_argument("--json", dest="json_path", default=None,
+                       help="also write the chaos record to this path")
+    chaos.set_defaults(handler=_cmd_chaos_drill)
 
     checkpoint = subparsers.add_parser(
         "checkpoint",
@@ -566,6 +641,131 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
             "gateway results diverged from the in-process coordinator — "
             "this is a bug; please report it"
         )
+    return 0
+
+
+def _cmd_scenario_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .scenarios import scenario_bench_record
+
+    record = scenario_bench_record(
+        families=args.family,
+        stations=args.stations,
+        records_per_station=args.records_per_station,
+        workers=args.workers,
+        transport=args.transport,
+        seed=args.seed,
+        check_parity=args.parity,
+    )
+    rows = [
+        {
+            "family": entry["family"],
+            "arrivals": entry["arrival_process"],
+            "missingness": entry["missingness"],
+            "records": entry["records"],
+            "records_per_s": round(entry["records_per_second"], 1),
+            "imputed": entry["imputed_ticks"],
+            "identical": entry["bit_identical_to_reference"],
+        }
+        for entry in record["families"]
+    ]
+    config = record["config"]
+    print(format_table(
+        rows,
+        title=f"scenario-bench — {config['stations']} stations x "
+              f"{config['records_per_station']} records, "
+              f"{config['workers']}-worker {config['transport']} cluster",
+    ))
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote benchmark record to {args.json_path}")
+    if args.parity and not all(
+        entry["bit_identical_to_reference"] for entry in record["families"]
+    ):
+        raise ReproError(
+            "scenario results diverged from the single-process reference — "
+            "this is a bug; please report it"
+        )
+    return 0
+
+
+def _cmd_chaos_drill(args: argparse.Namespace) -> int:
+    import contextlib
+    import json
+    import tempfile
+
+    from .scenarios import chaos_bench_record
+
+    with contextlib.ExitStack() as stack:
+        root = args.root
+        if root is None:
+            root = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="tkcm-chaos-")
+            )
+        record = chaos_bench_record(
+            root,
+            family=args.family,
+            stations=args.stations,
+            records_per_station=args.records_per_station,
+            workers=args.workers,
+            kills=args.kills,
+            rebalance_to=args.rebalance_to,
+            transport=args.transport,
+            ring_capacity=args.ring_capacity,
+            checkpoint_every=args.checkpoint_every,
+            seed=args.seed,
+            disk_full=args.disk_full,
+        )
+    drill = record["drill"]
+    mttr = drill["mttr"]
+    rows = [{
+        "family": drill["scenario"],
+        "records": drill["records"],
+        "records_per_s": round(drill["records_per_second"], 1),
+        "kills": drill["kills"],
+        "mttr_p50_ms": round(mttr["p50"] * 1e3, 1),
+        "mttr_max_ms": round(mttr["max"] * 1e3, 1),
+        "replayed": drill["records_replayed"],
+        "lost_inflight": drill["lost_inflight_records"],
+        "ring_stalls": drill["ring_stalls"],
+        "identical": drill["bit_identical_to_reference"],
+    }]
+    config = record["config"]
+    print(format_table(
+        rows,
+        title=f"chaos-drill — {config['workers']}-worker "
+              f"{config['transport']} cluster, seed {config['seed']}",
+    ))
+    for event in drill["events"]:
+        print(f"  boundary {event['boundary']}: {event['kind']} "
+              f"(detail {event['detail']}) in {event['seconds'] * 1e3:.1f}ms, "
+              f"replayed {event['records_replayed']}")
+    failures = []
+    if not drill["bit_identical_to_reference"]:
+        failures.append("kill/heal results diverged from the reference")
+    disk = record.get("disk_full")
+    if disk is not None:
+        print(
+            f"disk-full: faults_fired={disk['faults_fired']} "
+            f"manifest_intact={disk['manifest_intact']} "
+            f"previous_checkpoint_intact={disk['previous_checkpoint_intact']} "
+            f"identical_after_recovery={disk['identical_after_recovery']} "
+            f"(lost {disk['results_lost_at_failure']} unacknowledged result)"
+        )
+        if not (disk["manifest_intact"] and disk["previous_checkpoint_intact"]):
+            failures.append("the failed checkpoint write corrupted the store")
+        if not disk["identical_after_recovery"]:
+            failures.append("post-recovery results diverged from the reference")
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote chaos record to {args.json_path}")
+    if failures:
+        raise ReproError("; ".join(failures) + " — this is a bug; please report it")
     return 0
 
 

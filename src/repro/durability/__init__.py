@@ -20,6 +20,11 @@ survive process death:
   :class:`~repro.cluster.coordinator.ClusterCoordinator` fleet to the exact
   pre-crash state: latest checkpoint, then WAL-tail replay through the
   vectorised block path, bit-identically (``tests/durability/``).
+* :class:`~repro.durability.faults.FaultInjector` — a deterministic
+  disk-full seam on the checkpoint/manifest/WAL write paths, used by the
+  fault regression tests and the chaos harness
+  (:mod:`repro.scenarios.chaos`) to prove a failed write never corrupts
+  the previous on-disk version.
 
 Enable it by passing a :class:`~repro.durability.journal.DurabilityConfig`
 to the service or the coordinator::
@@ -34,6 +39,7 @@ See ``ARCHITECTURE.md`` for where this tier sits in the system and
 ``DESIGN.md`` Sec. 2c for the on-disk formats.
 """
 
+from .faults import FaultInjector
 from .journal import DurabilityConfig, DurabilityPolicy, SessionJournal
 from .recovery import RecoveryManager, RecoveryReport, SessionRecovery
 from .store import CheckpointStore, CheckpointInfo, DurabilityCounters, discover_stores
@@ -45,6 +51,7 @@ __all__ = [
     "DurabilityConfig",
     "DurabilityCounters",
     "DurabilityPolicy",
+    "FaultInjector",
     "RecoveryManager",
     "RecoveryReport",
     "SessionJournal",

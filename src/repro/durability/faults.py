@@ -1,0 +1,119 @@
+"""Deterministic fault injection for the durability write paths.
+
+A :class:`FaultInjector` is a small, picklable countdown: arm it, hand it to
+a :class:`~repro.durability.store.CheckpointStore` and/or
+:class:`~repro.durability.wal.WriteAheadLog`, and the next matching write
+raises ``OSError(ENOSPC)`` *before any byte reaches the file* — the
+disk-full moment, at a seam instead of a full filesystem.  The write paths
+wrap the error into :class:`~repro.exceptions.DurabilityError` exactly as
+they would a real kernel failure, so callers exercise their production
+error handling.
+
+The injector distinguishes three write operations so a drill can target the
+precise instant it cares about:
+
+* ``"checkpoint"`` — a snapshot blob landing in the store;
+* ``"manifest"`` — the manifest index update that commits it;
+* ``"wal"`` — a WAL frame append.
+
+Because the seam fires *before* the write, the store's crash-atomicity
+contract must make an injected failure invisible on disk: the previous
+checkpoint version, its manifest entry, and its WAL remain fully readable
+(``tests/durability/test_faults.py`` pins this, and the chaos harness
+re-asserts it against live recovery in
+:func:`repro.scenarios.chaos.run_disk_full_drill`).
+"""
+
+from __future__ import annotations
+
+import errno
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["FaultInjector", "WRITE_OPERATIONS"]
+
+#: The durability write operations an injector can target.
+WRITE_OPERATIONS = ("checkpoint", "manifest", "wal")
+
+
+@dataclass
+class FaultInjector:
+    """An armed countdown that fails durability writes deterministically.
+
+    Attributes
+    ----------
+    operations:
+        Which write operations count (and fail); any of
+        :data:`WRITE_OPERATIONS`.
+    after:
+        Matching writes to let through before failing (``0`` = fail the
+        next one).
+    failures:
+        How many matching writes fail once the countdown elapses; the
+        injector disarms itself afterwards.  ``-1`` keeps failing until
+        :meth:`disarm` — a persistently full disk.
+    error_code:
+        ``errno`` value of the injected ``OSError`` (default ``ENOSPC``).
+    armed:
+        Whether the injector is live.  A disarmed injector observes nothing
+        and fails nothing.
+    writes_seen, faults_fired:
+        Telemetry: matching writes observed while armed, and failures
+        actually injected (lifetime totals, not reset by :meth:`arm`).
+    """
+
+    operations: Tuple[str, ...] = WRITE_OPERATIONS
+    after: int = 0
+    failures: int = 1
+    error_code: int = errno.ENOSPC
+    armed: bool = True
+    writes_seen: int = field(default=0)
+    faults_fired: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.operations, str):
+            self.operations = (self.operations,)
+        unknown = set(self.operations) - set(WRITE_OPERATIONS)
+        if unknown:
+            raise ValueError(
+                f"unknown fault operations {sorted(unknown)} "
+                f"(choose from {WRITE_OPERATIONS})"
+            )
+
+    def arm(self, *, after: int = 0, failures: int = 1) -> "FaultInjector":
+        """(Re-)arm the countdown; returns ``self`` for chaining."""
+        self.after = int(after)
+        self.failures = int(failures)
+        self.armed = True
+        return self
+
+    def disarm(self) -> None:
+        """Stop observing and failing writes (the disk has space again)."""
+        self.armed = False
+
+    def before_write(self, operation: str, path: str) -> None:
+        """The seam: called by a write path just before bytes would land.
+
+        Raises ``OSError`` when the countdown has elapsed; otherwise counts
+        the write down and returns.  Non-matching operations and disarmed
+        injectors pass through untouched.
+        """
+        if not self.armed or operation not in self.operations:
+            return
+        self.writes_seen += 1
+        if self.after > 0:
+            self.after -= 1
+            return
+        if self.failures == 0:
+            self.armed = False
+            return
+        if self.failures > 0:
+            self.failures -= 1
+            if self.failures == 0:
+                # This firing is the last one; disarm after raising.
+                self.armed = False
+        self.faults_fired += 1
+        raise OSError(
+            self.error_code,
+            f"injected fault: no space left on device ({operation} -> {path})",
+        )

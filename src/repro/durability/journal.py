@@ -169,6 +169,7 @@ class SessionJournal:
         self._wal = WriteAheadLog(
             self.store.wal_path(self.session_id, version),
             fsync_every=self.policy.fsync_every,
+            fault_injector=self.store.fault_injector,
         )
         return version
 

@@ -37,11 +37,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..exceptions import DurabilityError
+from .faults import FaultInjector
 
 __all__ = [
     "CheckpointStore",
     "CheckpointInfo",
     "DurabilityCounters",
+    "FaultInjector",
     "discover_stores",
     "MANIFEST_NAME",
     "MANIFEST_FORMAT",
@@ -158,6 +160,13 @@ class CheckpointStore:
     counters:
         Optional shared :class:`DurabilityCounters`; a fresh instance is
         created when omitted.
+    fault_injector:
+        Optional :class:`~repro.durability.faults.FaultInjector`; when armed
+        it fails ``"checkpoint"``/``"manifest"`` writes (and is forwarded
+        into the WALs this store's journals rotate) before any byte lands.
+        ``None`` — the production default — is zero-overhead.  The
+        attribute is public and mutable, so a drill can attach an injector
+        to an already-running service's store.
     """
 
     def __init__(
@@ -166,6 +175,7 @@ class CheckpointStore:
         *,
         keep_checkpoints: int = DEFAULT_KEEP_CHECKPOINTS,
         counters: Optional[DurabilityCounters] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if keep_checkpoints < 1:
             raise DurabilityError(
@@ -174,6 +184,25 @@ class CheckpointStore:
         self.root = os.fspath(root)
         self.keep_checkpoints = int(keep_checkpoints)
         self.counters = counters if counters is not None else DurabilityCounters()
+        self.fault_injector = fault_injector
+
+    def _guarded_write(self, operation: str, path: str, data: bytes) -> None:
+        """One durability write, passed through the fault-injection seam.
+
+        An injected failure surfaces exactly like a real kernel error on
+        the same write — wrapped into
+        :class:`~repro.exceptions.DurabilityError` — and, because it fires
+        before any byte lands, leaves the previous on-disk state fully
+        intact (pinned by ``tests/durability/test_faults.py``).
+        """
+        if self.fault_injector is not None:
+            try:
+                self.fault_injector.before_write(operation, path)
+            except OSError as error:
+                raise DurabilityError(
+                    f"cannot write {path!r}: {error}"
+                ) from error
+        _atomic_write(path, data)
 
     # ------------------------------------------------------------------ #
     # Paths
@@ -215,7 +244,7 @@ class CheckpointStore:
 
     def _save_manifest(self, session_id: str, manifest: dict) -> None:
         payload = (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
-        _atomic_write(self._manifest_path(session_id), payload)
+        self._guarded_write("manifest", self._manifest_path(session_id), payload)
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -244,7 +273,7 @@ class CheckpointStore:
             (entry["version"] for entry in manifest["checkpoints"]), default=0
         )
         file_name = self._checkpoint_file(version)
-        _atomic_write(os.path.join(directory, file_name), blob)
+        self._guarded_write("checkpoint", os.path.join(directory, file_name), blob)
         manifest["checkpoints"].append(
             {
                 "version": version,

@@ -49,6 +49,7 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from ..exceptions import DurabilityError
+from .faults import FaultInjector
 
 __all__ = [
     "WriteAheadLog",
@@ -86,12 +87,24 @@ class WriteAheadLog:
     fsync_every:
         Number of appends per ``os.fsync``.  ``0`` disables fsync entirely
         (OS-crash durability is then only as good as the kernel's writeback).
+    fault_injector:
+        Optional :class:`~repro.durability.faults.FaultInjector`; when armed
+        for ``"wal"`` writes it fails :meth:`append_block` before the frame
+        reaches the file, so the log keeps its previous clean tail.
+        Journals propagate their store's injector into every rotated WAL.
     """
 
-    def __init__(self, path, *, fsync_every: int = DEFAULT_FSYNC_EVERY) -> None:
+    def __init__(
+        self,
+        path,
+        *,
+        fsync_every: int = DEFAULT_FSYNC_EVERY,
+        fault_injector: Optional[FaultInjector] = None,
+    ) -> None:
         if fsync_every < 0:
             raise DurabilityError(f"fsync_every must be >= 0, got {fsync_every}")
         self.path = os.fspath(path)
+        self.fault_injector = fault_injector
         self._fsync_every = int(fsync_every)
         self._appends_since_sync = 0
         self.frames_written = 0
@@ -143,6 +156,8 @@ class WriteAheadLog:
             + payload
         )
         try:
+            if self.fault_injector is not None:
+                self.fault_injector.before_write("wal", self.path)
             self._file.write(frame)
             # Hand the frame to the kernel immediately: an acknowledged push
             # must survive a crash of *this* process.

@@ -40,6 +40,14 @@ from ..cluster.bench import results_identical
 from ..cluster.coordinator import ClusterCoordinator
 from ..exceptions import GatewayError
 from ..results import TickResult
+from ..scenarios.generator import StationWorkload, grouped_fleet, station_workloads
+from ..scenarios.spec import (
+    ArrivalSpec,
+    MissingnessSpec,
+    ScenarioSpec,
+    StationLayout,
+    arrival_times,
+)
 from .client import AsyncGatewayClient
 from .server import GatewayServer
 
@@ -52,24 +60,19 @@ __all__ = [
     "gateway_bench_record",
 ]
 
-#: Valid open-loop arrival processes.
+#: Valid open-loop arrival processes (the loadgen's historical names;
+#: ``"uniform"`` maps onto the scenario tier's ``"steady"`` process).
 ARRIVAL_PROCESSES = ("poisson", "ramp", "uniform")
 
+#: Loadgen process name -> :mod:`repro.scenarios` arrival process.
+_PROCESS_ALIASES = {"uniform": "steady", "poisson": "poisson", "ramp": "ramp"}
 
-@dataclass
-class LoadgenStation:
-    """One station of the load-generator workload.
-
-    ``station`` is globally unique across all connections, so the parity
-    run can reuse it verbatim as an in-process session id.
-    """
-
-    station: str
-    series_names: List[str]
-    params: dict
-    history: Dict[str, np.ndarray]
-    rows: List[np.ndarray] = field(repr=False)
-    history_ticks: int = 0
+#: One station of the load-generator workload — the scenario tier's
+#: :class:`~repro.scenarios.generator.StationWorkload`, re-exported under
+#: the loadgen's historical name.  ``station`` is globally unique across
+#: all connections, so the parity run can reuse it verbatim as an
+#: in-process session id.
+LoadgenStation = StationWorkload
 
 
 @dataclass
@@ -120,50 +123,26 @@ def build_loadgen_workload(
     """
     if connections < 1 or stations_per_connection < 1:
         raise GatewayError("need at least one connection and one station")
-    fleet: List[List[LoadgenStation]] = []
-    gap_start = records_per_station // 4
-    gap_length = max(1, records_per_station // 2)
-    station_index = 0
-    for _ in range(connections):
-        group: List[LoadgenStation] = []
-        for _ in range(stations_per_connection):
-            rng = np.random.default_rng(seed + 997 * station_index)
-            total = window_length + records_per_station
-            ticks = np.arange(total, dtype=np.float64)
-            columns = []
-            for j in range(num_series):
-                phase = 2.0 * np.pi * (j / num_series + 0.01 * station_index)
-                wave = np.sin(2.0 * np.pi * ticks / 48.0 + phase)
-                columns.append(wave + 0.1 * rng.standard_normal(total))
-            matrix = np.stack(columns, axis=1)
-            station = f"st-{station_index:05d}"
-            names = [f"{station}/s{j}" for j in range(num_series)]
-            history = {
-                name: matrix[:window_length, j].copy()
-                for j, name in enumerate(names)
-            }
-            stream = matrix[window_length:].copy()
-            stream[gap_start: gap_start + gap_length, 0] = np.nan
-            params = dict(
-                window_length=int(window_length),
-                pattern_length=int(pattern_length),
-                num_anchors=int(num_anchors),
-                num_references=int(num_references),
-                reference_rankings={names[0]: names[1:]},
-            )
-            group.append(
-                LoadgenStation(
-                    station=station,
-                    series_names=names,
-                    params=params,
-                    history=history,
-                    rows=[stream[t] for t in range(records_per_station)],
-                    history_ticks=window_length,
-                )
-            )
-            station_index += 1
-        fleet.append(group)
-    return fleet
+    # The loadgen's historical workload is the scenario tier's default
+    # block-missingness layout — same seeds, same sinusoid, same gap — so
+    # the fleet is materialised by the generator and only grouped here
+    # (bit-for-bit equivalence with the pre-scenario builder is pinned by
+    # tests/gateway/test_loadgen_equivalence.py).
+    spec = ScenarioSpec(
+        name="loadgen",
+        layout=StationLayout(
+            num_stations=connections * stations_per_connection,
+            series_per_station=num_series,
+            window_length=window_length,
+            records_per_station=records_per_station,
+            pattern_length=pattern_length,
+            num_anchors=num_anchors,
+            num_references=num_references,
+        ),
+        missingness=MissingnessSpec(kind="block"),
+        seed=seed,
+    )
+    return grouped_fleet(station_workloads(spec), stations_per_connection)
 
 
 def arrival_schedule(
@@ -174,20 +153,19 @@ def arrival_schedule(
     ``poisson`` draws exponential inter-arrivals at ``rate`` events/s;
     ``ramp`` sweeps the instantaneous rate linearly from half to
     one-and-a-half times ``rate`` (same mean); ``uniform`` is a metronome.
-    Deterministic for a given ``seed``.
+    Deterministic for a given ``seed``.  Implemented by the scenario tier's
+    :func:`~repro.scenarios.spec.arrival_times` (which adds bursty and
+    diurnal processes for scenario-driven runs); the three historical
+    processes produce bit-identical schedules at the same seed.
     """
     if rate <= 0:
         raise GatewayError(f"arrival rate must be positive, got {rate}")
-    if process == "uniform":
-        return np.arange(count, dtype=np.float64) / rate
-    if process == "poisson":
-        rng = np.random.default_rng(seed)
-        return np.cumsum(rng.exponential(1.0 / rate, size=count))
-    if process == "ramp":
-        rates = np.linspace(0.5, 1.5, num=max(count, 2))[:count] * rate
-        return np.cumsum(1.0 / rates)
-    raise GatewayError(
-        f"unknown arrival process {process!r} (choose from {ARRIVAL_PROCESSES})"
+    if process not in _PROCESS_ALIASES:
+        raise GatewayError(
+            f"unknown arrival process {process!r} (choose from {ARRIVAL_PROCESSES})"
+        )
+    return arrival_times(
+        ArrivalSpec(process=_PROCESS_ALIASES[process], rate=rate), count, seed
     )
 
 
@@ -223,7 +201,7 @@ async def _run_loadgen_async(
             for spec in group:
                 await client.create_session(
                     spec.station,
-                    method="tkcm",
+                    method=spec.method,
                     series_names=spec.series_names,
                     **spec.params,
                 )
@@ -307,7 +285,7 @@ def _reference_results(
             for spec in group:
                 cluster.create_session(
                     spec.station,
-                    method="tkcm",
+                    method=spec.method,
                     series_names=spec.series_names,
                     **spec.params,
                 )

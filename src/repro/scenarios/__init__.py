@@ -1,0 +1,102 @@
+"""Scenario + chaos tier: reproducible workloads and fault drills.
+
+The paper's setting is continuous imputation over real-world sensor
+streams — sensors fail in bursts, stations drop out together, traffic is
+anything but steady.  This package makes that setting *describable and
+replayable*:
+
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, a composable,
+  JSON-serializable description of a workload: station layout, seeded
+  arrival process (steady / Poisson / ramp / bursty on-off / diurnal),
+  missingness process (clean blocks / random dropout / correlated
+  multi-station cascades), and record-level delivery perturbations
+  (out-of-order, duplicates, clock skew).  Fully deterministic from one
+  seed; the same spec materialises bit-identically in any process.
+* :mod:`repro.scenarios.generator` — turns a spec into concrete station
+  workloads and a wire-ordered record stream, with adapters for every
+  drive point: the batch engine, :class:`~repro.service.service.
+  ImputationService`, :class:`~repro.cluster.coordinator.
+  ClusterCoordinator`, and the gateway load generator (whose arrival and
+  workload synthesis is now built on this package).
+* :mod:`repro.scenarios.chaos` — runs scenarios against live clusters
+  while injecting faults (random worker kills + heal, mid-stream
+  rebalance under load, shm ring saturation, disk-full during
+  checkpoint), asserting bit-identical recovery against an uninterrupted
+  reference run and measuring mean-time-to-recover.
+
+CLI: ``tkcm-repro scenario-bench`` and ``tkcm-repro chaos-drill``; the
+shared benchmark record is ``BENCH_chaos.json``.  See ARCHITECTURE.md's
+"Scenario + chaos tier" section and the EXPERIMENTS.md walkthrough.
+"""
+
+from .chaos import (
+    ChaosEvent,
+    ChaosReport,
+    DiskFullReport,
+    chaos_bench_record,
+    reference_results,
+    run_chaos_drill,
+    run_disk_full_drill,
+    scenario_bench_record,
+)
+from .generator import (
+    IngestPolicyStats,
+    ScenarioRecord,
+    StationWorkload,
+    apply_ingest_policy,
+    delivered_stream,
+    grouped_fleet,
+    record_stream,
+    run_scenario,
+    scenario_chunks,
+    station_workloads,
+    to_stream,
+)
+from .spec import (
+    ARRIVAL_PROCESSES,
+    MISSINGNESS_KINDS,
+    SCENARIO_FAMILIES,
+    ArrivalSpec,
+    MissingnessSpec,
+    PerturbationSpec,
+    ScenarioSpec,
+    StationLayout,
+    arrival_times,
+    family_spec,
+    list_families,
+    missing_masks,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "MISSINGNESS_KINDS",
+    "SCENARIO_FAMILIES",
+    "ArrivalSpec",
+    "ChaosEvent",
+    "ChaosReport",
+    "DiskFullReport",
+    "IngestPolicyStats",
+    "MissingnessSpec",
+    "PerturbationSpec",
+    "ScenarioRecord",
+    "ScenarioSpec",
+    "StationLayout",
+    "StationWorkload",
+    "apply_ingest_policy",
+    "arrival_times",
+    "chaos_bench_record",
+    "delivered_stream",
+    "family_spec",
+    "grouped_fleet",
+    "list_families",
+    "missing_masks",
+    "record_stream",
+    "reference_results",
+    "run_chaos_drill",
+    "run_disk_full_drill",
+    "run_scenario",
+    "scenario_bench_record",
+    "scenario_chunks",
+    "station_workloads",
+    "to_stream",
+]

@@ -1,0 +1,673 @@
+"""Chaos harness: run scenarios against live clusters while breaking things.
+
+Three drills, all deterministic from a seed and all holding the same bar the
+rest of the repo holds — after every fault, outputs must be **bit-identical**
+to an uninterrupted single-process reference run:
+
+* :func:`run_chaos_drill` — the full fault gauntlet against a live
+  :class:`~repro.cluster.coordinator.ClusterCoordinator`: the scenario's
+  record stream is pushed pipelined in chunks, and at seeded chunk
+  boundaries workers are hard-killed (``terminate_worker`` → ``heal``, with
+  mean-time-to-recover measured per kill) and the fleet is resized
+  mid-stream (``rebalance(n)`` *without* a flush first, so migration runs
+  with pipelined records still in flight).  A small ``ring_capacity``
+  additionally saturates the shared-memory data plane so the
+  backpressure-stall path is exercised (``data_plane_stalls()`` is asserted
+  live in the smoke tests).  Kills land at flush boundaries — the
+  coordinator's consistency points, where nothing is in flight — so the
+  parity bar is exact; the WAL-tail replay is still exercised because
+  checkpoints are deliberately infrequent relative to the chunks.
+
+* :func:`run_disk_full_drill` — the durability fault family, against an
+  in-process durable :class:`~repro.service.service.ImputationService`: an
+  armed :class:`~repro.durability.faults.FaultInjector` fails a checkpoint
+  write mid-stream with ``ENOSPC``.  The drill asserts the store's
+  crash-atomicity contract (manifest and previous checkpoint version stay
+  fully readable), then recovers into a fresh service and resumes the
+  stream from the recovered tick.  The only results allowed to differ from
+  the reference are the never-acknowledged pushes that raised — exactly
+  the durability contract — and the drill verifies the missing set equals
+  that set, nothing more.
+
+* :func:`scenario_bench_record` / :func:`chaos_bench_record` — the shared
+  entry points of the ``scenario-bench`` / ``chaos-drill`` CLI subcommands
+  and ``benchmarks/test_bench_chaos.py``: sustained records/s per scenario
+  family plus the MTTR distribution over repeated kills, emitted as the
+  JSON-serialisable ``BENCH_chaos.json`` record.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..cluster.bench import flatten_results, results_identical
+from ..cluster.coordinator import ClusterCoordinator
+from ..durability.faults import FaultInjector
+from ..durability.journal import DurabilityConfig, DurabilityPolicy
+from ..exceptions import ConfigurationError, DurabilityError
+from ..results import TickResult
+from ..service.service import ImputationService
+from .generator import (
+    ScenarioRecord,
+    delivered_stream,
+    scenario_chunks,
+    station_workloads,
+)
+from .spec import ScenarioSpec, StationLayout, family_spec, list_families
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosReport",
+    "DiskFullReport",
+    "run_chaos_drill",
+    "run_disk_full_drill",
+    "reference_results",
+    "scenario_bench_record",
+    "chaos_bench_record",
+]
+
+#: Default checkpoint interval of the drills: small enough that checkpoints
+#: and WAL rotations happen *during* a short stream, large enough that every
+#: kill still has a WAL tail to replay.
+DEFAULT_DRILL_CHECKPOINT_EVERY = 64
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One injected fault.
+
+    Attributes
+    ----------
+    kind:
+        ``"kill"`` or ``"rebalance"``.
+    boundary:
+        Chunk boundary (0-based) at which the fault fired.
+    detail:
+        Victim worker index for kills; target worker count for rebalances.
+    seconds:
+        Wall-clock duration of the repair (kill → healed) or of the
+        rebalance itself.
+    records_replayed:
+        WAL records replayed to repair the fault (kills only).
+    """
+
+    kind: str
+    boundary: int
+    detail: int
+    seconds: float
+    records_replayed: int = 0
+
+
+@dataclass
+class ChaosReport:
+    """Everything one :func:`run_chaos_drill` produced."""
+
+    scenario: str
+    workers: int
+    transport: str
+    records: int
+    elapsed_seconds: float
+    records_per_second: float
+    kills: int
+    mttr_seconds: List[float] = field(default_factory=list)
+    events: List[ChaosEvent] = field(default_factory=list)
+    ring_stalls: int = 0
+    lost_inflight_records: int = 0
+    records_replayed: int = 0
+    identical: bool = False
+    imputed_ticks: int = 0
+
+    def mttr_stats(self) -> Dict[str, float]:
+        """Mean/median/max of the per-kill repair times, seconds."""
+        if not self.mttr_seconds:
+            return {"mean": float("nan"), "p50": float("nan"), "max": float("nan")}
+        samples = np.asarray(self.mttr_seconds, dtype=np.float64)
+        return {
+            "mean": float(samples.mean()),
+            "p50": float(np.percentile(samples, 50.0)),
+            "max": float(samples.max()),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view, JSON-serialisable."""
+        return {
+            "scenario": self.scenario,
+            "workers": self.workers,
+            "transport": self.transport,
+            "records": self.records,
+            "elapsed_seconds": self.elapsed_seconds,
+            "records_per_second": self.records_per_second,
+            "kills": self.kills,
+            "mttr_seconds": list(self.mttr_seconds),
+            "mttr": self.mttr_stats(),
+            "events": [
+                {
+                    "kind": event.kind,
+                    "boundary": event.boundary,
+                    "detail": event.detail,
+                    "seconds": event.seconds,
+                    "records_replayed": event.records_replayed,
+                }
+                for event in self.events
+            ],
+            "ring_stalls": self.ring_stalls,
+            "lost_inflight_records": self.lost_inflight_records,
+            "records_replayed": self.records_replayed,
+            "bit_identical_to_reference": self.identical,
+            "imputed_ticks": self.imputed_ticks,
+        }
+
+
+@dataclass
+class DiskFullReport:
+    """Everything one :func:`run_disk_full_drill` produced."""
+
+    scenario: str
+    records: int
+    faults_fired: int
+    failed_pushes: int
+    manifest_intact: bool
+    previous_checkpoint_intact: bool
+    sessions_recovered: int
+    records_replayed: int
+    results_lost_at_failure: int
+    identical_after_recovery: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view, JSON-serialisable."""
+        return {
+            "scenario": self.scenario,
+            "records": self.records,
+            "faults_fired": self.faults_fired,
+            "failed_pushes": self.failed_pushes,
+            "manifest_intact": self.manifest_intact,
+            "previous_checkpoint_intact": self.previous_checkpoint_intact,
+            "sessions_recovered": self.sessions_recovered,
+            "records_replayed": self.records_replayed,
+            "results_lost_at_failure": self.results_lost_at_failure,
+            "identical_after_recovery": self.identical_after_recovery,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Reference run
+# --------------------------------------------------------------------------- #
+def reference_results(
+    spec: ScenarioSpec,
+    records: Optional[Sequence[ScenarioRecord]] = None,
+) -> Dict[str, List[TickResult]]:
+    """The uninterrupted single-process run every drill is compared against."""
+    workloads = station_workloads(spec)
+    if records is None:
+        records = delivered_stream(spec)
+    results: Dict[str, List[TickResult]] = {}
+    with ImputationService() as service:
+        for workload in workloads:
+            service.create_session(
+                workload.station,
+                method=workload.method,
+                series_names=workload.series_names,
+                **workload.params,
+            )
+            service.prime(workload.station, workload.history)
+            results[workload.station] = []
+        for record in records:
+            results[record.station].extend(
+                service.push(record.station, record.row)
+            )
+    return results
+
+
+def _merge(
+    into: Dict[str, List[TickResult]], gathered: Dict[str, List[TickResult]]
+) -> None:
+    """Fold one flush's results into the accumulated per-station dict."""
+    for station, ticks in gathered.items():
+        into.setdefault(station, []).extend(ticks)
+
+
+# --------------------------------------------------------------------------- #
+# The kill / rebalance / saturation drill
+# --------------------------------------------------------------------------- #
+def run_chaos_drill(
+    spec: ScenarioSpec,
+    durability_root,
+    *,
+    workers: int = 2,
+    kills: int = 3,
+    rebalance_to: Optional[int] = None,
+    transport: str = "shm",
+    ring_capacity: Optional[int] = None,
+    checkpoint_every: int = DEFAULT_DRILL_CHECKPOINT_EVERY,
+    seed: Optional[int] = None,
+    check_parity: bool = True,
+) -> ChaosReport:
+    """Run one scenario against a live durable cluster under injected faults.
+
+    The delivered record stream is split into ``kills + rebalances + 2``
+    contiguous chunks; every chunk is pushed pipelined (``push_nowait``),
+    and faults fire at seeded chunk boundaries:
+
+    * **kill** — ``flush()`` (the consistency point: pipelined results are
+      collected, so the only state at risk is what durability must cover),
+      then ``terminate_worker`` on a seeded victim, then ``heal()``; the
+      wall-clock from kill to healed is one MTTR sample.
+    * **rebalance** — ``rebalance(rebalance_to)`` with *no* flush first, so
+      the migration runs while pipelined records are still in flight.
+
+    Parity (``check_parity``) compares the combined flush results against
+    :func:`reference_results` — bit-identical, NaN-aware, or the report
+    says so.  Deterministic for a given ``seed`` (defaults to the spec's).
+    """
+    if kills < 0:
+        raise ConfigurationError(f"kills must be >= 0, got {kills}")
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    workloads = station_workloads(spec)
+    records = delivered_stream(spec)
+    rng = np.random.default_rng(spec.seed if seed is None else seed)
+
+    event_kinds = ["kill"] * kills
+    if rebalance_to is not None:
+        event_kinds.append("rebalance")
+    rng.shuffle(event_kinds)
+    chunks = scenario_chunks(records, len(event_kinds) + 2)
+    if len(chunks) < len(event_kinds) + 1:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} has too few records "
+            f"({len(records)}) for {len(event_kinds)} faults"
+        )
+    # One fault per seeded boundary (between chunk i and i + 1).
+    boundaries = rng.permutation(len(chunks) - 1)[: len(event_kinds)]
+    schedule = dict(zip(sorted(int(b) for b in boundaries), event_kinds))
+
+    durability = DurabilityConfig(
+        durability_root,
+        policy=DurabilityPolicy(checkpoint_every=int(checkpoint_every)),
+    )
+    results: Dict[str, List[TickResult]] = {}
+    events: List[ChaosEvent] = []
+    mttr: List[float] = []
+    lost_inflight = 0
+    replayed_total = 0
+    started = time.perf_counter()
+    with ClusterCoordinator(
+        num_workers=workers,
+        transport=transport,
+        ring_capacity=ring_capacity,
+        durability=durability,
+    ) as cluster:
+        for workload in workloads:
+            cluster.create_session(
+                workload.station,
+                method=workload.method,
+                series_names=workload.series_names,
+                **workload.params,
+            )
+            cluster.prime(workload.station, workload.history)
+            results[workload.station] = []
+        for boundary, chunk in enumerate(chunks):
+            for record in chunk:
+                cluster.push_nowait(record.station, record.row)
+            kind = schedule.get(boundary)
+            if kind == "kill":
+                _merge(results, cluster.flush())
+                victim = int(rng.integers(0, cluster.num_workers))
+                cluster.terminate_worker(victim)
+                repair_started = time.perf_counter()
+                reports = cluster.heal()
+                repair = time.perf_counter() - repair_started
+                replayed = sum(
+                    report.records_replayed for report in reports.values()
+                )
+                lost_inflight += sum(
+                    report.lost_inflight_records for report in reports.values()
+                )
+                replayed_total += replayed
+                mttr.append(repair)
+                events.append(
+                    ChaosEvent(
+                        kind="kill",
+                        boundary=boundary,
+                        detail=victim,
+                        seconds=repair,
+                        records_replayed=replayed,
+                    )
+                )
+            elif kind == "rebalance":
+                rebalance_started = time.perf_counter()
+                cluster.rebalance(int(rebalance_to))
+                events.append(
+                    ChaosEvent(
+                        kind="rebalance",
+                        boundary=boundary,
+                        detail=int(rebalance_to),
+                        seconds=time.perf_counter() - rebalance_started,
+                    )
+                )
+        _merge(results, cluster.flush())
+        ring_stalls = cluster.data_plane_stalls()
+    elapsed = time.perf_counter() - started
+
+    identical = False
+    if check_parity:
+        identical = results_identical(results, reference_results(spec, records))
+    return ChaosReport(
+        scenario=spec.name,
+        workers=workers,
+        transport=transport,
+        records=len(records),
+        elapsed_seconds=elapsed,
+        records_per_second=len(records) / elapsed if elapsed > 0 else 0.0,
+        kills=kills,
+        mttr_seconds=mttr,
+        events=events,
+        ring_stalls=ring_stalls,
+        lost_inflight_records=lost_inflight,
+        records_replayed=replayed_total,
+        identical=identical,
+        imputed_ticks=sum(len(ticks) for ticks in results.values()),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The disk-full drill
+# --------------------------------------------------------------------------- #
+def run_disk_full_drill(
+    spec: ScenarioSpec,
+    durability_root,
+    *,
+    checkpoint_every: int = 16,
+    fail_at_fraction: float = 0.5,
+    seed: Optional[int] = None,
+) -> DiskFullReport:
+    """Fail a checkpoint write mid-stream and prove recovery loses nothing.
+
+    A durable :class:`~repro.service.service.ImputationService` consumes
+    the scenario stream with timestamped pushes (so the session ingest
+    policy, not a pre-filter, drops the scenario's duplicate and stale
+    records).  Around ``fail_at_fraction`` of the stream, an armed
+    :class:`~repro.durability.faults.FaultInjector` makes the next
+    checkpoint/manifest write raise ``ENOSPC``; the drill then asserts:
+
+    1. the store is uncorrupted — the manifest still parses and the latest
+       retained checkpoint still passes SHA-256 verification;
+    2. a fresh service recovering from the same root resumes the stream and
+       ends bit-identical to the uninterrupted reference, except for the
+       result of the single push that raised — which was never
+       acknowledged, and is exactly what the durability contract allows to
+       be lost.  The drill verifies the missing set equals that set.
+    """
+    if not 0.0 < fail_at_fraction < 1.0:
+        raise ConfigurationError(
+            f"fail_at_fraction must be in (0, 1), got {fail_at_fraction}"
+        )
+    workloads = station_workloads(spec)
+    records = list(delivered_stream(spec))
+    reference = reference_results(spec, records)
+
+    durability = DurabilityConfig(
+        durability_root,
+        policy=DurabilityPolicy(checkpoint_every=int(checkpoint_every)),
+    )
+    injector = FaultInjector(operations=("checkpoint", "manifest"), armed=False)
+    fail_from = int(fail_at_fraction * len(records))
+    results: Dict[str, List[TickResult]] = {
+        workload.station: [] for workload in workloads
+    }
+    # (station, tick-index) of pushes whose DurabilityError swallowed an
+    # already-computed result: the only results allowed to go missing.
+    lost: List[Tuple[str, int]] = []
+    failed_pushes = 0
+    wedged: Set[str] = set()
+
+    service = ImputationService(durability=durability)
+    try:
+        service.store.fault_injector = injector
+        for workload in workloads:
+            service.create_session(
+                workload.station,
+                method=workload.method,
+                series_names=workload.series_names,
+                **workload.params,
+            )
+            service.prime(workload.station, workload.history)
+        for position, record in enumerate(records):
+            if position == fail_from:
+                injector.arm(after=0, failures=1)
+            if record.station in wedged:
+                continue
+            try:
+                results[record.station].extend(
+                    service.push(record.station, record.row,
+                                 timestamp=record.timestamp)
+                )
+            except DurabilityError:
+                failed_pushes += 1
+                # The record was applied and WAL-logged before the
+                # checkpoint rotation failed, so its (unacknowledged)
+                # result is the one thing recovery cannot give back.
+                session = service.session(record.station)
+                lost.append((record.station, session.ticks_seen - 1))
+                wedged.add(record.station)
+    finally:
+        injector.disarm()
+        service.close()
+
+    # 1. Crash-atomicity: the store must be fully readable after the fault.
+    store = durability.make_store()
+    manifest_intact = True
+    previous_intact = True
+    try:
+        for session_id in store.session_ids():
+            info = store.latest_checkpoint(session_id)
+            if info is None:
+                manifest_intact = False
+                continue
+            store.read_checkpoint(session_id)  # verifies size + SHA-256
+    except DurabilityError:
+        previous_intact = False
+
+    # 2. Recover into a fresh service and resume the stream where the
+    # recovered sessions left off.  The resume point is the *applied-record
+    # count* (recovered ticks_seen minus primed history): WAL frames do not
+    # carry producer timestamps, so the restored ingest watermark can lag
+    # back to the last checkpoint and cannot be used to deduplicate the
+    # replayed span — counting can (see DESIGN.md on the push policy).
+    with ImputationService(durability=durability) as recovered_service:
+        recovery = recovered_service.recover()
+        resume_from = {
+            workload.station:
+                recovered_service.session(workload.station).ticks_seen
+                - workload.history_ticks
+            for workload in workloads
+        }
+        position: Dict[str, int] = {w.station: 0 for w in workloads}
+        for record in records:
+            already_applied = position[record.station] < resume_from[record.station]
+            position[record.station] += 1
+            if already_applied:
+                continue
+            results[record.station].extend(
+                recovered_service.push(record.station, record.row,
+                                       timestamp=record.timestamp)
+            )
+
+    flat_run = flatten_results(results)
+    flat_reference = flatten_results(reference)
+    missing = set(flat_reference) - set(flat_run)
+    lost_keys = {
+        (station, index) for station, index in lost
+    }
+    identical = (
+        not (set(flat_run) - set(flat_reference))
+        and all(key[:2] in lost_keys for key in missing)
+        and all(
+            flat_run[key] == flat_reference[key]
+            or (
+                np.isnan(flat_run[key][0])
+                and np.isnan(flat_reference[key][0])
+                and flat_run[key][1] == flat_reference[key][1]
+            )
+            for key in flat_run
+        )
+    )
+    return DiskFullReport(
+        scenario=spec.name,
+        records=len(records),
+        faults_fired=injector.faults_fired,
+        failed_pushes=failed_pushes,
+        manifest_intact=manifest_intact,
+        previous_checkpoint_intact=previous_intact,
+        sessions_recovered=len(recovery.sessions),
+        records_replayed=recovery.records_replayed,
+        results_lost_at_failure=len(lost),
+        identical_after_recovery=identical,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark records (CLI + benchmarks share these)
+# --------------------------------------------------------------------------- #
+def scenario_bench_record(
+    families: Optional[Sequence[str]] = None,
+    *,
+    stations: int = 4,
+    records_per_station: int = 40,
+    workers: int = 2,
+    transport: str = "shm",
+    seed: int = 2017,
+    check_parity: bool = True,
+) -> Dict[str, object]:
+    """Sustained throughput of each scenario family through a live cluster.
+
+    For every family: materialise the delivered stream, stand up a fresh
+    ``workers``-worker cluster, push the whole stream pipelined, and
+    measure records/s (the streaming phase only — session creation and
+    priming are excluded).  With ``check_parity`` each family's results are
+    also compared bit-identically against the single-process reference.
+    """
+    names = list(families) if families else list_families()
+    layout = StationLayout(
+        num_stations=stations, records_per_station=records_per_station
+    )
+    entries = []
+    for name in names:
+        spec = family_spec(name, seed=seed, layout=layout)
+        workloads = station_workloads(spec)
+        records = delivered_stream(spec)
+        results: Dict[str, List[TickResult]] = {}
+        with ClusterCoordinator(
+            num_workers=workers, transport=transport
+        ) as cluster:
+            for workload in workloads:
+                cluster.create_session(
+                    workload.station,
+                    method=workload.method,
+                    series_names=workload.series_names,
+                    **workload.params,
+                )
+                cluster.prime(workload.station, workload.history)
+                results[workload.station] = []
+            started = time.perf_counter()
+            for record in records:
+                cluster.push_nowait(record.station, record.row)
+            _merge(results, cluster.flush())
+            elapsed = time.perf_counter() - started
+        parity = None
+        if check_parity:
+            parity = results_identical(results, reference_results(spec, records))
+        entries.append(
+            {
+                "family": name,
+                "arrival_process": spec.arrivals.process,
+                "missingness": spec.missingness.kind,
+                "records": len(records),
+                "elapsed_seconds": elapsed,
+                "records_per_second": (
+                    len(records) / elapsed if elapsed > 0 else 0.0
+                ),
+                "imputed_ticks": sum(len(t) for t in results.values()),
+                "bit_identical_to_reference": parity,
+            }
+        )
+    return {
+        "benchmark": "scenarios",
+        "config": {
+            "stations": stations,
+            "records_per_station": records_per_station,
+            "workers": workers,
+            "transport": transport,
+            "seed": seed,
+        },
+        "families": entries,
+    }
+
+
+def chaos_bench_record(
+    durability_root,
+    *,
+    family: str = "bursty-cascade",
+    stations: int = 4,
+    records_per_station: int = 40,
+    workers: int = 2,
+    kills: int = 3,
+    rebalance_to: Optional[int] = None,
+    transport: str = "shm",
+    ring_capacity: Optional[int] = None,
+    checkpoint_every: int = DEFAULT_DRILL_CHECKPOINT_EVERY,
+    seed: int = 2017,
+    disk_full: bool = True,
+) -> Dict[str, object]:
+    """Run the chaos drill (plus the disk-full drill) and build the record.
+
+    The returned dict is the ``BENCH_chaos.json`` schema: the kill/heal
+    drill's throughput, MTTR distribution and parity flag, and (with
+    ``disk_full``) the checkpoint-fault drill's integrity results.
+    ``durability_root`` must be a fresh directory; two subdirectories are
+    created under it, one per drill.
+    """
+    layout = StationLayout(
+        num_stations=stations, records_per_station=records_per_station
+    )
+    spec = family_spec(family, seed=seed, layout=layout)
+    drill = run_chaos_drill(
+        spec,
+        os.path.join(os.fspath(durability_root), "chaos"),
+        workers=workers,
+        kills=kills,
+        rebalance_to=rebalance_to,
+        transport=transport,
+        ring_capacity=ring_capacity,
+        checkpoint_every=checkpoint_every,
+        seed=seed,
+    )
+    record: Dict[str, object] = {
+        "benchmark": "chaos",
+        "config": {
+            "family": family,
+            "stations": stations,
+            "records_per_station": records_per_station,
+            "workers": workers,
+            "kills": kills,
+            "rebalance_to": rebalance_to,
+            "transport": transport,
+            "ring_capacity": ring_capacity,
+            "checkpoint_every": checkpoint_every,
+            "seed": seed,
+        },
+        "drill": drill.as_dict(),
+    }
+    if disk_full:
+        disk_report = run_disk_full_drill(
+            spec,
+            os.path.join(os.fspath(durability_root), "disk-full"),
+            seed=seed,
+        )
+        record["disk_full"] = disk_report.as_dict()
+    return record

@@ -1,0 +1,421 @@
+"""Materialize a :class:`~repro.scenarios.spec.ScenarioSpec` into streams.
+
+The generator is the bridge between pure scenario *descriptions* and every
+drive point the system exposes:
+
+* :func:`station_workloads` synthesises the per-station data — seeded
+  sinusoid-plus-noise series, priming history, streamed rows with the
+  scenario's missingness mask burnt into the target series.  At the default
+  block missingness this reproduces the gateway load generator's historical
+  fleet bit-for-bit (the loadgen is now implemented on top of it).
+* :func:`record_stream` flattens the fleet into one wire-ordered list of
+  :class:`ScenarioRecord` — round-robin interleaved across stations,
+  arrival times drawn from the scenario's arrival process, then perturbed
+  (late delivery, duplicates, per-station clock skew) exactly as the spec
+  asks.  Record *timestamps* tick on the producers' data clock (one tick
+  per fleet round plus the station's skew), so stale and duplicate records
+  are detectable downstream while wire arrivals jitter freely.
+* :func:`apply_ingest_policy` is the reference implementation of the edge
+  dedup/stale filter, mirroring
+  :meth:`repro.service.session.ImputationSession.push`'s timestamp policy
+  so in-process reference runs and cluster runs see identical effective
+  streams.
+* :func:`to_stream` / :func:`run_scenario` adapt a materialised scenario to
+  the batch engine (``run_batch`` over a
+  :class:`~repro.streams.stream.MultiSeriesStream`) and to the serving
+  surfaces (:class:`~repro.service.service.ImputationService` /
+  :class:`~repro.cluster.coordinator.ClusterCoordinator`), pipelining via
+  ``push_nowait`` when the target supports it.
+
+Everything here is deterministic from the spec's single seed; sub-streams
+(arrivals, missingness, perturbations, per-station noise) draw from
+independently derived generators so changing one knob never reshuffles the
+others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..results import TickResult
+from ..streams.stream import MultiSeriesStream
+from .spec import ScenarioSpec, arrival_times, missing_masks
+
+__all__ = [
+    "StationWorkload",
+    "ScenarioRecord",
+    "IngestPolicyStats",
+    "station_workloads",
+    "record_stream",
+    "delivered_stream",
+    "apply_ingest_policy",
+    "to_stream",
+    "grouped_fleet",
+    "run_scenario",
+    "scenario_chunks",
+]
+
+#: Sub-seed tags deriving independent generators from the scenario seed.
+_ARRIVAL_TAG = 1
+_MISSING_TAG = 2
+_PERTURB_TAG = 3
+
+
+@dataclass
+class StationWorkload:
+    """One station's materialised workload.
+
+    ``station`` is globally unique across the fleet, so it can be used
+    verbatim as a session id on any serving surface.  The field shape is
+    shared with the gateway load generator (whose ``LoadgenStation`` is an
+    alias of this class).
+    """
+
+    station: str
+    series_names: List[str]
+    params: dict
+    history: Dict[str, np.ndarray]
+    rows: List[np.ndarray] = field(repr=False)
+    history_ticks: int = 0
+    method: str = "tkcm"
+
+
+@dataclass(frozen=True)
+class ScenarioRecord:
+    """One wire-ordered record of a materialised scenario stream.
+
+    Attributes
+    ----------
+    station:
+        Producing station (and serving session id).
+    ordinal:
+        Per-station stream ordinal of the underlying row (duplicates share
+        their original's ordinal).
+    row:
+        The ``(series_per_station,)`` float64 payload.
+    timestamp:
+        Producer data-clock timestamp in seconds (one tick per fleet round,
+        plus the station's clock skew).  Late records keep their original
+        timestamp, duplicates repeat it — which is what makes both
+        detectable downstream.
+    arrival:
+        Scheduled wire arrival offset in seconds from stream start, in
+        delivered (post-perturbation) order; non-decreasing across the
+        stream.
+    duplicate:
+        Whether this record is a duplicate emission.
+    """
+
+    station: str
+    ordinal: int
+    row: np.ndarray = field(repr=False)
+    timestamp: float
+    arrival: float
+    duplicate: bool = False
+
+
+@dataclass
+class IngestPolicyStats:
+    """Counters from one :func:`apply_ingest_policy` pass."""
+
+    delivered: int = 0
+    duplicates_dropped: int = 0
+    stale_dropped: int = 0
+
+
+# --------------------------------------------------------------------------- #
+# Station synthesis
+# --------------------------------------------------------------------------- #
+def station_workloads(spec: ScenarioSpec) -> List[StationWorkload]:
+    """Materialise the fleet: one :class:`StationWorkload` per station.
+
+    Each station draws a seeded sinusoid-plus-noise multivariate stream
+    (generator ``default_rng(seed + 997 * station_index)``, one phase per
+    series), splits it into ``window_length`` priming ticks plus
+    ``records_per_station`` streamed rows, and burns the scenario's
+    missingness mask into the streamed target series as NaNs.  With the
+    default block missingness this is bit-identical to the historical
+    gateway loadgen workload at the same seed.
+    """
+    layout = spec.layout
+    masks = missing_masks(
+        spec.missingness,
+        layout.num_stations,
+        layout.records_per_station,
+        seed=[spec.seed, _MISSING_TAG],
+    )
+    total = layout.window_length + layout.records_per_station
+    ticks = np.arange(total, dtype=np.float64)
+    fleet: List[StationWorkload] = []
+    for station_index in range(layout.num_stations):
+        rng = np.random.default_rng(spec.seed + 997 * station_index)
+        columns = []
+        for j in range(layout.series_per_station):
+            phase = 2.0 * np.pi * (
+                j / layout.series_per_station + 0.01 * station_index
+            )
+            wave = np.sin(
+                2.0 * np.pi * ticks / float(layout.season_ticks) + phase
+            )
+            columns.append(
+                wave + layout.noise_scale * rng.standard_normal(total)
+            )
+        matrix = np.stack(columns, axis=1)
+        station = f"st-{station_index:05d}"
+        names = [f"{station}/s{j}" for j in range(layout.series_per_station)]
+        history = {
+            name: matrix[: layout.window_length, j].copy()
+            for j, name in enumerate(names)
+        }
+        stream = matrix[layout.window_length:].copy()
+        stream[masks[station_index], 0] = np.nan
+        if layout.method == "tkcm":
+            params = dict(
+                window_length=int(layout.window_length),
+                pattern_length=int(layout.pattern_length),
+                num_anchors=int(layout.num_anchors),
+                num_references=int(layout.num_references),
+                reference_rankings={names[0]: names[1:]},
+            )
+        else:
+            params = {}
+        fleet.append(
+            StationWorkload(
+                station=station,
+                series_names=names,
+                params=params,
+                history=history,
+                rows=[stream[t] for t in range(layout.records_per_station)],
+                history_ticks=layout.window_length,
+                method=layout.method,
+            )
+        )
+    return fleet
+
+
+def grouped_fleet(
+    workloads: Sequence[StationWorkload], group_size: int
+) -> List[List[StationWorkload]]:
+    """Partition the fleet into groups of ``group_size`` (loadgen connections)."""
+    if group_size < 1:
+        raise ConfigurationError(f"group_size must be >= 1, got {group_size}")
+    return [
+        list(workloads[i: i + group_size])
+        for i in range(0, len(workloads), group_size)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Record-stream materialisation
+# --------------------------------------------------------------------------- #
+def record_stream(
+    spec: ScenarioSpec, workloads: Optional[Sequence[StationWorkload]] = None
+) -> List[ScenarioRecord]:
+    """The scenario's wire-ordered record stream, perturbations applied.
+
+    Base order interleaves round-robin across stations — record ``j`` of
+    every station before record ``j + 1`` of any, like a shared ingest
+    queue.  The perturbation pass then (1) slips each selected record up to
+    ``max_delay_records`` positions late (stable, seeded), (2) re-emits
+    selected records immediately after themselves as duplicates, and
+    (3) assigns wire arrival times from the arrival process to the final
+    delivered order while timestamps keep the producers' data clocks.
+    Deterministic from the spec alone; pass ``workloads`` only to reuse an
+    already-materialised fleet (it must come from the same spec).
+    """
+    if workloads is None:
+        workloads = station_workloads(spec)
+    layout = spec.layout
+    perturb = spec.perturbations
+    tick_seconds = layout.num_stations / spec.arrivals.rate
+
+    skews = np.zeros(layout.num_stations)
+    rng = np.random.default_rng([spec.seed, _PERTURB_TAG])
+    if perturb.clock_skew_seconds > 0.0:
+        skews = rng.uniform(
+            -perturb.clock_skew_seconds,
+            perturb.clock_skew_seconds,
+            size=layout.num_stations,
+        )
+
+    # Base events: (station_index, ordinal), round-robin interleaved.
+    base: List[Tuple[int, int]] = [
+        (station_index, ordinal)
+        for ordinal in range(layout.records_per_station)
+        for station_index in range(layout.num_stations)
+    ]
+    count = len(base)
+
+    # Late delivery: a selected event's sort key jumps past up to
+    # `max_delay_records` successors; +0.5 lands it *after* the event it
+    # was delayed behind, and the stable argsort keeps everything else put.
+    keys = np.arange(count, dtype=np.float64)
+    if perturb.out_of_order_fraction > 0.0 and count > 1:
+        late = rng.random(count) < perturb.out_of_order_fraction
+        delays = rng.integers(1, perturb.max_delay_records + 1, size=count)
+        keys = keys + np.where(late, delays + 0.5, 0.0)
+    order = np.argsort(keys, kind="stable")
+
+    # Duplicates: re-emit selected events right after themselves.
+    duplicated = np.zeros(count, dtype=bool)
+    if perturb.duplicate_fraction > 0.0:
+        duplicated = rng.random(count) < perturb.duplicate_fraction
+
+    sequence: List[Tuple[int, int, bool]] = []
+    for position in order:
+        station_index, ordinal = base[position]
+        sequence.append((station_index, ordinal, False))
+        if duplicated[position]:
+            sequence.append((station_index, ordinal, True))
+
+    arrivals = arrival_times(
+        spec.arrivals, len(sequence), seed=[spec.seed, _ARRIVAL_TAG]
+    )
+    records: List[ScenarioRecord] = []
+    for (station_index, ordinal, is_duplicate), arrival in zip(sequence, arrivals):
+        workload = workloads[station_index]
+        records.append(
+            ScenarioRecord(
+                station=workload.station,
+                ordinal=ordinal,
+                row=workload.rows[ordinal],
+                timestamp=ordinal * tick_seconds + float(skews[station_index]),
+                arrival=float(arrival),
+                duplicate=is_duplicate,
+            )
+        )
+    return records
+
+
+def apply_ingest_policy(
+    records: Iterable[ScenarioRecord],
+) -> Tuple[List[ScenarioRecord], IngestPolicyStats]:
+    """Filter a record stream the way a timestamped session ingest would.
+
+    Mirrors :meth:`repro.service.session.ImputationSession.push`'s
+    timestamp policy per station: a record whose timestamp equals the last
+    accepted one is a *duplicate* (dropped), one whose timestamp is older
+    is *stale* (dropped); fresh records pass.  Running every drive path
+    through this one filter is what lets timestamp-less surfaces (the
+    cluster data plane) and timestamp-aware sessions agree bit-for-bit on
+    the effective stream.
+    """
+    last_seen: Dict[str, float] = {}
+    delivered: List[ScenarioRecord] = []
+    stats = IngestPolicyStats()
+    for record in records:
+        last = last_seen.get(record.station)
+        if last is not None:
+            if record.timestamp == last:
+                stats.duplicates_dropped += 1
+                continue
+            if record.timestamp < last:
+                stats.stale_dropped += 1
+                continue
+        last_seen[record.station] = record.timestamp
+        delivered.append(record)
+    stats.delivered = len(delivered)
+    return delivered, stats
+
+
+def delivered_stream(spec: ScenarioSpec) -> List[ScenarioRecord]:
+    """The post-ingest-policy record stream of a scenario (convenience)."""
+    delivered, _ = apply_ingest_policy(record_stream(spec))
+    return delivered
+
+
+# --------------------------------------------------------------------------- #
+# Drive-point adapters
+# --------------------------------------------------------------------------- #
+def to_stream(workload: StationWorkload) -> MultiSeriesStream:
+    """One station as a :class:`~repro.streams.stream.MultiSeriesStream`.
+
+    History and streamed rows are concatenated, so driving the batch engine
+    with ``prime_until=workload.history_ticks`` replays exactly what the
+    serving tiers see.
+    """
+    streamed = np.stack(workload.rows, axis=0)
+    series = {
+        name: np.concatenate([workload.history[name], streamed[:, j]])
+        for j, name in enumerate(workload.series_names)
+    }
+    return MultiSeriesStream(series)
+
+
+def _create_sessions(target, workloads: Sequence[StationWorkload]) -> None:
+    """Create + prime one session per workload on any serving surface."""
+    for workload in workloads:
+        target.create_session(
+            workload.station,
+            method=workload.method,
+            series_names=workload.series_names,
+            **workload.params,
+        )
+        target.prime(workload.station, workload.history)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    target,
+    *,
+    create_sessions: bool = True,
+    pipelined: Optional[bool] = None,
+    records: Optional[Sequence[ScenarioRecord]] = None,
+) -> Dict[str, List[TickResult]]:
+    """Drive a materialised scenario through any serving surface.
+
+    ``target`` is anything with the service surface
+    (``create_session``/``prime``/``push``); targets that also expose
+    ``push_nowait``/``flush`` (the cluster coordinator) are driven
+    pipelined unless ``pipelined=False``.  The stream is the scenario's
+    *delivered* stream — perturbed, then passed through
+    :func:`apply_ingest_policy` — so every surface sees the same effective
+    records and their outputs are directly comparable.  Returns
+    ``{station: [TickResult, ...]}`` with one (possibly empty) entry per
+    station.
+    """
+    workloads = station_workloads(spec)
+    if records is None:
+        records = delivered_stream(spec)
+    if create_sessions:
+        _create_sessions(target, workloads)
+    if pipelined is None:
+        pipelined = hasattr(target, "push_nowait")
+    results: Dict[str, List[TickResult]] = {
+        workload.station: [] for workload in workloads
+    }
+    if pipelined:
+        gathered = target.push_many(
+            (record.station, record.row) for record in records
+        )
+        for station, ticks in gathered.items():
+            results.setdefault(station, []).extend(ticks)
+    else:
+        for record in records:
+            results[record.station].extend(
+                target.push(record.station, record.row)
+            )
+    return results
+
+
+def scenario_chunks(
+    records: Sequence[ScenarioRecord], chunks: int
+) -> List[List[ScenarioRecord]]:
+    """Split a record stream into ``chunks`` contiguous, near-equal parts.
+
+    The chaos harness pushes one chunk at a time and injects faults at the
+    chunk boundaries (its flush consistency points).  Every chunk is
+    non-empty provided ``len(records) >= chunks``.
+    """
+    if chunks < 1:
+        raise ConfigurationError(f"chunks must be >= 1, got {chunks}")
+    bounds = np.linspace(0, len(records), num=chunks + 1).astype(int)
+    return [
+        list(records[bounds[i]: bounds[i + 1]])
+        for i in range(chunks)
+        if bounds[i + 1] > bounds[i]
+    ]

@@ -1,0 +1,641 @@
+"""Composable, JSON-serializable stochastic scenario specifications.
+
+A :class:`ScenarioSpec` describes one reproducible serving workload in four
+orthogonal, independently swappable parts:
+
+* :class:`StationLayout` — the fleet: how many stations, how many series per
+  station, how much priming history, and the imputer configuration every
+  station's session is created with;
+* :class:`ArrivalSpec` — *when* records arrive: a steady metronome, a
+  homogeneous Poisson process, a linear ramp, a bursty on/off process
+  (exponential on/off holding times with a high in-burst rate), or a
+  diurnal sinusoidal ramp — all realised by inverting the cumulative
+  intensity function, so every process is exact and deterministic from a
+  seed;
+* :class:`MissingnessSpec` — *what goes dark*: the fig17-style clean
+  rectangular block, independent random dropout, or correlated
+  multi-station failure cascades (one seeded event takes a contiguous run
+  of stations down together, the way a regional power cut takes out
+  neighbouring weather stations);
+* :class:`PerturbationSpec` — record-level delivery noise: out-of-order
+  (late) delivery, duplicated records, and per-station clock skew.
+
+Everything is a frozen dataclass of plain scalars, so a spec round-trips
+losslessly through JSON (:meth:`ScenarioSpec.to_json` /
+:meth:`ScenarioSpec.from_json`) and two processes holding the same spec and
+seed materialise bit-identical record streams
+(``tests/scenarios/test_determinism.py``).  The generator
+(:mod:`repro.scenarios.generator`) turns a spec into concrete station
+workloads and a perturbed record stream; the chaos harness
+(:mod:`repro.scenarios.chaos`) runs those streams against live clusters
+while injecting faults.
+
+The named :data:`SCENARIO_FAMILIES` bundle the combinations the benchmarks
+and the ``scenario-bench`` / ``chaos-drill`` CLI subcommands exercise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+#: Anything `numpy.random.default_rng` accepts as a seed.
+SeedLike = Union[int, Sequence[int]]
+
+__all__ = [
+    "ArrivalSpec",
+    "MissingnessSpec",
+    "PerturbationSpec",
+    "StationLayout",
+    "ScenarioSpec",
+    "arrival_times",
+    "missing_masks",
+    "family_spec",
+    "list_families",
+    "ARRIVAL_PROCESSES",
+    "MISSINGNESS_KINDS",
+    "SCENARIO_FAMILIES",
+    "SPEC_FORMAT",
+]
+
+#: Spec serialisation format version; bumped when the JSON layout changes.
+SPEC_FORMAT = 1
+
+#: Valid arrival processes (see :class:`ArrivalSpec`).
+ARRIVAL_PROCESSES = ("steady", "poisson", "ramp", "bursty", "diurnal")
+
+#: Valid missingness processes (see :class:`MissingnessSpec`).
+MISSINGNESS_KINDS = ("none", "block", "dropout", "cascade")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """A seeded arrival process: *when* the fleet's records hit the ingest tier.
+
+    ``rate`` is the mean aggregate rate in records/s for every process, so
+    swapping the ``process`` changes the *shape* of the traffic, not its
+    volume.  The stochastic processes (``poisson``, ``bursty``, ``diurnal``)
+    are realised by inverting the cumulative intensity function against
+    unit-rate exponential marks, which makes them exact (no time-stepping
+    error) and fully deterministic from the seed.
+
+    Attributes
+    ----------
+    process:
+        One of :data:`ARRIVAL_PROCESSES`: ``"steady"`` (a metronome),
+        ``"poisson"`` (homogeneous), ``"ramp"`` (instantaneous rate sweeps
+        linearly from ``ramp_from * rate`` to ``ramp_to * rate``),
+        ``"bursty"`` (two-state on/off modulation: exponential holding
+        times, in-burst rate ``burst_multiplier * rate``), or ``"diurnal"``
+        (sinusoidal rate over ``diurnal_period_seconds``).
+    rate:
+        Mean arrival rate in records per second.
+    ramp_from, ramp_to:
+        Rate multipliers at the start/end of a ``"ramp"``.  The defaults
+        reproduce the gateway load generator's historical ramp exactly.
+    burst_multiplier:
+        In-burst rate multiplier of the ``"bursty"`` process; the off-state
+        rate is derived so the long-run mean stays ``rate``.
+    mean_burst_seconds, mean_idle_seconds:
+        Mean exponential holding times of the bursty on/off states.
+    diurnal_amplitude:
+        Relative amplitude (``0 <= a < 1``) of the ``"diurnal"`` sinusoid.
+    diurnal_period_seconds:
+        Period of the diurnal cycle.  Benchmarks compress the "day" to
+        seconds so one run sweeps several cycles.
+    """
+
+    process: str = "steady"
+    rate: float = 500.0
+    ramp_from: float = 0.5
+    ramp_to: float = 1.5
+    burst_multiplier: float = 4.0
+    mean_burst_seconds: float = 0.5
+    mean_idle_seconds: float = 1.5
+    diurnal_amplitude: float = 0.8
+    diurnal_period_seconds: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ConfigurationError(
+                f"unknown arrival process {self.process!r} "
+                f"(choose from {ARRIVAL_PROCESSES})"
+            )
+        if self.rate <= 0:
+            raise ConfigurationError(
+                f"arrival rate must be positive, got {self.rate}"
+            )
+        if self.process == "ramp" and (self.ramp_from <= 0 or self.ramp_to <= 0):
+            raise ConfigurationError(
+                "ramp_from and ramp_to must be positive rate multipliers"
+            )
+        if self.process == "bursty":
+            if self.burst_multiplier <= 1.0:
+                raise ConfigurationError(
+                    f"burst_multiplier must exceed 1, got {self.burst_multiplier}"
+                )
+            if self.mean_burst_seconds <= 0 or self.mean_idle_seconds <= 0:
+                raise ConfigurationError(
+                    "bursty holding times must be positive"
+                )
+            if self._off_multiplier() < 0:
+                raise ConfigurationError(
+                    f"burst_multiplier {self.burst_multiplier} is too high for "
+                    f"the on/off duty cycle: the off-state rate would be "
+                    f"negative (lower it or shorten mean_burst_seconds)"
+                )
+        if self.process == "diurnal":
+            if not 0.0 <= self.diurnal_amplitude < 1.0:
+                raise ConfigurationError(
+                    f"diurnal_amplitude must be in [0, 1), got "
+                    f"{self.diurnal_amplitude}"
+                )
+            if self.diurnal_period_seconds <= 0:
+                raise ConfigurationError("diurnal_period_seconds must be positive")
+
+    def _off_multiplier(self) -> float:
+        """Off-state rate multiplier keeping the long-run mean at ``rate``."""
+        duty = self.mean_burst_seconds / (
+            self.mean_burst_seconds + self.mean_idle_seconds
+        )
+        # duty * on + (1 - duty) * off = 1
+        return (1.0 - duty * self.burst_multiplier) / (1.0 - duty)
+
+
+@dataclass(frozen=True)
+class MissingnessSpec:
+    """A seeded missingness process applied to each station's target series.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`MISSINGNESS_KINDS`: ``"none"``, ``"block"`` (one
+        clean rectangular outage per station, the fig17 shape),
+        ``"dropout"`` (independent per-tick loss), or ``"cascade"``
+        (correlated multi-station failures: each seeded event takes a
+        contiguous run of stations down together for overlapping windows).
+    block_start_fraction, block_length_fraction:
+        Placement/length of the ``"block"`` outage as fractions of the
+        streamed ticks.  The defaults reproduce the gateway load
+        generator's historical block exactly.
+    dropout_probability:
+        Per-tick loss probability of the ``"dropout"`` process.
+    cascade_events:
+        Number of correlated failure events over the stream.
+    cascade_station_fraction:
+        Fraction of the fleet taken down by each event (a contiguous run of
+        station indices, modelling geographic correlation).
+    cascade_outage_fraction:
+        Mean outage length per event as a fraction of the streamed ticks
+        (each affected station draws its own exponential length around it,
+        so the windows overlap without being identical).
+    """
+
+    kind: str = "block"
+    block_start_fraction: float = 0.25
+    block_length_fraction: float = 0.5
+    dropout_probability: float = 0.1
+    cascade_events: int = 2
+    cascade_station_fraction: float = 0.5
+    cascade_outage_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.kind not in MISSINGNESS_KINDS:
+            raise ConfigurationError(
+                f"unknown missingness kind {self.kind!r} "
+                f"(choose from {MISSINGNESS_KINDS})"
+            )
+        for name in ("block_start_fraction", "block_length_fraction",
+                     "dropout_probability", "cascade_station_fraction",
+                     "cascade_outage_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.cascade_events < 0:
+            raise ConfigurationError(
+                f"cascade_events must be >= 0, got {self.cascade_events}"
+            )
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """Record-level delivery noise layered over the clean scenario stream.
+
+    Attributes
+    ----------
+    out_of_order_fraction:
+        Fraction of records delivered late: a selected record's arrival
+        slips behind up to ``max_delay_records`` later records (its
+        *timestamp* keeps the original clock, so downstream stale-record
+        policies can detect it; see
+        :meth:`repro.service.session.ImputationSession.push`).
+    max_delay_records:
+        Upper bound on how many positions a late record slips.
+    duplicate_fraction:
+        Fraction of records emitted twice (same payload, same timestamp —
+        an at-least-once transport retrying an ack).
+    clock_skew_seconds:
+        Per-station constant clock skew, drawn uniformly from
+        ``[-clock_skew_seconds, +clock_skew_seconds]`` and added to that
+        station's record timestamps (not to wire arrival order).
+    """
+
+    out_of_order_fraction: float = 0.0
+    max_delay_records: int = 8
+    duplicate_fraction: float = 0.0
+    clock_skew_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("out_of_order_fraction", "duplicate_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.max_delay_records < 1:
+            raise ConfigurationError(
+                f"max_delay_records must be >= 1, got {self.max_delay_records}"
+            )
+        if self.clock_skew_seconds < 0:
+            raise ConfigurationError(
+                f"clock_skew_seconds must be >= 0, got {self.clock_skew_seconds}"
+            )
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether this spec perturbs nothing (the clean-delivery default)."""
+        return (
+            self.out_of_order_fraction == 0.0
+            and self.duplicate_fraction == 0.0
+            and self.clock_skew_seconds == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class StationLayout:
+    """The station fleet and the per-station session configuration.
+
+    The synthetic per-station data (seeded sinusoid plus noise, one phase
+    per series) intentionally matches the gateway load generator's
+    historical workload builder, which is now implemented on top of this
+    layout — see :func:`repro.scenarios.generator.station_workloads`.
+
+    Attributes
+    ----------
+    num_stations:
+        Stations in the fleet (one serving session each).
+    series_per_station:
+        Series per station; the first is the imputation target.
+    window_length:
+        Priming history ticks per station (also TKCM's window ``w``).
+    records_per_station:
+        Streamed ticks per station after priming.
+    pattern_length, num_anchors, num_references:
+        TKCM serving configuration (``l``, ``k``, ``d``).
+    method:
+        Registered imputer every session is created with.
+    season_ticks:
+        Period of the synthetic sinusoid in ticks.
+    noise_scale:
+        Standard deviation of the additive noise.
+    """
+
+    num_stations: int = 4
+    series_per_station: int = 3
+    window_length: int = 144
+    records_per_station: int = 40
+    pattern_length: int = 12
+    num_anchors: int = 3
+    num_references: int = 2
+    method: str = "tkcm"
+    season_ticks: int = 48
+    noise_scale: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_stations < 1:
+            raise ConfigurationError(
+                f"num_stations must be >= 1, got {self.num_stations}"
+            )
+        if self.series_per_station < 1:
+            raise ConfigurationError(
+                f"series_per_station must be >= 1, got {self.series_per_station}"
+            )
+        if self.window_length < 1 or self.records_per_station < 1:
+            raise ConfigurationError(
+                "window_length and records_per_station must be >= 1"
+            )
+        if self.season_ticks < 2:
+            raise ConfigurationError(
+                f"season_ticks must be >= 2, got {self.season_ticks}"
+            )
+
+    @property
+    def total_records(self) -> int:
+        """Streamed records across the whole fleet (priming excluded)."""
+        return self.num_stations * self.records_per_station
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully described, reproducible serving scenario.
+
+    Composes a :class:`StationLayout`, an :class:`ArrivalSpec`, a
+    :class:`MissingnessSpec` and a :class:`PerturbationSpec` under a single
+    ``seed``.  The spec is pure data: materialising it is the generator's
+    job, and two processes materialising the same spec produce bit-identical
+    streams.
+    """
+
+    name: str = "scenario"
+    layout: StationLayout = field(default_factory=StationLayout)
+    arrivals: ArrivalSpec = field(default_factory=ArrivalSpec)
+    missingness: MissingnessSpec = field(default_factory=MissingnessSpec)
+    perturbations: PerturbationSpec = field(default_factory=PerturbationSpec)
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a non-empty name")
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view of the spec (JSON-serialisable)."""
+        return {
+            "format": SPEC_FORMAT,
+            "name": self.name,
+            "seed": int(self.seed),
+            "layout": dataclasses.asdict(self.layout),
+            "arrivals": dataclasses.asdict(self.arrivals),
+            "missingness": dataclasses.asdict(self.missingness),
+            "perturbations": dataclasses.asdict(self.perturbations),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (validating as it goes)."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError("scenario payload must be a JSON object")
+        version = payload.get("format")
+        if version != SPEC_FORMAT:
+            raise ConfigurationError(
+                f"unsupported scenario format {version!r} "
+                f"(expected {SPEC_FORMAT})"
+            )
+        try:
+            return cls(
+                name=str(payload["name"]),
+                seed=int(payload["seed"]),
+                layout=StationLayout(**payload["layout"]),
+                arrivals=ArrivalSpec(**payload["arrivals"]),
+                missingness=MissingnessSpec(**payload["missingness"]),
+                perturbations=PerturbationSpec(**payload["perturbations"]),
+            )
+        except (KeyError, TypeError) as error:
+            raise ConfigurationError(
+                f"malformed scenario payload: {error}"
+            ) from error
+
+    def to_json(self, indent: int = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"scenario JSON does not parse: {error}"
+            ) from error
+        return cls.from_dict(payload)
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        """A copy of this spec with top-level fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+
+# --------------------------------------------------------------------------- #
+# Arrival-time materialisation
+# --------------------------------------------------------------------------- #
+def arrival_times(spec: ArrivalSpec, count: int, seed: SeedLike) -> np.ndarray:
+    """Absolute arrival times (seconds from start) of ``count`` records.
+
+    Deterministic from ``(spec, count, seed)``.  The stochastic processes
+    invert the cumulative intensity function Λ(t) against unit-rate
+    exponential marks (the standard exact construction of an inhomogeneous
+    Poisson process), so no time-stepping approximation is involved.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return np.zeros(0, dtype=np.float64)
+    if spec.process == "steady":
+        return np.arange(count, dtype=np.float64) / spec.rate
+    rng = np.random.default_rng(seed)
+    if spec.process == "poisson":
+        return np.cumsum(rng.exponential(1.0 / spec.rate, size=count))
+    if spec.process == "ramp":
+        multipliers = np.linspace(
+            spec.ramp_from, spec.ramp_to, num=max(count, 2)
+        )[:count]
+        return np.cumsum(1.0 / (multipliers * spec.rate))
+    marks = np.cumsum(rng.exponential(1.0, size=count))
+    if spec.process == "diurnal":
+        return _invert_diurnal(spec, marks)
+    return _invert_bursty(spec, marks, rng)
+
+
+def _invert_diurnal(spec: ArrivalSpec, marks: np.ndarray) -> np.ndarray:
+    """Invert the sinusoidal intensity Λ(t) on a dense grid.
+
+    Λ(t) = rate · (t − a·(P/2π)·(cos(2πt/P) − 1)·(−1)) is strictly
+    increasing for amplitude a < 1, so linear interpolation of its inverse
+    on a grid much finer than the period is exact to well below one
+    inter-arrival time.
+    """
+    period = spec.diurnal_period_seconds
+    amplitude = spec.diurnal_amplitude
+    # λ(t) = rate·(1 + a·sin(2πt/P)) integrates to
+    # Λ(t) = rate·t + rate·a·(P/2π)·(1 − cos(2πt/P)): mean rate `rate`, and
+    # strictly increasing for a < 1.  Λ grows at least rate·(1 − a) per
+    # second, which bounds the horizon needed to cover the last mark.
+    horizon = marks[-1] / (spec.rate * (1.0 - amplitude)) + period
+    grid = np.linspace(0.0, horizon, num=max(4096, int(256 * horizon / period)))
+    cumulative = spec.rate * grid + spec.rate * amplitude * (
+        period / (2.0 * np.pi)
+    ) * (1.0 - np.cos(2.0 * np.pi * grid / period))
+    return np.interp(marks, cumulative, grid)
+
+
+def _invert_bursty(
+    spec: ArrivalSpec, marks: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Invert the on/off modulated intensity (piecewise-linear Λ) exactly.
+
+    The state alternates ON/OFF with exponential holding times; Λ(t) is
+    piecewise linear with slope ``rate·on`` or ``rate·off`` per segment, so
+    ``np.interp`` over the segment boundaries inverts it exactly.
+    """
+    on_rate = spec.rate * spec.burst_multiplier
+    off_rate = spec.rate * spec._off_multiplier()
+    # Guard: a zero off-rate makes Λ flat in OFF segments; keep it barely
+    # positive so the inverse stays single-valued (arrivals in an OFF
+    # segment are then vanishingly rare rather than impossible).
+    off_rate = max(off_rate, spec.rate * 1e-6)
+    target = marks[-1]
+    boundaries = [0.0]
+    cumulative = [0.0]
+    elapsed = 0.0
+    accumulated = 0.0
+    state_on = True
+    while accumulated < target:
+        mean = spec.mean_burst_seconds if state_on else spec.mean_idle_seconds
+        duration = float(rng.exponential(mean))
+        slope = on_rate if state_on else off_rate
+        elapsed += duration
+        accumulated += slope * duration
+        boundaries.append(elapsed)
+        cumulative.append(accumulated)
+        state_on = not state_on
+    return np.interp(marks, np.asarray(cumulative), np.asarray(boundaries))
+
+
+# --------------------------------------------------------------------------- #
+# Missingness materialisation
+# --------------------------------------------------------------------------- #
+def missing_masks(
+    spec: MissingnessSpec, num_stations: int, ticks: int, seed: SeedLike
+) -> np.ndarray:
+    """Boolean ``(stations, ticks)`` mask: True where the target series is lost.
+
+    Deterministic from ``(spec, num_stations, ticks, seed)``.  The mask
+    applies to each station's *target* (first) series; reference series keep
+    streaming, which is the paper's continuous-imputation setting.
+    """
+    masks = np.zeros((num_stations, ticks), dtype=bool)
+    if ticks == 0 or spec.kind == "none":
+        return masks
+    if spec.kind == "block":
+        # Floor semantics match the historical loadgen gap exactly
+        # (start = ticks // 4, length = ticks // 2 at the defaults).
+        start = int(spec.block_start_fraction * ticks)
+        length = max(1, int(spec.block_length_fraction * ticks))
+        masks[:, start: start + length] = True
+        return masks
+    rng = np.random.default_rng(seed)
+    if spec.kind == "dropout":
+        masks |= rng.random((num_stations, ticks)) < spec.dropout_probability
+        return masks
+    # Correlated cascades: each event fells a contiguous run of stations for
+    # overlapping windows around one outage epoch.
+    affected = max(1, int(round(spec.cascade_station_fraction * num_stations)))
+    mean_outage = max(1.0, spec.cascade_outage_fraction * ticks)
+    for _ in range(spec.cascade_events):
+        epoch = int(rng.integers(0, ticks))
+        first = int(rng.integers(0, max(1, num_stations - affected + 1)))
+        for station in range(first, min(first + affected, num_stations)):
+            length = max(1, int(round(float(rng.exponential(mean_outage)))))
+            offset = int(rng.integers(0, max(1, length // 4 + 1)))
+            start = max(0, epoch - offset)
+            masks[station, start: start + length] = True
+    return masks
+
+
+# --------------------------------------------------------------------------- #
+# Named scenario families
+# --------------------------------------------------------------------------- #
+def _family(name: str, arrivals: ArrivalSpec, missingness: MissingnessSpec,
+            perturbations: Optional[PerturbationSpec] = None) -> ScenarioSpec:
+    """Build one named family entry with the default layout."""
+    return ScenarioSpec(
+        name=name,
+        arrivals=arrivals,
+        missingness=missingness,
+        perturbations=perturbations or PerturbationSpec(),
+    )
+
+
+#: The named scenario families the benchmarks and CLI exercise.  Each is a
+#: complete :class:`ScenarioSpec` at the default layout; use
+#: :func:`family_spec` to resize one without mutating these.
+SCENARIO_FAMILIES: Dict[str, ScenarioSpec] = {
+    # The historical benchmark shape: steady arrivals, one clean block.
+    "steady-block": _family(
+        "steady-block", ArrivalSpec(process="steady"), MissingnessSpec(kind="block")
+    ),
+    # Memoryless arrivals over the same clean block.
+    "poisson-block": _family(
+        "poisson-block", ArrivalSpec(process="poisson"), MissingnessSpec(kind="block")
+    ),
+    # The stress shape of the chaos drills: traffic arrives in bursts while
+    # correlated failures take half the fleet down together.
+    "bursty-cascade": _family(
+        "bursty-cascade",
+        ArrivalSpec(process="bursty"),
+        MissingnessSpec(kind="cascade"),
+    ),
+    # A compressed day of traffic with independent sensor dropout.
+    "diurnal-dropout": _family(
+        "diurnal-dropout",
+        ArrivalSpec(process="diurnal"),
+        MissingnessSpec(kind="dropout"),
+    ),
+    # Clean block, hostile transport: late, duplicated, skewed records.
+    "unreliable-delivery": _family(
+        "unreliable-delivery",
+        ArrivalSpec(process="poisson"),
+        MissingnessSpec(kind="block"),
+        PerturbationSpec(
+            out_of_order_fraction=0.05,
+            max_delay_records=6,
+            duplicate_fraction=0.05,
+            clock_skew_seconds=0.25,
+        ),
+    ),
+}
+
+
+def list_families() -> list:
+    """Names of the predefined scenario families, sorted."""
+    return sorted(SCENARIO_FAMILIES)
+
+
+def family_spec(
+    name: str,
+    *,
+    seed: Optional[int] = None,
+    layout: Optional[StationLayout] = None,
+    rate: Optional[float] = None,
+) -> ScenarioSpec:
+    """One predefined family, optionally re-seeded, re-laid-out, or re-rated.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` for unknown names
+    (the valid ones are in :func:`list_families`).
+    """
+    try:
+        spec = SCENARIO_FAMILIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario family {name!r}; "
+            f"available: {', '.join(list_families())}"
+        ) from None
+    if seed is not None:
+        spec = spec.with_overrides(seed=int(seed))
+    if layout is not None:
+        spec = spec.with_overrides(layout=layout)
+    if rate is not None:
+        spec = spec.with_overrides(
+            arrivals=dataclasses.replace(spec.arrivals, rate=float(rate))
+        )
+    return spec

@@ -226,9 +226,16 @@ class ImputationService:
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
-    def push(self, session_id: str, tick: Tick) -> List[TickResult]:
-        """Route one record to its session; see :meth:`ImputationSession.push`."""
-        return self.session(session_id).push(tick)
+    def push(
+        self, session_id: str, tick: Tick, timestamp: Optional[float] = None
+    ) -> List[TickResult]:
+        """Route one record to its session; see :meth:`ImputationSession.push`.
+
+        ``timestamp`` opts the push into the session's duplicate/stale
+        ingest policy (equal timestamps drop as duplicates, older ones as
+        stale); ``None`` keeps arrival-order semantics.
+        """
+        return self.session(session_id).push(tick, timestamp=timestamp)
 
     def push_block(self, session_id: str, block) -> List[TickResult]:
         """Route a block of records; see :meth:`ImputationSession.push_block`."""

@@ -125,6 +125,9 @@ class ImputationSession:
         self.warmup_ticks = int(warmup_ticks)
         self._tick = 0
         self._journal = None
+        self._last_timestamp: Optional[float] = None
+        self._duplicates_dropped = 0
+        self._stale_dropped = 0
 
     # ------------------------------------------------------------------ #
     # Accounting
@@ -138,6 +141,29 @@ class ImputationSession:
     def in_warmup(self) -> bool:
         """Whether the next pushed tick still falls inside the warm-up."""
         return self._tick < self.warmup_ticks
+
+    @property
+    def last_timestamp(self) -> Optional[float]:
+        """Timestamp of the last accepted timestamped push (``None`` if never)."""
+        return self._last_timestamp
+
+    def stats(self) -> Dict[str, object]:
+        """Session accounting, JSON-serialisable.
+
+        Includes the ingest-policy counters: ``duplicates_dropped`` (pushes
+        whose timestamp repeated the last accepted one) and
+        ``stale_dropped`` (pushes whose timestamp was older) — see
+        :meth:`push`.
+        """
+        return {
+            "method": self.method,
+            "series": len(self.series_names),
+            "ticks_seen": self._tick,
+            "warmup_ticks": self.warmup_ticks,
+            "last_timestamp": self._last_timestamp,
+            "duplicates_dropped": self._duplicates_dropped,
+            "stale_dropped": self._stale_dropped,
+        }
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -171,7 +197,9 @@ class ImputationSession:
             # tick-loop fallback above appended).
             self._journal.checkpoint(self)
 
-    def push(self, tick: Tick) -> List[TickResult]:
+    def push(
+        self, tick: Tick, timestamp: Optional[float] = None
+    ) -> List[TickResult]:
         """Consume one record and return the imputations it produced.
 
         Parameters
@@ -179,16 +207,38 @@ class ImputationSession:
         tick:
             ``{series: value}`` mapping (missing = ``NaN`` or absent) or a
             value sequence aligned with :attr:`series_names`.
+        timestamp:
+            Optional producer timestamp (seconds; any monotonic clock the
+            producer owns).  When given, the session enforces its ingest
+            policy: a timestamp *equal* to the last accepted one marks a
+            duplicate delivery and the record is dropped (counted in
+            ``stats()["duplicates_dropped"]``); an *older* timestamp marks
+            a stale (late, out-of-order) record and is dropped likewise
+            (``stats()["stale_dropped"]``).  Dropped records consume no
+            tick, touch no imputer state, and write nothing to the journal
+            — an at-least-once transport retrying a push is therefore
+            harmless.  ``None`` (the default) bypasses the policy entirely,
+            preserving the historical arrival-order semantics.
 
         Returns
         -------
         list of TickResult
-            Empty when nothing was missing or the session is still warming
-            up; otherwise a single :class:`~repro.results.TickResult` for
-            this tick.  A list is returned so ``push`` and
-            :meth:`push_block` compose uniformly.
+            Empty when nothing was missing, the session is still warming
+            up, or the record was dropped by the timestamp policy;
+            otherwise a single :class:`~repro.results.TickResult` for this
+            tick.  A list is returned so ``push`` and :meth:`push_block`
+            compose uniformly.
         """
+        if timestamp is not None and self._last_timestamp is not None:
+            if timestamp == self._last_timestamp:
+                self._duplicates_dropped += 1
+                return []
+            if timestamp < self._last_timestamp:
+                self._stale_dropped += 1
+                return []
         values = self._as_mapping(tick)
+        if timestamp is not None:
+            self._last_timestamp = float(timestamp)
         index = self._tick
         outputs = self.imputer.observe(values)
         self._tick = index + 1
@@ -305,6 +355,13 @@ class ImputationSession:
             "warmup_ticks": self.warmup_ticks,
             "tick": self._tick,
             "imputer": self.imputer,
+            # Ingest-policy state travels with the session so a migrated or
+            # recovered session keeps rejecting the same stale/duplicate
+            # records.  Additive keys: version stays 1 and restore()
+            # defaults them, so pre-policy blobs remain restorable.
+            "last_timestamp": self._last_timestamp,
+            "duplicates_dropped": self._duplicates_dropped,
+            "stale_dropped": self._stale_dropped,
         }
         return pickle.dumps(payload, protocol=SNAPSHOT_PICKLE_PROTOCOL)
 
@@ -334,6 +391,9 @@ class ImputationSession:
         )
         session.method = payload["method"]
         session._tick = payload["tick"]
+        session._last_timestamp = payload.get("last_timestamp")
+        session._duplicates_dropped = payload.get("duplicates_dropped", 0)
+        session._stale_dropped = payload.get("stale_dropped", 0)
         return session
 
     def reset(self) -> None:
@@ -341,6 +401,9 @@ class ImputationSession:
         if hasattr(self.imputer, "reset"):
             self.imputer.reset()
         self._tick = 0
+        self._last_timestamp = None
+        self._duplicates_dropped = 0
+        self._stale_dropped = 0
         if self._journal is not None:
             # The durable state must reflect the reset, or recovery would
             # resurrect the pre-reset stream.

@@ -1,0 +1,212 @@
+"""Tests of the fault-injection seam (satellite b): an injected disk-full
+error on any durability write must never corrupt the manifest or a previous
+checkpoint version, and recovery afterwards must be exact."""
+
+from __future__ import annotations
+
+import errno
+
+import numpy as np
+import pytest
+
+from repro.durability import (
+    CheckpointStore,
+    DurabilityConfig,
+    DurabilityPolicy,
+    FaultInjector,
+    WriteAheadLog,
+)
+from repro.exceptions import DurabilityError
+from repro.service import ImputationService
+
+
+class TestFaultInjector:
+    def test_disarmed_injector_is_inert(self):
+        injector = FaultInjector(armed=False)
+        injector.before_write("checkpoint", "/x")
+        assert injector.writes_seen == 0 and injector.faults_fired == 0
+
+    def test_after_countdown(self):
+        injector = FaultInjector(after=2, failures=1)
+        injector.before_write("checkpoint", "/x")
+        injector.before_write("checkpoint", "/x")
+        with pytest.raises(OSError) as caught:
+            injector.before_write("checkpoint", "/x")
+        assert caught.value.errno == errno.ENOSPC
+        assert injector.writes_seen == 3
+        assert injector.faults_fired == 1
+        # Single-failure injectors disarm themselves after firing.
+        assert not injector.armed
+        injector.before_write("checkpoint", "/x")  # no raise
+
+    def test_operation_filter(self):
+        injector = FaultInjector(operations="manifest")
+        injector.before_write("checkpoint", "/x")  # not matching: passes
+        with pytest.raises(OSError):
+            injector.before_write("manifest", "/x")
+
+    def test_persistent_failures(self):
+        injector = FaultInjector(failures=-1)
+        for _ in range(5):
+            with pytest.raises(OSError):
+                injector.before_write("wal", "/x")
+        assert injector.faults_fired == 5
+        injector.disarm()
+        injector.before_write("wal", "/x")  # space again
+
+    def test_custom_errno(self):
+        injector = FaultInjector(error_code=errno.EIO)
+        with pytest.raises(OSError) as caught:
+            injector.before_write("checkpoint", "/x")
+        assert caught.value.errno == errno.EIO
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault operations"):
+            FaultInjector(operations=("checkpoint", "ledger"))
+
+    def test_rearm(self):
+        injector = FaultInjector(armed=False)
+        injector.arm(after=0, failures=1)
+        with pytest.raises(OSError):
+            injector.before_write("checkpoint", "/x")
+
+
+class TestStoreUnderFaults:
+    def test_failed_checkpoint_write_preserves_previous_version(self, tmp_path):
+        """The regression this seam exists for: an ENOSPC mid-checkpoint
+        must leave the manifest and every previously retained version fully
+        readable and verified."""
+        store = CheckpointStore(tmp_path)
+        v1 = store.write_checkpoint("s", b"state-1", tick=10)
+        v2 = store.write_checkpoint("s", b"state-2", tick=20)
+
+        store.fault_injector = FaultInjector(operations="checkpoint")
+        with pytest.raises(DurabilityError, match="injected fault"):
+            store.write_checkpoint("s", b"state-3", tick=30)
+
+        # Nothing changed: same retained versions, blobs verify, latest is v2.
+        assert [info.version for info in store.checkpoints("s")] == [v1, v2]
+        assert store.read_checkpoint("s", v1) == b"state-1"
+        assert store.read_checkpoint("s") == b"state-2"
+        assert store.latest_checkpoint("s").tick == 20
+
+        # And the store recovers as soon as the disk has space again.
+        store.fault_injector = None
+        v3 = store.write_checkpoint("s", b"state-3", tick=30)
+        assert store.read_checkpoint("s", v3) == b"state-3"
+
+    def test_failed_manifest_write_never_commits_the_blob(self, tmp_path):
+        """A checkpoint whose manifest update failed must not be visible:
+        the manifest still lists only the previous versions, and reads keep
+        returning the previous blob."""
+        store = CheckpointStore(tmp_path)
+        store.write_checkpoint("s", b"state-1", tick=10)
+        store.fault_injector = FaultInjector(operations="manifest")
+        with pytest.raises(DurabilityError, match="injected fault"):
+            store.write_checkpoint("s", b"state-2", tick=20)
+        assert [info.tick for info in store.checkpoints("s")] == [10]
+        assert store.read_checkpoint("s") == b"state-1"
+
+    def test_injector_can_be_constructed_with_the_store(self, tmp_path):
+        injector = FaultInjector(armed=False)
+        store = CheckpointStore(tmp_path, fault_injector=injector)
+        store.write_checkpoint("s", b"x", tick=1)  # disarmed: fine
+        injector.arm()
+        with pytest.raises(DurabilityError):
+            store.write_checkpoint("s", b"y", tick=2)
+
+
+class TestWalUnderFaults:
+    def test_injected_wal_append_raises_durability_error(self, tmp_path):
+        injector = FaultInjector(operations="wal", after=1)
+        wal = WriteAheadLog(tmp_path / "wal.log", fault_injector=injector)
+        try:
+            wal.append_block(np.array([[1.0, 2.0]]))
+            with pytest.raises(DurabilityError):
+                wal.append_block(np.array([[3.0, 4.0]]))
+        finally:
+            wal.close()
+
+    def test_journal_rotation_carries_the_injector(self, tmp_path):
+        """A WAL rotated by SessionJournal.checkpoint() must inherit the
+        store's injector, so wal-targeted drills cover rotated logs too."""
+        config = DurabilityConfig(
+            tmp_path, policy=DurabilityPolicy(checkpoint_every=2))
+        with ImputationService(durability=config) as service:
+            service.store.fault_injector = FaultInjector(
+                operations="wal", armed=False)
+            session = service.create_session(
+                "s", method="locf", series_names=["a", "b"])
+            service.push("s", {"a": 1.0, "b": 1.0})
+            service.push("s", {"a": 2.0, "b": 2.0})  # checkpoint rotates WAL
+            service.store.fault_injector.arm()
+            with pytest.raises(DurabilityError):
+                service.push("s", {"a": 3.0, "b": 3.0})
+            service.store.fault_injector.disarm()
+            assert session.journal is not None
+
+
+class TestRecoveryAfterFault:
+    def test_service_recovers_exactly_after_failed_checkpoint(self, tmp_path):
+        """End-to-end: a service whose checkpoint write failed mid-stream
+        still recovers to a state whose later imputations are bit-identical
+        to an uninterrupted run."""
+        series = ["a", "b"]
+
+        def drive(service, count, start=0):
+            collected = []
+            for i in range(start, start + count):
+                value = float("nan") if i % 4 == 3 else float(i)
+                collected.extend(
+                    service.push("s", {"a": value, "b": float(i) / 2.0}))
+            return collected
+
+        # Uninterrupted reference.
+        with ImputationService() as reference:
+            reference.create_session("s", method="locf", series_names=series)
+            expected = drive(reference, 24)
+
+        config = DurabilityConfig(
+            tmp_path / "faulty", policy=DurabilityPolicy(checkpoint_every=8))
+        injector = FaultInjector(operations=("checkpoint", "manifest"),
+                                 armed=False)
+        with ImputationService(durability=config) as durable:
+            durable.store.fault_injector = injector
+            durable.create_session("s", method="locf", series_names=series)
+            collected = drive(durable, 12)
+            injector.arm(failures=1)
+            position = 12
+            # The push crossing the checkpoint boundary raises; its record
+            # was applied and WAL-logged, so nothing is lost on replay.
+            while True:
+                value = (float("nan") if position % 4 == 3
+                         else float(position))
+                try:
+                    collected.extend(durable.push(
+                        "s", {"a": value, "b": float(position) / 2.0}))
+                except DurabilityError:
+                    position += 1
+                    break
+                position += 1
+            injector.disarm()
+
+        with ImputationService(durability=config) as recovered:
+            report = recovered.recover()
+            assert report.records_replayed > 0
+            # The failed push's record was WAL-logged before the checkpoint
+            # rotation raised, so recovery replays it: only its (returned,
+            # never-delivered) result can go missing from `collected`.
+            assert recovered.session("s").ticks_seen == position
+            collected.extend(drive(recovered, 24 - position, start=position))
+
+        flatten = lambda ticks: {  # noqa: E731
+            (tick.index, name): estimate.value
+            for tick in ticks
+            for name, estimate in tick.estimates.items()
+        }
+        run, want = flatten(collected), flatten(expected)
+        missing = set(want) - set(run)
+        assert set(run) <= set(want)
+        # At most the failed push's own tick may be missing.
+        assert len({index for index, _ in missing}) <= 1
+        assert all(run[key] == want[key] for key in run)

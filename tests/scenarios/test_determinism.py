@@ -1,0 +1,97 @@
+"""Satellite (d): the same spec + seed materialises bit-identical streams,
+even in a different process holding nothing but the spec's JSON."""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioSpec,
+    StationLayout,
+    family_spec,
+    list_families,
+    record_stream,
+    station_workloads,
+)
+
+#: Small layout so every family materialises in milliseconds.
+LAYOUT = StationLayout(num_stations=3, series_per_station=2,
+                       window_length=48, records_per_station=20)
+
+
+def stream_digest(spec: ScenarioSpec) -> str:
+    """SHA-256 over every byte a materialised scenario produces.
+
+    Covers the station histories (synthesis), the record payloads
+    (missingness), and the stream's order, timestamps, arrivals and
+    duplicate flags (arrivals + perturbations) — any nondeterminism
+    anywhere in the pipeline changes the digest.
+    """
+    digest = hashlib.sha256()
+    for workload in station_workloads(spec):
+        digest.update(workload.station.encode())
+        for name in workload.series_names:
+            digest.update(name.encode())
+            digest.update(workload.history[name].tobytes())
+    for record in record_stream(spec):
+        digest.update(record.station.encode())
+        digest.update(str(record.ordinal).encode())
+        digest.update(record.row.tobytes())
+        digest.update(repr((record.timestamp, record.arrival,
+                            record.duplicate)).encode())
+    return digest.hexdigest()
+
+
+# Runs in a fresh interpreter: rebuild the spec from JSON on stdin, print the
+# digest.  The child imports THIS module for stream_digest, so the hashing
+# logic cannot drift between parent and child.
+_CHILD = """
+import sys
+from repro.scenarios import ScenarioSpec
+from tests.scenarios.test_determinism import stream_digest
+
+spec = ScenarioSpec.from_json(sys.stdin.read())
+print(stream_digest(spec))
+"""
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", sorted(list_families()))
+    def test_same_process_repeatability(self, family):
+        spec = family_spec(family, seed=97, layout=LAYOUT)
+        assert stream_digest(spec) == stream_digest(spec)
+
+    def test_different_seeds_differ(self):
+        assert stream_digest(family_spec("poisson-block", seed=1, layout=LAYOUT)) != \
+               stream_digest(family_spec("poisson-block", seed=2, layout=LAYOUT))
+
+    @pytest.mark.parametrize(
+        "family", ["steady-block", "bursty-cascade", "unreliable-delivery"])
+    def test_cross_process_bit_identical(self, family, tmp_path):
+        """A fresh interpreter holding only the JSON reproduces the stream."""
+        spec = family_spec(family, seed=97, layout=LAYOUT)
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        # The child must resolve both `repro` and `tests.scenarios` no matter
+        # how the parent run found them (editable install vs PYTHONPATH=src).
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo_root), str(repo_root / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", _CHILD],
+            input=spec.to_json(),
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=repo_root,
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip() == stream_digest(spec)

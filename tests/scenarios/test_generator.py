@@ -1,0 +1,272 @@
+"""Tests of the scenario generator: fleet synthesis, record streams,
+the ingest-policy mirror, and the drive-point adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.bench import flatten_results
+from repro.exceptions import ConfigurationError
+from repro.registry import make_imputer
+from repro.scenarios import (
+    PerturbationSpec,
+    ScenarioSpec,
+    StationLayout,
+    apply_ingest_policy,
+    delivered_stream,
+    family_spec,
+    grouped_fleet,
+    record_stream,
+    run_scenario,
+    scenario_chunks,
+    station_workloads,
+    to_stream,
+)
+from repro.service import ImputationService
+from repro.streams import StreamingImputationEngine
+
+SMALL = StationLayout(num_stations=3, series_per_station=3,
+                      window_length=96, records_per_station=24)
+
+
+class TestStationWorkloads:
+    def test_fleet_shape(self):
+        fleet = station_workloads(ScenarioSpec(layout=SMALL, seed=4))
+        assert len(fleet) == 3
+        assert len({w.station for w in fleet}) == 3
+        for workload in fleet:
+            assert len(workload.series_names) == 3
+            assert all(len(h) == 96 for h in workload.history.values())
+            assert len(workload.rows) == 24
+            assert workload.history_ticks == 96
+            assert workload.method == "tkcm"
+            target = workload.series_names[0]
+            assert workload.params["reference_rankings"] == {
+                target: workload.series_names[1:]
+            }
+
+    def test_block_missingness_darkens_only_the_target(self):
+        fleet = station_workloads(ScenarioSpec(layout=SMALL, seed=4))
+        rows = np.stack(fleet[0].rows)
+        assert np.isnan(rows[:, 0]).sum() == 24 // 2
+        assert not np.isnan(rows[:, 1:]).any()
+        # History stays clean: the outage lives in the streamed portion.
+        assert not any(np.isnan(h).any() for h in fleet[0].history.values())
+
+    def test_station_data_is_seed_deterministic(self):
+        a = station_workloads(ScenarioSpec(layout=SMALL, seed=4))
+        b = station_workloads(ScenarioSpec(layout=SMALL, seed=4))
+        for wa, wb in zip(a, b):
+            np.testing.assert_array_equal(np.stack(wa.rows), np.stack(wb.rows))
+            for name in wa.series_names:
+                np.testing.assert_array_equal(wa.history[name], wb.history[name])
+
+    def test_grouped_fleet(self):
+        fleet = station_workloads(ScenarioSpec(layout=SMALL, seed=4))
+        groups = grouped_fleet(fleet, 2)
+        assert [len(g) for g in groups] == [2, 1]
+        with pytest.raises(ConfigurationError, match="group_size"):
+            grouped_fleet(fleet, 0)
+
+
+class TestRecordStream:
+    def test_clean_stream_is_round_robin_with_monotone_arrivals(self):
+        spec = ScenarioSpec(layout=SMALL, seed=4)
+        records = record_stream(spec)
+        assert len(records) == SMALL.total_records
+        # Identity perturbations: exact round-robin, no duplicates.
+        for position, record in enumerate(records):
+            assert record.ordinal == position // SMALL.num_stations
+            assert not record.duplicate
+        arrivals = [record.arrival for record in records]
+        assert arrivals == sorted(arrivals)
+
+    def test_perturbed_stream_has_late_and_duplicate_records(self):
+        spec = family_spec(
+            "unreliable-delivery", seed=11,
+            layout=StationLayout(num_stations=4, records_per_station=40),
+        )
+        records = record_stream(spec)
+        duplicates = [r for r in records if r.duplicate]
+        assert duplicates, "duplicate_fraction=0.05 produced no duplicates"
+        assert len(records) == spec.layout.total_records + len(duplicates)
+        # A duplicate repeats its original's ordinal, payload and timestamp.
+        by_station = {}
+        for record in records:
+            if record.duplicate:
+                original = by_station[(record.station, record.ordinal)]
+                assert record.timestamp == original.timestamp
+                np.testing.assert_array_equal(record.row, original.row)
+            else:
+                by_station[(record.station, record.ordinal)] = record
+        # Late delivery: at least one station sees an ordinal regression.
+        regressions = 0
+        last = {}
+        for record in records:
+            if not record.duplicate:
+                if record.ordinal < last.get(record.station, -1):
+                    regressions += 1
+                last[record.station] = max(
+                    last.get(record.station, -1), record.ordinal)
+        assert regressions > 0
+
+    def test_clock_skew_shifts_whole_stations(self):
+        spec = ScenarioSpec(
+            layout=SMALL, seed=4,
+            perturbations=PerturbationSpec(clock_skew_seconds=0.5),
+        )
+        records = record_stream(spec)
+        offsets = {}
+        tick_seconds = SMALL.num_stations / spec.arrivals.rate
+        for record in records:
+            offset = record.timestamp - record.ordinal * tick_seconds
+            offsets.setdefault(record.station, set()).add(round(offset, 12))
+        # One constant offset per station, not all zero, within the bound.
+        assert all(len(values) == 1 for values in offsets.values())
+        flat = [next(iter(values)) for values in offsets.values()]
+        assert any(offset != 0.0 for offset in flat)
+        assert all(abs(offset) <= 0.5 for offset in flat)
+
+    def test_deterministic_from_spec(self):
+        spec = family_spec("unreliable-delivery", seed=11)
+        a = record_stream(spec)
+        b = record_stream(spec)
+        assert [(r.station, r.ordinal, r.duplicate, r.timestamp, r.arrival)
+                for r in a] == \
+               [(r.station, r.ordinal, r.duplicate, r.timestamp, r.arrival)
+                for r in b]
+
+
+class TestIngestPolicy:
+    def test_clean_stream_passes_untouched(self):
+        records = record_stream(ScenarioSpec(layout=SMALL, seed=4))
+        delivered, stats = apply_ingest_policy(records)
+        assert delivered == records
+        assert stats.delivered == len(records)
+        assert stats.duplicates_dropped == 0 and stats.stale_dropped == 0
+
+    def test_duplicates_and_stale_records_drop(self):
+        spec = family_spec(
+            "unreliable-delivery", seed=11,
+            layout=StationLayout(num_stations=4, records_per_station=40),
+        )
+        records = record_stream(spec)
+        delivered, stats = apply_ingest_policy(records)
+        assert stats.duplicates_dropped > 0
+        assert stats.stale_dropped > 0
+        assert stats.delivered == len(records) - \
+            stats.duplicates_dropped - stats.stale_dropped
+        # Per station, delivered timestamps are strictly increasing.
+        last = {}
+        for record in delivered:
+            if record.station in last:
+                assert record.timestamp > last[record.station]
+            last[record.station] = record.timestamp
+
+    def test_policy_mirrors_the_session_policy_exactly(self):
+        """Satellite (c): the edge filter and ImputationSession.push agree.
+
+        Pushing the *raw* perturbed stream with timestamps (the session
+        drops duplicates/stale records itself) must produce bit-identical
+        results to pushing the pre-filtered delivered stream without
+        timestamps.
+        """
+        spec = family_spec(
+            "unreliable-delivery", seed=11,
+            layout=StationLayout(num_stations=2, records_per_station=30),
+        )
+        workloads = station_workloads(spec)
+
+        def fresh_service():
+            service = ImputationService()
+            for workload in workloads:
+                service.create_session(
+                    workload.station, method=workload.method,
+                    series_names=workload.series_names, **workload.params)
+                service.prime(workload.station, workload.history)
+            return service
+
+        timestamped = fresh_service()
+        results_raw = {w.station: [] for w in workloads}
+        for record in record_stream(spec):
+            results_raw[record.station].extend(
+                timestamped.push(record.station, record.row,
+                                 timestamp=record.timestamp))
+
+        filtered = fresh_service()
+        results_filtered = {w.station: [] for w in workloads}
+        for record in delivered_stream(spec):
+            results_filtered[record.station].extend(
+                filtered.push(record.station, record.row))
+
+        assert flatten_results(results_raw) == flatten_results(results_filtered)
+        # And the sessions actually dropped something.
+        dropped = sum(
+            timestamped.session(w.station).stats()["duplicates_dropped"]
+            + timestamped.session(w.station).stats()["stale_dropped"]
+            for w in workloads
+        )
+        assert dropped > 0
+
+
+class TestDrivePointAdapters:
+    def test_to_stream_concatenates_history_and_rows(self):
+        workload = station_workloads(ScenarioSpec(layout=SMALL, seed=4))[0]
+        stream = to_stream(workload)
+        assert len(stream) == 96 + 24
+        assert list(stream.names) == workload.series_names
+        np.testing.assert_array_equal(
+            stream.to_matrix(96), np.stack(workload.rows))
+
+    def test_batch_engine_parity_with_session_push(self):
+        """The same workload through run_batch and through session pushes
+        produces identical estimates — the adapters change nothing."""
+        spec = family_spec(
+            "steady-block", seed=6,
+            layout=StationLayout(num_stations=1, records_per_station=24,
+                                 window_length=96),
+        )
+        workload = station_workloads(spec)[0]
+
+        imputer = make_imputer("tkcm", series_names=workload.series_names,
+                               **workload.params)
+        run = StreamingImputationEngine(imputer).run_batch(
+            to_stream(workload), prime_until=workload.history_ticks)
+        engine_flat = {
+            (workload.station, index, series): (est.value, est.method)
+            for series, per_index in run.estimates.items()
+            for index, est in per_index.items()
+        }
+
+        with ImputationService() as service:
+            results = run_scenario(spec, service)
+        assert flatten_results(results) == engine_flat
+
+    def test_run_scenario_unpipelined_service(self):
+        spec = ScenarioSpec(layout=SMALL, seed=4)
+        with ImputationService() as service:
+            results = run_scenario(spec, service)
+        assert set(results) == {w.station for w in station_workloads(spec)}
+        assert sum(len(ticks) for ticks in results.values()) > 0
+
+
+class TestScenarioChunks:
+    def test_chunks_partition_the_stream(self):
+        records = record_stream(ScenarioSpec(layout=SMALL, seed=4))
+        chunks = scenario_chunks(records, 5)
+        assert sum(chunks, []) == records
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_records(self):
+        records = record_stream(ScenarioSpec(
+            layout=StationLayout(num_stations=1, records_per_station=3),
+            seed=1))
+        chunks = scenario_chunks(records, 10)
+        assert sum(chunks, []) == records
+        assert all(chunk for chunk in chunks)
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ConfigurationError, match="chunks"):
+            scenario_chunks([], 0)

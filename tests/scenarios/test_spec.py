@@ -1,0 +1,253 @@
+"""Tests of the scenario specification layer: validation, serialisation,
+arrival processes and missingness masks."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    ARRIVAL_PROCESSES,
+    MISSINGNESS_KINDS,
+    ArrivalSpec,
+    MissingnessSpec,
+    PerturbationSpec,
+    ScenarioSpec,
+    StationLayout,
+    arrival_times,
+    family_spec,
+    list_families,
+    missing_masks,
+)
+
+
+class TestValidation:
+    def test_unknown_arrival_process_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown arrival process"):
+            ArrivalSpec(process="fractal")
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigurationError, match="rate must be positive"):
+            ArrivalSpec(rate=0.0)
+
+    def test_bursty_needs_multiplier_above_one(self):
+        with pytest.raises(ConfigurationError, match="burst_multiplier"):
+            ArrivalSpec(process="bursty", burst_multiplier=1.0)
+
+    def test_bursty_rejects_impossible_duty_cycle(self):
+        # A 10x burst over a 50% duty cycle would need a negative off rate.
+        with pytest.raises(ConfigurationError, match="off-state rate"):
+            ArrivalSpec(process="bursty", burst_multiplier=10.0,
+                        mean_burst_seconds=1.0, mean_idle_seconds=1.0)
+
+    def test_diurnal_amplitude_bounds(self):
+        with pytest.raises(ConfigurationError, match="diurnal_amplitude"):
+            ArrivalSpec(process="diurnal", diurnal_amplitude=1.0)
+
+    def test_unknown_missingness_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown missingness"):
+            MissingnessSpec(kind="gremlins")
+
+    def test_missingness_fractions_bounded(self):
+        with pytest.raises(ConfigurationError, match="dropout_probability"):
+            MissingnessSpec(kind="dropout", dropout_probability=1.5)
+
+    def test_perturbation_fractions_bounded(self):
+        with pytest.raises(ConfigurationError, match="duplicate_fraction"):
+            PerturbationSpec(duplicate_fraction=-0.1)
+        with pytest.raises(ConfigurationError, match="max_delay_records"):
+            PerturbationSpec(max_delay_records=0)
+
+    def test_layout_bounds(self):
+        with pytest.raises(ConfigurationError, match="num_stations"):
+            StationLayout(num_stations=0)
+        with pytest.raises(ConfigurationError, match="season_ticks"):
+            StationLayout(season_ticks=1)
+
+    def test_scenario_needs_a_name(self):
+        with pytest.raises(ConfigurationError, match="non-empty name"):
+            ScenarioSpec(name="")
+
+    def test_identity_perturbation_flag(self):
+        assert PerturbationSpec().is_identity
+        assert not PerturbationSpec(duplicate_fraction=0.1).is_identity
+
+    def test_layout_total_records(self):
+        layout = StationLayout(num_stations=3, records_per_station=7)
+        assert layout.total_records == 21
+
+
+class TestSerialisation:
+    """Satellite (d): specs round-trip losslessly through JSON."""
+
+    @pytest.mark.parametrize("family", sorted(list_families()))
+    def test_family_roundtrip(self, family):
+        spec = family_spec(family, seed=31)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_roundtrip_is_lossless_for_arbitrary_specs(self):
+        # Property-style: many randomised-but-valid specs, every field
+        # surviving dict + JSON round-trips exactly.
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            spec = ScenarioSpec(
+                name=f"prop-{rng.integers(1000)}",
+                seed=int(rng.integers(1 << 31)),
+                layout=StationLayout(
+                    num_stations=int(rng.integers(1, 9)),
+                    series_per_station=int(rng.integers(1, 5)),
+                    window_length=int(rng.integers(8, 200)),
+                    records_per_station=int(rng.integers(1, 80)),
+                    noise_scale=float(rng.uniform(0.0, 0.5)),
+                ),
+                arrivals=ArrivalSpec(
+                    process=str(rng.choice(ARRIVAL_PROCESSES)),
+                    rate=float(rng.uniform(1.0, 5000.0)),
+                ),
+                missingness=MissingnessSpec(
+                    kind=str(rng.choice(MISSINGNESS_KINDS)),
+                    dropout_probability=float(rng.uniform(0.0, 1.0)),
+                ),
+                perturbations=PerturbationSpec(
+                    out_of_order_fraction=float(rng.uniform(0.0, 0.3)),
+                    duplicate_fraction=float(rng.uniform(0.0, 0.3)),
+                    clock_skew_seconds=float(rng.uniform(0.0, 2.0)),
+                ),
+            )
+            restored = ScenarioSpec.from_json(spec.to_json())
+            assert restored == spec
+            assert dataclasses.asdict(restored) == dataclasses.asdict(spec)
+
+    def test_from_dict_rejects_wrong_format(self):
+        payload = ScenarioSpec().to_dict()
+        payload["format"] = 999
+        with pytest.raises(ConfigurationError, match="unsupported scenario format"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_from_dict_rejects_malformed_payload(self):
+        payload = ScenarioSpec().to_dict()
+        del payload["layout"]
+        with pytest.raises(ConfigurationError, match="malformed scenario payload"):
+            ScenarioSpec.from_dict(payload)
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            ScenarioSpec.from_dict([1, 2])
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ConfigurationError, match="does not parse"):
+            ScenarioSpec.from_json("{not json")
+
+    def test_with_overrides_returns_new_spec(self):
+        spec = ScenarioSpec(seed=1)
+        other = spec.with_overrides(seed=2)
+        assert spec.seed == 1 and other.seed == 2
+
+
+class TestFamilies:
+    def test_families_cover_every_arrival_and_missingness_shape(self):
+        families = [family_spec(name) for name in list_families()]
+        assert {s.arrivals.process for s in families} >= {
+            "steady", "poisson", "bursty", "diurnal"}
+        assert {s.missingness.kind for s in families} >= {
+            "block", "dropout", "cascade"}
+        assert any(not s.perturbations.is_identity for s in families)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario family"):
+            family_spec("quiet-sunday")
+
+    def test_family_overrides(self):
+        layout = StationLayout(num_stations=2, records_per_station=8)
+        spec = family_spec("poisson-block", seed=5, layout=layout, rate=123.0)
+        assert spec.seed == 5
+        assert spec.layout is layout
+        assert spec.arrivals.rate == 123.0
+        # The shared family table must be untouched.
+        assert family_spec("poisson-block").arrivals.rate != 123.0
+
+
+class TestArrivalTimes:
+    @pytest.mark.parametrize("process", ARRIVAL_PROCESSES)
+    def test_monotone_nonnegative(self, process):
+        spec = ArrivalSpec(process=process, rate=200.0)
+        times = arrival_times(spec, 500, seed=11)
+        assert times.shape == (500,)
+        assert np.all(times >= 0.0)
+        assert np.all(np.diff(times) >= 0.0)
+
+    def test_zero_count(self):
+        assert arrival_times(ArrivalSpec(), 0, seed=1).shape == (0,)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="count"):
+            arrival_times(ArrivalSpec(), -1, seed=1)
+
+    def test_steady_is_an_exact_metronome(self):
+        times = arrival_times(ArrivalSpec(process="steady", rate=10.0), 5, seed=0)
+        assert np.allclose(times, [0.0, 0.1, 0.2, 0.3, 0.4])
+
+    def test_deterministic_from_seed(self):
+        spec = ArrivalSpec(process="bursty", rate=100.0)
+        a = arrival_times(spec, 300, seed=[3, 1])
+        b = arrival_times(spec, 300, seed=[3, 1])
+        c = arrival_times(spec, 300, seed=[4, 1])
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    @pytest.mark.parametrize("process", ["poisson", "bursty", "diurnal"])
+    def test_mean_rate_is_respected(self, process):
+        # Long-run empirical rate within a loose band of the nominal rate.
+        spec = ArrivalSpec(process=process, rate=100.0)
+        times = arrival_times(spec, 20_000, seed=2)
+        empirical = len(times) / times[-1]
+        assert 0.6 * spec.rate < empirical < 1.8 * spec.rate
+
+    def test_bursty_is_actually_bursty(self):
+        # The coefficient of variation of inter-arrival gaps must exceed the
+        # Poisson process's (~1): the on/off modulation adds variance.
+        gaps_bursty = np.diff(arrival_times(
+            ArrivalSpec(process="bursty", rate=100.0), 5000, seed=5))
+        gaps_poisson = np.diff(arrival_times(
+            ArrivalSpec(process="poisson", rate=100.0), 5000, seed=5))
+        cv = lambda g: g.std() / g.mean()  # noqa: E731
+        assert cv(gaps_bursty) > 1.5 * cv(gaps_poisson)
+
+
+class TestMissingMasks:
+    def test_none_kind_is_all_clear(self):
+        masks = missing_masks(MissingnessSpec(kind="none"), 3, 20, seed=1)
+        assert masks.shape == (3, 20) and not masks.any()
+
+    def test_zero_ticks(self):
+        assert missing_masks(MissingnessSpec(), 2, 0, seed=1).shape == (2, 0)
+
+    def test_block_matches_historical_loadgen_gap(self):
+        # start = ticks // 4, length = ticks // 2 at the default fractions.
+        masks = missing_masks(MissingnessSpec(kind="block"), 2, 40, seed=1)
+        expected = np.zeros(40, dtype=bool)
+        expected[10:30] = True
+        np.testing.assert_array_equal(masks[0], expected)
+        np.testing.assert_array_equal(masks[1], expected)
+
+    def test_dropout_hits_roughly_its_probability(self):
+        spec = MissingnessSpec(kind="dropout", dropout_probability=0.2)
+        masks = missing_masks(spec, 20, 500, seed=3)
+        assert 0.15 < masks.mean() < 0.25
+
+    def test_cascade_fells_contiguous_station_runs(self):
+        spec = MissingnessSpec(
+            kind="cascade", cascade_events=1,
+            cascade_station_fraction=0.5, cascade_outage_fraction=0.2,
+        )
+        masks = missing_masks(spec, 8, 60, seed=9)
+        dark = np.flatnonzero(masks.any(axis=1))
+        assert len(dark) == 4  # half the fleet
+        np.testing.assert_array_equal(dark, np.arange(dark[0], dark[0] + 4))
+
+    def test_deterministic_from_seed(self):
+        spec = MissingnessSpec(kind="cascade")
+        a = missing_masks(spec, 6, 50, seed=[1, 2])
+        b = missing_masks(spec, 6, 50, seed=[1, 2])
+        np.testing.assert_array_equal(a, b)

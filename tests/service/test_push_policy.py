@@ -1,0 +1,117 @@
+"""Tests of the explicit ``ImputationSession.push`` ingest policy
+(satellite c): duplicate and stale timestamps drop, ``None`` bypasses,
+and the watermark + counters survive snapshot/restore and clear on reset.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.service import ImputationSession
+
+
+def make_session() -> ImputationSession:
+    return ImputationSession("locf", series_names=["a", "b"])
+
+
+class TestPolicy:
+    def test_duplicate_timestamp_drops(self):
+        session = make_session()
+        session.push({"a": 1.0, "b": 1.0}, timestamp=10.0)
+        before = session.ticks_seen
+        assert session.push({"a": 99.0, "b": 99.0}, timestamp=10.0) == []
+        assert session.ticks_seen == before
+        assert session.stats()["duplicates_dropped"] == 1
+        assert session.stats()["stale_dropped"] == 0
+
+    def test_stale_timestamp_drops(self):
+        session = make_session()
+        session.push({"a": 1.0, "b": 1.0}, timestamp=10.0)
+        assert session.push({"a": 99.0, "b": 99.0}, timestamp=9.5) == []
+        assert session.ticks_seen == 1
+        assert session.stats()["stale_dropped"] == 1
+        assert session.stats()["duplicates_dropped"] == 0
+
+    def test_dropped_record_touches_no_imputer_state(self):
+        # A retried (duplicate) delivery carrying different values must not
+        # leak into later imputations: LOCF keeps filling from the value the
+        # *accepted* record carried.
+        session = make_session()
+        session.push({"a": 5.0, "b": 5.0}, timestamp=1.0)
+        session.push({"a": 777.0, "b": 777.0}, timestamp=1.0)  # dropped
+        (result,) = session.push({"a": float("nan"), "b": 6.0}, timestamp=2.0)
+        assert result["a"].value == 5.0
+
+    def test_none_timestamp_bypasses_the_policy(self):
+        session = make_session()
+        session.push({"a": 1.0, "b": 1.0}, timestamp=10.0)
+        assert session.push({"a": 2.0, "b": 2.0}) is not None
+        assert session.ticks_seen == 2
+        stats = session.stats()
+        assert stats["duplicates_dropped"] == 0
+        assert stats["stale_dropped"] == 0
+        # The watermark is untouched by untimestamped pushes...
+        assert session.last_timestamp == 10.0
+        # ...so the policy still applies to the next timestamped one.
+        assert session.push({"a": 3.0, "b": 3.0}, timestamp=10.0) == []
+
+    def test_watermark_advances_with_accepted_pushes(self):
+        session = make_session()
+        assert session.last_timestamp is None
+        session.push({"a": 1.0, "b": 1.0}, timestamp=3.5)
+        assert session.last_timestamp == 3.5
+        session.push({"a": 2.0, "b": 2.0}, timestamp=7.25)
+        assert session.last_timestamp == 7.25
+        session.push({"a": 3.0, "b": 3.0}, timestamp=6.0)  # stale: no move
+        assert session.last_timestamp == 7.25
+
+    def test_stats_contents(self):
+        session = make_session()
+        session.push({"a": 1.0}, timestamp=1.0)
+        session.push({"a": 1.0}, timestamp=1.0)
+        session.push({"a": 1.0}, timestamp=0.5)
+        stats = session.stats()
+        assert stats["method"] == "locf"
+        assert stats["series"] == 2
+        assert stats["ticks_seen"] == 1
+        assert stats["last_timestamp"] == 1.0
+        assert stats["duplicates_dropped"] == 1
+        assert stats["stale_dropped"] == 1
+
+
+class TestPolicyStateTravel:
+    def test_snapshot_restore_roundtrips_watermark_and_counters(self):
+        session = make_session()
+        session.push({"a": 1.0, "b": 1.0}, timestamp=10.0)
+        session.push({"a": 2.0, "b": 2.0}, timestamp=10.0)  # duplicate
+        session.push({"a": 3.0, "b": 3.0}, timestamp=4.0)  # stale
+
+        restored = ImputationSession.restore(session.snapshot())
+        assert restored.last_timestamp == 10.0
+        assert restored.stats()["duplicates_dropped"] == 1
+        assert restored.stats()["stale_dropped"] == 1
+        # The restored session keeps rejecting the same retries.
+        assert restored.push({"a": 9.0, "b": 9.0}, timestamp=10.0) == []
+        assert restored.stats()["duplicates_dropped"] == 2
+
+    def test_reset_clears_the_policy_state(self):
+        session = make_session()
+        session.push({"a": 1.0, "b": 1.0}, timestamp=10.0)
+        session.push({"a": 2.0, "b": 2.0}, timestamp=10.0)
+        session.reset()
+        assert session.last_timestamp is None
+        stats = session.stats()
+        assert stats["duplicates_dropped"] == 0
+        assert stats["stale_dropped"] == 0
+        # Post-reset the stream starts a fresh clock: an old timestamp is
+        # acceptable again.
+        assert session.push({"a": float("nan"), "b": 1.0}, timestamp=2.0)
+        assert session.last_timestamp == 2.0
+
+    def test_policy_values_are_json_friendly(self):
+        import json
+
+        session = make_session()
+        session.push({"a": 1.0, "b": 1.0}, timestamp=1.0)
+        encoded = json.dumps(session.stats())
+        assert math.isfinite(json.loads(encoded)["last_timestamp"])

@@ -20,13 +20,14 @@ import repro.evaluation as evaluation
 import repro.metrics as metrics
 import repro.registry as registry
 import repro.results as results
+import repro.scenarios as scenarios
 import repro.service as service
 import repro.streams as streams
 
 
 PACKAGES = [
     repro, core, streams, datasets, baselines, metrics, analysis, evaluation,
-    registry, results, service, cluster, durability,
+    registry, results, service, cluster, durability, scenarios,
 ]
 
 
@@ -75,6 +76,13 @@ class TestExports:
         assert repro.RecoveryManager is durability.RecoveryManager
         assert issubclass(repro.DurabilityError, repro.ReproError)
         assert issubclass(repro.RecoveryError, repro.DurabilityError)
+
+    def test_scenario_tier_convenience_imports(self):
+        assert repro.ScenarioSpec is scenarios.ScenarioSpec
+        assert repro.StationLayout is scenarios.StationLayout
+        assert repro.family_spec is scenarios.family_spec
+        assert repro.run_chaos_drill is scenarios.run_chaos_drill
+        assert repro.FaultInjector is durability.FaultInjector
 
     def test_experiment_functions_cover_every_figure(self):
         expected = {
