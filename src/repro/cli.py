@@ -23,6 +23,10 @@ The CLI exposes the workflows a downstream user needs without writing Python:
   against a live durable cluster with seeded worker kills, mid-stream
   rebalances and an optional disk-full checkpoint fault, gating on
   bit-identical recovery and reporting the MTTR distribution.
+* ``tkcm-repro autoscale-bench`` — run the elasticity drills: a paced
+  ramping scenario through the autoscale control loop versus fixed fleets,
+  plus the same seeded failover drill recovered cold and via warm
+  standbys, gating on bit-identical outputs throughout.
 * ``tkcm-repro checkpoint --dir <root>`` — inspect a durability root:
   sessions, checkpoint versions/ticks, WAL tail sizes; ``--verify`` also
   re-hashes every checkpoint and integrity-scans every WAL.
@@ -291,6 +295,53 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", dest="json_path", default=None,
                        help="also write the chaos record to this path")
     chaos.set_defaults(handler=_cmd_chaos_drill)
+
+    autoscale = subparsers.add_parser(
+        "autoscale-bench",
+        help="run the elasticity drills: autoscaled ramp vs fixed fleets, "
+             "plus cold-vs-warm-standby failover on a seeded kill schedule",
+    )
+    autoscale.add_argument("--dir", dest="root", default=None,
+                           help="durability root for the failover drills' "
+                                "checkpoints/WALs (default: a fresh "
+                                "temporary directory)")
+    autoscale.add_argument("--stations", type=int, default=4,
+                           help="stations in the fleet (default 4)")
+    autoscale.add_argument("--records-per-station", type=int, default=40,
+                           help="streamed records per station (default 40)")
+    autoscale.add_argument("--rate", type=float, default=400.0,
+                           help="nominal arrival rate in records/s; the ramp "
+                                "sweeps 0.25x to 1.75x of it (default 400)")
+    autoscale.add_argument("--fleets", default="1,2,4",
+                           help="comma-separated fixed fleet sizes to compare "
+                                "against (default: 1,2,4)")
+    autoscale.add_argument("--workers", type=int, default=2,
+                           help="cluster workers in the failover drills "
+                                "(default 2)")
+    autoscale.add_argument("--kills", type=int, default=2,
+                           help="hard worker kills per failover drill "
+                                "(default 2)")
+    autoscale.add_argument("--checkpoint-every", type=int, default=512,
+                           help="failover-drill checkpoint interval in ticks; "
+                                "kept larger than the stream so cold heals "
+                                "replay the whole WAL tail (default 512)")
+    autoscale.add_argument("--transport", choices=["shm", "pipe"],
+                           default="shm",
+                           help="cluster data-plane transport (default: shm)")
+    autoscale.add_argument("--no-pace", dest="pace", action="store_false",
+                           help="push as fast as possible instead of pacing "
+                                "to each record's arrival offset (the "
+                                "throughput comparison becomes "
+                                "closed-loop)")
+    autoscale.add_argument("--no-parity", dest="parity",
+                           action="store_false",
+                           help="skip the bit-identity comparisons against "
+                                "the single-process reference runs")
+    autoscale.add_argument("--seed", type=int, default=2017,
+                           help="scenario + kill-schedule seed (default 2017)")
+    autoscale.add_argument("--json", dest="json_path", default=None,
+                           help="also write the autoscale record to this path")
+    autoscale.set_defaults(handler=_cmd_autoscale_bench)
 
     checkpoint = subparsers.add_parser(
         "checkpoint",
@@ -764,6 +815,120 @@ def _cmd_chaos_drill(args: argparse.Namespace) -> int:
             json.dump(record, handle, indent=2)
             handle.write("\n")
         print(f"wrote chaos record to {args.json_path}")
+    if failures:
+        raise ReproError("; ".join(failures) + " — this is a bug; please report it")
+    return 0
+
+
+def _cmd_autoscale_bench(args: argparse.Namespace) -> int:
+    import contextlib
+    import json
+    import tempfile
+
+    from .scenarios import autoscale_bench_record
+
+    try:
+        fleets = [int(size) for size in args.fleets.split(",") if size.strip()]
+    except ValueError:
+        raise ReproError(f"--fleets must be comma-separated integers, got {args.fleets!r}")
+    if not fleets:
+        raise ReproError("--fleets must name at least one fixed fleet size")
+
+    with contextlib.ExitStack() as stack:
+        root = args.root
+        if root is None:
+            root = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="tkcm-autoscale-")
+            )
+        record = autoscale_bench_record(
+            root,
+            stations=args.stations,
+            records_per_station=args.records_per_station,
+            rate=args.rate,
+            fleets=fleets,
+            workers=args.workers,
+            kills=args.kills,
+            checkpoint_every=args.checkpoint_every,
+            transport=args.transport,
+            seed=args.seed,
+            pace=args.pace,
+            check_parity=args.parity,
+        )
+
+    config = record["config"]
+    ramp = record["ramp"]
+    autoscaled = ramp["autoscaled"]
+    rows = [{
+        "run": "autoscaled",
+        "workers": f"{autoscaled['start_workers']}->{autoscaled['final_workers']}",
+        "records_per_s": round(autoscaled["records_per_second"], 1),
+        "resizes": autoscaled["resizes"],
+        "vs_best_fixed": round(ramp["autoscaled_vs_best_fixed"], 3),
+        "identical": autoscaled["bit_identical_to_reference"],
+    }] + [{
+        "run": f"fixed-{size}",
+        "workers": size,
+        "records_per_s": round(entry["records_per_second"], 1),
+        "resizes": 0,
+        "vs_best_fixed": round(
+            entry["records_per_second"] / ramp["best_fixed_records_per_second"]
+            if ramp["best_fixed_records_per_second"] > 0 else 0.0, 3,
+        ),
+        "identical": entry["bit_identical_to_reference"],
+    } for size, entry in sorted(
+        ramp["fixed"].items(), key=lambda kv: int(kv[0])
+    )]
+    print(format_table(
+        rows,
+        title=f"autoscale-bench ramp — {config['rate']:g} rec/s nominal, "
+              f"{config['stations']} stations, seed {config['seed']}"
+              + ("" if config["pace"] else " (unpaced)"),
+    ))
+    for action in autoscaled["actions"]:
+        print(f"  t={action['at']:.2f}s: scale {action['action']} "
+              f"{action['workers']}->{action['target_workers']} "
+              f"({action['reason']})")
+
+    failover = record["failover"]
+    cold, warm = failover["cold"], failover["warm"]
+    print(format_table(
+        [{
+            "mode": mode,
+            "kills": drill["kills"],
+            "mttr_mean_ms": round(drill["mttr_mean"] * 1e3, 1),
+            "replayed": drill["records_replayed"],
+            "standby_replayed": drill["standby_records_replayed"],
+            "lost_inflight": drill["lost_inflight_records"],
+            "identical": drill["bit_identical_to_reference"],
+        } for mode, drill in (("cold", cold), ("warm", warm))],
+        title=f"autoscale-bench failover — cold vs warm standby "
+              f"(MTTR speedup {failover['mttr_speedup']:.2f}x)",
+    ))
+
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote autoscale record to {args.json_path}")
+
+    failures = []
+    if args.parity:
+        if not autoscaled["bit_identical_to_reference"]:
+            failures.append("autoscaled results diverged from the reference")
+        if not all(
+            entry["bit_identical_to_reference"]
+            for entry in ramp["fixed"].values()
+        ):
+            failures.append("a fixed-fleet run diverged from the reference")
+        for mode, drill in (("cold", cold), ("warm", warm)):
+            if not drill["bit_identical_to_reference"]:
+                failures.append(
+                    f"{mode} failover results diverged from the reference"
+                )
+    if not failover["warm_replay_lt_cold"]:
+        failures.append(
+            "warm standby did not replay fewer records than cold recovery"
+        )
     if failures:
         raise ReproError("; ".join(failures) + " — this is a bug; please report it")
     return 0

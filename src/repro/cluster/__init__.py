@@ -26,6 +26,17 @@ surface and its bit-identical output guarantees:
   routed, ticks imputed, queue depth, push latency) and their aggregation.
 * :mod:`~repro.cluster.bench` — the shared multi-station serving workload
   behind ``tkcm-repro serve-bench`` and ``benchmarks/test_bench_cluster.py``.
+* :mod:`~repro.cluster.autoscale` — the elastic control loop: a pure,
+  clock-injected :class:`~repro.cluster.autoscale.AutoscaleController`
+  turning fleet telemetry into explicit
+  :class:`~repro.cluster.autoscale.ScaleDecision`\\ s (hysteresis, cooldowns,
+  min/max bounds), applied through live ``rebalance(n)`` by an
+  :class:`~repro.cluster.autoscale.AutoscaleSupervisor`.
+* :mod:`~repro.cluster.standby` — warm-standby failover:
+  :class:`~repro.cluster.standby.StandbyWorker` replicas tail each shard's
+  WAL through a read-only cursor so ``recover_worker(standby=...)`` is a
+  snapshot handoff plus a few records of catch-up instead of a full
+  checkpoint-interval replay.
 
 With a :class:`~repro.durability.journal.DurabilityConfig` the cluster is
 also crash-safe: every worker journals its shard to disk, and the
@@ -34,17 +45,41 @@ coordinator detects dead workers, respawns them, and restores their shards
 bit-identical results (see :mod:`repro.durability`).
 """
 
+from .autoscale import (
+    AutoscaleConfig,
+    AutoscaleController,
+    AutoscaleSupervisor,
+    ClusterTelemetrySource,
+    FleetSample,
+    ManualClock,
+    ScaleDecision,
+    ScriptedTelemetrySource,
+    SystemClock,
+)
 from .coordinator import ClusterCoordinator
 from .router import ShardRouter
 from .shm import SharedRingBuffer
+from .standby import StandbyPool, StandbySyncReport, StandbyWorker
 from .telemetry import WorkerTelemetry, aggregate_stats
 from .worker import ClusterWorker
 
 __all__ = [
+    "AutoscaleConfig",
+    "AutoscaleController",
+    "AutoscaleSupervisor",
     "ClusterCoordinator",
+    "ClusterTelemetrySource",
     "ClusterWorker",
+    "FleetSample",
+    "ManualClock",
+    "ScaleDecision",
+    "ScriptedTelemetrySource",
     "ShardRouter",
     "SharedRingBuffer",
+    "StandbyPool",
+    "StandbySyncReport",
+    "StandbyWorker",
+    "SystemClock",
     "WorkerTelemetry",
     "aggregate_stats",
 ]

@@ -1,0 +1,545 @@
+"""Elastic autoscaling: a pure, clock-injected control loop over telemetry.
+
+The cluster tier already exposes everything a scaling decision needs —
+:meth:`~repro.cluster.coordinator.ClusterCoordinator.pipelined_backlog`
+(records acknowledged but not yet flushed),
+:meth:`~repro.cluster.coordinator.ClusterCoordinator.data_plane_stalls`
+(cumulative ring-full writer stalls), and the per-worker ``stats()``
+telemetry (queue depth, push latency, ``pending_records_peak``) — and it
+already supports live
+:meth:`~repro.cluster.coordinator.ClusterCoordinator.rebalance`.  This
+module closes the loop.
+
+The design splits three concerns so each is testable in isolation:
+
+* :class:`AutoscaleController` — a **pure** decision function.  It consumes
+  a stream of :class:`FleetSample`\\ s and emits one :class:`ScaleDecision`
+  per sample; all time arithmetic uses the sample's own ``at`` stamp, so a
+  recorded telemetry trace replays to bit-identical decisions with no
+  processes, sleeps, or wall clock anywhere (``tests/cluster/test_autoscale.py``
+  pins this with Hypothesis).  Hysteresis comes from consecutive-breach
+  streaks plus separate up/down thresholds; flapping is prevented by
+  per-direction cooldowns that gate *every* action, including bound clamps.
+* :class:`TelemetrySource` implementations — where samples come from.
+  :class:`ClusterTelemetrySource` reads a live coordinator;
+  :class:`ScriptedTelemetrySource` replays a scripted trace for tests and
+  drills.
+* :class:`AutoscaleSupervisor` — the only impure piece: it polls a source,
+  feeds the controller, and applies ``up``/``down`` decisions through
+  ``rebalance(n)``.  Because rebalance migrates sessions by exact
+  snapshot/restore, outputs stay bit-identical to single-process across
+  every resize (``repro/scenarios/autoscale.py`` proves it per drill).
+
+The :class:`Clock` seam exists for the impure edge only: a
+:class:`ManualClock` lets tests and deterministic drills stamp samples from
+scenario arrival times instead of the wall clock.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Protocol, Sequence
+
+from ..exceptions import ClusterError
+
+__all__ = [
+    "AutoscaleConfig",
+    "AutoscaleController",
+    "AutoscaleSupervisor",
+    "Clock",
+    "ClusterTelemetrySource",
+    "FleetSample",
+    "ManualClock",
+    "ScaleDecision",
+    "ScriptedTelemetrySource",
+    "SystemClock",
+    "TelemetrySource",
+]
+
+
+class Clock(Protocol):
+    """Anything with a ``now() -> float`` — the injectable time seam."""
+
+    def now(self) -> float:
+        """Return the current time in (monotonic) seconds."""
+        ...  # pragma: no cover - protocol
+
+
+class SystemClock:
+    """The real monotonic clock, for live supervisors."""
+
+    def now(self) -> float:
+        """Return ``time.monotonic()``."""
+        return _time.monotonic()
+
+
+class ManualClock:
+    """A clock that only moves when told to — the deterministic test seam.
+
+    Parameters
+    ----------
+    start:
+        Initial reading in seconds.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current manual reading."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new reading."""
+        if seconds < 0:
+            raise ClusterError(f"cannot move a clock backwards ({seconds})")
+        self._now += float(seconds)
+        return self._now
+
+
+@dataclass(frozen=True)
+class FleetSample:
+    """One telemetry observation of the whole fleet at a point in time.
+
+    Every field is a plain JSON-serialisable scalar so recorded traces can
+    be persisted and replayed verbatim.
+    """
+
+    #: Time stamp of the observation, in seconds on the sampling clock.
+    #: All controller time arithmetic (cooldowns) uses this, never a wall
+    #: clock — that is what makes decision traces replayable.
+    at: float
+    #: Live worker count when the sample was taken.
+    workers: int
+    #: Pipelined backlog: records accepted by ``push_nowait`` but not yet
+    #: flushed (lingering + in-flight), summed over the fleet.
+    backlog: int
+    #: Cumulative ring-full stalls suffered by the data plane (monotone
+    #: counter; the controller differentiates consecutive samples).
+    ring_full_stalls: int = 0
+    #: Largest per-worker request-queue depth observed, if known.
+    queue_depth_max: int = 0
+    #: Largest per-worker pipelined-backlog peak, if known.
+    pending_records_peak: int = 0
+    #: Mean seconds per push RPC across workers, if known (0.0 = unknown).
+    avg_push_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Return the sample as a JSON-serialisable dict."""
+        return {
+            "at": self.at,
+            "workers": self.workers,
+            "backlog": self.backlog,
+            "ring_full_stalls": self.ring_full_stalls,
+            "queue_depth_max": self.queue_depth_max,
+            "pending_records_peak": self.pending_records_peak,
+            "avg_push_seconds": self.avg_push_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Tunables for :class:`AutoscaleController`; validated on construction.
+
+    The asymmetry between the up and down sides is deliberate and mirrors
+    every production autoscaler: scale up fast (short streak, short
+    cooldown) because a saturated fleet sheds or stalls, scale down slowly
+    (long streak, long cooldown) because a premature shrink immediately
+    re-triggers a scale-up — the flap the Hypothesis suite proves cannot
+    happen.
+    """
+
+    #: Smallest fleet the controller will ever target.
+    min_workers: int = 1
+    #: Largest fleet the controller will ever target.
+    max_workers: int = 4
+    #: Backlog per worker at or above which a sample counts as "up" pressure.
+    up_backlog_per_worker: float = 256.0
+    #: Backlog per worker at or below which a sample counts as "down"
+    #: pressure.  Must be strictly below the up threshold — the dead band
+    #: between them is the hysteresis that absorbs noisy telemetry.
+    down_backlog_per_worker: float = 32.0
+    #: Ring-full stalls since the previous sample at or above which a sample
+    #: counts as "up" pressure regardless of backlog (0 disables the signal).
+    up_stall_delta: int = 1
+    #: Consecutive "up" samples required before scaling up.
+    up_after: int = 2
+    #: Consecutive "down" samples required before scaling down.
+    down_after: int = 4
+    #: Seconds after *any* action before a scale-up may fire.
+    up_cooldown: float = 5.0
+    #: Seconds after *any* action before a scale-down may fire.  This is the
+    #: no-flap window: an up at time ``t`` cannot be followed by a down
+    #: before ``t + down_cooldown``.
+    down_cooldown: float = 15.0
+    #: Workers added per scale-up action.
+    up_step: int = 1
+    #: Workers removed per scale-down action.
+    down_step: int = 1
+
+    def __post_init__(self) -> None:
+        """Reject self-contradictory configurations eagerly."""
+        if self.min_workers < 1:
+            raise ClusterError(f"min_workers must be >= 1, got {self.min_workers}")
+        if self.max_workers < self.min_workers:
+            raise ClusterError(
+                f"max_workers ({self.max_workers}) < min_workers "
+                f"({self.min_workers})"
+            )
+        if self.down_backlog_per_worker >= self.up_backlog_per_worker:
+            raise ClusterError(
+                "down_backlog_per_worker must be strictly below "
+                f"up_backlog_per_worker, got {self.down_backlog_per_worker} "
+                f">= {self.up_backlog_per_worker}"
+            )
+        if self.up_after < 1 or self.down_after < 1:
+            raise ClusterError("up_after and down_after must be >= 1")
+        if self.up_cooldown < 0 or self.down_cooldown < 0:
+            raise ClusterError("cooldowns must be >= 0")
+        if self.up_step < 1 or self.down_step < 1:
+            raise ClusterError("up_step and down_step must be >= 1")
+
+    def as_dict(self) -> dict:
+        """Return the config as a JSON-serialisable dict."""
+        return {
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "up_backlog_per_worker": self.up_backlog_per_worker,
+            "down_backlog_per_worker": self.down_backlog_per_worker,
+            "up_stall_delta": self.up_stall_delta,
+            "up_after": self.up_after,
+            "down_after": self.down_after,
+            "up_cooldown": self.up_cooldown,
+            "down_cooldown": self.down_cooldown,
+            "up_step": self.up_step,
+            "down_step": self.down_step,
+        }
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One controller verdict for one :class:`FleetSample`."""
+
+    #: Time stamp copied from the sample that produced this decision.
+    at: float
+    #: ``"up"``, ``"down"``, or ``"hold"``.
+    action: str
+    #: Worker count observed in the sample.
+    workers: int
+    #: Worker count the fleet should run at after this decision (equals
+    #: ``workers`` for a hold).
+    target_workers: int
+    #: Human-readable explanation of why this decision was taken — the
+    #: first thing an operator (or a failing test) reads.
+    reason: str
+
+    @property
+    def is_action(self) -> bool:
+        """Whether this decision resizes the fleet."""
+        return self.action != "hold"
+
+    def as_dict(self) -> dict:
+        """Return the decision as a JSON-serialisable dict."""
+        return {
+            "at": self.at,
+            "action": self.action,
+            "workers": self.workers,
+            "target_workers": self.target_workers,
+            "reason": self.reason,
+        }
+
+
+class AutoscaleController:
+    """Pure scaling policy: :class:`FleetSample` stream in, decisions out.
+
+    The controller is deterministic state-machine style: its entire state is
+    the config plus (up streak, down streak, previous stall counter, last
+    action time/direction).  Feeding the same sample trace to a fresh
+    controller with the same config always yields the same decision trace —
+    no wall clock, no randomness, no processes.
+
+    Invariants (pinned by Hypothesis in ``tests/cluster/test_autoscale.py``):
+
+    * every ``target_workers`` lies within ``[min_workers, max_workers]``;
+    * after any action at time ``t``, no scale-up fires before
+      ``t + up_cooldown`` and no scale-down before ``t + down_cooldown``
+      (so an up can never be un-done within one down-cooldown window);
+    * decisions are a pure function of ``(trace, config)``.
+    """
+
+    def __init__(self, config: Optional[AutoscaleConfig] = None) -> None:
+        self.config = config or AutoscaleConfig()
+        #: Every decision ever emitted, in order (the replayable trace).
+        self.decisions: List[ScaleDecision] = []
+        self._up_streak = 0
+        self._down_streak = 0
+        self._last_stalls: Optional[int] = None
+        self._last_action_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Decision function
+    # ------------------------------------------------------------------ #
+    def observe(self, sample: FleetSample) -> ScaleDecision:
+        """Fold one telemetry sample into the policy; return the decision.
+
+        All time arithmetic uses ``sample.at``; samples must be fed in
+        non-decreasing time order (they come from one clock).
+        """
+        cfg = self.config
+        workers = max(1, int(sample.workers))
+        per_worker = sample.backlog / workers
+        stall_delta = 0
+        if self._last_stalls is not None:
+            stall_delta = max(0, sample.ring_full_stalls - self._last_stalls)
+        self._last_stalls = sample.ring_full_stalls
+
+        stalled = bool(cfg.up_stall_delta) and stall_delta >= cfg.up_stall_delta
+        pressure_up = per_worker >= cfg.up_backlog_per_worker or stalled
+        pressure_down = (
+            per_worker <= cfg.down_backlog_per_worker and stall_delta == 0
+        )
+
+        self._up_streak = self._up_streak + 1 if pressure_up else 0
+        self._down_streak = self._down_streak + 1 if pressure_down else 0
+
+        decision = self._decide(sample, workers, per_worker, stalled)
+        if decision.is_action:
+            self._last_action_at = sample.at
+            self._up_streak = 0
+            self._down_streak = 0
+        self.decisions.append(decision)
+        return decision
+
+    def _decide(
+        self,
+        sample: FleetSample,
+        workers: int,
+        per_worker: float,
+        stalled: bool,
+    ) -> ScaleDecision:
+        """Turn the updated streaks into one decision (no state writes)."""
+        cfg = self.config
+
+        def hold(reason: str) -> ScaleDecision:
+            return ScaleDecision(
+                at=sample.at,
+                action="hold",
+                workers=workers,
+                target_workers=workers,
+                reason=reason,
+            )
+
+        if self._up_streak >= cfg.up_after:
+            target = min(workers + cfg.up_step, cfg.max_workers)
+            cause = "ring-full stalls" if stalled else (
+                f"backlog {per_worker:.0f}/worker >= {cfg.up_backlog_per_worker:.0f}"
+            )
+            if target <= workers:
+                return hold(f"{cause} but already at max_workers={cfg.max_workers}")
+            wait = self._cooldown_remaining(sample.at, cfg.up_cooldown)
+            if wait > 0:
+                return hold(f"{cause} but up_cooldown has {wait:.1f}s left")
+            return ScaleDecision(
+                at=sample.at,
+                action="up",
+                workers=workers,
+                target_workers=target,
+                reason=f"{cause} for {self._up_streak} samples",
+            )
+
+        if self._down_streak >= cfg.down_after:
+            target = max(workers - cfg.down_step, cfg.min_workers)
+            cause = (
+                f"backlog {per_worker:.0f}/worker <= "
+                f"{cfg.down_backlog_per_worker:.0f}"
+            )
+            if target >= workers:
+                return hold(f"{cause} but already at min_workers={cfg.min_workers}")
+            wait = self._cooldown_remaining(sample.at, cfg.down_cooldown)
+            if wait > 0:
+                return hold(f"{cause} but down_cooldown has {wait:.1f}s left")
+            return ScaleDecision(
+                at=sample.at,
+                action="down",
+                workers=workers,
+                target_workers=target,
+                reason=f"{cause} for {self._down_streak} samples",
+            )
+
+        return hold(
+            f"backlog {per_worker:.0f}/worker in dead band "
+            f"(up {self._up_streak}/{cfg.up_after}, "
+            f"down {self._down_streak}/{cfg.down_after})"
+        )
+
+    def _cooldown_remaining(self, now: float, cooldown: float) -> float:
+        """Seconds left before an action gated by ``cooldown`` may fire."""
+        if self._last_action_at is None:
+            return 0.0
+        return max(0.0, self._last_action_at + cooldown - now)
+
+    def replay(self, trace: Iterable[FleetSample]) -> List[ScaleDecision]:
+        """Feed a whole recorded trace through :meth:`observe`; return all."""
+        return [self.observe(sample) for sample in trace]
+
+    def reset(self) -> None:
+        """Forget all state and history (fresh controller, same config)."""
+        self.decisions.clear()
+        self._up_streak = 0
+        self._down_streak = 0
+        self._last_stalls = None
+        self._last_action_at = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AutoscaleController(decisions={len(self.decisions)}, "
+            f"config={self.config!r})"
+        )
+
+
+class TelemetrySource(Protocol):
+    """Anything that can produce the next :class:`FleetSample`."""
+
+    def sample(self) -> FleetSample:
+        """Return one observation of the fleet, stamped with its clock."""
+        ...  # pragma: no cover - protocol
+
+
+class ClusterTelemetrySource:
+    """Samples a live :class:`~repro.cluster.coordinator.ClusterCoordinator`.
+
+    The default reads only the coordinator's cheap local counters
+    (``pipelined_backlog``/``data_plane_stalls`` — no worker RPCs, safe to
+    call at any polling rate).  ``include_worker_stats=True`` additionally
+    pulls the full per-worker ``stats()`` (queue depth, push latency,
+    ``pending_records_peak``) at the cost of one RPC per worker *and* a
+    linger flush — use it for diagnostics, not tight control loops.
+
+    Parameters
+    ----------
+    cluster:
+        The coordinator to observe.
+    clock:
+        Time source for the sample stamps; defaults to :class:`SystemClock`.
+    include_worker_stats:
+        Whether to enrich samples via ``cluster.stats()``.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        clock: Optional[Clock] = None,
+        include_worker_stats: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.clock = clock or SystemClock()
+        self.include_worker_stats = bool(include_worker_stats)
+
+    def sample(self) -> FleetSample:
+        """Observe the coordinator once."""
+        queue_depth_max = 0
+        pending_peak = 0
+        avg_push = 0.0
+        if self.include_worker_stats:
+            workers = self.cluster.stats().get("workers", {})
+            entries = list(
+                workers.values() if isinstance(workers, dict) else workers
+            )
+            for entry in entries:
+                queue_depth_max = max(
+                    queue_depth_max, int(entry.get("queue_depth_max", 0))
+                )
+                pending_peak = max(
+                    pending_peak, int(entry.get("pending_records_peak", 0))
+                )
+            pushes = sum(int(e.get("records_routed", 0)) for e in entries)
+            seconds = sum(float(e.get("push_seconds", 0.0)) for e in entries)
+            avg_push = seconds / pushes if pushes else 0.0
+        return FleetSample(
+            at=self.clock.now(),
+            workers=self.cluster.num_workers,
+            backlog=self.cluster.pipelined_backlog(),
+            ring_full_stalls=self.cluster.data_plane_stalls(),
+            queue_depth_max=queue_depth_max,
+            pending_records_peak=pending_peak,
+            avg_push_seconds=avg_push,
+        )
+
+
+class ScriptedTelemetrySource:
+    """Replays a pre-built list of samples — the deterministic test seam.
+
+    Parameters
+    ----------
+    samples:
+        The trace to replay, oldest first.  :meth:`sample` raises
+        :class:`~repro.exceptions.ClusterError` when the script runs out,
+        so a test that polls more than it scripted fails loudly instead of
+        silently repeating the last observation.
+    """
+
+    def __init__(self, samples: Sequence[FleetSample]) -> None:
+        self._samples = list(samples)
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        """How many scripted samples have not been consumed yet."""
+        return len(self._samples) - self._cursor
+
+    def sample(self) -> FleetSample:
+        """Return the next scripted sample."""
+        if self._cursor >= len(self._samples):
+            raise ClusterError(
+                f"scripted telemetry exhausted after {self._cursor} samples"
+            )
+        sample = self._samples[self._cursor]
+        self._cursor += 1
+        return sample
+
+
+@dataclass
+class AutoscaleSupervisor:
+    """Couples a controller to a live cluster: poll, decide, rebalance.
+
+    The supervisor is the only impure piece of the control loop, and it is
+    deliberately tiny: one :meth:`tick` samples the source, feeds the
+    controller, and applies an ``up``/``down`` decision through
+    ``cluster.rebalance(target)``.  Everything interesting — hysteresis,
+    cooldowns, bounds — already happened inside the pure controller, so the
+    supervisor needs no tests of its own logic, only integration parity.
+    """
+
+    cluster: object
+    controller: AutoscaleController
+    source: TelemetrySource
+    #: Samples observed, in order.
+    samples: List[FleetSample] = field(default_factory=list)
+    #: Resize actions actually applied, in order.
+    actions: List[ScaleDecision] = field(default_factory=list)
+
+    def tick(self) -> ScaleDecision:
+        """Run one control-loop iteration; return the decision taken."""
+        sample = self.source.sample()
+        self.samples.append(sample)
+        decision = self.controller.observe(sample)
+        if decision.is_action:
+            self.cluster.rebalance(decision.target_workers)
+            self.actions.append(decision)
+        return decision
+
+    @property
+    def resizes(self) -> int:
+        """Number of rebalances this supervisor has applied."""
+        return len(self.actions)
+
+    def as_dict(self) -> dict:
+        """Return the full control-loop trace as a JSON-serialisable dict."""
+        return {
+            "config": self.controller.config.as_dict(),
+            "samples": [s.as_dict() for s in self.samples],
+            "decisions": [d.as_dict() for d in self.controller.decisions],
+            "actions": [d.as_dict() for d in self.actions],
+        }

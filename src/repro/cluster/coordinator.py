@@ -71,10 +71,11 @@ are process-local and never leave the machine.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..durability.journal import DurabilityConfig
-from ..durability.recovery import RecoveryManager, RecoveryReport
+from ..durability.recovery import RecoveryManager, RecoveryReport, SessionRecovery
 from ..durability.store import discover_stores
 from ..exceptions import ClusterError, RecoveryError, ServiceError
 from ..results import TickResult
@@ -499,7 +500,7 @@ class ClusterCoordinator:
             )
         self._workers[worker_index].kill()
 
-    def recover_worker(self, worker_index: int) -> RecoveryReport:
+    def recover_worker(self, worker_index: int, *, standby=None) -> RecoveryReport:
         """Respawn one dead worker and restore its shard from disk.
 
         The replacement process is started on the same index, every session
@@ -508,6 +509,18 @@ class ClusterCoordinator:
         recovered shard then resumes serving bit-identically.  Routing is
         untouched: the shard map still names this worker, so traffic resumes
         as soon as this method returns.
+
+        With a ``standby`` (a :class:`~repro.cluster.standby.StandbyWorker`
+        tailing this shard's directory), recovery becomes a **warm
+        handoff**: the standby runs one final catch-up
+        :meth:`~repro.cluster.standby.StandbyWorker.sync` — replaying only
+        the frames appended since its last poll — and its replica snapshots
+        are restored straight onto the respawned worker.  The report's
+        ``wal_records`` then count just that catch-up, strictly fewer than a
+        cold recovery's full checkpoint-interval tail (the regression test
+        in ``tests/cluster/test_standby.py`` pins the inequality).  Sessions
+        the standby has not replicated yet fall back to the cold path.
+        Either way the restored state is bit-identical.
 
         Pipelined records that were in flight to the dead worker are
         reported as ``lost_inflight_records``: their *results* were never
@@ -548,6 +561,10 @@ class ClusterCoordinator:
         # be running — and still journaling into this shard's directory.
         # kill() is a no-op for an already-exited process.
         self._workers[worker_index].kill()
+        # Final catch-up sync AFTER the fence: nothing can append to this
+        # shard's journals any more, so the standby's replicas converge on
+        # exactly the acknowledged pre-crash state.
+        catchup = standby.sync() if standby is not None else None
         lost = self._inflight.get(worker_index, 0)
         self._inflight[worker_index] = 0
         self._workers[worker_index] = self._spawn_worker(worker_index)
@@ -565,7 +582,12 @@ class ClusterCoordinator:
             if session_id in self._linger
         }
         try:
-            report = manager.recover_into(self, session_ids=sessions)
+            if standby is None:
+                report = manager.recover_into(self, session_ids=sessions)
+            else:
+                report = self._handoff_from_standby(
+                    standby, catchup, sessions, manager
+                )
         finally:
             for session_id, rows in held.items():
                 self._linger[session_id] = rows
@@ -573,19 +595,69 @@ class ClusterCoordinator:
         self._count_recovery(report)
         return report
 
-    def heal(self) -> Dict[int, RecoveryReport]:
+    def _handoff_from_standby(
+        self, standby, catchup, sessions: Sequence[str], manager: RecoveryManager
+    ) -> RecoveryReport:
+        """Restore a shard from a warm standby's replicas (plus cold gaps).
+
+        Each replicated session is restored from the standby's snapshot;
+        its :class:`~repro.durability.recovery.SessionRecovery` entry counts
+        only the final catch-up replay (``wal_records``) and the handoff
+        wall time (``replay_seconds``) — the checkpoint-interval tail was
+        replayed off the critical path during earlier syncs.  Sessions the
+        standby never saw (no checkpoint had landed at its last sync) fall
+        back to ``manager``'s cold recovery.
+        """
+        report = RecoveryReport()
+        cold = [s for s in sessions if s not in standby]
+        for session_id in sessions:
+            if session_id in cold:
+                continue
+            started = time.perf_counter()
+            self.restore(session_id, standby.snapshot(session_id))
+            elapsed = time.perf_counter() - started
+            entry = catchup.for_session(session_id) if catchup else None
+            frames = entry.frames_replayed if entry else 0
+            records = entry.records_replayed if entry else 0
+            ticks = standby.ticks(session_id)
+            report.sessions.append(
+                SessionRecovery(
+                    session_id=session_id,
+                    checkpoint_version=standby.checkpoint_version(session_id),
+                    checkpoint_tick=ticks - records,
+                    wal_frames=frames,
+                    wal_records=records,
+                    replay_seconds=elapsed,
+                    final_tick=ticks,
+                )
+            )
+        if cold:
+            report.merge(manager.recover_into(self, session_ids=cold))
+        return report
+
+    def heal(self, *, standbys=None) -> Dict[int, RecoveryReport]:
         """Respawn and recover every dead worker; returns reports by index.
 
         The one-call repair loop: ``cluster.heal()`` after any
         :class:`~repro.exceptions.ClusterError` that signalled a worker
         death brings the fleet back to full strength with all shards
-        restored from disk.
+        restored from disk.  Pass ``standbys`` (a
+        :class:`~repro.cluster.standby.StandbyPool`, or a mapping of worker
+        index to :class:`~repro.cluster.standby.StandbyWorker`) to hand each
+        dead shard off warm instead of replaying its full WAL tail.
         """
         self._ensure_open()
         self._require_durability("heal the cluster")
-        return {
-            index: self.recover_worker(index) for index in self.dead_workers()
-        }
+        reports: Dict[int, RecoveryReport] = {}
+        for index in self.dead_workers():
+            standby = None
+            if standbys is not None:
+                if hasattr(standbys, "for_worker"):
+                    standby = standbys.for_worker(index)
+                else:
+                    standby = standbys.get(index)
+            reports[index] = self.recover_worker(index, standby=standby)
+        return reports
 
     def recover_from_disk(self) -> RecoveryReport:
         """Rebuild sessions persisted by a previous cluster (full-fleet recovery).

@@ -1,0 +1,340 @@
+"""Warm-standby workers: live session replicas that tail the shard WALs.
+
+Cold recovery (:meth:`~repro.cluster.coordinator.ClusterCoordinator.recover_from_disk`
+/ :meth:`~repro.cluster.coordinator.ClusterCoordinator.recover_worker`)
+rebuilds a dead worker's sessions from the latest checkpoint plus the *whole*
+WAL tail behind it — with the default policy that is up to
+``checkpoint_every`` records of replay per session, paid at the worst
+possible moment.  A :class:`StandbyWorker` moves that replay off the
+failover path: it keeps an in-process
+:class:`~repro.service.session.ImputationSession` replica per stored
+session and, on every :meth:`~StandbyWorker.sync`, folds in only the WAL
+frames appended since the last sync (via the read-only
+:class:`~repro.durability.wal.WalCursor` — the standby never writes to the
+store it tails).  Failover then costs one final catch-up sync plus a
+snapshot/restore handoff: seconds of replay become the few records that
+arrived since the last poll.
+
+Checkpoint rotation is handled without re-restoring: when the journal
+rotates (new checkpoint version), a replica that is already at the new
+checkpoint's tick — the common case, since rotation snapshots the same
+session state the standby has been replaying — simply rebases its cursor
+onto the fresh WAL.  Only a replica that genuinely fell behind (e.g. the
+old WAL was pruned before the standby drained it) pays a checkpoint-blob
+restore.
+
+Because replicas are rebuilt through the exact same checkpoint + replay
+path as cold recovery, a standby's snapshots are bit-identical to the
+crashed worker's acknowledged state — ``tests/cluster/test_standby.py``
+pins both that and the "strictly fewer records replayed than cold" win.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..durability.journal import DurabilityConfig
+from ..durability.recovery import _replay_frame
+from ..durability.store import CheckpointStore
+from ..durability.wal import WalCursor
+from ..exceptions import ClusterError, DurabilityError
+from ..service.session import ImputationSession
+
+__all__ = [
+    "StandbyPool",
+    "StandbySessionSync",
+    "StandbySyncReport",
+    "StandbyWorker",
+]
+
+
+@dataclass(frozen=True)
+class StandbySessionSync:
+    """Outcome of syncing one session replica during one sync pass."""
+
+    #: Id of the synced session.
+    session_id: str
+    #: WAL frames folded into the replica during this pass.
+    frames_replayed: int
+    #: Records folded into the replica during this pass.
+    records_replayed: int
+    #: Whether this pass had to restore the replica from a checkpoint blob
+    #: (first sight of the session, or the replica fell behind a rotation).
+    restored: bool
+    #: Replica tick count after the pass.
+    ticks: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view, JSON-serialisable."""
+        return {
+            "session_id": self.session_id,
+            "frames_replayed": self.frames_replayed,
+            "records_replayed": self.records_replayed,
+            "restored": self.restored,
+            "ticks": self.ticks,
+        }
+
+
+@dataclass
+class StandbySyncReport:
+    """Aggregate outcome of one :meth:`StandbyWorker.sync` pass."""
+
+    #: Per-session sync details, in store order.
+    sessions: List[StandbySessionSync] = field(default_factory=list)
+    #: Wall-clock seconds the pass took.
+    sync_seconds: float = 0.0
+
+    @property
+    def records_replayed(self) -> int:
+        """Total records folded into replicas during the pass."""
+        return sum(entry.records_replayed for entry in self.sessions)
+
+    @property
+    def frames_replayed(self) -> int:
+        """Total WAL frames folded into replicas during the pass."""
+        return sum(entry.frames_replayed for entry in self.sessions)
+
+    @property
+    def restores(self) -> int:
+        """How many replicas had to restore from a checkpoint blob."""
+        return sum(1 for entry in self.sessions if entry.restored)
+
+    def for_session(self, session_id: str) -> Optional[StandbySessionSync]:
+        """Return the entry for ``session_id``, or ``None``."""
+        for entry in self.sessions:
+            if entry.session_id == session_id:
+                return entry
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view, JSON-serialisable."""
+        return {
+            "sessions": [entry.as_dict() for entry in self.sessions],
+            "records_replayed": self.records_replayed,
+            "frames_replayed": self.frames_replayed,
+            "restores": self.restores,
+            "sync_seconds": self.sync_seconds,
+        }
+
+
+class StandbyWorker:
+    """Tails one checkpoint store, keeping a live replica per session.
+
+    Parameters
+    ----------
+    store:
+        The shard's durability state to tail: a
+        :class:`~repro.durability.store.CheckpointStore`, a
+        :class:`~repro.durability.journal.DurabilityConfig`, or a plain
+        directory path.  The standby only ever *reads* it — the owning
+        worker keeps writing throughout.
+    """
+
+    def __init__(self, store) -> None:
+        if isinstance(store, DurabilityConfig):
+            store = store.make_store()
+        elif not isinstance(store, CheckpointStore):
+            store = CheckpointStore(store)
+        self.store = store
+        self._replicas: Dict[str, ImputationSession] = {}
+        self._cursors: Dict[str, WalCursor] = {}
+        self._versions: Dict[str, int] = {}
+        #: Cumulative records folded into replicas across all syncs.
+        self.records_replayed = 0
+        #: Cumulative checkpoint-blob restores performed.
+        self.checkpoint_restores = 0
+        #: Number of :meth:`sync` passes run.
+        self.syncs = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def session_ids(self) -> List[str]:
+        """Ids of the sessions currently replicated, sorted."""
+        return sorted(self._replicas)
+
+    def ticks(self, session_id: str) -> int:
+        """Tick count of one replica."""
+        return self._require(session_id).ticks_seen
+
+    def checkpoint_version(self, session_id: str) -> int:
+        """Checkpoint version one replica is currently based on."""
+        self._require(session_id)
+        return self._versions[session_id]
+
+    def _require(self, session_id: str) -> ImputationSession:
+        """Return the replica for ``session_id`` or raise."""
+        replica = self._replicas.get(session_id)
+        if replica is None:
+            raise ClusterError(
+                f"standby holds no replica for session {session_id!r}"
+            )
+        return replica
+
+    # ------------------------------------------------------------------ #
+    # Tailing
+    # ------------------------------------------------------------------ #
+    def sync(self) -> StandbySyncReport:
+        """Fold everything appended since the last sync into the replicas.
+
+        Idempotent and safe to call at any rate: a pass that finds nothing
+        new replays nothing.  Sessions that appeared in the store are
+        bootstrapped (checkpoint restore + tail replay); sessions that were
+        deleted are dropped.
+        """
+        started = time.perf_counter()
+        report = StandbySyncReport()
+        self.syncs += 1
+        stored = set(self.store.session_ids())
+        for stale in set(self._replicas) - stored:
+            del self._replicas[stale]
+            self._cursors.pop(stale, None)
+            self._versions.pop(stale, None)
+        for session_id in sorted(stored):
+            entry = self._sync_session(session_id)
+            if entry is not None:
+                report.sessions.append(entry)
+        report.sync_seconds = time.perf_counter() - started
+        return report
+
+    def _sync_session(self, session_id: str) -> Optional[StandbySessionSync]:
+        """Sync one session; ``None`` if it has no checkpoint yet."""
+        info = self.store.latest_checkpoint(session_id)
+        if info is None:
+            # A session exists on disk but its first checkpoint has not
+            # landed yet (crash window inside create_session): nothing a
+            # read-only replica can bootstrap from — next sync will see it.
+            return None
+        restored = False
+        replica = self._replicas.get(session_id)
+        if replica is None:
+            replica = self._restore(session_id, info)
+            restored = True
+        elif info.version != self._versions[session_id]:
+            # The journal rotated.  Drain what remains of the old WAL (it
+            # was closed complete at rotation, but we may not have polled
+            # its final frames yet), then decide whether the replica is
+            # already at the new checkpoint's state.
+            self._drain(session_id, replica)
+            if replica.ticks_seen == info.tick:
+                self._versions[session_id] = info.version
+                cursor = self._cursors[session_id]
+                cursor.rebase(self.store.wal_path(session_id, info.version))
+            else:
+                replica = self._restore(session_id, info)
+                restored = True
+        before_frames = self._cursors[session_id].frames_read
+        before_records = self._cursors[session_id].records_read
+        self._drain(session_id, replica)
+        cursor = self._cursors[session_id]
+        frames = cursor.frames_read - before_frames
+        records = cursor.records_read - before_records
+        return StandbySessionSync(
+            session_id=session_id,
+            frames_replayed=frames,
+            records_replayed=records,
+            restored=restored,
+            ticks=replica.ticks_seen,
+        )
+
+    def _restore(self, session_id: str, info) -> ImputationSession:
+        """(Re)build a replica from a checkpoint blob; reset its cursor."""
+        try:
+            blob = self.store.read_checkpoint(session_id, info.version)
+        except DurabilityError:
+            raise
+        replica = ImputationSession.restore(blob)
+        self._replicas[session_id] = replica
+        self._versions[session_id] = info.version
+        self._cursors[session_id] = WalCursor(
+            self.store.wal_path(session_id, info.version)
+        )
+        self.checkpoint_restores += 1
+        return replica
+
+    def _drain(self, session_id: str, replica: ImputationSession) -> None:
+        """Poll the session's cursor and fold new frames into the replica."""
+        cursor = self._cursors[session_id]
+        for matrix, mask in cursor.poll():
+            rows = matrix.shape[0]
+            _replay_frame(
+                replica.push,
+                replica.push_block,
+                replica.series_names,
+                matrix,
+                mask,
+            )
+            self.records_replayed += rows
+
+    # ------------------------------------------------------------------ #
+    # Handoff
+    # ------------------------------------------------------------------ #
+    def snapshot(self, session_id: str) -> bytes:
+        """Snapshot one replica for restore onto a respawned worker."""
+        return self._require(session_id).snapshot()
+
+    def snapshots(self) -> Dict[str, bytes]:
+        """Snapshot every replica, keyed by session id."""
+        return {sid: replica.snapshot() for sid, replica in self._replicas.items()}
+
+    def __contains__(self, session_id: str) -> bool:
+        """Whether a replica exists for ``session_id``."""
+        return session_id in self._replicas
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StandbyWorker(sessions={len(self._replicas)}, "
+            f"records_replayed={self.records_replayed})"
+        )
+
+
+class StandbyPool:
+    """One :class:`StandbyWorker` per cluster shard directory.
+
+    Parameters
+    ----------
+    durability:
+        The cluster's :class:`~repro.durability.journal.DurabilityConfig`
+        (the same object passed to the coordinator); each standby tails
+        ``durability.for_worker(i)``.
+    workers:
+        Number of shards to tail.  :meth:`resize` follows the fleet through
+        rebalances — standbys for retired shard directories are kept (their
+        stores still hold the last state written there) but stop seeing new
+        sessions, and new shard directories get fresh standbys.
+    """
+
+    def __init__(self, durability: DurabilityConfig, workers: int) -> None:
+        if workers < 1:
+            raise ClusterError(f"a standby pool needs >= 1 shard, got {workers}")
+        self.durability = durability
+        self._standbys: Dict[int, StandbyWorker] = {}
+        self.resize(workers)
+
+    @property
+    def workers(self) -> List[int]:
+        """Shard indexes currently tailed, sorted."""
+        return sorted(self._standbys)
+
+    def for_worker(self, index: int) -> StandbyWorker:
+        """Return the standby tailing shard ``index`` (creating it lazily)."""
+        if index not in self._standbys:
+            self._standbys[index] = StandbyWorker(
+                self.durability.for_worker(index)
+            )
+        return self._standbys[index]
+
+    def resize(self, workers: int) -> None:
+        """Ensure standbys exist for shards ``0..workers-1``."""
+        for index in range(workers):
+            self.for_worker(index)
+
+    def sync(self) -> Dict[int, StandbySyncReport]:
+        """Sync every standby; returns per-shard reports."""
+        return {index: self._standbys[index].sync() for index in self.workers}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StandbyPool(workers={self.workers})"

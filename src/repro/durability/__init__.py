@@ -43,7 +43,7 @@ from .faults import FaultInjector
 from .journal import DurabilityConfig, DurabilityPolicy, SessionJournal
 from .recovery import RecoveryManager, RecoveryReport, SessionRecovery
 from .store import CheckpointStore, CheckpointInfo, DurabilityCounters, discover_stores
-from .wal import WriteAheadLog, WalScan, read_wal, scan_wal
+from .wal import WalCursor, WalScan, WriteAheadLog, read_wal, scan_wal
 
 __all__ = [
     "CheckpointStore",
@@ -56,6 +56,7 @@ __all__ = [
     "RecoveryReport",
     "SessionJournal",
     "SessionRecovery",
+    "WalCursor",
     "WalScan",
     "WriteAheadLog",
     "discover_stores",

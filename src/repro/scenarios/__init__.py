@@ -29,6 +29,15 @@ shared benchmark record is ``BENCH_chaos.json``.  See ARCHITECTURE.md's
 "Scenario + chaos tier" section and the EXPERIMENTS.md walkthrough.
 """
 
+from .autoscale import (
+    AutoscaleDrillReport,
+    FailoverReport,
+    autoscale_bench_record,
+    ramp_spec,
+    run_autoscaled_scenario,
+    run_failover_drill,
+    run_fixed_fleet,
+)
 from .chaos import (
     ChaosEvent,
     ChaosReport,
@@ -72,9 +81,11 @@ __all__ = [
     "MISSINGNESS_KINDS",
     "SCENARIO_FAMILIES",
     "ArrivalSpec",
+    "AutoscaleDrillReport",
     "ChaosEvent",
     "ChaosReport",
     "DiskFullReport",
+    "FailoverReport",
     "IngestPolicyStats",
     "MissingnessSpec",
     "PerturbationSpec",
@@ -84,16 +95,21 @@ __all__ = [
     "StationWorkload",
     "apply_ingest_policy",
     "arrival_times",
+    "autoscale_bench_record",
     "chaos_bench_record",
     "delivered_stream",
     "family_spec",
     "grouped_fleet",
     "list_families",
     "missing_masks",
+    "ramp_spec",
     "record_stream",
     "reference_results",
+    "run_autoscaled_scenario",
     "run_chaos_drill",
     "run_disk_full_drill",
+    "run_failover_drill",
+    "run_fixed_fleet",
     "run_scenario",
     "scenario_bench_record",
     "scenario_chunks",

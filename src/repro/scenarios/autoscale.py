@@ -1,0 +1,559 @@
+"""Autoscaled drills: the control loop and warm failover under real load.
+
+Two drill families, sharing the chaos tier's bar — after every resize and
+every failover, outputs must be **bit-identical** to an uninterrupted
+single-process reference run:
+
+* :func:`run_autoscaled_scenario` / :func:`run_fixed_fleet` — a ramping
+  arrival scenario streamed (optionally paced in real time) into a live
+  :class:`~repro.cluster.coordinator.ClusterCoordinator`, either with an
+  :class:`~repro.cluster.autoscale.AutoscaleSupervisor` resizing the fleet
+  from telemetry mid-stream or with a fixed worker count.  The controller's
+  clock is the *scenario* clock (record arrival offsets via
+  :class:`~repro.cluster.autoscale.ManualClock`), so cooldowns are defined
+  in workload time and the decision trace is meaningful regardless of how
+  fast the host happens to push.
+* :func:`run_failover_drill` — seeded kills against a durable cluster,
+  recovered either cold (full checkpoint + WAL-tail replay) or warm
+  (:class:`~repro.cluster.standby.StandbyPool` replicas tailing each
+  shard's WAL, handed off via ``heal(standbys=...)``).  Run twice with the
+  same seed, the two modes see identical kill schedules, which is what
+  makes the warm-vs-cold comparison in ``BENCH_autoscale.json`` (and the
+  regression test pinning ``warm replay < cold replay``) apples-to-apples.
+
+:func:`autoscale_bench_record` composes both into the
+``BENCH_autoscale.json`` schema shared by ``tkcm-repro autoscale-bench``
+and ``benchmarks/test_bench_autoscale.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.autoscale import (
+    AutoscaleConfig,
+    AutoscaleController,
+    AutoscaleSupervisor,
+    ClusterTelemetrySource,
+    ManualClock,
+)
+from ..cluster.bench import results_identical
+from ..cluster.coordinator import ClusterCoordinator
+from ..cluster.standby import StandbyPool
+from ..durability.journal import DurabilityConfig, DurabilityPolicy
+from ..exceptions import ConfigurationError
+from ..results import TickResult
+from .chaos import _merge, reference_results
+from .generator import delivered_stream, scenario_chunks, station_workloads
+from .spec import ArrivalSpec, ScenarioSpec, StationLayout
+
+__all__ = [
+    "AutoscaleDrillReport",
+    "FailoverReport",
+    "autoscale_bench_record",
+    "ramp_spec",
+    "run_autoscaled_scenario",
+    "run_failover_drill",
+    "run_fixed_fleet",
+]
+
+#: Checkpoint interval of the failover drills: deliberately larger than the
+#: drill streams, so a *cold* recovery replays the whole WAL tail while a
+#: warm standby — which replayed it incrementally, off the critical path —
+#: catches up on only the records appended since its last sync.
+DEFAULT_FAILOVER_CHECKPOINT_EVERY = 512
+
+
+def ramp_spec(
+    *,
+    stations: int = 4,
+    records_per_station: int = 40,
+    rate: float = 400.0,
+    ramp_from: float = 0.25,
+    ramp_to: float = 1.75,
+    seed: int = 2017,
+) -> ScenarioSpec:
+    """A clean linear-ramp scenario — the autoscaler's canonical workload.
+
+    Arrival rate sweeps from ``ramp_from * rate`` to ``ramp_to * rate``
+    records/s, so a fleet sized for the start of the stream is undersized
+    at its end: exactly the shape a controller must absorb.  Missingness
+    and perturbations stay at their defaults — the point of this spec is
+    load shape, not data quality.
+    """
+    return ScenarioSpec(
+        name="autoscale-ramp",
+        layout=StationLayout(
+            num_stations=stations, records_per_station=records_per_station
+        ),
+        arrivals=ArrivalSpec(
+            process="ramp", rate=rate, ramp_from=ramp_from, ramp_to=ramp_to
+        ),
+        seed=seed,
+    )
+
+
+@dataclass
+class AutoscaleDrillReport:
+    """Everything one :func:`run_autoscaled_scenario` produced."""
+
+    scenario: str
+    records: int
+    elapsed_seconds: float
+    records_per_second: float
+    start_workers: int
+    final_workers: int
+    resizes: int
+    decisions: int
+    backlog_peak: int
+    paced: bool
+    identical: bool
+    imputed_ticks: int
+    #: The resize actions applied, as JSON-serialisable decision dicts.
+    actions: List[Dict[str, object]] = field(default_factory=list)
+    #: ``(scenario-time, workers)`` fleet-size timeline, starting at 0.
+    worker_timeline: List[List[float]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view, JSON-serialisable."""
+        return {
+            "scenario": self.scenario,
+            "records": self.records,
+            "elapsed_seconds": self.elapsed_seconds,
+            "records_per_second": self.records_per_second,
+            "start_workers": self.start_workers,
+            "final_workers": self.final_workers,
+            "resizes": self.resizes,
+            "decisions": self.decisions,
+            "backlog_peak": self.backlog_peak,
+            "paced": self.paced,
+            "bit_identical_to_reference": self.identical,
+            "imputed_ticks": self.imputed_ticks,
+            "actions": list(self.actions),
+            "worker_timeline": [list(point) for point in self.worker_timeline],
+        }
+
+
+@dataclass
+class FailoverReport:
+    """Everything one :func:`run_failover_drill` produced."""
+
+    scenario: str
+    standby: bool
+    workers: int
+    kills: int
+    records: int
+    mttr_seconds: List[float] = field(default_factory=list)
+    #: WAL records replayed *during failover* (the critical path).
+    records_replayed: int = 0
+    #: Records the standbys replayed off the critical path (warm runs only).
+    standby_records_replayed: int = 0
+    #: Checkpoint-blob restores the standbys performed (warm runs only).
+    standby_restores: int = 0
+    lost_inflight_records: int = 0
+    identical: bool = False
+    imputed_ticks: int = 0
+
+    @property
+    def mttr_mean(self) -> float:
+        """Mean seconds from kill to healed across the drill's kills."""
+        if not self.mttr_seconds:
+            return float("nan")
+        return float(np.mean(self.mttr_seconds))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view, JSON-serialisable."""
+        return {
+            "scenario": self.scenario,
+            "standby": self.standby,
+            "workers": self.workers,
+            "kills": self.kills,
+            "records": self.records,
+            "mttr_seconds": list(self.mttr_seconds),
+            "mttr_mean": self.mttr_mean,
+            "records_replayed": self.records_replayed,
+            "standby_records_replayed": self.standby_records_replayed,
+            "standby_restores": self.standby_restores,
+            "lost_inflight_records": self.lost_inflight_records,
+            "bit_identical_to_reference": self.identical,
+            "imputed_ticks": self.imputed_ticks,
+        }
+
+
+def _create_sessions(cluster, workloads, results) -> None:
+    """Create and prime every station's session on ``cluster``."""
+    for workload in workloads:
+        cluster.create_session(
+            workload.station,
+            method=workload.method,
+            series_names=workload.series_names,
+            **workload.params,
+        )
+        cluster.prime(workload.station, workload.history)
+        results[workload.station] = []
+
+
+def _drill_config(duration: float) -> AutoscaleConfig:
+    """Default controller tuning for a drill of ``duration`` scenario-seconds.
+
+    Cooldowns scale with the stream (a fixed 5 s cooldown would simply
+    disable the controller on a sub-second drill); thresholds are sized for
+    the drills' small per-station record counts.
+    """
+    window = max(duration, 1e-3)
+    return AutoscaleConfig(
+        min_workers=1,
+        max_workers=4,
+        up_backlog_per_worker=32.0,
+        down_backlog_per_worker=4.0,
+        up_after=2,
+        down_after=3,
+        up_cooldown=window / 12.0,
+        down_cooldown=window / 6.0,
+    )
+
+
+def run_autoscaled_scenario(
+    spec: ScenarioSpec,
+    *,
+    autoscale: Optional[AutoscaleConfig] = None,
+    start_workers: Optional[int] = None,
+    poll_records: int = 16,
+    transport: str = "shm",
+    pace: bool = False,
+    check_parity: bool = True,
+) -> AutoscaleDrillReport:
+    """Stream one scenario through a cluster with the control loop engaged.
+
+    Every record is pushed pipelined; after each the controller's
+    :class:`~repro.cluster.autoscale.ManualClock` is advanced to the
+    record's scheduled arrival offset, and every ``poll_records`` records
+    the supervisor runs one control-loop tick (sample telemetry → decide →
+    ``rebalance`` if warranted, with pipelined records still in flight).
+    With ``pace=True`` the push itself also waits for the record's wall
+    arrival time — the open-loop shape the throughput comparison against
+    fixed fleets uses.
+
+    Parity compares the combined flush results bit-identically against
+    :func:`~repro.scenarios.chaos.reference_results` across however many
+    resizes the controller applied.
+    """
+    if poll_records < 1:
+        raise ConfigurationError(f"poll_records must be >= 1, got {poll_records}")
+    workloads = station_workloads(spec)
+    records = delivered_stream(spec)
+    if not records:
+        raise ConfigurationError(f"scenario {spec.name!r} delivers no records")
+    duration = max(record.arrival for record in records)
+    config = autoscale or _drill_config(duration)
+    start = config.min_workers if start_workers is None else int(start_workers)
+    if not config.min_workers <= start <= config.max_workers:
+        raise ConfigurationError(
+            f"start_workers {start} outside controller bounds "
+            f"[{config.min_workers}, {config.max_workers}]"
+        )
+
+    clock = ManualClock()
+    results: Dict[str, List[TickResult]] = {}
+    backlog_peak = 0
+    with ClusterCoordinator(num_workers=start, transport=transport) as cluster:
+        supervisor = AutoscaleSupervisor(
+            cluster=cluster,
+            controller=AutoscaleController(config),
+            source=ClusterTelemetrySource(cluster, clock=clock),
+        )
+        _create_sessions(cluster, workloads, results)
+        timeline = [[0.0, float(start)]]
+        started = time.perf_counter()
+        for position, record in enumerate(records):
+            if pace:
+                lag = record.arrival - (time.perf_counter() - started)
+                if lag > 0:
+                    time.sleep(lag)
+            cluster.push_nowait(record.station, record.row)
+            clock.advance(max(0.0, record.arrival - clock.now()))
+            if (position + 1) % poll_records == 0:
+                decision = supervisor.tick()
+                backlog_peak = max(backlog_peak, supervisor.samples[-1].backlog)
+                if decision.is_action:
+                    timeline.append(
+                        [decision.at, float(decision.target_workers)]
+                    )
+        _merge(results, cluster.flush())
+        elapsed = time.perf_counter() - started
+        final_workers = cluster.num_workers
+
+    identical = False
+    if check_parity:
+        identical = results_identical(results, reference_results(spec, records))
+    return AutoscaleDrillReport(
+        scenario=spec.name,
+        records=len(records),
+        elapsed_seconds=elapsed,
+        records_per_second=len(records) / elapsed if elapsed > 0 else 0.0,
+        start_workers=start,
+        final_workers=final_workers,
+        resizes=supervisor.resizes,
+        decisions=len(supervisor.controller.decisions),
+        backlog_peak=backlog_peak,
+        paced=pace,
+        identical=identical,
+        imputed_ticks=sum(len(ticks) for ticks in results.values()),
+        actions=[decision.as_dict() for decision in supervisor.actions],
+        worker_timeline=timeline,
+    )
+
+
+def run_fixed_fleet(
+    spec: ScenarioSpec,
+    workers: int,
+    *,
+    transport: str = "shm",
+    pace: bool = False,
+    check_parity: bool = True,
+) -> Dict[str, object]:
+    """Stream one scenario through a fixed ``workers``-worker cluster.
+
+    The baseline the autoscaled run is compared against — same stream, same
+    pacing, no controller.  Returns a JSON-serialisable entry.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    workloads = station_workloads(spec)
+    records = delivered_stream(spec)
+    results: Dict[str, List[TickResult]] = {}
+    with ClusterCoordinator(num_workers=workers, transport=transport) as cluster:
+        _create_sessions(cluster, workloads, results)
+        started = time.perf_counter()
+        for record in records:
+            if pace:
+                lag = record.arrival - (time.perf_counter() - started)
+                if lag > 0:
+                    time.sleep(lag)
+            cluster.push_nowait(record.station, record.row)
+        _merge(results, cluster.flush())
+        elapsed = time.perf_counter() - started
+    parity = None
+    if check_parity:
+        parity = results_identical(results, reference_results(spec, records))
+    return {
+        "workers": workers,
+        "records": len(records),
+        "elapsed_seconds": elapsed,
+        "records_per_second": len(records) / elapsed if elapsed > 0 else 0.0,
+        "paced": pace,
+        "bit_identical_to_reference": parity,
+        "imputed_ticks": sum(len(ticks) for ticks in results.values()),
+    }
+
+
+def run_failover_drill(
+    spec: ScenarioSpec,
+    durability_root,
+    *,
+    standby: bool,
+    workers: int = 2,
+    kills: int = 2,
+    checkpoint_every: int = DEFAULT_FAILOVER_CHECKPOINT_EVERY,
+    transport: str = "shm",
+    seed: Optional[int] = None,
+    check_parity: bool = True,
+) -> FailoverReport:
+    """Kill workers mid-stream; recover cold or via warm standbys.
+
+    The stream is split into ``kills + 2`` chunks; kills fire at seeded
+    chunk boundaries (flush first — the coordinator's consistency point —
+    then ``terminate_worker`` on a seeded victim, then ``heal``).  In
+    standby mode a :class:`~repro.cluster.standby.StandbyPool` tails every
+    shard and syncs at *every* chunk boundary — the periodic background
+    polling a deployment would run — so the final catch-up inside
+    ``heal(standbys=...)`` replays only the records appended since the last
+    boundary.  The kill schedule depends only on ``seed`` (default: the
+    spec's), so a cold and a warm run with the same seed are directly
+    comparable.
+    """
+    if kills < 1:
+        raise ConfigurationError(f"kills must be >= 1, got {kills}")
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    workloads = station_workloads(spec)
+    records = delivered_stream(spec)
+    rng = np.random.default_rng(spec.seed if seed is None else seed)
+    chunks = scenario_chunks(records, kills + 2)
+    if len(chunks) < kills + 1:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} has too few records "
+            f"({len(records)}) for {kills} kills"
+        )
+    boundaries = sorted(
+        int(b) for b in rng.permutation(len(chunks) - 1)[:kills]
+    )
+    victims = [int(v) for v in rng.integers(0, workers, size=kills)]
+    schedule = dict(zip(boundaries, victims))
+
+    durability = DurabilityConfig(
+        durability_root,
+        policy=DurabilityPolicy(checkpoint_every=int(checkpoint_every)),
+    )
+    pool = StandbyPool(durability, workers) if standby else None
+    results: Dict[str, List[TickResult]] = {}
+    mttr: List[float] = []
+    replayed = 0
+    lost = 0
+    with ClusterCoordinator(
+        num_workers=workers, transport=transport, durability=durability
+    ) as cluster:
+        _create_sessions(cluster, workloads, results)
+        for boundary, chunk in enumerate(chunks):
+            for record in chunk:
+                cluster.push_nowait(record.station, record.row)
+            if boundary not in schedule and pool is None:
+                continue
+            _merge(results, cluster.flush())
+            if pool is not None:
+                pool.sync()
+            if boundary in schedule:
+                cluster.terminate_worker(schedule[boundary])
+                repair_started = time.perf_counter()
+                reports = cluster.heal(standbys=pool)
+                mttr.append(time.perf_counter() - repair_started)
+                replayed += sum(
+                    report.records_replayed for report in reports.values()
+                )
+                lost += sum(
+                    report.lost_inflight_records for report in reports.values()
+                )
+        _merge(results, cluster.flush())
+
+    identical = False
+    if check_parity:
+        identical = results_identical(results, reference_results(spec, records))
+    standby_replayed = 0
+    standby_restores = 0
+    if pool is not None:
+        for index in pool.workers:
+            worker_standby = pool.for_worker(index)
+            standby_replayed += worker_standby.records_replayed
+            standby_restores += worker_standby.checkpoint_restores
+    return FailoverReport(
+        scenario=spec.name,
+        standby=standby,
+        workers=workers,
+        kills=kills,
+        records=len(records),
+        mttr_seconds=mttr,
+        records_replayed=replayed,
+        standby_records_replayed=standby_replayed,
+        standby_restores=standby_restores,
+        lost_inflight_records=lost,
+        identical=identical,
+        imputed_ticks=sum(len(ticks) for ticks in results.values()),
+    )
+
+
+def autoscale_bench_record(
+    durability_root,
+    *,
+    stations: int = 4,
+    records_per_station: int = 40,
+    rate: float = 400.0,
+    fleets: Sequence[int] = (1, 2, 4),
+    workers: int = 2,
+    kills: int = 2,
+    checkpoint_every: int = DEFAULT_FAILOVER_CHECKPOINT_EVERY,
+    transport: str = "shm",
+    seed: int = 2017,
+    pace: bool = True,
+    check_parity: bool = True,
+) -> Dict[str, object]:
+    """Run the ramp comparison and the failover comparison; build the record.
+
+    The returned dict is the ``BENCH_autoscale.json`` schema (see DESIGN.md):
+
+    * ``ramp`` — the paced ramping scenario streamed through the autoscaled
+      cluster and through each fixed fleet in ``fleets``, with the
+      autoscaled-to-best-fixed throughput ratio;
+    * ``failover`` — the same seeded kill drill recovered cold and warm,
+      with MTTR and replayed-record comparisons.
+
+    ``durability_root`` must be a fresh directory; one subdirectory is
+    created per failover run.
+    """
+    spec = ramp_spec(
+        stations=stations,
+        records_per_station=records_per_station,
+        rate=rate,
+        seed=seed,
+    )
+    autoscaled = run_autoscaled_scenario(
+        spec, transport=transport, pace=pace, check_parity=check_parity
+    )
+    fixed = {
+        str(int(n)): run_fixed_fleet(
+            spec, int(n), transport=transport, pace=pace,
+            check_parity=check_parity,
+        )
+        for n in fleets
+    }
+    best_fixed = max(entry["records_per_second"] for entry in fixed.values())
+    ratio = (
+        autoscaled.records_per_second / best_fixed if best_fixed > 0 else 0.0
+    )
+
+    cold = run_failover_drill(
+        spec,
+        os.path.join(os.fspath(durability_root), "cold"),
+        standby=False,
+        workers=workers,
+        kills=kills,
+        checkpoint_every=checkpoint_every,
+        transport=transport,
+        seed=seed,
+        check_parity=check_parity,
+    )
+    warm = run_failover_drill(
+        spec,
+        os.path.join(os.fspath(durability_root), "warm"),
+        standby=True,
+        workers=workers,
+        kills=kills,
+        checkpoint_every=checkpoint_every,
+        transport=transport,
+        seed=seed,
+        check_parity=check_parity,
+    )
+    return {
+        "benchmark": "autoscale",
+        "config": {
+            "stations": stations,
+            "records_per_station": records_per_station,
+            "rate": rate,
+            "fleets": [int(n) for n in fleets],
+            "workers": workers,
+            "kills": kills,
+            "checkpoint_every": checkpoint_every,
+            "transport": transport,
+            "seed": seed,
+            "pace": pace,
+        },
+        "ramp": {
+            "autoscaled": autoscaled.as_dict(),
+            "fixed": fixed,
+            "best_fixed_records_per_second": best_fixed,
+            "autoscaled_vs_best_fixed": ratio,
+        },
+        "failover": {
+            "cold": cold.as_dict(),
+            "warm": warm.as_dict(),
+            "warm_replay_lt_cold": warm.records_replayed < cold.records_replayed,
+            "warm_mttr_below_cold": warm.mttr_mean < cold.mttr_mean,
+            "mttr_speedup": (
+                cold.mttr_mean / warm.mttr_mean if warm.mttr_mean > 0 else 0.0
+            ),
+        },
+    }

@@ -1,0 +1,430 @@
+"""The deterministic control-loop harness for the elastic autoscaler.
+
+Every decision path of :class:`~repro.cluster.autoscale.AutoscaleController`
+— scale-up, scale-down, cooldowns, hysteresis streaks, min/max bounds — is
+exercised with zero real processes and zero sleeps: time is a
+:class:`~repro.cluster.autoscale.ManualClock`, telemetry is a
+:class:`~repro.cluster.autoscale.ScriptedTelemetrySource`, and the
+controller itself is a pure function of ``(sample trace, config)``.  On top
+sit Hypothesis properties (never flaps within a cooldown window, never
+leaves the bounds, fully deterministic) and one live integration test
+proving that scripted resizes applied mid-stream through
+:class:`~repro.cluster.autoscale.AutoscaleSupervisor` keep cluster outputs
+bit-identical to a single-process run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.autoscale import (
+    AutoscaleConfig,
+    AutoscaleController,
+    AutoscaleSupervisor,
+    ClusterTelemetrySource,
+    FleetSample,
+    ManualClock,
+    ScaleDecision,
+    ScriptedTelemetrySource,
+    SystemClock,
+)
+from repro.cluster.bench import results_identical
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.exceptions import ClusterError
+from repro.scenarios.chaos import reference_results
+from repro.scenarios.generator import (
+    delivered_stream,
+    scenario_chunks,
+    station_workloads,
+)
+from repro.scenarios.spec import ScenarioSpec, StationLayout
+
+
+def sample(at, workers, backlog, stalls=0):
+    """Shorthand FleetSample constructor for scripted traces."""
+    return FleetSample(
+        at=float(at), workers=workers, backlog=backlog, ring_full_stalls=stalls
+    )
+
+
+def feed(controller, samples):
+    """Feed a trace; return the list of decisions."""
+    return [controller.observe(s) for s in samples]
+
+
+# --------------------------------------------------------------------------- #
+# Clocks
+# --------------------------------------------------------------------------- #
+class TestClocks:
+    def test_manual_clock_advances_only_when_told(self):
+        clock = ManualClock(start=5.0)
+        assert clock.now() == 5.0
+        assert clock.advance(2.5) == 7.5
+        assert clock.now() == 7.5
+
+    def test_manual_clock_rejects_negative_advance(self):
+        with pytest.raises(ClusterError):
+            ManualClock().advance(-1.0)
+
+    def test_system_clock_is_monotonic(self):
+        clock = SystemClock()
+        assert clock.now() <= clock.now()
+
+
+# --------------------------------------------------------------------------- #
+# Config validation
+# --------------------------------------------------------------------------- #
+class TestConfigValidation:
+    def test_defaults_are_valid_and_serialisable(self):
+        config = AutoscaleConfig()
+        assert json.loads(json.dumps(config.as_dict())) == config.as_dict()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(min_workers=0),
+            dict(min_workers=4, max_workers=2),
+            dict(up_backlog_per_worker=10.0, down_backlog_per_worker=10.0),
+            dict(up_backlog_per_worker=10.0, down_backlog_per_worker=20.0),
+            dict(up_after=0),
+            dict(down_after=0),
+            dict(up_cooldown=-1.0),
+            dict(down_cooldown=-0.1),
+            dict(up_step=0),
+            dict(down_step=0),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ClusterError):
+            AutoscaleConfig(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Decision paths (pure, scripted, no processes)
+# --------------------------------------------------------------------------- #
+CFG = AutoscaleConfig(
+    min_workers=1,
+    max_workers=4,
+    up_backlog_per_worker=100.0,
+    down_backlog_per_worker=10.0,
+    up_after=2,
+    down_after=3,
+    up_cooldown=5.0,
+    down_cooldown=15.0,
+)
+
+
+class TestScaleUp:
+    def test_one_breach_is_not_enough(self):
+        controller = AutoscaleController(CFG)
+        decision = controller.observe(sample(0, 1, 500))
+        assert decision.action == "hold"
+        assert not decision.is_action
+
+    def test_streak_of_up_after_scales_up(self):
+        controller = AutoscaleController(CFG)
+        decisions = feed(controller, [sample(0, 1, 500), sample(1, 1, 500)])
+        assert [d.action for d in decisions] == ["hold", "up"]
+        assert decisions[-1].target_workers == 2
+        assert "backlog" in decisions[-1].reason
+
+    def test_interrupted_streak_resets(self):
+        controller = AutoscaleController(CFG)
+        decisions = feed(
+            controller,
+            [sample(0, 1, 500), sample(1, 1, 50), sample(2, 1, 500)],
+        )
+        assert [d.action for d in decisions] == ["hold", "hold", "hold"]
+
+    def test_ring_full_stalls_trigger_up_without_backlog(self):
+        controller = AutoscaleController(CFG)
+        decisions = feed(
+            controller,
+            [sample(0, 2, 50, stalls=0), sample(1, 2, 50, stalls=3),
+             sample(2, 2, 50, stalls=6)],
+        )
+        assert decisions[-1].action == "up"
+        assert "stall" in decisions[-1].reason
+
+    def test_at_max_workers_holds_with_reason(self):
+        controller = AutoscaleController(CFG)
+        decisions = feed(controller, [sample(0, 4, 900), sample(1, 4, 900)])
+        assert decisions[-1].action == "hold"
+        assert "max_workers" in decisions[-1].reason
+
+    def test_up_clamps_target_to_max(self):
+        config = AutoscaleConfig(
+            min_workers=1, max_workers=3, up_backlog_per_worker=100.0,
+            down_backlog_per_worker=10.0, up_after=1, up_step=5,
+        )
+        controller = AutoscaleController(config)
+        decision = controller.observe(sample(0, 1, 500))
+        assert decision.action == "up"
+        assert decision.target_workers == 3
+
+
+class TestScaleDown:
+    def test_streak_of_down_after_scales_down(self):
+        controller = AutoscaleController(CFG)
+        decisions = feed(
+            controller,
+            [sample(t, 3, 0) for t in range(3)],
+        )
+        assert [d.action for d in decisions] == ["hold", "hold", "down"]
+        assert decisions[-1].target_workers == 2
+
+    def test_at_min_workers_holds_with_reason(self):
+        controller = AutoscaleController(CFG)
+        decisions = feed(controller, [sample(t, 1, 0) for t in range(3)])
+        assert decisions[-1].action == "hold"
+        assert "min_workers" in decisions[-1].reason
+
+    def test_stall_delta_vetoes_down_pressure(self):
+        # Disable the stall *up* signal so only the down veto is in play:
+        # backlog is low, but the data plane keeps stalling — never shrink.
+        config = dataclasses.replace(CFG, up_stall_delta=0)
+        controller = AutoscaleController(config)
+        decisions = feed(
+            controller,
+            [sample(t, 3, 0, stalls=t) for t in range(6)],
+        )
+        assert all(d.action == "hold" for d in decisions)
+
+
+class TestCooldowns:
+    def test_up_cooldown_blocks_consecutive_ups(self):
+        controller = AutoscaleController(CFG)
+        feed(controller, [sample(0, 1, 500), sample(1, 1, 500)])  # up at t=1
+        blocked = feed(controller, [sample(2, 2, 500), sample(3, 2, 500)])
+        assert [d.action for d in blocked] == ["hold", "hold"]
+        assert "cooldown" in blocked[-1].reason
+        # Past the cooldown the same pressure fires.
+        fired = feed(controller, [sample(6.5, 2, 500)])
+        assert fired[-1].action == "up"
+
+    def test_down_cooldown_blocks_down_after_up(self):
+        controller = AutoscaleController(CFG)
+        feed(controller, [sample(0, 1, 500), sample(1, 1, 500)])  # up at t=1
+        # Load evaporates instantly — but the down must wait out the
+        # (longer) down cooldown measured from the up action.
+        blocked = feed(controller, [sample(1 + t, 2, 0) for t in range(1, 15)])
+        assert all(d.action == "hold" for d in blocked)
+        fired = feed(controller, [sample(16.5, 2, 0)])
+        assert fired[-1].action == "down"
+
+    def test_zero_cooldowns_allow_back_to_back_actions(self):
+        config = AutoscaleConfig(
+            min_workers=1, max_workers=4, up_backlog_per_worker=100.0,
+            down_backlog_per_worker=10.0, up_after=1, down_after=1,
+            up_cooldown=0.0, down_cooldown=0.0,
+        )
+        controller = AutoscaleController(config)
+        decisions = feed(
+            controller, [sample(0, 1, 500), sample(0.1, 2, 500)]
+        )
+        assert [d.action for d in decisions] == ["up", "up"]
+
+
+class TestControllerPlumbing:
+    def test_decisions_accumulate_and_serialise(self):
+        controller = AutoscaleController(CFG)
+        feed(controller, [sample(t, 1, 500) for t in range(3)])
+        assert len(controller.decisions) == 3
+        for decision in controller.decisions:
+            payload = json.loads(json.dumps(decision.as_dict()))
+            assert payload["reason"]
+            assert payload["action"] in {"up", "down", "hold"}
+
+    def test_replay_equals_observe_loop(self):
+        trace = [sample(t, 1, 500) for t in range(4)]
+        one = AutoscaleController(CFG)
+        two = AutoscaleController(CFG)
+        assert one.replay(trace) == feed(two, trace)
+
+    def test_reset_restores_fresh_state(self):
+        controller = AutoscaleController(CFG)
+        trace = [sample(t, 1, 500) for t in range(4)]
+        first = feed(controller, trace)
+        controller.reset()
+        assert controller.decisions == []
+        assert feed(controller, trace) == first
+
+    def test_fleet_sample_serialises(self):
+        s = sample(1.5, 2, 42, stalls=7)
+        assert json.loads(json.dumps(s.as_dict()))["backlog"] == 42
+
+    def test_scripted_source_exhaustion_raises(self):
+        source = ScriptedTelemetrySource([sample(0, 1, 0)])
+        assert source.remaining == 1
+        source.sample()
+        assert source.remaining == 0
+        with pytest.raises(ClusterError):
+            source.sample()
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis properties
+# --------------------------------------------------------------------------- #
+def configs():
+    """Strategy over valid AutoscaleConfigs (including degenerate cooldowns)."""
+    return st.builds(
+        AutoscaleConfig,
+        min_workers=st.integers(1, 2),
+        max_workers=st.integers(2, 6),
+        up_backlog_per_worker=st.floats(50.0, 500.0),
+        down_backlog_per_worker=st.floats(1.0, 49.0),
+        up_stall_delta=st.integers(0, 3),
+        up_after=st.integers(1, 3),
+        down_after=st.integers(1, 3),
+        up_cooldown=st.floats(0.0, 10.0),
+        down_cooldown=st.floats(0.0, 30.0),
+        up_step=st.integers(1, 2),
+        down_step=st.integers(1, 2),
+    )
+
+
+def traces():
+    """Strategy over telemetry traces: (dt, backlog, stall-increment) steps."""
+    return st.lists(
+        st.tuples(
+            st.floats(0.01, 5.0),   # seconds since previous sample
+            st.integers(0, 2000),   # fleet backlog
+            st.integers(0, 5),      # new ring-full stalls since previous
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+
+def closed_loop(config, trace):
+    """Run a trace through a controller with the fleet following its targets."""
+    controller = AutoscaleController(config)
+    workers = config.min_workers
+    now = 0.0
+    stalls = 0
+    decisions = []
+    for dt, backlog, stall_inc in trace:
+        now += dt
+        stalls += stall_inc
+        decision = controller.observe(
+            FleetSample(
+                at=now, workers=workers, backlog=backlog,
+                ring_full_stalls=stalls,
+            )
+        )
+        decisions.append(decision)
+        workers = decision.target_workers
+    return decisions
+
+
+@settings(max_examples=150, deadline=None)
+@given(config=configs(), trace=traces())
+def test_targets_never_leave_bounds(config, trace):
+    for decision in closed_loop(config, trace):
+        assert config.min_workers <= decision.target_workers <= config.max_workers
+
+
+@settings(max_examples=150, deadline=None)
+@given(config=configs(), trace=traces())
+def test_never_flaps_within_cooldown_window(config, trace):
+    """No up-then-down within one down-cooldown (and vice versa)."""
+    actions = [d for d in closed_loop(config, trace) if d.is_action]
+    for previous, current in zip(actions, actions[1:]):
+        gap = current.at - previous.at
+        if current.action == "down":
+            assert gap >= config.down_cooldown - 1e-9
+        else:
+            assert gap >= config.up_cooldown - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(config=configs(), trace=traces())
+def test_deterministic_given_trace_and_config(config, trace):
+    assert closed_loop(config, trace) == closed_loop(config, trace)
+
+
+@settings(max_examples=100, deadline=None)
+@given(config=configs(), trace=traces())
+def test_every_decision_carries_a_reason(config, trace):
+    for decision in closed_loop(config, trace):
+        assert isinstance(decision, ScaleDecision)
+        assert decision.reason
+
+
+# --------------------------------------------------------------------------- #
+# Live integration: scripted resizes keep outputs bit-identical
+# --------------------------------------------------------------------------- #
+class TestSupervisorIntegration:
+    def test_scripted_up_and_down_resizes_preserve_parity(self):
+        """Force up→up→down mid-stream; outputs must match single-process."""
+        spec = ScenarioSpec(
+            name="autoscale-integration",
+            layout=StationLayout(num_stations=4, records_per_station=24),
+            seed=11,
+        )
+        workloads = station_workloads(spec)
+        records = delivered_stream(spec)
+        chunks = scenario_chunks(records, 4)
+        # One scripted sample per chunk boundary; workers/backlog are
+        # authored to force the exact action sequence up, up, down.
+        config = AutoscaleConfig(
+            min_workers=1, max_workers=3, up_backlog_per_worker=100.0,
+            down_backlog_per_worker=10.0, up_after=1, down_after=1,
+            up_cooldown=0.0, down_cooldown=0.0,
+        )
+        source = ScriptedTelemetrySource(
+            [
+                sample(0.0, 1, 500),   # -> up to 2
+                sample(1.0, 2, 500),   # -> up to 3
+                sample(2.0, 3, 0),     # -> down to 2
+            ]
+        )
+        results = {}
+        with ClusterCoordinator(num_workers=1) as cluster:
+            supervisor = AutoscaleSupervisor(
+                cluster=cluster,
+                controller=AutoscaleController(config),
+                source=source,
+            )
+            for workload in workloads:
+                cluster.create_session(
+                    workload.station,
+                    method=workload.method,
+                    series_names=workload.series_names,
+                    **workload.params,
+                )
+                cluster.prime(workload.station, workload.history)
+                results[workload.station] = []
+            expected_workers = [2, 3, 2]
+            for index, chunk in enumerate(chunks):
+                for record in chunk:
+                    cluster.push_nowait(record.station, record.row)
+                if index < len(expected_workers):
+                    decision = supervisor.tick()
+                    assert decision.is_action
+                    assert cluster.num_workers == expected_workers[index]
+            for station, ticks in cluster.flush().items():
+                results.setdefault(station, []).extend(ticks)
+            assert supervisor.resizes == 3
+            trace = supervisor.as_dict()
+            assert len(trace["actions"]) == 3
+            json.dumps(trace)  # the whole loop trace is JSON-serialisable
+        assert results_identical(results, reference_results(spec, records))
+
+    def test_cluster_telemetry_source_reads_live_counters(self):
+        clock = ManualClock(start=3.0)
+        with ClusterCoordinator(num_workers=2) as cluster:
+            source = ClusterTelemetrySource(cluster, clock=clock)
+            observed = source.sample()
+            assert observed.at == 3.0
+            assert observed.workers == 2
+            assert observed.backlog == 0
+            rich = ClusterTelemetrySource(
+                cluster, clock=clock, include_worker_stats=True
+            ).sample()
+            assert rich.queue_depth_max >= 0
+            assert rich.pending_records_peak >= 0

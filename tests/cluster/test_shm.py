@@ -131,6 +131,7 @@ class TestSharedRingBuffer:
         received, _ = _run_echo(1 << 12, payloads)
         assert received == payloads
 
+    @pytest.mark.slow_timing  # a deliberately slow consumer is the subject
     def test_ring_full_backpressure_drops_and_reorders_nothing(self):
         """A slow consumer must stall the writer, never lose a frame."""
         payloads = [(FRAME_PUSH, bytes([i % 256]) * 200) for i in range(64)]
@@ -347,6 +348,7 @@ class TestBlockCodec:
 # Worker-handle crash regression (satellite: recv_reply deadline)
 # --------------------------------------------------------------------------- #
 class TestWorkerCrashSurfacing:
+    @pytest.mark.slow_timing  # asserts a wall-clock crash-surfacing deadline
     def test_hard_kill_between_frames_surfaces_fast(self):
         """A worker killed while idle must fail the next RPC within the
         poll deadline — long before the 120 s reply timeout."""
@@ -363,6 +365,7 @@ class TestWorkerCrashSurfacing:
                 worker.request("stats", timeout=60.0)
             assert time.monotonic() - started < 10.0
 
+    @pytest.mark.slow_timing  # asserts a wall-clock crash-surfacing deadline
     def test_hard_kill_mid_rpc_raises_worker_crashed_within_deadline(self):
         """The satellite regression: the RPC is in flight (the worker is
         busy priming a large history) when the process is hard-killed; the

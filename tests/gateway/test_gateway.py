@@ -25,6 +25,7 @@ from repro.gateway import (
 )
 from repro.gateway import protocol
 from repro.service import ImputationService
+from tests.timing import wait_until
 
 
 def small_fleet(connections=2, stations=1, records=24):
@@ -44,6 +45,7 @@ def service_server():
 
 
 class TestWireParity:
+    @pytest.mark.slow_timing  # open-loop loadgen paces pushes in real time
     def test_loadgen_results_bit_identical_to_inprocess(self):
         record = gateway_bench_record(
             connections=6, stations_per_connection=2, records_per_station=24,
@@ -175,13 +177,13 @@ class TestSessionNamespacing:
                     )
                     client.ping()
                     assert len(service.session_ids) == 1
-                # Context exit closed the socket; poll until the server
-                # notices and cleans up.
-                deadline = 100
-                while service.session_ids and deadline:
-                    import time
-                    time.sleep(0.02)
-                    deadline -= 1
+                # Context exit closed the socket; wait on the *condition*
+                # (server-side cleanup), not a guessed duration.
+                wait_until(
+                    lambda: not service.session_ids,
+                    message="server never removed the disconnected "
+                    "client's sessions",
+                )
                 assert service.session_ids == []
 
 
@@ -303,6 +305,7 @@ class TestHostileClients:
 
 
 class TestClusterBackend:
+    @pytest.mark.slow_timing  # open-loop loadgen paces pushes in real time
     def test_gateway_over_cluster_with_loadgen(self):
         fleet = small_fleet(connections=4, stations=1, records=20)
         with ClusterCoordinator(num_workers=2, transport="shm") as cluster:

@@ -1,0 +1,52 @@
+"""Shared timing utilities for the test suite — the deflake policy.
+
+The repo's rule for time in tests, in order of preference:
+
+1. **No clock at all.**  Pure logic takes an injected clock
+   (:class:`repro.cluster.autoscale.ManualClock`) or scripted inputs
+   (:class:`repro.cluster.autoscale.ScriptedTelemetrySource`); see
+   ``tests/cluster/test_autoscale.py`` for the pattern.
+2. **Event barriers.**  When a test must wait for another process or
+   thread to act, it waits on the *condition*, not on a guessed duration:
+   :func:`wait_until` polls a predicate with a hard deadline and a clear
+   failure message.  A passing run costs one poll interval, not the worst
+   case.
+3. **`slow_timing` marker.**  Tests whose *subject* is wall-clock
+   behaviour (real pacing rates, backpressure under a deliberately slow
+   consumer, crash-surfacing deadlines) cannot drop the clock; they carry
+   ``@pytest.mark.slow_timing`` so a flake can be attributed — and the set
+   can be deselected with ``-m 'not slow_timing'`` on noisy hardware.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["wait_until"]
+
+
+def wait_until(
+    predicate: Callable[[], bool],
+    *,
+    timeout: float = 5.0,
+    interval: float = 0.005,
+    message: Optional[str] = None,
+) -> None:
+    """Poll ``predicate`` until true; fail the test at ``timeout`` seconds.
+
+    The event-barrier replacement for ``sleep(guess)`` loops: returns as
+    soon as the condition holds (typically one ``interval``), and raises
+    ``AssertionError`` with ``message`` if the deadline passes — so a hang
+    reads as a named condition that never happened, not a bare timeout.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        if predicate():
+            return
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                message or "condition not reached within "
+                f"{timeout:.1f}s: {predicate!r}"
+            )
+        time.sleep(interval)
