@@ -113,7 +113,7 @@ from .results import SeriesEstimate, TickResult
 from .scenarios import ScenarioSpec, StationLayout, family_spec, run_chaos_drill
 from .service import ImputationService, ImputationSession
 
-__version__ = "1.5.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "TKCMConfig",

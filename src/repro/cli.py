@@ -23,6 +23,11 @@ The CLI exposes the workflows a downstream user needs without writing Python:
   against a live durable cluster with seeded worker kills, mid-stream
   rebalances and an optional disk-full checkpoint fault, gating on
   bit-identical recovery and reporting the MTTR distribution.
+* ``tkcm-repro resilience-bench`` — measure what end-to-end resilience
+  costs and buys: steady-state lease/ACK overhead of the resilient client,
+  reconnect recovery latency, the full disconnect/kill/wedge drill
+  (supervisor-healed, parity-gated), the crash-loop breaker drill, and
+  supervised vs manual MTTR.
 * ``tkcm-repro autoscale-bench`` — run the elasticity drills: a paced
   ramping scenario through the autoscale control loop versus fixed fleets,
   plus the same seeded failover drill recovered cold and via warm
@@ -274,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--kills", type=int, default=3,
                        help="hard worker kills injected at seeded chunk "
                             "boundaries (default 3)")
+    chaos.add_argument("--disconnects", type=int, default=0,
+                       help="also stream the scenario through the resilient "
+                            "gateway path with this many seeded connection "
+                            "drops plus one kill and one wedge, supervisor-"
+                            "healed from warm standbys (default 0: skip)")
     chaos.add_argument("--rebalance-to", type=int, default=None,
                        help="also rebalance the fleet to this worker count "
                             "mid-stream, without flushing first "
@@ -342,6 +352,43 @@ def build_parser() -> argparse.ArgumentParser:
     autoscale.add_argument("--json", dest="json_path", default=None,
                            help="also write the autoscale record to this path")
     autoscale.set_defaults(handler=_cmd_autoscale_bench)
+
+    resilience = subparsers.add_parser(
+        "resilience-bench",
+        help="measure what end-to-end resilience costs and buys: lease/ACK "
+             "overhead, reconnect latency, the full fault drill, the "
+             "crash-loop breaker, and supervised vs manual MTTR",
+    )
+    resilience.add_argument("--dir", dest="root", default=None,
+                            help="durability root for the drills' "
+                                 "checkpoints/WALs (default: a fresh "
+                                 "temporary directory)")
+    resilience.add_argument("--family", default="bursty-cascade",
+                            help="scenario family to run "
+                                 "(default: bursty-cascade)")
+    resilience.add_argument("--stations", type=int, default=4,
+                            help="stations in the fleet (default 4)")
+    resilience.add_argument("--records-per-station", type=int, default=40,
+                            help="streamed records per station (default 40)")
+    resilience.add_argument("--workers", type=int, default=2,
+                            help="cluster workers (default 2)")
+    resilience.add_argument("--disconnects", type=int, default=2,
+                            help="seeded connection drops in the fault drill "
+                                 "(default 2)")
+    resilience.add_argument("--breaker-threshold", type=int, default=2,
+                            help="restarts inside the window before the "
+                                 "crash-loop breaker opens (default 2)")
+    resilience.add_argument("--transport", choices=["shm", "pipe"],
+                            default="shm",
+                            help="cluster data-plane transport "
+                                 "(default: shm)")
+    resilience.add_argument("--seed", type=int, default=2017,
+                            help="scenario + fault-schedule seed "
+                                 "(default 2017)")
+    resilience.add_argument("--json", dest="json_path", default=None,
+                            help="also write the resilience record to this "
+                                 "path")
+    resilience.set_defaults(handler=_cmd_resilience_bench)
 
     checkpoint = subparsers.add_parser(
         "checkpoint",
@@ -769,6 +816,7 @@ def _cmd_chaos_drill(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             seed=args.seed,
             disk_full=args.disk_full,
+            disconnects=args.disconnects,
         )
     drill = record["drill"]
     mttr = drill["mttr"]
@@ -797,6 +845,19 @@ def _cmd_chaos_drill(args: argparse.Namespace) -> int:
     failures = []
     if not drill["bit_identical_to_reference"]:
         failures.append("kill/heal results diverged from the reference")
+    reconnect = record.get("reconnect")
+    if reconnect is not None:
+        print(
+            f"reconnect: {reconnect['disconnects']} drops -> "
+            f"{reconnect['reconnects']} reconnects, "
+            f"{reconnect['frames_replayed']} frames replayed, "
+            f"{reconnect['supervisor_restarts']} supervised heals, "
+            f"identical={reconnect['bit_identical_to_reference']}"
+        )
+        if not reconnect["bit_identical_to_reference"]:
+            failures.append(
+                "resilient-gateway results diverged from the reference"
+            )
     disk = record.get("disk_full")
     if disk is not None:
         print(
@@ -929,6 +990,95 @@ def _cmd_autoscale_bench(args: argparse.Namespace) -> int:
         failures.append(
             "warm standby did not replay fewer records than cold recovery"
         )
+    if failures:
+        raise ReproError("; ".join(failures) + " — this is a bug; please report it")
+    return 0
+
+
+def _cmd_resilience_bench(args: argparse.Namespace) -> int:
+    import contextlib
+    import json
+    import tempfile
+
+    from .scenarios import resilience_bench_record
+
+    with contextlib.ExitStack() as stack:
+        root = args.root
+        if root is None:
+            root = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="tkcm-resilience-")
+            )
+        record = resilience_bench_record(
+            root,
+            family=args.family,
+            stations=args.stations,
+            records_per_station=args.records_per_station,
+            workers=args.workers,
+            disconnects=args.disconnects,
+            breaker_threshold=args.breaker_threshold,
+            transport=args.transport,
+            seed=args.seed,
+        )
+
+    config = record["config"]
+    overhead = record["overhead"]
+    drill = record["drill"]
+    breaker = record["breaker"]
+    mttr = record["mttr"]
+    rows = [{
+        "family": drill["scenario"],
+        "records": drill["records"],
+        "plain_rps": round(overhead["plain_records_per_second"], 1),
+        "resilient_rps": round(overhead["resilient_records_per_second"], 1),
+        "overhead": f"{overhead['relative_overhead'] * 100.0:.1f}%",
+        "reconnect_ms": round(record["reconnect"]["recovery_seconds"] * 1e3, 1),
+        "identical": drill["bit_identical_to_reference"],
+    }]
+    print(format_table(
+        rows,
+        title=f"resilience-bench — {config['workers']}-worker "
+              f"{config['transport']} cluster, seed {config['seed']}",
+    ))
+    for event in drill["events"]:
+        print(f"  boundary {event['boundary']}: {event['kind']} "
+              f"(detail {event['detail']}) in {event['seconds'] * 1e3:.1f}ms")
+    print(
+        f"drill: {drill['reconnects']} reconnects, "
+        f"{drill['frames_replayed']} frames replayed, "
+        f"{drill['supervisor_restarts']} supervised heals "
+        f"(mean {mttr['supervised_mean_seconds'] * 1e3:.1f}ms vs manual "
+        f"{mttr['manual_heal_seconds'] * 1e3:.1f}ms)"
+        if mttr["supervised_mean_seconds"] is not None else
+        f"drill: {drill['reconnects']} reconnects, "
+        f"{drill['frames_replayed']} frames replayed, no supervised heals"
+    )
+    print(
+        f"breaker: victim {breaker['victim']} crashed {breaker['crashes']}x, "
+        f"{breaker['restarts_before_brake']} restarts before the brake, "
+        f"degraded={breaker['degraded_workers']}, "
+        f"{breaker['unavailable_pushes']} UNAVAILABLE pushes "
+        f"(retry_after={breaker['retry_after']}), "
+        f"{breaker['healthy_results']} results from healthy shards"
+    )
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote resilience record to {args.json_path}")
+
+    failures = []
+    if not drill["bit_identical_to_reference"]:
+        failures.append(
+            "resilient-gateway results diverged from the reference"
+        )
+    if not breaker["breaker_opened"]:
+        failures.append("the crash-loop breaker never opened")
+    if breaker["unavailable_pushes"] == 0:
+        failures.append(
+            "the degraded shard's pushes were not refused with UNAVAILABLE"
+        )
+    if breaker["healthy_results"] == 0 and breaker["healthy_stations"]:
+        failures.append("healthy shards stopped serving during degradation")
     if failures:
         raise ReproError("; ".join(failures) + " — this is a bug; please report it")
     return 0

@@ -32,6 +32,13 @@ surface and its bit-identical output guarantees:
   :class:`~repro.cluster.autoscale.ScaleDecision`\\ s (hysteresis, cooldowns,
   min/max bounds), applied through live ``rebalance(n)`` by an
   :class:`~repro.cluster.autoscale.AutoscaleSupervisor`.
+* :mod:`~repro.cluster.supervisor` — the liveness control loop: a pure,
+  clock-injected :class:`~repro.cluster.supervisor.HealthController`
+  classifying every worker healthy/suspect/wedged/dead from short-deadline
+  ping probes, restarting failed shards with exponential backoff and
+  opening a crash-loop circuit breaker (shard degraded, pushes refused
+  with ``UNAVAILABLE``) instead of restarting forever, applied by a
+  :class:`~repro.cluster.supervisor.ClusterSupervisor`.
 * :mod:`~repro.cluster.standby` — warm-standby failover:
   :class:`~repro.cluster.standby.StandbyWorker` replicas tail each shard's
   WAL through a read-only cursor so ``recover_worker(standby=...)`` is a
@@ -60,6 +67,15 @@ from .coordinator import ClusterCoordinator
 from .router import ShardRouter
 from .shm import SharedRingBuffer
 from .standby import StandbyPool, StandbySyncReport, StandbyWorker
+from .supervisor import (
+    ClusterHealthSource,
+    ClusterSupervisor,
+    HealthController,
+    HealthDecision,
+    ScriptedHealthSource,
+    SupervisorConfig,
+    WorkerProbe,
+)
 from .telemetry import WorkerTelemetry, aggregate_stats
 from .worker import ClusterWorker
 
@@ -68,17 +84,23 @@ __all__ = [
     "AutoscaleController",
     "AutoscaleSupervisor",
     "ClusterCoordinator",
+    "ClusterHealthSource",
+    "ClusterSupervisor",
     "ClusterTelemetrySource",
     "ClusterWorker",
     "FleetSample",
+    "HealthController",
+    "HealthDecision",
     "ManualClock",
     "ScaleDecision",
+    "ScriptedHealthSource",
     "ScriptedTelemetrySource",
     "ShardRouter",
     "SharedRingBuffer",
     "StandbyPool",
     "StandbySyncReport",
     "StandbyWorker",
+    "SupervisorConfig",
     "SystemClock",
     "WorkerTelemetry",
     "aggregate_stats",

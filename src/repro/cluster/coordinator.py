@@ -77,7 +77,12 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 from ..durability.journal import DurabilityConfig
 from ..durability.recovery import RecoveryManager, RecoveryReport, SessionRecovery
 from ..durability.store import discover_stores
-from ..exceptions import ClusterError, RecoveryError, ServiceError
+from ..exceptions import (
+    ClusterError,
+    RecoveryError,
+    ServiceError,
+    UnavailableError,
+)
 from ..results import TickResult
 from ..service.session import Tick
 from .router import MovePlan, ShardRouter
@@ -166,6 +171,12 @@ class ClusterCoordinator:
         #: Results collected early (backpressure) awaiting the next flush().
         self._stash: Dict[str, List[TickResult]] = {}
         self._records_routed: Dict[int, int] = {i: 0 for i in range(num_workers)}
+        #: Shards quarantined by a supervisor's crash-loop breaker: worker
+        #: index → retry-after hint (seconds).  Pushes to a degraded shard
+        #: raise :class:`~repro.exceptions.UnavailableError` instead of
+        #: touching the (most likely dead) worker, and result collection
+        #: skips it, so healthy shards keep serving.
+        self._degraded: Dict[int, float] = {}
         #: Coordinator-side recovery telemetry (surfaced by stats()).
         self._worker_recoveries = 0
         self._recovery_replay_seconds = 0.0
@@ -271,18 +282,31 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------ #
     # Synchronous ingestion (ImputationService surface)
     # ------------------------------------------------------------------ #
-    def push(self, session_id: str, tick: Tick) -> List[TickResult]:
-        """Route one record to its worker and wait for the imputations."""
+    def push(
+        self, session_id: str, tick: Tick, timestamp: Optional[float] = None
+    ) -> List[TickResult]:
+        """Route one record to its worker and wait for the imputations.
+
+        ``timestamp`` opts the push into the owning session's duplicate/
+        stale ingest policy exactly like
+        :meth:`ImputationService.push <repro.service.service.ImputationService.push>`
+        — which is also what lets crash recovery replay watermark-carrying
+        WAL frames through a cluster target.
+        """
         self._ensure_open()
         shard = self._require_session(session_id)
+        self._check_available(shard, session_id)
         self._flush_linger()  # earlier pipelined records must land first
         self._records_routed[shard] += 1
-        return self._workers[shard].request("push_sync", session_id, tick)
+        return self._workers[shard].request(
+            "push_sync", session_id, tick, timestamp
+        )
 
     def push_block(self, session_id: str, block) -> List[TickResult]:
         """Route a whole block to its worker and wait for the imputations."""
         self._ensure_open()
         shard = self._require_session(session_id)
+        self._check_available(shard, session_id)
         self._flush_linger()
         if not hasattr(block, "__len__"):
             block = list(block)
@@ -294,6 +318,7 @@ class ClusterCoordinator:
         self._ensure_open()
         self._flush_linger()
         shard = self._require_session(session_id)
+        self._check_available(shard, session_id)
         self._workers[shard].request("prime", session_id, history)
 
     # ------------------------------------------------------------------ #
@@ -310,6 +335,7 @@ class ClusterCoordinator:
         """
         self._ensure_open()
         shard = self._require_session(session_id)
+        self._check_available(shard, session_id)
         rows = self._linger.setdefault(session_id, [])
         rows.append(tick)
         if len(rows) >= self._linger_target.get(shard, self._linger_records):
@@ -468,6 +494,7 @@ class ClusterCoordinator:
                 self._inflight_peak.pop(index, None)
                 del self._records_routed[index]
                 self._linger_target.pop(index, None)
+                self._degraded.pop(index, None)
         return plan
 
     # ------------------------------------------------------------------ #
@@ -493,12 +520,84 @@ class ClusterCoordinator:
         follow up with :meth:`recover_worker` or :meth:`heal`.
         """
         self._ensure_open()
+        self._check_worker_index(worker_index)
+        self._workers[worker_index].kill()
+
+    # ------------------------------------------------------------------ #
+    # Health probing and shard quarantine (the supervisor's surface)
+    # ------------------------------------------------------------------ #
+    def ping_worker(self, worker_index: int, timeout: float = 1.0) -> Dict[str, int]:
+        """Liveness + progress probe of one worker.
+
+        Returns the worker's monotonic progress counters (records routed,
+        blocks executed, loop ticks).  The worker answers pings ahead of its
+        data barrier, so a healthy worker replies within one loop tick no
+        matter how deep its push backlog is; a probe that times out
+        therefore means the serving loop itself is stuck.  The timeout
+        *fences* the worker as a side effect — its command pipe is poisoned,
+        so it reads as dead (:meth:`dead_workers`) and can be healed — which
+        is exactly what :class:`~repro.cluster.supervisor.ClusterSupervisor`
+        relies on when it declares a worker wedged.
+        """
+        self._ensure_open()
+        self._check_worker_index(worker_index)
+        return self._workers[worker_index].ping(timeout=timeout)
+
+    def wedge_worker(self, worker_index: int) -> None:
+        """Fault injection: hang one worker's serving loop.
+
+        The process stays alive but never answers anything again — the
+        live-but-stuck failure mode (a deadlock, an infinite loop) that
+        :meth:`ping_worker`'s timeout fencing exists to catch.  One-way;
+        returns immediately.
+        """
+        self._ensure_open()
+        self._check_worker_index(worker_index)
+        self._workers[worker_index].wedge()
+
+    def mark_degraded(self, worker_index: int, *, retry_after: float = 30.0) -> None:
+        """Quarantine one shard: reject its pushes instead of serving them.
+
+        The crash-loop circuit breaker's action: while a shard is degraded,
+        every push routed to it raises
+        :class:`~repro.exceptions.UnavailableError` carrying the
+        ``retry_after`` hint (the gateway turns that into an
+        ``UNAVAILABLE`` wire error), pipelined rows already buffered for it
+        are held back, and result collection skips it — so the other shards
+        keep serving instead of blocking on a worker that keeps dying.
+        Lifted by :meth:`clear_degraded`, or automatically when
+        :meth:`recover_worker` restores the shard.
+        """
+        self._ensure_open()
+        self._check_worker_index(worker_index)
+        if retry_after < 0:
+            raise ClusterError(f"retry_after must be >= 0, got {retry_after}")
+        self._degraded[worker_index] = float(retry_after)
+
+    def clear_degraded(self, worker_index: int) -> None:
+        """Lift a shard's quarantine (idempotent); pushes flow again."""
+        self._ensure_open()
+        self._degraded.pop(worker_index, None)
+
+    def degraded_workers(self) -> List[int]:
+        """Indices of shards currently quarantined by :meth:`mark_degraded`."""
+        return sorted(self._degraded)
+
+    def _check_worker_index(self, worker_index: int) -> None:
         if not 0 <= worker_index < len(self._workers):
             raise ClusterError(
                 f"worker {worker_index} out of range for "
                 f"{len(self._workers)} workers"
             )
-        self._workers[worker_index].kill()
+
+    def _check_available(self, shard: int, session_id: str) -> None:
+        retry_after = self._degraded.get(shard)
+        if retry_after is not None:
+            raise UnavailableError(
+                f"shard {shard} (owning session {session_id!r}) is degraded "
+                f"after repeated worker crashes; retry in {retry_after:.0f}s",
+                retry_after=retry_after,
+            )
 
     def recover_worker(self, worker_index: int, *, standby=None) -> RecoveryReport:
         """Respawn one dead worker and restore its shard from disk.
@@ -534,11 +633,7 @@ class ClusterCoordinator:
         """
         self._ensure_open()
         self._require_durability("recover a worker")
-        if not 0 <= worker_index < len(self._workers):
-            raise ClusterError(
-                f"worker {worker_index} out of range for "
-                f"{len(self._workers)} workers"
-            )
+        self._check_worker_index(worker_index)
         if self._workers[worker_index].alive:
             raise ClusterError(
                 f"worker {worker_index} is still alive; terminate_worker() "
@@ -593,6 +688,9 @@ class ClusterCoordinator:
                 self._linger[session_id] = rows
         report.lost_inflight_records = lost
         self._count_recovery(report)
+        # A restored shard serves again: lift any crash-loop quarantine so
+        # the first post-heal push does not bounce off a stale breaker.
+        self._degraded.pop(worker_index, None)
         return report
 
     def _handoff_from_standby(
@@ -741,11 +839,19 @@ class ClusterCoordinator:
         self._ensure_open()
         self._flush_linger()
         per_worker: Dict[int, Dict[str, object]] = {}
-        for worker in self._workers:
+        # A quarantined shard's worker is typically dead; polling it would
+        # crash the whole stats call, so it is simply absent from the
+        # per-worker map (its index still shows under "degraded_workers").
+        polled = [
+            worker
+            for worker in self._workers
+            if worker.worker_id not in self._degraded
+        ]
+        for worker in polled:
             worker.send_request("stats")
-        for worker in self._workers:
+        for worker in polled:
             per_worker[worker.worker_id] = worker.recv_reply()
-        for worker in self._workers:
+        for worker in polled:
             stats = per_worker[worker.worker_id]
             stats["records_sent"] = self._records_routed.get(worker.worker_id, 0)
             # High-water mark of this worker's pipelined backlog (records
@@ -761,6 +867,7 @@ class ClusterCoordinator:
             stats["transport"] = transport
         cluster = aggregate_stats(per_worker)
         cluster["drained_workers"] = self._router.drained_shards
+        cluster["degraded_workers"] = self.degraded_workers()
         cluster["transport"]["mode"] = self._transport
         if self._durability is not None:
             durability = cluster.setdefault("durability", {})
@@ -831,10 +938,12 @@ class ClusterCoordinator:
         (fewer, larger frames → larger vectorised blocks); an empty ring
         resets the target to the configured base.
         """
+        shard = self._router.shard_of(session_id)
+        if shard in self._degraded:
+            return  # held back until the shard's quarantine is lifted
         rows = self._linger.pop(session_id, None)
         if not rows:
             return
-        shard = self._router.shard_of(session_id)
         worker = self._workers[shard]
         if worker.uses_shm:
             if worker.ring_backlog:
@@ -867,8 +976,14 @@ class ClusterCoordinator:
         waits for it.
         """
         self._flush_linger()
+        # Degraded shards are quarantined: their in-flight results (if the
+        # worker is even alive) wait until recover_worker() restores the
+        # shard — collecting here would turn every flush into a crash.
         busy = [
-            worker for worker in self._workers if self._inflight.get(worker.worker_id)
+            worker
+            for worker in self._workers
+            if self._inflight.get(worker.worker_id)
+            and worker.worker_id not in self._degraded
         ]
         if not busy:
             return

@@ -258,7 +258,7 @@ class StandbyWorker:
     def _drain(self, session_id: str, replica: ImputationSession) -> None:
         """Poll the session's cursor and fold new frames into the replica."""
         cursor = self._cursors[session_id]
-        for matrix, mask in cursor.poll():
+        for matrix, mask, timestamps in cursor.poll():
             rows = matrix.shape[0]
             _replay_frame(
                 replica.push,
@@ -266,6 +266,7 @@ class StandbyWorker:
                 replica.series_names,
                 matrix,
                 mask,
+                timestamps,
             )
             self.records_replayed += rows
 

@@ -1,0 +1,651 @@
+"""Cluster health supervision: probe, classify, heal — with a crash-loop brake.
+
+:mod:`repro.cluster.autoscale` closed the *capacity* loop; this module closes
+the *liveness* loop.  The cluster tier already exposes every primitive a
+health decision needs — :meth:`~repro.cluster.coordinator.ClusterCoordinator.
+ping_worker` (a pre-barrier probe that fences a stuck worker as a side
+effect), :meth:`~repro.cluster.coordinator.ClusterCoordinator.dead_workers`,
+:meth:`~repro.cluster.coordinator.ClusterCoordinator.recover_worker` (cold or
+warm-standby restore), and
+:meth:`~repro.cluster.coordinator.ClusterCoordinator.mark_degraded` (shard
+quarantine surfaced to the gateway as ``UNAVAILABLE``).  This module turns
+them into a control loop, split exactly like the autoscaler so each piece is
+testable in isolation:
+
+* :class:`HealthController` — a **pure** decision function.  It consumes a
+  stream of :class:`WorkerProbe`\\ s and emits one :class:`HealthDecision`
+  per probe; all time arithmetic uses the probe's own ``at`` stamp, so a
+  recorded probe trace replays to bit-identical decisions with no processes,
+  sleeps, or wall clock anywhere (``tests/cluster/test_supervisor.py`` pins
+  this with Hypothesis).  Per worker it classifies **healthy** (probe
+  answered, progress moving or nothing to do), **suspect** (answering pings
+  but imputing nothing while backlog waits), **wedged** (probe timed out
+  with the process still up, or suspect for too long), and **dead** (process
+  gone / pipe poisoned); restarts are paced by an exponential per-worker
+  backoff, and ``breaker_threshold`` restarts inside ``breaker_window``
+  seconds open a **circuit breaker**: the worker is given up on and its
+  shard is quarantined instead of being restarted forever.
+* :class:`HealthSource` implementations — where probes come from.
+  :class:`ClusterHealthSource` probes a live coordinator (one short-deadline
+  ping RPC per worker per round); :class:`ScriptedHealthSource` replays a
+  scripted trace for tests and drills.
+* :class:`ClusterSupervisor` — the only impure piece: one :meth:`tick
+  <ClusterSupervisor.tick>` probes every worker, feeds the controller, and
+  applies ``restart`` decisions through
+  ``recover_worker(index, standby=...)`` (fencing a still-running wedged
+  process first) and ``degrade`` decisions through ``mark_degraded``.
+  Because recovery restores exact checkpoints plus WAL tails, a
+  supervisor-healed fleet keeps producing bit-identical output — the
+  resilience drill (:mod:`repro.scenarios.resilience`) proves it end to end.
+
+The :class:`~repro.cluster.autoscale.Clock` seam is shared with the
+autoscaler: a :class:`~repro.cluster.autoscale.ManualClock` lets tests stamp
+probes from scenario time instead of the wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from ..exceptions import ClusterError, WorkerCrashedError
+from .autoscale import Clock, SystemClock
+
+__all__ = [
+    "ClusterHealthSource",
+    "ClusterSupervisor",
+    "HealthController",
+    "HealthDecision",
+    "HealthSource",
+    "ScriptedHealthSource",
+    "SupervisorConfig",
+    "WorkerProbe",
+]
+
+#: The four health states a worker can be classified into.
+HEALTH_STATES = ("healthy", "suspect", "wedged", "dead")
+
+
+@dataclass(frozen=True)
+class WorkerProbe:
+    """One health observation of one worker at a point in time.
+
+    Every field is a plain JSON-serialisable scalar so recorded probe traces
+    can be persisted and replayed verbatim.
+    """
+
+    #: Time stamp of the probe, in seconds on the probing clock.  All
+    #: controller time arithmetic (backoff, breaker window) uses this.
+    at: float
+    #: Index of the probed worker.
+    worker: int
+    #: Whether the worker *process* was up when probed.  ``False`` covers
+    #: both a crashed process and a pipe already poisoned by an earlier
+    #: timeout (the coordinator counts both as dead).
+    alive: bool
+    #: Whether the ping RPC answered within its deadline.  Pings are
+    #: answered ahead of the worker's data barrier, so ``False`` with
+    #: ``alive=True`` means the serving loop itself is stuck.
+    responsive: bool
+    #: Monotonic progress counter from the ping reply (records routed);
+    #: meaningless when ``responsive`` is ``False``.
+    progress: int = 0
+    #: Fleet-wide pipelined backlog at probe time — what distinguishes a
+    #: legitimately idle worker from one that stopped imputing.
+    backlog: int = 0
+
+    def as_dict(self) -> dict:
+        """Return the probe as a JSON-serialisable dict."""
+        return {
+            "at": self.at,
+            "worker": self.worker,
+            "alive": self.alive,
+            "responsive": self.responsive,
+            "progress": self.progress,
+            "backlog": self.backlog,
+        }
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tunables for :class:`HealthController`; validated on construction."""
+
+    #: Seconds a live ping probe waits before declaring the worker wedged
+    #: (used by :class:`ClusterHealthSource`, not by the pure controller).
+    #: The timeout fences the worker as a side effect — see
+    #: :meth:`ClusterCoordinator.ping_worker
+    #: <repro.cluster.coordinator.ClusterCoordinator.ping_worker>`.
+    ping_timeout: float = 1.0
+    #: Consecutive responsive-but-flat probes (progress unchanged while the
+    #: fleet has backlog) before a worker is classified *suspect*.
+    suspect_after: int = 2
+    #: Consecutive flat probes before a suspect worker is escalated to
+    #: *wedged* and restarted.  Must be strictly above ``suspect_after`` —
+    #: the gap is the grace period a slow-but-alive worker gets.
+    wedged_after: int = 4
+    #: Base of the per-worker exponential restart backoff: the k-th restart
+    #: within the breaker window must wait ``base * 2**(k-1)`` seconds
+    #: (capped) after the previous one.
+    restart_backoff_base: float = 0.5
+    #: Ceiling of the restart backoff delay, in seconds.
+    restart_backoff_cap: float = 30.0
+    #: Restarts within ``breaker_window`` at which the circuit breaker
+    #: opens: the next failure *degrades* the shard instead of restarting
+    #: the worker yet again.
+    breaker_threshold: int = 3
+    #: Sliding window (seconds) over which restarts are counted.
+    breaker_window: float = 60.0
+    #: ``retry_after`` hint attached when a shard is degraded — what the
+    #: gateway relays to clients inside ``ERROR(UNAVAILABLE)``.
+    degraded_retry_after: float = 30.0
+
+    def __post_init__(self) -> None:
+        """Reject self-contradictory configurations eagerly."""
+        if self.ping_timeout <= 0:
+            raise ClusterError(
+                f"ping_timeout must be > 0, got {self.ping_timeout}"
+            )
+        if self.suspect_after < 1:
+            raise ClusterError(
+                f"suspect_after must be >= 1, got {self.suspect_after}"
+            )
+        if self.wedged_after <= self.suspect_after:
+            raise ClusterError(
+                f"wedged_after ({self.wedged_after}) must be strictly above "
+                f"suspect_after ({self.suspect_after})"
+            )
+        if self.restart_backoff_base < 0:
+            raise ClusterError(
+                f"restart_backoff_base must be >= 0, got "
+                f"{self.restart_backoff_base}"
+            )
+        if self.restart_backoff_cap < self.restart_backoff_base:
+            raise ClusterError(
+                f"restart_backoff_cap ({self.restart_backoff_cap}) < "
+                f"restart_backoff_base ({self.restart_backoff_base})"
+            )
+        if self.breaker_threshold < 1:
+            raise ClusterError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_window <= 0:
+            raise ClusterError(
+                f"breaker_window must be > 0, got {self.breaker_window}"
+            )
+        if self.degraded_retry_after < 0:
+            raise ClusterError(
+                f"degraded_retry_after must be >= 0, got "
+                f"{self.degraded_retry_after}"
+            )
+
+    def as_dict(self) -> dict:
+        """Return the config as a JSON-serialisable dict."""
+        return {
+            "ping_timeout": self.ping_timeout,
+            "suspect_after": self.suspect_after,
+            "wedged_after": self.wedged_after,
+            "restart_backoff_base": self.restart_backoff_base,
+            "restart_backoff_cap": self.restart_backoff_cap,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_window": self.breaker_window,
+            "degraded_retry_after": self.degraded_retry_after,
+        }
+
+
+@dataclass(frozen=True)
+class HealthDecision:
+    """One controller verdict for one :class:`WorkerProbe`."""
+
+    #: Time stamp copied from the probe that produced this decision.
+    at: float
+    #: Worker index copied from the probe.
+    worker: int
+    #: Health classification: one of :data:`HEALTH_STATES`.
+    state: str
+    #: ``"none"`` (nothing to do), ``"wait"`` (restart due but paced by the
+    #: backoff), ``"restart"`` (fence if needed and recover the shard), or
+    #: ``"degrade"`` (breaker open: quarantine the shard, stop restarting).
+    action: str
+    #: Human-readable explanation — the first thing an operator (or a
+    #: failing test) reads.
+    reason: str
+
+    @property
+    def is_action(self) -> bool:
+        """Whether this decision mutates the cluster."""
+        return self.action in ("restart", "degrade")
+
+    def as_dict(self) -> dict:
+        """Return the decision as a JSON-serialisable dict."""
+        return {
+            "at": self.at,
+            "worker": self.worker,
+            "state": self.state,
+            "action": self.action,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class _WorkerRecord:
+    """Mutable per-worker controller state (internal)."""
+
+    flat_streak: int = 0
+    last_progress: Optional[int] = None
+    restart_times: List[float] = field(default_factory=list)
+    breaker_open: bool = False
+    state: str = "healthy"
+
+
+class HealthController:
+    """Pure health policy: :class:`WorkerProbe` stream in, decisions out.
+
+    Deterministic state-machine style: the entire state is the config plus,
+    per worker, (flat-progress streak, last progress reading, restart
+    timestamps, breaker flag).  Feeding the same probe trace to a fresh
+    controller with the same config always yields the same decision trace —
+    no wall clock, no randomness, no processes.
+
+    Invariants (pinned by Hypothesis in ``tests/cluster/test_supervisor.py``):
+
+    * a ``restart`` for a worker never fires earlier than the configured
+      backoff after its previous restart;
+    * once ``breaker_threshold`` restarts have landed inside one
+      ``breaker_window``, the worker's next failure yields ``degrade`` and
+      every later probe of it yields ``none`` — the breaker stays open until
+      :meth:`reset_worker`;
+    * decisions are a pure function of ``(trace, config)``.
+    """
+
+    def __init__(self, config: Optional[SupervisorConfig] = None) -> None:
+        self.config = config or SupervisorConfig()
+        #: Every decision ever emitted, in order (the replayable trace).
+        self.decisions: List[HealthDecision] = []
+        self._workers: Dict[int, _WorkerRecord] = {}
+
+    # ------------------------------------------------------------------ #
+    # Decision function
+    # ------------------------------------------------------------------ #
+    def observe(self, probe: WorkerProbe) -> HealthDecision:
+        """Fold one probe into the policy; return the decision.
+
+        All time arithmetic uses ``probe.at``; probes of one worker must be
+        fed in non-decreasing time order (they come from one clock).
+        """
+        cfg = self.config
+        record = self._workers.setdefault(probe.worker, _WorkerRecord())
+
+        if record.breaker_open:
+            decision = self._emit(
+                probe, record, record.state, "none",
+                "circuit breaker open; shard is degraded and the worker is "
+                "not restarted (reset_worker() to close the breaker)",
+            )
+            self.decisions.append(decision)
+            return decision
+
+        if probe.responsive:
+            advanced = (
+                record.last_progress is None
+                or probe.progress > record.last_progress
+            )
+            record.last_progress = probe.progress
+            if advanced or probe.backlog <= 0:
+                record.flat_streak = 0
+                decision = self._emit(
+                    probe, record, "healthy", "none",
+                    "probe answered"
+                    + (" and progress advanced" if advanced else "; fleet idle"),
+                )
+            else:
+                record.flat_streak += 1
+                if record.flat_streak >= cfg.wedged_after:
+                    decision = self._restart_or_brake(
+                        probe, record, "wedged",
+                        f"no progress for {record.flat_streak} probes with "
+                        f"{probe.backlog} records of backlog",
+                    )
+                elif record.flat_streak >= cfg.suspect_after:
+                    decision = self._emit(
+                        probe, record, "suspect", "none",
+                        f"answering pings but progress flat for "
+                        f"{record.flat_streak} probes with backlog "
+                        f"({cfg.wedged_after - record.flat_streak} more "
+                        f"before fencing)",
+                    )
+                else:
+                    decision = self._emit(
+                        probe, record, "healthy", "none",
+                        f"progress flat for {record.flat_streak} "
+                        f"probe(s); within grace",
+                    )
+        else:
+            state = "wedged" if probe.alive else "dead"
+            cause = (
+                "ping timed out with the process still up (now fenced)"
+                if probe.alive
+                else "worker process is gone"
+            )
+            decision = self._restart_or_brake(probe, record, state, cause)
+
+        self.decisions.append(decision)
+        return decision
+
+    def _restart_or_brake(
+        self, probe: WorkerProbe, record: _WorkerRecord, state: str, cause: str
+    ) -> HealthDecision:
+        """Decide restart / wait / degrade for a failed worker."""
+        cfg = self.config
+        now = probe.at
+        recent = [
+            at for at in record.restart_times
+            if at > now - cfg.breaker_window
+        ]
+        if len(recent) >= cfg.breaker_threshold:
+            record.breaker_open = True
+            return self._emit(
+                probe, record, state, "degrade",
+                f"{cause}; {len(recent)} restarts inside "
+                f"{cfg.breaker_window:.0f}s — circuit breaker open, "
+                f"quarantining the shard",
+            )
+        if recent:
+            delay = min(
+                cfg.restart_backoff_cap,
+                cfg.restart_backoff_base * (2 ** (len(recent) - 1)),
+            )
+            wait = record.restart_times[-1] + delay - now
+            if wait > 0:
+                return self._emit(
+                    probe, record, state, "wait",
+                    f"{cause}; restart backoff has {wait:.1f}s left "
+                    f"(restart #{len(recent) + 1})",
+                )
+        record.restart_times.append(now)
+        record.flat_streak = 0
+        record.last_progress = None  # a fresh process restarts its counters
+        return self._emit(
+            probe, record, state, "restart",
+            f"{cause}; restarting (restart #{len(recent) + 1} in window)",
+        )
+
+    def _emit(
+        self,
+        probe: WorkerProbe,
+        record: _WorkerRecord,
+        state: str,
+        action: str,
+        reason: str,
+    ) -> HealthDecision:
+        record.state = state
+        return HealthDecision(
+            at=probe.at,
+            worker=probe.worker,
+            state=state,
+            action=action,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection and control
+    # ------------------------------------------------------------------ #
+    def state_of(self, worker: int) -> str:
+        """Latest classification of one worker (``"healthy"`` if never seen)."""
+        record = self._workers.get(worker)
+        return record.state if record is not None else "healthy"
+
+    @property
+    def states(self) -> Dict[int, str]:
+        """Latest classification of every observed worker."""
+        return {
+            worker: record.state for worker, record in self._workers.items()
+        }
+
+    def breaker_is_open(self, worker: int) -> bool:
+        """Whether the crash-loop breaker has opened for one worker."""
+        record = self._workers.get(worker)
+        return record is not None and record.breaker_open
+
+    def restarts_of(self, worker: int) -> int:
+        """Lifetime restart decisions emitted for one worker."""
+        record = self._workers.get(worker)
+        return len(record.restart_times) if record is not None else 0
+
+    def reset_worker(self, worker: int) -> None:
+        """Forget one worker's failure history (closes its breaker).
+
+        The operator acknowledgment path: after the underlying cause is
+        fixed and the shard manually healed, the breaker must be reset or
+        the controller would keep refusing to supervise the worker.
+        """
+        self._workers.pop(worker, None)
+
+    def replay(self, trace: Sequence[WorkerProbe]) -> List[HealthDecision]:
+        """Feed a whole recorded trace through :meth:`observe`; return all."""
+        return [self.observe(probe) for probe in trace]
+
+    def reset(self) -> None:
+        """Forget all state and history (fresh controller, same config)."""
+        self.decisions.clear()
+        self._workers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HealthController(decisions={len(self.decisions)}, "
+            f"states={self.states})"
+        )
+
+
+class HealthSource(Protocol):
+    """Anything that can produce one round of :class:`WorkerProbe`\\ s."""
+
+    def probe(self) -> List[WorkerProbe]:
+        """Return one probe per supervised worker, stamped with its clock."""
+        ...  # pragma: no cover - protocol
+
+
+class ClusterHealthSource:
+    """Probes a live :class:`~repro.cluster.coordinator.ClusterCoordinator`.
+
+    One round pings every worker with the config's short deadline.  A
+    worker already counted dead (crashed, or fenced by an earlier timeout)
+    is not pinged — it probes as ``alive=False``.  A ping that times out
+    probes as ``alive=True, responsive=False`` *and leaves the worker
+    fenced* (its pipe is poisoned by the timeout), which is exactly the
+    precondition :meth:`ClusterCoordinator.recover_worker
+    <repro.cluster.coordinator.ClusterCoordinator.recover_worker>` needs.
+
+    Parameters
+    ----------
+    cluster:
+        The coordinator to probe.
+    ping_timeout:
+        Per-ping deadline in seconds; defaults to
+        :attr:`SupervisorConfig.ping_timeout`'s default.
+    clock:
+        Time source for the probe stamps; defaults to
+        :class:`~repro.cluster.autoscale.SystemClock`.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        ping_timeout: float = 1.0,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if ping_timeout <= 0:
+            raise ClusterError(
+                f"ping_timeout must be > 0, got {ping_timeout}"
+            )
+        self.cluster = cluster
+        self.ping_timeout = float(ping_timeout)
+        self.clock = clock or SystemClock()
+
+    def probe(self) -> List[WorkerProbe]:
+        """Probe every worker once; returns the round's probes in index order."""
+        now = self.clock.now()
+        backlog = self.cluster.pipelined_backlog()
+        dead = set(self.cluster.dead_workers())
+        probes: List[WorkerProbe] = []
+        for index in range(self.cluster.num_workers):
+            if index in dead:
+                probes.append(
+                    WorkerProbe(
+                        at=now, worker=index, alive=False, responsive=False,
+                        backlog=backlog,
+                    )
+                )
+                continue
+            try:
+                reply = self.cluster.ping_worker(
+                    index, timeout=self.ping_timeout
+                )
+            except WorkerCrashedError:
+                probes.append(
+                    WorkerProbe(
+                        at=now, worker=index, alive=False, responsive=False,
+                        backlog=backlog,
+                    )
+                )
+            except ClusterError:
+                # Timed out: the process is up but its loop is stuck.  The
+                # timeout has already poisoned the pipe, fencing the worker.
+                probes.append(
+                    WorkerProbe(
+                        at=now, worker=index, alive=True, responsive=False,
+                        backlog=backlog,
+                    )
+                )
+            else:
+                probes.append(
+                    WorkerProbe(
+                        at=now,
+                        worker=index,
+                        alive=True,
+                        responsive=True,
+                        progress=int(reply.get("records_routed", 0)),
+                        backlog=backlog,
+                    )
+                )
+        return probes
+
+
+class ScriptedHealthSource:
+    """Replays pre-built probe rounds — the deterministic test seam.
+
+    Parameters
+    ----------
+    rounds:
+        The rounds to replay, oldest first; each round is the probe list
+        one :meth:`probe` call returns.  Probing past the script raises
+        :class:`~repro.exceptions.ClusterError`, so a test that ticks more
+        than it scripted fails loudly instead of silently repeating the
+        last observation.
+    """
+
+    def __init__(self, rounds: Sequence[Sequence[WorkerProbe]]) -> None:
+        self._rounds = [list(r) for r in rounds]
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        """How many scripted rounds have not been consumed yet."""
+        return len(self._rounds) - self._cursor
+
+    def probe(self) -> List[WorkerProbe]:
+        """Return the next scripted round."""
+        if self._cursor >= len(self._rounds):
+            raise ClusterError(
+                f"scripted health probes exhausted after {self._cursor} rounds"
+            )
+        round_ = self._rounds[self._cursor]
+        self._cursor += 1
+        return list(round_)
+
+
+@dataclass
+class ClusterSupervisor:
+    """Couples a controller to a live cluster: probe, classify, heal.
+
+    The supervisor is the only impure piece of the loop, and deliberately
+    tiny: one :meth:`tick` probes every worker, feeds the controller, and
+    applies the actions — ``restart`` fences a still-running wedged process
+    (:meth:`~repro.cluster.coordinator.ClusterCoordinator.terminate_worker`)
+    and recovers the shard
+    (:meth:`~repro.cluster.coordinator.ClusterCoordinator.recover_worker`,
+    warm from ``standbys`` when one covers the index), ``degrade`` opens the
+    quarantine
+    (:meth:`~repro.cluster.coordinator.ClusterCoordinator.mark_degraded`).
+    Everything interesting — grace periods, backoff, the breaker — already
+    happened inside the pure controller.
+    """
+
+    cluster: object
+    controller: HealthController
+    source: HealthSource
+    #: Optional warm standbys: a :class:`~repro.cluster.standby.StandbyPool`
+    #: (or any mapping of worker index to standby) consulted per restart.
+    standbys: object = None
+    #: Probes observed, in order.
+    probes: List[WorkerProbe] = field(default_factory=list)
+    #: Decisions actually applied (restarts and degrades), in order.
+    actions: List[HealthDecision] = field(default_factory=list)
+    #: Recovery reports of every applied restart, in order.
+    heals: List[object] = field(default_factory=list)
+
+    def tick(self) -> List[HealthDecision]:
+        """Run one supervision round; return this round's decisions."""
+        decisions: List[HealthDecision] = []
+        for probe in self.source.probe():
+            self.probes.append(probe)
+            decision = self.controller.observe(probe)
+            decisions.append(decision)
+            if decision.action == "restart":
+                self.heals.append(self._restart(decision.worker))
+                self.actions.append(decision)
+            elif decision.action == "degrade":
+                self.cluster.mark_degraded(
+                    decision.worker,
+                    retry_after=self.controller.config.degraded_retry_after,
+                )
+                self.actions.append(decision)
+        return decisions
+
+    def _restart(self, index: int):
+        """Fence (if needed) and recover one worker; returns the report."""
+        if index not in self.cluster.dead_workers():
+            # A wedged-by-flat-progress worker still answers pings, so its
+            # pipe was never poisoned; it must be killed before recovery.
+            self.cluster.terminate_worker(index)
+        return self.cluster.recover_worker(
+            index, standby=self._standby_for(index)
+        )
+
+    def _standby_for(self, index: int):
+        if self.standbys is None:
+            return None
+        if hasattr(self.standbys, "for_worker"):
+            return self.standbys.for_worker(index)
+        return self.standbys.get(index)
+
+    @property
+    def restarts(self) -> int:
+        """Number of worker restarts this supervisor has applied."""
+        return sum(1 for d in self.actions if d.action == "restart")
+
+    @property
+    def degraded(self) -> List[int]:
+        """Worker indices this supervisor has degraded, in action order."""
+        return [d.worker for d in self.actions if d.action == "degrade"]
+
+    def as_dict(self) -> dict:
+        """Return the full supervision trace as a JSON-serialisable dict."""
+        return {
+            "config": self.controller.config.as_dict(),
+            "probes": [p.as_dict() for p in self.probes],
+            "decisions": [d.as_dict() for d in self.controller.decisions],
+            "actions": [d.as_dict() for d in self.actions],
+            "restarts": self.restarts,
+            "degraded": self.degraded,
+        }

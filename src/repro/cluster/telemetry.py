@@ -95,6 +95,22 @@ class WorkerTelemetry:
     # ------------------------------------------------------------------ #
     # Export
     # ------------------------------------------------------------------ #
+    def progress(self) -> Dict[str, int]:
+        """Tiny monotonic-progress snapshot for health probes.
+
+        The ping RPC's reply: just the counters a supervisor needs to tell
+        *is this worker still doing work* — they only ever increase, so a
+        flat reading across probes while the shard has backlog means the
+        worker is stuck, even if its process is alive.  Deliberately much
+        cheaper than :meth:`as_dict` (no session list, no derived ratios).
+        """
+        return {
+            "worker_id": self.worker_id,
+            "records_routed": self.records_routed,
+            "blocks_executed": self.blocks_executed,
+            "loop_ticks": self.loop_ticks,
+        }
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view (JSON-serialisable), including derived ratios."""
         return {

@@ -244,6 +244,22 @@ def _worker_main(worker_id: int, conn, durability=None, shm_names=None) -> None:
             op = command[0]
             if op == "wake":
                 continue  # ring data; the next _pump picks it up
+            if op == "ping":
+                # Health probe: answered BEFORE the data barrier, so a busy
+                # but healthy worker replies within one loop tick even with
+                # a deep push backlog — only a loop that stopped iterating
+                # misses the short probe deadline.  Replies the monotonic
+                # progress counters the supervisor compares across probes
+                # to tell "slow" from "stuck".
+                conn.send(("ok", telemetry.progress()))
+                continue
+            if op == "wedge":
+                # Chaos seam: stop responding without exiting.  The process
+                # stays alive but the serving loop never iterates again —
+                # the live-but-wedged failure mode a liveness supervisor
+                # must distinguish from a plain crash.
+                while True:
+                    time.sleep(3600.0)
             if op == "push":
                 if barrier is not None:
                     _pump(barrier)
@@ -258,9 +274,9 @@ def _worker_main(worker_id: int, conn, durability=None, shm_names=None) -> None:
             result_frames = None
             try:
                 if op == "push_sync":
-                    _, session_id, row = command
+                    _, session_id, row, timestamp = command
                     started = time.perf_counter()
-                    reply = service.push(session_id, row)
+                    reply = service.push(session_id, row, timestamp=timestamp)
                     telemetry.record_push(
                         1, len(reply), time.perf_counter() - started
                     )
@@ -538,6 +554,27 @@ class ClusterWorker:
         """Blocking RPC: send one command and wait for its reply."""
         self.send_request(*command)
         return self.recv_reply(timeout=timeout)
+
+    def ping(self, timeout: float = 1.0) -> Dict[str, int]:
+        """Short-deadline liveness probe; replies progress counters.
+
+        The worker answers pings ahead of the data barrier, so a healthy
+        worker replies within one loop tick regardless of push backlog.  A
+        miss of the (deliberately short) deadline therefore means the loop
+        itself is stuck; :meth:`recv_reply` then poisons the pipe, so the
+        wedged worker reads as dead — exactly the fencing a supervisor
+        needs before restarting the shard.
+        """
+        return self.request("ping", timeout=timeout)
+
+    def wedge(self) -> None:
+        """Fault injection: command the worker to hang its serving loop.
+
+        One-way — the worker never replies (nor to anything after), so the
+        only safe follow-ups on this handle are :meth:`ping` (which will
+        time out and poison the pipe) and :meth:`kill`.
+        """
+        self.send("wedge")
 
     # ------------------------------------------------------------------ #
     # Result-ring draining (shm transport)

@@ -133,7 +133,7 @@ class SessionJournal:
         self.checkpoint(session)
         return self
 
-    def record(self, session, matrix: np.ndarray, mask=None) -> None:
+    def record(self, session, matrix: np.ndarray, mask=None, timestamps=None) -> None:
         """Journal one applied block and checkpoint if the policy is due."""
         if self._wal is None:
             raise DurabilityError(
@@ -141,7 +141,7 @@ class SessionJournal:
                 f"attach() it before recording"
             )
         before = self._wal.bytes_written
-        self._wal.append_block(matrix, mask)
+        self._wal.append_block(matrix, mask, timestamps=timestamps)
         self.store.counters.wal_records += int(np.shape(matrix)[0])
         self.store.counters.wal_bytes += self._wal.bytes_written - before
         self._report_syncs()

@@ -152,7 +152,7 @@ class RecoveryManager:
             # A checkpoint written instants before the crash may not have an
             # accompanying WAL file yet; recovery is then the checkpoint alone.
             frames = []
-        records = sum(int(matrix.shape[0]) for matrix, _ in frames)
+        records = sum(int(matrix.shape[0]) for matrix, _, _ in frames)
         outcome = SessionRecovery(
             session_id=session_id,
             checkpoint_version=info.version,
@@ -174,9 +174,9 @@ class RecoveryManager:
         blob, frames, outcome = self._load(session_id)
         session = ImputationSession.restore(blob)
         started = time.perf_counter()
-        for matrix, mask in frames:
+        for matrix, mask, timestamps in frames:
             _replay_frame(session.push, session.push_block,
-                          session.series_names, matrix, mask)
+                          session.series_names, matrix, mask, timestamps)
         seconds = time.perf_counter() - started
         outcome = SessionRecovery(
             **{**outcome.as_dict(), "replay_seconds": seconds}
@@ -190,8 +190,8 @@ class RecoveryManager:
         """Recover sessions into any service surface; returns the report.
 
         ``target`` needs ``restore(session_id, blob)``,
-        ``push_block(session_id, block)`` and ``push(session_id, tick)`` —
-        satisfied by
+        ``push_block(session_id, block)`` and ``push(session_id, tick,
+        timestamp=None)`` — satisfied by
         :class:`~repro.service.service.ImputationService` and
         :class:`~repro.cluster.coordinator.ClusterCoordinator` alike.
         ``session_ids`` defaults to everything stored under the root.
@@ -207,16 +207,18 @@ class RecoveryManager:
             # Restore only after the WAL is fully buffered: a durable target
             # rotates (and eventually prunes) the very files being read.
             target.restore(session_id, blob)
-            if any(mask is not None for _, mask in frames):
+            if any(mask is not None for _, mask, _ in frames):
                 names = _series_names_of(blob)
             else:
                 names = None  # every frame replays as one vectorised block
             started = time.perf_counter()
-            for matrix, mask in frames:
+            for matrix, mask, timestamps in frames:
                 _replay_frame(
-                    lambda tick: target.push(session_id, tick),
+                    lambda tick, timestamp=None: target.push(
+                        session_id, tick, timestamp=timestamp
+                    ),
                     lambda block: target.push_block(session_id, block),
-                    names, matrix, mask,
+                    names, matrix, mask, timestamps,
                 )
             seconds = time.perf_counter() - started
             outcome = SessionRecovery(
@@ -239,22 +241,39 @@ def _series_names_of(blob: bytes) -> List[str]:
     return list(payload["series_names"])
 
 
-def _replay_frame(push, push_block, series_names, matrix, mask) -> None:
+def _replay_frame(push, push_block, series_names, matrix, mask,
+                  timestamps=None) -> None:
     """Replay one WAL frame through a push surface.
 
     Fully-present frames go through the vectorised block path; frames with a
     presence mask are replayed row by row as mappings so that absent series
     stay absent (a duck-typed imputer may treat "absent" and "NaN"
-    differently, and replay must be bit-exact).
+    differently, and replay must be bit-exact).  Frames that journaled
+    producer timestamps also replay row by row, through ``push(...,
+    timestamp=...)``: re-applying the ingest policy restores the dedup
+    watermark exactly (journaled timestamps strictly increase, so no
+    replayed row is itself dropped), and after recovery a retried duplicate
+    delivery is still rejected.  A ``NaN`` in the timestamp vector marks an
+    untimestamped row.
     """
-    if mask is None:
+    if mask is None and timestamps is None:
         push_block(matrix)
         return
-    for row, row_mask in zip(np.asarray(matrix, dtype=float), mask):
+    rows = np.asarray(matrix, dtype=float)
+    if timestamps is None:
+        stamps = [None] * rows.shape[0]
+    else:
+        stamps = [None if np.isnan(ts) else float(ts) for ts in timestamps]
+    if mask is None:
+        for row, ts in zip(rows, stamps):
+            push(row, timestamp=ts)
+        return
+    for row, row_mask, ts in zip(rows, mask, stamps):
         push(
             {
                 name: float(value)
                 for name, value, present in zip(series_names, row, row_mask)
                 if present
-            }
+            },
+            timestamp=ts,
         )

@@ -15,7 +15,8 @@ On-disk format (documented for external tooling in ``DESIGN.md`` Sec. 2c)::
         [u32 little-endian payload length]
         [u32 little-endian CRC-32 of the payload]
         [u32 little-endian row count of the frame's matrix]
-        [payload: pickle (pinned protocol) of (matrix, mask-or-None)]
+        [payload: pickle (pinned protocol) of (matrix, mask-or-None)
+         or of (matrix, mask-or-None, timestamps-or-None)]
 
 The row count is redundant with the payload but lets :func:`scan_wal`
 integrity-check and size a log without unpickling anything — ``tkcm-repro
@@ -28,6 +29,14 @@ that preserves which series were *present* in a mapping-shaped push (an
 absent series and an explicit ``NaN`` are different inputs to a duck-typed
 imputer, so replay must reproduce the distinction).  ``mask is None`` marks
 the common fully-positional case, which replays as one vectorised block.
+``timestamps`` is a float64 vector of per-row *producer* timestamps for
+rows pushed through the session's timestamped ingest policy (``NaN`` for
+rows without one): replaying them re-applies the policy, so the session's
+dedup watermark (``last_timestamp``) survives a crash exactly — a
+duplicate delivered, crashed on, and re-delivered is still rejected after
+recovery.  Frames written without any timestamp keep the historical
+two-element payload, so old logs (and logs from timestamp-less paths)
+read back unchanged; readers accept both arities.
 
 Durability levels: every append ``flush()``\\ es the userspace buffer, so a
 *process* crash (``kill -9``) loses nothing that was acknowledged; ``fsync``
@@ -75,6 +84,21 @@ WAL_PICKLE_PROTOCOL = 4
 #: Default number of appends between ``fsync`` calls (see module docstring
 #: for what the batching does and does not protect against).
 DEFAULT_FSYNC_EVERY = 64
+
+
+def _unpack_payload(payload: bytes) -> Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+    """Decode one frame payload to ``(matrix, mask, timestamps)``.
+
+    Accepts both the historical two-element payload (pre-watermark logs and
+    frames from timestamp-less paths) and the three-element payload that
+    carries producer timestamps.
+    """
+    item = pickle.loads(payload)
+    if len(item) == 2:
+        matrix, mask = item
+        return matrix, mask, None
+    matrix, mask, timestamps = item
+    return matrix, mask, timestamps
 
 
 class WriteAheadLog:
@@ -127,14 +151,21 @@ class WriteAheadLog:
         return self._file.closed
 
     def append_block(
-        self, matrix: np.ndarray, mask: Optional[np.ndarray] = None
+        self,
+        matrix: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        timestamps: Optional[np.ndarray] = None,
     ) -> int:
         """Append one block of pushed rows; returns the bytes written.
 
         ``matrix`` is coerced to a C-contiguous float64 ``(rows, series)``
         array.  ``mask`` (same shape, boolean) records which cells were
         present in the original push; pass ``None`` for fully-positional
-        pushes so replay can use the vectorised block path.
+        pushes so replay can use the vectorised block path.  ``timestamps``
+        (length ``rows``, float64, ``NaN`` = untimestamped) records the
+        producer timestamps of timestamped pushes so recovery restores the
+        session's ingest watermark; ``None`` (or all-``NaN``) keeps the
+        historical two-element payload.
         """
         if self._file.closed:
             raise DurabilityError(f"WAL {self.path!r} is closed")
@@ -151,7 +182,21 @@ class WriteAheadLog:
                 )
             if mask.all():
                 mask = None  # fully present: replayable as one block
-        payload = pickle.dumps((block, mask), protocol=WAL_PICKLE_PROTOCOL)
+        if timestamps is not None:
+            timestamps = np.ascontiguousarray(timestamps, dtype=float).reshape(-1)
+            if timestamps.shape[0] != block.shape[0]:
+                raise DurabilityError(
+                    f"timestamps length {timestamps.shape[0]} does not match "
+                    f"block rows {block.shape[0]}"
+                )
+            if np.isnan(timestamps).all():
+                timestamps = None  # nothing to watermark: legacy payload
+        if timestamps is None:
+            payload = pickle.dumps((block, mask), protocol=WAL_PICKLE_PROTOCOL)
+        else:
+            payload = pickle.dumps(
+                (block, mask, timestamps), protocol=WAL_PICKLE_PROTOCOL
+            )
         frame = (
             _FRAME_HEADER.pack(len(payload), zlib.crc32(payload), block.shape[0])
             + payload
@@ -242,7 +287,7 @@ class WalCursor:
         self.polls = 0
 
     def poll(self) -> list:
-        """Return the ``(matrix, mask)`` frames appended since the last poll.
+        """Return the ``(matrix, mask, timestamps)`` frames appended since the last poll.
 
         Stops (without advancing) at the first incomplete or checksum-corrupt
         frame, exactly like :func:`read_wal` — a torn tail is either a crash
@@ -281,8 +326,7 @@ class WalCursor:
                 payload = handle.read(length)
                 if len(payload) < length or zlib.crc32(payload) != crc:
                     break  # torn or mid-append tail: stop, don't advance
-                matrix, mask = pickle.loads(payload)
-                frames.append((matrix, mask))
+                frames.append(_unpack_payload(payload))
                 self.offset += _FRAME_HEADER.size + length
                 self.frames_read += 1
                 self.records_read += rows
@@ -321,8 +365,10 @@ class WalScan:
     torn: bool
 
 
-def read_wal(path) -> Iterator[Tuple[np.ndarray, Optional[np.ndarray]]]:
-    """Yield ``(matrix, mask)`` blocks from a WAL file, oldest first.
+def read_wal(
+    path,
+) -> Iterator[Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]]:
+    """Yield ``(matrix, mask, timestamps)`` blocks from a WAL file, oldest first.
 
     Replay stops silently at the first incomplete or checksum-corrupt frame:
     a torn tail is the expected signature of a crash mid-append, and every
@@ -354,8 +400,7 @@ def read_wal(path) -> Iterator[Tuple[np.ndarray, Optional[np.ndarray]]]:
             payload = handle.read(length)
             if len(payload) < length or zlib.crc32(payload) != crc:
                 return  # torn or corrupt tail: stop replay here
-            matrix, mask = pickle.loads(payload)
-            yield matrix, mask
+            yield _unpack_payload(payload)
 
 
 def scan_wal(path) -> WalScan:

@@ -75,6 +75,20 @@ class OverloadedError(GatewayError):
     or slow the producer down."""
 
 
+class UnavailableError(ClusterError, GatewayError):
+    """The target shard is degraded (its worker is crash-looping and the
+    supervisor's circuit breaker opened), so the operation was refused
+    instead of hanging; the record was **not** applied.  Healthy shards keep
+    serving.  ``retry_after`` is the suggested back-off in seconds.  Raised
+    by the coordinator and relayed over the wire as ``ERROR(UNAVAILABLE)``,
+    so it derives from both :class:`ClusterError` and
+    :class:`GatewayError`."""
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
 class DurabilityError(ReproError):
     """A durable-storage operation failed (corrupt checkpoint, bad WAL frame,
     unwritable store directory)."""

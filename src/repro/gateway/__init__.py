@@ -12,6 +12,9 @@ makes the serving story end-to-end over TCP:
   pipelined ``push_nowait``/``flush`` path, with watermark backpressure.
 * :mod:`repro.gateway.client` — :class:`GatewayClient` (sync) and
   :class:`AsyncGatewayClient` (asyncio core).
+* :mod:`repro.gateway.resilient` — :class:`ResilientGatewayClient` /
+  :class:`AsyncResilientGatewayClient`: reconnect with backoff + jitter,
+  session-lease resume, and an unacknowledged-frame replay outbox.
 * :mod:`repro.gateway.loadgen` — the open-loop load generator behind the
   ``gateway-bench`` CLI subcommand and ``BENCH_gateway.json``.
 """
@@ -25,14 +28,22 @@ from .loadgen import (
     gateway_bench_record,
     run_loadgen,
 )
+from .resilient import (
+    AsyncResilientGatewayClient,
+    ReconnectPolicy,
+    ResilientGatewayClient,
+)
 from .server import GatewayServer
 
 __all__ = [
     "AsyncGatewayClient",
+    "AsyncResilientGatewayClient",
     "GatewayClient",
     "GatewayServer",
     "LoadgenReport",
     "LoadgenStation",
+    "ReconnectPolicy",
+    "ResilientGatewayClient",
     "arrival_schedule",
     "build_loadgen_workload",
     "gateway_bench_record",

@@ -44,6 +44,7 @@ _ERROR_NAMES = {
     protocol.ERR_SESSION: "session",
     protocol.ERR_OVERLOADED: "overloaded",
     protocol.ERR_SERVER: "server",
+    protocol.ERR_UNAVAILABLE: "unavailable",
 }
 
 
@@ -66,6 +67,14 @@ class AsyncGatewayClient:
     shed:
         Messages of ERROR(overloaded) frames received so far; each records
         a push the server dropped under load.
+    unavailable:
+        ``(retry_after, detail)`` pairs of ERROR(unavailable) frames — each
+        records a push refused because its shard's circuit breaker is open.
+        Like shed pushes, they never fail an unrelated request.
+    acked:
+        ``{station: cumulative applied push sequence}`` from ACK frames and
+        resumed HELLO_OKs — everything below the sequence is applied
+        server-side.
     errors:
         ``(code, message)`` pairs of every non-shed ERROR frame received.
         An ERROR arriving while a request is in flight also fails that
@@ -93,6 +102,8 @@ class AsyncGatewayClient:
         self._closed = False
         self.result_hook: Optional[Callable[[str, List[TickResult]], None]] = None
         self.shed: List[str] = []
+        self.unavailable: List[Tuple[float, str]] = []
+        self.acked: Dict[str, int] = {}
         self.errors: List[Tuple[int, str]] = []
         self.records_pushed = 0
         self.results_received = 0
@@ -169,11 +180,18 @@ class AsyncGatewayClient:
             self._results.setdefault(station, []).extend(results)
             if self.result_hook is not None:
                 self.result_hook(station, results)
+        elif kind == protocol.FRAME_ACK:
+            for station, seq in protocol.decode_ack(payload).items():
+                if seq > self.acked.get(station, 0):
+                    self.acked[station] = seq
         elif kind == protocol.FRAME_ERROR:
             code, message = protocol.decode_error(payload)
             if code == protocol.ERR_OVERLOADED:
                 self.shed.append(message)
                 return  # shed pushes never fail an unrelated request
+            if code == protocol.ERR_UNAVAILABLE:
+                self.unavailable.append(protocol.decode_unavailable(message))
+                return  # refused pushes never fail an unrelated request
             name = _ERROR_NAMES.get(code, str(code))
             # Always recorded; additionally fails the request in flight (a
             # rejected fire-and-forget push surfaces on the next request).
@@ -275,6 +293,19 @@ class AsyncGatewayClient:
         for payload in payloads:
             self._writer.write(protocol.encode_frame(kind, payload))
         self.records_pushed += len(rows)
+        await self._writer.drain()
+
+    async def send_frames(self, frames: Sequence[Tuple[int, bytes]]) -> None:
+        """Write pre-encoded ``(kind, payload)`` frames and drain the socket.
+
+        The seam the resilient client replays its outbox through: payloads
+        keep their original sequence stamps, so a replay is byte-identical
+        to the first transmission.
+        """
+        if self._closed:
+            raise GatewayError("the gateway client is closed")
+        for kind, payload in frames:
+            self._writer.write(protocol.encode_frame(kind, payload))
         await self._writer.drain()
 
     async def flush(self) -> Dict[str, List[TickResult]]:
@@ -444,6 +475,13 @@ class GatewayClient:
         if self._core is None:
             return []
         return list(self._core.shed)
+
+    @property
+    def unavailable(self) -> List[Tuple[float, str]]:
+        """``(retry_after, detail)`` of pushes refused on degraded shards."""
+        if self._core is None:
+            return []
+        return list(self._core.unavailable)
 
     @property
     def errors(self) -> List[Tuple[int, str]]:

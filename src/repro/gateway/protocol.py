@@ -59,10 +59,12 @@ __all__ = [
     "FRAME_ERROR",
     "FRAME_PING",
     "FRAME_PONG",
+    "FRAME_ACK",
     "ERR_PROTOCOL",
     "ERR_SESSION",
     "ERR_OVERLOADED",
     "ERR_SERVER",
+    "ERR_UNAVAILABLE",
     "FrameDecoder",
     "encode_frame",
     "encode_hello",
@@ -79,6 +81,10 @@ __all__ = [
     "decode_error",
     "encode_token",
     "decode_token",
+    "encode_ack",
+    "decode_ack",
+    "encode_unavailable",
+    "decode_unavailable",
 ]
 
 #: Version carried in every HELLO; the server rejects mismatches.
@@ -93,7 +99,7 @@ _FRAME_HEADER = struct.Struct("<IIB")
 
 # Frame kinds.  Client -> server: HELLO, PUSH, PUSH_BLOCK, PRIME, FLUSH,
 # PING.  Server -> client: HELLO_OK, PRIME_OK, FLUSH_OK, RESULT, ERROR,
-# PONG.
+# PONG, ACK.
 FRAME_HELLO = 1
 FRAME_HELLO_OK = 2
 FRAME_PUSH = 3
@@ -106,14 +112,16 @@ FRAME_RESULT = 9
 FRAME_ERROR = 10
 FRAME_PING = 11
 FRAME_PONG = 12
+FRAME_ACK = 13
 
-_KNOWN_KINDS = frozenset(range(FRAME_HELLO, FRAME_PONG + 1))
+_KNOWN_KINDS = frozenset(range(FRAME_HELLO, FRAME_ACK + 1))
 
 # Error codes carried by ERROR frames.
-ERR_PROTOCOL = 1    #: the peer sent a malformed or unexpected frame
-ERR_SESSION = 2     #: a session-level operation failed (unknown id, bad row)
-ERR_OVERLOADED = 3  #: the push was shed; the record was NOT applied
-ERR_SERVER = 4      #: an unexpected server-side failure
+ERR_PROTOCOL = 1     #: the peer sent a malformed or unexpected frame
+ERR_SESSION = 2      #: a session-level operation failed (unknown id, bad row)
+ERR_OVERLOADED = 3   #: the push was shed; the record was NOT applied
+ERR_SERVER = 4       #: an unexpected server-side failure
+ERR_UNAVAILABLE = 5  #: the session's shard is degraded; retry after a delay
 
 
 # --------------------------------------------------------------------------- #
@@ -202,19 +210,32 @@ def encode_hello(
     series_names: Optional[Sequence[str]],
     warmup_ticks: int,
     params: Mapping[str, object],
+    *,
+    token: Optional[str] = None,
+    resume: bool = False,
 ) -> bytes:
-    """Encode the session-opening handshake for one station."""
-    return json.dumps(
-        {
-            "version": PROTOCOL_VERSION,
-            "station": station,
-            "method": method,
-            "series_names": list(series_names) if series_names is not None else None,
-            "warmup_ticks": int(warmup_ticks),
-            "params": dict(params),
-        },
-        sort_keys=True,
-    ).encode("utf-8")
+    """Encode the session-opening handshake for one station.
+
+    ``token`` is an opaque client-chosen lease token: a server that supports
+    session leases parks this connection's sessions under it on disconnect
+    instead of destroying them.  With ``resume`` the HELLO asks to reattach
+    the station's leased session (the token must match the one that opened
+    it); the HELLO_OK then reports the cumulative applied push sequence so
+    the client knows exactly which outbox frames to replay.
+    """
+    message: Dict[str, object] = {
+        "version": PROTOCOL_VERSION,
+        "station": station,
+        "method": method,
+        "series_names": list(series_names) if series_names is not None else None,
+        "warmup_ticks": int(warmup_ticks),
+        "params": dict(params),
+    }
+    if token is not None:
+        message["token"] = str(token)
+    if resume:
+        message["resume"] = True
+    return json.dumps(message, sort_keys=True).encode("utf-8")
 
 
 def _decode_json(payload: bytes, required: Sequence[str]) -> Dict[str, object]:
@@ -239,13 +260,35 @@ def decode_hello(payload: bytes) -> Dict[str, object]:
             f"protocol version {message['version']!r} not supported "
             f"(this end speaks {PROTOCOL_VERSION})"
         )
+    token = message.get("token")
+    if token is not None and not isinstance(token, str):
+        raise ProtocolError("HELLO token must be a string")
+    if message.get("resume") and token is None:
+        raise ProtocolError("HELLO resume requires a lease token")
     return message
 
 
-def encode_hello_ok(session_id: str, worker: Optional[int]) -> bytes:
-    """Encode the server's handshake reply (assigned namespaced id)."""
+def encode_hello_ok(
+    session_id: str,
+    worker: Optional[int],
+    *,
+    resumed: bool = False,
+    acked_seq: int = 0,
+) -> bytes:
+    """Encode the server's handshake reply (assigned namespaced id).
+
+    ``resumed``/``acked_seq`` report lease reattachment: ``acked_seq`` is the
+    cumulative count of PUSH payloads applied for this station, so a
+    resuming client replays exactly its outbox entries at or above it.
+    """
     return json.dumps(
-        {"session_id": session_id, "worker": worker}, sort_keys=True
+        {
+            "session_id": session_id,
+            "worker": worker,
+            "resumed": bool(resumed),
+            "acked_seq": int(acked_seq),
+        },
+        sort_keys=True,
     ).encode("utf-8")
 
 
@@ -388,6 +431,74 @@ def decode_token(payload: bytes) -> int:
         return token
     except struct.error as error:
         raise ProtocolError(f"malformed token payload: {error}") from None
+
+
+# --------------------------------------------------------------------------- #
+# ACK (cumulative applied-push sequences) and UNAVAILABLE detail
+# --------------------------------------------------------------------------- #
+def encode_ack(acks: Mapping[str, int]) -> bytes:
+    """Encode a cumulative ACK payload: ``{station: applied seq}``.
+
+    Each entry says *every PUSH payload below this sequence number has been
+    applied* for that station — the receiver drops those entries from its
+    replay outbox.  Layout: ``u32`` entry count, then per entry a ``u16``
+    station length + UTF-8 station + ``u64`` cumulative sequence.
+    """
+    parts = [struct.pack("<I", len(acks))]
+    for station, seq in acks.items():
+        raw = str(station).encode("utf-8")
+        if int(seq) < 0:
+            raise ValueError(f"negative ACK sequence for {station!r}: {seq}")
+        parts.append(struct.pack("<H", len(raw)))
+        parts.append(raw)
+        parts.append(struct.pack("<Q", int(seq)))
+    return b"".join(parts)
+
+
+def decode_ack(payload: bytes) -> Dict[str, int]:
+    """Decode an ACK payload into ``{station: cumulative applied seq}``."""
+    try:
+        view = memoryview(payload)
+        offset = 0
+        (count,) = struct.unpack_from("<I", view, offset)
+        offset += 4
+        acks: Dict[str, int] = {}
+        for _ in range(count):
+            (name_len,) = struct.unpack_from("<H", view, offset)
+            offset += 2
+            if offset + name_len > len(payload):
+                raise ValueError("truncated station name")
+            station = bytes(view[offset: offset + name_len]).decode("utf-8")
+            offset += name_len
+            (seq,) = struct.unpack_from("<Q", view, offset)
+            offset += 8
+            acks[station] = seq
+        if offset != len(payload):
+            raise ValueError(f"{len(payload) - offset} trailing bytes")
+        return acks
+    except (struct.error, ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"malformed ACK payload: {error}") from None
+
+
+def encode_unavailable(retry_after: float, detail: str = "") -> bytes:
+    """Encode an ``ERROR(UNAVAILABLE)`` payload carrying a retry hint."""
+    message = json.dumps(
+        {"retry_after": float(retry_after), "detail": detail}, sort_keys=True
+    )
+    return encode_error(ERR_UNAVAILABLE, message)
+
+
+def decode_unavailable(message: str) -> Tuple[float, str]:
+    """Decode the message half of an UNAVAILABLE error to ``(retry_after, detail)``.
+
+    Tolerates a plain-text message (returns a zero retry hint) so an
+    UNAVAILABLE raised without structured detail still surfaces cleanly.
+    """
+    try:
+        parsed = json.loads(message)
+        return float(parsed["retry_after"]), str(parsed.get("detail", ""))
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return 0.0, message
 
 
 def iter_frames(blob: bytes, max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD) -> Iterable[Tuple[int, bytes]]:

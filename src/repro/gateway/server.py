@@ -35,19 +35,39 @@ that prefer losing records over delaying them.
 A client killed mid-write costs nothing: the torn frame stays in that
 connection's decoder buffer and dies with it, the connection's sessions are
 removed from the backend, and every other connection keeps streaming.
+
+**Session leases** upgrade that cleanup into resumability.  A client that
+presents an opaque ``token`` in its HELLOs opts in: when its connection
+drops, the sessions are *detached* under the token for ``lease_ttl``
+seconds instead of being destroyed — imputer state stays live in the
+backend, and results flushed while detached are buffered on the lease.  A
+reconnecting client re-HELLOs with ``resume`` + the same token and gets its
+session back, plus the cumulative count of PUSH payloads the server already
+applied (``acked_seq`` in HELLO_OK, kept current between flushes by ACK
+frames), so it replays exactly its unacknowledged outbox.  Replayed
+payloads the server already applied are dropped by the same sequence
+bookkeeping — at-least-once on the wire, exactly-once in the model state.
+A resume that arrives while the old connection still *looks* alive
+(half-open TCP after a partition, or the old socket FD pinned open by a
+forked worker) does not wait for the server to notice the death: the token
+proves ownership, so the stale connection is fenced and its sessions are
+taken over on the spot.
+A stale or forged token is rejected with a plain session error; the
+connection stays usable and nobody else's lease is touched.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..exceptions import GatewayError, ProtocolError, ReproError
+from ..exceptions import GatewayError, ProtocolError, ReproError, UnavailableError
 from ..results import TickResult
 from . import protocol
 
-__all__ = ["GatewayServer"]
+__all__ = ["GatewayServer", "DEFAULT_LEASE_TTL"]
 
 #: Records admitted since the last backend flush before the read gate
 #: closes and a flush is forced.
@@ -55,6 +75,9 @@ DEFAULT_PAUSE_WATERMARK = 8192
 
 #: Seconds between periodic backend flushes when the watermark stays quiet.
 DEFAULT_FLUSH_INTERVAL = 0.01
+
+#: Seconds a disconnected token-bearing client's sessions stay leased.
+DEFAULT_LEASE_TTL = 30.0
 
 #: Socket read size per handler iteration.
 _READ_CHUNK = 1 << 16
@@ -69,12 +92,34 @@ class _Connection:
         self.decoder = protocol.FrameDecoder()
         #: station -> namespaced backend session id
         self.sessions: Dict[str, str] = {}
+        #: station -> shard index reported at HELLO (kept for resumes)
+        self.workers: Dict[str, Optional[int]] = {}
+        #: station -> next expected PUSH payload sequence (== payloads applied)
+        self.applied_seq: Dict[str, int] = {}
+        #: station -> last cumulative sequence sent in an ACK frame
+        self.acked_sent: Dict[str, int] = {}
+        #: lease token presented in this connection's HELLOs (opt-in)
+        self.token: Optional[str] = None
         self.records_in = 0
         self.results_out = 0
 
     def send(self, kind: int, payload: bytes = b"") -> None:
         """Queue one frame on the socket (whole frames, never interleaved)."""
         self.writer.write(protocol.encode_frame(kind, payload))
+
+
+@dataclass
+class _Lease:
+    """A disconnected client's detached session, waiting to be resumed."""
+
+    token: str
+    station: str
+    session_id: str
+    applied_seq: int
+    worker: Optional[int]
+    expires_at: float
+    #: Results flushed while detached, delivered right after the resume.
+    results: List[TickResult] = field(default_factory=list)
 
 
 class GatewayServer:
@@ -102,6 +147,12 @@ class GatewayServer:
         Optional higher watermark above which pushes are shed with
         ERROR(overloaded) instead of delaying the producer; ``None``
         (default) never sheds.
+    lease_ttl:
+        Seconds a disconnected token-bearing client's sessions stay
+        detached (resumable) before being removed from the backend;
+        ``0`` disables leasing entirely (every disconnect destroys its
+        sessions, the pre-lease behaviour).  Clients that present no
+        token in HELLO are always cleaned up immediately.
     max_frame_payload:
         Per-frame payload bound enforced on both directions.
     """
@@ -115,6 +166,7 @@ class GatewayServer:
         flush_interval: float = DEFAULT_FLUSH_INTERVAL,
         pause_watermark: int = DEFAULT_PAUSE_WATERMARK,
         shed_watermark: Optional[int] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
         max_frame_payload: int = protocol.DEFAULT_MAX_FRAME_PAYLOAD,
     ) -> None:
         if pause_watermark < 1:
@@ -126,6 +178,8 @@ class GatewayServer:
                 f"shed_watermark ({shed_watermark}) must be >= "
                 f"pause_watermark ({pause_watermark})"
             )
+        if lease_ttl < 0:
+            raise GatewayError(f"lease_ttl must be >= 0, got {lease_ttl}")
         self._backend = backend
         self._pipelined = hasattr(backend, "push_nowait")
         self._host = host
@@ -133,6 +187,7 @@ class GatewayServer:
         self._flush_interval = float(flush_interval)
         self._pause_watermark = int(pause_watermark)
         self._shed_watermark = None if shed_watermark is None else int(shed_watermark)
+        self._lease_ttl = float(lease_ttl)
         self._max_frame_payload = int(max_frame_payload)
 
         self._server: Optional[asyncio.base_events.Server] = None
@@ -142,9 +197,15 @@ class GatewayServer:
         self._flush_lock: Optional[asyncio.Lock] = None
         self._connections: Dict[int, _Connection] = {}
         self._session_owner: Dict[str, _Connection] = {}
+        #: Detached (leased) sessions: session id -> lease, and the resume
+        #: index (token, station) -> lease over the same objects.
+        self._detached: Dict[str, _Lease] = {}
+        self._lease_index: Dict[Tuple[str, str], _Lease] = {}
         self._next_conn_id = 0
         self._closed = False
         self._stopping = False
+        #: Live connection-handler tasks, awaited briefly on stop.
+        self._handler_tasks: Set[asyncio.Task] = set()
 
         #: Results buffered for a direct (non-pipelined) backend.
         self._direct_results: Dict[str, List[TickResult]] = {}
@@ -163,6 +224,14 @@ class GatewayServer:
         self._connections_peak = 0
         self._connections_total = 0
         self._protocol_errors = 0
+        self._leases_created = 0
+        self._leases_resumed = 0
+        self._leases_expired = 0
+        self._leases_taken_over = 0
+        self._resumes_rejected = 0
+        self._duplicate_records_dropped = 0
+        self._acks_sent = 0
+        self._unavailable_records = 0
 
         # Background-thread bookkeeping (see :meth:`background`).
         self._thread: Optional[threading.Thread] = None
@@ -205,6 +274,16 @@ class GatewayServer:
             "protocol_errors": self._protocol_errors,
             "pause_watermark": self._pause_watermark,
             "shed_watermark": self._shed_watermark,
+            "lease_ttl": self._lease_ttl,
+            "leases_active": len(self._detached),
+            "leases_created": self._leases_created,
+            "leases_resumed": self._leases_resumed,
+            "leases_expired": self._leases_expired,
+            "leases_taken_over": self._leases_taken_over,
+            "resumes_rejected": self._resumes_rejected,
+            "duplicate_records_dropped": self._duplicate_records_dropped,
+            "acks_sent": self._acks_sent,
+            "unavailable_records": self._unavailable_records,
         }
 
     # ------------------------------------------------------------------ #
@@ -255,6 +334,19 @@ class GatewayServer:
             connection.writer.close()
         self._connections.clear()
         self._session_owner.clear()
+        if self._handler_tasks:
+            # Let the handlers see their closed sockets and unwind on their
+            # own: cancelling a task parked in a stream read makes asyncio
+            # log a spurious CancelledError at loop teardown.
+            await asyncio.wait(list(self._handler_tasks), timeout=1.0)
+        # Leases do not outlive the server: remove their backend sessions.
+        for lease in list(self._detached.values()):
+            try:
+                self._backend.remove_session(lease.session_id)
+            except ReproError:
+                pass
+        self._detached.clear()
+        self._lease_index.clear()
 
     async def serve_forever(self) -> None:
         """Run until cancelled (after :meth:`start`)."""
@@ -340,6 +432,10 @@ class GatewayServer:
         self._next_conn_id += 1
         connection.decoder = protocol.FrameDecoder(self._max_frame_payload)
         self._connections[connection.conn_id] = connection
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
         self._connections_total += 1
         self._connections_peak = max(
             self._connections_peak, len(self._connections)
@@ -372,26 +468,117 @@ class GatewayServer:
             await self._forget_connection(connection)
 
     async def _forget_connection(self, connection: _Connection) -> None:
-        """Remove a gone client's sessions; keep everyone else serving."""
+        """Detach (lease) or remove a gone client's sessions.
+
+        A token-bearing client's sessions go into the detached map for
+        ``lease_ttl`` seconds — imputer state stays live, results flushed
+        meanwhile are buffered on the lease — so a reconnect can resume
+        them.  Tokenless clients (and any disconnect during server stop)
+        keep the original destroy-on-disconnect behaviour.  Either way,
+        every other connection keeps serving.
+        """
         self._connections.pop(connection.conn_id, None)
-        if connection.sessions:
-            # Rescue other connections' in-flight results before removal
-            # collects (and this client's sessions disappear from routing).
+        leased = (
+            connection.token is not None
+            and self._lease_ttl > 0
+            and not self._closed
+        )
+        if leased and connection.sessions:
+            self._detach_sessions(connection)
+            # Flush so this client's in-flight results land on its leases
+            # (and other connections get theirs routed as usual).
             try:
                 await self._flush_backend()
             except Exception:
                 pass
-        for station, session_id in list(connection.sessions.items()):
-            self._session_owner.pop(session_id, None)
-            try:
-                self._backend.remove_session(session_id)
-            except ReproError:
-                pass  # already gone (e.g. backend shut down first)
-        connection.sessions.clear()
+        else:
+            if connection.sessions:
+                # Rescue other connections' in-flight results before removal
+                # collects (and this client's sessions disappear from
+                # routing).
+                try:
+                    await self._flush_backend()
+                except Exception:
+                    pass
+            for station, session_id in list(connection.sessions.items()):
+                self._session_owner.pop(session_id, None)
+                try:
+                    self._backend.remove_session(session_id)
+                except ReproError:
+                    pass  # already gone (e.g. backend shut down first)
+            connection.sessions.clear()
         try:
             connection.writer.close()
         except Exception:
             pass
+
+    def _detach_sessions(self, connection: _Connection) -> None:
+        """Move every session of a token-bearing connection onto leases."""
+        now = asyncio.get_running_loop().time()
+        for station, session_id in connection.sessions.items():
+            self._session_owner.pop(session_id, None)
+            # A newer connection may already hold this (token, station):
+            # never clobber its lease slot with a stale one.
+            stale = self._lease_index.get((connection.token, station))
+            if stale is not None:
+                self._drop_lease(stale)
+            lease = _Lease(
+                token=connection.token,
+                station=station,
+                session_id=session_id,
+                applied_seq=connection.applied_seq.get(station, 0),
+                worker=connection.workers.get(station),
+                expires_at=now + self._lease_ttl,
+            )
+            self._detached[session_id] = lease
+            self._lease_index[(connection.token, station)] = lease
+            self._leases_created += 1
+        connection.sessions.clear()
+
+    def _takeover_stale_owner(self, token: str, station: str) -> Optional[_Lease]:
+        """Fence a live-looking connection whose client has reconnected.
+
+        A client that reconnects after a network partition (or after its
+        old socket FD was kept open by a forked worker process) can present
+        its token *before* the server notices the old connection is dead —
+        half-open TCP takes arbitrarily long to surface as an EOF.  The
+        token is the proof of ownership, so the resume must not wait: the
+        stale connection's sessions are detached into leases on the spot
+        and the connection is closed (its handler's pending read wakes and
+        finds nothing left to clean up).  Frames the stale socket never
+        delivered are covered by the client's unacked-outbox replay.
+        """
+        for stale in list(self._connections.values()):
+            if stale.token == token and station in stale.sessions:
+                self._connections.pop(stale.conn_id, None)
+                self._detach_sessions(stale)
+                try:
+                    stale.writer.close()
+                except Exception:
+                    pass
+                self._leases_taken_over += 1
+                return self._lease_index.get((token, station))
+        return None
+
+    def _drop_lease(self, lease: _Lease) -> None:
+        """Remove one lease and its backend session (idempotent)."""
+        self._detached.pop(lease.session_id, None)
+        self._lease_index.pop((lease.token, lease.station), None)
+        try:
+            self._backend.remove_session(lease.session_id)
+        except ReproError:
+            pass
+
+    def _sweep_leases(self) -> None:
+        """Expire leases whose TTL elapsed; their sessions are removed."""
+        if not self._detached:
+            return
+        now = asyncio.get_running_loop().time()
+        for lease in [
+            lease for lease in self._detached.values() if lease.expires_at <= now
+        ]:
+            self._drop_lease(lease)
+            self._leases_expired += 1
 
     # ------------------------------------------------------------------ #
     # Frame application
@@ -422,6 +609,23 @@ class GatewayServer:
     def _apply_hello(self, connection: _Connection, payload: bytes) -> None:
         hello = protocol.decode_hello(payload)
         station = str(hello["station"])
+        token = hello.get("token")
+        if token is not None:
+            if connection.token is None:
+                connection.token = str(token)
+            elif connection.token != token:
+                connection.send(
+                    protocol.FRAME_ERROR,
+                    protocol.encode_error(
+                        protocol.ERR_SESSION,
+                        "a connection must use one lease token for all "
+                        "its stations",
+                    ),
+                )
+                return
+        if hello.get("resume"):
+            self._apply_resume(connection, station, str(token))
+            return
         session_id = f"c{connection.conn_id}/{station}"
         try:
             if station in connection.sessions:
@@ -445,9 +649,64 @@ class GatewayServer:
         connection.sessions[station] = session_id
         self._session_owner[session_id] = connection
         worker = shard if isinstance(shard, int) else None
+        connection.workers[station] = worker
         connection.send(
             protocol.FRAME_HELLO_OK, protocol.encode_hello_ok(session_id, worker)
         )
+
+    def _apply_resume(
+        self, connection: _Connection, station: str, token: str
+    ) -> None:
+        """Reattach a leased session to a reconnected client.
+
+        A missing, expired, or foreign-token lease is a plain session error:
+        the connection stays usable (no decoder poisoning) and no other
+        client's lease is touched — a forged token simply finds nothing.
+        """
+        self._sweep_leases()
+        lease = self._lease_index.get((token, station))
+        if lease is None:
+            # The old connection may still look alive (half-open TCP): the
+            # token proves ownership, so fence it and take its lease over.
+            lease = self._takeover_stale_owner(token, station)
+        if lease is None or station in connection.sessions:
+            self._resumes_rejected += 1
+            connection.send(
+                protocol.FRAME_ERROR,
+                protocol.encode_error(
+                    protocol.ERR_SESSION,
+                    f"no resumable lease for station {station!r} "
+                    f"(expired, never detached, or wrong token)",
+                ),
+            )
+            return
+        self._detached.pop(lease.session_id, None)
+        self._lease_index.pop((token, station), None)
+        connection.sessions[station] = lease.session_id
+        connection.workers[station] = lease.worker
+        connection.applied_seq[station] = lease.applied_seq
+        connection.acked_sent[station] = lease.applied_seq
+        self._session_owner[lease.session_id] = connection
+        self._leases_resumed += 1
+        connection.send(
+            protocol.FRAME_HELLO_OK,
+            protocol.encode_hello_ok(
+                lease.session_id,
+                lease.worker,
+                resumed=True,
+                acked_seq=lease.applied_seq,
+            ),
+        )
+        if lease.results:
+            # Results flushed while detached: deliver before anything new.
+            payloads = protocol.encode_result_payloads(
+                station, lease.results, self._max_frame_payload
+            )
+            for result_payload in payloads:
+                connection.send(protocol.FRAME_RESULT, result_payload)
+            connection.results_out += len(lease.results)
+            self._results_out += len(lease.results)
+            lease.results = []
 
     def _apply_prime(self, connection: _Connection, payload: bytes) -> None:
         station, history = protocol.decode_prime(payload)
@@ -472,7 +731,7 @@ class GatewayServer:
         connection.send(protocol.FRAME_PRIME_OK)
 
     def _apply_push(self, connection: _Connection, payload: bytes) -> None:
-        _, station, part = protocol.decode_push_payload(payload)
+        seq, station, part = protocol.decode_push_payload(payload)
         session_id = connection.sessions.get(station)
         if session_id is None:
             connection.send(
@@ -485,10 +744,32 @@ class GatewayServer:
             return
         kind, value = part
         rows = list(value) if kind == "rows" else [value[i] for i in range(len(value))]
+        expected = connection.applied_seq.get(station, 0)
+        if seq < expected:
+            # An at-least-once replay of a payload this server already
+            # applied (the ACK outran the client's outbox trim): drop it
+            # silently — this is exactly-once dedup, not an error.
+            self._duplicate_records_dropped += len(rows)
+            return
+        if seq > expected:
+            connection.send(
+                protocol.FRAME_ERROR,
+                protocol.encode_error(
+                    protocol.ERR_SESSION,
+                    f"push sequence gap for station {station!r}: "
+                    f"got {seq}, expected {expected}",
+                ),
+            )
+            return
         if (
             self._shed_watermark is not None
             and self._pending + len(rows) > self._shed_watermark
         ):
+            # Shedding is a *decision*, not a transport failure: the frame
+            # consumes its sequence slot so the stream keeps flowing (and a
+            # resilient client's replay of it dedups instead of re-applying
+            # records the server deliberately refused).
+            connection.applied_seq[station] = seq + 1
             self._shed_records += len(rows)
             connection.send(
                 protocol.FRAME_ERROR,
@@ -511,12 +792,22 @@ class GatewayServer:
                 )
                 if results:
                     self._direct_results.setdefault(session_id, []).extend(results)
+        except UnavailableError as error:
+            # The shard's circuit breaker is open: refuse fast with a retry
+            # hint instead of hanging; healthy shards keep serving.
+            self._unavailable_records += len(rows)
+            connection.send(
+                protocol.FRAME_ERROR,
+                protocol.encode_unavailable(error.retry_after, str(error)),
+            )
+            return
         except ReproError as error:
             connection.send(
                 protocol.FRAME_ERROR,
                 protocol.encode_error(protocol.ERR_SESSION, str(error)),
             )
             return
+        connection.applied_seq[station] = seq + 1
         count = len(rows)
         connection.records_in += count
         self._records_in += count
@@ -556,6 +847,7 @@ class GatewayServer:
             self._flush_wanted.clear()
             if self._stopping:
                 return
+            self._sweep_leases()
             if self._pending or self._direct_results:
                 await self._flush_backend()
 
@@ -577,7 +869,11 @@ class GatewayServer:
                     continue
                 connection = self._session_owner.get(session_id)
                 if connection is None:
-                    continue  # owner disconnected; results die with it
+                    lease = self._detached.get(session_id)
+                    if lease is not None:
+                        # Detached but leased: buffer for the resume.
+                        lease.results.extend(results)
+                    continue  # otherwise the owner is gone; results die
                 station = session_id.split("/", 1)[1]
                 try:
                     payloads = protocol.encode_result_payloads(
@@ -597,6 +893,24 @@ class GatewayServer:
                 delivered = len(results)
                 connection.results_out += delivered
                 self._results_out += delivered
+                touched.add(connection.conn_id)
+            # Cumulative ACKs: tell every token-bearing client how far its
+            # per-station push sequences are applied, so it can trim its
+            # replay outbox.  Everything admitted before this flush is now
+            # applied (the backend flush is synchronous on the loop thread).
+            for connection in self._connections.values():
+                if connection.token is None:
+                    continue
+                advanced = {
+                    station: seq
+                    for station, seq in connection.applied_seq.items()
+                    if seq > connection.acked_sent.get(station, 0)
+                }
+                if not advanced:
+                    continue
+                connection.send(protocol.FRAME_ACK, protocol.encode_ack(advanced))
+                connection.acked_sent.update(advanced)
+                self._acks_sent += 1
                 touched.add(connection.conn_id)
             for conn_id in touched:
                 connection = self._connections.get(conn_id)

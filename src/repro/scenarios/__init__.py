@@ -23,9 +23,15 @@ replayable*:
   rebalance under load, shm ring saturation, disk-full during
   checkpoint), asserting bit-identical recovery against an uninterrupted
   reference run and measuring mean-time-to-recover.
+* :mod:`repro.scenarios.resilience` — the end-to-end drills: scenarios
+  streamed through the reconnecting gateway client under seeded
+  connection drops, worker kills and wedges (supervisor-healed from warm
+  standbys), plus the crash-loop breaker drill and the
+  ``BENCH_resilience.json`` record.
 
-CLI: ``tkcm-repro scenario-bench`` and ``tkcm-repro chaos-drill``; the
-shared benchmark record is ``BENCH_chaos.json``.  See ARCHITECTURE.md's
+CLI: ``tkcm-repro scenario-bench``, ``tkcm-repro chaos-drill`` and
+``tkcm-repro resilience-bench``; the shared benchmark records are
+``BENCH_chaos.json`` and ``BENCH_resilience.json``.  See ARCHITECTURE.md's
 "Scenario + chaos tier" section and the EXPERIMENTS.md walkthrough.
 """
 
@@ -61,6 +67,14 @@ from .generator import (
     station_workloads,
     to_stream,
 )
+from .resilience import (
+    BreakerReport,
+    ResilienceEvent,
+    ResilienceReport,
+    resilience_bench_record,
+    run_breaker_drill,
+    run_reconnect_drill,
+)
 from .spec import (
     ARRIVAL_PROCESSES,
     MISSINGNESS_KINDS,
@@ -82,11 +96,14 @@ __all__ = [
     "SCENARIO_FAMILIES",
     "ArrivalSpec",
     "AutoscaleDrillReport",
+    "BreakerReport",
     "ChaosEvent",
     "ChaosReport",
     "DiskFullReport",
     "FailoverReport",
     "IngestPolicyStats",
+    "ResilienceEvent",
+    "ResilienceReport",
     "MissingnessSpec",
     "PerturbationSpec",
     "ScenarioRecord",
@@ -105,11 +122,14 @@ __all__ = [
     "ramp_spec",
     "record_stream",
     "reference_results",
+    "resilience_bench_record",
     "run_autoscaled_scenario",
+    "run_breaker_drill",
     "run_chaos_drill",
     "run_disk_full_drill",
     "run_failover_drill",
     "run_fixed_fleet",
+    "run_reconnect_drill",
     "run_scenario",
     "scenario_bench_record",
     "scenario_chunks",

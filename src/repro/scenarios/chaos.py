@@ -23,8 +23,9 @@ to an uninterrupted single-process reference run:
   armed :class:`~repro.durability.faults.FaultInjector` fails a checkpoint
   write mid-stream with ``ENOSPC``.  The drill asserts the store's
   crash-atomicity contract (manifest and previous checkpoint version stay
-  fully readable), then recovers into a fresh service and resumes the
-  stream from the recovered tick.  The only results allowed to differ from
+  fully readable), then recovers into a fresh service and replays the whole
+  timestamped stream — the WAL-restored ingest watermark deduplicates the
+  already-applied prefix.  The only results allowed to differ from
   the reference are the never-acknowledged pushes that raised — exactly
   the durability contract — and the drill verifies the missing set equals
   that set, nothing more.
@@ -473,26 +474,17 @@ def run_disk_full_drill(
     except DurabilityError:
         previous_intact = False
 
-    # 2. Recover into a fresh service and resume the stream where the
-    # recovered sessions left off.  The resume point is the *applied-record
-    # count* (recovered ticks_seen minus primed history): WAL frames do not
-    # carry producer timestamps, so the restored ingest watermark can lag
-    # back to the last checkpoint and cannot be used to deduplicate the
-    # replayed span — counting can (see DESIGN.md on the push policy).
+    # 2. Recover into a fresh service and resume by replaying the *whole*
+    # stream with its producer timestamps.  WAL frames persist the
+    # timestamps, so recovery restores each session's ingest watermark to
+    # exactly the last applied record; the policy then drops the
+    # already-applied prefix (timestamps at or below the watermark) and
+    # accepts the remainder — no out-of-band resume bookkeeping needed.
+    # This is precisely how an at-least-once producer resumes against the
+    # recovered service in production.
     with ImputationService(durability=durability) as recovered_service:
         recovery = recovered_service.recover()
-        resume_from = {
-            workload.station:
-                recovered_service.session(workload.station).ticks_seen
-                - workload.history_ticks
-            for workload in workloads
-        }
-        position: Dict[str, int] = {w.station: 0 for w in workloads}
         for record in records:
-            already_applied = position[record.station] < resume_from[record.station]
-            position[record.station] += 1
-            if already_applied:
-                continue
             results[record.station].extend(
                 recovered_service.push(record.station, record.row,
                                        timestamp=record.timestamp)
@@ -623,14 +615,19 @@ def chaos_bench_record(
     checkpoint_every: int = DEFAULT_DRILL_CHECKPOINT_EVERY,
     seed: int = 2017,
     disk_full: bool = True,
+    disconnects: int = 0,
 ) -> Dict[str, object]:
     """Run the chaos drill (plus the disk-full drill) and build the record.
 
     The returned dict is the ``BENCH_chaos.json`` schema: the kill/heal
     drill's throughput, MTTR distribution and parity flag, and (with
-    ``disk_full``) the checkpoint-fault drill's integrity results.
-    ``durability_root`` must be a fresh directory; two subdirectories are
-    created under it, one per drill.
+    ``disk_full``) the checkpoint-fault drill's integrity results.  A
+    positive ``disconnects`` also streams the scenario through the
+    resilient gateway path with that many seeded connection drops (plus a
+    kill and a wedge, supervisor-healed) — the
+    :func:`~repro.scenarios.resilience.run_reconnect_drill` report lands
+    under ``"reconnect"``.  ``durability_root`` must be a fresh directory;
+    a subdirectory is created under it per drill.
     """
     layout = StationLayout(
         num_stations=stations, records_per_station=records_per_station
@@ -660,9 +657,24 @@ def chaos_bench_record(
             "ring_capacity": ring_capacity,
             "checkpoint_every": checkpoint_every,
             "seed": seed,
+            "disconnects": disconnects,
         },
         "drill": drill.as_dict(),
     }
+    if disconnects > 0:
+        # Local import: resilience builds on this module's reference runs.
+        from .resilience import run_reconnect_drill
+
+        reconnect = run_reconnect_drill(
+            spec,
+            os.path.join(os.fspath(durability_root), "reconnect"),
+            workers=workers,
+            disconnects=disconnects,
+            transport=transport,
+            checkpoint_every=checkpoint_every,
+            seed=seed,
+        )
+        record["reconnect"] = reconnect.as_dict()
     if disk_full:
         disk_report = run_disk_full_drill(
             spec,

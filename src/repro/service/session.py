@@ -253,7 +253,11 @@ class ImputationSession:
                 # duck-typed imputer may treat the two differently, and
                 # recovery replay must be bit-exact.
                 mask = np.array([[name in values for name in self.series_names]])
-            self._journal.record(self, row, mask)
+            # Persist the producer timestamp alongside the row: crash replay
+            # re-pushes it through the ingest policy, restoring the dedup
+            # watermark exactly (NaN in the WAL vector means untimestamped).
+            timestamps = None if timestamp is None else np.array([float(timestamp)])
+            self._journal.record(self, row, mask, timestamps=timestamps)
         if not outputs or index < self.warmup_ticks:
             return []
         return [TickResult.from_outputs(index, outputs)]
@@ -308,7 +312,8 @@ class ImputationSession:
         """Attach a durability journal; every later push is logged through it.
 
         ``journal`` is duck-typed — it needs ``record(session, matrix,
-        mask=None)`` and ``checkpoint(session)`` — and is normally a
+        mask=None, timestamps=None)`` and ``checkpoint(session)`` — and is
+        normally a
         :class:`~repro.durability.journal.SessionJournal` created by the
         owning service.  A session holds at most one journal; attach over an
         existing one raises :class:`~repro.exceptions.ServiceError` (detach

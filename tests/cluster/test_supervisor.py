@@ -1,0 +1,622 @@
+"""The deterministic control-loop harness for the health supervisor.
+
+Mirrors ``tests/cluster/test_autoscale.py``: every decision path of
+:class:`~repro.cluster.supervisor.HealthController` — healthy, suspect,
+wedged, dead, restart backoff, the crash-loop breaker — is exercised with
+zero real processes and zero sleeps.  Probes are authored by hand or by a
+:class:`~repro.cluster.supervisor.ScriptedHealthSource`, time is the
+probe's own stamp, and the controller is a pure function of
+``(probe trace, config)`` — which Hypothesis pins below, together with the
+backoff and breaker invariants promised in the module docs.  A handful of
+live integration tests then close the loop against a real
+:class:`~repro.cluster.coordinator.ClusterCoordinator`: ping probes, a
+hard kill healed by one tick, a wedged loop fenced by the ping deadline,
+and a breaker-driven shard quarantine.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.supervisor import (
+    ClusterHealthSource,
+    ClusterSupervisor,
+    HealthController,
+    HealthDecision,
+    ScriptedHealthSource,
+    SupervisorConfig,
+    WorkerProbe,
+)
+from repro.durability import DurabilityConfig, DurabilityPolicy
+from repro.exceptions import ClusterError
+
+
+def probe(at, worker=0, alive=True, responsive=True, progress=0, backlog=0):
+    """Shorthand WorkerProbe constructor for scripted traces."""
+    return WorkerProbe(
+        at=float(at), worker=worker, alive=alive, responsive=responsive,
+        progress=progress, backlog=backlog,
+    )
+
+
+def feed(controller, probes):
+    """Feed a trace; return the list of decisions."""
+    return [controller.observe(p) for p in probes]
+
+
+# --------------------------------------------------------------------------- #
+# Config validation
+# --------------------------------------------------------------------------- #
+class TestConfigValidation:
+    def test_defaults_are_valid_and_serialisable(self):
+        config = SupervisorConfig()
+        assert json.loads(json.dumps(config.as_dict())) == config.as_dict()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(ping_timeout=0.0),
+            dict(suspect_after=0),
+            dict(suspect_after=3, wedged_after=3),
+            dict(restart_backoff_base=-0.1),
+            dict(restart_backoff_base=2.0, restart_backoff_cap=1.0),
+            dict(breaker_threshold=0),
+            dict(breaker_window=0.0),
+            dict(degraded_retry_after=-1.0),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ClusterError):
+            SupervisorConfig(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Decision paths (pure, scripted, no processes)
+# --------------------------------------------------------------------------- #
+CFG = SupervisorConfig(
+    suspect_after=2,
+    wedged_after=4,
+    restart_backoff_base=1.0,
+    restart_backoff_cap=8.0,
+    breaker_threshold=2,
+    breaker_window=60.0,
+    degraded_retry_after=5.0,
+)
+
+
+class TestHealthyPaths:
+    def test_first_probe_is_healthy(self):
+        decision = HealthController(CFG).observe(probe(0, progress=0))
+        assert (decision.state, decision.action) == ("healthy", "none")
+
+    def test_advancing_progress_stays_healthy_under_backlog(self):
+        controller = HealthController(CFG)
+        decisions = feed(
+            controller,
+            [probe(t, progress=t * 10, backlog=500) for t in range(6)],
+        )
+        assert all(d.state == "healthy" for d in decisions)
+        assert all(d.action == "none" for d in decisions)
+
+    def test_flat_progress_with_idle_fleet_is_healthy(self):
+        controller = HealthController(CFG)
+        decisions = feed(
+            controller, [probe(t, progress=7, backlog=0) for t in range(8)]
+        )
+        assert all(d.state == "healthy" for d in decisions)
+        assert "idle" in decisions[-1].reason
+
+    def test_flat_probe_within_grace_is_still_healthy(self):
+        controller = HealthController(CFG)
+        controller.observe(probe(0, progress=5, backlog=100))
+        decision = controller.observe(probe(1, progress=5, backlog=100))
+        assert decision.state == "healthy"
+        assert "grace" in decision.reason
+
+
+class TestSuspectAndWedged:
+    def flat_trace(self, n):
+        """n probes that answer pings but never advance, backlog waiting."""
+        return [probe(t, progress=3, backlog=100) for t in range(n)]
+
+    def test_streak_of_suspect_after_classifies_suspect(self):
+        controller = HealthController(CFG)
+        # Probe 0 seeds last_progress; streaks count from probe 1.
+        decisions = feed(controller, self.flat_trace(CFG.suspect_after + 1))
+        assert decisions[-1].state == "suspect"
+        assert decisions[-1].action == "none"
+        assert "flat" in decisions[-1].reason
+
+    def test_progress_resuming_resets_the_streak(self):
+        controller = HealthController(CFG)
+        feed(controller, self.flat_trace(CFG.suspect_after + 1))
+        assert controller.state_of(0) == "suspect"
+        recovered = controller.observe(probe(9, progress=4, backlog=100))
+        assert recovered.state == "healthy"
+        # The streak restarts from scratch afterwards.
+        again = controller.observe(probe(10, progress=4, backlog=100))
+        assert again.state == "healthy"
+
+    def test_streak_of_wedged_after_restarts(self):
+        controller = HealthController(CFG)
+        decisions = feed(controller, self.flat_trace(CFG.wedged_after + 1))
+        assert decisions[-1].state == "wedged"
+        assert decisions[-1].action == "restart"
+        assert decisions[-2].state == "suspect"
+
+    def test_unresponsive_but_alive_is_wedged_immediately(self):
+        decision = HealthController(CFG).observe(
+            probe(0, alive=True, responsive=False)
+        )
+        assert decision.state == "wedged"
+        assert decision.action == "restart"
+        assert "fenced" in decision.reason
+
+    def test_dead_process_restarts_immediately(self):
+        decision = HealthController(CFG).observe(
+            probe(0, alive=False, responsive=False)
+        )
+        assert decision.state == "dead"
+        assert decision.action == "restart"
+
+
+class TestRestartBackoff:
+    def test_second_failure_inside_backoff_waits(self):
+        controller = HealthController(CFG)
+        first = controller.observe(probe(0, alive=False, responsive=False))
+        assert first.action == "restart"
+        # 0.5s later the backoff (base 1.0s) has not elapsed.
+        blocked = controller.observe(probe(0.5, alive=False, responsive=False))
+        assert blocked.action == "wait"
+        assert "backoff" in blocked.reason
+        # Past the backoff the restart fires.
+        fired = controller.observe(probe(1.5, alive=False, responsive=False))
+        assert fired.action == "restart"
+
+    def test_backoff_doubles_per_restart_in_window(self):
+        config = SupervisorConfig(
+            restart_backoff_base=1.0, restart_backoff_cap=8.0,
+            breaker_threshold=5, breaker_window=60.0,
+        )
+        controller = HealthController(config)
+        down = dict(alive=False, responsive=False)
+        assert controller.observe(probe(0, **down)).action == "restart"
+        assert controller.observe(probe(2, **down)).action == "restart"
+        # Two restarts in the window: the next delay is base * 2 = 2.0s.
+        assert controller.observe(probe(3.5, **down)).action == "wait"
+        assert controller.observe(probe(4.5, **down)).action == "restart"
+
+    def test_old_restarts_age_out_of_the_window(self):
+        controller = HealthController(CFG)
+        down = dict(alive=False, responsive=False)
+        controller.observe(probe(0, **down))
+        # Far outside the 60s window: no backoff, no breaker pressure.
+        later = controller.observe(probe(100, **down))
+        assert later.action == "restart"
+        assert "restart #1" in later.reason
+
+    def test_zero_base_allows_back_to_back_restarts(self):
+        config = SupervisorConfig(
+            restart_backoff_base=0.0, breaker_threshold=5
+        )
+        controller = HealthController(config)
+        down = dict(alive=False, responsive=False)
+        decisions = feed(controller, [probe(t * 0.01, **down) for t in range(4)])
+        assert [d.action for d in decisions] == ["restart"] * 4
+
+
+class TestBreaker:
+    def crash_until_braked(self, controller, worker=0):
+        down = dict(worker=worker, alive=False, responsive=False)
+        decisions = feed(
+            controller,
+            [probe(t * 10.0, **down) for t in range(CFG.breaker_threshold + 1)],
+        )
+        return decisions
+
+    def test_threshold_restarts_in_window_open_the_breaker(self):
+        controller = HealthController(CFG)
+        decisions = self.crash_until_braked(controller)
+        assert [d.action for d in decisions] == ["restart", "restart", "degrade"]
+        assert decisions[-1].reason.startswith("worker process is gone")
+        assert "breaker" in decisions[-1].reason
+        assert controller.breaker_is_open(0)
+
+    def test_open_breaker_latches_until_reset(self):
+        controller = HealthController(CFG)
+        self.crash_until_braked(controller)
+        down = dict(alive=False, responsive=False)
+        for t in (100, 1000, 10000):  # far past the breaker window
+            decision = controller.observe(probe(t, **down))
+            assert decision.action == "none"
+            assert "reset_worker" in decision.reason
+        assert controller.breaker_is_open(0)
+
+    def test_reset_worker_closes_the_breaker(self):
+        controller = HealthController(CFG)
+        self.crash_until_braked(controller)
+        controller.reset_worker(0)
+        assert not controller.breaker_is_open(0)
+        decision = controller.observe(probe(200, alive=False, responsive=False))
+        assert decision.action == "restart"
+
+    def test_spread_out_crashes_never_brake(self):
+        controller = HealthController(CFG)
+        down = dict(alive=False, responsive=False)
+        # One crash per breaker window: each restart sees an empty window.
+        decisions = feed(
+            controller, [probe(t * 100.0, **down) for t in range(6)]
+        )
+        assert all(d.action == "restart" for d in decisions)
+        assert not controller.breaker_is_open(0)
+
+    def test_breakers_are_per_worker(self):
+        controller = HealthController(CFG)
+        self.crash_until_braked(controller, worker=3)
+        assert controller.breaker_is_open(3)
+        assert not controller.breaker_is_open(0)
+        other = controller.observe(probe(50, worker=0, alive=False, responsive=False))
+        assert other.action == "restart"
+
+
+class TestControllerPlumbing:
+    def test_states_and_state_of_defaults(self):
+        controller = HealthController(CFG)
+        assert controller.state_of(7) == "healthy"
+        assert controller.states == {}
+        controller.observe(probe(0, worker=2, alive=False, responsive=False))
+        assert controller.states == {2: "dead"}
+
+    def test_restarts_of_counts_applied_restarts(self):
+        controller = HealthController(CFG)
+        assert controller.restarts_of(0) == 0
+        controller.observe(probe(0, alive=False, responsive=False))
+        controller.observe(probe(0.1, alive=False, responsive=False))  # wait
+        assert controller.restarts_of(0) == 1
+
+    def test_decisions_accumulate_and_serialise(self):
+        controller = HealthController(CFG)
+        feed(controller, [probe(t, alive=False, responsive=False) for t in range(3)])
+        assert len(controller.decisions) == 3
+        for decision in controller.decisions:
+            payload = json.loads(json.dumps(decision.as_dict()))
+            assert payload["reason"]
+            assert payload["state"] in {"healthy", "suspect", "wedged", "dead"}
+            assert payload["action"] in {"none", "wait", "restart", "degrade"}
+
+    def test_replay_equals_observe_loop(self):
+        trace = [probe(t, progress=3, backlog=50) for t in range(6)]
+        one = HealthController(CFG)
+        two = HealthController(CFG)
+        assert one.replay(trace) == feed(two, trace)
+
+    def test_reset_restores_fresh_state(self):
+        controller = HealthController(CFG)
+        trace = [probe(t * 10, alive=False, responsive=False) for t in range(3)]
+        first = feed(controller, trace)
+        controller.reset()
+        assert controller.decisions == []
+        assert feed(controller, trace) == first
+
+    def test_worker_probe_serialises(self):
+        payload = json.loads(json.dumps(probe(1.5, worker=2, backlog=42).as_dict()))
+        assert payload["backlog"] == 42
+        assert payload["alive"] is True
+
+    def test_scripted_source_exhaustion_raises(self):
+        source = ScriptedHealthSource([[probe(0)], [probe(1)]])
+        assert source.remaining == 2
+        source.probe()
+        source.probe()
+        assert source.remaining == 0
+        with pytest.raises(ClusterError):
+            source.probe()
+
+
+# --------------------------------------------------------------------------- #
+# The supervisor against a scripted source and a fake cluster
+# --------------------------------------------------------------------------- #
+class FakeCluster:
+    """Records the heal calls a ClusterSupervisor applies."""
+
+    def __init__(self, dead=()):
+        self.dead = set(dead)
+        self.terminated = []
+        self.recovered = []
+        self.degraded = []
+
+    def dead_workers(self):
+        return sorted(self.dead)
+
+    def terminate_worker(self, index):
+        self.terminated.append(index)
+        self.dead.add(index)
+
+    def recover_worker(self, index, *, standby=None):
+        self.dead.discard(index)
+        self.recovered.append((index, standby))
+        return {"worker": index}
+
+    def mark_degraded(self, index, *, retry_after):
+        self.degraded.append((index, retry_after))
+
+
+class TestSupervisorLoop:
+    def test_dead_worker_is_recovered_without_a_terminate(self):
+        cluster = FakeCluster(dead={1})
+        supervisor = ClusterSupervisor(
+            cluster=cluster,
+            controller=HealthController(CFG),
+            source=ScriptedHealthSource(
+                [[probe(0, worker=1, alive=False, responsive=False)]]
+            ),
+        )
+        decisions = supervisor.tick()
+        assert [d.action for d in decisions] == ["restart"]
+        # Already fenced (counted dead): recovery runs straight away.
+        assert cluster.terminated == []
+        assert cluster.recovered == [(1, None)]
+        assert supervisor.restarts == 1
+        assert supervisor.heals == [{"worker": 1}]
+
+    def test_wedged_by_flat_progress_is_fenced_before_recovery(self):
+        cluster = FakeCluster()
+        rounds = [
+            [probe(t, progress=3, backlog=100)]
+            for t in range(CFG.wedged_after + 1)
+        ]
+        supervisor = ClusterSupervisor(
+            cluster=cluster,
+            controller=HealthController(CFG),
+            source=ScriptedHealthSource(rounds),
+        )
+        for _ in rounds:
+            supervisor.tick()
+        # A flat-progress wedge still answers pings — its process must be
+        # killed before the shard can be recovered.
+        assert cluster.terminated == [0]
+        assert cluster.recovered == [(0, None)]
+
+    def test_degrade_marks_the_shard_with_the_config_hint(self):
+        cluster = FakeCluster(dead={0})
+        rounds = [
+            [probe(t * 10.0, alive=False, responsive=False)]
+            for t in range(CFG.breaker_threshold + 1)
+        ]
+        supervisor = ClusterSupervisor(
+            cluster=cluster,
+            controller=HealthController(CFG),
+            source=ScriptedHealthSource(rounds),
+        )
+        for _ in rounds:
+            # Re-kill after each heal so every round observes a dead worker.
+            cluster.dead.add(0)
+            supervisor.tick()
+        assert supervisor.degraded == [0]
+        assert cluster.degraded == [(0, CFG.degraded_retry_after)]
+        assert len(cluster.recovered) == CFG.breaker_threshold
+
+    def test_standby_mapping_is_consulted_per_restart(self):
+        cluster = FakeCluster(dead={1})
+        supervisor = ClusterSupervisor(
+            cluster=cluster,
+            controller=HealthController(CFG),
+            source=ScriptedHealthSource(
+                [[probe(0, worker=1, alive=False, responsive=False)]]
+            ),
+            standbys={1: "warm-snapshot"},
+        )
+        supervisor.tick()
+        assert cluster.recovered == [(1, "warm-snapshot")]
+
+    def test_as_dict_serialises_the_whole_trace(self):
+        cluster = FakeCluster(dead={0})
+        supervisor = ClusterSupervisor(
+            cluster=cluster,
+            controller=HealthController(CFG),
+            source=ScriptedHealthSource(
+                [[probe(0, alive=False, responsive=False)]]
+            ),
+        )
+        supervisor.tick()
+        trace = json.loads(json.dumps(supervisor.as_dict()))
+        assert trace["restarts"] == 1
+        assert trace["degraded"] == []
+        assert len(trace["probes"]) == len(trace["decisions"]) == 1
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis properties
+# --------------------------------------------------------------------------- #
+def configs():
+    """Strategy over valid SupervisorConfigs (zero backoff included)."""
+    return st.builds(
+        SupervisorConfig,
+        suspect_after=st.integers(1, 3),
+        wedged_after=st.integers(4, 6),
+        restart_backoff_base=st.floats(0.0, 2.0),
+        restart_backoff_cap=st.floats(2.0, 30.0),
+        breaker_threshold=st.integers(1, 4),
+        breaker_window=st.floats(1.0, 100.0),
+    )
+
+
+def traces():
+    """Strategy over single-worker probe traces.
+
+    Steps are ``(dt, alive, responsive, progress increment, backlog)``;
+    time and progress accumulate so the trace is always well-formed.
+    """
+    return st.lists(
+        st.tuples(
+            st.floats(0.01, 20.0),   # seconds since previous probe
+            st.booleans(),           # process up?
+            st.booleans(),           # ping answered?
+            st.integers(0, 3),       # records routed since previous
+            st.integers(0, 500),     # fleet backlog
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+
+def materialise(trace):
+    now, progress, probes = 0.0, 0, []
+    for dt, alive, responsive, advance, backlog in trace:
+        now += dt
+        progress += advance
+        probes.append(
+            WorkerProbe(
+                at=now, worker=0, alive=alive,
+                responsive=alive and responsive,
+                progress=progress, backlog=backlog,
+            )
+        )
+    return probes
+
+
+@settings(max_examples=150, deadline=None)
+@given(config=configs(), trace=traces())
+def test_deterministic_given_trace_and_config(config, trace):
+    probes = materialise(trace)
+    one = HealthController(config).replay(probes)
+    two = HealthController(config).replay(probes)
+    assert one == two
+
+
+@settings(max_examples=150, deadline=None)
+@given(config=configs(), trace=traces())
+def test_restarts_never_violate_the_backoff(config, trace):
+    decisions = HealthController(config).replay(materialise(trace))
+    restarts = [d.at for d in decisions if d.action == "restart"]
+    for index in range(1, len(restarts)):
+        recent = [
+            at for at in restarts[:index]
+            if at > restarts[index] - config.breaker_window
+        ]
+        if not recent:
+            continue
+        delay = min(
+            config.restart_backoff_cap,
+            config.restart_backoff_base * (2 ** (len(recent) - 1)),
+        )
+        assert restarts[index] >= recent[-1] + delay - 1e-9
+        # And the breaker fired before a threshold-busting restart could.
+        assert len(recent) < config.breaker_threshold
+
+
+@settings(max_examples=150, deadline=None)
+@given(config=configs(), trace=traces())
+def test_breaker_latches_for_good(config, trace):
+    """After a degrade, every later decision for the worker is a no-op."""
+    decisions = HealthController(config).replay(materialise(trace))
+    braked = False
+    for decision in decisions:
+        if braked:
+            assert decision.action == "none"
+        if decision.action == "degrade":
+            braked = True
+
+
+@settings(max_examples=100, deadline=None)
+@given(config=configs(), trace=traces())
+def test_every_decision_is_well_formed(config, trace):
+    for decision in HealthController(config).replay(materialise(trace)):
+        assert isinstance(decision, HealthDecision)
+        assert decision.reason
+        assert decision.state in {"healthy", "suspect", "wedged", "dead"}
+        assert decision.action in {"none", "wait", "restart", "degrade"}
+        assert decision.is_action == (decision.action in {"restart", "degrade"})
+
+
+# --------------------------------------------------------------------------- #
+# Live integration: probe, heal, and quarantine a real cluster
+# --------------------------------------------------------------------------- #
+def _durability(tmp_path):
+    return DurabilityConfig(
+        tmp_path / "state", DurabilityPolicy(checkpoint_every=64)
+    )
+
+
+class TestLiveSupervision:
+    def test_health_source_probes_a_healthy_fleet(self):
+        with ClusterCoordinator(num_workers=2) as cluster:
+            probes = ClusterHealthSource(cluster, ping_timeout=2.0).probe()
+            assert [p.worker for p in probes] == [0, 1]
+            assert all(p.alive and p.responsive for p in probes)
+
+    def test_killed_worker_probes_dead_and_one_tick_heals_it(self, tmp_path):
+        with ClusterCoordinator(
+            num_workers=2, durability=_durability(tmp_path)
+        ) as cluster:
+            cluster.create_session("s", method="locf", series_names=["v"])
+            cluster.push("s", {"v": 1.0})
+            supervisor = ClusterSupervisor(
+                cluster=cluster,
+                controller=HealthController(
+                    SupervisorConfig(restart_backoff_base=0.0)
+                ),
+                source=ClusterHealthSource(cluster, ping_timeout=2.0),
+            )
+            victim = cluster.worker_of(cluster.session_ids[0])
+            cluster.terminate_worker(victim)
+            decisions = supervisor.tick()
+            assert {d.worker: d.state for d in decisions}[victim] == "dead"
+            assert cluster.dead_workers() == []
+            assert supervisor.restarts == 1
+            # The healed shard still serves its sessions.
+            ticks = cluster.push("s", {"v": float("nan")})
+            assert len(ticks) > 0
+
+    def test_wedged_worker_is_fenced_by_the_ping_deadline_and_healed(
+        self, tmp_path
+    ):
+        with ClusterCoordinator(
+            num_workers=2, durability=_durability(tmp_path)
+        ) as cluster:
+            cluster.wedge_worker(0)
+            source = ClusterHealthSource(cluster, ping_timeout=0.25)
+            probes = {p.worker: p for p in source.probe()}
+            # The wedge: process up, ping dead — and the timeout fenced it.
+            assert probes[0].alive and not probes[0].responsive
+            assert probes[1].responsive
+            assert cluster.dead_workers() == [0]
+            supervisor = ClusterSupervisor(
+                cluster=cluster,
+                controller=HealthController(
+                    SupervisorConfig(
+                        ping_timeout=0.25, restart_backoff_base=0.0
+                    )
+                ),
+                source=source,
+            )
+            supervisor.tick()
+            assert cluster.dead_workers() == []
+            assert cluster.ping_worker(0, timeout=2.0)
+
+    def test_breaker_quarantines_the_shard_on_a_live_cluster(self, tmp_path):
+        config = SupervisorConfig(
+            restart_backoff_base=0.0, breaker_threshold=1,
+            breaker_window=3600.0, degraded_retry_after=9.0,
+        )
+        with ClusterCoordinator(
+            num_workers=2, durability=_durability(tmp_path)
+        ) as cluster:
+            supervisor = ClusterSupervisor(
+                cluster=cluster,
+                controller=HealthController(config),
+                source=ClusterHealthSource(
+                    cluster, ping_timeout=config.ping_timeout
+                ),
+            )
+            cluster.terminate_worker(0)
+            supervisor.tick()  # restart #1
+            cluster.terminate_worker(0)
+            supervisor.tick()  # breaker opens: degrade, not restart
+            assert supervisor.degraded == [0]
+            assert cluster.degraded_workers() == [0]
+            assert supervisor.controller.breaker_is_open(0)

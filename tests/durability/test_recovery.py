@@ -179,7 +179,72 @@ class TestCrashRecoveryParity:
             assert _flatten(continuation) == _flatten(ref.push_block(name, matrix[520:]))
 
 
-class TestCheckpointPolicy:
+class TestWatermarkRecovery:
+    """The ingest-policy watermark must survive crash-replay (DESIGN §2a).
+
+    Timestamps ride in the WAL frames themselves, so a watermark advanced
+    *after* the last checkpoint is restored by replaying the tail — a
+    duplicate delivery retried across a crash is still rejected.
+    """
+
+    def test_duplicate_still_rejected_after_crash_replay(self, tmp_path):
+        crashed = ImputationService(durability=_config(tmp_path, checkpoint_every=1000))
+        crashed.create_session("s", series_names=["a"], method="locf")
+        crashed.push("s", {"a": 1.0}, timestamp=10.0)
+        crashed.push("s", {"a": 2.0}, timestamp=11.0)
+        # An at-least-once transport retries the last delivery: dropped.
+        assert crashed.push("s", {"a": 99.0}, timestamp=11.0) == []
+        # The crash: nothing checkpointed since the timestamped pushes —
+        # the watermark only exists in the WAL tail.
+
+        survivor = ImputationService()
+        report = RecoveryManager(_config(tmp_path)).recover_into(survivor)
+        assert report.records_replayed == 2  # dropped rows were never journaled
+        session = survivor.session("s")
+        assert session.last_timestamp == 11.0
+        # The same retry arrives again after recovery: still rejected.
+        assert survivor.push("s", {"a": 99.0}, timestamp=11.0) == []
+        assert session.stats()["duplicates_dropped"] == 1
+        assert survivor.push("s", {"a": 99.0}, timestamp=5.0) == []
+        assert session.stats()["stale_dropped"] == 1
+        assert session.ticks_seen == 2
+        # The stream then resumes normally.
+        assert session.push({"a": 3.0}, timestamp=12.0) is not None
+        assert session.ticks_seen == 3
+
+    def test_mixed_timestamped_and_bare_pushes_replay_exactly(self, tmp_path):
+        crashed = ImputationService(durability=_config(tmp_path, checkpoint_every=1000))
+        crashed.create_session("s", series_names=["a", "b"], method="locf")
+        crashed.push("s", {"a": 1.0, "b": 1.0}, timestamp=10.0)
+        crashed.push("s", {"a": 2.0, "b": 2.0})  # untimestamped: no watermark move
+        crashed.push("s", {"a": 3.0})  # partial (mask) and untimestamped
+        crashed.push("s", {"b": 4.0}, timestamp=13.0)
+
+        survivor = ImputationService()
+        RecoveryManager(_config(tmp_path)).recover_into(survivor)
+        session = survivor.session("s")
+        assert session.ticks_seen == 4
+        assert session.last_timestamp == 13.0
+        assert session.stats()["duplicates_dropped"] == 0
+        # LOCF state replayed exactly: "a" last saw 3.0.
+        (result,) = survivor.push("s", {"a": float("nan"), "b": 5.0}, timestamp=14.0)
+        assert result["a"].value == 3.0
+
+    def test_standby_replica_tracks_the_watermark(self, tmp_path):
+        from repro.cluster.standby import StandbyWorker
+
+        config = _config(tmp_path, checkpoint_every=1000)
+        service = ImputationService(durability=config)
+        service.create_session("s", series_names=["a"], method="locf")
+        standby = StandbyWorker(config)
+        service.push("s", {"a": 1.0}, timestamp=20.0)
+        service.push("s", {"a": 2.0}, timestamp=21.0)
+        standby.sync()
+        from repro.service import ImputationSession
+
+        replica = ImputationSession.restore(standby.snapshot("s"))
+        assert replica.last_timestamp == 21.0
+        assert replica.push({"a": 9.0}, timestamp=21.0) == []  # duplicate
     def test_checkpoints_trigger_every_n_records(self, tmp_path):
         config = _config(tmp_path, checkpoint_every=50)
         service = ImputationService(durability=config)

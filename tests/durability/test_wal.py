@@ -39,13 +39,13 @@ class TestRoundtrip:
         mask = np.array([[True, False]])
         with WriteAheadLog(wal_path) as wal:
             wal.append_block(matrix, mask)
-        ((_, stored_mask),) = _blocks(wal_path)
+        ((_, stored_mask, _),) = _blocks(wal_path)
         np.testing.assert_array_equal(stored_mask, mask)
 
     def test_all_true_mask_is_normalised_to_none(self, wal_path):
         with WriteAheadLog(wal_path) as wal:
             wal.append_block(np.ones((2, 2)), np.ones((2, 2), dtype=bool))
-        ((_, mask),) = _blocks(wal_path)
+        ((_, mask, _),) = _blocks(wal_path)
         assert mask is None
 
     def test_reopening_appends(self, wal_path):
@@ -53,8 +53,28 @@ class TestRoundtrip:
             wal.append_block(np.array([[1.0]]))
         with WriteAheadLog(wal_path) as wal:
             wal.append_block(np.array([[2.0]]))
-        values = [float(matrix[0, 0]) for matrix, _ in _blocks(wal_path)]
+        values = [float(matrix[0, 0]) for matrix, _, _ in _blocks(wal_path)]
         assert values == [1.0, 2.0]
+
+    def test_timestamps_roundtrip(self, wal_path):
+        matrix = np.array([[1.0], [2.0], [3.0]])
+        stamps = np.array([10.0, np.nan, 12.5])
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(matrix, timestamps=stamps)
+        ((_, _, stored),) = _blocks(wal_path)
+        np.testing.assert_array_equal(stored, stamps)
+
+    def test_untimestamped_frames_read_back_none(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(np.zeros((2, 2)))
+        ((_, _, stamps),) = _blocks(wal_path)
+        assert stamps is None
+
+    def test_all_nan_timestamps_normalised_to_none(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_block(np.zeros((2, 2)), timestamps=np.full(2, np.nan))
+        ((_, _, stamps),) = _blocks(wal_path)
+        assert stamps is None
 
     def test_counters(self, wal_path):
         with WriteAheadLog(wal_path) as wal:
@@ -75,6 +95,11 @@ class TestValidation:
         with WriteAheadLog(wal_path) as wal:
             with pytest.raises(DurabilityError, match="mask shape"):
                 wal.append_block(np.zeros((2, 2)), np.ones((1, 2), dtype=bool))
+
+    def test_timestamps_length_mismatch_rejected(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            with pytest.raises(DurabilityError, match="timestamps"):
+                wal.append_block(np.zeros((2, 2)), timestamps=np.zeros(3))
 
     def test_append_after_close_rejected(self, wal_path):
         wal = WriteAheadLog(wal_path)

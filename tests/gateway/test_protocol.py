@@ -280,3 +280,156 @@ class TestControlPayloads:
         assert struct.pack("<d", decoded[1]["x"].value) == struct.pack("<d", -0.0)
         with pytest.raises(ProtocolError, match="malformed RESULT"):
             protocol.decode_result_payload(payloads[0][:5])
+
+
+class TestLeasePayloads:
+    """HELLO-resume and cumulative-ACK payloads — the resilience additions."""
+
+    @given(
+        token=st.text(min_size=1, max_size=24),
+        resume=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hello_token_and_resume_roundtrip(self, token, resume):
+        payload = protocol.encode_hello(
+            "north", "tkcm", ["x"], 2, {}, token=token, resume=resume
+        )
+        hello = protocol.decode_hello(payload)
+        assert hello["token"] == token
+        assert bool(hello.get("resume", False)) is resume
+
+    def test_hello_without_token_has_no_lease_fields(self):
+        hello = protocol.decode_hello(
+            protocol.encode_hello("n", "tkcm", None, 0, {})
+        )
+        assert "token" not in hello
+        assert "resume" not in hello
+
+    def test_resume_without_token_rejected(self):
+        payload = protocol.encode_hello("n", "tkcm", None, 0, {}, token="t")
+        forged = payload.replace(b'"token": "t"', b'"resume": true')
+        with pytest.raises(ProtocolError, match="requires a lease token"):
+            protocol.decode_hello(forged)
+
+    def test_non_string_token_rejected(self):
+        payload = protocol.encode_hello("n", "tkcm", None, 0, {}, token="9")
+        tampered = payload.replace(b'"token": "9"', b'"token": 9')
+        with pytest.raises(ProtocolError, match="token must be a string"):
+            protocol.decode_hello(tampered)
+
+    def test_hello_ok_reports_resume_state(self):
+        info = protocol.decode_hello_ok(
+            protocol.encode_hello_ok("c1/st", 2, resumed=True, acked_seq=17)
+        )
+        assert info["resumed"] is True
+        assert info["acked_seq"] == 17
+        fresh = protocol.decode_hello_ok(protocol.encode_hello_ok("c1/st", None))
+        assert fresh["resumed"] is False
+        assert fresh["acked_seq"] == 0
+
+    @given(
+        acks=st.dictionaries(
+            st.text(min_size=1, max_size=16),
+            st.integers(min_value=0, max_value=2 ** 64 - 1),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ack_roundtrip(self, acks):
+        assert protocol.decode_ack(protocol.encode_ack(acks)) == acks
+
+    def test_negative_ack_sequence_rejected_at_encode(self):
+        with pytest.raises(ValueError, match="negative"):
+            protocol.encode_ack({"st": -1})
+
+    @given(
+        acks=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.integers(min_value=0, max_value=2 ** 32),
+            min_size=1,
+            max_size=4,
+        ),
+        cut=st.integers(min_value=1, max_value=10 ** 9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_ack_always_rejected(self, acks, cut):
+        payload = protocol.encode_ack(acks)
+        keep = cut % len(payload)  # a strict prefix
+        with pytest.raises(ProtocolError, match="malformed ACK"):
+            protocol.decode_ack(payload[:keep])
+
+    def test_ack_with_trailing_bytes_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed ACK"):
+            protocol.decode_ack(protocol.encode_ack({"st": 3}) + b"\x00")
+
+    @given(
+        acks=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.integers(min_value=0, max_value=2 ** 32),
+            min_size=1,
+            max_size=3,
+        ),
+        token=st.text(min_size=1, max_size=12),
+        sizes=st.lists(st.integers(min_value=1, max_value=32), max_size=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resume_and_ack_frames_survive_arbitrary_chunking(
+        self, acks, token, sizes
+    ):
+        frames = [
+            (
+                protocol.FRAME_HELLO,
+                protocol.encode_hello(
+                    "st", "", None, 0, {}, token=token, resume=True
+                ),
+            ),
+            (protocol.FRAME_ACK, protocol.encode_ack(acks)),
+        ]
+        blob = b"".join(protocol.encode_frame(k, p) for k, p in frames)
+        decoder = protocol.FrameDecoder()
+        decoded = []
+        for chunk in chunked(blob, sizes):
+            decoded.extend(decoder.feed(chunk))
+        assert decoded == frames
+        hello = protocol.decode_hello(decoded[0][1])
+        assert hello["token"] == token and hello["resume"] is True
+        assert protocol.decode_ack(decoded[1][1]) == acks
+
+    @given(
+        acks=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.integers(min_value=0, max_value=2 ** 32),
+            min_size=1,
+            max_size=3,
+        ),
+        flip=st.integers(min_value=0, max_value=10 ** 9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_flipped_ack_frame_never_decodes_wrong(self, acks, flip):
+        blob = bytearray(
+            protocol.encode_frame(protocol.FRAME_ACK, protocol.encode_ack(acks))
+        )
+        position = flip % len(blob)
+        blob[position] ^= 1 << (flip % 8)
+        decoder = protocol.FrameDecoder()
+        # The frame CRC covers the whole ACK payload: a flipped bit either
+        # raises or leaves the frame incomplete — a *wrong* ACK (silently
+        # trimming someone's outbox) can never come out.
+        try:
+            frames = decoder.feed(bytes(blob))
+        except ProtocolError:
+            return
+        for kind, payload in frames:
+            assert (kind, payload) != (
+                protocol.FRAME_ACK, bytes(blob[9:])
+            ) or protocol.decode_ack(payload) == acks
+
+    def test_unavailable_roundtrip_and_plain_text_tolerance(self):
+        code, message = protocol.decode_error(
+            protocol.encode_unavailable(12.5, "shard 1 quarantined")
+        )
+        assert code == protocol.ERR_UNAVAILABLE
+        assert protocol.decode_unavailable(message) == (
+            12.5, "shard 1 quarantined"
+        )
+        assert protocol.decode_unavailable("try later") == (0.0, "try later")

@@ -1,0 +1,133 @@
+"""Tests of the end-to-end resilience drills and the bench record.
+
+These drive the full stack — resilient gateway client over a live cluster
+with a health supervisor — so the layouts are kept small.  The acceptance
+drill for this tier is `test_reconnect_drill_is_bit_identical`: seeded
+client disconnects, a hard-killed worker and a wedged worker (both
+supervisor-healed from warm standbys), replayed duplicates absorbed — and
+the combined results bit-identical to the uninterrupted reference.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    StationLayout,
+    family_spec,
+    resilience_bench_record,
+    run_breaker_drill,
+    run_reconnect_drill,
+)
+
+LAYOUT = StationLayout(num_stations=4, records_per_station=40)
+
+
+@pytest.fixture(scope="module")
+def drill_spec():
+    """The acceptance scenario: bursty arrivals + correlated cascades."""
+    return family_spec("bursty-cascade", seed=2017, layout=LAYOUT)
+
+
+class TestReconnectDrill:
+    def test_reconnect_drill_is_bit_identical(self, drill_spec, tmp_path):
+        """Tentpole acceptance: disconnects + a kill + a wedge mid-stream,
+        all healed, results bit-identical to the uninterrupted reference."""
+        report = run_reconnect_drill(
+            drill_spec, tmp_path / "resilience",
+            workers=2, disconnects=2, seed=11,
+        )
+        assert report.identical is True
+        assert report.disconnects == 2
+        assert report.reconnects >= 2
+        assert report.frames_replayed >= 1, (
+            "no outbox frame was ever replayed — the disconnects fired "
+            "with nothing unacknowledged")
+        kinds = sorted(event.kind for event in report.events)
+        assert kinds == ["disconnect", "disconnect", "kill", "wedge"]
+        assert report.supervisor_restarts >= 2
+        assert len(report.heal_seconds) == 2
+        assert all(math.isfinite(s) and s > 0 for s in report.heal_seconds)
+        # The closing probe round sees the healed fleet.
+        assert all(
+            state == "healthy" for state in report.health_states.values()
+        )
+        assert report.imputed_ticks > 0
+        json.dumps(report.as_dict())
+
+    def test_drill_is_deterministic_in_schedule(self, drill_spec, tmp_path):
+        a = run_reconnect_drill(drill_spec, tmp_path / "a", workers=2,
+                                disconnects=1, seed=5, check_parity=False)
+        b = run_reconnect_drill(drill_spec, tmp_path / "b", workers=2,
+                                disconnects=1, seed=5, check_parity=False)
+        assert [(e.kind, e.boundary) for e in a.events] == \
+               [(e.kind, e.boundary) for e in b.events]
+
+    def test_disconnect_only_drill(self, drill_spec, tmp_path):
+        """No kills or wedges: a pure reconnect/replay parity check."""
+        report = run_reconnect_drill(
+            drill_spec, tmp_path / "r", workers=2, disconnects=2,
+            kill_worker=False, wedge_worker=False, seed=3,
+        )
+        assert report.identical is True
+        assert report.supervisor_restarts == 0
+        assert report.heal_seconds == []
+
+    def test_validation(self, drill_spec, tmp_path):
+        with pytest.raises(ConfigurationError, match="disconnects"):
+            run_reconnect_drill(drill_spec, tmp_path, disconnects=-1)
+        with pytest.raises(ConfigurationError, match="workers"):
+            run_reconnect_drill(drill_spec, tmp_path, workers=0)
+        with pytest.raises(ConfigurationError, match="too few records"):
+            run_reconnect_drill(
+                family_spec("steady-block", layout=StationLayout(
+                    num_stations=1, records_per_station=2)),
+                tmp_path, disconnects=5)
+
+
+class TestBreakerDrill:
+    def test_breaker_opens_and_contains_the_failure(self, tmp_path):
+        report = run_breaker_drill(
+            tmp_path / "breaker", workers=2, stations=4,
+            breaker_threshold=2, retry_after=7.5,
+        )
+        assert report.breaker_opened is True
+        assert report.restarts_before_brake == 2
+        assert report.crashes == 3  # threshold restarts + the braking crash
+        assert report.degraded_workers == [report.victim]
+        # Containment: the degraded shard refuses with the retry hint …
+        assert report.unavailable_pushes > 0
+        assert report.retry_after == 7.5
+        # … while every station on a healthy shard kept producing.
+        assert report.healthy_results > 0
+        assert report.healthy_stations
+        json.dumps(report.as_dict())
+
+
+class TestBenchRecord:
+    def test_resilience_bench_record_schema(self, tmp_path):
+        record = resilience_bench_record(
+            tmp_path, stations=2, records_per_station=30,
+            workers=2, disconnects=1, breaker_threshold=2, seed=7,
+        )
+        assert record["benchmark"] == "resilience"
+        assert record["config"]["breaker_threshold"] == 2
+        overhead = record["overhead"]
+        assert overhead["plain_records_per_second"] > 0
+        assert overhead["resilient_records_per_second"] > 0
+        assert math.isfinite(overhead["relative_overhead"])
+        assert record["reconnect"]["recovery_seconds"] > 0
+        drill = record["drill"]
+        assert drill["bit_identical_to_reference"] is True
+        assert drill["reconnects"] >= 1
+        breaker = record["breaker"]
+        assert breaker["breaker_opened"] is True
+        mttr = record["mttr"]
+        assert mttr["supervised_heal_seconds"]
+        assert mttr["supervised_mean_seconds"] > 0
+        assert mttr["manual_heal_seconds"] > 0
+        json.dumps(record)
